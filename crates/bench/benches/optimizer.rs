@@ -1,0 +1,103 @@
+//! Criterion micro-benchmarks of the optimizer itself: Region DAG
+//! construction + rule expansion + cost-based extraction (the paper's
+//! "<1 s optimization time" claim), plus ablations of the framework
+//! pieces called out in DESIGN.md.
+
+use bench_support::cobra_for;
+use cobra_core::CostCatalog;
+use criterion::{criterion_group, criterion_main, Criterion};
+use netsim::NetworkProfile;
+use volcano::relalg::{left_deep_join, JoinAssociativity, JoinCommutativity};
+use volcano::Memo;
+use workloads::{motivating, wilos};
+
+fn bench_optimize_motivating(c: &mut Criterion) {
+    let fixture = motivating::build_fixture(10_000, 2_000, 3);
+    let cobra = cobra_for(&fixture, NetworkProfile::slow_remote(), CostCatalog::default());
+    let p0 = motivating::p0();
+    c.bench_function("optimize/p0", |b| {
+        b.iter(|| cobra.optimize_program(&p0).unwrap())
+    });
+    let m0 = motivating::m0();
+    c.bench_function("optimize/m0", |b| {
+        b.iter(|| cobra.optimize_program(&m0).unwrap())
+    });
+}
+
+fn bench_optimize_patterns(c: &mut Criterion) {
+    let fixture = wilos::build_fixture(10_000, 3);
+    let cobra = cobra_for(&fixture, NetworkProfile::fast_local(), CostCatalog::default());
+    for pattern in wilos::Pattern::all() {
+        let program = wilos::representative(pattern);
+        c.bench_function(&format!("optimize/pattern_{pattern:?}"), |b| {
+            b.iter(|| cobra.optimize_program(&program).unwrap())
+        });
+    }
+}
+
+fn bench_memo_expansion(c: &mut Criterion) {
+    // Ablation: the Volcano framework itself (Figure 4's example, then a
+    // 5-relation enumeration).
+    c.bench_function("volcano/commutativity_3_rel", |b| {
+        b.iter(|| {
+            let mut memo = Memo::new();
+            let root = memo.insert_tree(&left_deep_join(&["A", "B", "C"]), None);
+            volcano::expand(&mut memo, &[&JoinCommutativity], 16);
+            volcano::count_plans(&memo, root)
+        })
+    });
+    c.bench_function("volcano/full_enumeration_5_rel", |b| {
+        b.iter(|| {
+            let mut memo = Memo::new();
+            let root = memo.insert_tree(&left_deep_join(&["A", "B", "C", "D", "E"]), None);
+            volcano::expand(&mut memo, &[&JoinCommutativity, &JoinAssociativity], 64);
+            volcano::count_plans(&memo, root)
+        })
+    });
+}
+
+fn bench_fir_rules(c: &mut Criterion) {
+    // Ablation: F-IR construction + rule closure for P0's loop.
+    use imperative::ast::{Expr, Stmt, StmtKind};
+    let fixture = motivating::build_fixture(100, 10, 3);
+    let body = vec![
+        Stmt::new(StmtKind::Let(
+            "cust".into(),
+            Expr::nav(Expr::var("o"), "customer"),
+        )),
+        Stmt::new(StmtKind::Add(
+            "result".into(),
+            Expr::Call(
+                "myFunc".into(),
+                vec![
+                    Expr::field(Expr::var("o"), "o_id"),
+                    Expr::field(Expr::var("cust"), "c_birth_year"),
+                ],
+            ),
+        )),
+    ];
+    let live = vec!["result".to_string()];
+    c.bench_function("fir/loop_to_fold+rules/p0", |b| {
+        b.iter(|| {
+            let base = fir::build::loop_to_fold(
+                "o",
+                &Expr::LoadAll("Order".into()),
+                &body,
+                &fixture.mapping,
+                Some(&live),
+            )
+            .unwrap();
+            fir::rules::expand_alternatives(base, 64).len()
+        })
+    });
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_optimize_motivating,
+        bench_optimize_patterns,
+        bench_memo_expansion,
+        bench_fir_rules
+);
+criterion_main!(benches);

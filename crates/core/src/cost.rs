@@ -1,0 +1,521 @@
+//! The cost model of §VI.
+//!
+//! Costs are virtual nanoseconds. Per the paper:
+//!
+//! * query execution: `C_Q = C_NRT + C^F_Q + max(N_Q·S_row(Q)/BW, C^L_Q −
+//!   C^F_Q)` — one round trip, server time to the first row, then result
+//!   transfer overlapped with result production;
+//! * prefetch: `C_prefetch(Q) = C_Q / AF_Q` (amortized over the estimated
+//!   number of accesses);
+//! * basic block: sum of per-statement costs (`C_Z` each, plus any data
+//!   access the statement performs);
+//! * `C_seq = Σ children`; `C_cond = p·C_then + (1−p)·C_else + C_pred`
+//!   with `p` from database statistics when the predicate involves query
+//!   attributes, 0.5 otherwise;
+//! * loops: `N_Q · C_body + C_Db(Q)` when the trip count is known from the
+//!   iterable's plan, a tunable default otherwise.
+//!
+//! Like the paper's model, this one does **not** model the ORM session
+//! cache: iterative navigations are charged one lookup per iteration.
+//! (The paper's Experiment 2 notes the same mismatch for P0 on fast
+//! networks; COBRA never picks P0 anyway.)
+
+use crate::catalog::CostCatalog;
+use crate::region_ops::RegionOp;
+use imperative::ast::{Expr, Stmt, StmtKind};
+use minidb::{Database, Estimator, FuncRegistry, LogicalPlan, ScalarExpr, Value};
+use netsim::NetworkProfile;
+use orm::MappingRegistry;
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+use volcano::{CostModel, MExprId, Memo};
+
+/// A finite stand-in for "cannot estimate": large enough to lose against
+/// any real alternative without poisoning arithmetic like `f64::INFINITY`
+/// would.
+const UNESTIMABLE: f64 = 1e18;
+
+/// Cost model over [`RegionOp`] AND-nodes.
+pub struct RegionCostModel {
+    db: Rc<RefCell<Database>>,
+    funcs: Rc<FuncRegistry>,
+    net: NetworkProfile,
+    catalog: CostCatalog,
+    mappings: MappingRegistry,
+    /// Known collection bindings: variable → producing plan (flow-
+    /// insensitive; gathered from every program variant in the DAG).
+    var_plans: HashMap<String, LogicalPlan>,
+    /// Pre-computed plain costs of callee functions (for `LetCall`).
+    fn_costs: HashMap<String, f64>,
+}
+
+impl RegionCostModel {
+    /// Build a cost model.
+    pub fn new(
+        db: Rc<RefCell<Database>>,
+        funcs: Rc<FuncRegistry>,
+        net: NetworkProfile,
+        catalog: CostCatalog,
+        mappings: MappingRegistry,
+    ) -> RegionCostModel {
+        RegionCostModel {
+            db,
+            funcs,
+            net,
+            catalog,
+            mappings,
+            var_plans: HashMap::new(),
+            fn_costs: HashMap::new(),
+        }
+    }
+
+    /// Register collection bindings (variable → producing plan).
+    pub fn set_var_plans(&mut self, plans: HashMap<String, LogicalPlan>) {
+        self.var_plans = plans;
+    }
+
+    /// Register callee costs for `LetCall` statements.
+    pub fn set_fn_costs(&mut self, costs: HashMap<String, f64>) {
+        self.fn_costs = costs;
+    }
+
+    /// The catalog in use.
+    pub fn catalog(&self) -> &CostCatalog {
+        &self.catalog
+    }
+
+    /// `C_Q` for one query execution (§VI).
+    pub fn query_cost(&self, plan: &LogicalPlan) -> f64 {
+        let db = self.db.borrow();
+        let est = Estimator::new(&db, &self.funcs)
+            .with_row_ns(self.catalog.server_row_ns)
+            .estimate(plan);
+        match est {
+            Ok(e) => {
+                let first = e.first_row_ns(self.catalog.server_row_ns);
+                let last = e.last_row_ns(self.catalog.server_row_ns);
+                let transfer = self.net.transfer_ns_f(e.payload_bytes());
+                self.net.round_trip_ns() as f64 + first + transfer.max(last - first)
+            }
+            Err(_) => UNESTIMABLE,
+        }
+    }
+
+    /// Estimated result cardinality of a plan.
+    fn plan_rows(&self, plan: &LogicalPlan) -> f64 {
+        let db = self.db.borrow();
+        Estimator::new(&db, &self.funcs)
+            .with_row_ns(self.catalog.server_row_ns)
+            .estimate(plan)
+            .map(|e| e.rows)
+            .unwrap_or(self.catalog.default_collection_iters)
+    }
+
+    /// Estimated iteration count of a loop over `iter`.
+    pub fn iter_rows(&self, iter: &Expr) -> f64 {
+        match iter {
+            Expr::Query(spec) => self.plan_rows(&spec.plan),
+            Expr::LoadAll(entity) => match self.mappings.entity(entity) {
+                Some(m) => self.plan_rows(&LogicalPlan::scan(&m.table)),
+                None => self.catalog.default_collection_iters,
+            },
+            Expr::Var(v) => match self.var_plans.get(v) {
+                Some(plan) => self.plan_rows(plan),
+                None => self.catalog.default_collection_iters,
+            },
+            Expr::LookupCache(cache, _) => {
+                // cache_<table>_by_<col>: expected rows per key = N/NDV.
+                if let Some((table, col)) = parse_cache_name(cache) {
+                    let db = self.db.borrow();
+                    if let Ok(t) = db.table(&table) {
+                        if let Ok(i) = t.schema().resolve(&col) {
+                            let n = t.stats().row_count.max(1) as f64;
+                            let ndv = t.stats().ndv(i) as f64;
+                            return (n / ndv).max(1.0);
+                        }
+                    }
+                }
+                self.catalog.default_collection_iters
+            }
+            _ => self.catalog.default_collection_iters,
+        }
+    }
+
+    /// Cost of *fetching* the iterable (charged once per loop execution).
+    fn iter_fetch_cost(&self, iter: &Expr) -> f64 {
+        match iter {
+            Expr::Query(spec) => self.query_cost(&spec.plan),
+            Expr::LoadAll(entity) => match self.mappings.entity(entity) {
+                Some(m) => self.query_cost(&LogicalPlan::scan(&m.table)),
+                None => UNESTIMABLE,
+            },
+            Expr::Var(_) => 0.0, // already materialized
+            Expr::LookupCache(_, key) => self.catalog.cy_ns + self.expr_cost(key),
+            _ => self.catalog.cy_ns,
+        }
+    }
+
+    /// Data-access plus operator cost of evaluating an expression once.
+    pub fn expr_cost(&self, e: &Expr) -> f64 {
+        match e {
+            Expr::Var(_) | Expr::Lit(_) => 0.0,
+            Expr::Bin(_, l, r) => self.catalog.cy_ns + self.expr_cost(l) + self.expr_cost(r),
+            Expr::Not(i) | Expr::Len(i) => self.catalog.cy_ns + self.expr_cost(i),
+            Expr::Field(b, _) => self.catalog.cy_ns + self.expr_cost(b),
+            Expr::Nav(b, field) => {
+                // One point lookup per evaluation (no session-cache model).
+                self.expr_cost(b) + self.nav_cost(field)
+            }
+            Expr::Call(_, args) => {
+                self.catalog.cy_ns + args.iter().map(|a| self.expr_cost(a)).sum::<f64>()
+            }
+            Expr::LoadAll(entity) => match self.mappings.entity(entity) {
+                Some(m) => self.query_cost(&LogicalPlan::scan(&m.table)),
+                None => UNESTIMABLE,
+            },
+            Expr::Query(spec) | Expr::ScalarQuery(spec) => {
+                self.query_cost(&spec.plan)
+                    + spec.binds.iter().map(|(_, b)| self.expr_cost(b)).sum::<f64>()
+            }
+            Expr::LookupCache(_, key) => self.catalog.cy_ns + self.expr_cost(key),
+            Expr::MapGet(m, k) => self.catalog.cy_ns + self.expr_cost(m) + self.expr_cost(k),
+        }
+    }
+
+    /// Cost of one association navigation: a point query on the target.
+    fn nav_cost(&self, field: &str) -> f64 {
+        for mapping in self.mappings.iter() {
+            if let Some(assoc) = mapping.association(field) {
+                if let Some(target) = self.mappings.entity(&assoc.target_entity) {
+                    let plan = LogicalPlan::scan(&target.table).select(ScalarExpr::eq(
+                        ScalarExpr::col(&target.id_column),
+                        ScalarExpr::param("k"),
+                    ));
+                    return self.query_cost(&plan);
+                }
+            }
+        }
+        UNESTIMABLE
+    }
+
+    /// Cost of a single simple statement (basic block).
+    pub fn stmt_cost(&self, stmt: &Stmt) -> f64 {
+        let cz = self.catalog.cz_ns;
+        match &stmt.kind {
+            StmtKind::Let(_, e)
+            | StmtKind::Add(_, e)
+            | StmtKind::Print(e)
+            | StmtKind::Return(Some(e)) => cz + self.expr_cost(e),
+            StmtKind::Put(_, k, v) => cz + self.expr_cost(k) + self.expr_cost(v),
+            StmtKind::NewCollection(_) | StmtKind::NewMap(_) | StmtKind::Return(None)
+            | StmtKind::Break => cz,
+            StmtKind::CacheByColumn { source, .. } => {
+                // C_prefetch = C_Q / AF (§VI).
+                let fetch = self.expr_cost(source);
+                let af = prefetched_table(source)
+                    .map(|t| self.catalog.af_for(&t))
+                    .unwrap_or(self.catalog.default_af.max(1.0));
+                cz + fetch / af
+            }
+            StmtKind::UpdateQuery { value, key, .. } => {
+                cz + self.net.round_trip_ns() as f64
+                    + self.catalog.update_server_ns
+                    + self.expr_cost(value)
+                    + self.expr_cost(key)
+            }
+            StmtKind::LetCall(_, f, args) => {
+                let callee = self.fn_costs.get(f).copied().unwrap_or(UNESTIMABLE);
+                cz + callee + args.iter().map(|a| self.expr_cost(a)).sum::<f64>()
+            }
+            // Compound statements never appear as region leaves; black
+            // boxes go through `RegionOp::BlackBox`.
+            StmtKind::ForEach { .. }
+            | StmtKind::While { .. }
+            | StmtKind::If { .. }
+            | StmtKind::TryCatch { .. } => UNESTIMABLE,
+        }
+    }
+
+    /// Probability that `cond` holds, from statistics where possible.
+    pub fn cond_probability(&self, cond: &Expr) -> f64 {
+        match cond {
+            Expr::Lit(Value::Bool(true)) => 1.0,
+            Expr::Lit(Value::Bool(false)) => 0.0,
+            Expr::Not(inner) => 1.0 - self.cond_probability(inner),
+            Expr::Bin(op, l, r) => {
+                use minidb::BinOp::*;
+                match op {
+                    And => self.cond_probability(l) * self.cond_probability(r),
+                    Or => {
+                        let a = self.cond_probability(l);
+                        let b = self.cond_probability(r);
+                        (a + b - a * b).min(1.0)
+                    }
+                    Eq => self
+                        .field_column(l)
+                        .or_else(|| self.field_column(r))
+                        .map(|(t, i)| {
+                            let db = self.db.borrow();
+                            db.table(&t)
+                                .map(|tab| 1.0 / tab.stats().ndv(i) as f64)
+                                .unwrap_or(self.catalog.default_cond_p)
+                        })
+                        .unwrap_or(self.catalog.default_cond_p),
+                    Lt | Le | Gt | Ge => 1.0 / 3.0,
+                    Ne => 0.9,
+                    _ => self.catalog.default_cond_p,
+                }
+            }
+            _ => self.catalog.default_cond_p,
+        }
+    }
+
+    /// Trip-count estimate for a `while` loop: counted loops of the form
+    /// `while (k < N)` / `while (k <= N)` are assumed to start at 0 with
+    /// unit steps (the common shape in the workloads); anything else uses
+    /// the catalog default (§VI: "we use an approximation for the number
+    /// of loop iterations, which can be tuned").
+    fn while_iters(&self, cond: &Expr) -> f64 {
+        if let Expr::Bin(op, l, r) = cond {
+            if matches!(l.as_ref(), Expr::Var(_)) {
+                if let Expr::Lit(Value::Int(n)) = r.as_ref() {
+                    match op {
+                        minidb::BinOp::Lt => return (*n).max(0) as f64,
+                        minidb::BinOp::Le => return (*n + 1).max(0) as f64,
+                        _ => {}
+                    }
+                }
+            }
+        }
+        self.catalog.default_loop_iters
+    }
+
+    /// If `e` reads a column of a known table (`row.field`), return it.
+    fn field_column(&self, e: &Expr) -> Option<(String, usize)> {
+        let Expr::Field(_, col) = e else { return None };
+        let db = self.db.borrow();
+        for table in db.tables() {
+            if let Ok(i) = table.schema().resolve(col) {
+                return Some((table.name().to_string(), i));
+            }
+        }
+        None
+    }
+
+    /// Rough cost of an unstructured fragment: every statement charged,
+    /// loops at default trip counts.
+    fn black_box_cost(&self, stmts: &[Stmt]) -> f64 {
+        let mut total = 0.0;
+        for s in stmts {
+            total += match &s.kind {
+                StmtKind::ForEach { iter, body, .. } => {
+                    self.iter_fetch_cost(iter)
+                        + self.iter_rows(iter) * (self.black_box_cost(body) + self.catalog.cz_ns)
+                }
+                StmtKind::While { body, .. } => {
+                    self.catalog.default_loop_iters
+                        * (self.black_box_cost(body) + self.catalog.cz_ns)
+                }
+                StmtKind::If { then_branch, else_branch, cond } => {
+                    let p = self.cond_probability(cond);
+                    p * self.black_box_cost(then_branch)
+                        + (1.0 - p) * self.black_box_cost(else_branch)
+                        + self.catalog.cy_ns
+                }
+                StmtKind::TryCatch { body, handler } => {
+                    self.black_box_cost(body) + self.black_box_cost(handler)
+                }
+                _ => self.stmt_cost(s),
+            };
+        }
+        total
+    }
+}
+
+/// Recover `(table, column)` from a cache name minted by
+/// [`fir::codegen::cache_name`].
+fn parse_cache_name(cache: &str) -> Option<(String, String)> {
+    let rest = cache.strip_prefix("cache_")?;
+    let (table, col) = rest.split_once("_by_")?;
+    Some((table.to_string(), col.to_string()))
+}
+
+/// The table a prefetch source fetches, if recognizable.
+fn prefetched_table(source: &Expr) -> Option<String> {
+    match source {
+        Expr::Query(spec) => spec.plan.base_tables().first().map(|s| s.to_string()),
+        Expr::LoadAll(_) => None, // resolved through mappings by expr_cost
+        _ => None,
+    }
+}
+
+impl CostModel<RegionOp> for RegionCostModel {
+    fn cost(&self, memo: &Memo<RegionOp>, expr: MExprId, child_costs: &[f64]) -> f64 {
+        let children_sum: f64 = child_costs.iter().sum();
+        match &memo.expr(expr).op {
+            RegionOp::Leaf(stmt) => self.stmt_cost(stmt),
+            RegionOp::Seq(_) => children_sum,
+            RegionOp::Cond { cond } => {
+                let p = self.cond_probability(cond);
+                let c_pred = self.catalog.cy_ns + self.expr_cost(cond);
+                p * child_costs[0] + (1.0 - p) * child_costs[1] + c_pred
+            }
+            RegionOp::Loop { iter, .. } => {
+                let n = self.iter_rows(iter);
+                self.iter_fetch_cost(iter) + n * (child_costs[0] + self.catalog.cz_ns)
+            }
+            RegionOp::While { cond } => {
+                let per_iter = child_costs[0] + self.catalog.cz_ns + self.expr_cost(cond);
+                self.while_iters(cond) * per_iter
+            }
+            RegionOp::BlackBox(stmts) => self.black_box_cost(stmts),
+            RegionOp::Empty => 0.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use imperative::ast::QuerySpec;
+    use minidb::{Column, DataType, Schema};
+    use orm::EntityMapping;
+
+    fn fixture(net: NetworkProfile, af: f64) -> RegionCostModel {
+        let mut db = Database::new();
+        let orders = Schema::new(vec![
+            Column::new("o_id", DataType::Int),
+            Column::new("o_customer_sk", DataType::Int),
+        ]);
+        let t = db.create_table("orders", orders).unwrap();
+        t.set_primary_key("o_id").unwrap();
+        for i in 0..1000i64 {
+            t.insert(vec![Value::Int(i), Value::Int(i % 100)]).unwrap();
+        }
+        let customer = Schema::new(vec![
+            Column::new("c_customer_sk", DataType::Int),
+            Column::new("c_birth_year", DataType::Int),
+        ]);
+        let t = db.create_table("customer", customer).unwrap();
+        t.set_primary_key("c_customer_sk").unwrap();
+        for i in 0..100i64 {
+            t.insert(vec![Value::Int(i), Value::Int(1950 + (i % 40))]).unwrap();
+        }
+        db.analyze_all();
+        let mut mappings = MappingRegistry::new();
+        mappings.register(
+            EntityMapping::new("Order", "orders", "o_id").many_to_one(
+                "customer",
+                "Customer",
+                "o_customer_sk",
+            ),
+        );
+        mappings.register(EntityMapping::new("Customer", "customer", "c_customer_sk"));
+        RegionCostModel::new(
+            Rc::new(RefCell::new(db)),
+            Rc::new(FuncRegistry::with_builtins()),
+            net,
+            CostCatalog::with_af(af),
+            mappings,
+        )
+    }
+
+    #[test]
+    fn query_cost_includes_round_trip_and_transfer() {
+        let m = fixture(NetworkProfile::slow_remote(), 1.0);
+        let plan = minidb::sql::parse("select * from orders").unwrap();
+        let c = m.query_cost(&plan);
+        // ≥ RTT (250 ms) + transfer of 16 kB at 62.5 kB/s (≈ 0.26 s).
+        assert!(c >= 250e6 + 0.2e9, "got {c}");
+    }
+
+    #[test]
+    fn faster_network_means_cheaper_queries() {
+        let slow = fixture(NetworkProfile::slow_remote(), 1.0);
+        let fast = fixture(NetworkProfile::fast_local(), 1.0);
+        let plan = minidb::sql::parse("select * from orders").unwrap();
+        assert!(fast.query_cost(&plan) < slow.query_cost(&plan) / 100.0);
+    }
+
+    #[test]
+    fn prefetch_amortization_divides_cost() {
+        let m1 = fixture(NetworkProfile::slow_remote(), 1.0);
+        let m50 = fixture(NetworkProfile::slow_remote(), 50.0);
+        let stmt = Stmt::new(StmtKind::CacheByColumn {
+            cache: "cache_customer_by_c_customer_sk".into(),
+            source: Expr::Query(QuerySpec::sql("select * from customer")),
+            key_col: "c_customer_sk".into(),
+        });
+        let c1 = m1.stmt_cost(&stmt);
+        let c50 = m50.stmt_cost(&stmt);
+        assert!(c50 < c1 / 10.0, "AF=50 amortizes: {c1} vs {c50}");
+    }
+
+    #[test]
+    fn nav_costs_one_point_lookup() {
+        let m = fixture(NetworkProfile::slow_remote(), 1.0);
+        let nav = Expr::nav(Expr::var("o"), "customer");
+        let c = m.expr_cost(&nav);
+        assert!(c >= 250e6, "point lookup pays the round trip: {c}");
+        assert!(c <= 251e6, "but transfers only one row: {c}");
+    }
+
+    #[test]
+    fn iter_rows_uses_estimates() {
+        let m = fixture(NetworkProfile::fast_local(), 1.0);
+        assert_eq!(m.iter_rows(&Expr::LoadAll("Order".into())), 1000.0);
+        let q = Expr::Query(QuerySpec::sql("select * from orders where o_customer_sk = 5"));
+        assert!((m.iter_rows(&q) - 10.0).abs() < 1.0);
+        // Cache lookups estimate rows-per-key.
+        let lk = Expr::LookupCache(
+            "cache_orders_by_o_customer_sk".into(),
+            Box::new(Expr::lit(1i64)),
+        );
+        assert!((m.iter_rows(&lk) - 10.0).abs() < 1.0);
+        // Unknown variable → default.
+        assert_eq!(m.iter_rows(&Expr::var("ghost")), 1000.0);
+    }
+
+    #[test]
+    fn cond_probability_from_stats() {
+        let m = fixture(NetworkProfile::fast_local(), 1.0);
+        let eq = Expr::bin(
+            minidb::BinOp::Eq,
+            Expr::field(Expr::var("o"), "o_customer_sk"),
+            Expr::lit(5i64),
+        );
+        assert!((m.cond_probability(&eq) - 0.01).abs() < 1e-9, "1/NDV = 1/100");
+        let cmp = Expr::bin(minidb::BinOp::Gt, Expr::field(Expr::var("o"), "o_id"), Expr::lit(1i64));
+        assert!((m.cond_probability(&cmp) - 1.0 / 3.0).abs() < 1e-9);
+        assert_eq!(m.cond_probability(&Expr::lit(true)), 1.0);
+    }
+
+    #[test]
+    fn n_plus_one_loop_costs_n_lookups() {
+        // Cost of P0's loop must scale with the number of orders.
+        let m = fixture(NetworkProfile::slow_remote(), 1.0);
+        let mut memo: Memo<RegionOp> = Memo::new();
+        let body = Stmt::new(StmtKind::Let(
+            "cust".into(),
+            Expr::nav(Expr::var("o"), "customer"),
+        ));
+        let region = imperative::regions::Region::from_stmts(&[Stmt::new(StmtKind::ForEach {
+            var: "o".into(),
+            iter: Expr::LoadAll("Order".into()),
+            body: vec![body],
+        })]);
+        let root = memo.insert_tree(&crate::region_ops::region_to_optree(&region), None);
+        let best = volcano::best_plan(&memo, root, &m).unwrap();
+        // 1000 iterations × ≥250ms lookup ≈ ≥250 s.
+        assert!(best.cost >= 250e9, "got {}", best.cost);
+    }
+
+    #[test]
+    fn unknown_function_cost_is_prohibitive_not_infinite() {
+        let m = fixture(NetworkProfile::fast_local(), 1.0);
+        let stmt = Stmt::new(StmtKind::LetCall("x".into(), "mystery".into(), vec![]));
+        let c = m.stmt_cost(&stmt);
+        assert!(c >= UNESTIMABLE && c.is_finite());
+    }
+}

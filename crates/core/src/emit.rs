@@ -1,0 +1,176 @@
+//! Emission of the winning plan back into an imperative function.
+
+use crate::region_ops::{optree_to_stmts, RegionOp};
+use imperative::ast::{Function, Stmt, StmtKind};
+use volcano::OpTree;
+
+/// Materialize the extracted plan as a function (lines renumbered for
+/// display).
+pub fn emit_function(name: &str, params: &[String], tree: &OpTree<RegionOp>) -> Function {
+    let stmts = optree_to_stmts(tree);
+    let mut f = Function::new(name.to_string(), params.to_vec(), stmts);
+    f.number_lines(2);
+    f
+}
+
+/// Heuristic feature tags describing what a rewritten program does; used
+/// by experiments to report *which* alternative won (e.g. "sql-join" for
+/// P1-shaped programs, "prefetch" for P2-shaped ones).
+pub fn describe(f: &Function) -> Vec<&'static str> {
+    let mut tags = Vec::new();
+    let mut has_cache = false;
+    let mut has_join = false;
+    let mut has_agg = false;
+    let mut has_nav = false;
+    let mut has_param_query = false;
+    visit(&f.body, &mut |s: &Stmt| {
+        if matches!(s.kind, StmtKind::CacheByColumn { .. }) {
+            has_cache = true;
+        }
+        for e in stmt_exprs(s) {
+            expr_features(e, &mut has_join, &mut has_agg, &mut has_nav, &mut has_param_query);
+        }
+    });
+    if has_cache {
+        tags.push("prefetch");
+    }
+    if has_join {
+        tags.push("sql-join");
+    }
+    if has_agg {
+        tags.push("sql-agg");
+    }
+    if has_nav {
+        tags.push("orm-navigation");
+    }
+    if has_param_query {
+        tags.push("iterative-query");
+    }
+    if tags.is_empty() {
+        tags.push("plain");
+    }
+    tags
+}
+
+fn visit(stmts: &[Stmt], f: &mut impl FnMut(&Stmt)) {
+    for s in stmts {
+        f(s);
+        for list in s.children() {
+            visit(list, f);
+        }
+    }
+}
+
+fn stmt_exprs(s: &Stmt) -> Vec<&imperative::ast::Expr> {
+    use imperative::ast::StmtKind::*;
+    match &s.kind {
+        Let(_, e) | Add(_, e) | Print(e) | Return(Some(e)) => vec![e],
+        Put(_, k, v) => vec![k, v],
+        ForEach { iter, .. } => vec![iter],
+        While { cond, .. } | If { cond, .. } => vec![cond],
+        CacheByColumn { source, .. } => vec![source],
+        UpdateQuery { value, key, .. } => vec![value, key],
+        LetCall(_, _, args) => args.iter().collect(),
+        _ => Vec::new(),
+    }
+}
+
+fn expr_features(
+    e: &imperative::ast::Expr,
+    has_join: &mut bool,
+    has_agg: &mut bool,
+    has_nav: &mut bool,
+    has_param_query: &mut bool,
+) {
+    use imperative::ast::Expr;
+    match e {
+        Expr::Query(spec) | Expr::ScalarQuery(spec) => {
+            spec.plan.walk(&mut |p| match p {
+                minidb::LogicalPlan::Join { .. } => *has_join = true,
+                minidb::LogicalPlan::Aggregate { .. } => *has_agg = true,
+                _ => {}
+            });
+            if !spec.binds.is_empty() {
+                *has_param_query = true;
+            }
+            for (_, b) in &spec.binds {
+                expr_features(b, has_join, has_agg, has_nav, has_param_query);
+            }
+        }
+        Expr::Nav(b, _) => {
+            *has_nav = true;
+            expr_features(b, has_join, has_agg, has_nav, has_param_query);
+        }
+        Expr::Bin(_, l, r) | Expr::MapGet(l, r) => {
+            expr_features(l, has_join, has_agg, has_nav, has_param_query);
+            expr_features(r, has_join, has_agg, has_nav, has_param_query);
+        }
+        Expr::Not(i) | Expr::Len(i) | Expr::Field(i, _) | Expr::LookupCache(_, i) => {
+            expr_features(i, has_join, has_agg, has_nav, has_param_query)
+        }
+        Expr::Call(_, args) => {
+            for a in args {
+                expr_features(a, has_join, has_agg, has_nav, has_param_query);
+            }
+        }
+        _ => {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use imperative::ast::{Expr, QuerySpec};
+
+    #[test]
+    fn describe_tags_prefetch_and_join() {
+        let f = Function::new(
+            "p",
+            vec![],
+            vec![
+                Stmt::new(StmtKind::CacheByColumn {
+                    cache: "c".into(),
+                    source: Expr::Query(QuerySpec::sql("select * from customer")),
+                    key_col: "k".into(),
+                }),
+                Stmt::new(StmtKind::Let(
+                    "j".into(),
+                    Expr::Query(QuerySpec::sql(
+                        "select * from orders o join customer c on o.a = c.b",
+                    )),
+                )),
+            ],
+        );
+        let tags = describe(&f);
+        assert!(tags.contains(&"prefetch"));
+        assert!(tags.contains(&"sql-join"));
+    }
+
+    #[test]
+    fn describe_tags_nav_and_iterative() {
+        let f = Function::new(
+            "p",
+            vec![],
+            vec![Stmt::new(StmtKind::ForEach {
+                var: "o".into(),
+                iter: Expr::LoadAll("Order".into()),
+                body: vec![Stmt::new(StmtKind::Let(
+                    "c".into(),
+                    Expr::nav(Expr::var("o"), "customer"),
+                ))],
+            })],
+        );
+        let tags = describe(&f);
+        assert!(tags.contains(&"orm-navigation"));
+    }
+
+    #[test]
+    fn describe_plain_program() {
+        let f = Function::new(
+            "p",
+            vec![],
+            vec![Stmt::new(StmtKind::Print(Expr::lit(1i64)))],
+        );
+        assert_eq!(describe(&f), vec!["plain"]);
+    }
+}

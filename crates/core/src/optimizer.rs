@@ -1,0 +1,357 @@
+//! The COBRA optimizer: Region DAG construction, alternative generation,
+//! least-cost extraction, program emission.
+
+use crate::catalog::CostCatalog;
+use crate::cost::RegionCostModel;
+use crate::emit;
+use crate::region_ops::{region_to_optree, RegionOp};
+use crate::transforms;
+use fir::build::FirAlternative;
+use imperative::ast::{Expr, Function, Program, Stmt, StmtKind};
+use imperative::regions::Region;
+use minidb::{Database, DbError, DbResult, FuncRegistry, LogicalPlan};
+use netsim::NetworkProfile;
+use orm::MappingRegistry;
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+use volcano::{GroupId, Memo};
+
+/// Bound on F-IR alternatives explored per loop region.
+const MAX_LOOP_ALTERNATIVES: usize = 64;
+
+/// The result of optimizing a program.
+#[derive(Debug, Clone)]
+pub struct Optimized {
+    /// The least-cost program (entry function; helpers are unchanged).
+    pub program: Function,
+    /// Estimated cost of the chosen program, ns.
+    pub est_cost_ns: f64,
+    /// Estimated cost of the *original* program under the same model, ns.
+    pub original_cost_ns: f64,
+    /// Number of complete (acyclic) programs representable in the DAG.
+    pub alternatives: u64,
+    /// Regions with more than one alternative (cost-based choice points;
+    /// counts self-referential alternatives that `alternatives` cannot).
+    pub choice_points: usize,
+    /// Live groups (OR nodes) in the Region DAG.
+    pub groups: usize,
+    /// M-exprs (AND nodes) in the Region DAG.
+    pub exprs: usize,
+    /// Feature tags of the chosen program (see [`emit::describe`]).
+    pub tags: Vec<&'static str>,
+}
+
+/// The COBRA optimizer (Figure 1: program + transformations + cost model
+/// → least-cost equivalent program).
+pub struct Cobra {
+    db: Rc<RefCell<Database>>,
+    funcs: Rc<FuncRegistry>,
+    net: NetworkProfile,
+    catalog: CostCatalog,
+    mappings: MappingRegistry,
+}
+
+impl Cobra {
+    /// Create an optimizer against a database, network profile, cost
+    /// catalog and ORM mapping registry.
+    pub fn new(
+        db: Rc<RefCell<Database>>,
+        net: NetworkProfile,
+        catalog: CostCatalog,
+        mappings: MappingRegistry,
+    ) -> Cobra {
+        Cobra {
+            db,
+            funcs: Rc::new(FuncRegistry::with_builtins()),
+            net,
+            catalog,
+            mappings,
+        }
+    }
+
+    /// Use a custom function registry (needed when programs call
+    /// application-specific pure functions like `myFunc`).
+    pub fn with_funcs(mut self, funcs: Rc<FuncRegistry>) -> Cobra {
+        self.funcs = funcs;
+        self
+    }
+
+    /// The network profile this optimizer costs against.
+    pub fn network(&self) -> &NetworkProfile {
+        &self.net
+    }
+
+    /// The cost catalog.
+    pub fn catalog(&self) -> &CostCatalog {
+        &self.catalog
+    }
+
+    /// Optimize a single function (no callees).
+    pub fn optimize(&self, f: &Function) -> DbResult<Optimized> {
+        self.optimize_program(&Program::single(f.clone()))
+    }
+
+    /// Optimize a program's entry function: builds the Region DAG over the
+    /// original (plus the inlined variant when procedure calls can be
+    /// inlined), generates alternatives for every loop/statement region,
+    /// and extracts the least-cost program.
+    pub fn optimize_program(&self, program: &Program) -> DbResult<Optimized> {
+        let entry = program.entry();
+        let mut memo: Memo<RegionOp> = Memo::new();
+        let mut var_plans: HashMap<String, LogicalPlan> = HashMap::new();
+
+        // Costs of callee functions (plain, no transformation) for
+        // `LetCall` statements in non-inlined variants.
+        let fn_costs = self.callee_costs(program);
+
+        // Variant 0: the original entry function.
+        let live0: Vec<String> = entry.params.clone();
+        let mut builder = DagBuilder {
+            memo: &mut memo,
+            mappings: &self.mappings,
+            var_plans: &mut var_plans,
+        };
+        let region = Region::from_function(entry);
+        let root = builder.insert_region(&region, &live0, None, None);
+
+        // Variant 1: the inlined entry, if calls can be inlined (pattern D).
+        if let Some(inlined) = transforms::inline_calls(program) {
+            let region = Region::from_function(&inlined);
+            builder.insert_region(&region, &live0, None, Some(root));
+        }
+
+        // Cost-based extraction.
+        let mut model = RegionCostModel::new(
+            self.db.clone(),
+            self.funcs.clone(),
+            self.net.clone(),
+            self.catalog.clone(),
+            self.mappings.clone(),
+        );
+        model.set_var_plans(var_plans);
+        model.set_fn_costs(fn_costs);
+        let best = volcano::best_plan(&memo, root, &model)
+            .ok_or_else(|| DbError::Invalid("no plan for program".to_string()))?;
+
+        let program_out = emit::emit_function(&entry.name, &entry.params, &best.tree);
+        let tags = emit::describe(&program_out);
+        let original_cost_ns = self.cost_of_with(&model, entry);
+
+        let choice_points = (0..memo.num_groups())
+            .filter(|&g| memo.find(g) == g && memo.group(g).len() > 1)
+            .count();
+        Ok(Optimized {
+            program: program_out,
+            est_cost_ns: best.cost,
+            original_cost_ns,
+            alternatives: volcano::count_plans(&memo, root),
+            choice_points,
+            groups: memo.num_live_groups(),
+            exprs: memo.num_exprs(),
+            tags,
+        })
+    }
+
+    /// Cost a function as-is (no transformations) under this optimizer's
+    /// model — used for reporting and for the experiments' cost columns.
+    pub fn cost_of(&self, f: &Function) -> f64 {
+        let mut model = RegionCostModel::new(
+            self.db.clone(),
+            self.funcs.clone(),
+            self.net.clone(),
+            self.catalog.clone(),
+            self.mappings.clone(),
+        );
+        let mut var_plans = HashMap::new();
+        transforms::collect_var_plans(&f.body, &self.mappings, &mut var_plans);
+        model.set_var_plans(var_plans);
+        self.cost_of_with(&model, f)
+    }
+
+    fn cost_of_with(&self, model: &RegionCostModel, f: &Function) -> f64 {
+        let mut memo: Memo<RegionOp> = Memo::new();
+        let region = Region::from_function(f);
+        let root = memo.insert_tree(&region_to_optree(&region), None);
+        volcano::best_plan(&memo, root, model)
+            .map(|b| b.cost)
+            .unwrap_or(f64::INFINITY)
+    }
+
+    /// Plain costs of every non-entry function (callee bodies), used for
+    /// `LetCall` statements.
+    fn callee_costs(&self, program: &Program) -> HashMap<String, f64> {
+        let mut model = RegionCostModel::new(
+            self.db.clone(),
+            self.funcs.clone(),
+            self.net.clone(),
+            self.catalog.clone(),
+            self.mappings.clone(),
+        );
+        let mut var_plans = HashMap::new();
+        for f in &program.functions {
+            transforms::collect_var_plans(&f.body, &self.mappings, &mut var_plans);
+        }
+        model.set_var_plans(var_plans);
+        let mut out = HashMap::new();
+        for f in program.functions.iter().skip(1) {
+            out.insert(f.name.clone(), self.cost_of_with(&model, f));
+        }
+        out
+    }
+}
+
+/// Builds the Region DAG: inserts region trees and registers alternatives
+/// from the F-IR rules (loops) and the statement-level prefetch rule.
+struct DagBuilder<'a> {
+    memo: &'a mut Memo<RegionOp>,
+    mappings: &'a MappingRegistry,
+    var_plans: &'a mut HashMap<String, LogicalPlan>,
+}
+
+impl<'a> DagBuilder<'a> {
+    /// Insert `region` and its generated alternatives.
+    ///
+    /// * `live_after` — variables live after this region,
+    /// * `prev_sibling` — the statement immediately preceding this region
+    ///   in the enclosing sequence (gates rule T1's empty-init condition),
+    /// * `into` — when given, the region's expressions join this existing
+    ///   group (used to register whole-program variants).
+    fn insert_region(
+        &mut self,
+        region: &Region,
+        live_after: &[String],
+        prev_sibling: Option<&Stmt>,
+        into: Option<GroupId>,
+    ) -> GroupId {
+        use imperative::regions::RegionKind;
+        match &region.kind {
+            RegionKind::Block(stmt) => {
+                let g = self.memo.insert_expr(RegionOp::Leaf(stmt.clone()), vec![], into);
+                self.register_var_plan(stmt);
+                // Statement-level prefetch alternative (patterns E/F).
+                if let Some(alt_stmts) = transforms::prefetch_stmt_alternative(stmt) {
+                    let tree = region_to_optree(&Region::from_stmts(&alt_stmts));
+                    self.memo.insert_tree(&tree, Some(g));
+                }
+                g
+            }
+            RegionKind::Seq(children) => {
+                let mut child_groups = Vec::with_capacity(children.len());
+                for (i, child) in children.iter().enumerate() {
+                    // Live set for child i: everything read by children
+                    // after it, plus the incoming live set.
+                    let mut live: Vec<String> = live_after.to_vec();
+                    let mut following = Vec::new();
+                    for later in &children[i + 1..] {
+                        following.extend(later.to_stmts());
+                    }
+                    for v in transforms::reads_of(&following) {
+                        if !live.contains(&v) {
+                            live.push(v);
+                        }
+                    }
+                    let prev = if i > 0 { last_stmt(&children[i - 1]) } else { None };
+                    child_groups.push(self.insert_region(child, &live, prev.as_ref(), None));
+                }
+                self.memo
+                    .insert_expr(RegionOp::Seq(children.len()), child_groups, into)
+            }
+            RegionKind::Cond { cond, then_r, else_r } => {
+                let t = self.insert_region(then_r, live_after, None, None);
+                let e = self.insert_region(else_r, live_after, None, None);
+                self.memo
+                    .insert_expr(RegionOp::Cond { cond: cond.clone() }, vec![t, e], into)
+            }
+            RegionKind::Loop { var, iter, body } => {
+                // Body sub-regions get their own groups (and alternatives:
+                // inner loops of non-foldable outer loops — pattern A).
+                let mut live: Vec<String> = live_after.to_vec();
+                for v in transforms::reads_of(&body.to_stmts()) {
+                    if !live.contains(&v) {
+                        live.push(v);
+                    }
+                }
+                let body_g = self.insert_region(body, &live, None, None);
+                let g = self.memo.insert_expr(
+                    RegionOp::Loop { var: var.clone(), iter: iter.clone() },
+                    vec![body_g],
+                    into,
+                );
+                self.loop_alternatives(var, iter, &body.to_stmts(), live_after, prev_sibling, g);
+                g
+            }
+            RegionKind::WhileLoop { cond, body } => {
+                let body_g = self.insert_region(body, live_after, None, None);
+                self.memo.insert_expr(
+                    RegionOp::While { cond: cond.clone() },
+                    vec![body_g],
+                    into,
+                )
+            }
+            RegionKind::BlackBox(stmts) => {
+                self.memo
+                    .insert_expr(RegionOp::BlackBox(stmts.clone()), vec![], into)
+            }
+            RegionKind::Empty => self.memo.insert_expr(RegionOp::Empty, vec![], into),
+        }
+    }
+
+    /// Generate and register F-IR alternatives for a loop region.
+    fn loop_alternatives(
+        &mut self,
+        var: &str,
+        iter: &Expr,
+        body: &[Stmt],
+        live_after: &[String],
+        prev_sibling: Option<&Stmt>,
+        group: GroupId,
+    ) {
+        let Some(base) = fir::build::loop_to_fold(var, iter, body, self.mappings, Some(live_after))
+        else {
+            return;
+        };
+        for alt in fir::rules::expand_alternatives(base, MAX_LOOP_ALTERNATIVES) {
+            if !self.t1_gate_ok(&alt, prev_sibling) {
+                continue;
+            }
+            let Some(stmts) = fir::codegen::generate(&alt) else { continue };
+            for s in &stmts {
+                self.register_var_plan(s);
+            }
+            transforms::collect_var_plans(&stmts, self.mappings, self.var_plans);
+            let tree = region_to_optree(&Region::from_stmts(&stmts));
+            self.memo.insert_tree(&tree, Some(group));
+        }
+    }
+
+    /// Rule T1's validity gate: `fold(insert, {}, Q) = Q` requires the
+    /// accumulator to be empty at loop entry — satisfied when the previous
+    /// statement in the sequence freshly created it.
+    fn t1_gate_ok(&self, alt: &FirAlternative, prev_sibling: Option<&Stmt>) -> bool {
+        let Some(v) = &alt.requires_empty_init else { return true };
+        match prev_sibling.map(|s| &s.kind) {
+            Some(StmtKind::NewCollection(p)) | Some(StmtKind::NewMap(p)) => p == v,
+            _ => false,
+        }
+    }
+
+    fn register_var_plan(&mut self, stmt: &Stmt) {
+        match &stmt.kind {
+            StmtKind::Let(v, Expr::Query(spec)) => {
+                self.var_plans.insert(v.clone(), spec.plan.clone());
+            }
+            StmtKind::Let(v, Expr::LoadAll(entity)) => {
+                if let Some(m) = self.mappings.entity(entity) {
+                    self.var_plans.insert(v.clone(), LogicalPlan::scan(&m.table));
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+/// The last simple statement of a region, for T1 gating.
+fn last_stmt(region: &Region) -> Option<Stmt> {
+    region.to_stmts().into_iter().last()
+}

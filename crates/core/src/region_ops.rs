@@ -1,0 +1,175 @@
+//! Region operators: the AND-node vocabulary of the Region DAG (§IV-B).
+//!
+//! OR nodes (volcano groups) represent "all alternative ways to perform
+//! the computation in a region"; AND nodes are these operators combining
+//! sub-regions, mirroring Figure 6: `seq`, `cond`, `loop`, plus leaf basic
+//! blocks and black boxes for unstructured fragments.
+
+use imperative::ast::{Expr, Stmt, StmtKind};
+use imperative::regions::{Region, RegionKind};
+use volcano::OpTree;
+
+/// One region operator.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum RegionOp {
+    /// Sequential composition of `n` sub-regions.
+    Seq(usize),
+    /// Conditional: children are `[then, else]`.
+    Cond { cond: Expr },
+    /// Cursor loop: the single child is the body region.
+    Loop { var: String, iter: Expr },
+    /// While loop: the single child is the body region.
+    While { cond: Expr },
+    /// A basic block — one simple statement (footnote 4 of the paper).
+    Leaf(Stmt),
+    /// An unstructured fragment kept verbatim (§IV-B).
+    BlackBox(Vec<Stmt>),
+    /// The empty region.
+    Empty,
+}
+
+/// Convert a region tree into an operator tree insertable into the memo.
+pub fn region_to_optree(region: &Region) -> OpTree<RegionOp> {
+    match &region.kind {
+        RegionKind::Block(stmt) => OpTree::leaf(RegionOp::Leaf(stmt.clone())),
+        RegionKind::Seq(children) => OpTree::node(
+            RegionOp::Seq(children.len()),
+            children.iter().map(region_to_optree).collect(),
+        ),
+        RegionKind::Cond { cond, then_r, else_r } => OpTree::node(
+            RegionOp::Cond { cond: cond.clone() },
+            vec![region_to_optree(then_r), region_to_optree(else_r)],
+        ),
+        RegionKind::Loop { var, iter, body } => OpTree::node(
+            RegionOp::Loop { var: var.clone(), iter: iter.clone() },
+            vec![region_to_optree(body)],
+        ),
+        RegionKind::WhileLoop { cond, body } => OpTree::node(
+            RegionOp::While { cond: cond.clone() },
+            vec![region_to_optree(body)],
+        ),
+        RegionKind::BlackBox(stmts) => OpTree::leaf(RegionOp::BlackBox(stmts.clone())),
+        RegionKind::Empty => OpTree::leaf(RegionOp::Empty),
+    }
+}
+
+/// Reconstruct statements from an extracted operator tree (all children
+/// are inline trees after plan extraction).
+pub fn optree_to_stmts(tree: &OpTree<RegionOp>) -> Vec<Stmt> {
+    fn child_stmts(tree: &OpTree<RegionOp>, i: usize) -> Vec<Stmt> {
+        match &tree.children[i] {
+            volcano::Child::Tree(t) => optree_to_stmts(t),
+            volcano::Child::Group(g) => {
+                unreachable!("extracted plans have no group references (g{g})")
+            }
+        }
+    }
+    match &tree.op {
+        RegionOp::Leaf(stmt) => vec![stmt.clone()],
+        RegionOp::Seq(n) => (0..*n).flat_map(|i| child_stmts(tree, i)).collect(),
+        RegionOp::Cond { cond } => vec![Stmt::new(StmtKind::If {
+            cond: cond.clone(),
+            then_branch: child_stmts(tree, 0),
+            else_branch: child_stmts(tree, 1),
+        })],
+        RegionOp::Loop { var, iter } => vec![Stmt::new(StmtKind::ForEach {
+            var: var.clone(),
+            iter: iter.clone(),
+            body: child_stmts(tree, 0),
+        })],
+        RegionOp::While { cond } => vec![Stmt::new(StmtKind::While {
+            cond: cond.clone(),
+            body: child_stmts(tree, 0),
+        })],
+        RegionOp::BlackBox(stmts) => stmts.clone(),
+        RegionOp::Empty => Vec::new(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use imperative::regions::Region;
+
+    fn p0_like() -> Vec<Stmt> {
+        vec![
+            Stmt::new(StmtKind::NewCollection("result".into())),
+            Stmt::new(StmtKind::ForEach {
+                var: "o".into(),
+                iter: Expr::LoadAll("Order".into()),
+                body: vec![
+                    Stmt::new(StmtKind::Let(
+                        "cust".into(),
+                        Expr::nav(Expr::var("o"), "customer"),
+                    )),
+                    Stmt::new(StmtKind::Add("result".into(), Expr::var("cust"))),
+                ],
+            }),
+        ]
+    }
+
+    #[test]
+    fn region_round_trips_through_optree() {
+        let stmts = p0_like();
+        let region = Region::from_stmts(&stmts);
+        let tree = region_to_optree(&region);
+        let back = optree_to_stmts(&tree);
+        assert_eq!(back, stmts);
+    }
+
+    #[test]
+    fn conditional_and_while_round_trip() {
+        let stmts = vec![Stmt::new(StmtKind::If {
+            cond: Expr::lit(true),
+            then_branch: vec![Stmt::new(StmtKind::While {
+                cond: Expr::lit(false),
+                body: vec![Stmt::new(StmtKind::Break)],
+            })],
+            else_branch: vec![],
+        })];
+        let region = Region::from_stmts(&stmts);
+        let back = optree_to_stmts(&region_to_optree(&region));
+        assert_eq!(back, stmts);
+    }
+
+    #[test]
+    fn black_box_round_trips_verbatim() {
+        let stmts = vec![Stmt::new(StmtKind::TryCatch {
+            body: vec![Stmt::new(StmtKind::Print(Expr::lit(1i64)))],
+            handler: vec![Stmt::new(StmtKind::Print(Expr::lit(2i64)))],
+        })];
+        let region = Region::from_stmts(&stmts);
+        let tree = region_to_optree(&region);
+        assert!(matches!(tree.op, RegionOp::BlackBox(_)));
+        assert_eq!(optree_to_stmts(&tree), stmts);
+    }
+
+    #[test]
+    fn memo_shares_identical_leaves_across_alternatives() {
+        // Figure 6c: P0.B2 is represented once although three programs use
+        // it.
+        let mut memo: volcano::Memo<RegionOp> = volcano::Memo::new();
+        let stmts = p0_like();
+        let region = Region::from_stmts(&stmts);
+        let root = memo.insert_tree(&region_to_optree(&region), None);
+        // An alternative with the same first block but a different loop.
+        let alt_stmts = vec![
+            stmts[0].clone(),
+            Stmt::new(StmtKind::Let(
+                "result".into(),
+                Expr::Query(imperative::ast::QuerySpec::sql("select * from orders")),
+            )),
+        ];
+        let alt = Region::from_stmts(&alt_stmts);
+        memo.insert_tree(&region_to_optree(&alt), Some(root));
+        let leaf_count = memo
+            .expr_ids()
+            .filter(|&i| {
+                matches!(memo.expr(i).op, RegionOp::Leaf(ref s)
+                    if matches!(s.kind, StmtKind::NewCollection(_)))
+            })
+            .count();
+        assert_eq!(leaf_count, 1, "shared basic block stored once");
+        assert_eq!(memo.group(root).len(), 2);
+    }
+}

@@ -1,0 +1,567 @@
+//! Program transformations beyond the F-IR loop rules:
+//! statement-level prefetching (patterns E/F) and procedure inlining
+//! (pattern D), plus the shared liveness/var-plan utilities.
+
+use fir::codegen::cache_name;
+use imperative::ast::{Expr, Function, Program, QuerySpec, Stmt, StmtKind};
+use minidb::{BinOp, LogicalPlan, ScalarExpr};
+use std::collections::{HashMap, HashSet};
+
+/// Collect variables read anywhere in `stmts` (including nested bodies).
+pub fn reads_of(stmts: &[Stmt]) -> HashSet<String> {
+    let mut out = HashSet::new();
+    fn walk(stmts: &[Stmt], out: &mut HashSet<String>) {
+        for s in stmts {
+            let mut vars = Vec::new();
+            match &s.kind {
+                StmtKind::Let(_, e) | StmtKind::Add(_, e) | StmtKind::Print(e) => {
+                    e.free_vars(&mut vars)
+                }
+                StmtKind::Put(_, k, v) => {
+                    k.free_vars(&mut vars);
+                    v.free_vars(&mut vars);
+                }
+                StmtKind::Return(Some(e)) => e.free_vars(&mut vars),
+                StmtKind::ForEach { iter, body, .. } => {
+                    iter.free_vars(&mut vars);
+                    walk(body, out);
+                }
+                StmtKind::While { cond, body } => {
+                    cond.free_vars(&mut vars);
+                    walk(body, out);
+                }
+                StmtKind::If { cond, then_branch, else_branch } => {
+                    cond.free_vars(&mut vars);
+                    walk(then_branch, out);
+                    walk(else_branch, out);
+                }
+                StmtKind::CacheByColumn { source, .. } => source.free_vars(&mut vars),
+                StmtKind::UpdateQuery { value, key, .. } => {
+                    value.free_vars(&mut vars);
+                    key.free_vars(&mut vars);
+                }
+                StmtKind::LetCall(_, _, args) => {
+                    for a in args {
+                        a.free_vars(&mut vars);
+                    }
+                }
+                StmtKind::TryCatch { body, handler } => {
+                    walk(body, out);
+                    walk(handler, out);
+                }
+                _ => {}
+            }
+            out.extend(vars);
+        }
+    }
+    walk(stmts, &mut out);
+    out
+}
+
+/// Gather `variable → producing plan` bindings from `Let(v, query)` and
+/// `Let(v, loadAll)` statements — the cost model uses them to estimate
+/// trip counts of loops over collection variables.
+pub fn collect_var_plans(
+    stmts: &[Stmt],
+    mappings: &orm::MappingRegistry,
+    out: &mut HashMap<String, LogicalPlan>,
+) {
+    for s in stmts {
+        match &s.kind {
+            StmtKind::Let(v, Expr::Query(spec)) => {
+                out.insert(v.clone(), spec.plan.clone());
+            }
+            StmtKind::Let(v, Expr::LoadAll(entity)) => {
+                if let Some(m) = mappings.entity(entity) {
+                    out.insert(v.clone(), LogicalPlan::scan(&m.table));
+                }
+            }
+            StmtKind::ForEach { body, .. } | StmtKind::While { body, .. } => {
+                collect_var_plans(body, mappings, out)
+            }
+            StmtKind::If { then_branch, else_branch, .. } => {
+                collect_var_plans(then_branch, mappings, out);
+                collect_var_plans(else_branch, mappings, out);
+            }
+            StmtKind::TryCatch { body, handler } => {
+                collect_var_plans(body, mappings, out);
+                collect_var_plans(handler, mappings, out);
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Statement-level prefetch alternative (patterns E/F): a point/filtered
+/// query `v = executeQuery(σ_{A=key}(R))` can instead probe a client-side
+/// cache of the whole relation:
+///
+/// ```text
+/// cache_R_by_A = Utils.cacheByColumn(executeQuery("select * from R"), A)
+/// v = Utils.lookupCache(cache_R_by_A, key)
+/// ```
+///
+/// The projection (if any) is dropped — the client reads only the fields
+/// it needs. Returns `None` when the statement has no such shape.
+pub fn prefetch_stmt_alternative(stmt: &Stmt) -> Option<Vec<Stmt>> {
+    let StmtKind::Let(v, Expr::Query(spec)) = &stmt.kind else { return None };
+    // Peel a projection; then require σ_{A = key}(Scan R).
+    let mut plan = &spec.plan;
+    if let LogicalPlan::Project { input, .. } = plan {
+        plan = input;
+    }
+    let LogicalPlan::Select { input, pred } = plan else { return None };
+    let LogicalPlan::Scan { table, .. } = &**input else { return None };
+    let ScalarExpr::Bin(BinOp::Eq, l, r) = pred else { return None };
+    let (col, key) = match (&**l, &**r) {
+        (ScalarExpr::Col(c), k) => (c, k),
+        (k, ScalarExpr::Col(c)) => (c, k),
+        _ => return None,
+    };
+    let key_expr = match key {
+        ScalarExpr::Lit(value) => Expr::Lit(value.clone()),
+        ScalarExpr::Param(p) => spec
+            .binds
+            .iter()
+            .find(|(n, _)| n == p)
+            .map(|(_, e)| e.clone())?,
+        _ => return None,
+    };
+    let cache = cache_name(table, &col.name);
+    Some(vec![
+        Stmt::new(StmtKind::CacheByColumn {
+            cache: cache.clone(),
+            source: Expr::Query(QuerySpec::of(LogicalPlan::scan(table))),
+            key_col: col.name.clone(),
+        }),
+        Stmt::new(StmtKind::Let(
+            v.clone(),
+            Expr::LookupCache(cache, Box::new(key_expr)),
+        )),
+    ])
+}
+
+/// Inline every `LetCall` in the entry function whose callee is a plain
+/// function of the program (single trailing `return`, not recursive).
+/// Returns `None` when there is nothing to inline or some call cannot be
+/// inlined safely.
+///
+/// Inlining is the enabling transformation for pattern D ("function that
+/// is called inside a loop can be rewritten using SQL"): once the callee
+/// body is in the loop, the F-IR rules see the whole computation.
+pub fn inline_calls(program: &Program) -> Option<Function> {
+    let entry = program.entry();
+    let mut counter = 0usize;
+    let body = inline_in(&entry.body, program, &entry.name, &mut counter)?;
+    if counter == 0 {
+        return None;
+    }
+    let mut f = Function::new(entry.name.clone(), entry.params.clone(), body);
+    f.number_lines(2);
+    Some(f)
+}
+
+fn inline_in(
+    stmts: &[Stmt],
+    program: &Program,
+    caller: &str,
+    counter: &mut usize,
+) -> Option<Vec<Stmt>> {
+    let mut out = Vec::with_capacity(stmts.len());
+    for s in stmts {
+        match &s.kind {
+            StmtKind::LetCall(target, fname, args) => {
+                if fname == caller {
+                    return None; // recursion: do not inline
+                }
+                let callee = program.function(fname)?;
+                let expanded = inline_one(callee, target, args, *counter)?;
+                *counter += 1;
+                // Callee bodies may call further down; expand recursively.
+                let expanded = inline_in(&expanded, program, caller, counter)?;
+                out.extend(expanded);
+            }
+            StmtKind::ForEach { var, iter, body } => {
+                out.push(Stmt::at(
+                    s.line,
+                    StmtKind::ForEach {
+                        var: var.clone(),
+                        iter: iter.clone(),
+                        body: inline_in(body, program, caller, counter)?,
+                    },
+                ));
+            }
+            StmtKind::While { cond, body } => {
+                out.push(Stmt::at(
+                    s.line,
+                    StmtKind::While {
+                        cond: cond.clone(),
+                        body: inline_in(body, program, caller, counter)?,
+                    },
+                ));
+            }
+            StmtKind::If { cond, then_branch, else_branch } => {
+                out.push(Stmt::at(
+                    s.line,
+                    StmtKind::If {
+                        cond: cond.clone(),
+                        then_branch: inline_in(then_branch, program, caller, counter)?,
+                        else_branch: inline_in(else_branch, program, caller, counter)?,
+                    },
+                ));
+            }
+            _ => out.push(s.clone()),
+        }
+    }
+    Some(out)
+}
+
+/// Inline one call: substitute arguments for parameters, α-rename callee
+/// locals, and turn the trailing `return e` into `target = e`.
+fn inline_one(
+    callee: &Function,
+    target: &str,
+    args: &[Expr],
+    instance: usize,
+) -> Option<Vec<Stmt>> {
+    if callee.params.len() != args.len() {
+        return None;
+    }
+    let Some((last, init)) = callee.body.split_last() else { return None };
+    let StmtKind::Return(Some(ret)) = &last.kind else { return None };
+    // No other returns / no try-catch anywhere in the body.
+    fn clean(stmts: &[Stmt]) -> bool {
+        stmts.iter().all(|s| match &s.kind {
+            StmtKind::Return(_) | StmtKind::TryCatch { .. } => false,
+            _ => s.children().iter().all(|c| clean(c)),
+        })
+    }
+    if !clean(init) {
+        return None;
+    }
+
+    // Substitution: params → args; locals → fresh names.
+    let mut subst: HashMap<String, Expr> = HashMap::new();
+    for (p, a) in callee.params.iter().zip(args) {
+        subst.insert(p.clone(), a.clone());
+    }
+    let mut locals = HashSet::new();
+    collect_locals(&callee.body, &mut locals);
+    for l in &locals {
+        if !subst.contains_key(l) {
+            subst.insert(
+                l.clone(),
+                Expr::var(format!("{}_{}_{}", callee.name, instance, l)),
+            );
+        }
+    }
+
+    let mut out = rewrite_stmts(init, &subst)?;
+    out.push(Stmt::new(StmtKind::Let(
+        target.to_string(),
+        rewrite_expr(ret, &subst)?,
+    )));
+    Some(out)
+}
+
+fn collect_locals(stmts: &[Stmt], out: &mut HashSet<String>) {
+    for s in stmts {
+        if let Some(v) = s.updated_var() {
+            out.insert(v.to_string());
+        }
+        if let StmtKind::ForEach { var, .. } = &s.kind {
+            out.insert(var.clone());
+        }
+        for list in s.children() {
+            collect_locals(list, out);
+        }
+    }
+}
+
+/// Rename/substitute variables in an expression. Substituting a variable
+/// that is *assigned* requires the substitute to be a variable.
+fn rewrite_expr(e: &Expr, subst: &HashMap<String, Expr>) -> Option<Expr> {
+    Some(match e {
+        Expr::Var(v) => match subst.get(v) {
+            Some(r) => r.clone(),
+            None => e.clone(),
+        },
+        Expr::Lit(_) | Expr::LoadAll(_) => e.clone(),
+        Expr::Bin(op, l, r) => {
+            Expr::bin(*op, rewrite_expr(l, subst)?, rewrite_expr(r, subst)?)
+        }
+        Expr::Not(i) => Expr::Not(Box::new(rewrite_expr(i, subst)?)),
+        Expr::Field(b, f) => Expr::field(rewrite_expr(b, subst)?, f.clone()),
+        Expr::Nav(b, f) => Expr::nav(rewrite_expr(b, subst)?, f.clone()),
+        Expr::Call(f, args) => Expr::Call(
+            f.clone(),
+            args.iter()
+                .map(|a| rewrite_expr(a, subst))
+                .collect::<Option<Vec<_>>>()?,
+        ),
+        Expr::Query(spec) => Expr::Query(rewrite_spec(spec, subst)?),
+        Expr::ScalarQuery(spec) => Expr::ScalarQuery(rewrite_spec(spec, subst)?),
+        Expr::LookupCache(c, k) => {
+            Expr::LookupCache(c.clone(), Box::new(rewrite_expr(k, subst)?))
+        }
+        Expr::MapGet(m, k) => Expr::MapGet(
+            Box::new(rewrite_expr(m, subst)?),
+            Box::new(rewrite_expr(k, subst)?),
+        ),
+        Expr::Len(c) => Expr::Len(Box::new(rewrite_expr(c, subst)?)),
+    })
+}
+
+fn rewrite_spec(spec: &QuerySpec, subst: &HashMap<String, Expr>) -> Option<QuerySpec> {
+    let mut out = QuerySpec::of(spec.plan.clone());
+    for (p, e) in &spec.binds {
+        out = out.bind(p.clone(), rewrite_expr(e, subst)?);
+    }
+    Some(out)
+}
+
+/// Renamed assignment target: must map to a plain variable.
+fn rewrite_target(v: &str, subst: &HashMap<String, Expr>) -> Option<String> {
+    match subst.get(v) {
+        None => Some(v.to_string()),
+        Some(Expr::Var(new)) => Some(new.clone()),
+        Some(_) => None, // assigning through a non-variable argument
+    }
+}
+
+fn rewrite_stmts(stmts: &[Stmt], subst: &HashMap<String, Expr>) -> Option<Vec<Stmt>> {
+    let mut out = Vec::with_capacity(stmts.len());
+    for s in stmts {
+        let kind = match &s.kind {
+            StmtKind::Let(v, e) => {
+                StmtKind::Let(rewrite_target(v, subst)?, rewrite_expr(e, subst)?)
+            }
+            StmtKind::NewCollection(v) => StmtKind::NewCollection(rewrite_target(v, subst)?),
+            StmtKind::NewMap(v) => StmtKind::NewMap(rewrite_target(v, subst)?),
+            StmtKind::Add(c, e) => {
+                StmtKind::Add(rewrite_target(c, subst)?, rewrite_expr(e, subst)?)
+            }
+            StmtKind::Put(m, k, v) => StmtKind::Put(
+                rewrite_target(m, subst)?,
+                rewrite_expr(k, subst)?,
+                rewrite_expr(v, subst)?,
+            ),
+            StmtKind::ForEach { var, iter, body } => StmtKind::ForEach {
+                var: rewrite_target(var, subst)?,
+                iter: rewrite_expr(iter, subst)?,
+                body: rewrite_stmts(body, subst)?,
+            },
+            StmtKind::While { cond, body } => StmtKind::While {
+                cond: rewrite_expr(cond, subst)?,
+                body: rewrite_stmts(body, subst)?,
+            },
+            StmtKind::If { cond, then_branch, else_branch } => StmtKind::If {
+                cond: rewrite_expr(cond, subst)?,
+                then_branch: rewrite_stmts(then_branch, subst)?,
+                else_branch: rewrite_stmts(else_branch, subst)?,
+            },
+            StmtKind::Print(e) => StmtKind::Print(rewrite_expr(e, subst)?),
+            StmtKind::Break => StmtKind::Break,
+            StmtKind::CacheByColumn { cache, source, key_col } => StmtKind::CacheByColumn {
+                cache: cache.clone(),
+                source: rewrite_expr(source, subst)?,
+                key_col: key_col.clone(),
+            },
+            StmtKind::UpdateQuery { table, set_col, value, key_col, key } => {
+                StmtKind::UpdateQuery {
+                    table: table.clone(),
+                    set_col: set_col.clone(),
+                    value: rewrite_expr(value, subst)?,
+                    key_col: key_col.clone(),
+                    key: rewrite_expr(key, subst)?,
+                }
+            }
+            StmtKind::LetCall(v, f, args) => StmtKind::LetCall(
+                rewrite_target(v, subst)?,
+                f.clone(),
+                args.iter()
+                    .map(|a| rewrite_expr(a, subst))
+                    .collect::<Option<Vec<_>>>()?,
+            ),
+            StmtKind::Return(_) | StmtKind::TryCatch { .. } => return None,
+        };
+        out.push(Stmt::new(kind));
+    }
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use imperative::pretty;
+
+    #[test]
+    fn prefetch_alternative_for_point_query() {
+        let stmt = Stmt::new(StmtKind::Let(
+            "roles".into(),
+            Expr::Query(
+                QuerySpec::sql("select * from role where r_project = :p")
+                    .bind("p", Expr::var("projectId")),
+            ),
+        ));
+        let alt = prefetch_stmt_alternative(&stmt).expect("prefetchable");
+        let text = pretty::stmts_to_string(&alt);
+        assert!(text.contains(
+            "cache_role_by_r_project = Utils.cacheByColumn(\
+             executeQuery(\"select * from role\"), 'r_project');"
+        ));
+        assert!(text.contains("roles = Utils.lookupCache(cache_role_by_r_project, projectId);"));
+    }
+
+    #[test]
+    fn prefetch_alternative_for_constant_filter_with_projection() {
+        let stmt = Stmt::new(StmtKind::Let(
+            "open".into(),
+            Expr::Query(QuerySpec::sql(
+                "select o_id from orders where o_status = 'open'",
+            )),
+        ));
+        let alt = prefetch_stmt_alternative(&stmt).expect("prefetchable");
+        let text = pretty::stmts_to_string(&alt);
+        assert!(text.contains("cache_orders_by_o_status"), "{text}");
+        assert!(text.contains("Utils.lookupCache(cache_orders_by_o_status, \"open\")"), "{text}");
+    }
+
+    #[test]
+    fn no_prefetch_for_whole_table_or_range_queries() {
+        let whole = Stmt::new(StmtKind::Let(
+            "all".into(),
+            Expr::Query(QuerySpec::sql("select * from orders")),
+        ));
+        assert!(prefetch_stmt_alternative(&whole).is_none());
+        let range = Stmt::new(StmtKind::Let(
+            "big".into(),
+            Expr::Query(QuerySpec::sql("select * from orders where o_id > 5")),
+        ));
+        assert!(prefetch_stmt_alternative(&range).is_none());
+    }
+
+    #[test]
+    fn inline_substitutes_args_and_renames_locals() {
+        let program = Program {
+            functions: vec![
+                Function::new(
+                    "main",
+                    vec![],
+                    vec![Stmt::new(StmtKind::LetCall(
+                        "x".into(),
+                        "helper".into(),
+                        vec![Expr::lit(5i64)],
+                    ))],
+                ),
+                Function::new(
+                    "helper",
+                    vec!["n".to_string()],
+                    vec![
+                        Stmt::new(StmtKind::Let(
+                            "tmp".into(),
+                            Expr::bin(BinOp::Mul, Expr::var("n"), Expr::lit(2i64)),
+                        )),
+                        Stmt::new(StmtKind::Return(Some(Expr::var("tmp")))),
+                    ],
+                ),
+            ],
+        };
+        let inlined = inline_calls(&program).expect("inlinable");
+        let text = pretty::function_to_string(&inlined);
+        assert!(text.contains("helper_0_tmp = 5 * 2;"), "{text}");
+        assert!(text.contains("x = helper_0_tmp;"), "{text}");
+        assert!(!text.contains("helper("), "{text}");
+    }
+
+    #[test]
+    fn inline_inside_loop_bodies() {
+        let program = Program {
+            functions: vec![
+                Function::new(
+                    "main",
+                    vec!["out".to_string()],
+                    vec![Stmt::new(StmtKind::ForEach {
+                        var: "o".into(),
+                        iter: Expr::LoadAll("Order".into()),
+                        body: vec![
+                            Stmt::new(StmtKind::LetCall(
+                                "v".into(),
+                                "score".into(),
+                                vec![Expr::field(Expr::var("o"), "o_amount")],
+                            )),
+                            Stmt::new(StmtKind::Add("out".into(), Expr::var("v"))),
+                        ],
+                    })],
+                ),
+                Function::new(
+                    "score",
+                    vec!["a".to_string()],
+                    vec![Stmt::new(StmtKind::Return(Some(Expr::bin(
+                        BinOp::Mul,
+                        Expr::var("a"),
+                        Expr::lit(3i64),
+                    ))))],
+                ),
+            ],
+        };
+        let inlined = inline_calls(&program).expect("inlinable");
+        let text = pretty::function_to_string(&inlined);
+        assert!(text.contains("v = o.o_amount * 3;"), "{text}");
+    }
+
+    #[test]
+    fn recursion_is_not_inlined() {
+        let program = Program {
+            functions: vec![Function::new(
+                "main",
+                vec![],
+                vec![Stmt::new(StmtKind::LetCall("x".into(), "main".into(), vec![]))],
+            )],
+        };
+        assert!(inline_calls(&program).is_none());
+    }
+
+    #[test]
+    fn no_calls_means_no_inline_variant() {
+        let program = Program::single(Function::new(
+            "main",
+            vec![],
+            vec![Stmt::new(StmtKind::Print(Expr::lit(1i64)))],
+        ));
+        assert!(inline_calls(&program).is_none());
+    }
+
+    #[test]
+    fn reads_of_sees_nested_uses() {
+        let stmts = vec![Stmt::new(StmtKind::ForEach {
+            var: "o".into(),
+            iter: Expr::var("rows"),
+            body: vec![Stmt::new(StmtKind::Add("acc".into(), Expr::var("bias")))],
+        })];
+        let reads = reads_of(&stmts);
+        assert!(reads.contains("rows"));
+        assert!(reads.contains("bias"));
+    }
+
+    #[test]
+    fn var_plans_collected_from_nested_scopes() {
+        let mut mappings = orm::MappingRegistry::new();
+        mappings.register(orm::EntityMapping::new("Order", "orders", "o_id"));
+        let stmts = vec![Stmt::new(StmtKind::If {
+            cond: Expr::lit(true),
+            then_branch: vec![Stmt::new(StmtKind::Let(
+                "rows".into(),
+                Expr::Query(QuerySpec::sql("select * from orders")),
+            ))],
+            else_branch: vec![Stmt::new(StmtKind::Let(
+                "all".into(),
+                Expr::LoadAll("Order".into()),
+            ))],
+        })];
+        let mut plans = HashMap::new();
+        collect_var_plans(&stmts, &mappings, &mut plans);
+        assert_eq!(plans.len(), 2);
+        assert_eq!(plans["all"], LogicalPlan::scan("orders"));
+    }
+}

@@ -1,0 +1,390 @@
+//! The hash-consed F-IR expression DAG.
+
+use minidb::{BinOp, LogicalPlan, Value};
+use std::collections::HashMap;
+
+/// Index of a node in a [`FirArena`].
+pub type FirId = usize;
+
+/// An F-IR node.
+///
+/// Tuple variables are named by their loop variable so nested folds keep
+/// their bindings apart (`TupleAttr("o", "o_id")` vs `TupleAttr("c", …)`).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum FirNode {
+    /// Constant.
+    Const(Value),
+    /// Value of a variable at region entry.
+    Param(String),
+    /// `<v>` — parametric accumulator value (updated every iteration).
+    AccParam(String),
+    /// The current tuple of the fold with loop variable `0`.
+    TupleVar(String),
+    /// Attribute of the named fold's current tuple (`Q.x` in the paper).
+    TupleAttr(String, String),
+    /// Binary operation.
+    Bin(BinOp, FirId, FirId),
+    /// Negation.
+    Not(FirId),
+    /// Pure scalar function call.
+    Call(String, Vec<FirId>),
+    /// Collection insertion function (`insert` in rules T1/T4).
+    Insert(FirId, FirId),
+    /// Map insertion: `mapput(map, key, value)`.
+    MapPut(FirId, FirId, FirId),
+    /// `?(pred, then, else)` — conditional value (rule T2/N2's `?`).
+    Cond { pred: FirId, then_val: FirId, else_val: FirId },
+    /// Tuple of expressions (the fold extension of §V-B).
+    Tuple(Vec<FirId>),
+    /// `project_i` — extract one component of a tuple expression.
+    Project(FirId, usize),
+    /// An embedded query; `binds` map its named parameters to F-IR values
+    /// (a bind referencing an enclosing fold's tuple makes it correlated).
+    Query { plan: LogicalPlan, binds: Vec<(String, FirId)> },
+    /// A query used as a scalar (first column of first row).
+    ScalarQuery { plan: LogicalPlan, binds: Vec<(String, FirId)> },
+    /// Column of a single-row source (a lookup query or cache lookup).
+    RowField(FirId, String),
+    /// Client-cache lookup: rows of `table` whose `key_col` equals `key`.
+    CacheLookup { table: String, key_col: String, key: FirId },
+    /// A collection variable available at region entry.
+    CollectionParam(String),
+    /// `fold(func, init, source)`; `func` and `init` are [`FirNode::Tuple`]s
+    /// aligned with `updated` (the accumulator variables, in order).
+    Fold {
+        func: FirId,
+        init: FirId,
+        source: FirId,
+        loop_var: String,
+        updated: Vec<String>,
+    },
+}
+
+/// A hash-consed arena of F-IR nodes: structurally identical expressions
+/// share one id, so common sub-expressions are shared (§V-B: "The
+/// expressions may have common sub-expressions, which are shared").
+#[derive(Debug, Clone, Default)]
+pub struct FirArena {
+    nodes: Vec<FirNode>,
+    index: HashMap<FirNode, FirId>,
+}
+
+impl FirArena {
+    /// Empty arena.
+    pub fn new() -> FirArena {
+        FirArena::default()
+    }
+
+    /// Intern a node.
+    pub fn add(&mut self, node: FirNode) -> FirId {
+        if let Some(&id) = self.index.get(&node) {
+            return id;
+        }
+        let id = self.nodes.len();
+        self.nodes.push(node.clone());
+        self.index.insert(node, id);
+        id
+    }
+
+    /// The node behind `id`.
+    pub fn node(&self, id: FirId) -> &FirNode {
+        &self.nodes[id]
+    }
+
+    /// Number of interned nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True if the arena is empty.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Rewrite the DAG rooted at `id`, replacing nodes for which `subst`
+    /// returns a replacement id. Children are rewritten first; `subst` is
+    /// consulted on the *original* node id.
+    pub fn rewrite(&mut self, id: FirId, subst: &impl Fn(FirId, &FirNode) -> Option<FirNode>) -> FirId {
+        let node = self.nodes[id].clone();
+        if let Some(replacement) = subst(id, &node) {
+            return self.add(replacement);
+        }
+        let rebuilt = match node {
+            FirNode::Bin(op, l, r) => {
+                let l2 = self.rewrite(l, subst);
+                let r2 = self.rewrite(r, subst);
+                FirNode::Bin(op, l2, r2)
+            }
+            FirNode::Not(e) => {
+                let e2 = self.rewrite(e, subst);
+                FirNode::Not(e2)
+            }
+            FirNode::Call(f, args) => {
+                let args2 = args.into_iter().map(|a| self.rewrite(a, subst)).collect();
+                FirNode::Call(f, args2)
+            }
+            FirNode::Insert(c, e) => {
+                let c2 = self.rewrite(c, subst);
+                let e2 = self.rewrite(e, subst);
+                FirNode::Insert(c2, e2)
+            }
+            FirNode::MapPut(m, k, v) => {
+                let m2 = self.rewrite(m, subst);
+                let k2 = self.rewrite(k, subst);
+                let v2 = self.rewrite(v, subst);
+                FirNode::MapPut(m2, k2, v2)
+            }
+            FirNode::Cond { pred, then_val, else_val } => {
+                let p = self.rewrite(pred, subst);
+                let t = self.rewrite(then_val, subst);
+                let e = self.rewrite(else_val, subst);
+                FirNode::Cond { pred: p, then_val: t, else_val: e }
+            }
+            FirNode::Tuple(items) => {
+                let items2 = items.into_iter().map(|i| self.rewrite(i, subst)).collect();
+                FirNode::Tuple(items2)
+            }
+            FirNode::Project(t, i) => {
+                let t2 = self.rewrite(t, subst);
+                FirNode::Project(t2, i)
+            }
+            FirNode::Query { plan, binds } => {
+                let binds2 = binds
+                    .into_iter()
+                    .map(|(p, e)| (p, self.rewrite(e, subst)))
+                    .collect();
+                FirNode::Query { plan, binds: binds2 }
+            }
+            FirNode::ScalarQuery { plan, binds } => {
+                let binds2 = binds
+                    .into_iter()
+                    .map(|(p, e)| (p, self.rewrite(e, subst)))
+                    .collect();
+                FirNode::ScalarQuery { plan, binds: binds2 }
+            }
+            FirNode::RowField(r, c) => {
+                let r2 = self.rewrite(r, subst);
+                FirNode::RowField(r2, c)
+            }
+            FirNode::CacheLookup { table, key_col, key } => {
+                let key2 = self.rewrite(key, subst);
+                FirNode::CacheLookup { table, key_col, key: key2 }
+            }
+            FirNode::Fold { func, init, source, loop_var, updated } => {
+                let f2 = self.rewrite(func, subst);
+                let i2 = self.rewrite(init, subst);
+                let s2 = self.rewrite(source, subst);
+                FirNode::Fold { func: f2, init: i2, source: s2, loop_var, updated }
+            }
+            leaf @ (FirNode::Const(_)
+            | FirNode::Param(_)
+            | FirNode::AccParam(_)
+            | FirNode::TupleVar(_)
+            | FirNode::TupleAttr(_, _)
+            | FirNode::CollectionParam(_)) => leaf,
+        };
+        self.add(rebuilt)
+    }
+
+    /// Collect every node id reachable from `id` (including itself),
+    /// in post-order.
+    pub fn reachable(&self, id: FirId) -> Vec<FirId> {
+        let mut seen = vec![false; self.nodes.len()];
+        let mut order = Vec::new();
+        self.visit(id, &mut seen, &mut order);
+        order
+    }
+
+    fn visit(&self, id: FirId, seen: &mut Vec<bool>, order: &mut Vec<FirId>) {
+        if seen[id] {
+            return;
+        }
+        seen[id] = true;
+        for c in self.children(id) {
+            self.visit(c, seen, order);
+        }
+        order.push(id);
+    }
+
+    /// Direct children of a node.
+    pub fn children(&self, id: FirId) -> Vec<FirId> {
+        match self.node(id) {
+            FirNode::Bin(_, l, r) => vec![*l, *r],
+            FirNode::Not(e) | FirNode::Project(e, _) | FirNode::RowField(e, _) => vec![*e],
+            FirNode::Call(_, args) => args.clone(),
+            FirNode::Insert(a, b) => vec![*a, *b],
+            FirNode::MapPut(a, b, c) => vec![*a, *b, *c],
+            FirNode::Cond { pred, then_val, else_val } => vec![*pred, *then_val, *else_val],
+            FirNode::Tuple(items) => items.clone(),
+            FirNode::Query { binds, .. } | FirNode::ScalarQuery { binds, .. } => {
+                binds.iter().map(|(_, e)| *e).collect()
+            }
+            FirNode::CacheLookup { key, .. } => vec![*key],
+            FirNode::Fold { func, init, source, .. } => vec![*func, *init, *source],
+            _ => Vec::new(),
+        }
+    }
+
+    /// True if any node reachable from `id` satisfies `pred`.
+    pub fn any(&self, id: FirId, pred: &impl Fn(&FirNode) -> bool) -> bool {
+        self.reachable(id).iter().any(|&n| pred(self.node(n)))
+    }
+
+    /// Paper-style rendering, e.g. `fold(<sum> + t.sale_amt, tuple(0), Q)`.
+    pub fn display(&self, id: FirId) -> String {
+        match self.node(id) {
+            FirNode::Const(v) => match v {
+                Value::Str(s) => format!("{s:?}"),
+                other => other.to_string(),
+            },
+            FirNode::Param(v) => v.clone(),
+            FirNode::AccParam(v) => format!("<{v}>"),
+            FirNode::TupleVar(v) => v.clone(),
+            FirNode::TupleAttr(v, c) => format!("{v}.{c}"),
+            FirNode::Bin(op, l, r) => {
+                format!("({} {} {})", self.display(*l), op.sql(), self.display(*r))
+            }
+            FirNode::Not(e) => format!("not({})", self.display(*e)),
+            FirNode::Call(f, args) => {
+                let parts: Vec<String> = args.iter().map(|a| self.display(*a)).collect();
+                format!("{f}({})", parts.join(", "))
+            }
+            FirNode::Insert(c, e) => {
+                format!("insert({}, {})", self.display(*c), self.display(*e))
+            }
+            FirNode::MapPut(m, k, v) => format!(
+                "mapput({}, {}, {})",
+                self.display(*m),
+                self.display(*k),
+                self.display(*v)
+            ),
+            FirNode::Cond { pred, then_val, else_val } => format!(
+                "?({}, {}, {})",
+                self.display(*pred),
+                self.display(*then_val),
+                self.display(*else_val)
+            ),
+            FirNode::Tuple(items) => {
+                let parts: Vec<String> = items.iter().map(|i| self.display(*i)).collect();
+                format!("tuple({})", parts.join(", "))
+            }
+            FirNode::Project(t, i) => format!("project{i}({})", self.display(*t)),
+            FirNode::Query { plan, binds } => {
+                if binds.is_empty() {
+                    format!("Q[{}]", minidb::sql::print(plan))
+                } else {
+                    let bs: Vec<String> = binds
+                        .iter()
+                        .map(|(p, e)| format!("{p}={}", self.display(*e)))
+                        .collect();
+                    format!("Q[{} | {}]", minidb::sql::print(plan), bs.join(", "))
+                }
+            }
+            FirNode::ScalarQuery { plan, binds } => {
+                if binds.is_empty() {
+                    format!("scalarQ[{}]", minidb::sql::print(plan))
+                } else {
+                    let bs: Vec<String> = binds
+                        .iter()
+                        .map(|(p, e)| format!("{p}={}", self.display(*e)))
+                        .collect();
+                    format!("scalarQ[{} | {}]", minidb::sql::print(plan), bs.join(", "))
+                }
+            }
+            FirNode::RowField(r, c) => format!("{}.{c}", self.display(*r)),
+            FirNode::CacheLookup { table, key_col, key } => {
+                format!("lookup({table}.{key_col} = {})", self.display(*key))
+            }
+            FirNode::CollectionParam(v) => v.clone(),
+            FirNode::Fold { func, init, source, .. } => format!(
+                "fold({}, {}, {})",
+                self.display(*func),
+                self.display(*init),
+                self.display(*source)
+            ),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hash_consing_shares_identical_nodes() {
+        let mut a = FirArena::new();
+        let x1 = a.add(FirNode::Param("x".into()));
+        let x2 = a.add(FirNode::Param("x".into()));
+        assert_eq!(x1, x2);
+        let one = a.add(FirNode::Const(Value::Int(1)));
+        let s1 = a.add(FirNode::Bin(BinOp::Add, x1, one));
+        let s2 = a.add(FirNode::Bin(BinOp::Add, x2, one));
+        assert_eq!(s1, s2);
+        assert_eq!(a.len(), 3);
+    }
+
+    #[test]
+    fn display_matches_paper_style() {
+        // Figure 8's fold for the sum accumulator.
+        let mut a = FirArena::new();
+        let acc = a.add(FirNode::AccParam("sum".into()));
+        let attr = a.add(FirNode::TupleAttr("t".into(), "sale_amt".into()));
+        let add = a.add(FirNode::Bin(BinOp::Add, acc, attr));
+        let func = a.add(FirNode::Tuple(vec![add]));
+        let zero = a.add(FirNode::Const(Value::Int(0)));
+        let init = a.add(FirNode::Tuple(vec![zero]));
+        let q = a.add(FirNode::Query {
+            plan: minidb::sql::parse("select month, sale_amt from sales order by month").unwrap(),
+            binds: vec![],
+        });
+        let fold = a.add(FirNode::Fold {
+            func,
+            init,
+            source: q,
+            loop_var: "t".into(),
+            updated: vec!["sum".into()],
+        });
+        let text = a.display(fold);
+        assert!(text.starts_with("fold(tuple((<sum> + t.sale_amt)), tuple(0), Q["), "{text}");
+    }
+
+    #[test]
+    fn rewrite_substitutes_and_rebuilds() {
+        let mut a = FirArena::new();
+        let acc = a.add(FirNode::AccParam("v".into()));
+        let attr = a.add(FirNode::TupleAttr("t".into(), "x".into()));
+        let add = a.add(FirNode::Bin(BinOp::Add, acc, attr));
+        // Rename tuple variable t → j.
+        let renamed = a.rewrite(add, &|_, n| match n {
+            FirNode::TupleAttr(v, c) if v == "t" => {
+                Some(FirNode::TupleAttr("j".into(), c.clone()))
+            }
+            _ => None,
+        });
+        assert_eq!(a.display(renamed), "(<v> + j.x)");
+        // Original untouched.
+        assert_eq!(a.display(add), "(<v> + t.x)");
+    }
+
+    #[test]
+    fn reachable_is_post_order_and_complete() {
+        let mut a = FirArena::new();
+        let x = a.add(FirNode::Param("x".into()));
+        let y = a.add(FirNode::Param("y".into()));
+        let add = a.add(FirNode::Bin(BinOp::Add, x, y));
+        let order = a.reachable(add);
+        assert_eq!(order, vec![x, y, add]);
+    }
+
+    #[test]
+    fn any_detects_predicate() {
+        let mut a = FirArena::new();
+        let x = a.add(FirNode::Param("x".into()));
+        let q = a.add(FirNode::Query {
+            plan: minidb::sql::parse("select * from t").unwrap(),
+            binds: vec![("p".into(), x)],
+        });
+        assert!(a.any(q, &|n| matches!(n, FirNode::Param(_))));
+        assert!(!a.any(q, &|n| matches!(n, FirNode::Fold { .. })));
+    }
+}

@@ -1,0 +1,496 @@
+//! Code generation: F-IR alternatives back to imperative statements.
+//!
+//! The inverse of [`crate::build`]: folds become cursor loops, queries
+//! become `executeQuery` calls, prefetches become
+//! `Utils.cacheByColumn(executeQuery("select * from T"), key)` statements,
+//! and cache lookups become `Utils.lookupCache` expressions — producing
+//! exactly the program shapes of Figure 3 (P1, P2) from the F-IR
+//! alternatives the rules derive from P0.
+
+use crate::arena::{FirArena, FirId, FirNode};
+use crate::build::FirAlternative;
+use imperative::ast::{Expr, QuerySpec, Stmt, StmtKind};
+use std::collections::HashMap;
+
+/// Name of the client cache for `table` keyed by `key_col` (shared between
+/// prefetch statements and lookup expressions).
+pub fn cache_name(table: &str, key_col: &str) -> String {
+    format!("cache_{table}_by_{key_col}")
+}
+
+/// Generate imperative statements for an alternative. Returns `None` when
+/// the alternative contains a shape codegen cannot express (which the
+/// optimizer treats as "alternative unavailable").
+pub fn generate(alt: &FirAlternative) -> Option<Vec<Stmt>> {
+    let mut g = Gen {
+        arena: &alt.arena,
+        emitted_accs: HashMap::new(),
+        emitted_folds: Vec::new(),
+        row_vars: HashMap::new(),
+        fresh: 0,
+    };
+    let mut out = Vec::new();
+    for p in &alt.prefetches {
+        out.push(Stmt::new(StmtKind::CacheByColumn {
+            cache: cache_name(&p.table, &p.key_col),
+            source: Expr::Query(QuerySpec::of(minidb::LogicalPlan::scan(&p.table))),
+            key_col: p.key_col.clone(),
+        }));
+    }
+    for (var, id) in &alt.assigns {
+        g.emit_assign(var, *id, &mut out)?;
+    }
+    Some(out)
+}
+
+struct Gen<'a> {
+    arena: &'a FirArena,
+    /// Final expression of an already-updated accumulator → its variable,
+    /// so dependent reads reuse the variable instead of re-inlining.
+    emitted_accs: HashMap<FirId, String>,
+    /// Folds already lowered to loops (all their projections are covered).
+    emitted_folds: Vec<FirId>,
+    /// Row-producing nodes already bound to a local variable.
+    row_vars: HashMap<FirId, String>,
+    fresh: u32,
+}
+
+impl<'a> Gen<'a> {
+    fn fresh_var(&mut self, prefix: &str) -> String {
+        self.fresh += 1;
+        format!("{prefix}{}", self.fresh)
+    }
+
+    fn emit_assign(&mut self, var: &str, id: FirId, out: &mut Vec<Stmt>) -> Option<()> {
+        match self.arena.node(id).clone() {
+            FirNode::Project(fold, _) => {
+                if self.emitted_folds.contains(&fold) {
+                    return Some(()); // loop already emitted; var is set
+                }
+                self.emit_fold(fold, out)
+            }
+            FirNode::Query { plan, binds } => {
+                let spec = self.query_spec(plan, &binds, out)?;
+                out.push(Stmt::new(StmtKind::Let(var.to_string(), Expr::Query(spec))));
+                Some(())
+            }
+            FirNode::ScalarQuery { plan, binds } => {
+                let spec = self.query_spec(plan, &binds, out)?;
+                out.push(Stmt::new(StmtKind::Let(
+                    var.to_string(),
+                    Expr::ScalarQuery(spec),
+                )));
+                Some(())
+            }
+            FirNode::RowField(base, col) => {
+                // Multi-aggregate extraction: bind the (single-row) result
+                // once, then read its columns.
+                let row_var = self.row_var_for(base, out)?;
+                out.push(Stmt::new(StmtKind::Let(
+                    var.to_string(),
+                    Expr::field(Expr::var(row_var), col),
+                )));
+                Some(())
+            }
+            _ => {
+                let e = self.tx(id, out)?;
+                out.push(Stmt::new(StmtKind::Let(var.to_string(), e)));
+                Some(())
+            }
+        }
+    }
+
+    /// Emit the loop for a fold node, updating all its accumulators.
+    fn emit_fold(&mut self, fold: FirId, out: &mut Vec<Stmt>) -> Option<()> {
+        let FirNode::Fold { func, init: _, source, loop_var, updated } =
+            self.arena.node(fold).clone()
+        else {
+            return None;
+        };
+        let FirNode::Tuple(items) = self.arena.node(func).clone() else { return None };
+        self.emitted_folds.push(fold);
+
+        let iter = self.source_expr(source, out)?;
+        let mut body = Vec::new();
+        // Accumulator updates run in first-update order; dependent reads of
+        // an earlier accumulator's final value resolve to its variable.
+        let saved_accs = self.emitted_accs.clone();
+        for (u, &item) in updated.iter().zip(&items) {
+            self.emit_update(u, item, &mut body)?;
+            self.emitted_accs.insert(item, u.clone());
+        }
+        self.emitted_accs = saved_accs;
+        out.push(Stmt::new(StmtKind::ForEach { var: loop_var, iter, body }));
+        Some(())
+    }
+
+    /// Emit the statement(s) updating accumulator `var` to the value of
+    /// `item` for this iteration.
+    fn emit_update(&mut self, var: &str, item: FirId, body: &mut Vec<Stmt>) -> Option<()> {
+        let acc = FirNode::AccParam(var.to_string());
+        if self.arena.node(item) == &acc {
+            return Some(()); // untouched this iteration
+        }
+        match self.arena.node(item).clone() {
+            FirNode::Insert(base, elem) => {
+                self.emit_update(var, base, body)?;
+                let e = self.tx(elem, body)?;
+                body.push(Stmt::new(StmtKind::Add(var.to_string(), e)));
+                Some(())
+            }
+            FirNode::MapPut(base, k, v) => {
+                self.emit_update(var, base, body)?;
+                let ke = self.tx(k, body)?;
+                let ve = self.tx(v, body)?;
+                body.push(Stmt::new(StmtKind::Put(var.to_string(), ke, ve)));
+                Some(())
+            }
+            FirNode::Cond { pred, then_val, else_val } => {
+                let p = self.tx(pred, body)?;
+                let mut then_branch = Vec::new();
+                self.emit_update(var, then_val, &mut then_branch)?;
+                let mut else_branch = Vec::new();
+                self.emit_update(var, else_val, &mut else_branch)?;
+                body.push(Stmt::new(StmtKind::If { cond: p, then_branch, else_branch }));
+                Some(())
+            }
+            FirNode::Project(fold, _) => {
+                if !self.emitted_folds.contains(&fold) {
+                    self.emit_fold(fold, body)?;
+                }
+                Some(())
+            }
+            _ => {
+                let e = self.tx(item, body)?;
+                body.push(Stmt::new(StmtKind::Let(var.to_string(), e)));
+                Some(())
+            }
+        }
+    }
+
+    /// The iterable expression for a fold source.
+    fn source_expr(&mut self, source: FirId, out: &mut Vec<Stmt>) -> Option<Expr> {
+        match self.arena.node(source).clone() {
+            FirNode::Query { plan, binds } => {
+                let spec = self.query_spec(plan, &binds, out)?;
+                Some(Expr::Query(spec))
+            }
+            FirNode::CollectionParam(v) | FirNode::Param(v) => Some(Expr::Var(v)),
+            FirNode::CacheLookup { table, key_col, key } => {
+                let k = self.tx(key, out)?;
+                Some(Expr::LookupCache(cache_name(&table, &key_col), Box::new(k)))
+            }
+            _ => None,
+        }
+    }
+
+    fn query_spec(
+        &mut self,
+        plan: minidb::LogicalPlan,
+        binds: &[(String, FirId)],
+        out: &mut Vec<Stmt>,
+    ) -> Option<QuerySpec> {
+        let mut spec = QuerySpec::of(plan);
+        for (p, id) in binds {
+            let e = self.tx(*id, out)?;
+            spec = spec.bind(p.clone(), e);
+        }
+        Some(spec)
+    }
+
+    /// Bind a row-producing node (lookup query / cache lookup) to a local
+    /// variable, once.
+    fn row_var_for(&mut self, id: FirId, out: &mut Vec<Stmt>) -> Option<String> {
+        if let Some(v) = self.row_vars.get(&id) {
+            return Some(v.clone());
+        }
+        let expr = match self.arena.node(id).clone() {
+            FirNode::Query { plan, binds } => {
+                let spec = self.query_spec(plan, &binds, out)?;
+                Expr::Query(spec)
+            }
+            FirNode::CacheLookup { table, key_col, key } => {
+                let k = self.tx(key, out)?;
+                Expr::LookupCache(cache_name(&table, &key_col), Box::new(k))
+            }
+            _ => return None,
+        };
+        let name = self.fresh_var("row");
+        out.push(Stmt::new(StmtKind::Let(name.clone(), expr)));
+        self.row_vars.insert(id, name.clone());
+        Some(name)
+    }
+
+    /// Translate a value-position F-IR node into an expression, emitting
+    /// helper statements (row bindings) into `out` as needed.
+    fn tx(&mut self, id: FirId, out: &mut Vec<Stmt>) -> Option<Expr> {
+        if let Some(var) = self.emitted_accs.get(&id) {
+            return Some(Expr::Var(var.clone()));
+        }
+        match self.arena.node(id).clone() {
+            FirNode::Const(v) => Some(Expr::Lit(v)),
+            FirNode::Param(v) | FirNode::AccParam(v) | FirNode::CollectionParam(v) => {
+                Some(Expr::Var(v))
+            }
+            FirNode::TupleVar(v) => Some(Expr::Var(v)),
+            FirNode::TupleAttr(v, c) => Some(Expr::field(Expr::Var(v), c)),
+            FirNode::Bin(op, l, r) => {
+                let le = self.tx(l, out)?;
+                let re = self.tx(r, out)?;
+                Some(Expr::bin(op, le, re))
+            }
+            FirNode::Not(e) => {
+                let i = self.tx(e, out)?;
+                Some(Expr::Not(Box::new(i)))
+            }
+            FirNode::Call(f, args) => {
+                let es = args
+                    .iter()
+                    .map(|a| self.tx(*a, out))
+                    .collect::<Option<Vec<_>>>()?;
+                Some(Expr::Call(f, es))
+            }
+            FirNode::RowField(base, col) => match self.arena.node(base).clone() {
+                // A row already held in a variable (region parameter or
+                // enclosing tuple): plain field access.
+                FirNode::Param(v) | FirNode::AccParam(v) | FirNode::TupleVar(v) => {
+                    Some(Expr::field(Expr::var(v), col))
+                }
+                _ => {
+                    let row = self.row_var_for(base, out)?;
+                    Some(Expr::field(Expr::var(row), col))
+                }
+            },
+            FirNode::CacheLookup { table, key_col, key } => {
+                let k = self.tx(key, out)?;
+                Some(Expr::LookupCache(cache_name(&table, &key_col), Box::new(k)))
+            }
+            FirNode::Query { plan, binds } => {
+                let spec = self.query_spec(plan, &binds, out)?;
+                Some(Expr::Query(spec))
+            }
+            FirNode::ScalarQuery { plan, binds } => {
+                let spec = self.query_spec(plan, &binds, out)?;
+                Some(Expr::ScalarQuery(spec))
+            }
+            // Structure nodes are only valid in update position.
+            FirNode::Insert(_, _)
+            | FirNode::MapPut(_, _, _)
+            | FirNode::Cond { .. }
+            | FirNode::Tuple(_)
+            | FirNode::Project(_, _)
+            | FirNode::Fold { .. } => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::loop_to_fold;
+    use crate::rules::expand_alternatives;
+    use imperative::pretty;
+    use minidb::BinOp;
+    use orm::{EntityMapping, MappingRegistry};
+
+    fn mappings() -> MappingRegistry {
+        let mut r = MappingRegistry::new();
+        r.register(
+            EntityMapping::new("Order", "orders", "o_id").many_to_one(
+                "customer",
+                "Customer",
+                "o_customer_sk",
+            ),
+        );
+        r.register(EntityMapping::new("Customer", "customer", "c_customer_sk"));
+        r
+    }
+
+    fn p0_alts() -> Vec<FirAlternative> {
+        let body = vec![
+            Stmt::new(StmtKind::Let(
+                "cust".into(),
+                Expr::nav(Expr::var("o"), "customer"),
+            )),
+            Stmt::new(StmtKind::Let(
+                "val".into(),
+                Expr::Call(
+                    "myFunc".into(),
+                    vec![
+                        Expr::field(Expr::var("o"), "o_id"),
+                        Expr::field(Expr::var("cust"), "c_birth_year"),
+                    ],
+                ),
+            )),
+            Stmt::new(StmtKind::Add("result".into(), Expr::var("val"))),
+        ];
+        let base =
+            loop_to_fold("o", &Expr::LoadAll("Order".into()), &body, &mappings(), Some(&["result".to_string()])).unwrap();
+        expand_alternatives(base, 32)
+    }
+
+    #[test]
+    fn p1_codegen_matches_figure_3b_shape() {
+        let alts = p0_alts();
+        let join = alts
+            .iter()
+            .find(|a| a.rules_applied.contains(&"T4/T5var(lookup-to-join)"))
+            .unwrap();
+        let stmts = generate(join).expect("codegen");
+        let text = pretty::stmts_to_string(&stmts);
+        assert!(
+            text.contains(
+                "for (o : executeQuery(\"select * from orders join customer on \
+                 o_customer_sk = c_customer_sk\")) {"
+            ),
+            "{text}"
+        );
+        // `val` is a per-iteration temporary; symbolic evaluation inlines
+        // it into the accumulation (semantically identical to Figure 3b).
+        assert!(
+            text.contains("result.add(myFunc(o.o_id, o.c_birth_year));"),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn p2_codegen_matches_figure_3c_shape() {
+        let alts = p0_alts();
+        let pf = alts.iter().find(|a| a.rules_applied.contains(&"N1")).unwrap();
+        let stmts = generate(pf).expect("codegen");
+        let text = pretty::stmts_to_string(&stmts);
+        assert!(
+            text.contains(
+                "cache_customer_by_c_customer_sk = Utils.cacheByColumn(\
+                 executeQuery(\"select * from customer\"), 'c_customer_sk');"
+            ),
+            "{text}"
+        );
+        assert!(
+            text.contains("Utils.lookupCache(cache_customer_by_c_customer_sk, o.o_customer_sk)"),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn original_fold_codegen_round_trips_p0() {
+        // Codegen of the unrewritten fold reproduces a loop with the same
+        // statements as the original body (lookup bound to a row variable).
+        let alts = p0_alts();
+        let base = alts.iter().find(|a| a.rules_applied == vec!["toFIR"]).unwrap();
+        let stmts = generate(base).expect("codegen");
+        let text = pretty::stmts_to_string(&stmts);
+        assert!(text.contains("for (o : executeQuery(\"select * from orders\")) {"), "{text}");
+        assert!(
+            text.contains("executeQuery(\"select * from customer where c_customer_sk = :k\", k=o.o_customer_sk)"),
+            "{text}"
+        );
+        assert!(text.contains("result.add("), "{text}");
+    }
+
+    #[test]
+    fn aggregate_codegen_uses_scalar_query() {
+        let body = vec![Stmt::new(StmtKind::Let(
+            "sum".into(),
+            Expr::bin(
+                BinOp::Add,
+                Expr::var("sum"),
+                Expr::field(Expr::var("t"), "sale_amt"),
+            ),
+        ))];
+        let base = loop_to_fold(
+            "t",
+            &Expr::Query(QuerySpec::sql("select * from sales")),
+            &body,
+            &mappings(),
+            None,
+        )
+        .unwrap();
+        let alts = expand_alternatives(base, 32);
+        let agg = alts.iter().find(|a| a.rules_applied.contains(&"T5")).unwrap();
+        let stmts = generate(agg).unwrap();
+        let text = pretty::stmts_to_string(&stmts);
+        assert_eq!(
+            text.trim(),
+            "sum = executeScalar(\"select sum(sale_amt) as agg_sum from sales\");"
+        );
+    }
+
+    #[test]
+    fn dependent_aggregation_codegen_reuses_updated_variable() {
+        // Figure 7 loop: cSum.put must reference `sum`, not re-inline it.
+        let body = vec![
+            Stmt::new(StmtKind::Let(
+                "sum".into(),
+                Expr::bin(
+                    BinOp::Add,
+                    Expr::var("sum"),
+                    Expr::field(Expr::var("t"), "sale_amt"),
+                ),
+            )),
+            Stmt::new(StmtKind::Put(
+                "cSum".into(),
+                Expr::field(Expr::var("t"), "month"),
+                Expr::var("sum"),
+            )),
+        ];
+        let base = loop_to_fold(
+            "t",
+            &Expr::Query(QuerySpec::sql("select month, sale_amt from sales order by month")),
+            &body,
+            &mappings(),
+            None,
+        )
+        .unwrap();
+        let stmts = generate(&base).unwrap();
+        let text = pretty::stmts_to_string(&stmts);
+        assert!(text.contains("sum = sum + t.sale_amt;"), "{text}");
+        assert!(text.contains("cSum.put(t.month, sum);"), "{text}");
+    }
+
+    #[test]
+    fn conditional_update_codegen_emits_if() {
+        let body = vec![Stmt::new(StmtKind::If {
+            cond: Expr::bin(
+                BinOp::Gt,
+                Expr::field(Expr::var("t"), "o_amount"),
+                Expr::lit(10i64),
+            ),
+            then_branch: vec![Stmt::new(StmtKind::Add("r".into(), Expr::var("t")))],
+            else_branch: vec![],
+        })];
+        let base = loop_to_fold(
+            "t",
+            &Expr::Query(QuerySpec::sql("select * from orders")),
+            &body,
+            &mappings(),
+            None,
+        )
+        .unwrap();
+        let stmts = generate(&base).unwrap();
+        let text = pretty::stmts_to_string(&stmts);
+        assert!(text.contains("if (t.o_amount > 10) {"), "{text}");
+        assert!(text.contains("r.add(t);"), "{text}");
+        assert!(!text.contains("} else {"), "empty else omitted: {text}");
+    }
+
+    #[test]
+    fn t1_codegen_is_a_single_query_assignment() {
+        let body = vec![Stmt::new(StmtKind::Add("r".into(), Expr::var("t")))];
+        let base = loop_to_fold(
+            "t",
+            &Expr::Query(QuerySpec::sql("select * from orders")),
+            &body,
+            &mappings(),
+            None,
+        )
+        .unwrap();
+        let alts = expand_alternatives(base, 32);
+        let t1 = alts.iter().find(|a| a.rules_applied.contains(&"T1")).unwrap();
+        let stmts = generate(t1).unwrap();
+        let text = pretty::stmts_to_string(&stmts);
+        assert_eq!(text.trim(), "r = executeQuery(\"select * from orders\");");
+    }
+
+    use imperative::ast::{Expr, QuerySpec, Stmt, StmtKind};
+}

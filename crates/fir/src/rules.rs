@@ -1,0 +1,1128 @@
+//! F-IR transformation rules (Figure 11).
+//!
+//! | Rule | Shape | Effect |
+//! |------|-------|--------|
+//! | T1 | `fold(insert, {}, Q) = Q` | loop materializing a query *is* the query |
+//! | T2 | `fold(?(p,g), id, Q) ≡ fold(g, id, σ_p(Q))` | push predicate into the query |
+//! | T4/T5-variant | lookup query / nested fold over `σ_{A=t.B}(R)` | rewrite to a join `Q ⋈ R` |
+//! | T5 | `fold(op, id, π_A(Q)) ≡ γ_op(Q)` | aggregation extracted to SQL |
+//! | N1 | iterative lookup in a fold | `seq(prefetch(R,A), fold(lookup…))` |
+//! | N2 | `fold(g, id, σ_p(Q)) ≡ fold(?(p,g), id, Q)` | pull selection out (reverse of T2) |
+//!
+//! T3 (pushing scalar functions into the query projection) happens
+//! implicitly during aggregation extraction: aggregate arguments are
+//! translated into SQL expressions over the source's columns.
+//!
+//! Rules return *new* [`FirAlternative`]s; [`expand_alternatives`] closes
+//! a base alternative under all rules with structural deduplication (the
+//! T2 ⇄ N2 cycle terminates exactly the way cyclic rules terminate in the
+//! Volcano memo).
+
+use crate::arena::{FirArena, FirId, FirNode};
+use crate::build::{FirAlternative, Prefetch};
+use minidb::plan::AggItem;
+use minidb::{AggFunc, BinOp, LogicalPlan, ScalarExpr, Value};
+
+/// The decomposed parts of a fold node.
+struct FoldParts {
+    #[allow(dead_code)]
+    fold: FirId,
+    func_items: Vec<FirId>,
+    init_items: Vec<FirId>,
+    source: FirId,
+    loop_var: String,
+    updated: Vec<String>,
+}
+
+fn fold_parts(arena: &FirArena, fold: FirId) -> Option<FoldParts> {
+    let FirNode::Fold { func, init, source, loop_var, updated } = arena.node(fold).clone()
+    else {
+        return None;
+    };
+    let FirNode::Tuple(func_items) = arena.node(func).clone() else { return None };
+    let FirNode::Tuple(init_items) = arena.node(init).clone() else { return None };
+    Some(FoldParts {
+        fold,
+        func_items,
+        init_items,
+        source,
+        loop_var,
+        updated,
+    })
+}
+
+/// The outermost fold of an alternative whose assigns are all
+/// `project_i(fold)` of one fold.
+fn top_fold(alt: &FirAlternative) -> Option<FirId> {
+    let mut fold = None;
+    for (_, id) in &alt.assigns {
+        let FirNode::Project(f, _) = alt.arena.node(*id) else { return None };
+        match fold {
+            None => fold = Some(*f),
+            Some(existing) if existing == *f => {}
+            _ => return None,
+        }
+    }
+    fold
+}
+
+/// All fold nodes reachable from the alternative's assignments.
+fn reachable_folds(alt: &FirAlternative) -> Vec<FirId> {
+    let mut out = Vec::new();
+    for (_, root) in &alt.assigns {
+        for id in alt.arena.reachable(*root) {
+            if matches!(alt.arena.node(id), FirNode::Fold { .. }) && !out.contains(&id) {
+                out.push(id);
+            }
+        }
+    }
+    out
+}
+
+/// Rebuild every assignment with `old` replaced by `new_node`.
+fn replace_node(
+    alt: &FirAlternative,
+    old: FirId,
+    new_node: FirNode,
+    rule: &'static str,
+    extra_prefetches: Vec<Prefetch>,
+) -> FirAlternative {
+    let mut arena = alt.arena.clone();
+    let assigns = alt
+        .assigns
+        .iter()
+        .map(|(v, root)| {
+            let repl = new_node.clone();
+            let new_root = arena.rewrite(*root, &|id, _| {
+                if id == old {
+                    Some(repl.clone())
+                } else {
+                    None
+                }
+            });
+            (v.clone(), new_root)
+        })
+        .collect();
+    let mut prefetches = alt.prefetches.clone();
+    for p in extra_prefetches {
+        if !prefetches.contains(&p) {
+            prefetches.push(p);
+        }
+    }
+    let mut rules_applied = alt.rules_applied.clone();
+    rules_applied.push(rule);
+    FirAlternative {
+        arena,
+        prefetches,
+        assigns,
+        rules_applied,
+        requires_empty_init: alt.requires_empty_init.clone(),
+    }
+}
+
+// --------------------------------------------------------------------
+// Scalar translation helpers (the F-IR ⇄ SQL bridge; subsumes rule T3).
+// --------------------------------------------------------------------
+
+/// Translate an F-IR expression into a SQL scalar expression over the
+/// tuple of fold `loop_var`. References to anything *outside* that tuple
+/// (params, other folds' tuples) become fresh query parameters returned in
+/// `binds`.
+fn to_scalar(
+    arena: &FirArena,
+    id: FirId,
+    loop_var: &str,
+    binds: &mut Vec<(String, FirId)>,
+) -> Option<ScalarExpr> {
+    match arena.node(id) {
+        FirNode::Const(v) => Some(ScalarExpr::Lit(v.clone())),
+        FirNode::TupleAttr(v, c) if v == loop_var => Some(ScalarExpr::col(c)),
+        FirNode::TupleAttr(_, _) | FirNode::Param(_) => {
+            // Correlated / outer value → query parameter.
+            let name = format!("p{}", binds.len());
+            binds.push((name.clone(), id));
+            Some(ScalarExpr::Param(name))
+        }
+        // A field of a row available at region entry (the enclosing loop's
+        // element, viewed from the inner region) is scalar to the query →
+        // also a parameter (pattern A's correlated inner filter).
+        FirNode::RowField(base, _) if matches!(arena.node(*base), FirNode::Param(_)) => {
+            let name = format!("p{}", binds.len());
+            binds.push((name.clone(), id));
+            Some(ScalarExpr::Param(name))
+        }
+        FirNode::Bin(op, l, r) => {
+            let ls = to_scalar(arena, *l, loop_var, binds)?;
+            let rs = to_scalar(arena, *r, loop_var, binds)?;
+            Some(ScalarExpr::bin(*op, ls, rs))
+        }
+        FirNode::Not(e) => {
+            let es = to_scalar(arena, *e, loop_var, binds)?;
+            Some(ScalarExpr::Not(Box::new(es)))
+        }
+        FirNode::Call(f, args) => {
+            let translated = args
+                .iter()
+                .map(|a| to_scalar(arena, *a, loop_var, binds))
+                .collect::<Option<Vec<_>>>()?;
+            Some(ScalarExpr::Func(f.clone(), translated))
+        }
+        _ => None,
+    }
+}
+
+/// Inverse of [`to_scalar`]: a SQL predicate over the source's columns
+/// becomes an F-IR expression over the fold tuple; query parameters
+/// resolve through `binds`.
+fn from_scalar(
+    arena: &mut FirArena,
+    expr: &ScalarExpr,
+    loop_var: &str,
+    binds: &[(String, FirId)],
+) -> Option<FirId> {
+    match expr {
+        ScalarExpr::Lit(v) => Some(arena.add(FirNode::Const(v.clone()))),
+        ScalarExpr::Col(c) => {
+            Some(arena.add(FirNode::TupleAttr(loop_var.to_string(), c.name.clone())))
+        }
+        ScalarExpr::Param(p) => binds.iter().find(|(n, _)| n == p).map(|(_, id)| *id),
+        ScalarExpr::Bin(op, l, r) => {
+            let lf = from_scalar(arena, l, loop_var, binds)?;
+            let rf = from_scalar(arena, r, loop_var, binds)?;
+            Some(arena.add(FirNode::Bin(*op, lf, rf)))
+        }
+        ScalarExpr::Not(e) => {
+            let ef = from_scalar(arena, e, loop_var, binds)?;
+            Some(arena.add(FirNode::Not(ef)))
+        }
+        ScalarExpr::Func(f, args) => {
+            let translated = args
+                .iter()
+                .map(|a| from_scalar(arena, a, loop_var, binds))
+                .collect::<Option<Vec<_>>>()?;
+            Some(arena.add(FirNode::Call(f.clone(), translated)))
+        }
+    }
+}
+
+/// Match a single-row/filtered lookup query: `σ_{A = key}(R)` where `key`
+/// is a parameter bound to an F-IR value or a constant. Returns
+/// `(table, key_column, key_fir_id)`.
+fn match_lookup_query(arena: &FirArena, id: FirId) -> Option<(String, String, FirId)> {
+    let FirNode::Query { plan, binds } = arena.node(id) else { return None };
+    let LogicalPlan::Select { input, pred } = plan else { return None };
+    let LogicalPlan::Scan { table, .. } = &**input else { return None };
+    let ScalarExpr::Bin(BinOp::Eq, l, r) = pred else { return None };
+    let (col, key_expr) = match (&**l, &**r) {
+        (ScalarExpr::Col(c), other) => (c, other),
+        (other, ScalarExpr::Col(c)) => (c, other),
+        _ => return None,
+    };
+    match key_expr {
+        ScalarExpr::Param(p) => {
+            let (_, key_id) = binds.iter().find(|(n, _)| n == p)?;
+            Some((table.clone(), col.name.clone(), *key_id))
+        }
+        // Constant keys are handled by `match_lookup_query_mut`, which can
+        // intern the constant.
+        _ => None,
+    }
+}
+
+/// Like [`match_lookup_query`] but also matches constant keys; needs `&mut`
+/// to intern the constant.
+fn match_lookup_query_mut(
+    arena: &mut FirArena,
+    id: FirId,
+) -> Option<(String, String, FirId)> {
+    if let Some(hit) = match_lookup_query(arena, id) {
+        return Some(hit);
+    }
+    let FirNode::Query { plan, binds } = arena.node(id).clone() else { return None };
+    if !binds.is_empty() {
+        return None;
+    }
+    let LogicalPlan::Select { input, pred } = plan else { return None };
+    let LogicalPlan::Scan { table, .. } = &*input else { return None };
+    let ScalarExpr::Bin(BinOp::Eq, l, r) = pred else { return None };
+    let (col, key_expr) = match (&*l, &*r) {
+        (ScalarExpr::Col(c), other) => (c, other),
+        (other, ScalarExpr::Col(c)) => (c, other),
+        _ => return None,
+    };
+    if let ScalarExpr::Lit(v) = key_expr {
+        let key = arena.add(FirNode::Const(v.clone()));
+        return Some((table.clone(), col.name.clone(), key));
+    }
+    None
+}
+
+// --------------------------------------------------------------------
+// Rule T5 — aggregation extraction.
+// --------------------------------------------------------------------
+
+/// A classified scalar aggregation.
+struct AggClass {
+    func: AggFunc,
+    arg: Option<ScalarExpr>,
+}
+
+/// Classify `item` as an aggregation update of accumulator `acc`:
+/// `<acc> + e` (sum), `<acc> + 1` (count).
+fn classify_agg(arena: &FirArena, item: FirId, acc: &str, loop_var: &str) -> Option<AggClass> {
+    // Flatten an Add chain and find <acc> exactly once.
+    fn flatten(arena: &FirArena, id: FirId, out: &mut Vec<FirId>) {
+        if let FirNode::Bin(BinOp::Add, l, r) = arena.node(id) {
+            flatten(arena, *l, out);
+            flatten(arena, *r, out);
+        } else {
+            out.push(id);
+        }
+    }
+    let mut terms = Vec::new();
+    flatten(arena, item, &mut terms);
+    let acc_node = FirNode::AccParam(acc.to_string());
+    let acc_positions: Vec<usize> = terms
+        .iter()
+        .enumerate()
+        .filter(|(_, &t)| arena.node(t) == &acc_node)
+        .map(|(i, _)| i)
+        .collect();
+    if acc_positions.len() != 1 {
+        return None;
+    }
+    let rest: Vec<FirId> = terms
+        .into_iter()
+        .filter(|&t| arena.node(t) != &acc_node)
+        .collect();
+    if rest.is_empty() {
+        return None;
+    }
+    // count: the remaining term is the constant 1.
+    if rest.len() == 1 {
+        if let FirNode::Const(Value::Int(1)) = arena.node(rest[0]) {
+            return Some(AggClass { func: AggFunc::Count, arg: None });
+        }
+    }
+    // sum: all remaining terms translate to scalar expressions over the
+    // fold tuple with no correlation.
+    let mut binds = Vec::new();
+    let mut sum_expr: Option<ScalarExpr> = None;
+    for t in rest {
+        let s = to_scalar(arena, t, loop_var, &mut binds)?;
+        sum_expr = Some(match sum_expr {
+            None => s,
+            Some(acc) => ScalarExpr::bin(BinOp::Add, acc, s),
+        });
+    }
+    if !binds.is_empty() {
+        return None; // correlated aggregation argument: keep in the loop
+    }
+    Some(AggClass { func: AggFunc::Sum, arg: sum_expr })
+}
+
+/// Strip a top-level ORDER BY (irrelevant under aggregation) and a
+/// rename-free projection (the aggregate arguments reference base columns
+/// by the same names).
+fn strip_order(plan: &LogicalPlan) -> LogicalPlan {
+    let p = match plan {
+        LogicalPlan::OrderBy { input, .. } => (**input).clone(),
+        other => other.clone(),
+    };
+    if let LogicalPlan::Project { input, items } = &p {
+        let trivial = items
+            .iter()
+            .all(|(e, name)| matches!(e, ScalarExpr::Col(c) if &c.name == name));
+        if trivial {
+            return (**input).clone();
+        }
+    }
+    p
+}
+
+/// Rule T5: extract aggregations into SQL.
+///
+/// * If **every** accumulator is a scalar aggregation, the whole loop
+///   becomes one aggregate query (Figure 10's node 2 generalized).
+/// * Otherwise each extractable accumulator yields a *partial* alternative:
+///   the loop is kept intact and an extra aggregate query recomputes the
+///   accumulator — the paper's §V-B example of a rewrite that usually
+///   degrades performance and must be judged by the cost model.
+pub fn t5_aggregation(alt: &FirAlternative) -> Vec<FirAlternative> {
+    let Some(fold) = top_fold(alt) else { return Vec::new() };
+    let Some(parts) = fold_parts(&alt.arena, fold) else { return Vec::new() };
+    let FirNode::Query { plan, binds } = alt.arena.node(parts.source) else {
+        return Vec::new();
+    };
+    if !binds.is_empty() {
+        return Vec::new(); // correlated source: aggregation not uncorrelated
+    }
+    let classes: Vec<Option<AggClass>> = parts
+        .updated
+        .iter()
+        .zip(&parts.func_items)
+        .map(|(u, &item)| classify_agg(&alt.arena, item, u, &parts.loop_var))
+        .collect();
+
+    let mut out = Vec::new();
+    let all = classes.iter().all(|c| c.is_some());
+    if all && !classes.is_empty() {
+        // Full extraction: one aggregate query computing every accumulator.
+        let mut arena = alt.arena.clone();
+        let aggs: Vec<AggItem> = parts
+            .updated
+            .iter()
+            .zip(&classes)
+            .map(|(u, c)| {
+                let c = c.as_ref().unwrap();
+                AggItem {
+                    func: c.func,
+                    arg: c.arg.clone(),
+                    name: format!("agg_{u}"),
+                }
+            })
+            .collect();
+        let agg_plan = strip_order(plan).aggregate(Vec::new(), aggs);
+        let assigns = if parts.updated.len() == 1 {
+            let sq = arena.add(FirNode::ScalarQuery { plan: agg_plan, binds: Vec::new() });
+            vec![(parts.updated[0].clone(), sq)]
+        } else {
+            let q = arena.add(FirNode::Query { plan: agg_plan, binds: Vec::new() });
+            parts
+                .updated
+                .iter()
+                .map(|u| {
+                    let rf = arena.add(FirNode::RowField(q, format!("agg_{u}")));
+                    (u.clone(), rf)
+                })
+                .collect()
+        };
+        let mut rules_applied = alt.rules_applied.clone();
+        rules_applied.push("T5");
+        out.push(FirAlternative {
+            arena,
+            prefetches: alt.prefetches.clone(),
+            assigns,
+            rules_applied,
+            requires_empty_init: alt.requires_empty_init.clone(),
+        });
+    } else {
+        // Partial extraction (per extractable accumulator): keep the loop,
+        // add an aggregate query that recomputes the accumulator after it.
+        for (i, u) in parts.updated.iter().enumerate() {
+            let Some(c) = &classes[i] else { continue };
+            let mut arena = alt.arena.clone();
+            let agg_plan = strip_order(plan).aggregate(
+                Vec::new(),
+                vec![AggItem { func: c.func, arg: c.arg.clone(), name: format!("agg_{u}") }],
+            );
+            let sq = arena.add(FirNode::ScalarQuery { plan: agg_plan, binds: Vec::new() });
+            let mut assigns = alt.assigns.clone();
+            assigns.push((u.clone(), sq));
+            let mut rules_applied = alt.rules_applied.clone();
+            rules_applied.push("T5-partial");
+            out.push(FirAlternative {
+                arena,
+                prefetches: alt.prefetches.clone(),
+                assigns,
+                rules_applied,
+                requires_empty_init: alt.requires_empty_init.clone(),
+            });
+        }
+    }
+    out
+}
+
+// --------------------------------------------------------------------
+// Rule T2 — predicate push into the query.
+// --------------------------------------------------------------------
+
+/// Rule T2 applied to one fold node: if every accumulator update is
+/// `?(p, g, <acc>)` with the same `p`, push `p` into the source query.
+fn t2_on_fold(arena: &mut FirArena, fold: FirId) -> Option<(FirNode, &'static str)> {
+    let parts = fold_parts(arena, fold)?;
+    let FirNode::Query { plan, binds } = arena.node(parts.source).clone() else {
+        return None;
+    };
+    let mut common_pred: Option<FirId> = None;
+    let mut inner_items = Vec::with_capacity(parts.func_items.len());
+    for (u, &item) in parts.updated.iter().zip(&parts.func_items) {
+        let FirNode::Cond { pred, then_val, else_val } = arena.node(item).clone() else {
+            return None;
+        };
+        let acc = arena.add(FirNode::AccParam(u.clone()));
+        if else_val != acc {
+            return None;
+        }
+        match common_pred {
+            None => common_pred = Some(pred),
+            Some(p) if p == pred => {}
+            _ => return None,
+        }
+        inner_items.push(then_val);
+    }
+    let pred = common_pred?;
+    let mut new_binds = binds.clone();
+    let scalar = to_scalar(arena, pred, &parts.loop_var, &mut new_binds)?;
+    let new_plan = plan.select(scalar);
+    let new_source = arena.add(FirNode::Query { plan: new_plan, binds: new_binds });
+    let func = arena.add(FirNode::Tuple(inner_items));
+    let init = arena.add(FirNode::Tuple(parts.init_items.clone()));
+    Some((
+        FirNode::Fold {
+            func,
+            init,
+            source: new_source,
+            loop_var: parts.loop_var.clone(),
+            updated: parts.updated.clone(),
+        },
+        "T2",
+    ))
+}
+
+// --------------------------------------------------------------------
+// Rule N2 — selection pull-out (reverse of T2).
+// --------------------------------------------------------------------
+
+fn n2_on_fold(arena: &mut FirArena, fold: FirId) -> Option<(FirNode, &'static str)> {
+    let parts = fold_parts(arena, fold)?;
+    let FirNode::Query { plan, binds } = arena.node(parts.source).clone() else {
+        return None;
+    };
+    let LogicalPlan::Select { input, pred } = plan else { return None };
+    let fir_pred = from_scalar(arena, &pred, &parts.loop_var, &binds)?;
+    // Drop binds consumed by the predicate.
+    let mut used = Vec::new();
+    pred.collect_params(&mut used);
+    let rest_binds: Vec<(String, FirId)> =
+        binds.into_iter().filter(|(n, _)| !used.contains(n)).collect();
+    let new_source = arena.add(FirNode::Query { plan: (*input).clone(), binds: rest_binds });
+    let new_items: Vec<FirId> = parts
+        .updated
+        .iter()
+        .zip(&parts.func_items)
+        .map(|(u, &item)| {
+            let acc = arena.add(FirNode::AccParam(u.clone()));
+            arena.add(FirNode::Cond { pred: fir_pred, then_val: item, else_val: acc })
+        })
+        .collect();
+    let func = arena.add(FirNode::Tuple(new_items));
+    let init = arena.add(FirNode::Tuple(parts.init_items.clone()));
+    Some((
+        FirNode::Fold {
+            func,
+            init,
+            source: new_source,
+            loop_var: parts.loop_var.clone(),
+            updated: parts.updated.clone(),
+        },
+        "N2",
+    ))
+}
+
+// --------------------------------------------------------------------
+// T4 / T5-variant — lookups and nested loops become joins.
+// --------------------------------------------------------------------
+
+/// Rewrite an iterative single-row lookup inside the fold into a join with
+/// the source (the paper's "variation of rule T5" that turns P0 into P1).
+fn lookup_to_join_on_fold(arena: &mut FirArena, fold: FirId) -> Option<(FirNode, &'static str)> {
+    let parts = fold_parts(arena, fold)?;
+    let FirNode::Query { plan, binds } = arena.node(parts.source).clone() else {
+        return None;
+    };
+    // Find a lookup query reachable from the fold function whose key is an
+    // attribute of *this* fold's tuple.
+    let func_node = arena.add(FirNode::Tuple(parts.func_items.clone()));
+    let mut target: Option<(FirId, String, String, String)> = None;
+    for id in arena.reachable(func_node) {
+        if let Some((table, key_col, key)) = match_lookup_query(arena, id) {
+            if let FirNode::TupleAttr(v, b) = arena.node(key).clone() {
+                if v == parts.loop_var {
+                    target = Some((id, table, key_col, b));
+                    break;
+                }
+            }
+        }
+    }
+    let (lookup, table, key_col, fk_col) = target?;
+
+    // New source: source ⋈_{fk = key} table.
+    let join_plan = plan.join(
+        LogicalPlan::scan(&table),
+        ScalarExpr::eq(ScalarExpr::col(&fk_col), ScalarExpr::col(&key_col)),
+    );
+    let new_source = arena.add(FirNode::Query { plan: join_plan, binds });
+
+    // Rewrite items: fields of the lookup become attributes of the joined
+    // tuple.
+    let loop_var = parts.loop_var.clone();
+    let new_items: Vec<FirId> = parts
+        .func_items
+        .iter()
+        .map(|&item| {
+            arena.rewrite(item, &|id, node| match node {
+                FirNode::RowField(base, col) if *base == lookup => {
+                    Some(FirNode::TupleAttr(loop_var.clone(), col.clone()))
+                }
+                _ => {
+                    let _ = id;
+                    None
+                }
+            })
+        })
+        .collect();
+    // The lookup must be fully consumed by field accesses.
+    for &item in &new_items {
+        if arena.reachable(item).contains(&lookup) {
+            return None;
+        }
+    }
+    let func = arena.add(FirNode::Tuple(new_items));
+    let init = arena.add(FirNode::Tuple(parts.init_items.clone()));
+    Some((
+        FirNode::Fold {
+            func,
+            init,
+            source: new_source,
+            loop_var: parts.loop_var.clone(),
+            updated: parts.updated.clone(),
+        },
+        "T4/T5var(lookup-to-join)",
+    ))
+}
+
+/// Rule T4 proper: a nested fold over a correlated selection becomes a
+/// single fold over a join (nested-loops join identification, pattern C).
+fn t4_nested_join_on_fold(arena: &mut FirArena, fold: FirId) -> Option<(FirNode, &'static str)> {
+    let outer = fold_parts(arena, fold)?;
+    let FirNode::Query { plan: outer_plan, binds: outer_binds } =
+        arena.node(outer.source).clone()
+    else {
+        return None;
+    };
+    // Every outer item must be project_j(inner_fold) of one inner fold.
+    let mut inner_fold: Option<FirId> = None;
+    for &item in &outer.func_items {
+        let FirNode::Project(f, _) = arena.node(item) else { return None };
+        match inner_fold {
+            None => inner_fold = Some(*f),
+            Some(existing) if existing == *f => {}
+            _ => return None,
+        }
+    }
+    let inner = fold_parts(arena, inner_fold?)?;
+    // Inner source: σ_{A = outer.B}(R).
+    let (table, key_col, key) = match_lookup_query(arena, inner.source)?;
+    let FirNode::TupleAttr(v, fk_col) = arena.node(key).clone() else { return None };
+    if v != outer.loop_var {
+        return None;
+    }
+    // Inner init must be the plain accumulators (no accumulation between
+    // the loop header and the inner loop).
+    for (u, &init) in inner.updated.iter().zip(&inner.init_items) {
+        let acc = arena.add(FirNode::AccParam(u.clone()));
+        if init != acc {
+            return None;
+        }
+    }
+    // Inner updated must cover outer updated (same variables).
+    if inner.updated != outer.updated {
+        return None;
+    }
+
+    let join_plan = outer_plan.join(
+        LogicalPlan::scan(&table),
+        ScalarExpr::eq(ScalarExpr::col(&fk_col), ScalarExpr::col(&key_col)),
+    );
+    let new_source = arena.add(FirNode::Query { plan: join_plan, binds: outer_binds });
+    // Rename the inner tuple variable to the outer one: the join tuple
+    // carries both sides' columns.
+    let outer_var = outer.loop_var.clone();
+    let inner_var = inner.loop_var.clone();
+    let new_items: Vec<FirId> = inner
+        .func_items
+        .iter()
+        .map(|&item| {
+            arena.rewrite(item, &|_, node| match node {
+                FirNode::TupleAttr(v, c) if *v == inner_var => {
+                    Some(FirNode::TupleAttr(outer_var.clone(), c.clone()))
+                }
+                FirNode::TupleVar(v) if *v == inner_var => {
+                    Some(FirNode::TupleVar(outer_var.clone()))
+                }
+                _ => None,
+            })
+        })
+        .collect();
+    let func = arena.add(FirNode::Tuple(new_items));
+    let init = arena.add(FirNode::Tuple(outer.init_items.clone()));
+    Some((
+        FirNode::Fold {
+            func,
+            init,
+            source: new_source,
+            loop_var: outer.loop_var.clone(),
+            updated: outer.updated.clone(),
+        },
+        "T4",
+    ))
+}
+
+// --------------------------------------------------------------------
+// Rule N1 — prefetching.
+// --------------------------------------------------------------------
+
+/// Rule N1: replace every eq-keyed lookup query (correlated or constant)
+/// with a client-cache lookup, adding the prefetch obligations.
+pub fn n1_prefetch(alt: &FirAlternative) -> Option<FirAlternative> {
+    // Collect matches first.
+    let mut arena = alt.arena.clone();
+    let mut lookups: Vec<(FirId, String, String, FirId)> = Vec::new();
+    for (_, root) in &alt.assigns {
+        let ids = arena.reachable(*root);
+        for id in ids {
+            if lookups.iter().any(|(l, _, _, _)| *l == id) {
+                continue;
+            }
+            // Whole-table fold sources are not N1 targets — only eq-keyed
+            // filtered lookups are.
+            if let Some((table, key_col, key)) = match_lookup_query_mut(&mut arena, id) {
+                lookups.push((id, table, key_col, key));
+            }
+        }
+    }
+    if lookups.is_empty() {
+        return None;
+    }
+    let mut prefetches = alt.prefetches.clone();
+    let mut assigns = Vec::with_capacity(alt.assigns.len());
+    for (v, root) in &alt.assigns {
+        let lk = lookups.clone();
+        let new_root = arena.rewrite(*root, &|id, _| {
+            lk.iter().find(|(l, _, _, _)| *l == id).map(|(_, table, key_col, key)| {
+                FirNode::CacheLookup {
+                    table: table.clone(),
+                    key_col: key_col.clone(),
+                    key: *key,
+                }
+            })
+        });
+        assigns.push((v.clone(), new_root));
+    }
+    for (_, table, key_col, _) in lookups {
+        let p = Prefetch { table, key_col };
+        if !prefetches.contains(&p) {
+            prefetches.push(p);
+        }
+    }
+    let mut rules_applied = alt.rules_applied.clone();
+    rules_applied.push("N1");
+    Some(FirAlternative {
+        arena,
+        prefetches,
+        assigns,
+        rules_applied,
+        requires_empty_init: alt.requires_empty_init.clone(),
+    })
+}
+
+// --------------------------------------------------------------------
+// Rule T1 — fold removal.
+// --------------------------------------------------------------------
+
+/// Rule T1: `fold(insert, {}, Q) = Q`. Valid only when the accumulator is
+/// empty at region entry — recorded in `requires_empty_init` and gated by
+/// the optimizer against the surrounding region.
+pub fn t1_fold_removal(alt: &FirAlternative) -> Option<FirAlternative> {
+    let fold = top_fold(alt)?;
+    let parts = fold_parts(&alt.arena, fold)?;
+    if parts.updated.len() != 1 || alt.assigns.len() != 1 {
+        return None;
+    }
+    let item = parts.func_items[0];
+    let FirNode::Insert(base, elem) = alt.arena.node(item).clone() else { return None };
+    let acc = FirNode::AccParam(parts.updated[0].clone());
+    if alt.arena.node(base) != &acc {
+        return None;
+    }
+    let FirNode::TupleVar(v) = alt.arena.node(elem) else { return None };
+    if *v != parts.loop_var {
+        return None;
+    }
+    if !matches!(alt.arena.node(parts.source), FirNode::Query { .. }) {
+        return None;
+    }
+    let mut rules_applied = alt.rules_applied.clone();
+    rules_applied.push("T1");
+    Some(FirAlternative {
+        arena: alt.arena.clone(),
+        prefetches: alt.prefetches.clone(),
+        assigns: vec![(parts.updated[0].clone(), parts.source)],
+        rules_applied,
+        requires_empty_init: Some(parts.updated[0].clone()),
+    })
+}
+
+// --------------------------------------------------------------------
+// Driver.
+// --------------------------------------------------------------------
+
+/// Close `base` under all rules, deduplicating structurally. Returns the
+/// base plus every derived alternative (bounded by `max_alternatives`).
+pub fn expand_alternatives(base: FirAlternative, max_alternatives: usize) -> Vec<FirAlternative> {
+    let mut out: Vec<FirAlternative> = Vec::new();
+    let mut seen: Vec<String> = Vec::new();
+    let mut queue: Vec<FirAlternative> = vec![base];
+    while let Some(alt) = queue.pop() {
+        let key = alt.key();
+        if seen.contains(&key) {
+            continue;
+        }
+        seen.push(key);
+        out.push(alt.clone());
+        if out.len() >= max_alternatives {
+            break;
+        }
+
+        // Alternative-level rules.
+        for produced in t5_aggregation(&alt) {
+            queue.push(produced);
+        }
+        if let Some(p) = n1_prefetch(&alt) {
+            queue.push(p);
+        }
+        if let Some(p) = t1_fold_removal(&alt) {
+            queue.push(p);
+        }
+
+        // Fold-local rules, tried at every fold node.
+        type FoldRule = fn(&mut FirArena, FirId) -> Option<(FirNode, &'static str)>;
+        let fold_rules: [FoldRule; 4] = [
+            t2_on_fold,
+            n2_on_fold,
+            lookup_to_join_on_fold,
+            t4_nested_join_on_fold,
+        ];
+        for fold in reachable_folds(&alt) {
+            for rule in fold_rules {
+                let mut arena = alt.arena.clone();
+                if let Some((replacement, name)) = rule(&mut arena, fold) {
+                    let staged = FirAlternative { arena, ..alt.clone() };
+                    let rewritten = replace_node(&staged, fold, replacement, name, Vec::new());
+                    queue.push(rewritten);
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::loop_to_fold;
+    use imperative::ast::{Expr, QuerySpec, Stmt, StmtKind};
+    use orm::{EntityMapping, MappingRegistry};
+
+    fn mappings() -> MappingRegistry {
+        let mut r = MappingRegistry::new();
+        r.register(
+            EntityMapping::new("Order", "orders", "o_id").many_to_one(
+                "customer",
+                "Customer",
+                "o_customer_sk",
+            ),
+        );
+        r.register(EntityMapping::new("Customer", "customer", "c_customer_sk"));
+        r
+    }
+
+    fn p0_alternative() -> FirAlternative {
+        let body = vec![
+            Stmt::new(StmtKind::Let(
+                "cust".into(),
+                Expr::nav(Expr::var("o"), "customer"),
+            )),
+            Stmt::new(StmtKind::Let(
+                "val".into(),
+                Expr::Call(
+                    "myFunc".into(),
+                    vec![
+                        Expr::field(Expr::var("o"), "o_id"),
+                        Expr::field(Expr::var("cust"), "c_birth_year"),
+                    ],
+                ),
+            )),
+            Stmt::new(StmtKind::Add("result".into(), Expr::var("val"))),
+        ];
+        loop_to_fold("o", &Expr::LoadAll("Order".into()), &body, &mappings(), Some(&["result".to_string()])).unwrap()
+    }
+
+    #[test]
+    fn lookup_to_join_produces_p1_shape() {
+        let alts = expand_alternatives(p0_alternative(), 32);
+        let join = alts
+            .iter()
+            .find(|a| a.rules_applied.contains(&"T4/T5var(lookup-to-join)"))
+            .expect("join alternative");
+        let text = join.display();
+        assert!(
+            text.contains("join customer on o_customer_sk = c_customer_sk"),
+            "{text}"
+        );
+        assert!(text.contains("myFunc(o.o_id, o.c_birth_year)"), "{text}");
+        assert!(join.prefetches.is_empty());
+    }
+
+    #[test]
+    fn n1_produces_p2_shape() {
+        let alts = expand_alternatives(p0_alternative(), 32);
+        let pf = alts
+            .iter()
+            .find(|a| a.rules_applied.contains(&"N1"))
+            .expect("prefetch alternative");
+        let text = pf.display();
+        assert!(text.contains("prefetch(customer,c_customer_sk)"), "{text}");
+        assert!(
+            text.contains("lookup(customer.c_customer_sk = o.o_customer_sk)"),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn expansion_includes_original() {
+        let base = p0_alternative();
+        let base_key = base.key();
+        let alts = expand_alternatives(base, 32);
+        assert!(alts.iter().any(|a| a.key() == base_key));
+        assert!(alts.len() >= 3, "P0, P1-like, P2-like at minimum: {}", alts.len());
+    }
+
+    #[test]
+    fn t5_full_extraction_single_aggregate() {
+        // for (t : sales) { sum = sum + t.sale_amt }
+        let body = vec![Stmt::new(StmtKind::Let(
+            "sum".into(),
+            Expr::bin(
+                BinOp::Add,
+                Expr::var("sum"),
+                Expr::field(Expr::var("t"), "sale_amt"),
+            ),
+        ))];
+        let base = loop_to_fold(
+            "t",
+            &Expr::Query(QuerySpec::sql("select month, sale_amt from sales order by month")),
+            &body,
+            &mappings(),
+            None,
+        )
+        .unwrap();
+        let alts = expand_alternatives(base, 32);
+        let agg = alts
+            .iter()
+            .find(|a| a.rules_applied.contains(&"T5"))
+            .expect("aggregate alternative");
+        let text = agg.display();
+        assert!(
+            text.contains("scalarQ[select sum(sale_amt) as agg_sum from sales]"),
+            "order-by stripped, fold gone: {text}"
+        );
+    }
+
+    #[test]
+    fn t5_partial_keeps_loop_and_adds_query() {
+        // Figure 7: dependent aggregations — partial extraction keeps the
+        // loop and appends the aggregate query (the degraded §V-B rewrite).
+        let body = vec![
+            Stmt::new(StmtKind::Let(
+                "sum".into(),
+                Expr::bin(
+                    BinOp::Add,
+                    Expr::var("sum"),
+                    Expr::field(Expr::var("t"), "sale_amt"),
+                ),
+            )),
+            Stmt::new(StmtKind::Put(
+                "cSum".into(),
+                Expr::field(Expr::var("t"), "month"),
+                Expr::var("sum"),
+            )),
+        ];
+        let base = loop_to_fold(
+            "t",
+            &Expr::Query(QuerySpec::sql("select month, sale_amt from sales order by month")),
+            &body,
+            &mappings(),
+            None,
+        )
+        .unwrap();
+        let alts = expand_alternatives(base, 32);
+        let partial = alts
+            .iter()
+            .find(|a| a.rules_applied.contains(&"T5-partial"))
+            .expect("partial alternative");
+        assert_eq!(partial.assigns.len(), 3, "sum, cSum from loop + sum override");
+        let text = partial.display();
+        assert!(text.contains("fold("), "loop kept: {text}");
+        assert!(text.contains("scalarQ[select sum(sale_amt)"), "{text}");
+    }
+
+    #[test]
+    fn t2_pushes_conditional_into_query() {
+        let body = vec![Stmt::new(StmtKind::If {
+            cond: Expr::bin(
+                BinOp::Gt,
+                Expr::field(Expr::var("t"), "o_amount"),
+                Expr::lit(10i64),
+            ),
+            then_branch: vec![Stmt::new(StmtKind::Add("r".into(), Expr::var("t")))],
+            else_branch: vec![],
+        })];
+        let base = loop_to_fold(
+            "t",
+            &Expr::Query(QuerySpec::sql("select * from orders")),
+            &body,
+            &mappings(),
+            None,
+        )
+        .unwrap();
+        let alts = expand_alternatives(base, 32);
+        let pushed = alts
+            .iter()
+            .find(|a| a.rules_applied.contains(&"T2"))
+            .expect("T2 alternative");
+        let text = pushed.display();
+        assert!(
+            text.contains("Q[select * from orders where o_amount > 10]"),
+            "{text}"
+        );
+        assert!(!text.contains("?("), "conditional gone: {text}");
+    }
+
+    #[test]
+    fn t2_then_t1_turns_filtered_materialization_into_query() {
+        // for (t : orders) { if (t.amount > 10) r.add(t) } — T2 + T1 give
+        // r = σ(orders), requiring empty init.
+        let body = vec![Stmt::new(StmtKind::If {
+            cond: Expr::bin(
+                BinOp::Gt,
+                Expr::field(Expr::var("t"), "o_amount"),
+                Expr::lit(10i64),
+            ),
+            then_branch: vec![Stmt::new(StmtKind::Add("r".into(), Expr::var("t")))],
+            else_branch: vec![],
+        })];
+        let base = loop_to_fold(
+            "t",
+            &Expr::Query(QuerySpec::sql("select * from orders")),
+            &body,
+            &mappings(),
+            None,
+        )
+        .unwrap();
+        let alts = expand_alternatives(base, 32);
+        let t1 = alts
+            .iter()
+            .find(|a| a.rules_applied.contains(&"T1"))
+            .expect("T1 alternative");
+        assert_eq!(t1.requires_empty_init.as_deref(), Some("r"));
+        let text = t1.display();
+        assert!(text.contains("r=Q[select * from orders where o_amount > 10]"), "{text}");
+    }
+
+    #[test]
+    fn n2_pulls_selection_out_enabling_prefetch() {
+        // for (t : σ_{st='open'}(orders)) { r.add(t.o_id) } — N2 pulls the
+        // filter to the client; N1 can then prefetch the whole relation.
+        let body = vec![Stmt::new(StmtKind::Add(
+            "r".into(),
+            Expr::field(Expr::var("t"), "o_id"),
+        ))];
+        let base = loop_to_fold(
+            "t",
+            &Expr::Query(QuerySpec::sql("select * from orders where o_status = 'open'")),
+            &body,
+            &mappings(),
+            None,
+        )
+        .unwrap();
+        let alts = expand_alternatives(base, 64);
+        let pulled = alts
+            .iter()
+            .find(|a| a.rules_applied.contains(&"N2"))
+            .expect("N2 alternative");
+        let text = pulled.display();
+        assert!(text.contains("?((t.o_status = \"open\")"), "{text}");
+        assert!(text.contains("Q[select * from orders]"), "{text}");
+        // And some alternative prefetches the orders table by status.
+        let prefetched = alts.iter().find(|a| {
+            a.prefetches
+                .iter()
+                .any(|p| p.table == "orders" && p.key_col == "o_status")
+        });
+        assert!(prefetched.is_some(), "N1 after lookup-shaped source");
+    }
+
+    #[test]
+    fn t4_nested_loop_join_identification() {
+        let inner_iter = Expr::Query(
+            QuerySpec::sql("select * from customer where c_customer_sk = :k")
+                .bind("k", Expr::field(Expr::var("o"), "o_customer_sk")),
+        );
+        let body = vec![Stmt::new(StmtKind::ForEach {
+            var: "c".into(),
+            iter: inner_iter,
+            body: vec![Stmt::new(StmtKind::Add(
+                "result".into(),
+                Expr::field(Expr::var("c"), "c_birth_year"),
+            ))],
+        })];
+        let base =
+            loop_to_fold("o", &Expr::LoadAll("Order".into()), &body, &mappings(), Some(&["result".to_string()])).unwrap();
+        let alts = expand_alternatives(base, 64);
+        let joined = alts
+            .iter()
+            .find(|a| a.rules_applied.contains(&"T4"))
+            .expect("T4 alternative");
+        let text = joined.display();
+        assert!(
+            text.contains("join customer on o_customer_sk = c_customer_sk"),
+            "{text}"
+        );
+        assert!(text.contains("insert(<result>, o.c_birth_year)"), "{text}");
+        assert_eq!(text.matches("fold(").count(), 1, "single fold only: {text}");
+    }
+
+    #[test]
+    fn expansion_terminates_under_cyclic_t2_n2() {
+        let body = vec![Stmt::new(StmtKind::If {
+            cond: Expr::bin(
+                BinOp::Gt,
+                Expr::field(Expr::var("t"), "o_amount"),
+                Expr::lit(10i64),
+            ),
+            then_branch: vec![Stmt::new(StmtKind::Add("r".into(), Expr::var("t")))],
+            else_branch: vec![],
+        })];
+        let base = loop_to_fold(
+            "t",
+            &Expr::Query(QuerySpec::sql("select * from orders")),
+            &body,
+            &mappings(),
+            None,
+        )
+        .unwrap();
+        let alts = expand_alternatives(base, 1000);
+        assert!(alts.len() < 100, "dedup bounds the closure: {}", alts.len());
+        // T2 and N2 both fired somewhere in the closure.
+        assert!(alts.iter().any(|a| a.rules_applied.contains(&"T2")));
+        // N2 applied to the T2 result reproduces the base alternative and
+        // is deduplicated away — exactly how cyclic rules terminate.
+        let keys: Vec<String> = alts.iter().map(|a| a.key()).collect();
+        let mut unique = keys.clone();
+        unique.sort();
+        unique.dedup();
+        assert_eq!(unique.len(), keys.len(), "no duplicate alternatives");
+    }
+}

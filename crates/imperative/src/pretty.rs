@@ -1,0 +1,282 @@
+//! Pseudo-code printer for programs.
+//!
+//! Renders functions the way the paper's listings read, e.g.:
+//!
+//! ```text
+//! processOrders(result) {
+//!   result = {};
+//!   for (o : loadAll(Order)) {
+//!     cust = o.customer;
+//!     val = myFunc(o.o_id, cust.c_birth_year);
+//!     result.add(val);
+//!   }
+//! }
+//! ```
+
+use crate::ast::{Expr, Function, Stmt, StmtKind};
+use minidb::sql;
+use std::fmt::Write as _;
+
+/// Render a function as pseudo-code.
+pub fn function_to_string(f: &Function) -> String {
+    let mut out = String::new();
+    let _ = write!(out, "{}({}) {{\n", f.name, f.params.join(", "));
+    write_stmts(&mut out, &f.body, 1);
+    out.push_str("}\n");
+    out
+}
+
+/// Render a statement list at the given indent depth.
+pub fn stmts_to_string(stmts: &[Stmt]) -> String {
+    let mut out = String::new();
+    write_stmts(&mut out, stmts, 0);
+    out
+}
+
+/// Render one expression.
+pub fn expr_to_string(e: &Expr) -> String {
+    match e {
+        Expr::Var(v) => v.clone(),
+        Expr::Lit(v) => match v {
+            minidb::Value::Str(s) => format!("{s:?}"),
+            other => other.to_string(),
+        },
+        Expr::Bin(op, l, r) => {
+            format!("{} {} {}", expr_to_string(l), op.sql(), expr_to_string(r))
+        }
+        Expr::Not(inner) => format!("!({})", expr_to_string(inner)),
+        Expr::Field(b, f) => format!("{}.{}", expr_to_string(b), f),
+        Expr::Nav(b, f) => format!("{}.{}", expr_to_string(b), f),
+        Expr::Call(f, args) => {
+            let rendered: Vec<String> = args.iter().map(expr_to_string).collect();
+            format!("{f}({})", rendered.join(", "))
+        }
+        Expr::LoadAll(entity) => format!("loadAll({entity})"),
+        Expr::Query(q) => {
+            if q.binds.is_empty() {
+                format!("executeQuery(\"{}\")", sql::print(&q.plan))
+            } else {
+                let binds: Vec<String> = q
+                    .binds
+                    .iter()
+                    .map(|(p, e)| format!("{p}={}", expr_to_string(e)))
+                    .collect();
+                format!(
+                    "executeQuery(\"{}\", {})",
+                    sql::print(&q.plan),
+                    binds.join(", ")
+                )
+            }
+        }
+        Expr::ScalarQuery(q) => {
+            if q.binds.is_empty() {
+                format!("executeScalar(\"{}\")", sql::print(&q.plan))
+            } else {
+                let binds: Vec<String> = q
+                    .binds
+                    .iter()
+                    .map(|(p, e)| format!("{p}={}", expr_to_string(e)))
+                    .collect();
+                format!(
+                    "executeScalar(\"{}\", {})",
+                    sql::print(&q.plan),
+                    binds.join(", ")
+                )
+            }
+        }
+        Expr::LookupCache(cache, key) => {
+            format!("Utils.lookupCache({cache}, {})", expr_to_string(key))
+        }
+        Expr::MapGet(m, k) => format!("{}.get({})", expr_to_string(m), expr_to_string(k)),
+        Expr::Len(c) => format!("{}.size()", expr_to_string(c)),
+    }
+}
+
+fn write_stmts(out: &mut String, stmts: &[Stmt], depth: usize) {
+    for s in stmts {
+        write_stmt(out, s, depth);
+    }
+}
+
+fn indent(out: &mut String, depth: usize) {
+    for _ in 0..depth {
+        out.push_str("  ");
+    }
+}
+
+fn write_stmt(out: &mut String, s: &Stmt, depth: usize) {
+    indent(out, depth);
+    match &s.kind {
+        StmtKind::Let(v, e) => {
+            let _ = writeln!(out, "{v} = {};", expr_to_string(e));
+        }
+        StmtKind::NewCollection(v) => {
+            let _ = writeln!(out, "{v} = {{}};");
+        }
+        StmtKind::NewMap(v) => {
+            let _ = writeln!(out, "{v} = new Map();");
+        }
+        StmtKind::Add(c, e) => {
+            let _ = writeln!(out, "{c}.add({});", expr_to_string(e));
+        }
+        StmtKind::Put(m, k, v) => {
+            let _ = writeln!(out, "{m}.put({}, {});", expr_to_string(k), expr_to_string(v));
+        }
+        StmtKind::ForEach { var, iter, body } => {
+            let _ = writeln!(out, "for ({var} : {}) {{", expr_to_string(iter));
+            write_stmts(out, body, depth + 1);
+            indent(out, depth);
+            out.push_str("}\n");
+        }
+        StmtKind::While { cond, body } => {
+            let _ = writeln!(out, "while ({}) {{", expr_to_string(cond));
+            write_stmts(out, body, depth + 1);
+            indent(out, depth);
+            out.push_str("}\n");
+        }
+        StmtKind::If { cond, then_branch, else_branch } => {
+            let _ = writeln!(out, "if ({}) {{", expr_to_string(cond));
+            write_stmts(out, then_branch, depth + 1);
+            indent(out, depth);
+            if else_branch.is_empty() {
+                out.push_str("}\n");
+            } else {
+                out.push_str("} else {\n");
+                write_stmts(out, else_branch, depth + 1);
+                indent(out, depth);
+                out.push_str("}\n");
+            }
+        }
+        StmtKind::Print(e) => {
+            let _ = writeln!(out, "print({});", expr_to_string(e));
+        }
+        StmtKind::Return(Some(e)) => {
+            let _ = writeln!(out, "return {};", expr_to_string(e));
+        }
+        StmtKind::Return(None) => {
+            out.push_str("return;\n");
+        }
+        StmtKind::Break => {
+            out.push_str("break;\n");
+        }
+        StmtKind::CacheByColumn { cache, source, key_col } => {
+            let _ = writeln!(
+                out,
+                "{cache} = Utils.cacheByColumn({}, '{key_col}');",
+                expr_to_string(source)
+            );
+        }
+        StmtKind::UpdateQuery { table, set_col, value, key_col, key } => {
+            let _ = writeln!(
+                out,
+                "executeUpdate(\"update {table} set {set_col} = ? where {key_col} = ?\", {}, {});",
+                expr_to_string(value),
+                expr_to_string(key)
+            );
+        }
+        StmtKind::LetCall(v, f, args) => {
+            let rendered: Vec<String> = args.iter().map(expr_to_string).collect();
+            let _ = writeln!(out, "{v} = {f}({});", rendered.join(", "));
+        }
+        StmtKind::TryCatch { body, handler } => {
+            out.push_str("try {\n");
+            write_stmts(out, body, depth + 1);
+            indent(out, depth);
+            out.push_str("} catch {\n");
+            write_stmts(out, handler, depth + 1);
+            indent(out, depth);
+            out.push_str("}\n");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::QuerySpec;
+    use minidb::BinOp;
+
+    #[test]
+    fn renders_p0_like_the_paper() {
+        let f = Function::new(
+            "processOrders",
+            vec!["result".to_string()],
+            vec![
+                Stmt::new(StmtKind::NewCollection("result".into())),
+                Stmt::new(StmtKind::ForEach {
+                    var: "o".into(),
+                    iter: Expr::LoadAll("Order".into()),
+                    body: vec![
+                        Stmt::new(StmtKind::Let(
+                            "cust".into(),
+                            Expr::nav(Expr::var("o"), "customer"),
+                        )),
+                        Stmt::new(StmtKind::Add("result".into(), Expr::var("cust"))),
+                    ],
+                }),
+            ],
+        );
+        let text = function_to_string(&f);
+        assert!(text.contains("processOrders(result) {"));
+        assert!(text.contains("for (o : loadAll(Order)) {"));
+        assert!(text.contains("cust = o.customer;"));
+        assert!(text.contains("result.add(cust);"));
+    }
+
+    #[test]
+    fn renders_queries_with_sql_text() {
+        let e = Expr::Query(QuerySpec::sql("select * from orders"));
+        assert_eq!(expr_to_string(&e), "executeQuery(\"select * from orders\")");
+    }
+
+    #[test]
+    fn renders_parameterized_queries_with_binds() {
+        let e = Expr::Query(
+            QuerySpec::sql("select * from customer where c_customer_sk = :cust")
+                .bind("cust", Expr::field(Expr::var("o"), "o_customer_sk")),
+        );
+        let s = expr_to_string(&e);
+        assert!(s.contains(":cust"), "{s}");
+        assert!(s.contains("cust=o.o_customer_sk"), "{s}");
+    }
+
+    #[test]
+    fn renders_if_else_and_while() {
+        let f = Function::new(
+            "t",
+            vec![],
+            vec![Stmt::new(StmtKind::If {
+                cond: Expr::bin(BinOp::Gt, Expr::var("x"), Expr::lit(0i64)),
+                then_branch: vec![Stmt::new(StmtKind::Print(Expr::var("x")))],
+                else_branch: vec![Stmt::new(StmtKind::While {
+                    cond: Expr::lit(false),
+                    body: vec![Stmt::new(StmtKind::Break)],
+                })],
+            })],
+        );
+        let text = function_to_string(&f);
+        assert!(text.contains("if (x > 0) {"));
+        assert!(text.contains("} else {"));
+        assert!(text.contains("while (false) {"));
+        assert!(text.contains("break;"));
+    }
+
+    #[test]
+    fn renders_cache_operations() {
+        let s = Stmt::new(StmtKind::CacheByColumn {
+            cache: "custCache".into(),
+            source: Expr::LoadAll("Customer".into()),
+            key_col: "c_customer_sk".into(),
+        });
+        let text = stmts_to_string(&[s]);
+        assert!(text.contains("custCache = Utils.cacheByColumn(loadAll(Customer), 'c_customer_sk');"));
+        let lookup = Expr::LookupCache(
+            "custCache".into(),
+            Box::new(Expr::field(Expr::var("o"), "o_customer_sk")),
+        );
+        assert_eq!(
+            expr_to_string(&lookup),
+            "Utils.lookupCache(custCache, o.o_customer_sk)"
+        );
+    }
+}

@@ -1,0 +1,436 @@
+//! Program regions built from the structured AST.
+//!
+//! A region is a single-entry single-exit fragment (§III-B): a basic block
+//! (one statement), a sequence, a conditional, a loop — or a *black box*
+//! for unstructured fragments (`try/catch`), which COBRA keeps intact while
+//! still optimizing regions around it (§IV-B).
+//!
+//! Regions are named like the paper names them: `P0.S2-7` is the
+//! sequential region of program `P0` spanning lines 2–7; `B`, `C`, `L`,
+//! `X` denote basic block, conditional, loop and black-box regions.
+
+use crate::ast::{Expr, Function, Stmt, StmtKind};
+
+/// The shape of a region.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum RegionKind {
+    /// A single simple statement (basic block).
+    Block(Stmt),
+    /// Two or more regions in sequence.
+    Seq(Vec<Region>),
+    /// `if (cond) then_r else else_r` (else may be [`RegionKind::Empty`]).
+    Cond { cond: Expr, then_r: Box<Region>, else_r: Box<Region> },
+    /// Cursor loop `for (var : iter) body`.
+    Loop { var: String, iter: Expr, body: Box<Region> },
+    /// `while (cond) body`.
+    WhileLoop { cond: Expr, body: Box<Region> },
+    /// Unstructured fragment kept verbatim.
+    BlackBox(Vec<Stmt>),
+    /// Empty region (empty else-branch, empty body).
+    Empty,
+}
+
+/// A region with its source span.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Region {
+    /// Shape and children.
+    pub kind: RegionKind,
+    /// `(first_line, last_line)`; `(0, 0)` for synthesized code.
+    pub span: (u32, u32),
+}
+
+impl Region {
+    /// An empty region.
+    pub fn empty() -> Region {
+        Region { kind: RegionKind::Empty, span: (0, 0) }
+    }
+
+    /// Build the region tree for a statement list.
+    pub fn from_stmts(stmts: &[Stmt]) -> Region {
+        let mut children: Vec<Region> = stmts.iter().map(Region::from_stmt).collect();
+        match children.len() {
+            0 => Region::empty(),
+            1 => children.pop().unwrap(),
+            _ => {
+                let span = span_of(&children);
+                Region { kind: RegionKind::Seq(children), span }
+            }
+        }
+    }
+
+    /// Build the region tree for one statement.
+    pub fn from_stmt(stmt: &Stmt) -> Region {
+        let line = stmt.line;
+        match &stmt.kind {
+            StmtKind::ForEach { var, iter, body } => {
+                let body_r = Region::from_stmts(body);
+                let end = stmt.max_line().max(line);
+                Region {
+                    kind: RegionKind::Loop {
+                        var: var.clone(),
+                        iter: iter.clone(),
+                        body: Box::new(body_r),
+                    },
+                    span: (line, end + 1),
+                }
+            }
+            StmtKind::While { cond, body } => {
+                let body_r = Region::from_stmts(body);
+                let end = stmt.max_line().max(line);
+                Region {
+                    kind: RegionKind::WhileLoop { cond: cond.clone(), body: Box::new(body_r) },
+                    span: (line, end + 1),
+                }
+            }
+            StmtKind::If { cond, then_branch, else_branch } => {
+                let then_r = Region::from_stmts(then_branch);
+                let else_r = if else_branch.is_empty() {
+                    Region::empty()
+                } else {
+                    Region::from_stmts(else_branch)
+                };
+                let end = stmt.max_line().max(line);
+                Region {
+                    kind: RegionKind::Cond {
+                        cond: cond.clone(),
+                        then_r: Box::new(then_r),
+                        else_r: Box::new(else_r),
+                    },
+                    span: (line, end + 1),
+                }
+            }
+            StmtKind::TryCatch { .. } => {
+                let end = stmt.max_line().max(line);
+                Region {
+                    kind: RegionKind::BlackBox(vec![stmt.clone()]),
+                    span: (line, end + 1),
+                }
+            }
+            _ => Region { kind: RegionKind::Block(stmt.clone()), span: (line, line) },
+        }
+    }
+
+    /// Region tree of a whole function body.
+    pub fn from_function(f: &Function) -> Region {
+        Region::from_stmts(&f.body)
+    }
+
+    /// Reconstruct the statement list this region denotes.
+    pub fn to_stmts(&self) -> Vec<Stmt> {
+        match &self.kind {
+            RegionKind::Block(s) => vec![s.clone()],
+            RegionKind::Seq(children) => children.iter().flat_map(|c| c.to_stmts()).collect(),
+            RegionKind::Cond { cond, then_r, else_r } => vec![Stmt::at(
+                self.span.0,
+                StmtKind::If {
+                    cond: cond.clone(),
+                    then_branch: then_r.to_stmts(),
+                    else_branch: else_r.to_stmts(),
+                },
+            )],
+            RegionKind::Loop { var, iter, body } => vec![Stmt::at(
+                self.span.0,
+                StmtKind::ForEach {
+                    var: var.clone(),
+                    iter: iter.clone(),
+                    body: body.to_stmts(),
+                },
+            )],
+            RegionKind::WhileLoop { cond, body } => vec![Stmt::at(
+                self.span.0,
+                StmtKind::While { cond: cond.clone(), body: body.to_stmts() },
+            )],
+            RegionKind::BlackBox(stmts) => stmts.clone(),
+            RegionKind::Empty => Vec::new(),
+        }
+    }
+
+    /// Paper-style label, e.g. `P0.S2-7`.
+    pub fn label(&self, program: &str) -> String {
+        let letter = match &self.kind {
+            RegionKind::Block(_) => "B",
+            RegionKind::Seq(_) => "S",
+            RegionKind::Cond { .. } => "C",
+            RegionKind::Loop { .. } | RegionKind::WhileLoop { .. } => "L",
+            RegionKind::BlackBox(_) => "X",
+            RegionKind::Empty => "E",
+        };
+        let (a, b) = self.span;
+        if a == b {
+            format!("{program}.{letter}{a}")
+        } else {
+            format!("{program}.{letter}{a}-{b}")
+        }
+    }
+
+    /// Flatten nested sequences and drop empty children; used to compare
+    /// region trees from different construction paths.
+    pub fn normalize(&self) -> Region {
+        match &self.kind {
+            RegionKind::Seq(children) => {
+                let mut flat = Vec::new();
+                for c in children {
+                    let n = c.normalize();
+                    match n.kind {
+                        RegionKind::Empty => {}
+                        RegionKind::Seq(inner) => flat.extend(inner),
+                        _ => flat.push(n),
+                    }
+                }
+                match flat.len() {
+                    0 => Region::empty(),
+                    1 => flat.pop().unwrap(),
+                    _ => {
+                        let span = span_of(&flat);
+                        Region { kind: RegionKind::Seq(flat), span }
+                    }
+                }
+            }
+            RegionKind::Cond { cond, then_r, else_r } => Region {
+                kind: RegionKind::Cond {
+                    cond: cond.clone(),
+                    then_r: Box::new(then_r.normalize()),
+                    else_r: Box::new(else_r.normalize()),
+                },
+                span: self.span,
+            },
+            RegionKind::Loop { var, iter, body } => Region {
+                kind: RegionKind::Loop {
+                    var: var.clone(),
+                    iter: iter.clone(),
+                    body: Box::new(body.normalize()),
+                },
+                span: self.span,
+            },
+            RegionKind::WhileLoop { cond, body } => Region {
+                kind: RegionKind::WhileLoop {
+                    cond: cond.clone(),
+                    body: Box::new(body.normalize()),
+                },
+                span: self.span,
+            },
+            _ => self.clone(),
+        }
+    }
+
+    /// Compare shapes ignoring spans (spans differ between AST- and
+    /// CFG-derived trees for brace lines).
+    pub fn same_shape(&self, other: &Region) -> bool {
+        match (&self.kind, &other.kind) {
+            (RegionKind::Block(a), RegionKind::Block(b)) => a == b,
+            (RegionKind::Seq(a), RegionKind::Seq(b)) => {
+                a.len() == b.len() && a.iter().zip(b).all(|(x, y)| x.same_shape(y))
+            }
+            (
+                RegionKind::Cond { cond: c1, then_r: t1, else_r: e1 },
+                RegionKind::Cond { cond: c2, then_r: t2, else_r: e2 },
+            ) => c1 == c2 && t1.same_shape(t2) && e1.same_shape(e2),
+            (
+                RegionKind::Loop { var: v1, iter: i1, body: b1 },
+                RegionKind::Loop { var: v2, iter: i2, body: b2 },
+            ) => v1 == v2 && i1 == i2 && b1.same_shape(b2),
+            (
+                RegionKind::WhileLoop { cond: c1, body: b1 },
+                RegionKind::WhileLoop { cond: c2, body: b2 },
+            ) => c1 == c2 && b1.same_shape(b2),
+            (RegionKind::BlackBox(a), RegionKind::BlackBox(b)) => a == b,
+            (RegionKind::Empty, RegionKind::Empty) => true,
+            _ => false,
+        }
+    }
+
+    /// Visit every region in the tree (pre-order).
+    pub fn walk<'a>(&'a self, f: &mut impl FnMut(&'a Region)) {
+        f(self);
+        match &self.kind {
+            RegionKind::Seq(children) => {
+                for c in children {
+                    c.walk(f);
+                }
+            }
+            RegionKind::Cond { then_r, else_r, .. } => {
+                then_r.walk(f);
+                else_r.walk(f);
+            }
+            RegionKind::Loop { body, .. } | RegionKind::WhileLoop { body, .. } => body.walk(f),
+            _ => {}
+        }
+    }
+
+    /// Count regions in the tree.
+    pub fn count(&self) -> usize {
+        let mut n = 0;
+        self.walk(&mut |_| n += 1);
+        n
+    }
+}
+
+fn span_of(children: &[Region]) -> (u32, u32) {
+    let start = children
+        .iter()
+        .map(|c| c.span.0)
+        .filter(|&l| l > 0)
+        .min()
+        .unwrap_or(0);
+    let end = children.iter().map(|c| c.span.1).max().unwrap_or(0);
+    (start, end)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::QuerySpec;
+
+    /// Figure 5's program P0 shape: result={}; for(o: loadAll){...3 stmts}.
+    fn p0() -> Function {
+        let mut f = Function::new(
+            "P0",
+            vec!["result".to_string()],
+            vec![
+                Stmt::new(StmtKind::NewCollection("result".into())),
+                Stmt::new(StmtKind::ForEach {
+                    var: "o".into(),
+                    iter: Expr::LoadAll("Order".into()),
+                    body: vec![
+                        Stmt::new(StmtKind::Let(
+                            "cust".into(),
+                            Expr::nav(Expr::var("o"), "customer"),
+                        )),
+                        Stmt::new(StmtKind::Let(
+                            "val".into(),
+                            Expr::Call(
+                                "myFunc".into(),
+                                vec![
+                                    Expr::field(Expr::var("o"), "o_id"),
+                                    Expr::field(Expr::var("cust"), "c_birth_year"),
+                                ],
+                            ),
+                        )),
+                        Stmt::new(StmtKind::Add("result".into(), Expr::var("val"))),
+                    ],
+                }),
+            ],
+        );
+        f.number_lines(2);
+        f
+    }
+
+    #[test]
+    fn p0_region_tree_matches_figure_5() {
+        let r = Region::from_function(&p0());
+        // Outermost: sequential region S2-7.
+        assert_eq!(r.label("P0"), "P0.S2-7");
+        let RegionKind::Seq(children) = &r.kind else { panic!("seq expected") };
+        assert_eq!(children.len(), 2);
+        assert_eq!(children[0].label("P0"), "P0.B2");
+        assert_eq!(children[1].label("P0"), "P0.L3-7");
+        // Loop body is the sequential region S4-6 of three basic blocks.
+        let RegionKind::Loop { body, .. } = &children[1].kind else { panic!() };
+        assert_eq!(body.label("P0"), "P0.S4-6");
+        let RegionKind::Seq(inner) = &body.kind else { panic!() };
+        assert_eq!(inner.len(), 3);
+        assert!(inner.iter().all(|c| matches!(c.kind, RegionKind::Block(_))));
+    }
+
+    #[test]
+    fn region_round_trips_to_statements() {
+        let f = p0();
+        let r = Region::from_function(&f);
+        let stmts = r.to_stmts();
+        assert_eq!(stmts, f.body, "region → stmts is lossless (mod lines)");
+    }
+
+    #[test]
+    fn if_region_with_and_without_else() {
+        let with_else = Stmt::new(StmtKind::If {
+            cond: Expr::lit(true),
+            then_branch: vec![Stmt::new(StmtKind::Break)],
+            else_branch: vec![Stmt::new(StmtKind::Print(Expr::lit(1i64)))],
+        });
+        let r = Region::from_stmt(&with_else);
+        let RegionKind::Cond { else_r, .. } = &r.kind else { panic!() };
+        assert!(!matches!(else_r.kind, RegionKind::Empty));
+
+        let without_else = Stmt::new(StmtKind::If {
+            cond: Expr::lit(true),
+            then_branch: vec![Stmt::new(StmtKind::Break)],
+            else_branch: vec![],
+        });
+        let r = Region::from_stmt(&without_else);
+        let RegionKind::Cond { else_r, .. } = &r.kind else { panic!() };
+        assert!(matches!(else_r.kind, RegionKind::Empty));
+    }
+
+    #[test]
+    fn try_catch_becomes_black_box() {
+        let s = Stmt::new(StmtKind::TryCatch {
+            body: vec![Stmt::new(StmtKind::Print(Expr::lit(1i64)))],
+            handler: vec![],
+        });
+        let r = Region::from_stmt(&s);
+        assert!(matches!(r.kind, RegionKind::BlackBox(_)));
+        // Black boxes reconstruct verbatim.
+        assert_eq!(r.to_stmts(), vec![s]);
+    }
+
+    #[test]
+    fn normalize_flattens_nested_seq_and_drops_empty() {
+        let inner = Region {
+            kind: RegionKind::Seq(vec![
+                Region::from_stmt(&Stmt::new(StmtKind::Break)),
+                Region::empty(),
+            ]),
+            span: (0, 0),
+        };
+        let outer = Region {
+            kind: RegionKind::Seq(vec![inner, Region::from_stmt(&Stmt::new(StmtKind::Break))]),
+            span: (0, 0),
+        };
+        let n = outer.normalize();
+        let RegionKind::Seq(children) = &n.kind else { panic!() };
+        assert_eq!(children.len(), 2);
+        assert!(children.iter().all(|c| matches!(c.kind, RegionKind::Block(_))));
+    }
+
+    #[test]
+    fn while_region() {
+        let s = Stmt::new(StmtKind::While {
+            cond: Expr::lit(true),
+            body: vec![Stmt::new(StmtKind::Break)],
+        });
+        let r = Region::from_stmt(&s);
+        assert!(matches!(r.kind, RegionKind::WhileLoop { .. }));
+    }
+
+    #[test]
+    fn count_and_walk_cover_all_nodes() {
+        let r = Region::from_function(&p0());
+        // S2-7, B2, L3-7, S4-6, and 3 blocks = 7 regions.
+        assert_eq!(r.count(), 7);
+    }
+
+    #[test]
+    fn query_loop_region_label() {
+        let mut f = Function::new(
+            "M0",
+            vec![],
+            vec![Stmt::new(StmtKind::ForEach {
+                var: "t".into(),
+                iter: Expr::Query(QuerySpec::sql(
+                    "select month, sale_amt from sales order by month",
+                )),
+                body: vec![Stmt::new(StmtKind::Let(
+                    "sum".into(),
+                    Expr::bin(
+                        minidb::BinOp::Add,
+                        Expr::var("sum"),
+                        Expr::field(Expr::var("t"), "sale_amt"),
+                    ),
+                ))],
+            })],
+        );
+        f.number_lines(4);
+        let r = Region::from_function(&f);
+        assert_eq!(r.label("M0"), "M0.L4-6");
+    }
+}

@@ -1,0 +1,933 @@
+//! The interpreter proper.
+
+use crate::value::{ColumnCache, RowObj, RtVal, Snapshot};
+use imperative::ast::{Expr, Function, Program, Stmt, StmtKind};
+use minidb::{apply_bin_op, DbError, DbResult, Value};
+use orm::Session;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+/// Interpreter tuning knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct InterpConfig {
+    /// Cost per executed (non-query) statement, ns — `C_Z` in §VI; the
+    /// paper profiles it at 30 ns.
+    pub cz_ns: u64,
+}
+
+impl Default for InterpConfig {
+    fn default() -> Self {
+        InterpConfig { cz_ns: 30 }
+    }
+}
+
+/// Result of executing a program.
+#[derive(Debug)]
+pub struct Outcome {
+    /// Final variable bindings of the entry function.
+    pub env: HashMap<String, RtVal>,
+    /// Return value of the entry function.
+    pub ret: RtVal,
+    /// Virtual time consumed by the run (ns).
+    pub elapsed_ns: u64,
+    /// Network round trips performed by the run.
+    pub round_trips: u64,
+    /// Result bytes transferred from the server during the run.
+    pub bytes: u64,
+    /// Output of `print` statements, in order.
+    pub prints: Vec<String>,
+    /// Number of statement executions.
+    pub stmts_executed: u64,
+}
+
+impl Outcome {
+    /// Snapshot of one variable (Unit if absent).
+    pub fn var_snapshot(&self, name: &str) -> Snapshot {
+        self.env.get(name).map(|v| v.snapshot()).unwrap_or(Snapshot::Unit)
+    }
+}
+
+/// Control flow signals.
+enum Flow {
+    Normal,
+    Break,
+    Return(RtVal),
+}
+
+/// Executes programs against an ORM session.
+pub struct Interp<'a> {
+    session: &'a Session,
+    program: &'a Program,
+    config: InterpConfig,
+}
+
+impl<'a> Interp<'a> {
+    /// New interpreter for `program` over `session`.
+    pub fn new(session: &'a Session, program: &'a Program) -> Interp<'a> {
+        Interp { session, program, config: InterpConfig::default() }
+    }
+
+    /// Override configuration.
+    pub fn with_config(mut self, config: InterpConfig) -> Interp<'a> {
+        self.config = config;
+        self
+    }
+
+    /// Run the entry function with `args` bound to its parameters (missing
+    /// parameters default to fresh collections, matching the paper's
+    /// out-parameter style `processOrders(result)`).
+    pub fn run(&self, args: Vec<(String, RtVal)>) -> DbResult<Outcome> {
+        let clock = self.session.remote().clock().clone();
+        let start_ns = clock.now();
+        let start_trips = self.session.remote().round_trips();
+        let start_bytes = self.session.remote().bytes_transferred();
+
+        let entry = self.program.entry();
+        let mut env: HashMap<String, RtVal> = HashMap::new();
+        let mut provided: HashMap<String, RtVal> = args.into_iter().collect();
+        for p in &entry.params {
+            let v = provided.remove(p).unwrap_or_else(RtVal::new_collection);
+            env.insert(p.clone(), v);
+        }
+
+        let mut state = State { prints: Vec::new(), stmts: 0, built_caches: Vec::new() };
+        let flow = self.exec_block(&entry.body, &mut env, &mut state)?;
+        let ret = match flow {
+            Flow::Return(v) => v,
+            _ => RtVal::Unit,
+        };
+
+        Ok(Outcome {
+            env,
+            ret,
+            elapsed_ns: clock.now() - start_ns,
+            round_trips: self.session.remote().round_trips() - start_trips,
+            bytes: self.session.remote().bytes_transferred() - start_bytes,
+            prints: state.prints,
+            stmts_executed: state.stmts,
+        })
+    }
+
+    fn charge(&self, state: &mut State) {
+        state.stmts += 1;
+        self.session.remote().clock().advance(self.config.cz_ns);
+    }
+
+    fn exec_block(
+        &self,
+        stmts: &[Stmt],
+        env: &mut HashMap<String, RtVal>,
+        state: &mut State,
+    ) -> DbResult<Flow> {
+        for s in stmts {
+            match self.exec_stmt(s, env, state)? {
+                Flow::Normal => {}
+                other => return Ok(other),
+            }
+        }
+        Ok(Flow::Normal)
+    }
+
+    fn exec_stmt(
+        &self,
+        stmt: &Stmt,
+        env: &mut HashMap<String, RtVal>,
+        state: &mut State,
+    ) -> DbResult<Flow> {
+        self.charge(state);
+        match &stmt.kind {
+            StmtKind::Let(v, e) => {
+                let val = self.eval(e, env, state)?;
+                env.insert(v.clone(), val);
+                Ok(Flow::Normal)
+            }
+            StmtKind::NewCollection(v) => {
+                env.insert(v.clone(), RtVal::new_collection());
+                Ok(Flow::Normal)
+            }
+            StmtKind::NewMap(v) => {
+                env.insert(v.clone(), RtVal::new_map());
+                Ok(Flow::Normal)
+            }
+            StmtKind::Add(c, e) => {
+                let val = self.eval(e, env, state)?;
+                match env.get(c) {
+                    Some(RtVal::Collection(inner)) => {
+                        inner.borrow_mut().push(val);
+                        Ok(Flow::Normal)
+                    }
+                    _ => Err(DbError::Invalid(format!("{c} is not a collection"))),
+                }
+            }
+            StmtKind::Put(m, k, v) => {
+                let key = self
+                    .eval(k, env, state)?
+                    .as_scalar()
+                    .cloned()
+                    .ok_or_else(|| DbError::Type("map key must be a scalar".into()))?;
+                let val = self.eval(v, env, state)?;
+                match env.get(m) {
+                    Some(RtVal::Map(inner)) => {
+                        inner.borrow_mut().insert(key, val);
+                        Ok(Flow::Normal)
+                    }
+                    _ => Err(DbError::Invalid(format!("{m} is not a map"))),
+                }
+            }
+            StmtKind::ForEach { var, iter, body } => {
+                let items = self.eval_iterable(iter, env, state)?;
+                for item in items {
+                    // The loop header executes once per iteration.
+                    self.charge(state);
+                    env.insert(var.clone(), item);
+                    match self.exec_block(body, env, state)? {
+                        Flow::Normal => {}
+                        Flow::Break => break,
+                        ret @ Flow::Return(_) => return Ok(ret),
+                    }
+                }
+                Ok(Flow::Normal)
+            }
+            StmtKind::While { cond, body } => {
+                loop {
+                    self.charge(state);
+                    let c = self.eval(cond, env, state)?;
+                    match c.as_scalar().and_then(|v| v.as_bool()) {
+                        Some(true) => {}
+                        Some(false) => break,
+                        None => {
+                            return Err(DbError::Type("while condition must be boolean".into()))
+                        }
+                    }
+                    match self.exec_block(body, env, state)? {
+                        Flow::Normal => {}
+                        Flow::Break => break,
+                        ret @ Flow::Return(_) => return Ok(ret),
+                    }
+                }
+                Ok(Flow::Normal)
+            }
+            StmtKind::If { cond, then_branch, else_branch } => {
+                let c = self.eval(cond, env, state)?;
+                let truth = c.as_scalar().and_then(|v| v.as_bool()).unwrap_or(false);
+                if truth {
+                    self.exec_block(then_branch, env, state)
+                } else {
+                    self.exec_block(else_branch, env, state)
+                }
+            }
+            StmtKind::Print(e) => {
+                let v = self.eval(e, env, state)?;
+                state.prints.push(format!("{:?}", v.snapshot()));
+                Ok(Flow::Normal)
+            }
+            StmtKind::Return(e) => {
+                let v = match e {
+                    Some(e) => self.eval(e, env, state)?,
+                    None => RtVal::Unit,
+                };
+                Ok(Flow::Return(v))
+            }
+            StmtKind::Break => Ok(Flow::Break),
+            StmtKind::CacheByColumn { cache, source, key_col } => {
+                // Client-side caches (EhCache/Memcache in the paper) are
+                // built once per run: re-executing the statement (e.g.
+                // inside a loop or a second callee) is a no-op.
+                if state.built_caches.contains(cache) && env.contains_key(cache) {
+                    return Ok(Flow::Normal);
+                }
+                state.built_caches.push(cache.clone());
+                let rows = self.eval_iterable(source, env, state)?;
+                let row_objs: Vec<Rc<RowObj>> = rows
+                    .into_iter()
+                    .filter_map(|v| match v {
+                        RtVal::Row(r) => Some(r),
+                        _ => None,
+                    })
+                    .collect();
+                let built = ColumnCache::build(&row_objs, key_col);
+                env.insert(cache.clone(), RtVal::Cache(Rc::new(built)));
+                Ok(Flow::Normal)
+            }
+            StmtKind::UpdateQuery { table, set_col, value, key_col, key } => {
+                let v = self
+                    .eval(value, env, state)?
+                    .as_scalar()
+                    .cloned()
+                    .ok_or_else(|| DbError::Type("update value must be a scalar".into()))?;
+                let k = self
+                    .eval(key, env, state)?
+                    .as_scalar()
+                    .cloned()
+                    .ok_or_else(|| DbError::Type("update key must be a scalar".into()))?;
+                self.session.remote().update(table, key_col, &k, set_col, v)?;
+                Ok(Flow::Normal)
+            }
+            StmtKind::LetCall(target, fname, args) => {
+                let f = self
+                    .program
+                    .function(fname)
+                    .ok_or_else(|| DbError::Invalid(format!("unknown function {fname}")))?;
+                let mut vals = Vec::with_capacity(args.len());
+                for a in args {
+                    vals.push(self.eval(a, env, state)?);
+                }
+                let ret = self.call(f, vals, state)?;
+                env.insert(target.clone(), ret);
+                Ok(Flow::Normal)
+            }
+            StmtKind::TryCatch { body, handler: _ } => {
+                // The simulation raises no recoverable exceptions; the
+                // handler exists to exercise unstructured-region analysis.
+                self.exec_block(body, env, state)
+            }
+        }
+    }
+
+    fn call(&self, f: &Function, args: Vec<RtVal>, state: &mut State) -> DbResult<RtVal> {
+        if args.len() != f.params.len() {
+            return Err(DbError::Invalid(format!(
+                "{} expects {} args, got {}",
+                f.name,
+                f.params.len(),
+                args.len()
+            )));
+        }
+        let mut env: HashMap<String, RtVal> = HashMap::new();
+        for (p, v) in f.params.iter().zip(args) {
+            env.insert(p.clone(), v);
+        }
+        match self.exec_block(&f.body, &mut env, state)? {
+            Flow::Return(v) => Ok(v),
+            _ => Ok(RtVal::Unit),
+        }
+    }
+
+    /// Evaluate an expression used as a loop iterable into a vector.
+    fn eval_iterable(
+        &self,
+        e: &Expr,
+        env: &mut HashMap<String, RtVal>,
+        state: &mut State,
+    ) -> DbResult<Vec<RtVal>> {
+        let v = self.eval(e, env, state)?;
+        match v {
+            RtVal::Collection(c) => Ok(c.borrow().clone()),
+            RtVal::Map(m) => Ok(m.borrow().values().cloned().collect()),
+            // A single-row cache/lookup result iterates as one element
+            // (cache lookups return the row itself on a unique match).
+            row @ RtVal::Row(_) => Ok(vec![row]),
+            other => Err(DbError::Type(format!(
+                "cannot iterate over {:?}",
+                other.snapshot()
+            ))),
+        }
+    }
+
+    fn eval(
+        &self,
+        e: &Expr,
+        env: &mut HashMap<String, RtVal>,
+        state: &mut State,
+    ) -> DbResult<RtVal> {
+        match e {
+            Expr::Var(v) => env
+                .get(v)
+                .cloned()
+                .ok_or_else(|| DbError::Invalid(format!("unbound variable {v}"))),
+            Expr::Lit(v) => Ok(RtVal::Scalar(v.clone())),
+            Expr::Bin(op, l, r) => {
+                let lv = self.eval(l, env, state)?;
+                let rv = self.eval(r, env, state)?;
+                let (a, b) = match (lv.as_scalar(), rv.as_scalar()) {
+                    (Some(a), Some(b)) => (a.clone(), b.clone()),
+                    _ => return Err(DbError::Type("binary op on non-scalars".into())),
+                };
+                Ok(RtVal::Scalar(apply_bin_op(*op, &a, &b)?))
+            }
+            Expr::Not(inner) => {
+                let v = self.eval(inner, env, state)?;
+                match v.as_scalar() {
+                    Some(Value::Bool(b)) => Ok(RtVal::Scalar(Value::Bool(!b))),
+                    Some(Value::Null) => Ok(RtVal::Scalar(Value::Null)),
+                    _ => Err(DbError::Type("NOT on non-boolean".into())),
+                }
+            }
+            Expr::Field(base, name) => {
+                let v = self.eval(base, env, state)?;
+                match v {
+                    RtVal::Row(r) => r
+                        .field(name)
+                        .map(RtVal::Scalar)
+                        .ok_or_else(|| DbError::UnknownColumn(name.clone())),
+                    _ => Err(DbError::Type(format!("field access .{name} on non-row"))),
+                }
+            }
+            Expr::Nav(base, field) => {
+                let v = self.eval(base, env, state)?;
+                let RtVal::Row(r) = v else {
+                    return Err(DbError::Type(format!("navigation .{field} on non-row")));
+                };
+                let entity = r.entity.clone().ok_or_else(|| {
+                    DbError::Invalid(format!(
+                        "navigation .{field} requires an entity-mapped row"
+                    ))
+                })?;
+                match self.session.navigate(&entity, field, &r.values)? {
+                    Some((target, row)) => {
+                        let schema = self.session.entity_schema(&target)?;
+                        Ok(RtVal::Row(Rc::new(RowObj {
+                            schema,
+                            values: row,
+                            entity: Some(target),
+                        })))
+                    }
+                    None => Ok(RtVal::Scalar(Value::Null)),
+                }
+            }
+            Expr::Call(f, args) => {
+                let mut vals = Vec::with_capacity(args.len());
+                for a in args {
+                    let v = self.eval(a, env, state)?;
+                    vals.push(
+                        v.as_scalar()
+                            .cloned()
+                            .ok_or_else(|| DbError::Type(format!("{f} argument not scalar")))?,
+                    );
+                }
+                Ok(RtVal::Scalar(self.session.remote().funcs().call(f, &vals)?))
+            }
+            Expr::LoadAll(entity) => {
+                let (schema, rows) = self.session.load_all(entity)?;
+                let items: Vec<RtVal> = rows
+                    .into_iter()
+                    .map(|values| {
+                        RtVal::Row(Rc::new(RowObj {
+                            schema: schema.clone(),
+                            values,
+                            entity: Some(entity.clone()),
+                        }))
+                    })
+                    .collect();
+                Ok(RtVal::Collection(Rc::new(std::cell::RefCell::new(items))))
+            }
+            Expr::Query(spec) => {
+                let mut params = HashMap::new();
+                for (name, bind) in &spec.binds {
+                    let v = self.eval(bind, env, state)?;
+                    params.insert(
+                        name.clone(),
+                        v.as_scalar()
+                            .cloned()
+                            .ok_or_else(|| DbError::Type(format!(":{name} not scalar")))?,
+                    );
+                }
+                let result = self.session.remote().query(&spec.plan, &params)?;
+                let schema = Rc::new(result.schema);
+                // Tag rows with their entity when the query is a plain
+                // table fetch, so navigation keeps working on them.
+                let entity = single_table_entity(&spec.plan, self.session);
+                let items: Vec<RtVal> = result
+                    .rows
+                    .into_iter()
+                    .map(|row| {
+                        RtVal::Row(Rc::new(RowObj {
+                            schema: schema.clone(),
+                            values: Rc::new(row),
+                            entity: entity.clone(),
+                        }))
+                    })
+                    .collect();
+                Ok(RtVal::Collection(Rc::new(std::cell::RefCell::new(items))))
+            }
+            Expr::ScalarQuery(spec) => {
+                let mut params = HashMap::new();
+                for (name, bind) in &spec.binds {
+                    let v = self.eval(bind, env, state)?;
+                    params.insert(
+                        name.clone(),
+                        v.as_scalar()
+                            .cloned()
+                            .ok_or_else(|| DbError::Type(format!(":{name} not scalar")))?,
+                    );
+                }
+                let result = self.session.remote().query(&spec.plan, &params)?;
+                let v = result
+                    .rows
+                    .first()
+                    .and_then(|r| r.first())
+                    .cloned()
+                    .unwrap_or(Value::Null);
+                Ok(RtVal::Scalar(v))
+            }
+            Expr::LookupCache(cache, key) => {
+                let k = self
+                    .eval(key, env, state)?
+                    .as_scalar()
+                    .cloned()
+                    .ok_or_else(|| DbError::Type("cache key must be scalar".into()))?;
+                match env.get(cache) {
+                    Some(RtVal::Cache(c)) => {
+                        let hits = c.lookup(&k);
+                        // Single-row convention: a unique match evaluates to
+                        // the row itself (paper: `cust = lookupCache(...)`),
+                        // multiple matches to a collection.
+                        match hits.len() {
+                            1 => Ok(RtVal::Row(hits[0].clone())),
+                            _ => Ok(RtVal::Collection(Rc::new(std::cell::RefCell::new(
+                                hits.iter().map(|r| RtVal::Row(r.clone())).collect(),
+                            )))),
+                        }
+                    }
+                    _ => Err(DbError::Invalid(format!("{cache} is not a cache"))),
+                }
+            }
+            Expr::MapGet(m, k) => {
+                let key = self
+                    .eval(k, env, state)?
+                    .as_scalar()
+                    .cloned()
+                    .ok_or_else(|| DbError::Type("map key must be scalar".into()))?;
+                let mv = self.eval(m, env, state)?;
+                match mv {
+                    RtVal::Map(inner) => Ok(inner
+                        .borrow()
+                        .get(&key)
+                        .cloned()
+                        .unwrap_or(RtVal::Scalar(Value::Null))),
+                    _ => Err(DbError::Type("get() on non-map".into())),
+                }
+            }
+            Expr::Len(c) => {
+                let v = self.eval(c, env, state)?;
+                let n = match v {
+                    RtVal::Collection(inner) => inner.borrow().len(),
+                    RtVal::Map(inner) => inner.borrow().len(),
+                    RtVal::Cache(inner) => inner.len(),
+                    _ => return Err(DbError::Type("size() on non-container".into())),
+                };
+                Ok(RtVal::Scalar(Value::Int(n as i64)))
+            }
+        }
+    }
+}
+
+/// If the plan reads exactly one base table without reshaping rows
+/// (filters/sorts/limits are fine), return its mapped entity.
+fn single_table_entity(plan: &minidb::LogicalPlan, session: &Session) -> Option<String> {
+    use minidb::LogicalPlan as P;
+    fn base_table(plan: &P) -> Option<&str> {
+        match plan {
+            P::Scan { table, .. } => Some(table),
+            P::Select { input, .. } | P::OrderBy { input, .. } | P::Limit { input, .. } => {
+                base_table(input)
+            }
+            _ => None,
+        }
+    }
+    let table = base_table(plan)?;
+    session
+        .mappings()
+        .entity_for_table(table)
+        .map(|m| m.entity.clone())
+}
+
+struct State {
+    prints: Vec<String>,
+    stmts: u64,
+    /// Names of client-side caches already built during this run.
+    built_caches: Vec<String>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use imperative::ast::QuerySpec;
+    use minidb::{BinOp, Column, DataType, Database, FuncRegistry, Schema};
+    use netsim::{Clock, NetworkProfile};
+    use orm::{EntityMapping, MappingRegistry, RemoteDb};
+    use std::cell::RefCell;
+
+    fn fixture() -> (Session, Rc<Clock>) {
+        let mut db = Database::new();
+        let orders = Schema::new(vec![
+            Column::new("o_id", DataType::Int),
+            Column::new("o_customer_sk", DataType::Int),
+            Column::new("o_amount", DataType::Int),
+        ]);
+        let t = db.create_table("orders", orders).unwrap();
+        t.set_primary_key("o_id").unwrap();
+        for i in 0..12i64 {
+            t.insert(vec![Value::Int(i), Value::Int(i % 4), Value::Int(10 * i)])
+                .unwrap();
+        }
+        let customer = Schema::new(vec![
+            Column::new("c_customer_sk", DataType::Int),
+            Column::new("c_birth_year", DataType::Int),
+        ]);
+        let t = db.create_table("customer", customer).unwrap();
+        t.set_primary_key("c_customer_sk").unwrap();
+        for i in 0..4i64 {
+            t.insert(vec![Value::Int(i), Value::Int(1960 + i)]).unwrap();
+        }
+        db.analyze_all();
+
+        let mut funcs = FuncRegistry::with_builtins();
+        funcs.register("myFunc", DataType::Int, |args| {
+            let a = args[0].as_i64().unwrap_or(0);
+            let b = args[1].as_i64().unwrap_or(0);
+            Ok(Value::Int(a * 10_000 + b))
+        });
+
+        let clock = Rc::new(Clock::new());
+        let remote = Rc::new(RemoteDb::new(
+            Rc::new(RefCell::new(db)),
+            Rc::new(funcs),
+            NetworkProfile::new("test", 8e9, 1.0),
+            clock.clone(),
+        ));
+        let mut reg = MappingRegistry::new();
+        reg.register(
+            EntityMapping::new("Order", "orders", "o_id").many_to_one(
+                "customer",
+                "Customer",
+                "o_customer_sk",
+            ),
+        );
+        reg.register(EntityMapping::new("Customer", "customer", "c_customer_sk"));
+        (Session::new(remote, Rc::new(reg)), clock)
+    }
+
+    /// P0 of Figure 3a.
+    fn p0() -> Program {
+        Program::single(Function::new(
+            "processOrders",
+            vec!["result".to_string()],
+            vec![
+                Stmt::new(StmtKind::NewCollection("result".into())),
+                Stmt::new(StmtKind::ForEach {
+                    var: "o".into(),
+                    iter: Expr::LoadAll("Order".into()),
+                    body: vec![
+                        Stmt::new(StmtKind::Let(
+                            "cust".into(),
+                            Expr::nav(Expr::var("o"), "customer"),
+                        )),
+                        Stmt::new(StmtKind::Let(
+                            "val".into(),
+                            Expr::Call(
+                                "myFunc".into(),
+                                vec![
+                                    Expr::field(Expr::var("o"), "o_id"),
+                                    Expr::field(Expr::var("cust"), "c_birth_year"),
+                                ],
+                            ),
+                        )),
+                        Stmt::new(StmtKind::Add("result".into(), Expr::var("val"))),
+                    ],
+                }),
+            ],
+        ))
+    }
+
+    /// P1 of Figure 3b (join query).
+    fn p1() -> Program {
+        Program::single(Function::new(
+            "processOrders",
+            vec!["result".to_string()],
+            vec![
+                Stmt::new(StmtKind::NewCollection("result".into())),
+                Stmt::new(StmtKind::Let(
+                    "joinRes".into(),
+                    Expr::Query(QuerySpec::sql(
+                        "select * from orders o join customer c \
+                         on o.o_customer_sk = c.c_customer_sk",
+                    )),
+                )),
+                Stmt::new(StmtKind::ForEach {
+                    var: "r".into(),
+                    iter: Expr::var("joinRes"),
+                    body: vec![
+                        Stmt::new(StmtKind::Let(
+                            "val".into(),
+                            Expr::Call(
+                                "myFunc".into(),
+                                vec![
+                                    Expr::field(Expr::var("r"), "o_id"),
+                                    Expr::field(Expr::var("r"), "c_birth_year"),
+                                ],
+                            ),
+                        )),
+                        Stmt::new(StmtKind::Add("result".into(), Expr::var("val"))),
+                    ],
+                }),
+            ],
+        ))
+    }
+
+    /// P2 of Figure 3c (prefetch + cache lookups).
+    fn p2() -> Program {
+        Program::single(Function::new(
+            "processOrders",
+            vec!["result".to_string()],
+            vec![
+                Stmt::new(StmtKind::NewCollection("result".into())),
+                Stmt::new(StmtKind::CacheByColumn {
+                    cache: "custCache".into(),
+                    source: Expr::LoadAll("Customer".into()),
+                    key_col: "c_customer_sk".into(),
+                }),
+                Stmt::new(StmtKind::ForEach {
+                    var: "o".into(),
+                    iter: Expr::LoadAll("Order".into()),
+                    body: vec![
+                        Stmt::new(StmtKind::Let(
+                            "cust".into(),
+                            Expr::LookupCache(
+                                "custCache".into(),
+                                Box::new(Expr::field(Expr::var("o"), "o_customer_sk")),
+                            ),
+                        )),
+                        Stmt::new(StmtKind::Let(
+                            "val".into(),
+                            Expr::Call(
+                                "myFunc".into(),
+                                vec![
+                                    Expr::field(Expr::var("o"), "o_id"),
+                                    Expr::field(Expr::var("cust"), "c_birth_year"),
+                                ],
+                            ),
+                        )),
+                        Stmt::new(StmtKind::Add("result".into(), Expr::var("val"))),
+                    ],
+                }),
+            ],
+        ))
+    }
+
+    fn run(program: &Program) -> (Outcome, Session) {
+        let (session, _clock) = fixture();
+        let outcome = Interp::new(&session, program).run(vec![]).unwrap();
+        (outcome, session)
+    }
+
+    #[test]
+    fn p0_produces_expected_results_with_n_plus_one_queries() {
+        let (out, _s) = run(&p0());
+        let Snapshot::List(items) = out.var_snapshot("result") else { panic!() };
+        assert_eq!(items.len(), 12);
+        assert_eq!(items[0], Snapshot::Scalar(Value::Int(1960)));
+        assert_eq!(items[5], Snapshot::Scalar(Value::Int(5 * 10_000 + 1961)));
+        // 1 loadAll + 4 distinct customer lookups.
+        assert_eq!(out.round_trips, 5);
+    }
+
+    #[test]
+    fn p1_and_p2_compute_the_same_result_with_fewer_round_trips() {
+        let (out0, _) = run(&p0());
+        let (out1, _) = run(&p1());
+        let (out2, _) = run(&p2());
+        let r0 = out0.var_snapshot("result").normalized();
+        let r1 = out1.var_snapshot("result").normalized();
+        let r2 = out2.var_snapshot("result").normalized();
+        assert_eq!(r0, r1, "P1 rewrite preserves semantics");
+        assert_eq!(r0, r2, "P2 rewrite preserves semantics");
+        assert_eq!(out1.round_trips, 1, "single join query");
+        assert_eq!(out2.round_trips, 2, "two table fetches");
+    }
+
+    #[test]
+    fn statement_costs_accumulate_on_the_clock() {
+        let (session, clock) = fixture();
+        let program = p0();
+        let before = clock.now();
+        let out = Interp::new(&session, &program)
+            .with_config(InterpConfig { cz_ns: 1000 })
+            .run(vec![])
+            .unwrap();
+        assert!(out.stmts_executed > 12 * 3, "loop body re-executes");
+        assert!(clock.now() - before >= out.stmts_executed * 1000);
+    }
+
+    #[test]
+    fn aggregation_loop_like_m0() {
+        // Figure 7: sum and cumulative sums in one loop.
+        let program = Program::single(Function::new(
+            "mySum",
+            vec![],
+            vec![
+                Stmt::new(StmtKind::Let("sum".into(), Expr::lit(0i64))),
+                Stmt::new(StmtKind::NewMap("cSum".into())),
+                Stmt::new(StmtKind::ForEach {
+                    var: "t".into(),
+                    iter: Expr::Query(QuerySpec::sql(
+                        "select o_id, o_amount from orders order by o_id",
+                    )),
+                    body: vec![
+                        Stmt::new(StmtKind::Let(
+                            "sum".into(),
+                            Expr::bin(
+                                BinOp::Add,
+                                Expr::var("sum"),
+                                Expr::field(Expr::var("t"), "o_amount"),
+                            ),
+                        )),
+                        Stmt::new(StmtKind::Put(
+                            "cSum".into(),
+                            Expr::field(Expr::var("t"), "o_id"),
+                            Expr::var("sum"),
+                        )),
+                    ],
+                }),
+                Stmt::new(StmtKind::Return(Some(Expr::var("sum")))),
+            ],
+        ));
+        let (out, _s) = run(&program);
+        assert_eq!(out.ret.snapshot(), Snapshot::Scalar(Value::Int(660)));
+        let Snapshot::Map(entries) = out.var_snapshot("cSum") else { panic!() };
+        assert_eq!(entries.len(), 12);
+        assert_eq!(entries[2].1, Snapshot::Scalar(Value::Int(30)), "0+10+20");
+    }
+
+    #[test]
+    fn if_and_while_and_break() {
+        let program = Program::single(Function::new(
+            "f",
+            vec![],
+            vec![
+                Stmt::new(StmtKind::Let("i".into(), Expr::lit(0i64))),
+                Stmt::new(StmtKind::While {
+                    cond: Expr::lit(true),
+                    body: vec![
+                        Stmt::new(StmtKind::Let(
+                            "i".into(),
+                            Expr::bin(BinOp::Add, Expr::var("i"), Expr::lit(1i64)),
+                        )),
+                        Stmt::new(StmtKind::If {
+                            cond: Expr::bin(BinOp::Ge, Expr::var("i"), Expr::lit(5i64)),
+                            then_branch: vec![Stmt::new(StmtKind::Break)],
+                            else_branch: vec![],
+                        }),
+                    ],
+                }),
+            ],
+        ));
+        let (out, _) = run(&program);
+        assert_eq!(out.var_snapshot("i"), Snapshot::Scalar(Value::Int(5)));
+    }
+
+    #[test]
+    fn user_function_calls() {
+        let program = Program {
+            functions: vec![
+                Function::new(
+                    "main",
+                    vec![],
+                    vec![
+                        Stmt::new(StmtKind::LetCall(
+                            "x".into(),
+                            "double".into(),
+                            vec![Expr::lit(21i64)],
+                        )),
+                    ],
+                ),
+                Function::new(
+                    "double",
+                    vec!["n".to_string()],
+                    vec![Stmt::new(StmtKind::Return(Some(Expr::bin(
+                        BinOp::Mul,
+                        Expr::var("n"),
+                        Expr::lit(2i64),
+                    ))))],
+                ),
+            ],
+        };
+        let (out, _) = run(&program);
+        assert_eq!(out.var_snapshot("x"), Snapshot::Scalar(Value::Int(42)));
+    }
+
+    #[test]
+    fn update_query_mutates_database() {
+        let (session, _clock) = fixture();
+        let program = Program::single(Function::new(
+            "f",
+            vec![],
+            vec![Stmt::new(StmtKind::UpdateQuery {
+                table: "orders".into(),
+                set_col: "o_amount".into(),
+                value: Expr::lit(777i64),
+                key_col: "o_id".into(),
+                key: Expr::lit(3i64),
+            })],
+        ));
+        Interp::new(&session, &program).run(vec![]).unwrap();
+        let db = session.remote().database().borrow();
+        assert_eq!(db.table("orders").unwrap().rows()[3][2], Value::Int(777));
+    }
+
+    #[test]
+    fn unbound_variable_is_an_error() {
+        let program = Program::single(Function::new(
+            "f",
+            vec![],
+            vec![Stmt::new(StmtKind::Print(Expr::var("ghost")))],
+        ));
+        let (session, _) = fixture();
+        assert!(Interp::new(&session, &program).run(vec![]).is_err());
+    }
+
+    #[test]
+    fn prints_are_captured_in_order() {
+        let program = Program::single(Function::new(
+            "f",
+            vec![],
+            vec![
+                Stmt::new(StmtKind::Print(Expr::lit(1i64))),
+                Stmt::new(StmtKind::Print(Expr::lit(2i64))),
+            ],
+        ));
+        let (out, _) = run(&program);
+        assert_eq!(out.prints.len(), 2);
+        assert!(out.prints[0].contains('1'));
+    }
+
+    #[test]
+    fn try_catch_executes_body_only() {
+        let program = Program::single(Function::new(
+            "f",
+            vec![],
+            vec![Stmt::new(StmtKind::TryCatch {
+                body: vec![Stmt::new(StmtKind::Let("x".into(), Expr::lit(1i64)))],
+                handler: vec![Stmt::new(StmtKind::Let("x".into(), Expr::lit(2i64)))],
+            })],
+        ));
+        let (out, _) = run(&program);
+        assert_eq!(out.var_snapshot("x"), Snapshot::Scalar(Value::Int(1)));
+    }
+
+    #[test]
+    fn query_results_support_navigation_when_single_table() {
+        // select * from orders where ... keeps the Order entity tag, so
+        // navigation still works on the result rows.
+        let program = Program::single(Function::new(
+            "f",
+            vec![],
+            vec![
+                Stmt::new(StmtKind::Let(
+                    "rows".into(),
+                    Expr::Query(QuerySpec::sql("select * from orders where o_id = 1")),
+                )),
+                Stmt::new(StmtKind::ForEach {
+                    var: "o".into(),
+                    iter: Expr::var("rows"),
+                    body: vec![Stmt::new(StmtKind::Let(
+                        "year".into(),
+                        Expr::field(Expr::nav(Expr::var("o"), "customer"), "c_birth_year"),
+                    ))],
+                }),
+            ],
+        ));
+        let (out, _) = run(&program);
+        assert_eq!(out.var_snapshot("year"), Snapshot::Scalar(Value::Int(1961)));
+    }
+}

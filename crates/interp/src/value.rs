@@ -1,0 +1,261 @@
+//! Runtime values of the interpreter.
+
+use minidb::{Row, Schema, Value};
+use std::cell::RefCell;
+use std::collections::{BTreeMap, HashMap};
+use std::rc::Rc;
+
+/// A row object: values plus the schema to resolve field names, plus the
+/// originating entity when the row came from the ORM (needed for
+/// association navigation).
+#[derive(Debug, Clone)]
+pub struct RowObj {
+    /// Schema describing `values`.
+    pub schema: Rc<Schema>,
+    /// The row.
+    pub values: Rc<Row>,
+    /// Entity name when ORM-loaded (`None` for raw query results).
+    pub entity: Option<String>,
+}
+
+impl RowObj {
+    /// Read a field by (possibly qualified) name.
+    pub fn field(&self, name: &str) -> Option<Value> {
+        self.schema
+            .resolve(name)
+            .ok()
+            .map(|i| self.values[i].clone())
+    }
+}
+
+/// A client-side column cache built by `Utils.cacheByColumn` (footnote 3 of
+/// the paper): rows grouped by the value of a key column.
+#[derive(Debug, Clone, Default)]
+pub struct ColumnCache {
+    rows_by_key: HashMap<Value, Vec<Rc<RowObj>>>,
+    len: usize,
+}
+
+impl ColumnCache {
+    /// Build a cache of `rows` keyed by column `key_col`.
+    pub fn build(rows: &[Rc<RowObj>], key_col: &str) -> ColumnCache {
+        let mut map: HashMap<Value, Vec<Rc<RowObj>>> = HashMap::new();
+        for r in rows {
+            if let Some(k) = r.field(key_col) {
+                map.entry(k).or_default().push(r.clone());
+            }
+        }
+        ColumnCache { rows_by_key: map, len: rows.len() }
+    }
+
+    /// All rows whose key column equals `key` (empty slice when absent).
+    pub fn lookup(&self, key: &Value) -> &[Rc<RowObj>] {
+        self.rows_by_key.get(key).map(|v| v.as_slice()).unwrap_or(&[])
+    }
+
+    /// Number of cached rows.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if the cache holds no rows.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
+/// A runtime value.
+#[derive(Debug, Clone)]
+pub enum RtVal {
+    /// Absence of a value (procedures without return).
+    Unit,
+    /// A scalar.
+    Scalar(Value),
+    /// A row object.
+    Row(Rc<RowObj>),
+    /// An ordered collection.
+    Collection(Rc<RefCell<Vec<RtVal>>>),
+    /// A map with deterministic (sorted-key) iteration order.
+    Map(Rc<RefCell<BTreeMap<Value, RtVal>>>),
+    /// A client-side column cache.
+    Cache(Rc<ColumnCache>),
+}
+
+impl RtVal {
+    /// Wrap a scalar.
+    pub fn scalar(v: impl Into<Value>) -> RtVal {
+        RtVal::Scalar(v.into())
+    }
+
+    /// A fresh empty collection.
+    pub fn new_collection() -> RtVal {
+        RtVal::Collection(Rc::new(RefCell::new(Vec::new())))
+    }
+
+    /// A fresh empty map.
+    pub fn new_map() -> RtVal {
+        RtVal::Map(Rc::new(RefCell::new(BTreeMap::new())))
+    }
+
+    /// The scalar inside, if this is a scalar.
+    pub fn as_scalar(&self) -> Option<&Value> {
+        match self {
+            RtVal::Scalar(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Deep, order-preserving snapshot for result comparison.
+    pub fn snapshot(&self) -> Snapshot {
+        match self {
+            RtVal::Unit => Snapshot::Unit,
+            RtVal::Scalar(v) => Snapshot::Scalar(v.clone()),
+            RtVal::Row(r) => Snapshot::Row((*r.values).clone()),
+            RtVal::Collection(c) => {
+                Snapshot::List(c.borrow().iter().map(|v| v.snapshot()).collect())
+            }
+            RtVal::Map(m) => Snapshot::Map(
+                m.borrow()
+                    .iter()
+                    .map(|(k, v)| (k.clone(), v.snapshot()))
+                    .collect(),
+            ),
+            RtVal::Cache(c) => {
+                // Caches compare as the multiset of their rows.
+                let mut rows: Vec<Snapshot> = Vec::new();
+                let mut keys: Vec<&Value> = c.rows_by_key.keys().collect();
+                keys.sort();
+                for k in keys {
+                    for r in &c.rows_by_key[k] {
+                        rows.push(Snapshot::Row((*r.values).clone()));
+                    }
+                }
+                Snapshot::List(rows)
+            }
+        }
+    }
+}
+
+/// A deep, comparable copy of a runtime value.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Snapshot {
+    Unit,
+    Scalar(Value),
+    Row(Vec<Value>),
+    List(Vec<Snapshot>),
+    Map(Vec<(Value, Snapshot)>),
+}
+
+impl Snapshot {
+    /// Normalize to bag semantics: recursively sort every list. Rewrites
+    /// that preserve multisets but not order compare equal afterwards.
+    pub fn normalized(mut self) -> Snapshot {
+        self.sort_lists();
+        self
+    }
+
+    fn sort_lists(&mut self) {
+        match self {
+            Snapshot::List(items) => {
+                for i in items.iter_mut() {
+                    i.sort_lists();
+                }
+                items.sort();
+            }
+            Snapshot::Map(entries) => {
+                for (_, v) in entries.iter_mut() {
+                    v.sort_lists();
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use minidb::{Column, DataType};
+
+    fn row(schema: &Rc<Schema>, vals: Vec<Value>) -> Rc<RowObj> {
+        Rc::new(RowObj { schema: schema.clone(), values: Rc::new(vals), entity: None })
+    }
+
+    fn schema() -> Rc<Schema> {
+        Rc::new(Schema::new(vec![
+            Column::new("k", DataType::Int),
+            Column::new("v", DataType::Str),
+        ]))
+    }
+
+    #[test]
+    fn row_field_access() {
+        let s = schema();
+        let r = row(&s, vec![Value::Int(1), Value::str("x")]);
+        assert_eq!(r.field("v"), Some(Value::str("x")));
+        assert_eq!(r.field("nope"), None);
+    }
+
+    #[test]
+    fn column_cache_groups_by_key() {
+        let s = schema();
+        let rows = vec![
+            row(&s, vec![Value::Int(1), Value::str("a")]),
+            row(&s, vec![Value::Int(2), Value::str("b")]),
+            row(&s, vec![Value::Int(1), Value::str("c")]),
+        ];
+        let cache = ColumnCache::build(&rows, "k");
+        assert_eq!(cache.len(), 3);
+        assert_eq!(cache.lookup(&Value::Int(1)).len(), 2);
+        assert_eq!(cache.lookup(&Value::Int(9)).len(), 0);
+    }
+
+    #[test]
+    fn snapshots_compare_structurally() {
+        let c = RtVal::new_collection();
+        if let RtVal::Collection(inner) = &c {
+            inner.borrow_mut().push(RtVal::scalar(2i64));
+            inner.borrow_mut().push(RtVal::scalar(1i64));
+        }
+        let snap = c.snapshot();
+        assert_eq!(
+            snap,
+            Snapshot::List(vec![
+                Snapshot::Scalar(Value::Int(2)),
+                Snapshot::Scalar(Value::Int(1))
+            ])
+        );
+        // Normalized comparison is order-insensitive.
+        let reordered = Snapshot::List(vec![
+            Snapshot::Scalar(Value::Int(1)),
+            Snapshot::Scalar(Value::Int(2)),
+        ]);
+        assert_ne!(snap, reordered);
+        assert_eq!(snap.normalized(), reordered.normalized());
+    }
+
+    #[test]
+    fn map_snapshot_is_key_sorted() {
+        let m = RtVal::new_map();
+        if let RtVal::Map(inner) = &m {
+            inner.borrow_mut().insert(Value::Int(2), RtVal::scalar("b"));
+            inner.borrow_mut().insert(Value::Int(1), RtVal::scalar("a"));
+        }
+        let Snapshot::Map(entries) = m.snapshot() else { panic!() };
+        assert_eq!(entries[0].0, Value::Int(1));
+        assert_eq!(entries[1].0, Value::Int(2));
+    }
+
+    #[test]
+    fn cache_snapshot_is_deterministic() {
+        let s = schema();
+        let rows = vec![
+            row(&s, vec![Value::Int(2), Value::str("b")]),
+            row(&s, vec![Value::Int(1), Value::str("a")]),
+        ];
+        let c1 = RtVal::Cache(Rc::new(ColumnCache::build(&rows, "k")));
+        let rows_rev: Vec<_> = rows.iter().rev().cloned().collect();
+        let c2 = RtVal::Cache(Rc::new(ColumnCache::build(&rows_rev, "k")));
+        assert_eq!(c1.snapshot(), c2.snapshot());
+    }
+}

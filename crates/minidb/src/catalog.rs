@@ -1,0 +1,317 @@
+//! Tables and the database catalog.
+
+use crate::error::{DbError, DbResult};
+use crate::schema::Schema;
+use crate::stats::TableStats;
+use crate::value::{Row, Value};
+use std::collections::{BTreeMap, HashMap};
+
+/// A stored table: schema, rows, optional hash indexes, statistics.
+#[derive(Debug, Clone)]
+pub struct Table {
+    name: String,
+    schema: Schema,
+    rows: Vec<Row>,
+    /// Hash indexes by column position: value → row positions.
+    indexes: HashMap<usize, HashMap<Value, Vec<usize>>>,
+    /// Column position of the primary key, if declared.
+    primary_key: Option<usize>,
+    stats: TableStats,
+}
+
+impl Table {
+    /// Create an empty table.
+    pub fn new(name: impl Into<String>, schema: Schema) -> Table {
+        Table {
+            name: name.into(),
+            schema,
+            rows: Vec::new(),
+            indexes: HashMap::new(),
+            primary_key: None,
+            stats: TableStats::default(),
+        }
+    }
+
+    /// Table name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Table schema (columns unqualified).
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// All rows.
+    pub fn rows(&self) -> &[Row] {
+        &self.rows
+    }
+
+    /// Number of rows.
+    pub fn row_count(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Declare `column` as primary key and index it.
+    pub fn set_primary_key(&mut self, column: &str) -> DbResult<()> {
+        let idx = self.schema.resolve(column)?;
+        self.primary_key = Some(idx);
+        self.create_index_at(idx);
+        Ok(())
+    }
+
+    /// Primary-key column position, if declared.
+    pub fn primary_key(&self) -> Option<usize> {
+        self.primary_key
+    }
+
+    /// Insert a row; maintains indexes. The row must match the schema arity.
+    pub fn insert(&mut self, row: Row) -> DbResult<()> {
+        if row.len() != self.schema.len() {
+            return Err(DbError::Invalid(format!(
+                "row arity {} does not match schema arity {} for table {}",
+                row.len(),
+                self.schema.len(),
+                self.name
+            )));
+        }
+        let pos = self.rows.len();
+        for (&col, index) in self.indexes.iter_mut() {
+            index.entry(row[col].clone()).or_default().push(pos);
+        }
+        self.rows.push(row);
+        Ok(())
+    }
+
+    /// Bulk insert; clears and rebuilds indexes once at the end.
+    pub fn insert_many(&mut self, rows: impl IntoIterator<Item = Row>) -> DbResult<()> {
+        let cols: Vec<usize> = self.indexes.keys().copied().collect();
+        for c in &cols {
+            self.indexes.get_mut(c).unwrap().clear();
+        }
+        for row in rows {
+            if row.len() != self.schema.len() {
+                return Err(DbError::Invalid(format!(
+                    "row arity {} does not match schema arity {} for table {}",
+                    row.len(),
+                    self.schema.len(),
+                    self.name
+                )));
+            }
+            self.rows.push(row);
+        }
+        for c in cols {
+            self.rebuild_index(c);
+        }
+        Ok(())
+    }
+
+    /// Create a hash index on `column`.
+    pub fn create_index(&mut self, column: &str) -> DbResult<()> {
+        let idx = self.schema.resolve(column)?;
+        self.create_index_at(idx);
+        Ok(())
+    }
+
+    fn create_index_at(&mut self, col: usize) {
+        if !self.indexes.contains_key(&col) {
+            self.indexes.insert(col, HashMap::new());
+            self.rebuild_index(col);
+        }
+    }
+
+    fn rebuild_index(&mut self, col: usize) {
+        let mut index: HashMap<Value, Vec<usize>> = HashMap::with_capacity(self.rows.len());
+        for (pos, row) in self.rows.iter().enumerate() {
+            index.entry(row[col].clone()).or_default().push(pos);
+        }
+        self.indexes.insert(col, index);
+    }
+
+    /// Probe the index on `col` for `key`, if one exists.
+    pub fn index_lookup(&self, col: usize, key: &Value) -> Option<&[usize]> {
+        self.indexes
+            .get(&col)
+            .map(|ix| ix.get(key).map(|v| v.as_slice()).unwrap_or(&[]))
+    }
+
+    /// True if `col` is indexed.
+    pub fn has_index(&self, col: usize) -> bool {
+        self.indexes.contains_key(&col)
+    }
+
+    /// Recompute statistics from current rows.
+    pub fn analyze(&mut self) {
+        self.stats = TableStats::analyze(&self.rows, self.schema.len());
+    }
+
+    /// Most recent statistics (empty until [`Table::analyze`] runs).
+    pub fn stats(&self) -> &TableStats {
+        &self.stats
+    }
+
+    /// Update `set_col` to `value` on all rows where `key_col == key`.
+    /// Returns the number of rows changed. Maintains indexes.
+    pub fn update_where_eq(
+        &mut self,
+        key_col: usize,
+        key: &Value,
+        set_col: usize,
+        value: Value,
+    ) -> usize {
+        let positions: Vec<usize> = if let Some(hits) = self.index_lookup(key_col, key) {
+            hits.to_vec()
+        } else {
+            self.rows
+                .iter()
+                .enumerate()
+                .filter(|(_, r)| &r[key_col] == key)
+                .map(|(i, _)| i)
+                .collect()
+        };
+        for &pos in &positions {
+            self.rows[pos][set_col] = value.clone();
+        }
+        if !positions.is_empty() && self.indexes.contains_key(&set_col) {
+            self.rebuild_index(set_col);
+        }
+        positions.len()
+    }
+}
+
+/// The catalog: a named collection of tables.
+#[derive(Debug, Clone, Default)]
+pub struct Database {
+    tables: BTreeMap<String, Table>,
+}
+
+impl Database {
+    /// An empty database.
+    pub fn new() -> Database {
+        Database::default()
+    }
+
+    /// Create a table; errors if the name is taken.
+    pub fn create_table(&mut self, name: impl Into<String>, schema: Schema) -> DbResult<&mut Table> {
+        let name = name.into();
+        if self.tables.contains_key(&name) {
+            return Err(DbError::Invalid(format!("table {name} already exists")));
+        }
+        self.tables.insert(name.clone(), Table::new(name.clone(), schema));
+        Ok(self.tables.get_mut(&name).unwrap())
+    }
+
+    /// Look up a table.
+    pub fn table(&self, name: &str) -> DbResult<&Table> {
+        self.tables
+            .get(name)
+            .ok_or_else(|| DbError::UnknownTable(name.to_string()))
+    }
+
+    /// Look up a table mutably.
+    pub fn table_mut(&mut self, name: &str) -> DbResult<&mut Table> {
+        self.tables
+            .get_mut(name)
+            .ok_or_else(|| DbError::UnknownTable(name.to_string()))
+    }
+
+    /// Iterate over tables in name order.
+    pub fn tables(&self) -> impl Iterator<Item = &Table> {
+        self.tables.values()
+    }
+
+    /// Recompute statistics for every table.
+    pub fn analyze_all(&mut self) {
+        for t in self.tables.values_mut() {
+            t.analyze();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{Column, DataType};
+
+    fn db_with_orders() -> Database {
+        let mut db = Database::new();
+        let schema = Schema::new(vec![
+            Column::new("o_id", DataType::Int),
+            Column::new("o_customer_sk", DataType::Int),
+        ]);
+        let t = db.create_table("orders", schema).unwrap();
+        t.set_primary_key("o_id").unwrap();
+        for i in 0..10 {
+            t.insert(vec![Value::Int(i), Value::Int(i % 3)]).unwrap();
+        }
+        t.analyze();
+        db
+    }
+
+    #[test]
+    fn create_and_lookup_table() {
+        let db = db_with_orders();
+        assert_eq!(db.table("orders").unwrap().row_count(), 10);
+        assert!(db.table("missing").is_err());
+    }
+
+    #[test]
+    fn duplicate_table_rejected() {
+        let mut db = db_with_orders();
+        assert!(db.create_table("orders", Schema::default()).is_err());
+    }
+
+    #[test]
+    fn primary_key_index_is_maintained_on_insert() {
+        let db = db_with_orders();
+        let t = db.table("orders").unwrap();
+        let hits = t.index_lookup(0, &Value::Int(7)).unwrap();
+        assert_eq!(hits, &[7]);
+    }
+
+    #[test]
+    fn secondary_index_lookup() {
+        let mut db = db_with_orders();
+        let t = db.table_mut("orders").unwrap();
+        t.create_index("o_customer_sk").unwrap();
+        let hits = t.index_lookup(1, &Value::Int(1)).unwrap();
+        assert_eq!(hits, &[1, 4, 7]);
+        assert_eq!(t.index_lookup(1, &Value::Int(99)).unwrap(), &[] as &[usize]);
+    }
+
+    #[test]
+    fn arity_mismatch_rejected() {
+        let mut db = db_with_orders();
+        let t = db.table_mut("orders").unwrap();
+        assert!(t.insert(vec![Value::Int(1)]).is_err());
+    }
+
+    #[test]
+    fn insert_many_rebuilds_indexes() {
+        let mut db = db_with_orders();
+        let t = db.table_mut("orders").unwrap();
+        t.insert_many((10..20).map(|i| vec![Value::Int(i), Value::Int(i % 3)]))
+            .unwrap();
+        assert_eq!(t.row_count(), 20);
+        let hits = t.index_lookup(0, &Value::Int(15)).unwrap();
+        assert_eq!(hits, &[15]);
+    }
+
+    #[test]
+    fn analyze_populates_stats() {
+        let db = db_with_orders();
+        let s = db.table("orders").unwrap().stats();
+        assert_eq!(s.row_count, 10);
+        assert_eq!(s.columns[1].ndv, 3);
+    }
+
+    #[test]
+    fn update_where_eq_changes_matching_rows() {
+        let mut db = db_with_orders();
+        let t = db.table_mut("orders").unwrap();
+        let n = t.update_where_eq(1, &Value::Int(1), 1, Value::Int(42));
+        assert_eq!(n, 3);
+        let count42 = t.rows().iter().filter(|r| r[1] == Value::Int(42)).count();
+        assert_eq!(count42, 3);
+    }
+}

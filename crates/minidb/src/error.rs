@@ -1,0 +1,64 @@
+//! Error type shared across the database engine.
+
+use std::fmt;
+
+/// Errors produced by the catalog, parser, planner, executor or estimator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DbError {
+    /// A table was not found in the catalog.
+    UnknownTable(String),
+    /// A column reference could not be resolved against a schema.
+    UnknownColumn(String),
+    /// A column reference matched more than one column.
+    AmbiguousColumn(String),
+    /// A scalar function is not registered.
+    UnknownFunction(String),
+    /// SQL text failed to lex/parse; includes a human-readable reason.
+    Parse(String),
+    /// A query referenced a parameter that was not bound at execution time.
+    UnboundParam(String),
+    /// Type mismatch during evaluation or planning.
+    Type(String),
+    /// Anything else (schema violations, arity errors, …).
+    Invalid(String),
+}
+
+impl fmt::Display for DbError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DbError::UnknownTable(t) => write!(f, "unknown table: {t}"),
+            DbError::UnknownColumn(c) => write!(f, "unknown column: {c}"),
+            DbError::AmbiguousColumn(c) => write!(f, "ambiguous column: {c}"),
+            DbError::UnknownFunction(x) => write!(f, "unknown function: {x}"),
+            DbError::Parse(m) => write!(f, "SQL parse error: {m}"),
+            DbError::UnboundParam(p) => write!(f, "unbound query parameter: :{p}"),
+            DbError::Type(m) => write!(f, "type error: {m}"),
+            DbError::Invalid(m) => write!(f, "invalid operation: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for DbError {}
+
+/// Convenience alias used throughout the engine.
+pub type DbResult<T> = Result<T, DbError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        assert_eq!(
+            DbError::UnknownTable("orders".into()).to_string(),
+            "unknown table: orders"
+        );
+        assert_eq!(
+            DbError::UnboundParam("cust".into()).to_string(),
+            "unbound query parameter: :cust"
+        );
+        assert!(DbError::Parse("expected FROM".into())
+            .to_string()
+            .contains("expected FROM"));
+    }
+}

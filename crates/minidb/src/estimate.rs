@@ -1,0 +1,494 @@
+//! Cardinality, size and time estimation.
+//!
+//! COBRA's cost model (§VI) needs, per query `Q`:
+//! * `N_Q` — estimated result cardinality,
+//! * `S_row(Q)` — result row size in bytes,
+//! * `C^F_Q` / `C^L_Q` — server time to first/last result row,
+//! * predicate truth probabilities (for the `cond` region cost).
+//!
+//! The paper "consulted the database query optimizer to get an estimate of
+//! query execution times, based on past executions"; this estimator plays
+//! that role using table statistics and the same work model as the
+//! executor.
+
+use crate::catalog::Database;
+use crate::error::DbResult;
+use crate::exec::DEFAULT_SERVER_ROW_NS;
+use crate::expr::{BinOp, ColRef, ScalarExpr};
+use crate::func::FuncRegistry;
+use crate::plan::LogicalPlan;
+use crate::schema::Schema;
+
+/// The estimate for one query plan.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Estimate {
+    /// Estimated result cardinality (`N_Q`).
+    pub rows: f64,
+    /// Declared bytes per result row (`S_row`).
+    pub row_bytes: f64,
+    /// Estimated row-touches before the first output row.
+    pub startup_work: f64,
+    /// Estimated total row-touches.
+    pub total_work: f64,
+}
+
+impl Estimate {
+    /// Estimated server time to the first result row, ns (`C^F_Q`).
+    pub fn first_row_ns(&self, row_ns: f64) -> f64 {
+        self.startup_work * row_ns
+    }
+
+    /// Estimated server time to the last result row, ns (`C^L_Q`).
+    pub fn last_row_ns(&self, row_ns: f64) -> f64 {
+        self.total_work * row_ns
+    }
+
+    /// Estimated payload bytes (`N_Q * S_row`).
+    pub fn payload_bytes(&self) -> f64 {
+        self.rows * self.row_bytes
+    }
+}
+
+/// Estimates plans against a database's statistics.
+pub struct Estimator<'a> {
+    db: &'a Database,
+    funcs: &'a FuncRegistry,
+    row_ns: f64,
+}
+
+/// Selectivity assumed for range predicates (`<`, `>`, …).
+const RANGE_SELECTIVITY: f64 = 1.0 / 3.0;
+/// Selectivity assumed when nothing is known.
+const DEFAULT_SELECTIVITY: f64 = 0.5;
+
+impl<'a> Estimator<'a> {
+    /// New estimator with the default server per-row cost.
+    pub fn new(db: &'a Database, funcs: &'a FuncRegistry) -> Estimator<'a> {
+        Estimator { db, funcs, row_ns: DEFAULT_SERVER_ROW_NS }
+    }
+
+    /// Override the per-row server cost (must match the executor's to make
+    /// estimates comparable with simulated measurements).
+    pub fn with_row_ns(mut self, row_ns: f64) -> Estimator<'a> {
+        self.row_ns = row_ns;
+        self
+    }
+
+    /// The per-row server cost used for time estimates.
+    pub fn row_ns(&self) -> f64 {
+        self.row_ns
+    }
+
+    /// Estimate cardinality, row size and work for `plan`.
+    pub fn estimate(&self, plan: &LogicalPlan) -> DbResult<Estimate> {
+        match plan {
+            LogicalPlan::Scan { table, .. } => {
+                let t = self.db.table(table)?;
+                let rows = t.stats().row_count.max(t.row_count() as u64) as f64;
+                Ok(Estimate {
+                    rows,
+                    row_bytes: t.schema().row_bytes() as f64,
+                    startup_work: 0.0,
+                    total_work: rows,
+                })
+            }
+            LogicalPlan::Select { input, pred } => {
+                let child = self.estimate(input)?;
+                let schema = input.output_schema(self.db, self.funcs)?;
+                let sel = self.selectivity(&schema, pred);
+                let rows = child.rows * sel;
+                // Index fast path mirrors the executor: equality on an
+                // indexed column of a base scan touches only matches.
+                let indexed = self.indexed_eq_lookup(input, pred, &schema);
+                let (startup, total) = if indexed {
+                    (0.0, rows + 1.0)
+                } else {
+                    (child.startup_work, child.total_work + child.rows)
+                };
+                Ok(Estimate {
+                    rows,
+                    row_bytes: child.row_bytes,
+                    startup_work: startup,
+                    total_work: total,
+                })
+            }
+            LogicalPlan::Project { input, .. } => {
+                let child = self.estimate(input)?;
+                let schema = plan.output_schema(self.db, self.funcs)?;
+                Ok(Estimate {
+                    rows: child.rows,
+                    row_bytes: schema.row_bytes() as f64,
+                    startup_work: child.startup_work,
+                    total_work: child.total_work + child.rows,
+                })
+            }
+            LogicalPlan::Join { left, right, pred } => {
+                let l = self.estimate(left)?;
+                let r = self.estimate(right)?;
+                let l_schema = left.output_schema(self.db, self.funcs)?;
+                let r_schema = right.output_schema(self.db, self.funcs)?;
+                let sel = self.join_selectivity(&l_schema, &r_schema, pred);
+                let rows = (l.rows * r.rows * sel).max(0.0);
+                // Index-nested-loops fast path (mirrors the executor): an
+                // indexed base-table side probed by a much smaller driver.
+                for (outer, outer_plan, inner_plan) in
+                    [(&l, left, right), (&r, right, left)]
+                {
+                    if self.inl_eligible(outer_plan, inner_plan, pred)
+                        && outer.rows * 2.0 < self.estimate(inner_plan)?.rows
+                    {
+                        return Ok(Estimate {
+                            rows,
+                            row_bytes: l.row_bytes + r.row_bytes,
+                            startup_work: outer.startup_work,
+                            total_work: outer.total_work + outer.rows + rows,
+                        });
+                    }
+                }
+                let build = l.rows.min(r.rows);
+                let probe = l.rows.max(r.rows);
+                let startup = l.startup_work + r.startup_work + build;
+                let total = l.total_work + r.total_work + build + probe + rows;
+                Ok(Estimate {
+                    rows,
+                    row_bytes: l.row_bytes + r.row_bytes,
+                    startup_work: startup,
+                    total_work: total,
+                })
+            }
+            LogicalPlan::Aggregate { input, group_by, .. } => {
+                let child = self.estimate(input)?;
+                let schema = plan.output_schema(self.db, self.funcs)?;
+                let in_schema = input.output_schema(self.db, self.funcs)?;
+                let rows = if group_by.is_empty() {
+                    1.0
+                } else {
+                    let mut groups = 1.0f64;
+                    for g in group_by {
+                        groups *= self.column_ndv(&in_schema, g).max(1.0);
+                    }
+                    groups.min(child.rows.max(1.0))
+                };
+                let total = child.total_work + child.rows;
+                Ok(Estimate {
+                    rows,
+                    row_bytes: schema.row_bytes() as f64,
+                    startup_work: total, // blocking
+                    total_work: total,
+                })
+            }
+            LogicalPlan::OrderBy { input, .. } => {
+                let child = self.estimate(input)?;
+                let n = child.rows.max(1.0);
+                let sort = n * n.log2().max(1.0);
+                Ok(Estimate {
+                    rows: child.rows,
+                    row_bytes: child.row_bytes,
+                    startup_work: child.total_work + sort, // blocking
+                    total_work: child.total_work + sort,
+                })
+            }
+            LogicalPlan::Limit { input, n } => {
+                let child = self.estimate(input)?;
+                let rows = child.rows.min(*n as f64);
+                Ok(Estimate { rows, ..child })
+            }
+        }
+    }
+
+    /// Probability that `pred` holds for a row of `schema` — used directly
+    /// for the `p` of a `cond` region when the predicate involves query
+    /// result attributes (§VI).
+    pub fn selectivity(&self, schema: &Schema, pred: &ScalarExpr) -> f64 {
+        match pred {
+            ScalarExpr::Lit(v) => match v.as_bool() {
+                Some(true) => 1.0,
+                Some(false) => 0.0,
+                None => DEFAULT_SELECTIVITY,
+            },
+            ScalarExpr::Bin(BinOp::And, l, r) => {
+                self.selectivity(schema, l) * self.selectivity(schema, r)
+            }
+            ScalarExpr::Bin(BinOp::Or, l, r) => {
+                let a = self.selectivity(schema, l);
+                let b = self.selectivity(schema, r);
+                (a + b - a * b).min(1.0)
+            }
+            ScalarExpr::Not(e) => 1.0 - self.selectivity(schema, e),
+            ScalarExpr::Bin(BinOp::Eq, l, r) => {
+                // col = constant/param → 1/NDV; col = col handled by joins.
+                if let Some(c) = as_column(l).or_else(|| as_column(r)) {
+                    let ndv = self.column_ndv(schema, &c);
+                    if ndv > 0.0 {
+                        return 1.0 / ndv;
+                    }
+                }
+                DEFAULT_SELECTIVITY
+            }
+            ScalarExpr::Bin(BinOp::Ne, _, _) => 1.0 - 0.1,
+            ScalarExpr::Bin(op, _, _) if op.is_comparison() => RANGE_SELECTIVITY,
+            _ => DEFAULT_SELECTIVITY,
+        }
+    }
+
+    fn join_selectivity(
+        &self,
+        l_schema: &Schema,
+        r_schema: &Schema,
+        pred: &ScalarExpr,
+    ) -> f64 {
+        for c in pred.conjuncts() {
+            if let ScalarExpr::Bin(BinOp::Eq, a, b) = c {
+                if let (Some(ca), Some(cb)) = (as_column(a), as_column(b)) {
+                    let joint = l_schema.join(r_schema);
+                    let ndv_a = self.column_ndv(&joint, &ca).max(1.0);
+                    let ndv_b = self.column_ndv(&joint, &cb).max(1.0);
+                    return 1.0 / ndv_a.max(ndv_b);
+                }
+            }
+        }
+        if matches!(pred, ScalarExpr::Lit(crate::value::Value::Bool(true))) {
+            return 1.0; // cross join
+        }
+        DEFAULT_SELECTIVITY
+    }
+
+    /// NDV of a referenced column. The column is traced back to a base
+    /// table by name (column names are unique per table in our workloads).
+    fn column_ndv(&self, _schema: &Schema, col: &ColRef) -> f64 {
+        for table in self.db.tables() {
+            for (i, c) in table.schema().columns().iter().enumerate() {
+                if c.name == col.name {
+                    return table.stats().ndv(i) as f64;
+                }
+            }
+        }
+        0.0
+    }
+
+    /// True when `inner_plan` is a bare indexed scan joinable from
+    /// `outer_plan` through an indexed equality column (the executor's INL
+    /// join precondition, minus the size heuristic).
+    fn inl_eligible(
+        &self,
+        outer_plan: &LogicalPlan,
+        inner_plan: &LogicalPlan,
+        pred: &ScalarExpr,
+    ) -> bool {
+        let LogicalPlan::Scan { table, alias } = inner_plan else { return false };
+        let Ok(t) = self.db.table(table) else { return false };
+        let inner_schema = t
+            .schema()
+            .with_qualifier(alias.as_deref().unwrap_or(table));
+        let Ok(outer_schema) = outer_plan.output_schema(self.db, self.funcs) else {
+            return false;
+        };
+        for c in pred.conjuncts() {
+            let ScalarExpr::Bin(BinOp::Eq, a, b) = c else { continue };
+            let (ScalarExpr::Col(ca), ScalarExpr::Col(cb)) = (&**a, &**b) else { continue };
+            for (x, y) in [(ca, cb), (cb, ca)] {
+                if outer_schema.resolve(&x.to_ref_string()).is_ok() {
+                    if let Ok(i) = inner_schema.resolve(&y.to_ref_string()) {
+                        if t.has_index(i) {
+                            return true;
+                        }
+                    }
+                }
+            }
+        }
+        false
+    }
+
+    /// Mirrors the executor's index fast-path detection.
+    fn indexed_eq_lookup(
+        &self,
+        input: &LogicalPlan,
+        pred: &ScalarExpr,
+        schema: &Schema,
+    ) -> bool {
+        let LogicalPlan::Scan { table, .. } = input else { return false };
+        let Ok(t) = self.db.table(table) else { return false };
+        for c in pred.conjuncts() {
+            if let ScalarExpr::Bin(BinOp::Eq, l, r) = c {
+                let col = match (&**l, &**r) {
+                    (ScalarExpr::Col(col), o) if !o.references_columns() => Some(col),
+                    (o, ScalarExpr::Col(col)) if !o.references_columns() => Some(col),
+                    _ => None,
+                };
+                if let Some(col) = col {
+                    if let Ok(i) = schema.resolve(&col.to_ref_string()) {
+                        if t.has_index(i) {
+                            return true;
+                        }
+                    }
+                }
+            }
+        }
+        false
+    }
+}
+
+fn as_column(e: &ScalarExpr) -> Option<ColRef> {
+    match e {
+        ScalarExpr::Col(c) => Some(c.clone()),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{Column, DataType};
+    use crate::sql::parse;
+    use crate::value::Value;
+
+    fn test_db() -> Database {
+        let mut db = Database::new();
+        let orders = Schema::new(vec![
+            Column::new("o_id", DataType::Int),
+            Column::new("o_customer_sk", DataType::Int),
+            Column::with_width("o_status", DataType::Str, 10),
+        ]);
+        let t = db.create_table("orders", orders).unwrap();
+        t.set_primary_key("o_id").unwrap();
+        for i in 0..1000i64 {
+            t.insert(vec![
+                Value::Int(i),
+                Value::Int(i % 100),
+                Value::str(if i % 5 == 0 { "open" } else { "done" }),
+            ])
+            .unwrap();
+        }
+        let customer = Schema::new(vec![
+            Column::new("c_customer_sk", DataType::Int),
+            Column::new("c_birth_year", DataType::Int),
+        ]);
+        let t = db.create_table("customer", customer).unwrap();
+        t.set_primary_key("c_customer_sk").unwrap();
+        for i in 0..100i64 {
+            t.insert(vec![Value::Int(i), Value::Int(1950 + (i % 40))]).unwrap();
+        }
+        db.analyze_all();
+        db
+    }
+
+    fn estimate(db: &Database, sql: &str) -> Estimate {
+        let funcs = FuncRegistry::with_builtins();
+        let plan = parse(sql).unwrap();
+        Estimator::new(db, &funcs).estimate(&plan).unwrap()
+    }
+
+    #[test]
+    fn scan_estimate_matches_row_count() {
+        let db = test_db();
+        let e = estimate(&db, "select * from orders");
+        assert_eq!(e.rows, 1000.0);
+        assert_eq!(e.row_bytes, 8.0 + 8.0 + 10.0);
+    }
+
+    #[test]
+    fn eq_selectivity_uses_ndv() {
+        let db = test_db();
+        let e = estimate(&db, "select * from orders where o_customer_sk = 7");
+        assert!((e.rows - 10.0).abs() < 1e-9, "1000/100 = 10, got {}", e.rows);
+    }
+
+    #[test]
+    fn param_predicates_estimate_like_constants() {
+        let db = test_db();
+        let e = estimate(&db, "select * from customer where c_customer_sk = :k");
+        assert!((e.rows - 1.0).abs() < 1e-9);
+        // Indexed: nearly free.
+        assert!(e.total_work < 5.0);
+    }
+
+    #[test]
+    fn join_estimate_uses_fk_ndv() {
+        let db = test_db();
+        let e = estimate(
+            &db,
+            "select * from orders o join customer c on o.o_customer_sk = c.c_customer_sk",
+        );
+        assert!((e.rows - 1000.0).abs() < 1.0, "got {}", e.rows);
+        assert_eq!(e.row_bytes, 26.0 + 16.0);
+    }
+
+    #[test]
+    fn aggregate_estimate_counts_groups() {
+        let db = test_db();
+        let e = estimate(&db, "select o_status, count(*) from orders group by o_status");
+        assert!((e.rows - 2.0).abs() < 1e-9);
+        assert_eq!(e.startup_work, e.total_work, "aggregation blocks");
+        let scalar = estimate(&db, "select count(*) from orders");
+        assert_eq!(scalar.rows, 1.0);
+    }
+
+    #[test]
+    fn order_by_is_blocking() {
+        let db = test_db();
+        let e = estimate(&db, "select * from orders order by o_id");
+        assert_eq!(e.startup_work, e.total_work);
+        assert!(e.total_work > 1000.0);
+    }
+
+    #[test]
+    fn limit_caps_rows() {
+        let db = test_db();
+        let e = estimate(&db, "select * from orders limit 5");
+        assert_eq!(e.rows, 5.0);
+    }
+
+    #[test]
+    fn range_predicate_uses_third() {
+        let db = test_db();
+        let e = estimate(&db, "select * from orders where o_id > 10");
+        assert!((e.rows - 1000.0 / 3.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn and_or_not_combinators() {
+        let db = test_db();
+        let funcs = FuncRegistry::with_builtins();
+        let est = Estimator::new(&db, &funcs);
+        let schema = LogicalPlan::scan("orders").output_schema(&db, &funcs).unwrap();
+        let p_eq = parse("select * from orders where o_customer_sk = 1").unwrap();
+        let LogicalPlan::Select { pred, .. } = p_eq else { panic!() };
+        let p = est.selectivity(&schema, &pred);
+        assert!((p - 0.01).abs() < 1e-9);
+        let not_p = est.selectivity(&schema, &ScalarExpr::Not(Box::new(pred)));
+        assert!((not_p - 0.99).abs() < 1e-9);
+    }
+
+    #[test]
+    fn estimated_rows_track_actual_within_factor_two() {
+        let db = test_db();
+        let funcs = FuncRegistry::with_builtins();
+        for sql in [
+            "select * from orders where o_customer_sk = 42",
+            "select * from orders o join customer c on o.o_customer_sk = c.c_customer_sk",
+            "select o_status, count(*) from orders group by o_status",
+        ] {
+            let plan = parse(sql).unwrap();
+            let est = Estimator::new(&db, &funcs).estimate(&plan).unwrap();
+            let act = crate::exec::Executor::new(&db, &funcs)
+                .execute(&plan, &std::collections::HashMap::new())
+                .unwrap();
+            let actual = act.row_count() as f64;
+            assert!(
+                est.rows <= actual * 2.0 + 1.0 && est.rows >= actual / 2.0 - 1.0,
+                "{sql}: est {} vs actual {actual}",
+                est.rows
+            );
+        }
+    }
+
+    #[test]
+    fn time_estimates_scale_with_row_cost() {
+        let db = test_db();
+        let funcs = FuncRegistry::with_builtins();
+        let plan = parse("select * from orders").unwrap();
+        let e = Estimator::new(&db, &funcs).with_row_ns(100.0).estimate(&plan).unwrap();
+        assert_eq!(e.last_row_ns(100.0), 1000.0 * 100.0);
+        assert_eq!(e.first_row_ns(100.0), 0.0);
+    }
+}

@@ -1,0 +1,44 @@
+//! An in-memory relational database engine.
+//!
+//! This crate is the substitute for the MySQL 5.7 server used in the
+//! paper's evaluation. It provides everything COBRA needs from a database:
+//!
+//! * a catalog of tables with typed columns and declared byte widths
+//!   (so result row sizes — `S_row(Q)` in the cost model — are exact),
+//! * a SQL dialect (lexer + recursive-descent parser) sufficient for every
+//!   query in the paper, and a printer that turns plans back into SQL,
+//! * logical plans ([`plan::LogicalPlan`]) with schema derivation,
+//! * a physical executor with hash joins, index lookups and hash
+//!   aggregation that also accounts the *work* performed, from which the
+//!   simulated server-side execution time is derived,
+//! * table statistics and a cardinality/row-size/time [`estimate::Estimator`]
+//!   — the component the paper "consults the database query optimizer" for
+//!   (`C^F_Q`, `C^L_Q`, `N_Q`, `S_row(Q)`).
+//!
+//! The engine executes queries eagerly and materializes results; pipelining
+//! is *modelled* in the time accounting (first-row vs. last-row work)
+//! rather than implemented with iterators, which keeps the executor simple
+//! while preserving the cost behaviour the experiments depend on.
+
+pub mod catalog;
+pub mod error;
+pub mod estimate;
+pub mod exec;
+pub mod expr;
+pub mod func;
+pub mod plan;
+pub mod schema;
+pub mod sql;
+pub mod stats;
+pub mod value;
+
+pub use catalog::{Database, Table};
+pub use error::{DbError, DbResult};
+pub use estimate::{Estimate, Estimator};
+pub use exec::{ExecWork, Executor, QueryResult};
+pub use expr::{apply_bin_op, AggFunc, BinOp, ColRef, ScalarExpr};
+pub use func::FuncRegistry;
+pub use plan::LogicalPlan;
+pub use schema::{Column, DataType, Schema};
+pub use stats::{ColumnStats, TableStats};
+pub use value::{Row, Value};

@@ -1,0 +1,257 @@
+//! Column and schema definitions.
+
+use crate::error::{DbError, DbResult};
+use std::fmt;
+
+/// Data types supported by the engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DataType {
+    Int,
+    Float,
+    Str,
+    Bool,
+}
+
+impl DataType {
+    /// Default storage width for the type when no explicit width is given.
+    /// Strings get a nominal VARCHAR-ish width.
+    pub fn default_width(self) -> u32 {
+        match self {
+            DataType::Int => 8,
+            DataType::Float => 8,
+            DataType::Bool => 1,
+            DataType::Str => 16,
+        }
+    }
+}
+
+impl fmt::Display for DataType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            DataType::Int => "INT",
+            DataType::Float => "FLOAT",
+            DataType::Str => "VARCHAR",
+            DataType::Bool => "BOOL",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// One column of a schema.
+///
+/// `byte_width` is the *declared* on-wire width of the column. The paper
+/// sizes its Order/Customer rows per the TPC-DS specification; declaring
+/// widths makes `S_row(Q)` (result row size) exact and deterministic.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Column {
+    /// Unqualified column name, e.g. `c_birth_year`.
+    pub name: String,
+    /// Optional qualifier (table name or alias), e.g. `c`.
+    pub qualifier: Option<String>,
+    /// Data type.
+    pub dtype: DataType,
+    /// Declared on-wire width in bytes.
+    pub byte_width: u32,
+}
+
+impl Column {
+    /// Build a column with the type's default width.
+    pub fn new(name: impl Into<String>, dtype: DataType) -> Column {
+        Column {
+            name: name.into(),
+            qualifier: None,
+            dtype,
+            byte_width: dtype.default_width(),
+        }
+    }
+
+    /// Build a column with an explicit byte width.
+    pub fn with_width(name: impl Into<String>, dtype: DataType, width: u32) -> Column {
+        Column {
+            name: name.into(),
+            qualifier: None,
+            dtype,
+            byte_width: width,
+        }
+    }
+
+    /// Return a copy of this column tagged with a qualifier.
+    pub fn qualified(mut self, q: impl Into<String>) -> Column {
+        self.qualifier = Some(q.into());
+        self
+    }
+
+    /// `qualifier.name` if qualified, else just the name.
+    pub fn full_name(&self) -> String {
+        match &self.qualifier {
+            Some(q) => format!("{q}.{}", self.name),
+            None => self.name.clone(),
+        }
+    }
+}
+
+/// An ordered list of columns.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct Schema {
+    columns: Vec<Column>,
+}
+
+impl Schema {
+    /// Build a schema from columns.
+    pub fn new(columns: Vec<Column>) -> Schema {
+        Schema { columns }
+    }
+
+    /// The columns, in order.
+    pub fn columns(&self) -> &[Column] {
+        &self.columns
+    }
+
+    /// Number of columns.
+    pub fn len(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// True if the schema has no columns.
+    pub fn is_empty(&self) -> bool {
+        self.columns.is_empty()
+    }
+
+    /// Column at position `i`.
+    pub fn column(&self, i: usize) -> &Column {
+        &self.columns[i]
+    }
+
+    /// Total declared row width in bytes (`S_row` for a full-row result).
+    pub fn row_bytes(&self) -> u64 {
+        self.columns.iter().map(|c| c.byte_width as u64).sum()
+    }
+
+    /// Resolve a possibly-qualified column reference to its index.
+    ///
+    /// `"c.c_birth_year"` matches qualifier and name; `"c_birth_year"`
+    /// matches by name alone and errors if the name is ambiguous.
+    pub fn resolve(&self, reference: &str) -> DbResult<usize> {
+        if let Some((q, name)) = reference.split_once('.') {
+            let mut found = None;
+            for (i, c) in self.columns.iter().enumerate() {
+                if c.name == name && c.qualifier.as_deref() == Some(q) {
+                    if found.is_some() {
+                        return Err(DbError::AmbiguousColumn(reference.to_string()));
+                    }
+                    found = Some(i);
+                }
+            }
+            // Fall back to name-only matching: a projection may have
+            // stripped qualifiers while the reference kept one.
+            if found.is_none() {
+                return self.resolve(name);
+            }
+            found.ok_or_else(|| DbError::UnknownColumn(reference.to_string()))
+        } else {
+            let mut found = None;
+            for (i, c) in self.columns.iter().enumerate() {
+                if c.name == reference {
+                    if found.is_some() {
+                        return Err(DbError::AmbiguousColumn(reference.to_string()));
+                    }
+                    found = Some(i);
+                }
+            }
+            found.ok_or_else(|| DbError::UnknownColumn(reference.to_string()))
+        }
+    }
+
+    /// Concatenate two schemas (used for join outputs).
+    pub fn join(&self, other: &Schema) -> Schema {
+        let mut columns = self.columns.clone();
+        columns.extend(other.columns.iter().cloned());
+        Schema { columns }
+    }
+
+    /// Return a copy where every column carries `qualifier`.
+    pub fn with_qualifier(&self, qualifier: &str) -> Schema {
+        Schema {
+            columns: self
+                .columns
+                .iter()
+                .map(|c| c.clone().qualified(qualifier))
+                .collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Schema {
+        Schema::new(vec![
+            Column::new("o_id", DataType::Int).qualified("o"),
+            Column::new("o_customer_sk", DataType::Int).qualified("o"),
+            Column::with_width("c_name", DataType::Str, 30).qualified("c"),
+        ])
+    }
+
+    #[test]
+    fn resolve_unqualified_unique_name() {
+        let s = sample();
+        assert_eq!(s.resolve("o_id").unwrap(), 0);
+        assert_eq!(s.resolve("c_name").unwrap(), 2);
+    }
+
+    #[test]
+    fn resolve_qualified_name() {
+        let s = sample();
+        assert_eq!(s.resolve("o.o_customer_sk").unwrap(), 1);
+        assert_eq!(s.resolve("c.c_name").unwrap(), 2);
+    }
+
+    #[test]
+    fn resolve_falls_back_to_name_when_qualifier_missing() {
+        // After projection the qualifier may be gone; a qualified lookup
+        // should still find the uniquely-named column.
+        let s = Schema::new(vec![Column::new("c_name", DataType::Str)]);
+        assert_eq!(s.resolve("c.c_name").unwrap(), 0);
+    }
+
+    #[test]
+    fn resolve_detects_ambiguity() {
+        let s = Schema::new(vec![
+            Column::new("id", DataType::Int).qualified("a"),
+            Column::new("id", DataType::Int).qualified("b"),
+        ]);
+        assert!(matches!(s.resolve("id"), Err(DbError::AmbiguousColumn(_))));
+        assert_eq!(s.resolve("a.id").unwrap(), 0);
+        assert_eq!(s.resolve("b.id").unwrap(), 1);
+    }
+
+    #[test]
+    fn resolve_unknown_column_errors() {
+        let s = sample();
+        assert!(matches!(s.resolve("nope"), Err(DbError::UnknownColumn(_))));
+    }
+
+    #[test]
+    fn row_bytes_sums_declared_widths() {
+        let s = sample();
+        assert_eq!(s.row_bytes(), 8 + 8 + 30);
+    }
+
+    #[test]
+    fn join_concatenates_preserving_order() {
+        let a = Schema::new(vec![Column::new("x", DataType::Int)]);
+        let b = Schema::new(vec![Column::new("y", DataType::Str)]);
+        let j = a.join(&b);
+        assert_eq!(j.len(), 2);
+        assert_eq!(j.column(0).name, "x");
+        assert_eq!(j.column(1).name, "y");
+    }
+
+    #[test]
+    fn with_qualifier_tags_all_columns() {
+        let s = Schema::new(vec![Column::new("x", DataType::Int)]).with_qualifier("t");
+        assert_eq!(s.column(0).qualifier.as_deref(), Some("t"));
+        assert_eq!(s.column(0).full_name(), "t.x");
+    }
+}

@@ -1,0 +1,263 @@
+//! SQL tokenizer.
+
+use crate::error::{DbError, DbResult};
+
+/// Token kinds produced by the lexer.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    /// Identifier or keyword (keywords are matched case-insensitively by
+    /// the parser; the original spelling is preserved here).
+    Ident(String),
+    /// Integer literal.
+    Int(i64),
+    /// Float literal.
+    Float(f64),
+    /// Single-quoted string literal (quotes stripped, `''` unescaped).
+    Str(String),
+    /// Named parameter `:name`.
+    Param(String),
+    /// Punctuation / operator.
+    Symbol(&'static str),
+    /// End of input.
+    Eof,
+}
+
+/// A token with its byte offset (for error messages).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    pub kind: TokenKind,
+    pub offset: usize,
+}
+
+/// Tokenize SQL text.
+pub fn tokenize(input: &str) -> DbResult<Vec<Token>> {
+    let bytes = input.as_bytes();
+    let mut tokens = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        if c.is_ascii_whitespace() {
+            i += 1;
+            continue;
+        }
+        let start = i;
+        match c {
+            '(' | ')' | ',' | '.' | '+' | '-' | '*' | '/' => {
+                let sym = match c {
+                    '(' => "(",
+                    ')' => ")",
+                    ',' => ",",
+                    '.' => ".",
+                    '+' => "+",
+                    '-' => "-",
+                    '*' => "*",
+                    _ => "/",
+                };
+                tokens.push(Token { kind: TokenKind::Symbol(sym), offset: start });
+                i += 1;
+            }
+            '=' => {
+                tokens.push(Token { kind: TokenKind::Symbol("="), offset: start });
+                i += 1;
+            }
+            '<' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    tokens.push(Token { kind: TokenKind::Symbol("<="), offset: start });
+                    i += 2;
+                } else if bytes.get(i + 1) == Some(&b'>') {
+                    tokens.push(Token { kind: TokenKind::Symbol("<>"), offset: start });
+                    i += 2;
+                } else {
+                    tokens.push(Token { kind: TokenKind::Symbol("<"), offset: start });
+                    i += 1;
+                }
+            }
+            '>' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    tokens.push(Token { kind: TokenKind::Symbol(">="), offset: start });
+                    i += 2;
+                } else {
+                    tokens.push(Token { kind: TokenKind::Symbol(">"), offset: start });
+                    i += 1;
+                }
+            }
+            '!' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    tokens.push(Token { kind: TokenKind::Symbol("<>"), offset: start });
+                    i += 2;
+                } else {
+                    return Err(DbError::Parse(format!("unexpected '!' at offset {start}")));
+                }
+            }
+            ':' => {
+                i += 1;
+                let name_start = i;
+                while i < bytes.len()
+                    && ((bytes[i] as char).is_ascii_alphanumeric() || bytes[i] == b'_')
+                {
+                    i += 1;
+                }
+                if i == name_start {
+                    return Err(DbError::Parse(format!(
+                        "expected parameter name after ':' at offset {start}"
+                    )));
+                }
+                tokens.push(Token {
+                    kind: TokenKind::Param(input[name_start..i].to_string()),
+                    offset: start,
+                });
+            }
+            '\'' => {
+                i += 1;
+                let mut s = String::new();
+                loop {
+                    if i >= bytes.len() {
+                        return Err(DbError::Parse(format!(
+                            "unterminated string literal starting at offset {start}"
+                        )));
+                    }
+                    if bytes[i] == b'\'' {
+                        if bytes.get(i + 1) == Some(&b'\'') {
+                            s.push('\'');
+                            i += 2;
+                        } else {
+                            i += 1;
+                            break;
+                        }
+                    } else {
+                        // Multi-byte UTF-8 safe: find char at byte i.
+                        let ch = input[i..].chars().next().unwrap();
+                        s.push(ch);
+                        i += ch.len_utf8();
+                    }
+                }
+                tokens.push(Token { kind: TokenKind::Str(s), offset: start });
+            }
+            _ if c.is_ascii_digit() => {
+                while i < bytes.len() && (bytes[i] as char).is_ascii_digit() {
+                    i += 1;
+                }
+                let mut is_float = false;
+                if i < bytes.len()
+                    && bytes[i] == b'.'
+                    && i + 1 < bytes.len()
+                    && (bytes[i + 1] as char).is_ascii_digit()
+                {
+                    is_float = true;
+                    i += 1;
+                    while i < bytes.len() && (bytes[i] as char).is_ascii_digit() {
+                        i += 1;
+                    }
+                }
+                let text = &input[start..i];
+                let kind = if is_float {
+                    TokenKind::Float(text.parse().map_err(|e| {
+                        DbError::Parse(format!("bad float literal {text}: {e}"))
+                    })?)
+                } else {
+                    TokenKind::Int(text.parse().map_err(|e| {
+                        DbError::Parse(format!("bad int literal {text}: {e}"))
+                    })?)
+                };
+                tokens.push(Token { kind, offset: start });
+            }
+            _ if c.is_ascii_alphabetic() || c == '_' => {
+                while i < bytes.len()
+                    && ((bytes[i] as char).is_ascii_alphanumeric() || bytes[i] == b'_')
+                {
+                    i += 1;
+                }
+                tokens.push(Token {
+                    kind: TokenKind::Ident(input[start..i].to_string()),
+                    offset: start,
+                });
+            }
+            other => {
+                return Err(DbError::Parse(format!(
+                    "unexpected character {other:?} at offset {start}"
+                )));
+            }
+        }
+    }
+    tokens.push(Token { kind: TokenKind::Eof, offset: input.len() });
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(sql: &str) -> Vec<TokenKind> {
+        tokenize(sql).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn tokenizes_basic_query() {
+        let k = kinds("select * from t");
+        assert_eq!(
+            k,
+            vec![
+                TokenKind::Ident("select".into()),
+                TokenKind::Symbol("*"),
+                TokenKind::Ident("from".into()),
+                TokenKind::Ident("t".into()),
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn tokenizes_operators() {
+        let k = kinds("a <= 1 and b <> 2 or c != 3");
+        assert!(k.contains(&TokenKind::Symbol("<=")));
+        // both <> and != normalize to <>
+        assert_eq!(k.iter().filter(|t| **t == TokenKind::Symbol("<>")).count(), 2);
+    }
+
+    #[test]
+    fn tokenizes_numbers() {
+        let k = kinds("42 3.25");
+        assert_eq!(k[0], TokenKind::Int(42));
+        assert_eq!(k[1], TokenKind::Float(3.25));
+    }
+
+    #[test]
+    fn tokenizes_strings_with_escapes() {
+        let k = kinds("'it''s'");
+        assert_eq!(k[0], TokenKind::Str("it's".into()));
+    }
+
+    #[test]
+    fn tokenizes_params() {
+        let k = kinds(":cust_id");
+        assert_eq!(k[0], TokenKind::Param("cust_id".into()));
+    }
+
+    #[test]
+    fn unterminated_string_errors() {
+        assert!(tokenize("'oops").is_err());
+    }
+
+    #[test]
+    fn bare_colon_errors() {
+        assert!(tokenize("a = :").is_err());
+    }
+
+    #[test]
+    fn unexpected_char_errors() {
+        assert!(tokenize("a # b").is_err());
+    }
+
+    #[test]
+    fn qualified_names_tokenize_as_ident_dot_ident() {
+        let k = kinds("o.o_id");
+        assert_eq!(
+            k[..3],
+            [
+                TokenKind::Ident("o".into()),
+                TokenKind::Symbol("."),
+                TokenKind::Ident("o_id".into()),
+            ]
+        );
+    }
+}

@@ -1,0 +1,27 @@
+//! SQL front-end: lexer, recursive-descent parser, and plan-to-SQL printer.
+//!
+//! The dialect covers everything the paper's programs use:
+//! `SELECT`-lists with expressions, aliases and aggregates, `FROM` with
+//! inner `JOIN … ON` chains and comma cross-joins, `WHERE`, `GROUP BY`,
+//! `ORDER BY`, `LIMIT`, named parameters (`:name`), scalar function calls,
+//! and the usual literal/operator zoo.
+//!
+//! ```
+//! use minidb::sql;
+//! let plan = sql::parse(
+//!     "select c.c_birth_year, count(*) as n \
+//!      from orders o join customer c on o.o_customer_sk = c.c_customer_sk \
+//!      where o.o_amount > 10 group by c.c_birth_year order by c.c_birth_year",
+//! ).unwrap();
+//! let text = sql::print(&plan);
+//! // Printing is stable: parse(print(p)) prints to the same text.
+//! assert_eq!(sql::print(&sql::parse(&text).unwrap()), text);
+//! ```
+
+mod lexer;
+mod parser;
+mod printer;
+
+pub use lexer::{tokenize, Token, TokenKind};
+pub use parser::parse;
+pub use printer::{print, print_expr};

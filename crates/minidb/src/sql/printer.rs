@@ -1,0 +1,315 @@
+//! Plan-to-SQL printer.
+//!
+//! F-IR transformations produce `LogicalPlan`s; code generation turns them
+//! back into `executeQuery("…")` calls, which requires rendering plans as
+//! SQL text. The printer is the inverse of the parser for every plan shape
+//! the parser can produce: `parse(print(p))` prints back to the same text
+//! (idempotence is property-tested).
+
+use crate::expr::ScalarExpr;
+use crate::plan::{LogicalPlan, SortDir};
+use crate::value::Value;
+use std::fmt::Write as _;
+
+/// Render a plan as a SQL `SELECT` statement.
+pub fn print(plan: &LogicalPlan) -> String {
+    let mut p = plan;
+    let mut limit = None;
+    let mut order = Vec::new();
+
+    if let LogicalPlan::Limit { input, n } = p {
+        limit = Some(*n);
+        p = input;
+    }
+    if let LogicalPlan::OrderBy { input, keys } = p {
+        order = keys.clone();
+        p = input;
+    }
+
+    // SELECT clause.
+    let mut group_by: Vec<String> = Vec::new();
+    let select_clause;
+    match p {
+        LogicalPlan::Project { input, items } => {
+            select_clause = items
+                .iter()
+                .map(|(e, name)| {
+                    let rendered = print_expr(e);
+                    if expr_default_name(e).as_deref() == Some(name.as_str()) {
+                        rendered
+                    } else {
+                        format!("{rendered} as {name}")
+                    }
+                })
+                .collect::<Vec<_>>()
+                .join(", ");
+            p = input;
+        }
+        LogicalPlan::Aggregate { input, group_by: g, aggs } => {
+            let mut parts: Vec<String> = g.iter().map(|c| c.to_ref_string()).collect();
+            group_by = parts.clone();
+            for a in aggs {
+                let arg = match &a.arg {
+                    None => "*".to_string(),
+                    Some(e) => print_expr(e),
+                };
+                let call = format!("{}({})", a.func.sql(), arg);
+                let default = default_agg_name_for_print(a);
+                if default == a.name {
+                    parts.push(call);
+                } else {
+                    parts.push(format!("{call} as {}", a.name));
+                }
+            }
+            select_clause = parts.join(", ");
+            p = input;
+        }
+        _ => select_clause = "*".to_string(),
+    }
+
+    // WHERE conjuncts (Selects above the join tree).
+    let mut where_preds = Vec::new();
+    while let LogicalPlan::Select { input, pred } = p {
+        where_preds.push(pred.clone());
+        p = input;
+    }
+
+    // FROM clause; Selects nested inside joins are hoisted into WHERE
+    // (valid for inner joins).
+    let from_clause = render_from(p, &mut where_preds);
+
+    let mut sql = format!("select {select_clause} from {from_clause}");
+    if !where_preds.is_empty() {
+        // Preserve source order: predicates were collected top-down.
+        where_preds.reverse();
+        let rendered: Vec<String> = where_preds.iter().map(print_expr).collect();
+        write!(sql, " where {}", rendered.join(" and ")).unwrap();
+    }
+    if !group_by.is_empty() {
+        write!(sql, " group by {}", group_by.join(", ")).unwrap();
+    }
+    if !order.is_empty() {
+        let keys: Vec<String> = order
+            .iter()
+            .map(|(c, d)| match d {
+                SortDir::Asc => c.to_ref_string(),
+                SortDir::Desc => format!("{} desc", c.to_ref_string()),
+            })
+            .collect();
+        write!(sql, " order by {}", keys.join(", ")).unwrap();
+    }
+    if let Some(n) = limit {
+        write!(sql, " limit {n}").unwrap();
+    }
+    sql
+}
+
+/// Render the FROM tree. Inner `Select` nodes are hoisted into `where_out`;
+/// other complex inputs become subqueries.
+fn render_from(plan: &LogicalPlan, where_out: &mut Vec<ScalarExpr>) -> String {
+    match plan {
+        LogicalPlan::Scan { table, alias } => match alias {
+            Some(a) if a != table => format!("{table} {a}"),
+            _ => table.clone(),
+        },
+        LogicalPlan::Join { left, right, pred } => {
+            let l = render_from(left, where_out);
+            let r = render_from(right, where_out);
+            if matches!(pred, ScalarExpr::Lit(Value::Bool(true))) {
+                format!("{l}, {r}")
+            } else {
+                format!("{l} join {r} on {}", print_expr(pred))
+            }
+        }
+        LogicalPlan::Select { input, pred } => {
+            where_out.push(pred.clone());
+            render_from(input, where_out)
+        }
+        other => format!("({}) sub", print(other)),
+    }
+}
+
+/// Render a scalar expression as SQL.
+pub fn print_expr(expr: &ScalarExpr) -> String {
+    render_expr(expr, 0)
+}
+
+/// Precedence levels: higher binds tighter.
+fn precedence(expr: &ScalarExpr) -> u8 {
+    use crate::expr::BinOp::*;
+    match expr {
+        ScalarExpr::Bin(op, _, _) => match op {
+            Or => 1,
+            And => 2,
+            Eq | Ne | Lt | Le | Gt | Ge => 3,
+            Add | Sub => 4,
+            Mul | Div => 5,
+        },
+        ScalarExpr::Not(_) => 2,
+        _ => 6,
+    }
+}
+
+fn render_expr(expr: &ScalarExpr, parent_prec: u8) -> String {
+    let prec = precedence(expr);
+    let body = match expr {
+        ScalarExpr::Col(c) => c.to_ref_string(),
+        ScalarExpr::Lit(v) => render_literal(v),
+        ScalarExpr::Param(p) => format!(":{p}"),
+        ScalarExpr::Bin(op, l, r) => {
+            // Left-assoc: the right child needs parens at equal precedence.
+            format!(
+                "{} {} {}",
+                render_expr(l, prec),
+                op.sql(),
+                render_expr(r, prec + 1)
+            )
+        }
+        ScalarExpr::Not(e) => format!("not {}", render_expr(e, prec + 1)),
+        ScalarExpr::Func(name, args) => {
+            let rendered: Vec<String> = args.iter().map(|a| render_expr(a, 0)).collect();
+            format!("{name}({})", rendered.join(", "))
+        }
+    };
+    if prec < parent_prec {
+        format!("({body})")
+    } else {
+        body
+    }
+}
+
+fn render_literal(v: &Value) -> String {
+    match v {
+        Value::Null => "null".to_string(),
+        Value::Int(i) => i.to_string(),
+        Value::Float(f) => {
+            // Keep a decimal point so the lexer reads it back as a float.
+            if f.fract() == 0.0 && f.is_finite() {
+                format!("{f:.1}")
+            } else {
+                format!("{f}")
+            }
+        }
+        Value::Str(s) => format!("'{}'", s.replace('\'', "''")),
+        Value::Bool(b) => b.to_string(),
+    }
+}
+
+/// The default display name the parser would assign to an unaliased
+/// expression — used to suppress redundant `as` clauses when printing.
+fn expr_default_name(expr: &ScalarExpr) -> Option<String> {
+    match expr {
+        ScalarExpr::Col(c) => Some(c.name.clone()),
+        _ => None,
+    }
+}
+
+fn default_agg_name_for_print(a: &crate::plan::AggItem) -> String {
+    match &a.arg {
+        None => format!("{}_all", a.func.sql()),
+        Some(ScalarExpr::Col(c)) => format!("{}_{}", a.func.sql(), c.name),
+        Some(_) => format!("{}_expr", a.func.sql()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sql::parse;
+
+    /// print ∘ parse is idempotent on these inputs.
+    fn round_trip(sql: &str) -> String {
+        let plan = parse(sql).unwrap();
+        let printed = print(&plan);
+        let reparsed = parse(&printed).unwrap_or_else(|e| panic!("reparse of {printed:?}: {e}"));
+        assert_eq!(print(&reparsed), printed, "printing must be a fixpoint");
+        printed
+    }
+
+    #[test]
+    fn prints_simple_scan() {
+        assert_eq!(round_trip("select * from orders"), "select * from orders");
+    }
+
+    #[test]
+    fn prints_join_with_aliases() {
+        let sql = "select * from orders o join customer c on o.o_customer_sk = c.c_customer_sk";
+        assert_eq!(round_trip(sql), sql);
+    }
+
+    #[test]
+    fn prints_where_group_order_limit() {
+        let sql = "select o_status, count(*) as n from orders where o_amount > 5 \
+                   group by o_status order by o_status desc limit 3";
+        assert_eq!(round_trip(sql), sql);
+    }
+
+    #[test]
+    fn prints_aggregate_without_alias() {
+        assert_eq!(
+            round_trip("select sum(sale_amt) from sales"),
+            "select sum(sale_amt) from sales"
+        );
+    }
+
+    #[test]
+    fn prints_params() {
+        let sql = "select * from customer where c_customer_sk = :cust";
+        assert_eq!(round_trip(sql), sql);
+    }
+
+    #[test]
+    fn preserves_or_and_precedence() {
+        let sql = "select * from t where (a = 1 or b = 2) and c = 3";
+        let printed = round_trip(sql);
+        assert!(printed.contains("(a = 1 or b = 2) and c = 3"), "{printed}");
+    }
+
+    #[test]
+    fn string_literals_escape_quotes() {
+        let sql = "select * from t where name = 'it''s'";
+        assert_eq!(round_trip(sql), sql);
+    }
+
+    #[test]
+    fn float_literals_keep_decimal_point() {
+        let sql = "select * from t where x > 2.0";
+        assert_eq!(round_trip(sql), sql);
+    }
+
+    #[test]
+    fn hoists_nested_selects_into_where() {
+        use crate::expr::ScalarExpr as E;
+        // σ(a.x=1)(A) ⋈ B — printer hoists the filter into WHERE.
+        let plan = crate::plan::LogicalPlan::scan_as("a", "a1")
+            .select(E::eq(E::col("a1.x"), E::lit(1i64)))
+            .join(
+                crate::plan::LogicalPlan::scan_as("b", "b1"),
+                E::eq(E::col("a1.x"), E::col("b1.y")),
+            );
+        let printed = print(&plan);
+        assert_eq!(
+            printed,
+            "select * from a a1 join b b1 on a1.x = b1.y where a1.x = 1"
+        );
+        let reparsed = parse(&printed).unwrap();
+        assert_eq!(print(&reparsed), printed);
+    }
+
+    #[test]
+    fn cross_join_prints_with_comma() {
+        let sql = "select * from a, b where a.x = b.y";
+        assert_eq!(round_trip(sql), sql);
+    }
+
+    #[test]
+    fn complex_from_inputs_become_subqueries() {
+        let plan = parse("select count(*) from t").unwrap();
+        let joined = plan.join(
+            crate::plan::LogicalPlan::scan("u"),
+            ScalarExpr::lit(true),
+        );
+        let printed = print(&joined);
+        assert!(printed.contains("(select count(*) from t) sub"), "{printed}");
+    }
+}

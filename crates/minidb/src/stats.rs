@@ -1,0 +1,131 @@
+//! Table and column statistics.
+//!
+//! Statistics drive COBRA's cost model: result cardinalities (`N_Q`),
+//! predicate selectivities, and the probability `p` of a conditional
+//! region's predicate (§VI: "If the condition is in terms of a query result
+//! attribute, our framework estimates the value of p using database
+//! statistics").
+
+use crate::value::{Row, Value};
+use std::collections::HashSet;
+
+/// Statistics for one column.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ColumnStats {
+    /// Number of distinct non-null values.
+    pub ndv: u64,
+    /// Number of NULLs.
+    pub null_count: u64,
+    /// Minimum non-null value, if any.
+    pub min: Option<Value>,
+    /// Maximum non-null value, if any.
+    pub max: Option<Value>,
+}
+
+impl ColumnStats {
+    fn empty() -> ColumnStats {
+        ColumnStats { ndv: 0, null_count: 0, min: None, max: None }
+    }
+}
+
+/// Statistics for one table, computed by `ANALYZE`.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct TableStats {
+    /// Number of rows at analyze time.
+    pub row_count: u64,
+    /// Per-column statistics, aligned with the schema.
+    pub columns: Vec<ColumnStats>,
+}
+
+impl TableStats {
+    /// Compute statistics over `rows` with `width` columns.
+    pub fn analyze(rows: &[Row], width: usize) -> TableStats {
+        let mut columns = vec![ColumnStats::empty(); width];
+        let mut distinct: Vec<HashSet<&Value>> = vec![HashSet::new(); width];
+        for row in rows {
+            for (i, v) in row.iter().enumerate().take(width) {
+                let stats = &mut columns[i];
+                if v.is_null() {
+                    stats.null_count += 1;
+                    continue;
+                }
+                distinct[i].insert(v);
+                match &stats.min {
+                    Some(m) if v >= m => {}
+                    _ => stats.min = Some(v.clone()),
+                }
+                match &stats.max {
+                    Some(m) if v <= m => {}
+                    _ => stats.max = Some(v.clone()),
+                }
+            }
+        }
+        for (i, set) in distinct.into_iter().enumerate() {
+            columns[i].ndv = set.len() as u64;
+        }
+        TableStats { row_count: rows.len() as u64, columns }
+    }
+
+    /// Selectivity of an equality predicate on column `i` (`1 / NDV`).
+    /// Falls back to 10% when statistics are missing.
+    pub fn eq_selectivity(&self, i: usize) -> f64 {
+        match self.columns.get(i) {
+            Some(c) if c.ndv > 0 => 1.0 / c.ndv as f64,
+            _ => 0.1,
+        }
+    }
+
+    /// Distinct-value count of column `i`, at least 1.
+    pub fn ndv(&self, i: usize) -> u64 {
+        self.columns.get(i).map(|c| c.ndv.max(1)).unwrap_or(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rows() -> Vec<Row> {
+        vec![
+            vec![Value::Int(1), Value::str("a"), Value::Null],
+            vec![Value::Int(2), Value::str("b"), Value::Int(10)],
+            vec![Value::Int(2), Value::str("a"), Value::Int(20)],
+            vec![Value::Int(3), Value::str("c"), Value::Null],
+        ]
+    }
+
+    #[test]
+    fn analyze_counts_rows_and_ndv() {
+        let s = TableStats::analyze(&rows(), 3);
+        assert_eq!(s.row_count, 4);
+        assert_eq!(s.columns[0].ndv, 3);
+        assert_eq!(s.columns[1].ndv, 3);
+        assert_eq!(s.columns[2].ndv, 2);
+        assert_eq!(s.columns[2].null_count, 2);
+    }
+
+    #[test]
+    fn analyze_tracks_min_max() {
+        let s = TableStats::analyze(&rows(), 3);
+        assert_eq!(s.columns[0].min, Some(Value::Int(1)));
+        assert_eq!(s.columns[0].max, Some(Value::Int(3)));
+        assert_eq!(s.columns[2].min, Some(Value::Int(10)));
+        assert_eq!(s.columns[2].max, Some(Value::Int(20)));
+    }
+
+    #[test]
+    fn eq_selectivity_is_inverse_ndv() {
+        let s = TableStats::analyze(&rows(), 3);
+        assert!((s.eq_selectivity(0) - 1.0 / 3.0).abs() < 1e-12);
+        // Missing column index → default selectivity.
+        assert!((s.eq_selectivity(9) - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_table_stats() {
+        let s = TableStats::analyze(&[], 2);
+        assert_eq!(s.row_count, 0);
+        assert_eq!(s.columns[0].ndv, 0);
+        assert_eq!(s.ndv(0), 1, "ndv clamps to >= 1 for estimation");
+    }
+}

@@ -1,0 +1,95 @@
+//! The virtual clock used by every simulated component.
+
+use std::cell::Cell;
+
+/// Virtual nanoseconds.
+pub type Ns = u64;
+
+/// A monotonically advancing virtual clock.
+///
+/// Every component that "spends time" (network transfers, server-side query
+/// execution, per-statement client CPU cost) advances the same shared clock,
+/// so the final reading is the simulated wall-clock time of the program.
+///
+/// ```
+/// use netsim::Clock;
+/// let clock = Clock::new();
+/// clock.advance(1_500);
+/// assert_eq!(clock.now(), 1_500);
+/// ```
+#[derive(Debug, Default)]
+pub struct Clock {
+    now_ns: Cell<Ns>,
+}
+
+impl Clock {
+    /// A clock starting at virtual time zero.
+    pub fn new() -> Self {
+        Clock { now_ns: Cell::new(0) }
+    }
+
+    /// Current virtual time in nanoseconds.
+    pub fn now(&self) -> Ns {
+        self.now_ns.get()
+    }
+
+    /// Advance the clock by `delta` nanoseconds, saturating at `u64::MAX`.
+    pub fn advance(&self, delta: Ns) {
+        self.now_ns.set(self.now_ns.get().saturating_add(delta));
+    }
+
+    /// Reset to time zero (used between benchmark runs).
+    pub fn reset(&self) {
+        self.now_ns.set(0);
+    }
+
+    /// Run `f` and return the virtual time it consumed.
+    pub fn measure<T>(&self, f: impl FnOnce() -> T) -> (T, Ns) {
+        let start = self.now();
+        let out = f();
+        (out, self.now() - start)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn advances_monotonically() {
+        let c = Clock::new();
+        assert_eq!(c.now(), 0);
+        c.advance(10);
+        c.advance(5);
+        assert_eq!(c.now(), 15);
+    }
+
+    #[test]
+    fn saturates_instead_of_overflowing() {
+        let c = Clock::new();
+        c.advance(u64::MAX - 1);
+        c.advance(100);
+        assert_eq!(c.now(), u64::MAX);
+    }
+
+    #[test]
+    fn reset_returns_to_zero() {
+        let c = Clock::new();
+        c.advance(42);
+        c.reset();
+        assert_eq!(c.now(), 0);
+    }
+
+    #[test]
+    fn measure_reports_elapsed_virtual_time() {
+        let c = Clock::new();
+        c.advance(7);
+        let (value, took) = c.measure(|| {
+            c.advance(35);
+            "done"
+        });
+        assert_eq!(value, "done");
+        assert_eq!(took, 35);
+        assert_eq!(c.now(), 42);
+    }
+}

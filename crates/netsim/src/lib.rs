@@ -1,0 +1,61 @@
+//! Simulated network and virtual time.
+//!
+//! The paper's experiments run a client application and a MySQL server on
+//! two machines connected through a network emulator (§VIII). This crate is
+//! the deterministic substitute: a [`Clock`] counting virtual nanoseconds
+//! and a [`NetworkProfile`] describing bandwidth and round-trip latency.
+//!
+//! Two built-in profiles reproduce the paper's setups:
+//!
+//! * [`NetworkProfile::slow_remote`] — 500 kbps bandwidth, 250 ms RTT
+//!   (latency taken from an AWS inter-region latency map, per the paper).
+//! * [`NetworkProfile::fast_local`] — 6 Gbps bandwidth, 0.5 ms RTT.
+//!
+//! All durations are expressed in whole nanoseconds ([`Ns`]). The clock is
+//! single-threaded (`Cell`-based) because the simulation is deterministic
+//! and sequential; shared ownership goes through `Rc<Clock>`.
+
+mod clock;
+mod profile;
+mod stats;
+
+pub use clock::{Clock, Ns};
+pub use profile::NetworkProfile;
+pub use stats::NetStats;
+
+/// Convert virtual nanoseconds into seconds as an `f64` (for reporting).
+pub fn ns_to_secs(ns: Ns) -> f64 {
+    ns as f64 / 1e9
+}
+
+/// Convert seconds into virtual nanoseconds, saturating on overflow.
+pub fn secs_to_ns(secs: f64) -> Ns {
+    if !secs.is_finite() || secs <= 0.0 {
+        return 0;
+    }
+    let ns = secs * 1e9;
+    if ns >= u64::MAX as f64 {
+        u64::MAX
+    } else {
+        ns as Ns
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ns_secs_round_trip() {
+        assert_eq!(secs_to_ns(1.0), 1_000_000_000);
+        assert!((ns_to_secs(2_500_000_000) - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn secs_to_ns_clamps_bad_input() {
+        assert_eq!(secs_to_ns(-1.0), 0);
+        assert_eq!(secs_to_ns(f64::NAN), 0);
+        assert_eq!(secs_to_ns(f64::INFINITY), 0);
+        assert_eq!(secs_to_ns(1e30), u64::MAX);
+    }
+}

@@ -1,0 +1,127 @@
+//! Network profiles: bandwidth + round-trip latency.
+
+use crate::clock::Ns;
+
+/// A network between the application client and the database server.
+///
+/// The paper simulates two conditions (§VIII):
+/// slow remote (500 kbps, 250 ms latency) and fast local (6 Gbps, 0.5 ms
+/// round trip). The corresponding constructors are provided; arbitrary
+/// profiles can be built with [`NetworkProfile::new`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct NetworkProfile {
+    name: String,
+    /// Usable bandwidth in bytes per second.
+    bytes_per_sec: f64,
+    /// Round-trip time in nanoseconds (client → server → client).
+    rtt_ns: Ns,
+}
+
+impl NetworkProfile {
+    /// Create a profile from a bandwidth in **bits** per second and a
+    /// round-trip time in milliseconds.
+    ///
+    /// # Panics
+    /// Panics if `bits_per_sec` is not strictly positive.
+    pub fn new(name: impl Into<String>, bits_per_sec: f64, rtt_ms: f64) -> Self {
+        assert!(
+            bits_per_sec > 0.0 && bits_per_sec.is_finite(),
+            "bandwidth must be positive and finite"
+        );
+        assert!(rtt_ms >= 0.0 && rtt_ms.is_finite(), "RTT must be non-negative");
+        NetworkProfile {
+            name: name.into(),
+            bytes_per_sec: bits_per_sec / 8.0,
+            rtt_ns: (rtt_ms * 1e6) as Ns,
+        }
+    }
+
+    /// The paper's *slow remote network*: 500 kbps bandwidth, 250 ms RTT.
+    pub fn slow_remote() -> Self {
+        NetworkProfile::new("slow-remote", 500e3, 250.0)
+    }
+
+    /// The paper's *fast local network*: 6 Gbps bandwidth, 0.5 ms RTT.
+    pub fn fast_local() -> Self {
+        NetworkProfile::new("fast-local", 6e9, 0.5)
+    }
+
+    /// Human-readable profile name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Usable bandwidth in bytes per second (`BW` in the paper's cost model).
+    pub fn bytes_per_sec(&self) -> f64 {
+        self.bytes_per_sec
+    }
+
+    /// One network round trip (`C_NRT` in the paper's cost model).
+    pub fn round_trip_ns(&self) -> Ns {
+        self.rtt_ns
+    }
+
+    /// Time to push `bytes` through the link.
+    pub fn transfer_ns(&self, bytes: u64) -> Ns {
+        let secs = bytes as f64 / self.bytes_per_sec;
+        crate::secs_to_ns(secs)
+    }
+
+    /// Estimated transfer time for a fractional byte count (cost model use).
+    pub fn transfer_ns_f(&self, bytes: f64) -> f64 {
+        if bytes <= 0.0 {
+            return 0.0;
+        }
+        bytes / self.bytes_per_sec * 1e9
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slow_remote_matches_paper_parameters() {
+        let p = NetworkProfile::slow_remote();
+        assert_eq!(p.round_trip_ns(), 250_000_000);
+        // 500 kbit/s == 62.5 kB/s
+        assert!((p.bytes_per_sec() - 62_500.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fast_local_matches_paper_parameters() {
+        let p = NetworkProfile::fast_local();
+        assert_eq!(p.round_trip_ns(), 500_000);
+        assert!((p.bytes_per_sec() - 750e6).abs() < 1.0);
+    }
+
+    #[test]
+    fn transfer_time_scales_linearly() {
+        let p = NetworkProfile::new("test", 8e6, 0.0); // 1 MB/s
+        assert_eq!(p.transfer_ns(1_000_000), 1_000_000_000); // 1 s
+        assert_eq!(p.transfer_ns(0), 0);
+        assert_eq!(p.transfer_ns(500_000), 500_000_000);
+    }
+
+    #[test]
+    fn fractional_transfer_matches_integral() {
+        let p = NetworkProfile::slow_remote();
+        let whole = p.transfer_ns(125_000) as f64;
+        let frac = p.transfer_ns_f(125_000.0);
+        assert!((whole - frac).abs() < 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "bandwidth must be positive")]
+    fn rejects_zero_bandwidth() {
+        NetworkProfile::new("bad", 0.0, 1.0);
+    }
+
+    #[test]
+    fn transfer_of_large_payload_on_slow_link() {
+        // 232 MB over 62.5 kB/s ≈ 3712 s: the Fig 13a magnitude check.
+        let p = NetworkProfile::slow_remote();
+        let t = crate::ns_to_secs(p.transfer_ns(232_000_000));
+        assert!((t - 3712.0).abs() < 1.0, "got {t}");
+    }
+}

@@ -1,0 +1,71 @@
+//! Accounting of network activity during a simulated run.
+
+use std::cell::Cell;
+
+/// Counters for network activity; used by experiments to report the number
+/// of round trips (the N+1 select problem manifests here) and bytes moved.
+#[derive(Debug, Default)]
+pub struct NetStats {
+    round_trips: Cell<u64>,
+    bytes_transferred: Cell<u64>,
+}
+
+impl NetStats {
+    /// Fresh counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one request/response round trip.
+    pub fn record_round_trip(&self) {
+        self.round_trips.set(self.round_trips.get() + 1);
+    }
+
+    /// Record a payload of `bytes` moved over the link.
+    pub fn record_transfer(&self, bytes: u64) {
+        self.bytes_transferred
+            .set(self.bytes_transferred.get().saturating_add(bytes));
+    }
+
+    /// Number of round trips so far.
+    pub fn round_trips(&self) -> u64 {
+        self.round_trips.get()
+    }
+
+    /// Total bytes transferred so far.
+    pub fn bytes_transferred(&self) -> u64 {
+        self.bytes_transferred.get()
+    }
+
+    /// Reset all counters to zero.
+    pub fn reset(&self) {
+        self.round_trips.set(0);
+        self.bytes_transferred.set(0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let s = NetStats::new();
+        s.record_round_trip();
+        s.record_round_trip();
+        s.record_transfer(100);
+        s.record_transfer(28);
+        assert_eq!(s.round_trips(), 2);
+        assert_eq!(s.bytes_transferred(), 128);
+    }
+
+    #[test]
+    fn reset_zeroes_everything() {
+        let s = NetStats::new();
+        s.record_round_trip();
+        s.record_transfer(5);
+        s.reset();
+        assert_eq!(s.round_trips(), 0);
+        assert_eq!(s.bytes_transferred(), 0);
+    }
+}

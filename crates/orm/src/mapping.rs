@@ -1,0 +1,149 @@
+//! Entity/table mapping metadata (the Figure 2 annotations).
+
+use std::collections::HashMap;
+
+/// A many-to-one association: `field` on this entity navigates to
+/// `target_entity`, joining this table's `fk_column` to the target's
+/// primary key.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AssociationMap {
+    /// Field name used in program text, e.g. `customer`.
+    pub field: String,
+    /// Target entity name, e.g. `Customer`.
+    pub target_entity: String,
+    /// Foreign-key column on *this* entity's table, e.g. `o_customer_sk`.
+    pub fk_column: String,
+}
+
+/// Mapping of one entity class onto a table.
+///
+/// Scalar fields map 1:1 onto columns by name (program text uses column
+/// names directly, e.g. `o.o_id`), so only the table, primary key and
+/// associations need declaring.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EntityMapping {
+    /// Entity (class) name, e.g. `Order`.
+    pub entity: String,
+    /// Mapped table, e.g. `orders`.
+    pub table: String,
+    /// Primary-key column, e.g. `o_id`.
+    pub id_column: String,
+    /// Many-to-one associations.
+    pub associations: Vec<AssociationMap>,
+}
+
+impl EntityMapping {
+    /// New mapping without associations.
+    pub fn new(
+        entity: impl Into<String>,
+        table: impl Into<String>,
+        id_column: impl Into<String>,
+    ) -> EntityMapping {
+        EntityMapping {
+            entity: entity.into(),
+            table: table.into(),
+            id_column: id_column.into(),
+            associations: Vec::new(),
+        }
+    }
+
+    /// Add a many-to-one association.
+    pub fn many_to_one(
+        mut self,
+        field: impl Into<String>,
+        target_entity: impl Into<String>,
+        fk_column: impl Into<String>,
+    ) -> EntityMapping {
+        self.associations.push(AssociationMap {
+            field: field.into(),
+            target_entity: target_entity.into(),
+            fk_column: fk_column.into(),
+        });
+        self
+    }
+
+    /// Look up an association by field name.
+    pub fn association(&self, field: &str) -> Option<&AssociationMap> {
+        self.associations.iter().find(|a| a.field == field)
+    }
+}
+
+/// All entity mappings of an application.
+#[derive(Debug, Clone, Default)]
+pub struct MappingRegistry {
+    by_entity: HashMap<String, EntityMapping>,
+}
+
+impl MappingRegistry {
+    /// Empty registry.
+    pub fn new() -> MappingRegistry {
+        MappingRegistry::default()
+    }
+
+    /// Register a mapping (replaces any previous mapping of the entity).
+    pub fn register(&mut self, mapping: EntityMapping) {
+        self.by_entity.insert(mapping.entity.clone(), mapping);
+    }
+
+    /// Mapping for `entity`, if registered.
+    pub fn entity(&self, entity: &str) -> Option<&EntityMapping> {
+        self.by_entity.get(entity)
+    }
+
+    /// Mapping whose table is `table`, if any.
+    pub fn entity_for_table(&self, table: &str) -> Option<&EntityMapping> {
+        self.by_entity.values().find(|m| m.table == table)
+    }
+
+    /// Iterate over registered mappings (unordered).
+    pub fn iter(&self) -> impl Iterator<Item = &EntityMapping> {
+        self.by_entity.values()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn registry() -> MappingRegistry {
+        let mut r = MappingRegistry::new();
+        r.register(
+            EntityMapping::new("Order", "orders", "o_id").many_to_one(
+                "customer",
+                "Customer",
+                "o_customer_sk",
+            ),
+        );
+        r.register(EntityMapping::new("Customer", "customer", "c_customer_sk"));
+        r
+    }
+
+    #[test]
+    fn entity_lookup() {
+        let r = registry();
+        assert_eq!(r.entity("Order").unwrap().table, "orders");
+        assert!(r.entity("Nope").is_none());
+    }
+
+    #[test]
+    fn table_reverse_lookup() {
+        let r = registry();
+        assert_eq!(r.entity_for_table("customer").unwrap().entity, "Customer");
+    }
+
+    #[test]
+    fn association_navigation_metadata() {
+        let r = registry();
+        let a = r.entity("Order").unwrap().association("customer").unwrap();
+        assert_eq!(a.target_entity, "Customer");
+        assert_eq!(a.fk_column, "o_customer_sk");
+        assert!(r.entity("Order").unwrap().association("nope").is_none());
+    }
+
+    #[test]
+    fn reregistering_replaces() {
+        let mut r = registry();
+        r.register(EntityMapping::new("Order", "orders_v2", "o_id"));
+        assert_eq!(r.entity("Order").unwrap().table, "orders_v2");
+    }
+}

@@ -1,0 +1,255 @@
+//! The client's connection to the database across the simulated network.
+
+use minidb::{Database, DbResult, Executor, FuncRegistry, LogicalPlan, QueryResult, Value};
+use netsim::{Clock, NetStats, NetworkProfile};
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+/// One executed query, for experiment reporting.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QueryRecord {
+    /// The query as SQL text.
+    pub sql: String,
+    /// Result cardinality.
+    pub rows: u64,
+    /// Result payload bytes.
+    pub bytes: u64,
+}
+
+/// A remote database connection.
+///
+/// Every call charges the shared [`Clock`] with the paper's query-cost
+/// structure: one network round trip, server time to the first row, then
+/// the longer of (result transfer) and (remaining server time) — transfer
+/// overlaps result production, exactly as in the cost model of §VI.
+pub struct RemoteDb {
+    db: Rc<RefCell<Database>>,
+    funcs: Rc<FuncRegistry>,
+    net: NetworkProfile,
+    clock: Rc<Clock>,
+    stats: NetStats,
+    log: RefCell<Vec<QueryRecord>>,
+    server_row_ns: f64,
+}
+
+impl RemoteDb {
+    /// Connect to `db` through `net`, charging `clock`.
+    pub fn new(
+        db: Rc<RefCell<Database>>,
+        funcs: Rc<FuncRegistry>,
+        net: NetworkProfile,
+        clock: Rc<Clock>,
+    ) -> RemoteDb {
+        RemoteDb {
+            db,
+            funcs,
+            net,
+            clock,
+            stats: NetStats::new(),
+            log: RefCell::new(Vec::new()),
+            server_row_ns: minidb::exec::DEFAULT_SERVER_ROW_NS,
+        }
+    }
+
+    /// Override the server's per-row cost (ns).
+    pub fn with_server_row_ns(mut self, row_ns: f64) -> RemoteDb {
+        self.server_row_ns = row_ns;
+        self
+    }
+
+    /// The underlying database handle.
+    pub fn database(&self) -> &Rc<RefCell<Database>> {
+        &self.db
+    }
+
+    /// The network profile in use.
+    pub fn network(&self) -> &NetworkProfile {
+        &self.net
+    }
+
+    /// The shared virtual clock.
+    pub fn clock(&self) -> &Rc<Clock> {
+        &self.clock
+    }
+
+    /// Shared function registry (client and server semantics).
+    pub fn funcs(&self) -> &Rc<FuncRegistry> {
+        &self.funcs
+    }
+
+    /// Server per-row cost (ns).
+    pub fn server_row_ns(&self) -> f64 {
+        self.server_row_ns
+    }
+
+    /// Execute a read query, charging round trip + server + transfer time.
+    pub fn query(
+        &self,
+        plan: &LogicalPlan,
+        params: &HashMap<String, Value>,
+    ) -> DbResult<QueryResult> {
+        let db = self.db.borrow();
+        let exec = Executor::new(&db, &self.funcs).with_row_ns(self.server_row_ns);
+        let result = exec.execute(plan, params)?;
+        let first = exec.first_row_ns(&result.work);
+        let total = exec.total_ns(&result.work);
+        let transfer = self.net.transfer_ns(result.payload_bytes());
+        let stream = transfer.max(total - first);
+        self.clock
+            .advance(self.net.round_trip_ns() + first + stream);
+        self.stats.record_round_trip();
+        self.stats.record_transfer(result.payload_bytes());
+        self.log.borrow_mut().push(QueryRecord {
+            sql: minidb::sql::print(plan),
+            rows: result.row_count(),
+            bytes: result.payload_bytes(),
+        });
+        Ok(result)
+    }
+
+    /// Execute a single-row update, charging one round trip plus the
+    /// server-side lookup work.
+    pub fn update(
+        &self,
+        table: &str,
+        key_col: &str,
+        key: &Value,
+        set_col: &str,
+        value: Value,
+    ) -> DbResult<usize> {
+        let mut db = self.db.borrow_mut();
+        let t = db.table_mut(table)?;
+        let key_idx = t.schema().resolve(key_col)?;
+        let set_idx = t.schema().resolve(set_col)?;
+        let changed = t.update_where_eq(key_idx, key, set_idx, value);
+        let server = (changed.max(1) as f64 * self.server_row_ns) as u64;
+        self.clock.advance(self.net.round_trip_ns() + server);
+        self.stats.record_round_trip();
+        Ok(changed)
+    }
+
+    /// Number of queries + updates issued so far.
+    pub fn round_trips(&self) -> u64 {
+        self.stats.round_trips()
+    }
+
+    /// Total result bytes moved so far.
+    pub fn bytes_transferred(&self) -> u64 {
+        self.stats.bytes_transferred()
+    }
+
+    /// Log of executed read queries.
+    pub fn query_log(&self) -> Vec<QueryRecord> {
+        self.log.borrow().clone()
+    }
+
+    /// Reset counters and the query log (keeps the clock untouched).
+    pub fn reset_stats(&self) {
+        self.stats.reset();
+        self.log.borrow_mut().clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use minidb::{Column, DataType, Schema};
+
+    fn fixture() -> (Rc<RefCell<Database>>, Rc<FuncRegistry>, Rc<Clock>) {
+        let mut db = Database::new();
+        let schema = Schema::new(vec![
+            Column::new("id", DataType::Int),
+            Column::with_width("name", DataType::Str, 20),
+        ]);
+        let t = db.create_table("t", schema).unwrap();
+        t.set_primary_key("id").unwrap();
+        for i in 0..100i64 {
+            t.insert(vec![Value::Int(i), Value::str(format!("row{i}"))]).unwrap();
+        }
+        t.analyze();
+        (
+            Rc::new(RefCell::new(db)),
+            Rc::new(FuncRegistry::with_builtins()),
+            Rc::new(Clock::new()),
+        )
+    }
+
+    #[test]
+    fn query_charges_round_trip_and_transfer() {
+        let (db, funcs, clock) = fixture();
+        let net = NetworkProfile::new("test", 8e6, 10.0); // 1 MB/s, 10 ms RTT
+        let remote = RemoteDb::new(db, funcs, net, clock.clone());
+        let plan = minidb::sql::parse("select * from t").unwrap();
+        let r = remote.query(&plan, &HashMap::new()).unwrap();
+        assert_eq!(r.row_count(), 100);
+        // 100 rows × 28 B = 2800 B → 2.8 ms transfer; RTT 10 ms.
+        let elapsed = clock.now();
+        assert!(elapsed >= 10_000_000 + 2_800_000, "elapsed={elapsed}");
+        assert_eq!(remote.round_trips(), 1);
+        assert_eq!(remote.bytes_transferred(), 2800);
+    }
+
+    #[test]
+    fn each_query_is_a_round_trip() {
+        let (db, funcs, clock) = fixture();
+        let net = NetworkProfile::new("test", 8e9, 5.0);
+        let remote = RemoteDb::new(db, funcs, net, clock.clone());
+        let plan = minidb::sql::parse("select * from t where id = :k").unwrap();
+        for i in 0..7 {
+            let mut params = HashMap::new();
+            params.insert("k".to_string(), Value::Int(i));
+            remote.query(&plan, &params).unwrap();
+        }
+        assert_eq!(remote.round_trips(), 7);
+        assert!(clock.now() >= 7 * 5_000_000, "N+1 round trips dominate");
+        assert_eq!(remote.query_log().len(), 7);
+        assert_eq!(remote.query_log()[0].rows, 1);
+    }
+
+    #[test]
+    fn update_mutates_and_charges() {
+        let (db, funcs, clock) = fixture();
+        let net = NetworkProfile::new("test", 8e9, 1.0);
+        let remote = RemoteDb::new(db.clone(), funcs, net, clock.clone());
+        let n = remote
+            .update("t", "id", &Value::Int(5), "name", Value::str("changed"))
+            .unwrap();
+        assert_eq!(n, 1);
+        assert!(clock.now() >= 1_000_000);
+        let dbb = db.borrow();
+        let row = &dbb.table("t").unwrap().rows()[5];
+        assert_eq!(row[1], Value::str("changed"));
+    }
+
+    #[test]
+    fn transfer_overlaps_server_production() {
+        // With a huge bandwidth the stream term is dominated by server
+        // time; with tiny bandwidth it is dominated by transfer.
+        let (db, funcs, clock) = fixture();
+        let fast = RemoteDb::new(db.clone(), funcs.clone(), NetworkProfile::new("f", 8e12, 0.0), clock.clone())
+            .with_server_row_ns(1000.0);
+        let plan = minidb::sql::parse("select * from t").unwrap();
+        fast.query(&plan, &HashMap::new()).unwrap();
+        let fast_time = clock.now();
+        assert!(fast_time >= 100_000, "server-bound: {fast_time}");
+
+        clock.reset();
+        let slow = RemoteDb::new(db, funcs, NetworkProfile::new("s", 8e3, 0.0), clock.clone())
+            .with_server_row_ns(1000.0);
+        slow.query(&plan, &HashMap::new()).unwrap();
+        // 2800 B at 1 kB/s = 2.8 s ≫ 0.1 ms server time.
+        assert!(clock.now() >= 2_800_000_000);
+    }
+
+    #[test]
+    fn reset_stats_clears_log_and_counters() {
+        let (db, funcs, clock) = fixture();
+        let remote = RemoteDb::new(db, funcs, NetworkProfile::fast_local(), clock);
+        let plan = minidb::sql::parse("select * from t").unwrap();
+        remote.query(&plan, &HashMap::new()).unwrap();
+        remote.reset_stats();
+        assert_eq!(remote.round_trips(), 0);
+        assert!(remote.query_log().is_empty());
+    }
+}

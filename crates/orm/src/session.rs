@@ -1,0 +1,269 @@
+//! The ORM session: entity loading with a first-level cache.
+
+use crate::mapping::MappingRegistry;
+use crate::remote::RemoteDb;
+use minidb::{DbError, DbResult, LogicalPlan, Row, Schema, Value};
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+/// An ORM session.
+///
+/// * `load_all(Entity)` fetches the entity's whole table (one query) and
+///   primes the per-primary-key cache.
+/// * `get(Entity, id)` returns the cached row or issues a point query —
+///   association navigation goes through this, producing the N+1 pattern
+///   on cache misses and no traffic on hits.
+pub struct Session {
+    remote: Rc<RemoteDb>,
+    mappings: Rc<MappingRegistry>,
+    /// First-level cache: (entity, pk) → row.
+    l1: RefCell<HashMap<(String, Value), Rc<Row>>>,
+    /// Cached entity schemas (qualified by table name).
+    schemas: RefCell<HashMap<String, Rc<Schema>>>,
+}
+
+impl Session {
+    /// Open a session over a remote connection.
+    pub fn new(remote: Rc<RemoteDb>, mappings: Rc<MappingRegistry>) -> Session {
+        Session {
+            remote,
+            mappings,
+            l1: RefCell::new(HashMap::new()),
+            schemas: RefCell::new(HashMap::new()),
+        }
+    }
+
+    /// The remote connection.
+    pub fn remote(&self) -> &Rc<RemoteDb> {
+        &self.remote
+    }
+
+    /// The mapping registry.
+    pub fn mappings(&self) -> &Rc<MappingRegistry> {
+        &self.mappings
+    }
+
+    /// Schema of an entity's table (computed once per session).
+    pub fn entity_schema(&self, entity: &str) -> DbResult<Rc<Schema>> {
+        if let Some(s) = self.schemas.borrow().get(entity) {
+            return Ok(s.clone());
+        }
+        let m = self
+            .mappings
+            .entity(entity)
+            .ok_or_else(|| DbError::Invalid(format!("unmapped entity {entity}")))?;
+        let db = self.remote.database().borrow();
+        let schema = Rc::new(db.table(&m.table)?.schema().clone());
+        self.schemas
+            .borrow_mut()
+            .insert(entity.to_string(), schema.clone());
+        Ok(schema)
+    }
+
+    /// `loadAll(Entity)`: fetch the entire table, prime the L1 cache, and
+    /// return the rows.
+    pub fn load_all(&self, entity: &str) -> DbResult<(Rc<Schema>, Vec<Rc<Row>>)> {
+        let m = self
+            .mappings
+            .entity(entity)
+            .ok_or_else(|| DbError::Invalid(format!("unmapped entity {entity}")))?
+            .clone();
+        let schema = self.entity_schema(entity)?;
+        let plan = LogicalPlan::scan(&m.table);
+        let result = self.remote.query(&plan, &HashMap::new())?;
+        let id_idx = schema.resolve(&m.id_column)?;
+        let mut rows = Vec::with_capacity(result.rows.len());
+        let mut cache = self.l1.borrow_mut();
+        for row in result.rows {
+            let rc = Rc::new(row);
+            cache.insert((entity.to_string(), rc[id_idx].clone()), rc.clone());
+            rows.push(rc);
+        }
+        Ok((schema, rows))
+    }
+
+    /// `get(Entity, id)`: L1-cached point lookup.
+    ///
+    /// A miss issues `select * from table where id = :id` (one round trip);
+    /// a hit is free — Hibernate's first-level cache behaviour.
+    pub fn get(&self, entity: &str, id: &Value) -> DbResult<Option<Rc<Row>>> {
+        let key = (entity.to_string(), id.clone());
+        if let Some(row) = self.l1.borrow().get(&key) {
+            return Ok(Some(row.clone()));
+        }
+        let m = self
+            .mappings
+            .entity(entity)
+            .ok_or_else(|| DbError::Invalid(format!("unmapped entity {entity}")))?
+            .clone();
+        let plan = LogicalPlan::scan(&m.table).select(minidb::ScalarExpr::eq(
+            minidb::ScalarExpr::col(&m.id_column),
+            minidb::ScalarExpr::param("id"),
+        ));
+        let mut params = HashMap::new();
+        params.insert("id".to_string(), id.clone());
+        let result = self.remote.query(&plan, &params)?;
+        let row = result.rows.into_iter().next().map(Rc::new);
+        if let Some(ref r) = row {
+            self.l1.borrow_mut().insert(key, r.clone());
+        }
+        Ok(row)
+    }
+
+    /// Navigate a many-to-one association from `row` of `entity` through
+    /// `field`: reads the FK column and `get`s the target entity.
+    pub fn navigate(
+        &self,
+        entity: &str,
+        field: &str,
+        row: &Row,
+    ) -> DbResult<Option<(String, Rc<Row>)>> {
+        let m = self
+            .mappings
+            .entity(entity)
+            .ok_or_else(|| DbError::Invalid(format!("unmapped entity {entity}")))?
+            .clone();
+        let assoc = m.association(field).ok_or_else(|| {
+            DbError::Invalid(format!("{entity}.{field} is not a mapped association"))
+        })?;
+        let schema = self.entity_schema(entity)?;
+        let fk_idx = schema.resolve(&assoc.fk_column)?;
+        let fk = &row[fk_idx];
+        if fk.is_null() {
+            return Ok(None);
+        }
+        let target = assoc.target_entity.clone();
+        Ok(self.get(&target, fk)?.map(|r| (target, r)))
+    }
+
+    /// Number of rows currently in the first-level cache.
+    pub fn l1_size(&self) -> usize {
+        self.l1.borrow().len()
+    }
+
+    /// Drop all cached rows (end of transaction).
+    pub fn clear(&self) {
+        self.l1.borrow_mut().clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mapping::EntityMapping;
+    use minidb::{Column, DataType, Database, FuncRegistry};
+    use netsim::{Clock, NetworkProfile};
+
+    fn fixture() -> (Session, Rc<Clock>) {
+        let mut db = Database::new();
+        let orders = Schema::new(vec![
+            Column::new("o_id", DataType::Int),
+            Column::new("o_customer_sk", DataType::Int),
+        ]);
+        let t = db.create_table("orders", orders).unwrap();
+        t.set_primary_key("o_id").unwrap();
+        for i in 0..20i64 {
+            t.insert(vec![Value::Int(i), Value::Int(i % 5)]).unwrap();
+        }
+        let customer = Schema::new(vec![
+            Column::new("c_customer_sk", DataType::Int),
+            Column::new("c_birth_year", DataType::Int),
+        ]);
+        let t = db.create_table("customer", customer).unwrap();
+        t.set_primary_key("c_customer_sk").unwrap();
+        for i in 0..5i64 {
+            t.insert(vec![Value::Int(i), Value::Int(1960 + i)]).unwrap();
+        }
+        db.analyze_all();
+
+        let clock = Rc::new(Clock::new());
+        let remote = Rc::new(RemoteDb::new(
+            Rc::new(RefCell::new(db)),
+            Rc::new(FuncRegistry::with_builtins()),
+            NetworkProfile::new("test", 8e9, 1.0),
+            clock.clone(),
+        ));
+        let mut reg = MappingRegistry::new();
+        reg.register(
+            EntityMapping::new("Order", "orders", "o_id").many_to_one(
+                "customer",
+                "Customer",
+                "o_customer_sk",
+            ),
+        );
+        reg.register(EntityMapping::new("Customer", "customer", "c_customer_sk"));
+        (Session::new(remote, Rc::new(reg)), clock)
+    }
+
+    #[test]
+    fn load_all_is_one_query_and_primes_cache() {
+        let (s, _clock) = fixture();
+        let (schema, rows) = s.load_all("Order").unwrap();
+        assert_eq!(rows.len(), 20);
+        assert_eq!(schema.resolve("o_customer_sk").unwrap(), 1);
+        assert_eq!(s.remote().round_trips(), 1);
+        assert_eq!(s.l1_size(), 20);
+        // get() after load_all is free.
+        s.get("Order", &Value::Int(7)).unwrap().unwrap();
+        assert_eq!(s.remote().round_trips(), 1);
+    }
+
+    #[test]
+    fn get_misses_issue_point_queries_and_cache() {
+        let (s, _clock) = fixture();
+        let r = s.get("Customer", &Value::Int(3)).unwrap().unwrap();
+        assert_eq!(r[1], Value::Int(1963));
+        assert_eq!(s.remote().round_trips(), 1);
+        // Second access: cache hit, no new round trip.
+        s.get("Customer", &Value::Int(3)).unwrap().unwrap();
+        assert_eq!(s.remote().round_trips(), 1);
+    }
+
+    #[test]
+    fn navigation_produces_n_plus_one_then_saturates() {
+        let (s, _clock) = fixture();
+        let (_schema, orders) = s.load_all("Order").unwrap();
+        let mut trips = Vec::new();
+        for o in &orders {
+            s.navigate("Order", "customer", o).unwrap().unwrap();
+            trips.push(s.remote().round_trips());
+        }
+        // 1 (load_all) + 5 distinct customers; later navigations hit cache.
+        assert_eq!(*trips.last().unwrap(), 6);
+    }
+
+    #[test]
+    fn missing_row_returns_none_without_caching() {
+        let (s, _clock) = fixture();
+        assert!(s.get("Customer", &Value::Int(999)).unwrap().is_none());
+        // A retry queries again (absent rows are not negatively cached).
+        assert!(s.get("Customer", &Value::Int(999)).unwrap().is_none());
+        assert_eq!(s.remote().round_trips(), 2);
+    }
+
+    #[test]
+    fn navigation_on_unmapped_field_errors() {
+        let (s, _clock) = fixture();
+        let (_schema, orders) = s.load_all("Order").unwrap();
+        assert!(s.navigate("Order", "warehouse", &orders[0]).is_err());
+    }
+
+    #[test]
+    fn clear_resets_cache() {
+        let (s, _clock) = fixture();
+        s.load_all("Customer").unwrap();
+        assert_eq!(s.l1_size(), 5);
+        s.clear();
+        assert_eq!(s.l1_size(), 0);
+        // Next get() queries again.
+        s.get("Customer", &Value::Int(0)).unwrap();
+        assert_eq!(s.remote().round_trips(), 2);
+    }
+
+    #[test]
+    fn unmapped_entity_errors() {
+        let (s, _clock) = fixture();
+        assert!(s.load_all("Ghost").is_err());
+    }
+}

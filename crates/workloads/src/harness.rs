@@ -1,0 +1,72 @@
+//! Shared experiment harness: fixtures, sessions and program execution.
+
+use imperative::ast::Program;
+use interp::{Interp, InterpConfig, Outcome};
+use minidb::{Database, DbResult, FuncRegistry};
+use netsim::{Clock, NetworkProfile};
+use orm::{MappingRegistry, RemoteDb, Session};
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// A database + mappings + function registry, ready to run programs.
+#[derive(Clone)]
+pub struct Fixture {
+    /// The shared database.
+    pub db: Rc<RefCell<Database>>,
+    /// ORM mappings for the schema.
+    pub mapping: MappingRegistry,
+    /// Pure functions the programs call (`myFunc`, …).
+    pub funcs: Rc<FuncRegistry>,
+}
+
+/// Outcome of running one program on one network profile.
+pub struct RunResult {
+    /// Interpreter outcome (results, prints, statement counts).
+    pub outcome: Outcome,
+    /// Simulated wall-clock seconds.
+    pub secs: f64,
+}
+
+impl Fixture {
+    /// Open a fresh session over `net` with its own virtual clock.
+    pub fn session(&self, net: NetworkProfile) -> (Session, Rc<Clock>) {
+        let clock = Rc::new(Clock::new());
+        let remote = Rc::new(RemoteDb::new(
+            self.db.clone(),
+            self.funcs.clone(),
+            net,
+            clock.clone(),
+        ));
+        (
+            Session::new(remote, Rc::new(self.mapping.clone())),
+            clock,
+        )
+    }
+}
+
+/// Execute `program` against `fixture` over `net` and report results plus
+/// simulated time. Each run uses a fresh session and clock (a fresh
+/// transaction, as in the paper's per-run measurements).
+pub fn run_on(fixture: &Fixture, net: NetworkProfile, program: &Program) -> DbResult<RunResult> {
+    let (session, _clock) = fixture.session(net);
+    let outcome = Interp::new(&session, program)
+        .with_config(InterpConfig::default())
+        .run(vec![])?;
+    let secs = netsim::ns_to_secs(outcome.elapsed_ns);
+    Ok(RunResult { outcome, secs })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::motivating;
+
+    #[test]
+    fn run_on_reports_time_and_results() {
+        let fixture = motivating::build_fixture(100, 20, 7);
+        let p0 = motivating::p0();
+        let r = run_on(&fixture, NetworkProfile::fast_local(), &p0).unwrap();
+        assert!(r.secs > 0.0);
+        assert!(r.outcome.round_trips >= 1);
+    }
+}

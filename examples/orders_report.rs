@@ -1,0 +1,60 @@
+//! The motivating example end-to-end (§II): run P0, P1 and P2 on both
+//! network profiles, verify they compute the same result, and compare
+//! their simulated runtimes with COBRA's choice.
+//!
+//! ```text
+//! cargo run --release --example orders_report
+//! ```
+
+use cobra::core::{Cobra, CostCatalog};
+use cobra::imperative::ast::Program;
+use cobra::netsim::NetworkProfile;
+use cobra::workloads::{harness::run_on, motivating};
+
+fn main() {
+    let orders = 20_000;
+    let customers = 5_000;
+    let fixture = motivating::build_fixture(orders, customers, 7);
+    println!("orders = {orders}, customers = {customers}\n");
+
+    for net in [NetworkProfile::slow_remote(), NetworkProfile::fast_local()] {
+        println!("--- network: {} ---", net.name());
+        let programs = [
+            ("P0 (Hibernate)", motivating::p0()),
+            ("P1 (SQL join) ", motivating::p1()),
+            ("P2 (prefetch) ", motivating::p2()),
+        ];
+        let mut results = Vec::new();
+        for (name, p) in &programs {
+            let r = run_on(&fixture, net.clone(), p).expect("runs");
+            println!(
+                "{name}: {:>10.3}s  ({} round trips, {:.2} MB transferred)",
+                r.secs,
+                r.outcome.round_trips,
+                r.outcome.bytes as f64 / 1e6
+            );
+            results.push(r.outcome.var_snapshot("result").normalized());
+        }
+        assert!(
+            results.windows(2).all(|w| w[0] == w[1]),
+            "all three programs must agree"
+        );
+
+        let cobra = Cobra::new(
+            fixture.db.clone(),
+            net.clone(),
+            CostCatalog::default(),
+            fixture.mapping.clone(),
+        )
+        .with_funcs(fixture.funcs.clone());
+        let opt = cobra.optimize_program(&motivating::p0()).expect("optimizes");
+        let chosen = run_on(&fixture, net.clone(), &Program::single(opt.program.clone()))
+            .expect("chosen runs");
+        println!(
+            "COBRA chose {:?}: {:>8.3}s (estimated {:.3}s)\n",
+            opt.tags,
+            chosen.secs,
+            opt.est_cost_ns / 1e9
+        );
+    }
+}

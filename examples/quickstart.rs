@@ -1,0 +1,43 @@
+//! Quickstart: optimize the paper's motivating program P0 under two
+//! network profiles and watch COBRA choose differently.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use cobra::core::{Cobra, CostCatalog};
+use cobra::imperative::pretty;
+use cobra::netsim::NetworkProfile;
+use cobra::workloads::motivating;
+
+fn main() {
+    // A database with few orders and many customers: the join query (P1)
+    // should win on a slow network, since prefetching would drag the whole
+    // customer table across the wire.
+    let fixture = motivating::build_fixture(1_000, 50_000, 42);
+    let p0 = motivating::p0();
+
+    println!("original program (Figure 3a):\n");
+    println!("{}", pretty::function_to_string(p0.entry()));
+
+    for net in [NetworkProfile::slow_remote(), NetworkProfile::fast_local()] {
+        let cobra = Cobra::new(
+            fixture.db.clone(),
+            net.clone(),
+            CostCatalog::default(),
+            fixture.mapping.clone(),
+        )
+        .with_funcs(fixture.funcs.clone());
+
+        let optimized = cobra.optimize_program(&p0).expect("optimization succeeds");
+        println!("--- network: {} ---", net.name());
+        println!(
+            "alternatives: {}, chosen: {:?}, estimated cost: {:.3}s (original {:.3}s)\n",
+            optimized.alternatives,
+            optimized.tags,
+            optimized.est_cost_ns / 1e9,
+            optimized.original_cost_ns / 1e9,
+        );
+        println!("{}", pretty::function_to_string(&optimized.program));
+    }
+}

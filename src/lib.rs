@@ -1,0 +1,55 @@
+//! # COBRA — Cost Based Rewriting of Database Applications
+//!
+//! A Rust reproduction of *"COBRA: A Framework for Cost Based Rewriting of
+//! Database Applications"* (Emani & Sudarshan, ICDE 2018).
+//!
+//! This facade crate re-exports every sub-crate of the workspace under one
+//! namespace so that applications can depend on a single crate:
+//!
+//! * [`netsim`] — virtual clock and network profiles (bandwidth / RTT).
+//! * [`minidb`] — in-memory relational database: SQL parser, logical plans,
+//!   executor, and the estimator COBRA's cost model consults.
+//! * [`imperative`] — the mini imperative language: AST, CFG, program
+//!   regions, and data-dependence analysis.
+//! * [`orm`] — Hibernate-like object-relational mapping layer with a session
+//!   cache and lazy association loading (the N+1 select problem).
+//! * [`interp`] — interpreter that executes programs against the ORM and
+//!   database while accumulating *simulated* wall-clock time.
+//! * [`volcano`] — a generic Volcano/Cascades AND-OR DAG optimizer.
+//! * [`fir`] — the F-IR intermediate representation (`fold`/`tuple`/
+//!   `project`) plus transformation rules T1–T5, N1, N2.
+//! * [`core`] — the COBRA optimizer itself: Region DAG, cost model, search.
+//! * [`workloads`] — the paper's workloads: motivating example P0/P1/P2,
+//!   program M0, and the Wilos-like fragments of patterns A–F.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use cobra::core::{Cobra, CostCatalog};
+//! use cobra::netsim::NetworkProfile;
+//! use cobra::workloads::motivating;
+//!
+//! // Build the orders/customer database (tiny sizes for the doctest).
+//! let fixture = motivating::build_fixture(1_000, 200, 42);
+//! let program = motivating::p0();
+//!
+//! let cobra = Cobra::new(
+//!     fixture.db.clone(),
+//!     NetworkProfile::slow_remote(),
+//!     CostCatalog::default(),
+//!     fixture.mapping.clone(),
+//! )
+//! .with_funcs(fixture.funcs.clone());
+//! let optimized = cobra.optimize_program(&program).expect("optimizes");
+//! assert!(optimized.alternatives >= 3, "P0, P1-like and P2-like plans");
+//! ```
+
+pub use cobra_core as core;
+pub use fir;
+pub use imperative;
+pub use interp;
+pub use minidb;
+pub use netsim;
+pub use orm;
+pub use volcano;
+pub use workloads;

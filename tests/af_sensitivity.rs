@@ -1,0 +1,97 @@
+//! The amortization factor (`AF_Q`, §VI) gates prefetching: prefetch cost
+//! is `C_Q / AF_Q`. With few accesses (AF = 1) fetching a whole relation
+//! to answer a couple of point lookups must lose; with many expected
+//! accesses (large AF) it must win. These tests pin that flip down.
+
+use cobra::core::{Cobra, CostCatalog};
+use cobra::imperative::ast::Program;
+use cobra::netsim::NetworkProfile;
+use cobra::workloads::{harness::run_on, wilos};
+
+/// Pattern-E-shaped program over `role` with only 2 filter keys: barely
+/// any reuse, a relatively large relation.
+fn two_lookups() -> Program {
+    wilos::build_e("afProbe", "role", "r_project", "r_size", 2)
+}
+
+fn choice_under(af: f64, scale: usize) -> (Vec<&'static str>, f64, f64) {
+    let fx = wilos::build_fixture(scale, 23);
+    let cobra = Cobra::new(
+        fx.db.clone(),
+        NetworkProfile::slow_remote(), // transfer-dominated: AF matters most
+        CostCatalog::with_af(af),
+        fx.mapping.clone(),
+    )
+    .with_funcs(fx.funcs.clone());
+    let opt = cobra.optimize_program(&two_lookups()).unwrap();
+    (opt.tags, opt.est_cost_ns, opt.original_cost_ns)
+}
+
+#[test]
+fn low_af_keeps_point_queries_high_af_prefetches() {
+    let scale = 200_000; // role has scale/500 = 400 rows → 2 keys touch ~20%
+    let (tags_low, est_low, orig_low) = choice_under(1.0, scale);
+    let (tags_high, est_high, _) = choice_under(1_000.0, scale);
+    assert!(
+        !tags_low.contains(&"prefetch"),
+        "AF=1: fetching the whole relation for 2 lookups must lose ({tags_low:?})"
+    );
+    assert!(
+        tags_high.contains(&"prefetch"),
+        "AF=1000: amortized prefetch must win ({tags_high:?})"
+    );
+    // Costs are consistent with the choices.
+    assert!(est_low <= orig_low * 1.001);
+    assert!(est_high < est_low, "amortization must reduce estimated cost");
+}
+
+#[test]
+fn af_choices_are_both_semantics_preserving() {
+    let program = two_lookups();
+    for af in [1.0, 1_000.0] {
+        let fx = wilos::build_fixture(20_000, 23);
+        let cobra = Cobra::new(
+            fx.db.clone(),
+            NetworkProfile::slow_remote(),
+            CostCatalog::with_af(af),
+            fx.mapping.clone(),
+        )
+        .with_funcs(fx.funcs.clone());
+        let opt = cobra.optimize_program(&program).unwrap();
+        let original = run_on(&fx, NetworkProfile::fast_local(), &program).unwrap();
+        let rewritten = run_on(
+            &fx,
+            NetworkProfile::fast_local(),
+            &Program::single(opt.program.clone()),
+        )
+        .unwrap();
+        assert_eq!(
+            original.outcome.var_snapshot("result").normalized(),
+            rewritten.outcome.var_snapshot("result").normalized(),
+            "af={af}"
+        );
+    }
+}
+
+#[test]
+fn cost_catalog_file_drives_the_choice() {
+    // The paper supplies cost metrics "as a cost catalog file"; the same
+    // choice flip must be reachable through the file format.
+    let scale = 200_000;
+    let low = CostCatalog::parse("default_af = 1\n").unwrap();
+    let high = CostCatalog::parse("default_af = 1000\naf.role = 2000\n").unwrap();
+    let fx = wilos::build_fixture(scale, 23);
+    let mk = |cat: CostCatalog| {
+        Cobra::new(
+            fx.db.clone(),
+            NetworkProfile::slow_remote(),
+            cat,
+            fx.mapping.clone(),
+        )
+        .with_funcs(fx.funcs.clone())
+    };
+    let t_low = mk(low).optimize_program(&two_lookups()).unwrap().tags;
+    let t_high = mk(high).optimize_program(&two_lookups()).unwrap().tags;
+    assert!(!t_low.contains(&"prefetch"), "{t_low:?}");
+    assert!(t_high.contains(&"prefetch"), "{t_high:?}");
+}

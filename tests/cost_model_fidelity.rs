@@ -1,0 +1,121 @@
+//! Cost-model fidelity (the paper's "Threats to validity" discussion):
+//! estimated costs deviate from actual runtimes — unmodelled constants,
+//! bandwidth utilization — but what matters is that the model *ranks*
+//! alternatives the way measurements do. These tests quantify that.
+
+use cobra::core::{Cobra, CostCatalog};
+use cobra::netsim::NetworkProfile;
+use cobra::workloads::{harness::run_on, motivating};
+
+/// Measured times and estimated costs of P0/P1/P2 on one configuration.
+fn measure(
+    orders: usize,
+    customers: usize,
+    net: NetworkProfile,
+) -> Vec<(&'static str, f64, f64)> {
+    let fx = motivating::build_fixture(orders, customers, 31);
+    let cobra = Cobra::new(
+        fx.db.clone(),
+        net.clone(),
+        CostCatalog::default(),
+        fx.mapping.clone(),
+    )
+    .with_funcs(fx.funcs.clone());
+    [
+        ("P0", motivating::p0()),
+        ("P1", motivating::p1()),
+        ("P2", motivating::p2()),
+    ]
+    .into_iter()
+    .map(|(name, p)| {
+        let actual = run_on(&fx, net.clone(), &p).unwrap().secs;
+        let estimated = cobra.cost_of(p.entry()) / 1e9;
+        (name, actual, estimated)
+    })
+    .collect()
+}
+
+/// The estimated winner must be the measured winner (or within 25 % of
+/// it) on a grid of configurations spanning both crossover regimes.
+#[test]
+fn estimated_winner_is_measured_winner() {
+    let grid = [
+        (500usize, 10_000usize),
+        (5_000, 5_000),
+        (20_000, 2_000),
+        (2_000, 50),
+    ];
+    for (orders, customers) in grid {
+        for net in [NetworkProfile::slow_remote(), NetworkProfile::fast_local()] {
+            let rows = measure(orders, customers, net.clone());
+            let est_winner = rows
+                .iter()
+                .min_by(|a, b| a.2.total_cmp(&b.2))
+                .unwrap();
+            let act_best = rows
+                .iter()
+                .map(|r| r.1)
+                .fold(f64::INFINITY, f64::min);
+            assert!(
+                est_winner.1 <= act_best * 1.25,
+                "({orders},{customers},{}): estimated winner {} runs {:.3}s vs best {:.3}s\n{rows:?}",
+                net.name(),
+                est_winner.0,
+                est_winner.1,
+                act_best
+            );
+        }
+    }
+}
+
+/// For query-dominated programs (P1, P2) the estimate should also be
+/// *calibrated*: within a small factor of the measured time on the slow
+/// network, where transfer dominates and the model is exact.
+#[test]
+fn estimates_are_calibrated_when_transfer_dominates() {
+    let rows = measure(20_000, 5_000, NetworkProfile::slow_remote());
+    for (name, actual, estimated) in rows {
+        if name == "P0" {
+            // P0's estimate ignores the ORM session cache by design
+            // (§VI; the paper's model shares this) — it overestimates.
+            assert!(
+                estimated >= actual * 0.9,
+                "P0 may only be overestimated: est {estimated:.1}s vs actual {actual:.1}s"
+            );
+            continue;
+        }
+        let ratio = estimated / actual;
+        assert!(
+            (0.5..=2.0).contains(&ratio),
+            "{name}: est {estimated:.2}s vs actual {actual:.2}s (ratio {ratio:.2})"
+        );
+    }
+}
+
+/// Experiment-2 note: on the fast network, P0's *measured* time grows
+/// sub-linearly once the session cache holds every customer.
+#[test]
+fn session_cache_saturation_is_observable() {
+    let net = NetworkProfile::fast_local();
+    let small = run_on(
+        &motivating::build_fixture(5_000, 500, 31),
+        net.clone(),
+        &motivating::p0(),
+    )
+    .unwrap();
+    let large = run_on(
+        &motivating::build_fixture(50_000, 500, 31),
+        net,
+        &motivating::p0(),
+    )
+    .unwrap();
+    // 10× the orders but the same 500 customers: round trips stay ~equal.
+    assert!(
+        large.outcome.round_trips <= small.outcome.round_trips + 5,
+        "lookups saturate: {} vs {}",
+        large.outcome.round_trips,
+        small.outcome.round_trips
+    );
+    // …and the runtime grows far less than 10×.
+    assert!(large.secs < small.secs * 6.0);
+}

@@ -1,0 +1,151 @@
+//! End-to-end integration: COBRA optimizes the motivating example and its
+//! choices match the paper's Experiments 1–3 qualitatively.
+
+use cobra::core::{Cobra, CostCatalog};
+use cobra::imperative::pretty;
+use cobra::netsim::NetworkProfile;
+use cobra::workloads::{harness::run_on, motivating};
+
+fn cobra_for(fixture: &cobra::workloads::Fixture, net: NetworkProfile) -> Cobra {
+    Cobra::new(
+        fixture.db.clone(),
+        net,
+        CostCatalog::default(),
+        fixture.mapping.clone(),
+    )
+    .with_funcs(fixture.funcs.clone())
+}
+
+#[test]
+fn optimizing_p0_generates_at_least_three_program_alternatives() {
+    let fx = motivating::build_fixture(1_000, 200, 11);
+    let cobra = cobra_for(&fx, NetworkProfile::slow_remote());
+    let opt = cobra.optimize_program(&motivating::p0()).unwrap();
+    assert!(
+        opt.alternatives >= 3,
+        "P0, P1-like and P2-like at minimum, got {}",
+        opt.alternatives
+    );
+    assert!(opt.est_cost_ns <= opt.original_cost_ns);
+}
+
+#[test]
+fn slow_remote_low_cardinality_chooses_join_like_p1() {
+    // Experiment 1: at low |Orders| the join query wins.
+    let fx = motivating::build_fixture(1_000, 20_000, 11);
+    let cobra = cobra_for(&fx, NetworkProfile::slow_remote());
+    let opt = cobra.optimize_program(&motivating::p0()).unwrap();
+    assert!(
+        opt.tags.contains(&"sql-join"),
+        "expected P1-like choice, got {:?}:\n{}",
+        opt.tags,
+        pretty::function_to_string(&opt.program)
+    );
+}
+
+#[test]
+fn slow_remote_high_cardinality_chooses_prefetch_like_p2() {
+    // Experiment 1: as |Orders| approaches |Customers| the duplication in
+    // the join result makes prefetching win.
+    let fx = motivating::build_fixture(30_000, 3_000, 11);
+    let cobra = cobra_for(&fx, NetworkProfile::slow_remote());
+    let opt = cobra.optimize_program(&motivating::p0()).unwrap();
+    assert!(
+        opt.tags.contains(&"prefetch"),
+        "expected P2-like choice, got {:?}:\n{}",
+        opt.tags,
+        pretty::function_to_string(&opt.program)
+    );
+}
+
+#[test]
+fn optimized_program_is_semantically_equivalent_and_faster() {
+    let fx = motivating::build_fixture(2_000, 400, 13);
+    let net = NetworkProfile::slow_remote();
+    let cobra = cobra_for(&fx, net.clone());
+    let p0 = motivating::p0();
+    let opt = cobra.optimize_program(&p0).unwrap();
+
+    let original = run_on(&fx, net.clone(), &p0).unwrap();
+    let rewritten = run_on(
+        &fx,
+        net,
+        &cobra::imperative::ast::Program::single(opt.program.clone()),
+    )
+    .unwrap();
+
+    assert_eq!(
+        original.outcome.var_snapshot("result").normalized(),
+        rewritten.outcome.var_snapshot("result").normalized(),
+        "rewrite must preserve semantics:\n{}",
+        pretty::function_to_string(&opt.program)
+    );
+    assert!(
+        rewritten.secs < original.secs / 2.0,
+        "rewrite should be much faster: {} vs {}",
+        rewritten.secs,
+        original.secs
+    );
+}
+
+#[test]
+fn cobra_never_picks_worse_than_original_estimate() {
+    for (orders, customers) in [(100, 5_000), (5_000, 100), (1_000, 1_000)] {
+        let fx = motivating::build_fixture(orders, customers, 17);
+        for net in [NetworkProfile::slow_remote(), NetworkProfile::fast_local()] {
+            let cobra = cobra_for(&fx, net);
+            let opt = cobra.optimize_program(&motivating::p0()).unwrap();
+            assert!(
+                opt.est_cost_ns <= opt.original_cost_ns * 1.001,
+                "({orders},{customers}): {} > {}",
+                opt.est_cost_ns,
+                opt.original_cost_ns
+            );
+        }
+    }
+}
+
+#[test]
+fn m0_dependent_aggregation_is_not_degraded() {
+    // §V-B: extracting `sum` to SQL while keeping the loop adds a query;
+    // COBRA must keep the single-query original.
+    let fx = motivating::build_fixture(5_000, 500, 19);
+    let cobra = cobra_for(&fx, NetworkProfile::slow_remote());
+    let opt = cobra.optimize_program(&motivating::m0()).unwrap();
+    let text = pretty::function_to_string(&opt.program);
+    assert!(
+        !text.contains("executeScalar"),
+        "no extra aggregate query:\n{text}"
+    );
+    let queries = text.matches("executeQuery").count();
+    assert_eq!(queries, 1, "single query retained:\n{text}");
+}
+
+#[test]
+fn optimization_chooses_min_of_measured_alternatives() {
+    // The cost-based choice should track the actually-fastest alternative
+    // (shape property of Figures 13a-c).
+    let configs = [(500usize, 10_000usize), (20_000, 2_000)];
+    for (orders, customers) in configs {
+        let fx = motivating::build_fixture(orders, customers, 23);
+        let net = NetworkProfile::slow_remote();
+        let t0 = run_on(&fx, net.clone(), &motivating::p0()).unwrap().secs;
+        let t1 = run_on(&fx, net.clone(), &motivating::p1()).unwrap().secs;
+        let t2 = run_on(&fx, net.clone(), &motivating::p2()).unwrap().secs;
+        let cobra = cobra_for(&fx, net.clone());
+        let opt = cobra.optimize_program(&motivating::p0()).unwrap();
+        let chosen = run_on(
+            &fx,
+            net,
+            &cobra::imperative::ast::Program::single(opt.program.clone()),
+        )
+        .unwrap()
+        .secs;
+        let best = t0.min(t1).min(t2);
+        assert!(
+            chosen <= best * 1.5,
+            "({orders},{customers}): chosen {chosen}s vs best-of-three {best}s \
+             (P0={t0}, P1={t1}, P2={t2})"
+        );
+    }
+}

@@ -1,0 +1,124 @@
+//! Property tests on the Volcano memo: hash-consing, termination of
+//! cyclic rules, merge cascades, and plan counting.
+
+use cobra::volcano::relalg::{
+    left_deep_join, CardinalityCost, JoinAssociativity, JoinCommutativity, RelOp,
+};
+use cobra::volcano::{best_plan, count_plans, expand, Memo, OpTree};
+use proptest::prelude::*;
+
+/// Random relation names (distinct by construction below).
+fn rel_names(n: usize) -> Vec<String> {
+    (0..n).map(|i| format!("R{i}")).collect()
+}
+
+/// Catalan(n-1) × n! — the number of distinct binary join trees over `n`
+/// relations with ordered children.
+fn expected_plans(n: u64) -> u64 {
+    fn catalan(k: u64) -> u64 {
+        (0..k).fold(1u64, |c, i| c * 2 * (2 * i + 1) / (i + 2))
+    }
+    fn factorial(k: u64) -> u64 {
+        (1..=k).product()
+    }
+    catalan(n - 1) * factorial(n)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Full commutativity+associativity enumeration matches the classic
+    /// combinatorial count for 2..=5 relations.
+    #[test]
+    fn enumeration_count_is_exact(n in 2usize..=5) {
+        let names = rel_names(n);
+        let refs: Vec<&str> = names.iter().map(|s| s.as_str()).collect();
+        let mut memo = Memo::new();
+        let root = memo.insert_tree(&left_deep_join(&refs), None);
+        expand(&mut memo, &[&JoinCommutativity, &JoinAssociativity], 256);
+        prop_assert_eq!(count_plans(&memo, root), expected_plans(n as u64));
+    }
+
+    /// Expansion is a fixpoint: re-running adds nothing.
+    #[test]
+    fn expansion_idempotent(n in 2usize..=5) {
+        let names = rel_names(n);
+        let refs: Vec<&str> = names.iter().map(|s| s.as_str()).collect();
+        let mut memo = Memo::new();
+        let root = memo.insert_tree(&left_deep_join(&refs), None);
+        expand(&mut memo, &[&JoinCommutativity, &JoinAssociativity], 256);
+        let exprs = memo.num_exprs();
+        let plans = count_plans(&memo, root);
+        let stats = expand(&mut memo, &[&JoinCommutativity, &JoinAssociativity], 256);
+        prop_assert_eq!(memo.num_exprs(), exprs);
+        prop_assert_eq!(count_plans(&memo, root), plans);
+        prop_assert_eq!(stats.added, 0);
+    }
+
+    /// The chosen plan never has higher cost than ANY enumerated plan cost
+    /// reachable by greedy sampling, and never exceeds the original
+    /// left-deep plan's cost.
+    #[test]
+    fn best_plan_beats_the_original(
+        n in 2usize..=5,
+        cards in prop::collection::vec(1.0f64..10_000.0, 5),
+    ) {
+        let names = rel_names(n);
+        let refs: Vec<&str> = names.iter().map(|s| s.as_str()).collect();
+        let model = CardinalityCost::new(
+            names.iter().cloned().zip(cards.iter().copied()),
+        );
+
+        // Cost of the original plan only.
+        let mut memo0 = Memo::new();
+        let root0 = memo0.insert_tree(&left_deep_join(&refs), None);
+        let original = best_plan(&memo0, root0, &model).unwrap().cost;
+
+        // Cost after full enumeration.
+        let mut memo = Memo::new();
+        let root = memo.insert_tree(&left_deep_join(&refs), None);
+        expand(&mut memo, &[&JoinCommutativity, &JoinAssociativity], 256);
+        let best = best_plan(&memo, root, &model).unwrap();
+        prop_assert!(best.cost <= original * (1.0 + 1e-9),
+            "optimizer must not regress: {} > {original}", best.cost);
+    }
+
+    /// Inserting the same tree repeatedly (any tree shape) never grows the
+    /// memo after the first insertion.
+    #[test]
+    fn insertion_is_hash_consed(n in 2usize..=6, repeats in 1usize..5) {
+        let names = rel_names(n);
+        let refs: Vec<&str> = names.iter().map(|s| s.as_str()).collect();
+        let tree: OpTree<RelOp> = left_deep_join(&refs);
+        let mut memo = Memo::new();
+        let g1 = memo.insert_tree(&tree, None);
+        let exprs = memo.num_exprs();
+        for _ in 0..repeats {
+            let g = memo.insert_tree(&tree, None);
+            prop_assert_eq!(memo.find(g), memo.find(g1));
+        }
+        prop_assert_eq!(memo.num_exprs(), exprs);
+    }
+}
+
+#[test]
+fn merge_is_order_independent() {
+    // Merging (a,b) then (b,c) must agree with (b,c) then (a,b).
+    let build = || {
+        let mut memo: Memo<RelOp> = Memo::new();
+        let a = memo.insert_tree(&OpTree::leaf(RelOp::Rel("a".into())), None);
+        let b = memo.insert_tree(&OpTree::leaf(RelOp::Rel("b".into())), None);
+        let c = memo.insert_tree(&OpTree::leaf(RelOp::Rel("c".into())), None);
+        (memo, a, b, c)
+    };
+    let (mut m1, a1, b1, c1) = build();
+    m1.merge(a1, b1);
+    m1.merge(b1, c1);
+    let (mut m2, a2, b2, c2) = build();
+    m2.merge(b2, c2);
+    m2.merge(a2, b2);
+    assert_eq!(m1.find(a1), m1.find(c1));
+    assert_eq!(m2.find(a2), m2.find(c2));
+    assert_eq!(m1.group(a1).len(), 3);
+    assert_eq!(m2.group(a2).len(), 3);
+}

@@ -1,0 +1,220 @@
+//! Property-based tests across crates: SQL printing round-trips, executor
+//! algebraic invariants, and — most importantly — **rewrite soundness**:
+//! COBRA-optimized programs compute the same results as the originals on
+//! randomized databases.
+
+use cobra::core::{heuristic, Cobra, CostCatalog};
+use cobra::imperative::ast::Program;
+use cobra::minidb::{sql, Value};
+use cobra::netsim::NetworkProfile;
+use cobra::workloads::{harness::run_on, motivating, wilos};
+use proptest::prelude::*;
+
+// ---------------------------------------------------------------------
+// SQL front-end round trips.
+// ---------------------------------------------------------------------
+
+/// Strategy for identifier-ish names.
+fn ident() -> impl Strategy<Value = String> {
+    "[a-z][a-z0-9_]{0,8}".prop_map(|s| s)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// print ∘ parse is a fixpoint for generated SELECT statements.
+    #[test]
+    fn sql_print_parse_fixpoint(
+        table in ident(),
+        col in ident(),
+        n in 0i64..1000,
+        asc in any::<bool>(),
+        limit in prop::option::of(0u64..100),
+    ) {
+        let mut text = format!("select * from {table} where {col} > {n} order by {col}");
+        if !asc {
+            text.push_str(" desc");
+        }
+        if let Some(l) = limit {
+            text.push_str(&format!(" limit {l}"));
+        }
+        let plan = sql::parse(&text).unwrap();
+        let printed = sql::print(&plan);
+        let reparsed = sql::parse(&printed).unwrap();
+        prop_assert_eq!(sql::print(&reparsed), printed);
+    }
+
+    /// String literals survive the escape/unescape round trip.
+    #[test]
+    fn sql_string_literals_round_trip(s in "[a-zA-Z' ]{0,20}") {
+        let text = format!("select * from t where c = '{}'", s.replace('\'', "''"));
+        let plan = sql::parse(&text).unwrap();
+        let printed = sql::print(&plan);
+        let plan2 = sql::parse(&printed).unwrap();
+        prop_assert_eq!(plan, plan2);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Executor invariants on randomized databases.
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// σ_p(σ_q(R)) ≡ σ_q(σ_p(R)), and both subsume σ_{p∧q}(R).
+    #[test]
+    fn selection_commutes(orders in 1usize..300, seed in 0u64..500) {
+        let fx = motivating::build_fixture(orders, 20, seed);
+        let db = fx.db.borrow();
+        let funcs = cobra::minidb::FuncRegistry::with_builtins();
+        let exec = cobra::minidb::Executor::new(&db, &funcs);
+        let none = std::collections::HashMap::new();
+        let a = sql::parse(
+            "select * from orders where o_amount > 100.0 and o_status = 'open'",
+        ).unwrap();
+        let b = sql::parse(
+            "select * from orders where o_status = 'open' and o_amount > 100.0",
+        ).unwrap();
+        let ra = exec.execute(&a, &none).unwrap();
+        let rb = exec.execute(&b, &none).unwrap();
+        prop_assert_eq!(ra.rows, rb.rows);
+    }
+
+    /// Join cardinality equals the sum over orders of matching customers
+    /// (FK semantics), independent of join input order.
+    #[test]
+    fn join_symmetry(orders in 1usize..200, customers in 1usize..50, seed in 0u64..500) {
+        let fx = motivating::build_fixture(orders, customers, seed);
+        let db = fx.db.borrow();
+        let funcs = cobra::minidb::FuncRegistry::with_builtins();
+        let exec = cobra::minidb::Executor::new(&db, &funcs);
+        let none = std::collections::HashMap::new();
+        let ab = sql::parse(
+            "select * from orders o join customer c on o.o_customer_sk = c.c_customer_sk",
+        ).unwrap();
+        let ba = sql::parse(
+            "select * from customer c join orders o on o.o_customer_sk = c.c_customer_sk",
+        ).unwrap();
+        let rab = exec.execute(&ab, &none).unwrap();
+        let rba = exec.execute(&ba, &none).unwrap();
+        prop_assert_eq!(rab.row_count(), rba.row_count());
+        prop_assert_eq!(rab.row_count() as usize, orders, "every order joins its customer");
+    }
+
+    /// count(*) equals the materialized row count for any filter.
+    #[test]
+    fn count_matches_materialization(orders in 1usize..300, seed in 0u64..500) {
+        let fx = motivating::build_fixture(orders, 10, seed);
+        let db = fx.db.borrow();
+        let funcs = cobra::minidb::FuncRegistry::with_builtins();
+        let exec = cobra::minidb::Executor::new(&db, &funcs);
+        let none = std::collections::HashMap::new();
+        let rows = exec.execute(
+            &sql::parse("select * from orders where o_status = 'open'").unwrap(),
+            &none,
+        ).unwrap();
+        let count = exec.execute(
+            &sql::parse("select count(*) as n from orders where o_status = 'open'").unwrap(),
+            &none,
+        ).unwrap();
+        prop_assert_eq!(count.rows[0][0].clone(), Value::Int(rows.row_count() as i64));
+    }
+}
+
+// ---------------------------------------------------------------------
+// Rewrite soundness: the headline property.
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// COBRA's chosen program computes the same `result` as P0 on random
+    /// databases, for both networks and several AF values.
+    #[test]
+    fn cobra_rewrites_preserve_p0_semantics(
+        orders in 1usize..400,
+        customers in 1usize..100,
+        seed in 0u64..1000,
+        slow in any::<bool>(),
+        af in prop::sample::select(vec![1.0f64, 50.0]),
+    ) {
+        let fx = motivating::build_fixture(orders, customers, seed);
+        let net = if slow { NetworkProfile::slow_remote() } else { NetworkProfile::fast_local() };
+        let p0 = motivating::p0();
+        let cobra = Cobra::new(fx.db.clone(), net.clone(), CostCatalog::with_af(af), fx.mapping.clone())
+            .with_funcs(fx.funcs.clone());
+        let opt = cobra.optimize_program(&p0).unwrap();
+        let original = run_on(&fx, net.clone(), &p0).unwrap();
+        let rewritten = run_on(&fx, net, &Program::single(opt.program.clone())).unwrap();
+        prop_assert_eq!(
+            original.outcome.var_snapshot("result").normalized(),
+            rewritten.outcome.var_snapshot("result").normalized()
+        );
+    }
+
+    /// Heuristic rewrites are also semantics-preserving (they share the
+    /// same transformation machinery).
+    #[test]
+    fn heuristic_rewrites_preserve_p0_semantics(
+        orders in 1usize..300,
+        customers in 1usize..60,
+        seed in 0u64..1000,
+    ) {
+        let fx = motivating::build_fixture(orders, customers, seed);
+        let net = NetworkProfile::fast_local();
+        let p0 = motivating::p0();
+        let h = heuristic::optimize_heuristic(&p0, &fx.mapping);
+        let original = run_on(&fx, net.clone(), &p0).unwrap();
+        let rewritten = run_on(&fx, net, &Program::single(h)).unwrap();
+        prop_assert_eq!(
+            original.outcome.var_snapshot("result").normalized(),
+            rewritten.outcome.var_snapshot("result").normalized()
+        );
+    }
+}
+
+// Wilos representatives: soundness across every pattern (fixed seeds,
+// all patterns — a loop instead of proptest keeps the run time bounded).
+#[test]
+fn cobra_preserves_all_wilos_pattern_semantics() {
+    for seed in [3u64, 17] {
+        for pattern in wilos::Pattern::all() {
+            let program = wilos::representative(pattern);
+            let net = NetworkProfile::fast_local();
+            for af in [1.0, 50.0] {
+                // Fresh fixtures per run: pattern A writes to the database.
+                let fx_a = wilos::build_fixture(3_000, seed);
+                let original = run_on(&fx_a, net.clone(), &program).unwrap();
+
+                let fx_b = wilos::build_fixture(3_000, seed);
+                let cobra = Cobra::new(
+                    fx_b.db.clone(),
+                    net.clone(),
+                    CostCatalog::with_af(af),
+                    fx_b.mapping.clone(),
+                )
+                .with_funcs(fx_b.funcs.clone());
+                let opt = cobra.optimize_program(&program).unwrap();
+                let mut functions = vec![opt.program.clone()];
+                functions.extend(program.functions.iter().skip(1).cloned());
+                let rewritten = run_on(&fx_b, net.clone(), &Program { functions }).unwrap();
+
+                assert_eq!(
+                    original.outcome.var_snapshot("result").normalized(),
+                    rewritten.outcome.var_snapshot("result").normalized(),
+                    "pattern {pattern:?} af={af} seed={seed}:\n{}",
+                    cobra::imperative::pretty::function_to_string(&opt.program)
+                );
+                // Pattern A also mutates rows: database states must agree.
+                if pattern == wilos::Pattern::A {
+                    assert_eq!(
+                        fx_a.db.borrow().table("role").unwrap().rows(),
+                        fx_b.db.borrow().table("role").unwrap().rows(),
+                        "pattern A database effects preserved"
+                    );
+                }
+            }
+        }
+    }
+}

@@ -1,74 +1,74 @@
-//! Criterion micro-benchmarks of the substrates: SQL front-end, executor
-//! (scan / index / hash join / aggregate) and the interpreter, so
-//! regressions in the simulation layers are visible independently of the
-//! optimizer.
+//! Micro-benchmarks of the substrates: SQL front-end, executor (scan /
+//! index / hash join / aggregate) and the interpreter, so regressions in
+//! the simulation layers are visible independently of the optimizer.
+//!
+//! Uses the dependency-free runner in `bench_support` (the workspace
+//! builds offline, so criterion is unavailable). Run with
+//! `cargo bench --bench substrates`.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use bench_support::bench_fn;
 use minidb::{Executor, FuncRegistry};
 use netsim::NetworkProfile;
 use std::collections::HashMap;
 use workloads::harness::run_on;
 use workloads::motivating;
 
-fn bench_sql_front_end(c: &mut Criterion) {
+fn bench_sql_front_end() {
     let sql = "select c.c_birth_year, count(*) as n from orders o \
                join customer c on o.o_customer_sk = c.c_customer_sk \
                where o.o_amount > 10.0 group by c.c_birth_year \
                order by c.c_birth_year limit 100";
-    c.bench_function("sql/parse", |b| b.iter(|| minidb::sql::parse(sql).unwrap()));
+    bench_fn("sql/parse", 100, || minidb::sql::parse(sql).unwrap());
     let plan = minidb::sql::parse(sql).unwrap();
-    c.bench_function("sql/print", |b| b.iter(|| minidb::sql::print(&plan)));
+    bench_fn("sql/print", 100, || minidb::sql::print(&plan));
 }
 
-fn bench_executor(c: &mut Criterion) {
+fn bench_executor() {
     let fixture = motivating::build_fixture(50_000, 5_000, 9);
-    let db = fixture.db.borrow();
+    let db = fixture.db.read().unwrap();
     let funcs = FuncRegistry::with_builtins();
     let exec = Executor::new(&db, &funcs);
     let no_params = HashMap::new();
 
     let scan = minidb::sql::parse("select * from orders").unwrap();
-    c.bench_function("exec/scan_50k", |b| {
-        b.iter(|| exec.execute(&scan, &no_params).unwrap().row_count())
+    bench_fn("exec/scan_50k", 20, || {
+        exec.execute(&scan, &no_params).unwrap().row_count()
     });
 
     let point = minidb::sql::parse("select * from customer where c_customer_sk = 42").unwrap();
-    c.bench_function("exec/index_point_lookup", |b| {
-        b.iter(|| exec.execute(&point, &no_params).unwrap().row_count())
+    bench_fn("exec/index_point_lookup", 100, || {
+        exec.execute(&point, &no_params).unwrap().row_count()
     });
 
     let join = minidb::sql::parse(
         "select * from orders o join customer c on o.o_customer_sk = c.c_customer_sk",
     )
     .unwrap();
-    c.bench_function("exec/hash_join_50k", |b| {
-        b.iter(|| exec.execute(&join, &no_params).unwrap().row_count())
+    bench_fn("exec/hash_join_50k", 20, || {
+        exec.execute(&join, &no_params).unwrap().row_count()
     });
 
     let agg = minidb::sql::parse(
         "select o_status, count(*), sum(o_amount) from orders group by o_status",
     )
     .unwrap();
-    c.bench_function("exec/hash_aggregate_50k", |b| {
-        b.iter(|| exec.execute(&agg, &no_params).unwrap().row_count())
+    bench_fn("exec/hash_aggregate_50k", 20, || {
+        exec.execute(&agg, &no_params).unwrap().row_count()
     });
 }
 
-fn bench_interpreter(c: &mut Criterion) {
+fn bench_interpreter() {
     let fixture = motivating::build_fixture(5_000, 500, 9);
     let p2 = motivating::p2();
-    c.bench_function("interp/p2_5k_orders", |b| {
-        b.iter_batched(
-            || fixture.clone(),
-            |fx| run_on(&fx, NetworkProfile::fast_local(), &p2).unwrap().secs,
-            BatchSize::SmallInput,
-        )
+    bench_fn("interp/p2_5k_orders", 20, || {
+        run_on(&fixture, NetworkProfile::fast_local(), &p2)
+            .unwrap()
+            .secs
     });
 }
 
-criterion_group!(
-    name = benches;
-    config = Criterion::default().sample_size(20);
-    targets = bench_sql_front_end, bench_executor, bench_interpreter
-);
-criterion_main!(benches);
+fn main() {
+    bench_sql_front_end();
+    bench_executor();
+    bench_interpreter();
+}

@@ -45,7 +45,10 @@ fn configs(quick: bool) -> Vec<Config> {
         Config {
             name: "13c: slow remote network, varying Customers (Orders = 10k)",
             net: NetworkProfile::slow_remote(),
-            grid: customers_grid.iter().map(|&c| (10_000 / d, c / d.min(c))).collect(),
+            grid: customers_grid
+                .iter()
+                .map(|&c| (10_000 / d, c / d.min(c)))
+                .collect(),
             vary: "Customers",
         },
     ]
@@ -54,7 +57,9 @@ fn configs(quick: bool) -> Vec<Config> {
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick")
-        || std::env::var("COBRA_QUICK").map(|v| v == "1").unwrap_or(false);
+        || std::env::var("COBRA_QUICK")
+            .map(|v| v == "1")
+            .unwrap_or(false);
     let which = args
         .iter()
         .find(|a| !a.starts_with("--"))
@@ -100,7 +105,11 @@ fn run_config(cfg: Config) {
             CostCatalog::default(),
             &motivating::p0(),
         );
-        let n = if cfg.vary == "Orders" { orders } else { customers };
+        let n = if cfg.vary == "Orders" {
+            orders
+        } else {
+            customers
+        };
         print_row(
             &[
                 n.to_string(),
@@ -115,7 +124,10 @@ fn run_config(cfg: Config) {
         // Shape check: COBRA must track the best alternative.
         let best = t0.min(t1).min(t2);
         if tc > best * 1.5 {
-            println!("    !! COBRA choice slower than best alternative ({})", fmt_secs(best));
+            println!(
+                "    !! COBRA choice slower than best alternative ({})",
+                fmt_secs(best)
+            );
         }
         // Sanity: the estimated cost orders alternatives the same way the
         // measurements do for the chosen point (soft check, printed only).

@@ -16,9 +16,7 @@ use workloads::wilos::{self, Pattern};
 fn main() {
     let scale = scale();
     let net = NetworkProfile::fast_local();
-    println!(
-        "\nFigure 15: fraction of original program time (fast local network, scale {scale})"
-    );
+    println!("\nFigure 15: fraction of original program time (fast local network, scale {scale})");
     println!(
         "{:<4} {:>10} {:>10} {:>12} {:>12}  {:<28}",
         "P", "Original", "Heuristic", "COBRA(50)", "COBRA(1)", "COBRA choices (AF=50 | AF=1)"

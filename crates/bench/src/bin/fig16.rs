@@ -5,7 +5,10 @@ use workloads::wilos;
 
 fn main() {
     println!("\nFigure 16: code fragments for cost based rewriting");
-    println!("{:<6} {:<10} {:<44} {:>6}", "Sl.No.", "Pattern", "File Name", "Line");
+    println!(
+        "{:<6} {:<10} {:<44} {:>6}",
+        "Sl.No.", "Pattern", "File Name", "Line"
+    );
     println!("{:-<70}", "");
     for f in wilos::fragments() {
         println!(

@@ -11,7 +11,10 @@ use workloads::{motivating, wilos};
 
 fn main() {
     println!("\nCOBRA optimization wall-clock time (per program)");
-    println!("{:<14} {:>12} {:>14} {:>10} {:>8}", "program", "time", "alternatives", "groups", "exprs");
+    println!(
+        "{:<14} {:>12} {:>14} {:>10} {:>8}",
+        "program", "time", "alternatives", "groups", "exprs"
+    );
     println!("{:-<64}", "");
 
     // Optimization-time measurements need statistics, not bulk data: use

@@ -34,7 +34,9 @@ pub fn run_cobra_choice(
     program: &Program,
 ) -> (f64, Vec<&'static str>, f64) {
     let cobra = cobra_for(fixture, net.clone(), catalog);
-    let opt = cobra.optimize_program(program).expect("optimization succeeds");
+    let opt = cobra
+        .optimize_program(program)
+        .expect("optimization succeeds");
     let mut functions = vec![opt.program.clone()];
     functions.extend(program.functions.iter().skip(1).cloned());
     let rewritten = Program { functions };
@@ -45,6 +47,29 @@ pub fn run_cobra_choice(
 /// Run a program and return simulated seconds.
 pub fn run_secs(fixture: &Fixture, net: NetworkProfile, program: &Program) -> f64 {
     run_on(fixture, net, program).expect("program runs").secs
+}
+
+/// A dependency-free micro-benchmark runner (the workspace builds without
+/// network access, so criterion is not available). Runs `f` for a warm-up
+/// pass, then `iters` timed iterations, and prints min/mean per-iteration
+/// wall-clock times. Returns the mean seconds per iteration.
+pub fn bench_fn<T>(name: &str, iters: usize, mut f: impl FnMut() -> T) -> f64 {
+    use std::time::Instant;
+    std::hint::black_box(f());
+    let mut times = Vec::with_capacity(iters.max(1));
+    for _ in 0..iters.max(1) {
+        let start = Instant::now();
+        std::hint::black_box(f());
+        times.push(start.elapsed().as_secs_f64());
+    }
+    let min = times.iter().cloned().fold(f64::INFINITY, f64::min);
+    let mean = times.iter().sum::<f64>() / times.len() as f64;
+    println!(
+        "{name:<40} min {:>10}  mean {:>10}",
+        fmt_secs(min),
+        fmt_secs(mean)
+    );
+    mean
 }
 
 /// Format seconds compactly (3 significant digits, s/ms).

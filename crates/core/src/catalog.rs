@@ -54,7 +54,10 @@ impl CostCatalog {
     /// Catalog with a given default amortization factor (the experiments
     /// evaluate AF = 1, AF = 50 and AF = ∞).
     pub fn with_af(af: f64) -> CostCatalog {
-        CostCatalog { default_af: af, ..CostCatalog::default() }
+        CostCatalog {
+            default_af: af,
+            ..CostCatalog::default()
+        }
     }
 
     /// Amortization factor for prefetching `table`.
@@ -118,7 +121,11 @@ impl CostCatalog {
         let _ = writeln!(s, "server_row_ns = {}", self.server_row_ns);
         let _ = writeln!(s, "default_cond_p = {}", self.default_cond_p);
         let _ = writeln!(s, "default_loop_iters = {}", self.default_loop_iters);
-        let _ = writeln!(s, "default_collection_iters = {}", self.default_collection_iters);
+        let _ = writeln!(
+            s,
+            "default_collection_iters = {}",
+            self.default_collection_iters
+        );
         let _ = writeln!(s, "default_af = {}", self.default_af);
         let _ = writeln!(s, "update_server_ns = {}", self.update_server_ns);
         let mut tables: Vec<_> = self.af_overrides.iter().collect();
@@ -154,10 +161,8 @@ mod tests {
 
     #[test]
     fn parse_handles_comments_and_blank_lines() {
-        let c = CostCatalog::parse(
-            "# header\n\ncz_ns = 10 # trailing comment\naf.orders = 7\n",
-        )
-        .unwrap();
+        let c = CostCatalog::parse("# header\n\ncz_ns = 10 # trailing comment\naf.orders = 7\n")
+            .unwrap();
         assert_eq!(c.cz_ns, 10.0);
         assert_eq!(c.af_for("orders"), 7.0);
         assert_eq!(c.af_for("other"), 1.0);

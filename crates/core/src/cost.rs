@@ -23,12 +23,12 @@
 use crate::catalog::CostCatalog;
 use crate::region_ops::RegionOp;
 use imperative::ast::{Expr, Stmt, StmtKind};
-use minidb::{Database, Estimator, FuncRegistry, LogicalPlan, ScalarExpr, Value};
+use minidb::{Estimator, FuncRegistry, LogicalPlan, ScalarExpr, Value};
 use netsim::NetworkProfile;
 use orm::MappingRegistry;
-use std::cell::RefCell;
+
 use std::collections::HashMap;
-use std::rc::Rc;
+
 use volcano::{CostModel, MExprId, Memo};
 
 /// A finite stand-in for "cannot estimate": large enough to lose against
@@ -38,8 +38,8 @@ const UNESTIMABLE: f64 = 1e18;
 
 /// Cost model over [`RegionOp`] AND-nodes.
 pub struct RegionCostModel {
-    db: Rc<RefCell<Database>>,
-    funcs: Rc<FuncRegistry>,
+    db: minidb::SharedDb,
+    funcs: std::sync::Arc<FuncRegistry>,
     net: NetworkProfile,
     catalog: CostCatalog,
     mappings: MappingRegistry,
@@ -53,8 +53,8 @@ pub struct RegionCostModel {
 impl RegionCostModel {
     /// Build a cost model.
     pub fn new(
-        db: Rc<RefCell<Database>>,
-        funcs: Rc<FuncRegistry>,
+        db: minidb::SharedDb,
+        funcs: std::sync::Arc<FuncRegistry>,
         net: NetworkProfile,
         catalog: CostCatalog,
         mappings: MappingRegistry,
@@ -87,7 +87,7 @@ impl RegionCostModel {
 
     /// `C_Q` for one query execution (§VI).
     pub fn query_cost(&self, plan: &LogicalPlan) -> f64 {
-        let db = self.db.borrow();
+        let db = self.db.read().unwrap();
         let est = Estimator::new(&db, &self.funcs)
             .with_row_ns(self.catalog.server_row_ns)
             .estimate(plan);
@@ -104,7 +104,7 @@ impl RegionCostModel {
 
     /// Estimated result cardinality of a plan.
     fn plan_rows(&self, plan: &LogicalPlan) -> f64 {
-        let db = self.db.borrow();
+        let db = self.db.read().unwrap();
         Estimator::new(&db, &self.funcs)
             .with_row_ns(self.catalog.server_row_ns)
             .estimate(plan)
@@ -127,7 +127,7 @@ impl RegionCostModel {
             Expr::LookupCache(cache, _) => {
                 // cache_<table>_by_<col>: expected rows per key = N/NDV.
                 if let Some((table, col)) = parse_cache_name(cache) {
-                    let db = self.db.borrow();
+                    let db = self.db.read().unwrap();
                     if let Ok(t) = db.table(&table) {
                         if let Ok(i) = t.schema().resolve(&col) {
                             let n = t.stats().row_count.max(1) as f64;
@@ -176,7 +176,11 @@ impl RegionCostModel {
             },
             Expr::Query(spec) | Expr::ScalarQuery(spec) => {
                 self.query_cost(&spec.plan)
-                    + spec.binds.iter().map(|(_, b)| self.expr_cost(b)).sum::<f64>()
+                    + spec
+                        .binds
+                        .iter()
+                        .map(|(_, b)| self.expr_cost(b))
+                        .sum::<f64>()
             }
             Expr::LookupCache(_, key) => self.catalog.cy_ns + self.expr_cost(key),
             Expr::MapGet(m, k) => self.catalog.cy_ns + self.expr_cost(m) + self.expr_cost(k),
@@ -208,7 +212,9 @@ impl RegionCostModel {
             | StmtKind::Print(e)
             | StmtKind::Return(Some(e)) => cz + self.expr_cost(e),
             StmtKind::Put(_, k, v) => cz + self.expr_cost(k) + self.expr_cost(v),
-            StmtKind::NewCollection(_) | StmtKind::NewMap(_) | StmtKind::Return(None)
+            StmtKind::NewCollection(_)
+            | StmtKind::NewMap(_)
+            | StmtKind::Return(None)
             | StmtKind::Break => cz,
             StmtKind::CacheByColumn { source, .. } => {
                 // C_prefetch = C_Q / AF (§VI).
@@ -256,7 +262,7 @@ impl RegionCostModel {
                         .field_column(l)
                         .or_else(|| self.field_column(r))
                         .map(|(t, i)| {
-                            let db = self.db.borrow();
+                            let db = self.db.read().unwrap();
                             db.table(&t)
                                 .map(|tab| 1.0 / tab.stats().ndv(i) as f64)
                                 .unwrap_or(self.catalog.default_cond_p)
@@ -294,7 +300,7 @@ impl RegionCostModel {
     /// If `e` reads a column of a known table (`row.field`), return it.
     fn field_column(&self, e: &Expr) -> Option<(String, usize)> {
         let Expr::Field(_, col) = e else { return None };
-        let db = self.db.borrow();
+        let db = self.db.read().unwrap();
         for table in db.tables() {
             if let Ok(i) = table.schema().resolve(col) {
                 return Some((table.name().to_string(), i));
@@ -317,7 +323,11 @@ impl RegionCostModel {
                     self.catalog.default_loop_iters
                         * (self.black_box_cost(body) + self.catalog.cz_ns)
                 }
-                StmtKind::If { then_branch, else_branch, cond } => {
+                StmtKind::If {
+                    then_branch,
+                    else_branch,
+                    cond,
+                } => {
                     let p = self.cond_probability(cond);
                     p * self.black_box_cost(then_branch)
                         + (1.0 - p) * self.black_box_cost(else_branch)
@@ -379,7 +389,7 @@ impl CostModel<RegionOp> for RegionCostModel {
 mod tests {
     use super::*;
     use imperative::ast::QuerySpec;
-    use minidb::{Column, DataType, Schema};
+    use minidb::{Column, DataType, Database, Schema};
     use orm::EntityMapping;
 
     fn fixture(net: NetworkProfile, af: f64) -> RegionCostModel {
@@ -400,21 +410,20 @@ mod tests {
         let t = db.create_table("customer", customer).unwrap();
         t.set_primary_key("c_customer_sk").unwrap();
         for i in 0..100i64 {
-            t.insert(vec![Value::Int(i), Value::Int(1950 + (i % 40))]).unwrap();
+            t.insert(vec![Value::Int(i), Value::Int(1950 + (i % 40))])
+                .unwrap();
         }
         db.analyze_all();
         let mut mappings = MappingRegistry::new();
-        mappings.register(
-            EntityMapping::new("Order", "orders", "o_id").many_to_one(
-                "customer",
-                "Customer",
-                "o_customer_sk",
-            ),
-        );
+        mappings.register(EntityMapping::new("Order", "orders", "o_id").many_to_one(
+            "customer",
+            "Customer",
+            "o_customer_sk",
+        ));
         mappings.register(EntityMapping::new("Customer", "customer", "c_customer_sk"));
         RegionCostModel::new(
-            Rc::new(RefCell::new(db)),
-            Rc::new(FuncRegistry::with_builtins()),
+            minidb::shared(db),
+            std::sync::Arc::new(FuncRegistry::with_builtins()),
             net,
             CostCatalog::with_af(af),
             mappings,
@@ -465,7 +474,9 @@ mod tests {
     fn iter_rows_uses_estimates() {
         let m = fixture(NetworkProfile::fast_local(), 1.0);
         assert_eq!(m.iter_rows(&Expr::LoadAll("Order".into())), 1000.0);
-        let q = Expr::Query(QuerySpec::sql("select * from orders where o_customer_sk = 5"));
+        let q = Expr::Query(QuerySpec::sql(
+            "select * from orders where o_customer_sk = 5",
+        ));
         assert!((m.iter_rows(&q) - 10.0).abs() < 1.0);
         // Cache lookups estimate rows-per-key.
         let lk = Expr::LookupCache(
@@ -485,8 +496,15 @@ mod tests {
             Expr::field(Expr::var("o"), "o_customer_sk"),
             Expr::lit(5i64),
         );
-        assert!((m.cond_probability(&eq) - 0.01).abs() < 1e-9, "1/NDV = 1/100");
-        let cmp = Expr::bin(minidb::BinOp::Gt, Expr::field(Expr::var("o"), "o_id"), Expr::lit(1i64));
+        assert!(
+            (m.cond_probability(&eq) - 0.01).abs() < 1e-9,
+            "1/NDV = 1/100"
+        );
+        let cmp = Expr::bin(
+            minidb::BinOp::Gt,
+            Expr::field(Expr::var("o"), "o_id"),
+            Expr::lit(1i64),
+        );
         assert!((m.cond_probability(&cmp) - 1.0 / 3.0).abs() < 1e-9);
         assert_eq!(m.cond_probability(&Expr::lit(true)), 1.0);
     }

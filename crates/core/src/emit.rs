@@ -28,7 +28,13 @@ pub fn describe(f: &Function) -> Vec<&'static str> {
             has_cache = true;
         }
         for e in stmt_exprs(s) {
-            expr_features(e, &mut has_join, &mut has_agg, &mut has_nav, &mut has_param_query);
+            expr_features(
+                e,
+                &mut has_join,
+                &mut has_agg,
+                &mut has_nav,
+                &mut has_param_query,
+            );
         }
     });
     if has_cache {

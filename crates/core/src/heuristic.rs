@@ -18,8 +18,7 @@ use orm::MappingRegistry;
 /// interprocedurally), then rewrites every loop bottom-up using the
 /// highest-scoring SQL-push alternative.
 pub fn optimize_heuristic(program: &Program, mappings: &MappingRegistry) -> Function {
-    let base = transforms::inline_calls(program)
-        .unwrap_or_else(|| program.entry().clone());
+    let base = transforms::inline_calls(program).unwrap_or_else(|| program.entry().clone());
     let live: Vec<String> = base.params.clone();
     let body = rewrite_stmts(&base.body, &live, mappings);
     let mut f = Function::new(base.name.clone(), base.params.clone(), body);
@@ -63,7 +62,11 @@ fn rewrite_stmts(stmts: &[Stmt], live_after: &[String], mappings: &MappingRegist
                     body: rewrite_stmts(body, &live, mappings),
                 },
             )),
-            StmtKind::If { cond, then_branch, else_branch } => out.push(Stmt::at(
+            StmtKind::If {
+                cond,
+                then_branch,
+                else_branch,
+            } => out.push(Stmt::at(
                 s.line,
                 StmtKind::If {
                     cond: cond.clone(),
@@ -134,13 +137,21 @@ fn sql_push_score(alt: &FirAlternative, prev_sibling: Option<&Stmt>) -> Option<i
         })
         .max()
         .unwrap_or(0);
-    let joins = alt.rules_applied.iter().filter(|r| r.contains("T4")).count() as i64;
+    let joins = alt
+        .rules_applied
+        .iter()
+        .filter(|r| r.contains("T4"))
+        .count() as i64;
     let aggs = alt
         .rules_applied
         .iter()
         .filter(|r| **r == "T5" || **r == "T5-partial")
         .count() as i64;
-    let pushes = alt.rules_applied.iter().filter(|r| **r == "T2" || **r == "T1").count() as i64;
+    let pushes = alt
+        .rules_applied
+        .iter()
+        .filter(|r| **r == "T2" || **r == "T1")
+        .count() as i64;
     if joins + aggs + pushes == 0 {
         return Some(0); // the unrewritten base
     }
@@ -158,13 +169,11 @@ mod tests {
 
     fn mappings() -> MappingRegistry {
         let mut r = MappingRegistry::new();
-        r.register(
-            EntityMapping::new("Order", "orders", "o_id").many_to_one(
-                "customer",
-                "Customer",
-                "o_customer_sk",
-            ),
-        );
+        r.register(EntityMapping::new("Order", "orders", "o_id").many_to_one(
+            "customer",
+            "Customer",
+            "o_customer_sk",
+        ));
         r.register(EntityMapping::new("Customer", "customer", "c_customer_sk"));
         r
     }
@@ -233,11 +242,14 @@ mod tests {
             text.contains("executeScalar(\"select count(*) as agg_cnt from orders\")"),
             "{text}"
         );
-        assert!(text.contains("for (t :"), "loop kept for the collection: {text}");
+        assert!(
+            text.contains("for (t :"),
+            "loop kept for the collection: {text}"
+        );
     }
 
     #[test]
-    fn heuristic_keeps_unfoldable_loops_but_rewrites_inner(){
+    fn heuristic_keeps_unfoldable_loops_but_rewrites_inner() {
         // Pattern A: outer loop has an update; inner filter loop becomes an
         // iterative SQL query.
         let p = Program::single(Function::new(
@@ -276,7 +288,10 @@ mod tests {
         ));
         let rewritten = optimize_heuristic(&p, &mappings());
         let text = pretty::function_to_string(&rewritten);
-        assert!(text.contains("for (o : loadAll(Order))"), "outer kept: {text}");
+        assert!(
+            text.contains("for (o : loadAll(Order))"),
+            "outer kept: {text}"
+        );
         assert!(
             text.contains("matches = executeQuery(\"select * from customer where c_customer_sk = :p0\", p0=o.o_customer_sk);"),
             "inner loop pushed to an iterative query: {text}"

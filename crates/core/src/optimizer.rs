@@ -9,12 +9,12 @@ use crate::transforms;
 use fir::build::FirAlternative;
 use imperative::ast::{Expr, Function, Program, Stmt, StmtKind};
 use imperative::regions::Region;
-use minidb::{Database, DbError, DbResult, FuncRegistry, LogicalPlan};
+use minidb::{DbError, DbResult, FuncRegistry, LogicalPlan};
 use netsim::NetworkProfile;
 use orm::MappingRegistry;
-use std::cell::RefCell;
+
 use std::collections::HashMap;
-use std::rc::Rc;
+
 use volcano::{GroupId, Memo};
 
 /// Bound on F-IR alternatives explored per loop region.
@@ -40,40 +40,66 @@ pub struct Optimized {
     pub exprs: usize,
     /// Feature tags of the chosen program (see [`emit::describe`]).
     pub tags: Vec<&'static str>,
+    /// Cost estimates served from the per-search memo cache (see
+    /// [`volcano::CostMemo`]); 0 when memoization is disabled.
+    pub cost_cache_hits: u64,
+    /// Cost estimates computed by the underlying model during the search.
+    pub cost_cache_misses: u64,
 }
 
 /// The COBRA optimizer (Figure 1: program + transformations + cost model
 /// → least-cost equivalent program).
 pub struct Cobra {
-    db: Rc<RefCell<Database>>,
-    funcs: Rc<FuncRegistry>,
+    db: minidb::SharedDb,
+    funcs: std::sync::Arc<FuncRegistry>,
     net: NetworkProfile,
     catalog: CostCatalog,
     mappings: MappingRegistry,
+    memoize_costs: bool,
 }
+
+// The optimizer pipeline is thread-safe by construction: shared state goes
+// through `Arc`/`RwLock`, interior mutability through `Mutex`/atomics. The
+// parallel batch driver and any embedding server rely on this contract, so
+// it is enforced at compile time.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<Cobra>();
+    assert_send_sync::<RegionCostModel>();
+    assert_send_sync::<Optimized>();
+};
 
 impl Cobra {
     /// Create an optimizer against a database, network profile, cost
     /// catalog and ORM mapping registry.
     pub fn new(
-        db: Rc<RefCell<Database>>,
+        db: minidb::SharedDb,
         net: NetworkProfile,
         catalog: CostCatalog,
         mappings: MappingRegistry,
     ) -> Cobra {
         Cobra {
             db,
-            funcs: Rc::new(FuncRegistry::with_builtins()),
+            funcs: std::sync::Arc::new(FuncRegistry::with_builtins()),
             net,
             catalog,
             mappings,
+            memoize_costs: true,
         }
     }
 
     /// Use a custom function registry (needed when programs call
     /// application-specific pure functions like `myFunc`).
-    pub fn with_funcs(mut self, funcs: Rc<FuncRegistry>) -> Cobra {
+    pub fn with_funcs(mut self, funcs: std::sync::Arc<FuncRegistry>) -> Cobra {
         self.funcs = funcs;
+        self
+    }
+
+    /// Enable or disable per-search cost memoization (on by default).
+    /// Memoized and un-memoized searches return bit-identical costs; the
+    /// toggle exists for benchmarking and for tests asserting exactly that.
+    pub fn with_cost_memoization(mut self, on: bool) -> Cobra {
+        self.memoize_costs = on;
         self
     }
 
@@ -131,8 +157,20 @@ impl Cobra {
         );
         model.set_var_plans(var_plans);
         model.set_fn_costs(fn_costs);
-        let best = volcano::best_plan(&memo, root, &model)
-            .ok_or_else(|| DbError::Invalid("no plan for program".to_string()))?;
+        // Memoize estimates across the search: value iteration and
+        // extraction revisit the same m-exprs many times, and the cost
+        // model (estimator + network formulas) dominates search time. A
+        // `CostMemo` is valid for exactly one `Memo`, so each search
+        // builds its own.
+        let (best, cache_hits, cache_misses) = if self.memoize_costs {
+            let memoized = volcano::CostMemo::new(&model);
+            let best = volcano::best_plan(&memo, root, &memoized);
+            let (h, m) = (memoized.hits(), memoized.misses());
+            (best, h, m)
+        } else {
+            (volcano::best_plan(&memo, root, &model), 0, 0)
+        };
+        let best = best.ok_or_else(|| DbError::Invalid("no plan for program".to_string()))?;
 
         let program_out = emit::emit_function(&entry.name, &entry.params, &best.tree);
         let tags = emit::describe(&program_out);
@@ -150,7 +188,78 @@ impl Cobra {
             groups: memo.num_live_groups(),
             exprs: memo.num_exprs(),
             tags,
+            cost_cache_hits: cache_hits,
+            cost_cache_misses: cache_misses,
         })
+    }
+
+    /// Optimize many programs concurrently, one optimizer search per
+    /// program, sharing this optimizer's database snapshot, catalog and
+    /// mappings across worker threads (`Cobra` is `Send + Sync`).
+    ///
+    /// Results are in input order and identical to what sequential
+    /// [`Cobra::optimize_program`] calls would produce — searches share no
+    /// mutable state. Worker count is the smaller of the batch size and
+    /// available hardware parallelism.
+    pub fn optimize_batch(&self, programs: &[Program]) -> Vec<DbResult<Optimized>> {
+        // Worker count: hardware parallelism, overridable with
+        // `COBRA_BATCH_WORKERS` (ops knob; also lets single-core hosts
+        // exercise the threaded path).
+        let workers = std::env::var("COBRA_BATCH_WORKERS")
+            .ok()
+            .and_then(|s| s.parse::<usize>().ok())
+            .filter(|&n| n >= 1)
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism()
+                    .map(|n| n.get())
+                    .unwrap_or(1)
+            });
+        self.optimize_batch_with_workers(programs, workers)
+    }
+
+    /// [`Cobra::optimize_batch`] with an explicit worker-thread count
+    /// (clamped to the batch size; `workers <= 1` optimizes inline with
+    /// no thread overhead).
+    pub fn optimize_batch_with_workers(
+        &self,
+        programs: &[Program],
+        workers: usize,
+    ) -> Vec<DbResult<Optimized>> {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+
+        let workers = workers.min(programs.len());
+        // One worker (singleton batch or single-core host): a thread
+        // would only add spawn/teardown overhead — optimize inline.
+        if workers <= 1 {
+            return programs.iter().map(|p| self.optimize_program(p)).collect();
+        }
+
+        // Each slot is written exactly once, by whichever worker claimed
+        // its index off the shared counter.
+        let slots: Vec<std::sync::Mutex<Option<DbResult<Optimized>>>> = (0..programs.len())
+            .map(|_| std::sync::Mutex::new(None))
+            .collect();
+        let next = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(program) = programs.get(i) else {
+                        break;
+                    };
+                    let out = self.optimize_program(program);
+                    *slots[i].lock().unwrap() = Some(out);
+                });
+            }
+        });
+        slots
+            .into_iter()
+            .map(|slot| {
+                slot.into_inner()
+                    .unwrap()
+                    .expect("every program was optimized")
+            })
+            .collect()
     }
 
     /// Cost a function as-is (no transformations) under this optimizer's
@@ -173,9 +282,16 @@ impl Cobra {
         let mut memo: Memo<RegionOp> = Memo::new();
         let region = Region::from_function(f);
         let root = memo.insert_tree(&region_to_optree(&region), None);
-        volcano::best_plan(&memo, root, model)
-            .map(|b| b.cost)
-            .unwrap_or(f64::INFINITY)
+        // Fresh per-memo cache (CostMemo keys by MExprId, which is only
+        // meaningful within a single Memo); honors the memoization toggle
+        // like `optimize_program` does.
+        let best = if self.memoize_costs {
+            let memoized = volcano::CostMemo::new(model);
+            volcano::best_plan(&memo, root, &memoized)
+        } else {
+            volcano::best_plan(&memo, root, model)
+        };
+        best.map(|b| b.cost).unwrap_or(f64::INFINITY)
     }
 
     /// Plain costs of every non-entry function (callee bodies), used for
@@ -227,7 +343,9 @@ impl<'a> DagBuilder<'a> {
         use imperative::regions::RegionKind;
         match &region.kind {
             RegionKind::Block(stmt) => {
-                let g = self.memo.insert_expr(RegionOp::Leaf(stmt.clone()), vec![], into);
+                let g = self
+                    .memo
+                    .insert_expr(RegionOp::Leaf(stmt.clone()), vec![], into);
                 self.register_var_plan(stmt);
                 // Statement-level prefetch alternative (patterns E/F).
                 if let Some(alt_stmts) = transforms::prefetch_stmt_alternative(stmt) {
@@ -251,13 +369,21 @@ impl<'a> DagBuilder<'a> {
                             live.push(v);
                         }
                     }
-                    let prev = if i > 0 { last_stmt(&children[i - 1]) } else { None };
+                    let prev = if i > 0 {
+                        last_stmt(&children[i - 1])
+                    } else {
+                        None
+                    };
                     child_groups.push(self.insert_region(child, &live, prev.as_ref(), None));
                 }
                 self.memo
                     .insert_expr(RegionOp::Seq(children.len()), child_groups, into)
             }
-            RegionKind::Cond { cond, then_r, else_r } => {
+            RegionKind::Cond {
+                cond,
+                then_r,
+                else_r,
+            } => {
                 let t = self.insert_region(then_r, live_after, None, None);
                 let e = self.insert_region(else_r, live_after, None, None);
                 self.memo
@@ -274,7 +400,10 @@ impl<'a> DagBuilder<'a> {
                 }
                 let body_g = self.insert_region(body, &live, None, None);
                 let g = self.memo.insert_expr(
-                    RegionOp::Loop { var: var.clone(), iter: iter.clone() },
+                    RegionOp::Loop {
+                        var: var.clone(),
+                        iter: iter.clone(),
+                    },
                     vec![body_g],
                     into,
                 );
@@ -283,11 +412,8 @@ impl<'a> DagBuilder<'a> {
             }
             RegionKind::WhileLoop { cond, body } => {
                 let body_g = self.insert_region(body, live_after, None, None);
-                self.memo.insert_expr(
-                    RegionOp::While { cond: cond.clone() },
-                    vec![body_g],
-                    into,
-                )
+                self.memo
+                    .insert_expr(RegionOp::While { cond: cond.clone() }, vec![body_g], into)
             }
             RegionKind::BlackBox(stmts) => {
                 self.memo
@@ -315,7 +441,9 @@ impl<'a> DagBuilder<'a> {
             if !self.t1_gate_ok(&alt, prev_sibling) {
                 continue;
             }
-            let Some(stmts) = fir::codegen::generate(&alt) else { continue };
+            let Some(stmts) = fir::codegen::generate(&alt) else {
+                continue;
+            };
             for s in &stmts {
                 self.register_var_plan(s);
             }
@@ -329,7 +457,9 @@ impl<'a> DagBuilder<'a> {
     /// accumulator to be empty at loop entry — satisfied when the previous
     /// statement in the sequence freshly created it.
     fn t1_gate_ok(&self, alt: &FirAlternative, prev_sibling: Option<&Stmt>) -> bool {
-        let Some(v) = &alt.requires_empty_init else { return true };
+        let Some(v) = &alt.requires_empty_init else {
+            return true;
+        };
         match prev_sibling.map(|s| &s.kind) {
             Some(StmtKind::NewCollection(p)) | Some(StmtKind::NewMap(p)) => p == v,
             _ => false,
@@ -343,7 +473,8 @@ impl<'a> DagBuilder<'a> {
             }
             StmtKind::Let(v, Expr::LoadAll(entity)) => {
                 if let Some(m) = self.mappings.entity(entity) {
-                    self.var_plans.insert(v.clone(), LogicalPlan::scan(&m.table));
+                    self.var_plans
+                        .insert(v.clone(), LogicalPlan::scan(&m.table));
                 }
             }
             _ => {}

@@ -36,12 +36,19 @@ pub fn region_to_optree(region: &Region) -> OpTree<RegionOp> {
             RegionOp::Seq(children.len()),
             children.iter().map(region_to_optree).collect(),
         ),
-        RegionKind::Cond { cond, then_r, else_r } => OpTree::node(
+        RegionKind::Cond {
+            cond,
+            then_r,
+            else_r,
+        } => OpTree::node(
             RegionOp::Cond { cond: cond.clone() },
             vec![region_to_optree(then_r), region_to_optree(else_r)],
         ),
         RegionKind::Loop { var, iter, body } => OpTree::node(
-            RegionOp::Loop { var: var.clone(), iter: iter.clone() },
+            RegionOp::Loop {
+                var: var.clone(),
+                iter: iter.clone(),
+            },
             vec![region_to_optree(body)],
         ),
         RegionKind::WhileLoop { cond, body } => OpTree::node(

@@ -30,7 +30,11 @@ pub fn reads_of(stmts: &[Stmt]) -> HashSet<String> {
                     cond.free_vars(&mut vars);
                     walk(body, out);
                 }
-                StmtKind::If { cond, then_branch, else_branch } => {
+                StmtKind::If {
+                    cond,
+                    then_branch,
+                    else_branch,
+                } => {
                     cond.free_vars(&mut vars);
                     walk(then_branch, out);
                     walk(else_branch, out);
@@ -79,7 +83,11 @@ pub fn collect_var_plans(
             StmtKind::ForEach { body, .. } | StmtKind::While { body, .. } => {
                 collect_var_plans(body, mappings, out)
             }
-            StmtKind::If { then_branch, else_branch, .. } => {
+            StmtKind::If {
+                then_branch,
+                else_branch,
+                ..
+            } => {
                 collect_var_plans(then_branch, mappings, out);
                 collect_var_plans(else_branch, mappings, out);
             }
@@ -104,15 +112,23 @@ pub fn collect_var_plans(
 /// The projection (if any) is dropped — the client reads only the fields
 /// it needs. Returns `None` when the statement has no such shape.
 pub fn prefetch_stmt_alternative(stmt: &Stmt) -> Option<Vec<Stmt>> {
-    let StmtKind::Let(v, Expr::Query(spec)) = &stmt.kind else { return None };
+    let StmtKind::Let(v, Expr::Query(spec)) = &stmt.kind else {
+        return None;
+    };
     // Peel a projection; then require σ_{A = key}(Scan R).
     let mut plan = &spec.plan;
     if let LogicalPlan::Project { input, .. } = plan {
         plan = input;
     }
-    let LogicalPlan::Select { input, pred } = plan else { return None };
-    let LogicalPlan::Scan { table, .. } = &**input else { return None };
-    let ScalarExpr::Bin(BinOp::Eq, l, r) = pred else { return None };
+    let LogicalPlan::Select { input, pred } = plan else {
+        return None;
+    };
+    let LogicalPlan::Scan { table, .. } = &**input else {
+        return None;
+    };
+    let ScalarExpr::Bin(BinOp::Eq, l, r) = pred else {
+        return None;
+    };
     let (col, key) = match (&**l, &**r) {
         (ScalarExpr::Col(c), k) => (c, k),
         (k, ScalarExpr::Col(c)) => (c, k),
@@ -200,7 +216,11 @@ fn inline_in(
                     },
                 ));
             }
-            StmtKind::If { cond, then_branch, else_branch } => {
+            StmtKind::If {
+                cond,
+                then_branch,
+                else_branch,
+            } => {
                 out.push(Stmt::at(
                     s.line,
                     StmtKind::If {
@@ -227,8 +247,10 @@ fn inline_one(
     if callee.params.len() != args.len() {
         return None;
     }
-    let Some((last, init)) = callee.body.split_last() else { return None };
-    let StmtKind::Return(Some(ret)) = &last.kind else { return None };
+    let (last, init) = callee.body.split_last()?;
+    let StmtKind::Return(Some(ret)) = &last.kind else {
+        return None;
+    };
     // No other returns / no try-catch anywhere in the body.
     fn clean(stmts: &[Stmt]) -> bool {
         stmts.iter().all(|s| match &s.kind {
@@ -287,9 +309,7 @@ fn rewrite_expr(e: &Expr, subst: &HashMap<String, Expr>) -> Option<Expr> {
             None => e.clone(),
         },
         Expr::Lit(_) | Expr::LoadAll(_) => e.clone(),
-        Expr::Bin(op, l, r) => {
-            Expr::bin(*op, rewrite_expr(l, subst)?, rewrite_expr(r, subst)?)
-        }
+        Expr::Bin(op, l, r) => Expr::bin(*op, rewrite_expr(l, subst)?, rewrite_expr(r, subst)?),
         Expr::Not(i) => Expr::Not(Box::new(rewrite_expr(i, subst)?)),
         Expr::Field(b, f) => Expr::field(rewrite_expr(b, subst)?, f.clone()),
         Expr::Nav(b, f) => Expr::nav(rewrite_expr(b, subst)?, f.clone()),
@@ -301,9 +321,7 @@ fn rewrite_expr(e: &Expr, subst: &HashMap<String, Expr>) -> Option<Expr> {
         ),
         Expr::Query(spec) => Expr::Query(rewrite_spec(spec, subst)?),
         Expr::ScalarQuery(spec) => Expr::ScalarQuery(rewrite_spec(spec, subst)?),
-        Expr::LookupCache(c, k) => {
-            Expr::LookupCache(c.clone(), Box::new(rewrite_expr(k, subst)?))
-        }
+        Expr::LookupCache(c, k) => Expr::LookupCache(c.clone(), Box::new(rewrite_expr(k, subst)?)),
         Expr::MapGet(m, k) => Expr::MapGet(
             Box::new(rewrite_expr(m, subst)?),
             Box::new(rewrite_expr(k, subst)?),
@@ -355,27 +373,39 @@ fn rewrite_stmts(stmts: &[Stmt], subst: &HashMap<String, Expr>) -> Option<Vec<St
                 cond: rewrite_expr(cond, subst)?,
                 body: rewrite_stmts(body, subst)?,
             },
-            StmtKind::If { cond, then_branch, else_branch } => StmtKind::If {
+            StmtKind::If {
+                cond,
+                then_branch,
+                else_branch,
+            } => StmtKind::If {
                 cond: rewrite_expr(cond, subst)?,
                 then_branch: rewrite_stmts(then_branch, subst)?,
                 else_branch: rewrite_stmts(else_branch, subst)?,
             },
             StmtKind::Print(e) => StmtKind::Print(rewrite_expr(e, subst)?),
             StmtKind::Break => StmtKind::Break,
-            StmtKind::CacheByColumn { cache, source, key_col } => StmtKind::CacheByColumn {
+            StmtKind::CacheByColumn {
+                cache,
+                source,
+                key_col,
+            } => StmtKind::CacheByColumn {
                 cache: cache.clone(),
                 source: rewrite_expr(source, subst)?,
                 key_col: key_col.clone(),
             },
-            StmtKind::UpdateQuery { table, set_col, value, key_col, key } => {
-                StmtKind::UpdateQuery {
-                    table: table.clone(),
-                    set_col: set_col.clone(),
-                    value: rewrite_expr(value, subst)?,
-                    key_col: key_col.clone(),
-                    key: rewrite_expr(key, subst)?,
-                }
-            }
+            StmtKind::UpdateQuery {
+                table,
+                set_col,
+                value,
+                key_col,
+                key,
+            } => StmtKind::UpdateQuery {
+                table: table.clone(),
+                set_col: set_col.clone(),
+                value: rewrite_expr(value, subst)?,
+                key_col: key_col.clone(),
+                key: rewrite_expr(key, subst)?,
+            },
             StmtKind::LetCall(v, f, args) => StmtKind::LetCall(
                 rewrite_target(v, subst)?,
                 f.clone(),
@@ -424,7 +454,10 @@ mod tests {
         let alt = prefetch_stmt_alternative(&stmt).expect("prefetchable");
         let text = pretty::stmts_to_string(&alt);
         assert!(text.contains("cache_orders_by_o_status"), "{text}");
-        assert!(text.contains("Utils.lookupCache(cache_orders_by_o_status, \"open\")"), "{text}");
+        assert!(
+            text.contains("Utils.lookupCache(cache_orders_by_o_status, \"open\")"),
+            "{text}"
+        );
     }
 
     #[test]
@@ -516,7 +549,11 @@ mod tests {
             functions: vec![Function::new(
                 "main",
                 vec![],
-                vec![Stmt::new(StmtKind::LetCall("x".into(), "main".into(), vec![]))],
+                vec![Stmt::new(StmtKind::LetCall(
+                    "x".into(),
+                    "main".into(),
+                    vec![],
+                ))],
             )],
         };
         assert!(inline_calls(&program).is_none());

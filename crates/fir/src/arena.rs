@@ -33,20 +33,34 @@ pub enum FirNode {
     /// Map insertion: `mapput(map, key, value)`.
     MapPut(FirId, FirId, FirId),
     /// `?(pred, then, else)` — conditional value (rule T2/N2's `?`).
-    Cond { pred: FirId, then_val: FirId, else_val: FirId },
+    Cond {
+        pred: FirId,
+        then_val: FirId,
+        else_val: FirId,
+    },
     /// Tuple of expressions (the fold extension of §V-B).
     Tuple(Vec<FirId>),
     /// `project_i` — extract one component of a tuple expression.
     Project(FirId, usize),
     /// An embedded query; `binds` map its named parameters to F-IR values
     /// (a bind referencing an enclosing fold's tuple makes it correlated).
-    Query { plan: LogicalPlan, binds: Vec<(String, FirId)> },
+    Query {
+        plan: LogicalPlan,
+        binds: Vec<(String, FirId)>,
+    },
     /// A query used as a scalar (first column of first row).
-    ScalarQuery { plan: LogicalPlan, binds: Vec<(String, FirId)> },
+    ScalarQuery {
+        plan: LogicalPlan,
+        binds: Vec<(String, FirId)>,
+    },
     /// Column of a single-row source (a lookup query or cache lookup).
     RowField(FirId, String),
     /// Client-cache lookup: rows of `table` whose `key_col` equals `key`.
-    CacheLookup { table: String, key_col: String, key: FirId },
+    CacheLookup {
+        table: String,
+        key_col: String,
+        key: FirId,
+    },
     /// A collection variable available at region entry.
     CollectionParam(String),
     /// `fold(func, init, source)`; `func` and `init` are [`FirNode::Tuple`]s
@@ -104,7 +118,11 @@ impl FirArena {
     /// Rewrite the DAG rooted at `id`, replacing nodes for which `subst`
     /// returns a replacement id. Children are rewritten first; `subst` is
     /// consulted on the *original* node id.
-    pub fn rewrite(&mut self, id: FirId, subst: &impl Fn(FirId, &FirNode) -> Option<FirNode>) -> FirId {
+    pub fn rewrite(
+        &mut self,
+        id: FirId,
+        subst: &impl Fn(FirId, &FirNode) -> Option<FirNode>,
+    ) -> FirId {
         let node = self.nodes[id].clone();
         if let Some(replacement) = subst(id, &node) {
             return self.add(replacement);
@@ -134,11 +152,19 @@ impl FirArena {
                 let v2 = self.rewrite(v, subst);
                 FirNode::MapPut(m2, k2, v2)
             }
-            FirNode::Cond { pred, then_val, else_val } => {
+            FirNode::Cond {
+                pred,
+                then_val,
+                else_val,
+            } => {
                 let p = self.rewrite(pred, subst);
                 let t = self.rewrite(then_val, subst);
                 let e = self.rewrite(else_val, subst);
-                FirNode::Cond { pred: p, then_val: t, else_val: e }
+                FirNode::Cond {
+                    pred: p,
+                    then_val: t,
+                    else_val: e,
+                }
             }
             FirNode::Tuple(items) => {
                 let items2 = items.into_iter().map(|i| self.rewrite(i, subst)).collect();
@@ -153,28 +179,54 @@ impl FirArena {
                     .into_iter()
                     .map(|(p, e)| (p, self.rewrite(e, subst)))
                     .collect();
-                FirNode::Query { plan, binds: binds2 }
+                FirNode::Query {
+                    plan,
+                    binds: binds2,
+                }
             }
             FirNode::ScalarQuery { plan, binds } => {
                 let binds2 = binds
                     .into_iter()
                     .map(|(p, e)| (p, self.rewrite(e, subst)))
                     .collect();
-                FirNode::ScalarQuery { plan, binds: binds2 }
+                FirNode::ScalarQuery {
+                    plan,
+                    binds: binds2,
+                }
             }
             FirNode::RowField(r, c) => {
                 let r2 = self.rewrite(r, subst);
                 FirNode::RowField(r2, c)
             }
-            FirNode::CacheLookup { table, key_col, key } => {
+            FirNode::CacheLookup {
+                table,
+                key_col,
+                key,
+            } => {
                 let key2 = self.rewrite(key, subst);
-                FirNode::CacheLookup { table, key_col, key: key2 }
+                FirNode::CacheLookup {
+                    table,
+                    key_col,
+                    key: key2,
+                }
             }
-            FirNode::Fold { func, init, source, loop_var, updated } => {
+            FirNode::Fold {
+                func,
+                init,
+                source,
+                loop_var,
+                updated,
+            } => {
                 let f2 = self.rewrite(func, subst);
                 let i2 = self.rewrite(init, subst);
                 let s2 = self.rewrite(source, subst);
-                FirNode::Fold { func: f2, init: i2, source: s2, loop_var, updated }
+                FirNode::Fold {
+                    func: f2,
+                    init: i2,
+                    source: s2,
+                    loop_var,
+                    updated,
+                }
             }
             leaf @ (FirNode::Const(_)
             | FirNode::Param(_)
@@ -214,13 +266,19 @@ impl FirArena {
             FirNode::Call(_, args) => args.clone(),
             FirNode::Insert(a, b) => vec![*a, *b],
             FirNode::MapPut(a, b, c) => vec![*a, *b, *c],
-            FirNode::Cond { pred, then_val, else_val } => vec![*pred, *then_val, *else_val],
+            FirNode::Cond {
+                pred,
+                then_val,
+                else_val,
+            } => vec![*pred, *then_val, *else_val],
             FirNode::Tuple(items) => items.clone(),
             FirNode::Query { binds, .. } | FirNode::ScalarQuery { binds, .. } => {
                 binds.iter().map(|(_, e)| *e).collect()
             }
             FirNode::CacheLookup { key, .. } => vec![*key],
-            FirNode::Fold { func, init, source, .. } => vec![*func, *init, *source],
+            FirNode::Fold {
+                func, init, source, ..
+            } => vec![*func, *init, *source],
             _ => Vec::new(),
         }
     }
@@ -258,7 +316,11 @@ impl FirArena {
                 self.display(*k),
                 self.display(*v)
             ),
-            FirNode::Cond { pred, then_val, else_val } => format!(
+            FirNode::Cond {
+                pred,
+                then_val,
+                else_val,
+            } => format!(
                 "?({}, {}, {})",
                 self.display(*pred),
                 self.display(*then_val),
@@ -292,11 +354,17 @@ impl FirArena {
                 }
             }
             FirNode::RowField(r, c) => format!("{}.{c}", self.display(*r)),
-            FirNode::CacheLookup { table, key_col, key } => {
+            FirNode::CacheLookup {
+                table,
+                key_col,
+                key,
+            } => {
                 format!("lookup({table}.{key_col} = {})", self.display(*key))
             }
             FirNode::CollectionParam(v) => v.clone(),
-            FirNode::Fold { func, init, source, .. } => format!(
+            FirNode::Fold {
+                func, init, source, ..
+            } => format!(
                 "fold({}, {}, {})",
                 self.display(*func),
                 self.display(*init),
@@ -345,7 +413,10 @@ mod tests {
             updated: vec!["sum".into()],
         });
         let text = a.display(fold);
-        assert!(text.starts_with("fold(tuple((<sum> + t.sale_amt)), tuple(0), Q["), "{text}");
+        assert!(
+            text.starts_with("fold(tuple((<sum> + t.sale_amt)), tuple(0), Q["),
+            "{text}"
+        );
     }
 
     #[test]
@@ -356,9 +427,7 @@ mod tests {
         let add = a.add(FirNode::Bin(BinOp::Add, acc, attr));
         // Rename tuple variable t → j.
         let renamed = a.rewrite(add, &|_, n| match n {
-            FirNode::TupleAttr(v, c) if v == "t" => {
-                Some(FirNode::TupleAttr("j".into(), c.clone()))
-            }
+            FirNode::TupleAttr(v, c) if v == "t" => Some(FirNode::TupleAttr("j".into(), c.clone())),
             _ => None,
         });
         assert_eq!(a.display(renamed), "(<v> + j.x)");

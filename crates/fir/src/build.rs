@@ -109,7 +109,11 @@ pub fn loop_to_fold(
     if accumulators.is_empty() {
         return None; // a loop with no live outputs is dead code
     }
-    let mut ctx = Ctx { arena: FirArena::new(), mappings, entities: HashMap::new() };
+    let mut ctx = Ctx {
+        arena: FirArena::new(),
+        mappings,
+        entities: HashMap::new(),
+    };
     let fold = build_fold(&mut ctx, var, iter, body, &accumulators, None)?;
     let FirNode::Fold { updated, .. } = ctx.arena.node(fold).clone() else {
         unreachable!()
@@ -146,7 +150,11 @@ fn carried_vars(body: &[Stmt]) -> Vec<String> {
                     k.free_vars(&mut reads);
                     v.free_vars(&mut reads);
                 }
-                StmtKind::If { cond, then_branch, else_branch } => {
+                StmtKind::If {
+                    cond,
+                    then_branch,
+                    else_branch,
+                } => {
                     cond.free_vars(&mut reads);
                     for r in reads.drain(..) {
                         if !written.contains(&r) && !carried.contains(&r) {
@@ -243,14 +251,20 @@ fn sym_source(
             let m = ctx.mappings.entity(entity)?;
             let plan = LogicalPlan::scan(&m.table);
             ctx.entities.insert(loop_var.to_string(), entity.clone());
-            Some(ctx.arena.add(FirNode::Query { plan, binds: Vec::new() }))
+            Some(ctx.arena.add(FirNode::Query {
+                plan,
+                binds: Vec::new(),
+            }))
         }
         Expr::Query(spec) => {
             let binds = spec
                 .binds
                 .iter()
                 .map(|(p, e)| {
-                    Some((p.clone(), sym_expr(ctx, e, "", &mut outer_env.cloned().unwrap_or_default())?))
+                    Some((
+                        p.clone(),
+                        sym_expr(ctx, e, "", &mut outer_env.cloned().unwrap_or_default())?,
+                    ))
                 })
                 .collect::<Option<Vec<_>>>()?;
             // Track the entity when the query is a reshaping-free read of
@@ -260,7 +274,10 @@ fn sym_source(
                     ctx.entities.insert(loop_var.to_string(), m.entity.clone());
                 }
             }
-            Some(ctx.arena.add(FirNode::Query { plan: spec.plan.clone(), binds }))
+            Some(ctx.arena.add(FirNode::Query {
+                plan: spec.plan.clone(),
+                binds,
+            }))
         }
         Expr::Var(v) => {
             if let Some(&id) = outer_env.and_then(|e| e.get(v)) {
@@ -307,7 +324,11 @@ fn sym_stmts(
                 let id = ctx.arena.add(FirNode::MapPut(base, key, val));
                 env.insert(m.clone(), id);
             }
-            StmtKind::If { cond, then_branch, else_branch } => {
+            StmtKind::If {
+                cond,
+                then_branch,
+                else_branch,
+            } => {
                 let pred = sym_expr(ctx, cond, loop_var, env)?;
                 let mut env_t = env.clone();
                 let mut env_e = env.clone();
@@ -339,7 +360,11 @@ fn sym_stmts(
                     }
                 }
             }
-            StmtKind::ForEach { var: ivar, iter, body } => {
+            StmtKind::ForEach {
+                var: ivar,
+                iter,
+                body,
+            } => {
                 let inner = LoopAnalysis::analyze(ivar, iter, body);
                 if !inner.foldable() {
                     return None;
@@ -393,9 +418,7 @@ fn sym_expr(
         Expr::Field(base, col) => {
             let b = sym_expr(ctx, base, loop_var, env)?;
             match ctx.arena.node(b).clone() {
-                FirNode::TupleVar(v) => {
-                    Some(ctx.arena.add(FirNode::TupleAttr(v, col.clone())))
-                }
+                FirNode::TupleVar(v) => Some(ctx.arena.add(FirNode::TupleAttr(v, col.clone()))),
                 _ => Some(ctx.arena.add(FirNode::RowField(b, col.clone()))),
             }
         }
@@ -417,7 +440,10 @@ fn sym_expr(
             let key = ctx
                 .arena
                 .add(FirNode::TupleAttr(v, assoc.fk_column.clone()));
-            Some(ctx.arena.add(FirNode::Query { plan, binds: vec![("k".to_string(), key)] }))
+            Some(ctx.arena.add(FirNode::Query {
+                plan,
+                binds: vec![("k".to_string(), key)],
+            }))
         }
         Expr::Call(f, args) => {
             let ids = args
@@ -429,7 +455,10 @@ fn sym_expr(
         Expr::LoadAll(entity) => {
             let m = ctx.mappings.entity(entity)?;
             let plan = LogicalPlan::scan(&m.table);
-            Some(ctx.arena.add(FirNode::Query { plan, binds: Vec::new() }))
+            Some(ctx.arena.add(FirNode::Query {
+                plan,
+                binds: Vec::new(),
+            }))
         }
         Expr::Query(spec) => {
             let binds = spec
@@ -437,7 +466,10 @@ fn sym_expr(
                 .iter()
                 .map(|(p, b)| Some((p.clone(), sym_expr(ctx, b, loop_var, env)?)))
                 .collect::<Option<Vec<_>>>()?;
-            Some(ctx.arena.add(FirNode::Query { plan: spec.plan.clone(), binds }))
+            Some(ctx.arena.add(FirNode::Query {
+                plan: spec.plan.clone(),
+                binds,
+            }))
         }
         Expr::ScalarQuery(spec) => {
             let binds = spec
@@ -445,7 +477,10 @@ fn sym_expr(
                 .iter()
                 .map(|(p, b)| Some((p.clone(), sym_expr(ctx, b, loop_var, env)?)))
                 .collect::<Option<Vec<_>>>()?;
-            Some(ctx.arena.add(FirNode::ScalarQuery { plan: spec.plan.clone(), binds }))
+            Some(ctx.arena.add(FirNode::ScalarQuery {
+                plan: spec.plan.clone(),
+                binds,
+            }))
         }
         // Cache lookups, map reads and size() inside candidate loops are
         // out of F-IR's current scope: the loop stays imperative.
@@ -462,13 +497,11 @@ mod tests {
 
     fn mappings() -> MappingRegistry {
         let mut r = MappingRegistry::new();
-        r.register(
-            EntityMapping::new("Order", "orders", "o_id").many_to_one(
-                "customer",
-                "Customer",
-                "o_customer_sk",
-            ),
-        );
+        r.register(EntityMapping::new("Order", "orders", "o_id").many_to_one(
+            "customer",
+            "Customer",
+            "o_customer_sk",
+        ));
         r.register(EntityMapping::new("Customer", "customer", "c_customer_sk"));
         r
     }
@@ -505,9 +538,18 @@ mod tests {
         let text = alt.arena.display(*p0);
         // project0(fold(tuple((<sum> + t.sale_amt), mapput(<cSum>, t.month,
         // (<sum> + t.sale_amt))), tuple(sum, cSum), Q[...]))
-        assert!(text.starts_with("project0(fold(tuple((<sum> + t.sale_amt)"), "{text}");
-        assert!(text.contains("mapput(<cSum>, t.month, (<sum> + t.sale_amt))"), "{text}");
-        assert!(text.contains("tuple(sum, cSum)"), "init is region-entry values: {text}");
+        assert!(
+            text.starts_with("project0(fold(tuple((<sum> + t.sale_amt)"),
+            "{text}"
+        );
+        assert!(
+            text.contains("mapput(<cSum>, t.month, (<sum> + t.sale_amt))"),
+            "{text}"
+        );
+        assert!(
+            text.contains("tuple(sum, cSum)"),
+            "init is region-entry values: {text}"
+        );
     }
 
     #[test]
@@ -527,8 +569,14 @@ mod tests {
             ),
             Stmt::new(StmtKind::Add("result".into(), Expr::var("val"))),
         ];
-        let alt = loop_to_fold("o", &Expr::LoadAll("Order".into()), &body, &mappings(), Some(&["result".to_string()]))
-            .expect("foldable");
+        let alt = loop_to_fold(
+            "o",
+            &Expr::LoadAll("Order".into()),
+            &body,
+            &mappings(),
+            Some(&["result".to_string()]),
+        )
+        .expect("foldable");
         let text = alt.arena.display(alt.assigns[0].1);
         assert!(
             text.contains("Q[select * from customer where c_customer_sk = :k | k=o.o_customer_sk]"),
@@ -579,11 +627,23 @@ mod tests {
                 Expr::field(Expr::var("c"), "c_birth_year"),
             ))],
         })];
-        let alt = loop_to_fold("o", &Expr::LoadAll("Order".into()), &body, &mappings(), Some(&["result".to_string()]))
-            .expect("foldable");
+        let alt = loop_to_fold(
+            "o",
+            &Expr::LoadAll("Order".into()),
+            &body,
+            &mappings(),
+            Some(&["result".to_string()]),
+        )
+        .expect("foldable");
         let text = alt.arena.display(alt.assigns[0].1);
-        assert!(text.contains("fold(tuple(insert(<result>, c.c_birth_year))"), "{text}");
-        assert!(text.contains("k=o.o_customer_sk"), "inner source correlated: {text}");
+        assert!(
+            text.contains("fold(tuple(insert(<result>, c.c_birth_year))"),
+            "{text}"
+        );
+        assert!(
+            text.contains("k=o.o_customer_sk"),
+            "inner source correlated: {text}"
+        );
         // Inner init is the outer accumulator value.
         assert!(text.contains("tuple(<result>)"), "{text}");
     }
@@ -620,16 +680,14 @@ mod tests {
     #[test]
     fn branch_local_temps_do_not_leak() {
         // tmp defined only in the then-branch, never read after: fine.
-        let body = vec![
-            Stmt::new(StmtKind::If {
-                cond: Expr::lit(true),
-                then_branch: vec![
-                    let_stmt("tmp", Expr::field(Expr::var("t"), "x")),
-                    Stmt::new(StmtKind::Add("r".into(), Expr::var("tmp"))),
-                ],
-                else_branch: vec![],
-            }),
-        ];
+        let body = vec![Stmt::new(StmtKind::If {
+            cond: Expr::lit(true),
+            then_branch: vec![
+                let_stmt("tmp", Expr::field(Expr::var("t"), "x")),
+                Stmt::new(StmtKind::Add("r".into(), Expr::var("tmp"))),
+            ],
+            else_branch: vec![],
+        })];
         let alt = loop_to_fold(
             "t",
             &Expr::Query(QuerySpec::sql("select * from orders")),

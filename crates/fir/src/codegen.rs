@@ -102,12 +102,19 @@ impl<'a> Gen<'a> {
 
     /// Emit the loop for a fold node, updating all its accumulators.
     fn emit_fold(&mut self, fold: FirId, out: &mut Vec<Stmt>) -> Option<()> {
-        let FirNode::Fold { func, init: _, source, loop_var, updated } =
-            self.arena.node(fold).clone()
+        let FirNode::Fold {
+            func,
+            init: _,
+            source,
+            loop_var,
+            updated,
+        } = self.arena.node(fold).clone()
         else {
             return None;
         };
-        let FirNode::Tuple(items) = self.arena.node(func).clone() else { return None };
+        let FirNode::Tuple(items) = self.arena.node(func).clone() else {
+            return None;
+        };
         self.emitted_folds.push(fold);
 
         let iter = self.source_expr(source, out)?;
@@ -120,7 +127,11 @@ impl<'a> Gen<'a> {
             self.emitted_accs.insert(item, u.clone());
         }
         self.emitted_accs = saved_accs;
-        out.push(Stmt::new(StmtKind::ForEach { var: loop_var, iter, body }));
+        out.push(Stmt::new(StmtKind::ForEach {
+            var: loop_var,
+            iter,
+            body,
+        }));
         Some(())
     }
 
@@ -145,13 +156,21 @@ impl<'a> Gen<'a> {
                 body.push(Stmt::new(StmtKind::Put(var.to_string(), ke, ve)));
                 Some(())
             }
-            FirNode::Cond { pred, then_val, else_val } => {
+            FirNode::Cond {
+                pred,
+                then_val,
+                else_val,
+            } => {
                 let p = self.tx(pred, body)?;
                 let mut then_branch = Vec::new();
                 self.emit_update(var, then_val, &mut then_branch)?;
                 let mut else_branch = Vec::new();
                 self.emit_update(var, else_val, &mut else_branch)?;
-                body.push(Stmt::new(StmtKind::If { cond: p, then_branch, else_branch }));
+                body.push(Stmt::new(StmtKind::If {
+                    cond: p,
+                    then_branch,
+                    else_branch,
+                }));
                 Some(())
             }
             FirNode::Project(fold, _) => {
@@ -176,7 +195,11 @@ impl<'a> Gen<'a> {
                 Some(Expr::Query(spec))
             }
             FirNode::CollectionParam(v) | FirNode::Param(v) => Some(Expr::Var(v)),
-            FirNode::CacheLookup { table, key_col, key } => {
+            FirNode::CacheLookup {
+                table,
+                key_col,
+                key,
+            } => {
                 let k = self.tx(key, out)?;
                 Some(Expr::LookupCache(cache_name(&table, &key_col), Box::new(k)))
             }
@@ -209,7 +232,11 @@ impl<'a> Gen<'a> {
                 let spec = self.query_spec(plan, &binds, out)?;
                 Expr::Query(spec)
             }
-            FirNode::CacheLookup { table, key_col, key } => {
+            FirNode::CacheLookup {
+                table,
+                key_col,
+                key,
+            } => {
                 let k = self.tx(key, out)?;
                 Expr::LookupCache(cache_name(&table, &key_col), Box::new(k))
             }
@@ -261,7 +288,11 @@ impl<'a> Gen<'a> {
                     Some(Expr::field(Expr::var(row), col))
                 }
             },
-            FirNode::CacheLookup { table, key_col, key } => {
+            FirNode::CacheLookup {
+                table,
+                key_col,
+                key,
+            } => {
                 let k = self.tx(key, out)?;
                 Some(Expr::LookupCache(cache_name(&table, &key_col), Box::new(k)))
             }
@@ -295,13 +326,11 @@ mod tests {
 
     fn mappings() -> MappingRegistry {
         let mut r = MappingRegistry::new();
-        r.register(
-            EntityMapping::new("Order", "orders", "o_id").many_to_one(
-                "customer",
-                "Customer",
-                "o_customer_sk",
-            ),
-        );
+        r.register(EntityMapping::new("Order", "orders", "o_id").many_to_one(
+            "customer",
+            "Customer",
+            "o_customer_sk",
+        ));
         r.register(EntityMapping::new("Customer", "customer", "c_customer_sk"));
         r
     }
@@ -324,8 +353,14 @@ mod tests {
             )),
             Stmt::new(StmtKind::Add("result".into(), Expr::var("val"))),
         ];
-        let base =
-            loop_to_fold("o", &Expr::LoadAll("Order".into()), &body, &mappings(), Some(&["result".to_string()])).unwrap();
+        let base = loop_to_fold(
+            "o",
+            &Expr::LoadAll("Order".into()),
+            &body,
+            &mappings(),
+            Some(&["result".to_string()]),
+        )
+        .unwrap();
         expand_alternatives(base, 32)
     }
 
@@ -356,7 +391,10 @@ mod tests {
     #[test]
     fn p2_codegen_matches_figure_3c_shape() {
         let alts = p0_alts();
-        let pf = alts.iter().find(|a| a.rules_applied.contains(&"N1")).unwrap();
+        let pf = alts
+            .iter()
+            .find(|a| a.rules_applied.contains(&"N1"))
+            .unwrap();
         let stmts = generate(pf).expect("codegen");
         let text = pretty::stmts_to_string(&stmts);
         assert!(
@@ -377,10 +415,16 @@ mod tests {
         // Codegen of the unrewritten fold reproduces a loop with the same
         // statements as the original body (lookup bound to a row variable).
         let alts = p0_alts();
-        let base = alts.iter().find(|a| a.rules_applied == vec!["toFIR"]).unwrap();
+        let base = alts
+            .iter()
+            .find(|a| a.rules_applied == vec!["toFIR"])
+            .unwrap();
         let stmts = generate(base).expect("codegen");
         let text = pretty::stmts_to_string(&stmts);
-        assert!(text.contains("for (o : executeQuery(\"select * from orders\")) {"), "{text}");
+        assert!(
+            text.contains("for (o : executeQuery(\"select * from orders\")) {"),
+            "{text}"
+        );
         assert!(
             text.contains("executeQuery(\"select * from customer where c_customer_sk = :k\", k=o.o_customer_sk)"),
             "{text}"
@@ -407,7 +451,10 @@ mod tests {
         )
         .unwrap();
         let alts = expand_alternatives(base, 32);
-        let agg = alts.iter().find(|a| a.rules_applied.contains(&"T5")).unwrap();
+        let agg = alts
+            .iter()
+            .find(|a| a.rules_applied.contains(&"T5"))
+            .unwrap();
         let stmts = generate(agg).unwrap();
         let text = pretty::stmts_to_string(&stmts);
         assert_eq!(
@@ -436,7 +483,9 @@ mod tests {
         ];
         let base = loop_to_fold(
             "t",
-            &Expr::Query(QuerySpec::sql("select month, sale_amt from sales order by month")),
+            &Expr::Query(QuerySpec::sql(
+                "select month, sale_amt from sales order by month",
+            )),
             &body,
             &mappings(),
             None,
@@ -486,7 +535,10 @@ mod tests {
         )
         .unwrap();
         let alts = expand_alternatives(base, 32);
-        let t1 = alts.iter().find(|a| a.rules_applied.contains(&"T1")).unwrap();
+        let t1 = alts
+            .iter()
+            .find(|a| a.rules_applied.contains(&"T1"))
+            .unwrap();
         let stmts = generate(t1).unwrap();
         let text = pretty::stmts_to_string(&stmts);
         assert_eq!(text.trim(), "r = executeQuery(\"select * from orders\");");

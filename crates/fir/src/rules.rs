@@ -35,12 +35,22 @@ struct FoldParts {
 }
 
 fn fold_parts(arena: &FirArena, fold: FirId) -> Option<FoldParts> {
-    let FirNode::Fold { func, init, source, loop_var, updated } = arena.node(fold).clone()
+    let FirNode::Fold {
+        func,
+        init,
+        source,
+        loop_var,
+        updated,
+    } = arena.node(fold).clone()
     else {
         return None;
     };
-    let FirNode::Tuple(func_items) = arena.node(func).clone() else { return None };
-    let FirNode::Tuple(init_items) = arena.node(init).clone() else { return None };
+    let FirNode::Tuple(func_items) = arena.node(func).clone() else {
+        return None;
+    };
+    let FirNode::Tuple(init_items) = arena.node(init).clone() else {
+        return None;
+    };
     Some(FoldParts {
         fold,
         func_items,
@@ -56,7 +66,9 @@ fn fold_parts(arena: &FirArena, fold: FirId) -> Option<FoldParts> {
 fn top_fold(alt: &FirAlternative) -> Option<FirId> {
     let mut fold = None;
     for (_, id) in &alt.assigns {
-        let FirNode::Project(f, _) = alt.arena.node(*id) else { return None };
+        let FirNode::Project(f, _) = alt.arena.node(*id) else {
+            return None;
+        };
         match fold {
             None => fold = Some(*f),
             Some(existing) if existing == *f => {}
@@ -209,10 +221,18 @@ fn from_scalar(
 /// is a parameter bound to an F-IR value or a constant. Returns
 /// `(table, key_column, key_fir_id)`.
 fn match_lookup_query(arena: &FirArena, id: FirId) -> Option<(String, String, FirId)> {
-    let FirNode::Query { plan, binds } = arena.node(id) else { return None };
-    let LogicalPlan::Select { input, pred } = plan else { return None };
-    let LogicalPlan::Scan { table, .. } = &**input else { return None };
-    let ScalarExpr::Bin(BinOp::Eq, l, r) = pred else { return None };
+    let FirNode::Query { plan, binds } = arena.node(id) else {
+        return None;
+    };
+    let LogicalPlan::Select { input, pred } = plan else {
+        return None;
+    };
+    let LogicalPlan::Scan { table, .. } = &**input else {
+        return None;
+    };
+    let ScalarExpr::Bin(BinOp::Eq, l, r) = pred else {
+        return None;
+    };
     let (col, key_expr) = match (&**l, &**r) {
         (ScalarExpr::Col(c), other) => (c, other),
         (other, ScalarExpr::Col(c)) => (c, other),
@@ -231,20 +251,25 @@ fn match_lookup_query(arena: &FirArena, id: FirId) -> Option<(String, String, Fi
 
 /// Like [`match_lookup_query`] but also matches constant keys; needs `&mut`
 /// to intern the constant.
-fn match_lookup_query_mut(
-    arena: &mut FirArena,
-    id: FirId,
-) -> Option<(String, String, FirId)> {
+fn match_lookup_query_mut(arena: &mut FirArena, id: FirId) -> Option<(String, String, FirId)> {
     if let Some(hit) = match_lookup_query(arena, id) {
         return Some(hit);
     }
-    let FirNode::Query { plan, binds } = arena.node(id).clone() else { return None };
+    let FirNode::Query { plan, binds } = arena.node(id).clone() else {
+        return None;
+    };
     if !binds.is_empty() {
         return None;
     }
-    let LogicalPlan::Select { input, pred } = plan else { return None };
-    let LogicalPlan::Scan { table, .. } = &*input else { return None };
-    let ScalarExpr::Bin(BinOp::Eq, l, r) = pred else { return None };
+    let LogicalPlan::Select { input, pred } = plan else {
+        return None;
+    };
+    let LogicalPlan::Scan { table, .. } = &*input else {
+        return None;
+    };
+    let ScalarExpr::Bin(BinOp::Eq, l, r) = pred else {
+        return None;
+    };
     let (col, key_expr) = match (&*l, &*r) {
         (ScalarExpr::Col(c), other) => (c, other),
         (other, ScalarExpr::Col(c)) => (c, other),
@@ -301,7 +326,10 @@ fn classify_agg(arena: &FirArena, item: FirId, acc: &str, loop_var: &str) -> Opt
     // count: the remaining term is the constant 1.
     if rest.len() == 1 {
         if let FirNode::Const(Value::Int(1)) = arena.node(rest[0]) {
-            return Some(AggClass { func: AggFunc::Count, arg: None });
+            return Some(AggClass {
+                func: AggFunc::Count,
+                arg: None,
+            });
         }
     }
     // sum: all remaining terms translate to scalar expressions over the
@@ -318,7 +346,10 @@ fn classify_agg(arena: &FirArena, item: FirId, acc: &str, loop_var: &str) -> Opt
     if !binds.is_empty() {
         return None; // correlated aggregation argument: keep in the loop
     }
-    Some(AggClass { func: AggFunc::Sum, arg: sum_expr })
+    Some(AggClass {
+        func: AggFunc::Sum,
+        arg: sum_expr,
+    })
 }
 
 /// Strip a top-level ORDER BY (irrelevant under aggregation) and a
@@ -349,8 +380,12 @@ fn strip_order(plan: &LogicalPlan) -> LogicalPlan {
 ///   accumulator — the paper's §V-B example of a rewrite that usually
 ///   degrades performance and must be judged by the cost model.
 pub fn t5_aggregation(alt: &FirAlternative) -> Vec<FirAlternative> {
-    let Some(fold) = top_fold(alt) else { return Vec::new() };
-    let Some(parts) = fold_parts(&alt.arena, fold) else { return Vec::new() };
+    let Some(fold) = top_fold(alt) else {
+        return Vec::new();
+    };
+    let Some(parts) = fold_parts(&alt.arena, fold) else {
+        return Vec::new();
+    };
     let FirNode::Query { plan, binds } = alt.arena.node(parts.source) else {
         return Vec::new();
     };
@@ -384,10 +419,16 @@ pub fn t5_aggregation(alt: &FirAlternative) -> Vec<FirAlternative> {
             .collect();
         let agg_plan = strip_order(plan).aggregate(Vec::new(), aggs);
         let assigns = if parts.updated.len() == 1 {
-            let sq = arena.add(FirNode::ScalarQuery { plan: agg_plan, binds: Vec::new() });
+            let sq = arena.add(FirNode::ScalarQuery {
+                plan: agg_plan,
+                binds: Vec::new(),
+            });
             vec![(parts.updated[0].clone(), sq)]
         } else {
-            let q = arena.add(FirNode::Query { plan: agg_plan, binds: Vec::new() });
+            let q = arena.add(FirNode::Query {
+                plan: agg_plan,
+                binds: Vec::new(),
+            });
             parts
                 .updated
                 .iter()
@@ -414,9 +455,16 @@ pub fn t5_aggregation(alt: &FirAlternative) -> Vec<FirAlternative> {
             let mut arena = alt.arena.clone();
             let agg_plan = strip_order(plan).aggregate(
                 Vec::new(),
-                vec![AggItem { func: c.func, arg: c.arg.clone(), name: format!("agg_{u}") }],
+                vec![AggItem {
+                    func: c.func,
+                    arg: c.arg.clone(),
+                    name: format!("agg_{u}"),
+                }],
             );
-            let sq = arena.add(FirNode::ScalarQuery { plan: agg_plan, binds: Vec::new() });
+            let sq = arena.add(FirNode::ScalarQuery {
+                plan: agg_plan,
+                binds: Vec::new(),
+            });
             let mut assigns = alt.assigns.clone();
             assigns.push((u.clone(), sq));
             let mut rules_applied = alt.rules_applied.clone();
@@ -447,7 +495,12 @@ fn t2_on_fold(arena: &mut FirArena, fold: FirId) -> Option<(FirNode, &'static st
     let mut common_pred: Option<FirId> = None;
     let mut inner_items = Vec::with_capacity(parts.func_items.len());
     for (u, &item) in parts.updated.iter().zip(&parts.func_items) {
-        let FirNode::Cond { pred, then_val, else_val } = arena.node(item).clone() else {
+        let FirNode::Cond {
+            pred,
+            then_val,
+            else_val,
+        } = arena.node(item).clone()
+        else {
             return None;
         };
         let acc = arena.add(FirNode::AccParam(u.clone()));
@@ -465,7 +518,10 @@ fn t2_on_fold(arena: &mut FirArena, fold: FirId) -> Option<(FirNode, &'static st
     let mut new_binds = binds.clone();
     let scalar = to_scalar(arena, pred, &parts.loop_var, &mut new_binds)?;
     let new_plan = plan.select(scalar);
-    let new_source = arena.add(FirNode::Query { plan: new_plan, binds: new_binds });
+    let new_source = arena.add(FirNode::Query {
+        plan: new_plan,
+        binds: new_binds,
+    });
     let func = arena.add(FirNode::Tuple(inner_items));
     let init = arena.add(FirNode::Tuple(parts.init_items.clone()));
     Some((
@@ -489,21 +545,32 @@ fn n2_on_fold(arena: &mut FirArena, fold: FirId) -> Option<(FirNode, &'static st
     let FirNode::Query { plan, binds } = arena.node(parts.source).clone() else {
         return None;
     };
-    let LogicalPlan::Select { input, pred } = plan else { return None };
+    let LogicalPlan::Select { input, pred } = plan else {
+        return None;
+    };
     let fir_pred = from_scalar(arena, &pred, &parts.loop_var, &binds)?;
     // Drop binds consumed by the predicate.
     let mut used = Vec::new();
     pred.collect_params(&mut used);
-    let rest_binds: Vec<(String, FirId)> =
-        binds.into_iter().filter(|(n, _)| !used.contains(n)).collect();
-    let new_source = arena.add(FirNode::Query { plan: (*input).clone(), binds: rest_binds });
+    let rest_binds: Vec<(String, FirId)> = binds
+        .into_iter()
+        .filter(|(n, _)| !used.contains(n))
+        .collect();
+    let new_source = arena.add(FirNode::Query {
+        plan: (*input).clone(),
+        binds: rest_binds,
+    });
     let new_items: Vec<FirId> = parts
         .updated
         .iter()
         .zip(&parts.func_items)
         .map(|(u, &item)| {
             let acc = arena.add(FirNode::AccParam(u.clone()));
-            arena.add(FirNode::Cond { pred: fir_pred, then_val: item, else_val: acc })
+            arena.add(FirNode::Cond {
+                pred: fir_pred,
+                then_val: item,
+                else_val: acc,
+            })
         })
         .collect();
     let func = arena.add(FirNode::Tuple(new_items));
@@ -552,7 +619,10 @@ fn lookup_to_join_on_fold(arena: &mut FirArena, fold: FirId) -> Option<(FirNode,
         LogicalPlan::scan(&table),
         ScalarExpr::eq(ScalarExpr::col(&fk_col), ScalarExpr::col(&key_col)),
     );
-    let new_source = arena.add(FirNode::Query { plan: join_plan, binds });
+    let new_source = arena.add(FirNode::Query {
+        plan: join_plan,
+        binds,
+    });
 
     // Rewrite items: fields of the lookup become attributes of the joined
     // tuple.
@@ -596,15 +666,19 @@ fn lookup_to_join_on_fold(arena: &mut FirArena, fold: FirId) -> Option<(FirNode,
 /// single fold over a join (nested-loops join identification, pattern C).
 fn t4_nested_join_on_fold(arena: &mut FirArena, fold: FirId) -> Option<(FirNode, &'static str)> {
     let outer = fold_parts(arena, fold)?;
-    let FirNode::Query { plan: outer_plan, binds: outer_binds } =
-        arena.node(outer.source).clone()
+    let FirNode::Query {
+        plan: outer_plan,
+        binds: outer_binds,
+    } = arena.node(outer.source).clone()
     else {
         return None;
     };
     // Every outer item must be project_j(inner_fold) of one inner fold.
     let mut inner_fold: Option<FirId> = None;
     for &item in &outer.func_items {
-        let FirNode::Project(f, _) = arena.node(item) else { return None };
+        let FirNode::Project(f, _) = arena.node(item) else {
+            return None;
+        };
         match inner_fold {
             None => inner_fold = Some(*f),
             Some(existing) if existing == *f => {}
@@ -614,7 +688,9 @@ fn t4_nested_join_on_fold(arena: &mut FirArena, fold: FirId) -> Option<(FirNode,
     let inner = fold_parts(arena, inner_fold?)?;
     // Inner source: σ_{A = outer.B}(R).
     let (table, key_col, key) = match_lookup_query(arena, inner.source)?;
-    let FirNode::TupleAttr(v, fk_col) = arena.node(key).clone() else { return None };
+    let FirNode::TupleAttr(v, fk_col) = arena.node(key).clone() else {
+        return None;
+    };
     if v != outer.loop_var {
         return None;
     }
@@ -635,7 +711,10 @@ fn t4_nested_join_on_fold(arena: &mut FirArena, fold: FirId) -> Option<(FirNode,
         LogicalPlan::scan(&table),
         ScalarExpr::eq(ScalarExpr::col(&fk_col), ScalarExpr::col(&key_col)),
     );
-    let new_source = arena.add(FirNode::Query { plan: join_plan, binds: outer_binds });
+    let new_source = arena.add(FirNode::Query {
+        plan: join_plan,
+        binds: outer_binds,
+    });
     // Rename the inner tuple variable to the outer one: the join tuple
     // carries both sides' columns.
     let outer_var = outer.loop_var.clone();
@@ -700,13 +779,13 @@ pub fn n1_prefetch(alt: &FirAlternative) -> Option<FirAlternative> {
     for (v, root) in &alt.assigns {
         let lk = lookups.clone();
         let new_root = arena.rewrite(*root, &|id, _| {
-            lk.iter().find(|(l, _, _, _)| *l == id).map(|(_, table, key_col, key)| {
-                FirNode::CacheLookup {
+            lk.iter()
+                .find(|(l, _, _, _)| *l == id)
+                .map(|(_, table, key_col, key)| FirNode::CacheLookup {
                     table: table.clone(),
                     key_col: key_col.clone(),
                     key: *key,
-                }
-            })
+                })
         });
         assigns.push((v.clone(), new_root));
     }
@@ -741,12 +820,16 @@ pub fn t1_fold_removal(alt: &FirAlternative) -> Option<FirAlternative> {
         return None;
     }
     let item = parts.func_items[0];
-    let FirNode::Insert(base, elem) = alt.arena.node(item).clone() else { return None };
+    let FirNode::Insert(base, elem) = alt.arena.node(item).clone() else {
+        return None;
+    };
     let acc = FirNode::AccParam(parts.updated[0].clone());
     if alt.arena.node(base) != &acc {
         return None;
     }
-    let FirNode::TupleVar(v) = alt.arena.node(elem) else { return None };
+    let FirNode::TupleVar(v) = alt.arena.node(elem) else {
+        return None;
+    };
     if *v != parts.loop_var {
         return None;
     }
@@ -808,7 +891,10 @@ pub fn expand_alternatives(base: FirAlternative, max_alternatives: usize) -> Vec
             for rule in fold_rules {
                 let mut arena = alt.arena.clone();
                 if let Some((replacement, name)) = rule(&mut arena, fold) {
-                    let staged = FirAlternative { arena, ..alt.clone() };
+                    let staged = FirAlternative {
+                        arena,
+                        ..alt.clone()
+                    };
                     let rewritten = replace_node(&staged, fold, replacement, name, Vec::new());
                     queue.push(rewritten);
                 }
@@ -827,13 +913,11 @@ mod tests {
 
     fn mappings() -> MappingRegistry {
         let mut r = MappingRegistry::new();
-        r.register(
-            EntityMapping::new("Order", "orders", "o_id").many_to_one(
-                "customer",
-                "Customer",
-                "o_customer_sk",
-            ),
-        );
+        r.register(EntityMapping::new("Order", "orders", "o_id").many_to_one(
+            "customer",
+            "Customer",
+            "o_customer_sk",
+        ));
         r.register(EntityMapping::new("Customer", "customer", "c_customer_sk"));
         r
     }
@@ -856,7 +940,14 @@ mod tests {
             )),
             Stmt::new(StmtKind::Add("result".into(), Expr::var("val"))),
         ];
-        loop_to_fold("o", &Expr::LoadAll("Order".into()), &body, &mappings(), Some(&["result".to_string()])).unwrap()
+        loop_to_fold(
+            "o",
+            &Expr::LoadAll("Order".into()),
+            &body,
+            &mappings(),
+            Some(&["result".to_string()]),
+        )
+        .unwrap()
     }
 
     #[test]
@@ -896,7 +987,11 @@ mod tests {
         let base_key = base.key();
         let alts = expand_alternatives(base, 32);
         assert!(alts.iter().any(|a| a.key() == base_key));
-        assert!(alts.len() >= 3, "P0, P1-like, P2-like at minimum: {}", alts.len());
+        assert!(
+            alts.len() >= 3,
+            "P0, P1-like, P2-like at minimum: {}",
+            alts.len()
+        );
     }
 
     #[test]
@@ -912,7 +1007,9 @@ mod tests {
         ))];
         let base = loop_to_fold(
             "t",
-            &Expr::Query(QuerySpec::sql("select month, sale_amt from sales order by month")),
+            &Expr::Query(QuerySpec::sql(
+                "select month, sale_amt from sales order by month",
+            )),
             &body,
             &mappings(),
             None,
@@ -951,7 +1048,9 @@ mod tests {
         ];
         let base = loop_to_fold(
             "t",
-            &Expr::Query(QuerySpec::sql("select month, sale_amt from sales order by month")),
+            &Expr::Query(QuerySpec::sql(
+                "select month, sale_amt from sales order by month",
+            )),
             &body,
             &mappings(),
             None,
@@ -962,7 +1061,11 @@ mod tests {
             .iter()
             .find(|a| a.rules_applied.contains(&"T5-partial"))
             .expect("partial alternative");
-        assert_eq!(partial.assigns.len(), 3, "sum, cSum from loop + sum override");
+        assert_eq!(
+            partial.assigns.len(),
+            3,
+            "sum, cSum from loop + sum override"
+        );
         let text = partial.display();
         assert!(text.contains("fold("), "loop kept: {text}");
         assert!(text.contains("scalarQ[select sum(sale_amt)"), "{text}");
@@ -1028,7 +1131,10 @@ mod tests {
             .expect("T1 alternative");
         assert_eq!(t1.requires_empty_init.as_deref(), Some("r"));
         let text = t1.display();
-        assert!(text.contains("r=Q[select * from orders where o_amount > 10]"), "{text}");
+        assert!(
+            text.contains("r=Q[select * from orders where o_amount > 10]"),
+            "{text}"
+        );
     }
 
     #[test]
@@ -1041,7 +1147,9 @@ mod tests {
         ))];
         let base = loop_to_fold(
             "t",
-            &Expr::Query(QuerySpec::sql("select * from orders where o_status = 'open'")),
+            &Expr::Query(QuerySpec::sql(
+                "select * from orders where o_status = 'open'",
+            )),
             &body,
             &mappings(),
             None,
@@ -1078,8 +1186,14 @@ mod tests {
                 Expr::field(Expr::var("c"), "c_birth_year"),
             ))],
         })];
-        let base =
-            loop_to_fold("o", &Expr::LoadAll("Order".into()), &body, &mappings(), Some(&["result".to_string()])).unwrap();
+        let base = loop_to_fold(
+            "o",
+            &Expr::LoadAll("Order".into()),
+            &body,
+            &mappings(),
+            Some(&["result".to_string()]),
+        )
+        .unwrap();
         let alts = expand_alternatives(base, 64);
         let joined = alts
             .iter()

@@ -22,7 +22,10 @@ pub struct QuerySpec {
 impl QuerySpec {
     /// A query with no parameters.
     pub fn of(plan: LogicalPlan) -> QuerySpec {
-        QuerySpec { plan, binds: Vec::new() }
+        QuerySpec {
+            plan,
+            binds: Vec::new(),
+        }
     }
 
     /// Parse SQL text into a query spec with no parameters.
@@ -160,11 +163,19 @@ pub enum StmtKind {
     /// `map.put(key, value)`.
     Put(String, Expr, Expr),
     /// `for (var : iter) { body }` — the cursor loop of the paper.
-    ForEach { var: String, iter: Expr, body: Vec<Stmt> },
+    ForEach {
+        var: String,
+        iter: Expr,
+        body: Vec<Stmt>,
+    },
     /// `while (cond) { body }` — iteration count unknown statically.
     While { cond: Expr, body: Vec<Stmt> },
     /// `if (cond) { then } else { else }`.
-    If { cond: Expr, then_branch: Vec<Stmt>, else_branch: Vec<Stmt> },
+    If {
+        cond: Expr,
+        then_branch: Vec<Stmt>,
+        else_branch: Vec<Stmt>,
+    },
     /// `print(expr)` — observable side effect.
     Print(Expr),
     /// `return expr?`.
@@ -173,10 +184,20 @@ pub enum StmtKind {
     Break,
     /// `Utils.cacheByColumn(cache, source, keyColumn)` — build a
     /// client-side cache of `source` rows keyed by `keyColumn`.
-    CacheByColumn { cache: String, source: Expr, key_col: String },
+    CacheByColumn {
+        cache: String,
+        source: Expr,
+        key_col: String,
+    },
     /// `update table set set_col = value where key_col = key` — a database
     /// write (blocks SQL translation of the enclosing loop; pattern A).
-    UpdateQuery { table: String, set_col: String, value: Expr, key_col: String, key: Expr },
+    UpdateQuery {
+        table: String,
+        set_col: String,
+        value: Expr,
+        key_col: String,
+        key: Expr,
+    },
     /// `x = f(args)` — call a user-defined function in the same program.
     LetCall(String, String, Vec<Expr>),
     /// `try { body } catch { handler }` — unstructured control flow.
@@ -207,7 +228,11 @@ impl Stmt {
     pub fn children(&self) -> Vec<&[Stmt]> {
         match &self.kind {
             StmtKind::ForEach { body, .. } | StmtKind::While { body, .. } => vec![body],
-            StmtKind::If { then_branch, else_branch, .. } => vec![then_branch, else_branch],
+            StmtKind::If {
+                then_branch,
+                else_branch,
+                ..
+            } => vec![then_branch, else_branch],
             StmtKind::TryCatch { body, handler } => vec![body, handler],
             _ => Vec::new(),
         }
@@ -267,7 +292,11 @@ pub struct Function {
 impl Function {
     /// Build a function.
     pub fn new(name: impl Into<String>, params: Vec<String>, body: Vec<Stmt>) -> Function {
-        Function { name: name.into(), params, body }
+        Function {
+            name: name.into(),
+            params,
+            body,
+        }
     }
 
     /// Assign sequential line numbers (starting at `first`) to every
@@ -283,7 +312,11 @@ impl Function {
                         line = go(body, line);
                         line += 1; // closing brace
                     }
-                    StmtKind::If { then_branch, else_branch, .. } => {
+                    StmtKind::If {
+                        then_branch,
+                        else_branch,
+                        ..
+                    } => {
                         line = go(then_branch, line);
                         if !else_branch.is_empty() {
                             line += 1; // else

@@ -68,7 +68,11 @@ pub struct Cfg {
 impl Cfg {
     /// Build the CFG of a function body.
     pub fn build(f: &Function) -> Cfg {
-        let mut b = Builder { nodes: Vec::new(), loop_exits: Vec::new(), exit: 0 };
+        let mut b = Builder {
+            nodes: Vec::new(),
+            loop_exits: Vec::new(),
+            exit: 0,
+        };
         let entry = b.add(NodeKind::Entry, 0);
         let exit = b.add(NodeKind::Exit, 0);
         b.exit = exit;
@@ -76,7 +80,11 @@ impl Cfg {
         if let Some(t) = tail {
             b.edge(t, exit);
         }
-        Cfg { nodes: b.nodes, entry, exit }
+        Cfg {
+            nodes: b.nodes,
+            entry,
+            exit,
+        }
     }
 
     /// Number of live nodes.
@@ -122,7 +130,12 @@ struct Builder {
 impl Builder {
     fn add(&mut self, kind: NodeKind, line: u32) -> NodeId {
         let id = self.nodes.len();
-        self.nodes.push(Node { kind, line, succs: Vec::new(), preds: Vec::new() });
+        self.nodes.push(Node {
+            kind,
+            line,
+            succs: Vec::new(),
+            preds: Vec::new(),
+        });
         id
     }
 
@@ -144,7 +157,11 @@ impl Builder {
 
     fn lower_stmt(&mut self, stmt: &Stmt, current: NodeId) -> Option<NodeId> {
         match &stmt.kind {
-            StmtKind::If { cond, then_branch, else_branch } => {
+            StmtKind::If {
+                cond,
+                then_branch,
+                else_branch,
+            } => {
                 let branch = self.add(NodeKind::Branch { cond: cond.clone() }, stmt.line);
                 self.edge(current, branch);
                 let join = self.add(NodeKind::Join, 0);
@@ -171,7 +188,10 @@ impl Builder {
             }
             StmtKind::ForEach { var, iter, body } => {
                 let head = self.add(
-                    NodeKind::LoopHead { var: var.clone(), iter: iter.clone() },
+                    NodeKind::LoopHead {
+                        var: var.clone(),
+                        iter: iter.clone(),
+                    },
                     stmt.line,
                 );
                 self.edge(current, head);
@@ -330,7 +350,9 @@ mod tests {
         })]);
         let cfg = Cfg::build(&f);
         let head = cfg.nodes[cfg.entry].succs[0];
-        let NodeKind::LoopHead { .. } = cfg.nodes[head].kind else { panic!() };
+        let NodeKind::LoopHead { .. } = cfg.nodes[head].kind else {
+            panic!()
+        };
         assert_eq!(cfg.nodes[head].succs.len(), 2);
         let body = cfg.nodes[head].succs[0];
         assert!(matches!(cfg.nodes[body].kind, NodeKind::Simple(_)));

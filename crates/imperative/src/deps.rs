@@ -173,7 +173,11 @@ fn scan(
                 scan_expr(cond, a, reads);
                 scan(loop_var, body, a, reads, false);
             }
-            StmtKind::If { cond, then_branch, else_branch } => {
+            StmtKind::If {
+                cond,
+                then_branch,
+                else_branch,
+            } => {
                 scan_expr(cond, a, reads);
                 scan(loop_var, then_branch, a, reads, false);
                 scan(loop_var, else_branch, a, reads, false);
@@ -246,7 +250,9 @@ mod tests {
         ))];
         let a = LoopAnalysis::analyze(
             "t",
-            &Expr::Query(QuerySpec::sql("select month, sale_amt from sales order by month")),
+            &Expr::Query(QuerySpec::sql(
+                "select month, sale_amt from sales order by month",
+            )),
             &body,
         );
         assert!(a.foldable());
@@ -273,10 +279,16 @@ mod tests {
         ];
         let a = LoopAnalysis::analyze(
             "t",
-            &Expr::Query(QuerySpec::sql("select month, sale_amt from sales order by month")),
+            &Expr::Query(QuerySpec::sql(
+                "select month, sale_amt from sales order by month",
+            )),
             &body,
         );
-        assert!(a.foldable(), "tuple/project extension permits this: {:?}", a.blockers);
+        assert!(
+            a.foldable(),
+            "tuple/project extension permits this: {:?}",
+            a.blockers
+        );
         assert_eq!(a.updated, vec!["sum".to_string(), "cSum".to_string()]);
     }
 
@@ -290,13 +302,11 @@ mod tests {
 
     #[test]
     fn break_and_return_block_fold() {
-        let body = vec![
-            Stmt::new(StmtKind::If {
-                cond: Expr::lit(true),
-                then_branch: vec![Stmt::new(StmtKind::Break)],
-                else_branch: vec![Stmt::new(StmtKind::Return(None))],
-            }),
-        ];
+        let body = vec![Stmt::new(StmtKind::If {
+            cond: Expr::lit(true),
+            then_branch: vec![Stmt::new(StmtKind::Break)],
+            else_branch: vec![Stmt::new(StmtKind::Return(None))],
+        })];
         let a = LoopAnalysis::analyze("t", &Expr::LoadAll("Order".into()), &body);
         assert!(a.blockers.contains(&Blocker::HasBreak));
         assert!(a.blockers.contains(&Blocker::HasReturn));

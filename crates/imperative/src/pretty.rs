@@ -20,7 +20,7 @@ use std::fmt::Write as _;
 /// Render a function as pseudo-code.
 pub fn function_to_string(f: &Function) -> String {
     let mut out = String::new();
-    let _ = write!(out, "{}({}) {{\n", f.name, f.params.join(", "));
+    let _ = writeln!(out, "{}({}) {{", f.name, f.params.join(", "));
     write_stmts(&mut out, &f.body, 1);
     out.push_str("}\n");
     out
@@ -120,7 +120,12 @@ fn write_stmt(out: &mut String, s: &Stmt, depth: usize) {
             let _ = writeln!(out, "{c}.add({});", expr_to_string(e));
         }
         StmtKind::Put(m, k, v) => {
-            let _ = writeln!(out, "{m}.put({}, {});", expr_to_string(k), expr_to_string(v));
+            let _ = writeln!(
+                out,
+                "{m}.put({}, {});",
+                expr_to_string(k),
+                expr_to_string(v)
+            );
         }
         StmtKind::ForEach { var, iter, body } => {
             let _ = writeln!(out, "for ({var} : {}) {{", expr_to_string(iter));
@@ -134,7 +139,11 @@ fn write_stmt(out: &mut String, s: &Stmt, depth: usize) {
             indent(out, depth);
             out.push_str("}\n");
         }
-        StmtKind::If { cond, then_branch, else_branch } => {
+        StmtKind::If {
+            cond,
+            then_branch,
+            else_branch,
+        } => {
             let _ = writeln!(out, "if ({}) {{", expr_to_string(cond));
             write_stmts(out, then_branch, depth + 1);
             indent(out, depth);
@@ -159,14 +168,24 @@ fn write_stmt(out: &mut String, s: &Stmt, depth: usize) {
         StmtKind::Break => {
             out.push_str("break;\n");
         }
-        StmtKind::CacheByColumn { cache, source, key_col } => {
+        StmtKind::CacheByColumn {
+            cache,
+            source,
+            key_col,
+        } => {
             let _ = writeln!(
                 out,
                 "{cache} = Utils.cacheByColumn({}, '{key_col}');",
                 expr_to_string(source)
             );
         }
-        StmtKind::UpdateQuery { table, set_col, value, key_col, key } => {
+        StmtKind::UpdateQuery {
+            table,
+            set_col,
+            value,
+            key_col,
+            key,
+        } => {
             let _ = writeln!(
                 out,
                 "executeUpdate(\"update {table} set {set_col} = ? where {key_col} = ?\", {}, {});",
@@ -269,7 +288,9 @@ mod tests {
             key_col: "c_customer_sk".into(),
         });
         let text = stmts_to_string(&[s]);
-        assert!(text.contains("custCache = Utils.cacheByColumn(loadAll(Customer), 'c_customer_sk');"));
+        assert!(
+            text.contains("custCache = Utils.cacheByColumn(loadAll(Customer), 'c_customer_sk');")
+        );
         let lookup = Expr::LookupCache(
             "custCache".into(),
             Box::new(Expr::field(Expr::var("o"), "o_customer_sk")),

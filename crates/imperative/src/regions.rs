@@ -19,9 +19,17 @@ pub enum RegionKind {
     /// Two or more regions in sequence.
     Seq(Vec<Region>),
     /// `if (cond) then_r else else_r` (else may be [`RegionKind::Empty`]).
-    Cond { cond: Expr, then_r: Box<Region>, else_r: Box<Region> },
+    Cond {
+        cond: Expr,
+        then_r: Box<Region>,
+        else_r: Box<Region>,
+    },
     /// Cursor loop `for (var : iter) body`.
-    Loop { var: String, iter: Expr, body: Box<Region> },
+    Loop {
+        var: String,
+        iter: Expr,
+        body: Box<Region>,
+    },
     /// `while (cond) body`.
     WhileLoop { cond: Expr, body: Box<Region> },
     /// Unstructured fragment kept verbatim.
@@ -42,7 +50,10 @@ pub struct Region {
 impl Region {
     /// An empty region.
     pub fn empty() -> Region {
-        Region { kind: RegionKind::Empty, span: (0, 0) }
+        Region {
+            kind: RegionKind::Empty,
+            span: (0, 0),
+        }
     }
 
     /// Build the region tree for a statement list.
@@ -53,7 +64,10 @@ impl Region {
             1 => children.pop().unwrap(),
             _ => {
                 let span = span_of(&children);
-                Region { kind: RegionKind::Seq(children), span }
+                Region {
+                    kind: RegionKind::Seq(children),
+                    span,
+                }
             }
         }
     }
@@ -78,11 +92,18 @@ impl Region {
                 let body_r = Region::from_stmts(body);
                 let end = stmt.max_line().max(line);
                 Region {
-                    kind: RegionKind::WhileLoop { cond: cond.clone(), body: Box::new(body_r) },
+                    kind: RegionKind::WhileLoop {
+                        cond: cond.clone(),
+                        body: Box::new(body_r),
+                    },
                     span: (line, end + 1),
                 }
             }
-            StmtKind::If { cond, then_branch, else_branch } => {
+            StmtKind::If {
+                cond,
+                then_branch,
+                else_branch,
+            } => {
                 let then_r = Region::from_stmts(then_branch);
                 let else_r = if else_branch.is_empty() {
                     Region::empty()
@@ -106,7 +127,10 @@ impl Region {
                     span: (line, end + 1),
                 }
             }
-            _ => Region { kind: RegionKind::Block(stmt.clone()), span: (line, line) },
+            _ => Region {
+                kind: RegionKind::Block(stmt.clone()),
+                span: (line, line),
+            },
         }
     }
 
@@ -120,7 +144,11 @@ impl Region {
         match &self.kind {
             RegionKind::Block(s) => vec![s.clone()],
             RegionKind::Seq(children) => children.iter().flat_map(|c| c.to_stmts()).collect(),
-            RegionKind::Cond { cond, then_r, else_r } => vec![Stmt::at(
+            RegionKind::Cond {
+                cond,
+                then_r,
+                else_r,
+            } => vec![Stmt::at(
                 self.span.0,
                 StmtKind::If {
                     cond: cond.clone(),
@@ -138,7 +166,10 @@ impl Region {
             )],
             RegionKind::WhileLoop { cond, body } => vec![Stmt::at(
                 self.span.0,
-                StmtKind::While { cond: cond.clone(), body: body.to_stmts() },
+                StmtKind::While {
+                    cond: cond.clone(),
+                    body: body.to_stmts(),
+                },
             )],
             RegionKind::BlackBox(stmts) => stmts.clone(),
             RegionKind::Empty => Vec::new(),
@@ -182,11 +213,18 @@ impl Region {
                     1 => flat.pop().unwrap(),
                     _ => {
                         let span = span_of(&flat);
-                        Region { kind: RegionKind::Seq(flat), span }
+                        Region {
+                            kind: RegionKind::Seq(flat),
+                            span,
+                        }
                     }
                 }
             }
-            RegionKind::Cond { cond, then_r, else_r } => Region {
+            RegionKind::Cond {
+                cond,
+                then_r,
+                else_r,
+            } => Region {
                 kind: RegionKind::Cond {
                     cond: cond.clone(),
                     then_r: Box::new(then_r.normalize()),
@@ -222,12 +260,28 @@ impl Region {
                 a.len() == b.len() && a.iter().zip(b).all(|(x, y)| x.same_shape(y))
             }
             (
-                RegionKind::Cond { cond: c1, then_r: t1, else_r: e1 },
-                RegionKind::Cond { cond: c2, then_r: t2, else_r: e2 },
+                RegionKind::Cond {
+                    cond: c1,
+                    then_r: t1,
+                    else_r: e1,
+                },
+                RegionKind::Cond {
+                    cond: c2,
+                    then_r: t2,
+                    else_r: e2,
+                },
             ) => c1 == c2 && t1.same_shape(t2) && e1.same_shape(e2),
             (
-                RegionKind::Loop { var: v1, iter: i1, body: b1 },
-                RegionKind::Loop { var: v2, iter: i2, body: b2 },
+                RegionKind::Loop {
+                    var: v1,
+                    iter: i1,
+                    body: b1,
+                },
+                RegionKind::Loop {
+                    var: v2,
+                    iter: i2,
+                    body: b2,
+                },
             ) => v1 == v2 && i1 == i2 && b1.same_shape(b2),
             (
                 RegionKind::WhileLoop { cond: c1, body: b1 },
@@ -320,14 +374,20 @@ mod tests {
         let r = Region::from_function(&p0());
         // Outermost: sequential region S2-7.
         assert_eq!(r.label("P0"), "P0.S2-7");
-        let RegionKind::Seq(children) = &r.kind else { panic!("seq expected") };
+        let RegionKind::Seq(children) = &r.kind else {
+            panic!("seq expected")
+        };
         assert_eq!(children.len(), 2);
         assert_eq!(children[0].label("P0"), "P0.B2");
         assert_eq!(children[1].label("P0"), "P0.L3-7");
         // Loop body is the sequential region S4-6 of three basic blocks.
-        let RegionKind::Loop { body, .. } = &children[1].kind else { panic!() };
+        let RegionKind::Loop { body, .. } = &children[1].kind else {
+            panic!()
+        };
         assert_eq!(body.label("P0"), "P0.S4-6");
-        let RegionKind::Seq(inner) = &body.kind else { panic!() };
+        let RegionKind::Seq(inner) = &body.kind else {
+            panic!()
+        };
         assert_eq!(inner.len(), 3);
         assert!(inner.iter().all(|c| matches!(c.kind, RegionKind::Block(_))));
     }
@@ -348,7 +408,9 @@ mod tests {
             else_branch: vec![Stmt::new(StmtKind::Print(Expr::lit(1i64)))],
         });
         let r = Region::from_stmt(&with_else);
-        let RegionKind::Cond { else_r, .. } = &r.kind else { panic!() };
+        let RegionKind::Cond { else_r, .. } = &r.kind else {
+            panic!()
+        };
         assert!(!matches!(else_r.kind, RegionKind::Empty));
 
         let without_else = Stmt::new(StmtKind::If {
@@ -357,7 +419,9 @@ mod tests {
             else_branch: vec![],
         });
         let r = Region::from_stmt(&without_else);
-        let RegionKind::Cond { else_r, .. } = &r.kind else { panic!() };
+        let RegionKind::Cond { else_r, .. } = &r.kind else {
+            panic!()
+        };
         assert!(matches!(else_r.kind, RegionKind::Empty));
     }
 
@@ -387,9 +451,13 @@ mod tests {
             span: (0, 0),
         };
         let n = outer.normalize();
-        let RegionKind::Seq(children) = &n.kind else { panic!() };
+        let RegionKind::Seq(children) = &n.kind else {
+            panic!()
+        };
         assert_eq!(children.len(), 2);
-        assert!(children.iter().all(|c| matches!(c.kind, RegionKind::Block(_))));
+        assert!(children
+            .iter()
+            .all(|c| matches!(c.kind, RegionKind::Block(_))));
     }
 
     #[test]

@@ -84,7 +84,10 @@ impl Graph {
                     NodeKind::Join => (AbsKind::Plain, Region::empty()),
                     NodeKind::Simple(s) => (AbsKind::Plain, Region::from_stmt(s)),
                     NodeKind::LoopHead { var, iter } => (
-                        AbsKind::LoopHead { var: var.clone(), iter: iter.clone() },
+                        AbsKind::LoopHead {
+                            var: var.clone(),
+                            iter: iter.clone(),
+                        },
                         Region::empty(),
                     ),
                     NodeKind::WhileHead { cond } => {
@@ -103,7 +106,11 @@ impl Graph {
                 }
             })
             .collect();
-        Graph { nodes, entry: cfg.entry, exit: cfg.exit }
+        Graph {
+            nodes,
+            entry: cfg.entry,
+            exit: cfg.exit,
+        }
     }
 
     fn reduce(&mut self) {
@@ -117,7 +124,9 @@ impl Graph {
 
     fn finish(self) -> Result<Region, Unstructured> {
         // Success: entry → (one plain node) → exit, or entry → exit.
-        let live: Vec<usize> = (0..self.nodes.len()).filter(|&i| self.nodes[i].alive).collect();
+        let live: Vec<usize> = (0..self.nodes.len())
+            .filter(|&i| self.nodes[i].alive)
+            .collect();
         let inner: Vec<usize> = live
             .iter()
             .copied()
@@ -165,9 +174,17 @@ impl Graph {
             0 => Region::empty(),
             1 => children.pop().unwrap(),
             _ => {
-                let start = children.iter().map(|c| c.span.0).filter(|&l| l > 0).min().unwrap_or(0);
+                let start = children
+                    .iter()
+                    .map(|c| c.span.0)
+                    .filter(|&l| l > 0)
+                    .min()
+                    .unwrap_or(0);
                 let end = children.iter().map(|c| c.span.1).max().unwrap_or(0);
-                Region { kind: RegionKind::Seq(children), span: (start, end) }
+                Region {
+                    kind: RegionKind::Seq(children),
+                    span: (start, end),
+                }
             }
         }
     }
@@ -208,7 +225,9 @@ impl Graph {
             if !self.nodes[c].alive {
                 continue;
             }
-            let AbsKind::Branch { cond } = self.nodes[c].kind.clone() else { continue };
+            let AbsKind::Branch { cond } = self.nodes[c].kind.clone() else {
+                continue;
+            };
             if self.nodes[c].succs.len() != 2 {
                 continue;
             }
@@ -240,7 +259,9 @@ impl Graph {
             };
 
             // If-then-else: both arms collapse to the same join.
-            if arm_ok(self, t) && arm_ok(self, e) && self.nodes[t].succs[0] == self.nodes[e].succs[0]
+            if arm_ok(self, t)
+                && arm_ok(self, e)
+                && self.nodes[t].succs[0] == self.nodes[e].succs[0]
             {
                 let j = self.nodes[t].succs[0];
                 if j == c {
@@ -341,12 +362,19 @@ impl Graph {
             let region = if is_for {
                 let (var, iter) = var_iter.unwrap();
                 Region {
-                    kind: RegionKind::Loop { var, iter, body: Box::new(body_region) },
+                    kind: RegionKind::Loop {
+                        var,
+                        iter,
+                        body: Box::new(body_region),
+                    },
                     span,
                 }
             } else {
                 Region {
-                    kind: RegionKind::WhileLoop { cond: cond.unwrap(), body: Box::new(body_region) },
+                    kind: RegionKind::WhileLoop {
+                        cond: cond.unwrap(),
+                        body: Box::new(body_region),
+                    },
                     span,
                 }
             };
@@ -403,7 +431,10 @@ mod tests {
                 var: "o".into(),
                 iter: Expr::LoadAll("Order".into()),
                 body: vec![
-                    Stmt::new(StmtKind::Let("v".into(), Expr::field(Expr::var("o"), "o_id"))),
+                    Stmt::new(StmtKind::Let(
+                        "v".into(),
+                        Expr::field(Expr::var("o"), "o_id"),
+                    )),
                     Stmt::new(StmtKind::Add("r".into(), Expr::var("v"))),
                 ],
             }),
@@ -488,7 +519,10 @@ mod tests {
                 handler: vec![Stmt::new(StmtKind::Print(Expr::lit(3i64)))],
             }),
         ]);
-        assert!(analyze(&f).is_err(), "exceptional edges defeat the reduction");
+        assert!(
+            analyze(&f).is_err(),
+            "exceptional edges defeat the reduction"
+        );
     }
 
     #[test]

@@ -5,7 +5,7 @@ use imperative::ast::{Expr, Function, Program, Stmt, StmtKind};
 use minidb::{apply_bin_op, DbError, DbResult, Value};
 use orm::Session;
 use std::collections::HashMap;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 /// Interpreter tuning knobs.
 #[derive(Debug, Clone, Copy)]
@@ -43,7 +43,10 @@ pub struct Outcome {
 impl Outcome {
     /// Snapshot of one variable (Unit if absent).
     pub fn var_snapshot(&self, name: &str) -> Snapshot {
-        self.env.get(name).map(|v| v.snapshot()).unwrap_or(Snapshot::Unit)
+        self.env
+            .get(name)
+            .map(|v| v.snapshot())
+            .unwrap_or(Snapshot::Unit)
     }
 }
 
@@ -64,7 +67,11 @@ pub struct Interp<'a> {
 impl<'a> Interp<'a> {
     /// New interpreter for `program` over `session`.
     pub fn new(session: &'a Session, program: &'a Program) -> Interp<'a> {
-        Interp { session, program, config: InterpConfig::default() }
+        Interp {
+            session,
+            program,
+            config: InterpConfig::default(),
+        }
     }
 
     /// Override configuration.
@@ -90,7 +97,11 @@ impl<'a> Interp<'a> {
             env.insert(p.clone(), v);
         }
 
-        let mut state = State { prints: Vec::new(), stmts: 0, built_caches: Vec::new() };
+        let mut state = State {
+            prints: Vec::new(),
+            stmts: 0,
+            built_caches: Vec::new(),
+        };
         let flow = self.exec_block(&entry.body, &mut env, &mut state)?;
         let ret = match flow {
             Flow::Return(v) => v,
@@ -153,7 +164,7 @@ impl<'a> Interp<'a> {
                 let val = self.eval(e, env, state)?;
                 match env.get(c) {
                     Some(RtVal::Collection(inner)) => {
-                        inner.borrow_mut().push(val);
+                        inner.lock().unwrap().push(val);
                         Ok(Flow::Normal)
                     }
                     _ => Err(DbError::Invalid(format!("{c} is not a collection"))),
@@ -168,7 +179,7 @@ impl<'a> Interp<'a> {
                 let val = self.eval(v, env, state)?;
                 match env.get(m) {
                     Some(RtVal::Map(inner)) => {
-                        inner.borrow_mut().insert(key, val);
+                        inner.lock().unwrap().insert(key, val);
                         Ok(Flow::Normal)
                     }
                     _ => Err(DbError::Invalid(format!("{m} is not a map"))),
@@ -207,7 +218,11 @@ impl<'a> Interp<'a> {
                 }
                 Ok(Flow::Normal)
             }
-            StmtKind::If { cond, then_branch, else_branch } => {
+            StmtKind::If {
+                cond,
+                then_branch,
+                else_branch,
+            } => {
                 let c = self.eval(cond, env, state)?;
                 let truth = c.as_scalar().and_then(|v| v.as_bool()).unwrap_or(false);
                 if truth {
@@ -229,7 +244,11 @@ impl<'a> Interp<'a> {
                 Ok(Flow::Return(v))
             }
             StmtKind::Break => Ok(Flow::Break),
-            StmtKind::CacheByColumn { cache, source, key_col } => {
+            StmtKind::CacheByColumn {
+                cache,
+                source,
+                key_col,
+            } => {
                 // Client-side caches (EhCache/Memcache in the paper) are
                 // built once per run: re-executing the statement (e.g.
                 // inside a loop or a second callee) is a no-op.
@@ -238,7 +257,7 @@ impl<'a> Interp<'a> {
                 }
                 state.built_caches.push(cache.clone());
                 let rows = self.eval_iterable(source, env, state)?;
-                let row_objs: Vec<Rc<RowObj>> = rows
+                let row_objs: Vec<Arc<RowObj>> = rows
                     .into_iter()
                     .filter_map(|v| match v {
                         RtVal::Row(r) => Some(r),
@@ -246,10 +265,16 @@ impl<'a> Interp<'a> {
                     })
                     .collect();
                 let built = ColumnCache::build(&row_objs, key_col);
-                env.insert(cache.clone(), RtVal::Cache(Rc::new(built)));
+                env.insert(cache.clone(), RtVal::Cache(Arc::new(built)));
                 Ok(Flow::Normal)
             }
-            StmtKind::UpdateQuery { table, set_col, value, key_col, key } => {
+            StmtKind::UpdateQuery {
+                table,
+                set_col,
+                value,
+                key_col,
+                key,
+            } => {
                 let v = self
                     .eval(value, env, state)?
                     .as_scalar()
@@ -260,7 +285,9 @@ impl<'a> Interp<'a> {
                     .as_scalar()
                     .cloned()
                     .ok_or_else(|| DbError::Type("update key must be a scalar".into()))?;
-                self.session.remote().update(table, key_col, &k, set_col, v)?;
+                self.session
+                    .remote()
+                    .update(table, key_col, &k, set_col, v)?;
                 Ok(Flow::Normal)
             }
             StmtKind::LetCall(target, fname, args) => {
@@ -312,8 +339,8 @@ impl<'a> Interp<'a> {
     ) -> DbResult<Vec<RtVal>> {
         let v = self.eval(e, env, state)?;
         match v {
-            RtVal::Collection(c) => Ok(c.borrow().clone()),
-            RtVal::Map(m) => Ok(m.borrow().values().cloned().collect()),
+            RtVal::Collection(c) => Ok(c.lock().unwrap().clone()),
+            RtVal::Map(m) => Ok(m.lock().unwrap().values().cloned().collect()),
             // A single-row cache/lookup result iterates as one element
             // (cache lookups return the row itself on a unique match).
             row @ RtVal::Row(_) => Ok(vec![row]),
@@ -324,6 +351,10 @@ impl<'a> Interp<'a> {
         }
     }
 
+    // `state` is threaded through even though expression evaluation does
+    // not currently charge it: statement-level charging owns the clock,
+    // and sub-evaluations must keep the signature for rules that do.
+    #[allow(clippy::only_used_in_recursion)]
     fn eval(
         &self,
         e: &Expr,
@@ -369,14 +400,12 @@ impl<'a> Interp<'a> {
                     return Err(DbError::Type(format!("navigation .{field} on non-row")));
                 };
                 let entity = r.entity.clone().ok_or_else(|| {
-                    DbError::Invalid(format!(
-                        "navigation .{field} requires an entity-mapped row"
-                    ))
+                    DbError::Invalid(format!("navigation .{field} requires an entity-mapped row"))
                 })?;
                 match self.session.navigate(&entity, field, &r.values)? {
                     Some((target, row)) => {
                         let schema = self.session.entity_schema(&target)?;
-                        Ok(RtVal::Row(Rc::new(RowObj {
+                        Ok(RtVal::Row(Arc::new(RowObj {
                             schema,
                             values: row,
                             entity: Some(target),
@@ -402,14 +431,14 @@ impl<'a> Interp<'a> {
                 let items: Vec<RtVal> = rows
                     .into_iter()
                     .map(|values| {
-                        RtVal::Row(Rc::new(RowObj {
+                        RtVal::Row(Arc::new(RowObj {
                             schema: schema.clone(),
                             values,
                             entity: Some(entity.clone()),
                         }))
                     })
                     .collect();
-                Ok(RtVal::Collection(Rc::new(std::cell::RefCell::new(items))))
+                Ok(RtVal::Collection(Arc::new(Mutex::new(items))))
             }
             Expr::Query(spec) => {
                 let mut params = HashMap::new();
@@ -423,7 +452,7 @@ impl<'a> Interp<'a> {
                     );
                 }
                 let result = self.session.remote().query(&spec.plan, &params)?;
-                let schema = Rc::new(result.schema);
+                let schema = Arc::new(result.schema);
                 // Tag rows with their entity when the query is a plain
                 // table fetch, so navigation keeps working on them.
                 let entity = single_table_entity(&spec.plan, self.session);
@@ -431,14 +460,14 @@ impl<'a> Interp<'a> {
                     .rows
                     .into_iter()
                     .map(|row| {
-                        RtVal::Row(Rc::new(RowObj {
+                        RtVal::Row(Arc::new(RowObj {
                             schema: schema.clone(),
-                            values: Rc::new(row),
+                            values: Arc::new(row),
                             entity: entity.clone(),
                         }))
                     })
                     .collect();
-                Ok(RtVal::Collection(Rc::new(std::cell::RefCell::new(items))))
+                Ok(RtVal::Collection(Arc::new(Mutex::new(items))))
             }
             Expr::ScalarQuery(spec) => {
                 let mut params = HashMap::new();
@@ -474,7 +503,7 @@ impl<'a> Interp<'a> {
                         // multiple matches to a collection.
                         match hits.len() {
                             1 => Ok(RtVal::Row(hits[0].clone())),
-                            _ => Ok(RtVal::Collection(Rc::new(std::cell::RefCell::new(
+                            _ => Ok(RtVal::Collection(Arc::new(Mutex::new(
                                 hits.iter().map(|r| RtVal::Row(r.clone())).collect(),
                             )))),
                         }
@@ -491,7 +520,8 @@ impl<'a> Interp<'a> {
                 let mv = self.eval(m, env, state)?;
                 match mv {
                     RtVal::Map(inner) => Ok(inner
-                        .borrow()
+                        .lock()
+                        .unwrap()
                         .get(&key)
                         .cloned()
                         .unwrap_or(RtVal::Scalar(Value::Null))),
@@ -501,8 +531,8 @@ impl<'a> Interp<'a> {
             Expr::Len(c) => {
                 let v = self.eval(c, env, state)?;
                 let n = match v {
-                    RtVal::Collection(inner) => inner.borrow().len(),
-                    RtVal::Map(inner) => inner.borrow().len(),
+                    RtVal::Collection(inner) => inner.lock().unwrap().len(),
+                    RtVal::Map(inner) => inner.lock().unwrap().len(),
                     RtVal::Cache(inner) => inner.len(),
                     _ => return Err(DbError::Type("size() on non-container".into())),
                 };
@@ -546,9 +576,8 @@ mod tests {
     use minidb::{BinOp, Column, DataType, Database, FuncRegistry, Schema};
     use netsim::{Clock, NetworkProfile};
     use orm::{EntityMapping, MappingRegistry, RemoteDb};
-    use std::cell::RefCell;
 
-    fn fixture() -> (Session, Rc<Clock>) {
+    fn fixture() -> (Session, Arc<Clock>) {
         let mut db = Database::new();
         let orders = Schema::new(vec![
             Column::new("o_id", DataType::Int),
@@ -579,23 +608,21 @@ mod tests {
             Ok(Value::Int(a * 10_000 + b))
         });
 
-        let clock = Rc::new(Clock::new());
-        let remote = Rc::new(RemoteDb::new(
-            Rc::new(RefCell::new(db)),
-            Rc::new(funcs),
+        let clock = Arc::new(Clock::new());
+        let remote = Arc::new(RemoteDb::new(
+            minidb::shared(db),
+            Arc::new(funcs),
             NetworkProfile::new("test", 8e9, 1.0),
             clock.clone(),
         ));
         let mut reg = MappingRegistry::new();
-        reg.register(
-            EntityMapping::new("Order", "orders", "o_id").many_to_one(
-                "customer",
-                "Customer",
-                "o_customer_sk",
-            ),
-        );
+        reg.register(EntityMapping::new("Order", "orders", "o_id").many_to_one(
+            "customer",
+            "Customer",
+            "o_customer_sk",
+        ));
         reg.register(EntityMapping::new("Customer", "customer", "c_customer_sk"));
-        (Session::new(remote, Rc::new(reg)), clock)
+        (Session::new(remote, Arc::new(reg)), clock)
     }
 
     /// P0 of Figure 3a.
@@ -714,7 +741,9 @@ mod tests {
     #[test]
     fn p0_produces_expected_results_with_n_plus_one_queries() {
         let (out, _s) = run(&p0());
-        let Snapshot::List(items) = out.var_snapshot("result") else { panic!() };
+        let Snapshot::List(items) = out.var_snapshot("result") else {
+            panic!()
+        };
         assert_eq!(items.len(), 12);
         assert_eq!(items[0], Snapshot::Scalar(Value::Int(1960)));
         assert_eq!(items[5], Snapshot::Scalar(Value::Int(5 * 10_000 + 1961)));
@@ -784,7 +813,9 @@ mod tests {
         ));
         let (out, _s) = run(&program);
         assert_eq!(out.ret.snapshot(), Snapshot::Scalar(Value::Int(660)));
-        let Snapshot::Map(entries) = out.var_snapshot("cSum") else { panic!() };
+        let Snapshot::Map(entries) = out.var_snapshot("cSum") else {
+            panic!()
+        };
         assert_eq!(entries.len(), 12);
         assert_eq!(entries[2].1, Snapshot::Scalar(Value::Int(30)), "0+10+20");
     }
@@ -823,13 +854,11 @@ mod tests {
                 Function::new(
                     "main",
                     vec![],
-                    vec![
-                        Stmt::new(StmtKind::LetCall(
-                            "x".into(),
-                            "double".into(),
-                            vec![Expr::lit(21i64)],
-                        )),
-                    ],
+                    vec![Stmt::new(StmtKind::LetCall(
+                        "x".into(),
+                        "double".into(),
+                        vec![Expr::lit(21i64)],
+                    ))],
                 ),
                 Function::new(
                     "double",
@@ -861,7 +890,7 @@ mod tests {
             })],
         ));
         Interp::new(&session, &program).run(vec![]).unwrap();
-        let db = session.remote().database().borrow();
+        let db = session.remote().database().read().unwrap();
         assert_eq!(db.table("orders").unwrap().rows()[3][2], Value::Int(777));
     }
 

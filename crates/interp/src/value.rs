@@ -1,9 +1,9 @@
 //! Runtime values of the interpreter.
 
 use minidb::{Row, Schema, Value};
-use std::cell::RefCell;
+
 use std::collections::{BTreeMap, HashMap};
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 /// A row object: values plus the schema to resolve field names, plus the
 /// originating entity when the row came from the ORM (needed for
@@ -11,9 +11,9 @@ use std::rc::Rc;
 #[derive(Debug, Clone)]
 pub struct RowObj {
     /// Schema describing `values`.
-    pub schema: Rc<Schema>,
+    pub schema: Arc<Schema>,
     /// The row.
-    pub values: Rc<Row>,
+    pub values: Arc<Row>,
     /// Entity name when ORM-loaded (`None` for raw query results).
     pub entity: Option<String>,
 }
@@ -32,25 +32,31 @@ impl RowObj {
 /// the paper): rows grouped by the value of a key column.
 #[derive(Debug, Clone, Default)]
 pub struct ColumnCache {
-    rows_by_key: HashMap<Value, Vec<Rc<RowObj>>>,
+    rows_by_key: HashMap<Value, Vec<Arc<RowObj>>>,
     len: usize,
 }
 
 impl ColumnCache {
     /// Build a cache of `rows` keyed by column `key_col`.
-    pub fn build(rows: &[Rc<RowObj>], key_col: &str) -> ColumnCache {
-        let mut map: HashMap<Value, Vec<Rc<RowObj>>> = HashMap::new();
+    pub fn build(rows: &[Arc<RowObj>], key_col: &str) -> ColumnCache {
+        let mut map: HashMap<Value, Vec<Arc<RowObj>>> = HashMap::new();
         for r in rows {
             if let Some(k) = r.field(key_col) {
                 map.entry(k).or_default().push(r.clone());
             }
         }
-        ColumnCache { rows_by_key: map, len: rows.len() }
+        ColumnCache {
+            rows_by_key: map,
+            len: rows.len(),
+        }
     }
 
     /// All rows whose key column equals `key` (empty slice when absent).
-    pub fn lookup(&self, key: &Value) -> &[Rc<RowObj>] {
-        self.rows_by_key.get(key).map(|v| v.as_slice()).unwrap_or(&[])
+    pub fn lookup(&self, key: &Value) -> &[Arc<RowObj>] {
+        self.rows_by_key
+            .get(key)
+            .map(|v| v.as_slice())
+            .unwrap_or(&[])
     }
 
     /// Number of cached rows.
@@ -72,13 +78,13 @@ pub enum RtVal {
     /// A scalar.
     Scalar(Value),
     /// A row object.
-    Row(Rc<RowObj>),
+    Row(Arc<RowObj>),
     /// An ordered collection.
-    Collection(Rc<RefCell<Vec<RtVal>>>),
+    Collection(Arc<Mutex<Vec<RtVal>>>),
     /// A map with deterministic (sorted-key) iteration order.
-    Map(Rc<RefCell<BTreeMap<Value, RtVal>>>),
+    Map(Arc<Mutex<BTreeMap<Value, RtVal>>>),
     /// A client-side column cache.
-    Cache(Rc<ColumnCache>),
+    Cache(Arc<ColumnCache>),
 }
 
 impl RtVal {
@@ -89,12 +95,12 @@ impl RtVal {
 
     /// A fresh empty collection.
     pub fn new_collection() -> RtVal {
-        RtVal::Collection(Rc::new(RefCell::new(Vec::new())))
+        RtVal::Collection(Arc::new(Mutex::new(Vec::new())))
     }
 
     /// A fresh empty map.
     pub fn new_map() -> RtVal {
-        RtVal::Map(Rc::new(RefCell::new(BTreeMap::new())))
+        RtVal::Map(Arc::new(Mutex::new(BTreeMap::new())))
     }
 
     /// The scalar inside, if this is a scalar.
@@ -112,10 +118,11 @@ impl RtVal {
             RtVal::Scalar(v) => Snapshot::Scalar(v.clone()),
             RtVal::Row(r) => Snapshot::Row((*r.values).clone()),
             RtVal::Collection(c) => {
-                Snapshot::List(c.borrow().iter().map(|v| v.snapshot()).collect())
+                Snapshot::List(c.lock().unwrap().iter().map(|v| v.snapshot()).collect())
             }
             RtVal::Map(m) => Snapshot::Map(
-                m.borrow()
+                m.lock()
+                    .unwrap()
                     .iter()
                     .map(|(k, v)| (k.clone(), v.snapshot()))
                     .collect(),
@@ -177,12 +184,16 @@ mod tests {
     use super::*;
     use minidb::{Column, DataType};
 
-    fn row(schema: &Rc<Schema>, vals: Vec<Value>) -> Rc<RowObj> {
-        Rc::new(RowObj { schema: schema.clone(), values: Rc::new(vals), entity: None })
+    fn row(schema: &Arc<Schema>, vals: Vec<Value>) -> Arc<RowObj> {
+        Arc::new(RowObj {
+            schema: schema.clone(),
+            values: Arc::new(vals),
+            entity: None,
+        })
     }
 
-    fn schema() -> Rc<Schema> {
-        Rc::new(Schema::new(vec![
+    fn schema() -> Arc<Schema> {
+        Arc::new(Schema::new(vec![
             Column::new("k", DataType::Int),
             Column::new("v", DataType::Str),
         ]))
@@ -214,8 +225,8 @@ mod tests {
     fn snapshots_compare_structurally() {
         let c = RtVal::new_collection();
         if let RtVal::Collection(inner) = &c {
-            inner.borrow_mut().push(RtVal::scalar(2i64));
-            inner.borrow_mut().push(RtVal::scalar(1i64));
+            inner.lock().unwrap().push(RtVal::scalar(2i64));
+            inner.lock().unwrap().push(RtVal::scalar(1i64));
         }
         let snap = c.snapshot();
         assert_eq!(
@@ -238,10 +249,18 @@ mod tests {
     fn map_snapshot_is_key_sorted() {
         let m = RtVal::new_map();
         if let RtVal::Map(inner) = &m {
-            inner.borrow_mut().insert(Value::Int(2), RtVal::scalar("b"));
-            inner.borrow_mut().insert(Value::Int(1), RtVal::scalar("a"));
+            inner
+                .lock()
+                .unwrap()
+                .insert(Value::Int(2), RtVal::scalar("b"));
+            inner
+                .lock()
+                .unwrap()
+                .insert(Value::Int(1), RtVal::scalar("a"));
         }
-        let Snapshot::Map(entries) = m.snapshot() else { panic!() };
+        let Snapshot::Map(entries) = m.snapshot() else {
+            panic!()
+        };
         assert_eq!(entries[0].0, Value::Int(1));
         assert_eq!(entries[1].0, Value::Int(2));
     }
@@ -253,9 +272,9 @@ mod tests {
             row(&s, vec![Value::Int(2), Value::str("b")]),
             row(&s, vec![Value::Int(1), Value::str("a")]),
         ];
-        let c1 = RtVal::Cache(Rc::new(ColumnCache::build(&rows, "k")));
+        let c1 = RtVal::Cache(Arc::new(ColumnCache::build(&rows, "k")));
         let rows_rev: Vec<_> = rows.iter().rev().cloned().collect();
-        let c2 = RtVal::Cache(Rc::new(ColumnCache::build(&rows_rev, "k")));
+        let c2 = RtVal::Cache(Arc::new(ColumnCache::build(&rows_rev, "k")));
         assert_eq!(c1.snapshot(), c2.snapshot());
     }
 }

@@ -114,8 +114,8 @@ impl Table {
     }
 
     fn create_index_at(&mut self, col: usize) {
-        if !self.indexes.contains_key(&col) {
-            self.indexes.insert(col, HashMap::new());
+        if let std::collections::hash_map::Entry::Vacant(e) = self.indexes.entry(col) {
+            e.insert(HashMap::new());
             self.rebuild_index(col);
         }
     }
@@ -192,12 +192,17 @@ impl Database {
     }
 
     /// Create a table; errors if the name is taken.
-    pub fn create_table(&mut self, name: impl Into<String>, schema: Schema) -> DbResult<&mut Table> {
+    pub fn create_table(
+        &mut self,
+        name: impl Into<String>,
+        schema: Schema,
+    ) -> DbResult<&mut Table> {
         let name = name.into();
         if self.tables.contains_key(&name) {
             return Err(DbError::Invalid(format!("table {name} already exists")));
         }
-        self.tables.insert(name.clone(), Table::new(name.clone(), schema));
+        self.tables
+            .insert(name.clone(), Table::new(name.clone(), schema));
         Ok(self.tables.get_mut(&name).unwrap())
     }
 

@@ -64,7 +64,11 @@ const DEFAULT_SELECTIVITY: f64 = 0.5;
 impl<'a> Estimator<'a> {
     /// New estimator with the default server per-row cost.
     pub fn new(db: &'a Database, funcs: &'a FuncRegistry) -> Estimator<'a> {
-        Estimator { db, funcs, row_ns: DEFAULT_SERVER_ROW_NS }
+        Estimator {
+            db,
+            funcs,
+            row_ns: DEFAULT_SERVER_ROW_NS,
+        }
     }
 
     /// Override the per-row server cost (must match the executor's to make
@@ -131,9 +135,7 @@ impl<'a> Estimator<'a> {
                 let rows = (l.rows * r.rows * sel).max(0.0);
                 // Index-nested-loops fast path (mirrors the executor): an
                 // indexed base-table side probed by a much smaller driver.
-                for (outer, outer_plan, inner_plan) in
-                    [(&l, left, right), (&r, right, left)]
-                {
+                for (outer, outer_plan, inner_plan) in [(&l, left, right), (&r, right, left)] {
                     if self.inl_eligible(outer_plan, inner_plan, pred)
                         && outer.rows * 2.0 < self.estimate(inner_plan)?.rows
                     {
@@ -156,7 +158,9 @@ impl<'a> Estimator<'a> {
                     total_work: total,
                 })
             }
-            LogicalPlan::Aggregate { input, group_by, .. } => {
+            LogicalPlan::Aggregate {
+                input, group_by, ..
+            } => {
                 let child = self.estimate(input)?;
                 let schema = plan.output_schema(self.db, self.funcs)?;
                 let in_schema = input.output_schema(self.db, self.funcs)?;
@@ -231,12 +235,7 @@ impl<'a> Estimator<'a> {
         }
     }
 
-    fn join_selectivity(
-        &self,
-        l_schema: &Schema,
-        r_schema: &Schema,
-        pred: &ScalarExpr,
-    ) -> f64 {
+    fn join_selectivity(&self, l_schema: &Schema, r_schema: &Schema, pred: &ScalarExpr) -> f64 {
         for c in pred.conjuncts() {
             if let ScalarExpr::Bin(BinOp::Eq, a, b) = c {
                 if let (Some(ca), Some(cb)) = (as_column(a), as_column(b)) {
@@ -275,17 +274,23 @@ impl<'a> Estimator<'a> {
         inner_plan: &LogicalPlan,
         pred: &ScalarExpr,
     ) -> bool {
-        let LogicalPlan::Scan { table, alias } = inner_plan else { return false };
-        let Ok(t) = self.db.table(table) else { return false };
-        let inner_schema = t
-            .schema()
-            .with_qualifier(alias.as_deref().unwrap_or(table));
+        let LogicalPlan::Scan { table, alias } = inner_plan else {
+            return false;
+        };
+        let Ok(t) = self.db.table(table) else {
+            return false;
+        };
+        let inner_schema = t.schema().with_qualifier(alias.as_deref().unwrap_or(table));
         let Ok(outer_schema) = outer_plan.output_schema(self.db, self.funcs) else {
             return false;
         };
         for c in pred.conjuncts() {
-            let ScalarExpr::Bin(BinOp::Eq, a, b) = c else { continue };
-            let (ScalarExpr::Col(ca), ScalarExpr::Col(cb)) = (&**a, &**b) else { continue };
+            let ScalarExpr::Bin(BinOp::Eq, a, b) = c else {
+                continue;
+            };
+            let (ScalarExpr::Col(ca), ScalarExpr::Col(cb)) = (&**a, &**b) else {
+                continue;
+            };
             for (x, y) in [(ca, cb), (cb, ca)] {
                 if outer_schema.resolve(&x.to_ref_string()).is_ok() {
                     if let Ok(i) = inner_schema.resolve(&y.to_ref_string()) {
@@ -300,14 +305,13 @@ impl<'a> Estimator<'a> {
     }
 
     /// Mirrors the executor's index fast-path detection.
-    fn indexed_eq_lookup(
-        &self,
-        input: &LogicalPlan,
-        pred: &ScalarExpr,
-        schema: &Schema,
-    ) -> bool {
-        let LogicalPlan::Scan { table, .. } = input else { return false };
-        let Ok(t) = self.db.table(table) else { return false };
+    fn indexed_eq_lookup(&self, input: &LogicalPlan, pred: &ScalarExpr, schema: &Schema) -> bool {
+        let LogicalPlan::Scan { table, .. } = input else {
+            return false;
+        };
+        let Ok(t) = self.db.table(table) else {
+            return false;
+        };
         for c in pred.conjuncts() {
             if let ScalarExpr::Bin(BinOp::Eq, l, r) = c {
                 let col = match (&**l, &**r) {
@@ -366,7 +370,8 @@ mod tests {
         let t = db.create_table("customer", customer).unwrap();
         t.set_primary_key("c_customer_sk").unwrap();
         for i in 0..100i64 {
-            t.insert(vec![Value::Int(i), Value::Int(1950 + (i % 40))]).unwrap();
+            t.insert(vec![Value::Int(i), Value::Int(1950 + (i % 40))])
+                .unwrap();
         }
         db.analyze_all();
         db
@@ -390,7 +395,11 @@ mod tests {
     fn eq_selectivity_uses_ndv() {
         let db = test_db();
         let e = estimate(&db, "select * from orders where o_customer_sk = 7");
-        assert!((e.rows - 10.0).abs() < 1e-9, "1000/100 = 10, got {}", e.rows);
+        assert!(
+            (e.rows - 10.0).abs() < 1e-9,
+            "1000/100 = 10, got {}",
+            e.rows
+        );
     }
 
     #[test]
@@ -416,7 +425,10 @@ mod tests {
     #[test]
     fn aggregate_estimate_counts_groups() {
         let db = test_db();
-        let e = estimate(&db, "select o_status, count(*) from orders group by o_status");
+        let e = estimate(
+            &db,
+            "select o_status, count(*) from orders group by o_status",
+        );
         assert!((e.rows - 2.0).abs() < 1e-9);
         assert_eq!(e.startup_work, e.total_work, "aggregation blocks");
         let scalar = estimate(&db, "select count(*) from orders");
@@ -450,9 +462,13 @@ mod tests {
         let db = test_db();
         let funcs = FuncRegistry::with_builtins();
         let est = Estimator::new(&db, &funcs);
-        let schema = LogicalPlan::scan("orders").output_schema(&db, &funcs).unwrap();
+        let schema = LogicalPlan::scan("orders")
+            .output_schema(&db, &funcs)
+            .unwrap();
         let p_eq = parse("select * from orders where o_customer_sk = 1").unwrap();
-        let LogicalPlan::Select { pred, .. } = p_eq else { panic!() };
+        let LogicalPlan::Select { pred, .. } = p_eq else {
+            panic!()
+        };
         let p = est.selectivity(&schema, &pred);
         assert!((p - 0.01).abs() < 1e-9);
         let not_p = est.selectivity(&schema, &ScalarExpr::Not(Box::new(pred)));
@@ -487,7 +503,10 @@ mod tests {
         let db = test_db();
         let funcs = FuncRegistry::with_builtins();
         let plan = parse("select * from orders").unwrap();
-        let e = Estimator::new(&db, &funcs).with_row_ns(100.0).estimate(&plan).unwrap();
+        let e = Estimator::new(&db, &funcs)
+            .with_row_ns(100.0)
+            .estimate(&plan)
+            .unwrap();
         assert_eq!(e.last_row_ns(100.0), 1000.0 * 100.0);
         assert_eq!(e.first_row_ns(100.0), 0.0);
     }

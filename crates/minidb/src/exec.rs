@@ -81,7 +81,11 @@ pub const DEFAULT_SERVER_ROW_NS: f64 = 200.0;
 impl<'a> Executor<'a> {
     /// New executor with the default per-row server cost.
     pub fn new(db: &'a Database, funcs: &'a FuncRegistry) -> Executor<'a> {
-        Executor { db, funcs, row_ns: DEFAULT_SERVER_ROW_NS }
+        Executor {
+            db,
+            funcs,
+            row_ns: DEFAULT_SERVER_ROW_NS,
+        }
     }
 
     /// Override the per-row server cost (nanoseconds per row-touch).
@@ -126,7 +130,10 @@ impl<'a> Executor<'a> {
                 let q = alias.clone().unwrap_or_else(|| table.clone());
                 let schema = t.schema().with_qualifier(&q);
                 let rows: Vec<Row> = t.rows().to_vec();
-                let work = ExecWork { startup_rows: 0, total_rows: rows.len() as u64 };
+                let work = ExecWork {
+                    startup_rows: 0,
+                    total_rows: rows.len() as u64,
+                };
                 Ok((schema, rows, work))
             }
             LogicalPlan::Select { input, pred } => self.run_select(input, pred, params),
@@ -145,9 +152,11 @@ impl<'a> Executor<'a> {
                 Ok((out_schema, out, work))
             }
             LogicalPlan::Join { left, right, pred } => self.run_join(left, right, pred, params),
-            LogicalPlan::Aggregate { input, group_by, aggs } => {
-                self.run_aggregate(plan, input, group_by, aggs, params)
-            }
+            LogicalPlan::Aggregate {
+                input,
+                group_by,
+                aggs,
+            } => self.run_aggregate(plan, input, group_by, aggs, params),
             LogicalPlan::OrderBy { input, keys } => {
                 let (schema, mut rows, mut work) = self.run(input, params)?;
                 let mut key_idx = Vec::with_capacity(keys.len());
@@ -205,12 +214,13 @@ impl<'a> Executor<'a> {
                         }
                         _ => continue,
                     };
-                    let Ok(idx) = schema.resolve(&col.to_ref_string()) else { continue };
+                    let Ok(idx) = schema.resolve(&col.to_ref_string()) else {
+                        continue;
+                    };
                     if !t.has_index(idx) {
                         continue;
                     }
-                    let key =
-                        key_expr.eval(&Schema::default(), &Vec::new(), params, self.funcs)?;
+                    let key = key_expr.eval(&Schema::default(), &Vec::new(), params, self.funcs)?;
                     let positions = t.index_lookup(idx, &key).unwrap_or(&[]);
                     let mut rows = Vec::with_capacity(positions.len());
                     let rest: Vec<&ScalarExpr> = conjuncts
@@ -262,20 +272,21 @@ impl<'a> Executor<'a> {
         pred: &ScalarExpr,
         params: &HashMap<String, Value>,
     ) -> DbResult<Option<(Schema, Vec<Row>, ExecWork)>> {
-        for (outer_plan, inner_plan, inner_is_right) in
-            [(left, right, true), (right, left, false)]
+        for (outer_plan, inner_plan, inner_is_right) in [(left, right, true), (right, left, false)]
         {
-            let LogicalPlan::Scan { table, alias } = inner_plan else { continue };
+            let LogicalPlan::Scan { table, alias } = inner_plan else {
+                continue;
+            };
             let t = self.db.table(table)?;
-            let inner_schema = t
-                .schema()
-                .with_qualifier(alias.as_deref().unwrap_or(table));
+            let inner_schema = t.schema().with_qualifier(alias.as_deref().unwrap_or(table));
             let outer_schema = outer_plan.output_schema(self.db, self.funcs)?;
             // Find an equi conjunct split across the two sides.
             let conjuncts = pred.conjuncts();
             let mut probe: Option<(usize, usize)> = None;
             for c in &conjuncts {
-                let ScalarExpr::Bin(BinOp::Eq, a, b) = c else { continue };
+                let ScalarExpr::Bin(BinOp::Eq, a, b) = c else {
+                    continue;
+                };
                 let (ScalarExpr::Col(ca), ScalarExpr::Col(cb)) = (&**a, &**b) else {
                     continue;
                 };
@@ -290,7 +301,9 @@ impl<'a> Executor<'a> {
                     }
                 }
             }
-            let Some((o_col, i_col)) = probe else { continue };
+            let Some((o_col, i_col)) = probe else {
+                continue;
+            };
 
             // Heuristic: only when the driving side is clearly smaller.
             let (o_schema, o_rows, o_work) = self.run(outer_plan, params)?;
@@ -393,7 +406,8 @@ impl<'a> Executor<'a> {
                             probe.iter().chain(build.iter()).cloned().collect()
                         };
                         // Evaluate any residual conjuncts.
-                        let ok = self.residual_ok(&out_schema, &joined, &conjuncts, (li, ri), params)?;
+                        let ok =
+                            self.residual_ok(&out_schema, &joined, &conjuncts, (li, ri), params)?;
                         if ok {
                             work.total_rows += 1;
                             out.push(joined);
@@ -476,7 +490,10 @@ impl<'a> Executor<'a> {
         // Scalar aggregate over empty input still emits one row.
         if group_by.is_empty() && order.is_empty() {
             order.push(Vec::new());
-            groups.insert(Vec::new(), aggs.iter().map(|a| AggState::new(a.func)).collect());
+            groups.insert(
+                Vec::new(),
+                aggs.iter().map(|a| AggState::new(a.func)).collect(),
+            );
         }
 
         let mut out = Vec::with_capacity(order.len());
@@ -820,10 +837,9 @@ mod tests {
             t.insert(vec![Value::Int(i), Value::Int(1960 + i)]).unwrap();
         }
         let funcs = FuncRegistry::with_builtins();
-        let plan = parse(
-            "select * from orders o join customer c on o.o_customer_sk = c.c_customer_sk",
-        )
-        .unwrap();
+        let plan =
+            parse("select * from orders o join customer c on o.o_customer_sk = c.c_customer_sk")
+                .unwrap();
         let r = Executor::new(&db, &funcs)
             .execute(&plan, &HashMap::new())
             .unwrap();

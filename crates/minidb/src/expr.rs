@@ -21,8 +21,14 @@ impl ColRef {
     /// Parse `"q.name"` or `"name"` into a reference.
     pub fn parse(s: &str) -> ColRef {
         match s.split_once('.') {
-            Some((q, n)) => ColRef { qualifier: Some(q.to_string()), name: n.to_string() },
-            None => ColRef { qualifier: None, name: s.to_string() },
+            Some((q, n)) => ColRef {
+                qualifier: Some(q.to_string()),
+                name: n.to_string(),
+            },
+            None => ColRef {
+                qualifier: None,
+                name: s.to_string(),
+            },
         }
     }
 
@@ -61,7 +67,10 @@ pub enum BinOp {
 impl BinOp {
     /// True for comparison operators producing booleans.
     pub fn is_comparison(self) -> bool {
-        matches!(self, BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge)
+        matches!(
+            self,
+            BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge
+        )
     }
 
     /// SQL spelling of the operator.
@@ -384,8 +393,13 @@ mod tests {
     }
 
     fn eval(e: &ScalarExpr, row: &Row) -> Value {
-        e.eval(&schema(), row, &HashMap::new(), &FuncRegistry::with_builtins())
-            .unwrap()
+        e.eval(
+            &schema(),
+            row,
+            &HashMap::new(),
+            &FuncRegistry::with_builtins(),
+        )
+        .unwrap()
     }
 
     #[test]
@@ -439,7 +453,12 @@ mod tests {
             .unwrap();
         assert_eq!(v, Value::Bool(true));
         let err = e
-            .eval(&schema(), &row, &HashMap::new(), &FuncRegistry::with_builtins())
+            .eval(
+                &schema(),
+                &row,
+                &HashMap::new(),
+                &FuncRegistry::with_builtins(),
+            )
             .unwrap_err();
         assert!(matches!(err, DbError::UnboundParam(_)));
     }

@@ -11,10 +11,11 @@ use crate::schema::DataType;
 use crate::value::Value;
 use std::collections::HashMap;
 use std::fmt;
-use std::rc::Rc;
+use std::sync::Arc;
 
-/// A pure scalar function: values in, value out.
-pub type ScalarFn = Rc<dyn Fn(&[Value]) -> DbResult<Value>>;
+/// A pure scalar function: values in, value out. `Send + Sync` so a
+/// registry can be shared across optimizer/interpreter threads.
+pub type ScalarFn = Arc<dyn Fn(&[Value]) -> DbResult<Value> + Send + Sync>;
 
 /// A registered function: implementation + declared return type.
 #[derive(Clone)]
@@ -33,7 +34,9 @@ impl fmt::Debug for FuncRegistry {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let mut names: Vec<&str> = self.funcs.keys().map(|s| s.as_str()).collect();
         names.sort_unstable();
-        f.debug_struct("FuncRegistry").field("funcs", &names).finish()
+        f.debug_struct("FuncRegistry")
+            .field("funcs", &names)
+            .finish()
     }
 }
 
@@ -97,10 +100,15 @@ impl FuncRegistry {
         &mut self,
         name: impl Into<String>,
         return_type: DataType,
-        f: impl Fn(&[Value]) -> DbResult<Value> + 'static,
+        f: impl Fn(&[Value]) -> DbResult<Value> + Send + Sync + 'static,
     ) {
-        self.funcs
-            .insert(name.into(), FuncDef { body: Rc::new(f), return_type });
+        self.funcs.insert(
+            name.into(),
+            FuncDef {
+                body: Arc::new(f),
+                return_type,
+            },
+        );
     }
 
     /// Call a function by name.
@@ -145,7 +153,10 @@ mod tests {
             r.call("upper", &[Value::str("ab")]).unwrap(),
             Value::str("AB")
         );
-        assert_eq!(r.call("length", &[Value::str("abc")]).unwrap(), Value::Int(3));
+        assert_eq!(
+            r.call("length", &[Value::str("abc")]).unwrap(),
+            Value::Int(3)
+        );
         assert_eq!(
             r.call("mod", &[Value::Int(7), Value::Int(3)]).unwrap(),
             Value::Int(1)

@@ -33,6 +33,15 @@ pub mod stats;
 pub mod value;
 
 pub use catalog::{Database, Table};
+
+/// Shared, thread-safe handle to a database. Optimization only reads
+/// (`.read()`); the simulated server takes the write lock for updates.
+pub type SharedDb = std::sync::Arc<std::sync::RwLock<Database>>;
+
+/// Wrap a database in a [`SharedDb`] handle.
+pub fn shared(db: Database) -> SharedDb {
+    std::sync::Arc::new(std::sync::RwLock::new(db))
+}
 pub use error::{DbError, DbResult};
 pub use estimate::{Estimate, Estimator};
 pub use exec::{ExecWork, Executor, QueryResult};

@@ -34,17 +34,37 @@ pub enum SortDir {
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub enum LogicalPlan {
     /// Scan a base table, optionally under an alias.
-    Scan { table: String, alias: Option<String> },
+    Scan {
+        table: String,
+        alias: Option<String>,
+    },
     /// Filter rows by a predicate.
-    Select { input: Box<LogicalPlan>, pred: ScalarExpr },
+    Select {
+        input: Box<LogicalPlan>,
+        pred: ScalarExpr,
+    },
     /// Project (and compute) columns.
-    Project { input: Box<LogicalPlan>, items: Vec<(ScalarExpr, String)> },
+    Project {
+        input: Box<LogicalPlan>,
+        items: Vec<(ScalarExpr, String)>,
+    },
     /// Inner join on an arbitrary predicate (equi-joins detected at exec).
-    Join { left: Box<LogicalPlan>, right: Box<LogicalPlan>, pred: ScalarExpr },
+    Join {
+        left: Box<LogicalPlan>,
+        right: Box<LogicalPlan>,
+        pred: ScalarExpr,
+    },
     /// Grouped or scalar aggregation.
-    Aggregate { input: Box<LogicalPlan>, group_by: Vec<ColRef>, aggs: Vec<AggItem> },
+    Aggregate {
+        input: Box<LogicalPlan>,
+        group_by: Vec<ColRef>,
+        aggs: Vec<AggItem>,
+    },
     /// Sort by keys.
-    OrderBy { input: Box<LogicalPlan>, keys: Vec<(ColRef, SortDir)> },
+    OrderBy {
+        input: Box<LogicalPlan>,
+        keys: Vec<(ColRef, SortDir)>,
+    },
     /// First `n` rows.
     Limit { input: Box<LogicalPlan>, n: u64 },
 }
@@ -52,42 +72,68 @@ pub enum LogicalPlan {
 impl LogicalPlan {
     /// Scan shorthand.
     pub fn scan(table: impl Into<String>) -> LogicalPlan {
-        LogicalPlan::Scan { table: table.into(), alias: None }
+        LogicalPlan::Scan {
+            table: table.into(),
+            alias: None,
+        }
     }
 
     /// Aliased scan shorthand.
     pub fn scan_as(table: impl Into<String>, alias: impl Into<String>) -> LogicalPlan {
-        LogicalPlan::Scan { table: table.into(), alias: Some(alias.into()) }
+        LogicalPlan::Scan {
+            table: table.into(),
+            alias: Some(alias.into()),
+        }
     }
 
     /// Wrap in a filter.
     pub fn select(self, pred: ScalarExpr) -> LogicalPlan {
-        LogicalPlan::Select { input: Box::new(self), pred }
+        LogicalPlan::Select {
+            input: Box::new(self),
+            pred,
+        }
     }
 
     /// Wrap in a projection.
     pub fn project(self, items: Vec<(ScalarExpr, String)>) -> LogicalPlan {
-        LogicalPlan::Project { input: Box::new(self), items }
+        LogicalPlan::Project {
+            input: Box::new(self),
+            items,
+        }
     }
 
     /// Join with `right` on `pred`.
     pub fn join(self, right: LogicalPlan, pred: ScalarExpr) -> LogicalPlan {
-        LogicalPlan::Join { left: Box::new(self), right: Box::new(right), pred }
+        LogicalPlan::Join {
+            left: Box::new(self),
+            right: Box::new(right),
+            pred,
+        }
     }
 
     /// Wrap in an aggregation.
     pub fn aggregate(self, group_by: Vec<ColRef>, aggs: Vec<AggItem>) -> LogicalPlan {
-        LogicalPlan::Aggregate { input: Box::new(self), group_by, aggs }
+        LogicalPlan::Aggregate {
+            input: Box::new(self),
+            group_by,
+            aggs,
+        }
     }
 
     /// Wrap in a sort.
     pub fn order_by(self, keys: Vec<(ColRef, SortDir)>) -> LogicalPlan {
-        LogicalPlan::OrderBy { input: Box::new(self), keys }
+        LogicalPlan::OrderBy {
+            input: Box::new(self),
+            keys,
+        }
     }
 
     /// Wrap in a limit.
     pub fn limit(self, n: u64) -> LogicalPlan {
-        LogicalPlan::Limit { input: Box::new(self), n }
+        LogicalPlan::Limit {
+            input: Box::new(self),
+            n,
+        }
     }
 
     /// The base tables referenced by the plan, in occurrence order.
@@ -185,7 +231,11 @@ impl LogicalPlan {
                 let r = right.output_schema(db, funcs)?;
                 Ok(l.join(&r))
             }
-            LogicalPlan::Aggregate { input, group_by, aggs } => {
+            LogicalPlan::Aggregate {
+                input,
+                group_by,
+                aggs,
+            } => {
                 let in_schema = input.output_schema(db, funcs)?;
                 let mut cols = Vec::new();
                 for g in group_by {
@@ -207,7 +257,11 @@ impl LogicalPlan {
                             }
                         },
                     };
-                    cols.push(Column::with_width(a.name.clone(), dtype, dtype.default_width()));
+                    cols.push(Column::with_width(
+                        a.name.clone(),
+                        dtype,
+                        dtype.default_width(),
+                    ));
                 }
                 Ok(Schema::new(cols))
             }
@@ -325,7 +379,10 @@ mod tests {
             .order_by(vec![(ColRef::parse("o_id"), SortDir::Asc)])
             .is_whole_table_fetch());
         assert!(!LogicalPlan::scan("orders")
-            .select(ScalarExpr::eq(ScalarExpr::col("o_id"), ScalarExpr::lit(1i64)))
+            .select(ScalarExpr::eq(
+                ScalarExpr::col("o_id"),
+                ScalarExpr::lit(1i64)
+            ))
             .is_whole_table_fetch());
     }
 
@@ -333,7 +390,9 @@ mod tests {
     fn unknown_table_in_schema_derivation_errors() {
         let db = db();
         let funcs = FuncRegistry::with_builtins();
-        assert!(LogicalPlan::scan("nope").output_schema(&db, &funcs).is_err());
+        assert!(LogicalPlan::scan("nope")
+            .output_schema(&db, &funcs)
+            .is_err());
     }
 
     #[test]

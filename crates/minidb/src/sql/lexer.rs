@@ -53,37 +53,61 @@ pub fn tokenize(input: &str) -> DbResult<Vec<Token>> {
                     '*' => "*",
                     _ => "/",
                 };
-                tokens.push(Token { kind: TokenKind::Symbol(sym), offset: start });
+                tokens.push(Token {
+                    kind: TokenKind::Symbol(sym),
+                    offset: start,
+                });
                 i += 1;
             }
             '=' => {
-                tokens.push(Token { kind: TokenKind::Symbol("="), offset: start });
+                tokens.push(Token {
+                    kind: TokenKind::Symbol("="),
+                    offset: start,
+                });
                 i += 1;
             }
             '<' => {
                 if bytes.get(i + 1) == Some(&b'=') {
-                    tokens.push(Token { kind: TokenKind::Symbol("<="), offset: start });
+                    tokens.push(Token {
+                        kind: TokenKind::Symbol("<="),
+                        offset: start,
+                    });
                     i += 2;
                 } else if bytes.get(i + 1) == Some(&b'>') {
-                    tokens.push(Token { kind: TokenKind::Symbol("<>"), offset: start });
+                    tokens.push(Token {
+                        kind: TokenKind::Symbol("<>"),
+                        offset: start,
+                    });
                     i += 2;
                 } else {
-                    tokens.push(Token { kind: TokenKind::Symbol("<"), offset: start });
+                    tokens.push(Token {
+                        kind: TokenKind::Symbol("<"),
+                        offset: start,
+                    });
                     i += 1;
                 }
             }
             '>' => {
                 if bytes.get(i + 1) == Some(&b'=') {
-                    tokens.push(Token { kind: TokenKind::Symbol(">="), offset: start });
+                    tokens.push(Token {
+                        kind: TokenKind::Symbol(">="),
+                        offset: start,
+                    });
                     i += 2;
                 } else {
-                    tokens.push(Token { kind: TokenKind::Symbol(">"), offset: start });
+                    tokens.push(Token {
+                        kind: TokenKind::Symbol(">"),
+                        offset: start,
+                    });
                     i += 1;
                 }
             }
             '!' => {
                 if bytes.get(i + 1) == Some(&b'=') {
-                    tokens.push(Token { kind: TokenKind::Symbol("<>"), offset: start });
+                    tokens.push(Token {
+                        kind: TokenKind::Symbol("<>"),
+                        offset: start,
+                    });
                     i += 2;
                 } else {
                     return Err(DbError::Parse(format!("unexpected '!' at offset {start}")));
@@ -131,7 +155,10 @@ pub fn tokenize(input: &str) -> DbResult<Vec<Token>> {
                         i += ch.len_utf8();
                     }
                 }
-                tokens.push(Token { kind: TokenKind::Str(s), offset: start });
+                tokens.push(Token {
+                    kind: TokenKind::Str(s),
+                    offset: start,
+                });
             }
             _ if c.is_ascii_digit() => {
                 while i < bytes.len() && (bytes[i] as char).is_ascii_digit() {
@@ -151,15 +178,21 @@ pub fn tokenize(input: &str) -> DbResult<Vec<Token>> {
                 }
                 let text = &input[start..i];
                 let kind = if is_float {
-                    TokenKind::Float(text.parse().map_err(|e| {
-                        DbError::Parse(format!("bad float literal {text}: {e}"))
-                    })?)
+                    TokenKind::Float(
+                        text.parse().map_err(|e| {
+                            DbError::Parse(format!("bad float literal {text}: {e}"))
+                        })?,
+                    )
                 } else {
-                    TokenKind::Int(text.parse().map_err(|e| {
-                        DbError::Parse(format!("bad int literal {text}: {e}"))
-                    })?)
+                    TokenKind::Int(
+                        text.parse()
+                            .map_err(|e| DbError::Parse(format!("bad int literal {text}: {e}")))?,
+                    )
                 };
-                tokens.push(Token { kind, offset: start });
+                tokens.push(Token {
+                    kind,
+                    offset: start,
+                });
             }
             _ if c.is_ascii_alphabetic() || c == '_' => {
                 while i < bytes.len()
@@ -179,7 +212,10 @@ pub fn tokenize(input: &str) -> DbResult<Vec<Token>> {
             }
         }
     }
-    tokens.push(Token { kind: TokenKind::Eof, offset: input.len() });
+    tokens.push(Token {
+        kind: TokenKind::Eof,
+        offset: input.len(),
+    });
     Ok(tokens)
 }
 
@@ -211,7 +247,10 @@ mod tests {
         let k = kinds("a <= 1 and b <> 2 or c != 3");
         assert!(k.contains(&TokenKind::Symbol("<=")));
         // both <> and != normalize to <>
-        assert_eq!(k.iter().filter(|t| **t == TokenKind::Symbol("<>")).count(), 2);
+        assert_eq!(
+            k.iter().filter(|t| **t == TokenKind::Symbol("<>")).count(),
+            2
+        );
     }
 
     #[test]

@@ -18,8 +18,15 @@ pub fn parse(sql: &str) -> DbResult<LogicalPlan> {
 /// One item of the select list, before aggregate/projection classification.
 enum SelectItem {
     Star,
-    Expr { expr: ScalarExpr, alias: Option<String> },
-    Agg { func: AggFunc, arg: Option<ScalarExpr>, alias: Option<String> },
+    Expr {
+        expr: ScalarExpr,
+        alias: Option<String>,
+    },
+    Agg {
+        func: AggFunc,
+        arg: Option<ScalarExpr>,
+        alias: Option<String>,
+    },
 }
 
 struct Parser {
@@ -105,10 +112,15 @@ impl Parser {
 
     /// Keywords that terminate an expression / item context.
     fn at_clause_boundary(&self) -> bool {
-        matches!(self.peek(), TokenKind::Eof | TokenKind::Symbol(")") | TokenKind::Symbol(","))
-            || ["from", "where", "group", "order", "limit", "join", "on", "as", "asc", "desc", "and", "or"]
-                .iter()
-                .any(|kw| self.peek_kw(kw))
+        matches!(
+            self.peek(),
+            TokenKind::Eof | TokenKind::Symbol(")") | TokenKind::Symbol(",")
+        ) || [
+            "from", "where", "group", "order", "limit", "join", "on", "as", "asc", "desc", "and",
+            "or",
+        ]
+        .iter()
+        .any(|kw| self.peek_kw(kw))
     }
 
     // ---- grammar ----
@@ -208,7 +220,10 @@ impl Parser {
             };
             if let Some(func) = agg {
                 // Only treat as aggregate if followed by '('.
-                if matches!(self.tokens.get(self.pos + 1).map(|t| &t.kind), Some(TokenKind::Symbol("("))) {
+                if matches!(
+                    self.tokens.get(self.pos + 1).map(|t| &t.kind),
+                    Some(TokenKind::Symbol("("))
+                ) {
                     self.bump(); // name
                     self.bump(); // (
                     let arg = if self.eat_symbol("*") {
@@ -243,13 +258,9 @@ impl Parser {
 
     fn table_ref(&mut self) -> DbResult<LogicalPlan> {
         let table = self.ident()?;
-        let alias = if self.eat_kw("as") {
-            Some(self.ident()?)
-        } else if matches!(self.peek(), TokenKind::Ident(_)) && !self.at_clause_boundary() {
-            Some(self.ident()?)
-        } else {
-            None
-        };
+        let aliased = self.eat_kw("as")
+            || (matches!(self.peek(), TokenKind::Ident(_)) && !self.at_clause_boundary());
+        let alias = if aliased { Some(self.ident()?) } else { None };
         Ok(LogicalPlan::Scan { table, alias })
     }
 
@@ -257,9 +268,15 @@ impl Parser {
         let first = self.ident()?;
         if self.eat_symbol(".") {
             let second = self.ident()?;
-            Ok(ColRef { qualifier: Some(first), name: second })
+            Ok(ColRef {
+                qualifier: Some(first),
+                name: second,
+            })
         } else {
-            Ok(ColRef { qualifier: None, name: first })
+            Ok(ColRef {
+                qualifier: None,
+                name: first,
+            })
         }
     }
 
@@ -279,9 +296,14 @@ impl Parser {
                     SelectItem::Agg { func, arg, alias } => aggs.push(AggItem {
                         func: *func,
                         arg: arg.clone(),
-                        name: alias.clone().unwrap_or_else(|| default_agg_name(*func, arg)),
+                        name: alias
+                            .clone()
+                            .unwrap_or_else(|| default_agg_name(*func, arg)),
                     }),
-                    SelectItem::Expr { expr: ScalarExpr::Col(_), .. } => {}
+                    SelectItem::Expr {
+                        expr: ScalarExpr::Col(_),
+                        ..
+                    } => {}
                     SelectItem::Star => {
                         return Err(DbError::Parse("cannot mix * with GROUP BY".into()))
                     }
@@ -302,7 +324,9 @@ impl Parser {
                     SelectItem::Agg { func, arg, alias } => aggs.push(AggItem {
                         func: *func,
                         arg: arg.clone(),
-                        name: alias.clone().unwrap_or_else(|| default_agg_name(*func, arg)),
+                        name: alias
+                            .clone()
+                            .unwrap_or_else(|| default_agg_name(*func, arg)),
                     }),
                     _ => {
                         return Err(DbError::Parse(
@@ -321,7 +345,9 @@ impl Parser {
         for item in items {
             match item {
                 SelectItem::Star => {
-                    return Err(DbError::Parse("'*' cannot be mixed with other items".into()))
+                    return Err(DbError::Parse(
+                        "'*' cannot be mixed with other items".into(),
+                    ))
                 }
                 SelectItem::Expr { expr, alias } => {
                     let name = alias.unwrap_or_else(|| default_expr_name(&expr));
@@ -463,9 +489,15 @@ impl Parser {
                 // Qualified column?
                 if self.eat_symbol(".") {
                     let col = self.ident()?;
-                    return Ok(ScalarExpr::Col(ColRef { qualifier: Some(name), name: col }));
+                    return Ok(ScalarExpr::Col(ColRef {
+                        qualifier: Some(name),
+                        name: col,
+                    }));
                 }
-                Ok(ScalarExpr::Col(ColRef { qualifier: None, name }))
+                Ok(ScalarExpr::Col(ColRef {
+                    qualifier: None,
+                    name,
+                }))
             }
             other => Err(self.err(format!("unexpected token {other:?} in expression"))),
         }
@@ -501,10 +533,9 @@ mod tests {
 
     #[test]
     fn parses_alias_and_join() {
-        let p = parse(
-            "select * from orders o join customer c on o.o_customer_sk = c.c_customer_sk",
-        )
-        .unwrap();
+        let p =
+            parse("select * from orders o join customer c on o.o_customer_sk = c.c_customer_sk")
+                .unwrap();
         match p {
             LogicalPlan::Join { left, right, pred } => {
                 assert_eq!(*left, LogicalPlan::scan_as("orders", "o"));
@@ -523,11 +554,22 @@ mod tests {
         )
         .unwrap();
         // Shape: Limit(OrderBy(Aggregate(Select(Scan))))
-        let LogicalPlan::Limit { input, n } = p else { panic!("limit") };
+        let LogicalPlan::Limit { input, n } = p else {
+            panic!("limit")
+        };
         assert_eq!(n, 3);
-        let LogicalPlan::OrderBy { input, keys } = *input else { panic!("order") };
+        let LogicalPlan::OrderBy { input, keys } = *input else {
+            panic!("order")
+        };
         assert_eq!(keys[0].1, SortDir::Desc);
-        let LogicalPlan::Aggregate { input, group_by, aggs } = *input else { panic!("agg") };
+        let LogicalPlan::Aggregate {
+            input,
+            group_by,
+            aggs,
+        } = *input
+        else {
+            panic!("agg")
+        };
         assert_eq!(group_by.len(), 1);
         assert_eq!(aggs[0].name, "n");
         assert!(matches!(*input, LogicalPlan::Select { .. }));
@@ -536,7 +578,9 @@ mod tests {
     #[test]
     fn parses_scalar_aggregate() {
         let p = parse("select sum(sale_amt) from sales").unwrap();
-        let LogicalPlan::Aggregate { group_by, aggs, .. } = p else { panic!() };
+        let LogicalPlan::Aggregate { group_by, aggs, .. } = p else {
+            panic!()
+        };
         assert!(group_by.is_empty());
         assert_eq!(aggs[0].func, AggFunc::Sum);
         assert_eq!(aggs[0].name, "sum_sale_amt");
@@ -545,41 +589,54 @@ mod tests {
     #[test]
     fn parses_projection_with_aliases() {
         let p = parse("select o_id, o_amount * 2 as double_amount from orders").unwrap();
-        let LogicalPlan::Project { items, .. } = p else { panic!() };
+        let LogicalPlan::Project { items, .. } = p else {
+            panic!()
+        };
         assert_eq!(items[0].1, "o_id");
         assert_eq!(items[1].1, "double_amount");
     }
 
     #[test]
     fn parses_params_and_functions() {
-        let p = parse("select * from customer where c_customer_sk = :cust and abs(c_birth_year) > 0")
-            .unwrap();
+        let p =
+            parse("select * from customer where c_customer_sk = :cust and abs(c_birth_year) > 0")
+                .unwrap();
         assert_eq!(p.params(), vec!["cust".to_string()]);
     }
 
     #[test]
     fn parses_comma_cross_join() {
         let p = parse("select * from a, b where a.x = b.y").unwrap();
-        let LogicalPlan::Select { input, .. } = p else { panic!() };
+        let LogicalPlan::Select { input, .. } = p else {
+            panic!()
+        };
         assert!(matches!(*input, LogicalPlan::Join { .. }));
     }
 
     #[test]
     fn precedence_and_parens() {
         let p = parse("select * from t where a = 1 or b = 2 and c = 3").unwrap();
-        let LogicalPlan::Select { pred, .. } = p else { panic!() };
+        let LogicalPlan::Select { pred, .. } = p else {
+            panic!()
+        };
         // OR is outermost: a=1 OR (b=2 AND c=3)
         assert!(matches!(pred, ScalarExpr::Bin(BinOp::Or, _, _)));
         let p2 = parse("select * from t where (a = 1 or b = 2) and c = 3").unwrap();
-        let LogicalPlan::Select { pred, .. } = p2 else { panic!() };
+        let LogicalPlan::Select { pred, .. } = p2 else {
+            panic!()
+        };
         assert!(matches!(pred, ScalarExpr::Bin(BinOp::And, _, _)));
     }
 
     #[test]
     fn unary_minus_desugars_to_subtraction() {
         let p = parse("select * from t where a > -5").unwrap();
-        let LogicalPlan::Select { pred, .. } = p else { panic!() };
-        let ScalarExpr::Bin(BinOp::Gt, _, rhs) = pred else { panic!() };
+        let LogicalPlan::Select { pred, .. } = p else {
+            panic!()
+        };
+        let ScalarExpr::Bin(BinOp::Gt, _, rhs) = pred else {
+            panic!()
+        };
         assert!(matches!(*rhs, ScalarExpr::Bin(BinOp::Sub, _, _)));
     }
 
@@ -607,7 +664,9 @@ mod tests {
     #[test]
     fn order_by_multiple_keys() {
         let p = parse("select * from t order by a asc, b desc").unwrap();
-        let LogicalPlan::OrderBy { keys, .. } = p else { panic!() };
+        let LogicalPlan::OrderBy { keys, .. } = p else {
+            panic!()
+        };
         assert_eq!(keys.len(), 2);
         assert_eq!(keys[0].1, SortDir::Asc);
         assert_eq!(keys[1].1, SortDir::Desc);

@@ -45,7 +45,11 @@ pub fn print(plan: &LogicalPlan) -> String {
                 .join(", ");
             p = input;
         }
-        LogicalPlan::Aggregate { input, group_by: g, aggs } => {
+        LogicalPlan::Aggregate {
+            input,
+            group_by: g,
+            aggs,
+        } => {
             let mut parts: Vec<String> = g.iter().map(|c| c.to_ref_string()).collect();
             group_by = parts.clone();
             for a in aggs {
@@ -305,11 +309,11 @@ mod tests {
     #[test]
     fn complex_from_inputs_become_subqueries() {
         let plan = parse("select count(*) from t").unwrap();
-        let joined = plan.join(
-            crate::plan::LogicalPlan::scan("u"),
-            ScalarExpr::lit(true),
-        );
+        let joined = plan.join(crate::plan::LogicalPlan::scan("u"), ScalarExpr::lit(true));
         let printed = print(&joined);
-        assert!(printed.contains("(select count(*) from t) sub"), "{printed}");
+        assert!(
+            printed.contains("(select count(*) from t) sub"),
+            "{printed}"
+        );
     }
 }

@@ -24,7 +24,12 @@ pub struct ColumnStats {
 
 impl ColumnStats {
     fn empty() -> ColumnStats {
-        ColumnStats { ndv: 0, null_count: 0, min: None, max: None }
+        ColumnStats {
+            ndv: 0,
+            null_count: 0,
+            min: None,
+            max: None,
+        }
     }
 }
 
@@ -63,7 +68,10 @@ impl TableStats {
         for (i, set) in distinct.into_iter().enumerate() {
             columns[i].ndv = set.len() as u64;
         }
-        TableStats { row_count: rows.len() as u64, columns }
+        TableStats {
+            row_count: rows.len() as u64,
+            columns,
+        }
     }
 
     /// Selectivity of an equality predicate on column `i` (`1 / NDV`).

@@ -235,7 +235,7 @@ mod tests {
 
     #[test]
     fn ordering_is_total_across_types() {
-        let mut vals = vec![
+        let mut vals = [
             Value::str("z"),
             Value::Int(3),
             Value::Null,

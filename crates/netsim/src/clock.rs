@@ -1,6 +1,6 @@
 //! The virtual clock used by every simulated component.
 
-use std::cell::Cell;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Virtual nanoseconds.
 pub type Ns = u64;
@@ -11,6 +11,10 @@ pub type Ns = u64;
 /// execution, per-statement client CPU cost) advances the same shared clock,
 /// so the final reading is the simulated wall-clock time of the program.
 ///
+/// The counter is atomic, so a clock can be shared across threads
+/// (`Arc<Clock>`); each simulated run still owns its own clock, the atomics
+/// simply make the whole pipeline `Send + Sync`.
+///
 /// ```
 /// use netsim::Clock;
 /// let clock = Clock::new();
@@ -19,28 +23,34 @@ pub type Ns = u64;
 /// ```
 #[derive(Debug, Default)]
 pub struct Clock {
-    now_ns: Cell<Ns>,
+    now_ns: AtomicU64,
 }
 
 impl Clock {
     /// A clock starting at virtual time zero.
     pub fn new() -> Self {
-        Clock { now_ns: Cell::new(0) }
+        Clock {
+            now_ns: AtomicU64::new(0),
+        }
     }
 
     /// Current virtual time in nanoseconds.
     pub fn now(&self) -> Ns {
-        self.now_ns.get()
+        self.now_ns.load(Ordering::Relaxed)
     }
 
     /// Advance the clock by `delta` nanoseconds, saturating at `u64::MAX`.
     pub fn advance(&self, delta: Ns) {
-        self.now_ns.set(self.now_ns.get().saturating_add(delta));
+        let _ = self
+            .now_ns
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |now| {
+                Some(now.saturating_add(delta))
+            });
     }
 
     /// Reset to time zero (used between benchmark runs).
     pub fn reset(&self) {
-        self.now_ns.set(0);
+        self.now_ns.store(0, Ordering::Relaxed);
     }
 
     /// Run `f` and return the virtual time it consumed.
@@ -91,5 +101,11 @@ mod tests {
         assert_eq!(value, "done");
         assert_eq!(took, 35);
         assert_eq!(c.now(), 42);
+    }
+
+    #[test]
+    fn clock_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Clock>();
     }
 }

@@ -11,9 +11,9 @@
 //!   (latency taken from an AWS inter-region latency map, per the paper).
 //! * [`NetworkProfile::fast_local`] — 6 Gbps bandwidth, 0.5 ms RTT.
 //!
-//! All durations are expressed in whole nanoseconds ([`Ns`]). The clock is
-//! single-threaded (`Cell`-based) because the simulation is deterministic
-//! and sequential; shared ownership goes through `Rc<Clock>`.
+//! All durations are expressed in whole nanoseconds ([`Ns`]). The clock
+//! and counters are atomic so they can be shared across threads; shared
+//! ownership goes through `Arc<Clock>`.
 
 mod clock;
 mod profile;

@@ -28,7 +28,10 @@ impl NetworkProfile {
             bits_per_sec > 0.0 && bits_per_sec.is_finite(),
             "bandwidth must be positive and finite"
         );
-        assert!(rtt_ms >= 0.0 && rtt_ms.is_finite(), "RTT must be non-negative");
+        assert!(
+            rtt_ms >= 0.0 && rtt_ms.is_finite(),
+            "RTT must be non-negative"
+        );
         NetworkProfile {
             name: name.into(),
             bytes_per_sec: bits_per_sec / 8.0,

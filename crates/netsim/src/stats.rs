@@ -1,13 +1,14 @@
 //! Accounting of network activity during a simulated run.
 
-use std::cell::Cell;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Counters for network activity; used by experiments to report the number
 /// of round trips (the N+1 select problem manifests here) and bytes moved.
+/// Atomic, so a connection can be shared across threads.
 #[derive(Debug, Default)]
 pub struct NetStats {
-    round_trips: Cell<u64>,
-    bytes_transferred: Cell<u64>,
+    round_trips: AtomicU64,
+    bytes_transferred: AtomicU64,
 }
 
 impl NetStats {
@@ -18,29 +19,32 @@ impl NetStats {
 
     /// Record one request/response round trip.
     pub fn record_round_trip(&self) {
-        self.round_trips.set(self.round_trips.get() + 1);
+        self.round_trips.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Record a payload of `bytes` moved over the link.
     pub fn record_transfer(&self, bytes: u64) {
-        self.bytes_transferred
-            .set(self.bytes_transferred.get().saturating_add(bytes));
+        let _ = self
+            .bytes_transferred
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |b| {
+                Some(b.saturating_add(bytes))
+            });
     }
 
     /// Number of round trips so far.
     pub fn round_trips(&self) -> u64 {
-        self.round_trips.get()
+        self.round_trips.load(Ordering::Relaxed)
     }
 
     /// Total bytes transferred so far.
     pub fn bytes_transferred(&self) -> u64 {
-        self.bytes_transferred.get()
+        self.bytes_transferred.load(Ordering::Relaxed)
     }
 
     /// Reset all counters to zero.
     pub fn reset(&self) {
-        self.round_trips.set(0);
-        self.bytes_transferred.set(0);
+        self.round_trips.store(0, Ordering::Relaxed);
+        self.bytes_transferred.store(0, Ordering::Relaxed);
     }
 }
 

@@ -107,13 +107,11 @@ mod tests {
 
     fn registry() -> MappingRegistry {
         let mut r = MappingRegistry::new();
-        r.register(
-            EntityMapping::new("Order", "orders", "o_id").many_to_one(
-                "customer",
-                "Customer",
-                "o_customer_sk",
-            ),
-        );
+        r.register(EntityMapping::new("Order", "orders", "o_id").many_to_one(
+            "customer",
+            "Customer",
+            "o_customer_sk",
+        ));
         r.register(EntityMapping::new("Customer", "customer", "c_customer_sk"));
         r
     }

@@ -1,10 +1,10 @@
 //! The client's connection to the database across the simulated network.
 
-use minidb::{Database, DbResult, Executor, FuncRegistry, LogicalPlan, QueryResult, Value};
+use minidb::{DbResult, Executor, FuncRegistry, LogicalPlan, QueryResult, Value};
 use netsim::{Clock, NetStats, NetworkProfile};
-use std::cell::RefCell;
+
 use std::collections::HashMap;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 /// One executed query, for experiment reporting.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -24,22 +24,22 @@ pub struct QueryRecord {
 /// the longer of (result transfer) and (remaining server time) — transfer
 /// overlaps result production, exactly as in the cost model of §VI.
 pub struct RemoteDb {
-    db: Rc<RefCell<Database>>,
-    funcs: Rc<FuncRegistry>,
+    db: minidb::SharedDb,
+    funcs: Arc<FuncRegistry>,
     net: NetworkProfile,
-    clock: Rc<Clock>,
+    clock: Arc<Clock>,
     stats: NetStats,
-    log: RefCell<Vec<QueryRecord>>,
+    log: Mutex<Vec<QueryRecord>>,
     server_row_ns: f64,
 }
 
 impl RemoteDb {
     /// Connect to `db` through `net`, charging `clock`.
     pub fn new(
-        db: Rc<RefCell<Database>>,
-        funcs: Rc<FuncRegistry>,
+        db: minidb::SharedDb,
+        funcs: Arc<FuncRegistry>,
         net: NetworkProfile,
-        clock: Rc<Clock>,
+        clock: Arc<Clock>,
     ) -> RemoteDb {
         RemoteDb {
             db,
@@ -47,7 +47,7 @@ impl RemoteDb {
             net,
             clock,
             stats: NetStats::new(),
-            log: RefCell::new(Vec::new()),
+            log: Mutex::new(Vec::new()),
             server_row_ns: minidb::exec::DEFAULT_SERVER_ROW_NS,
         }
     }
@@ -59,7 +59,7 @@ impl RemoteDb {
     }
 
     /// The underlying database handle.
-    pub fn database(&self) -> &Rc<RefCell<Database>> {
+    pub fn database(&self) -> &minidb::SharedDb {
         &self.db
     }
 
@@ -69,12 +69,12 @@ impl RemoteDb {
     }
 
     /// The shared virtual clock.
-    pub fn clock(&self) -> &Rc<Clock> {
+    pub fn clock(&self) -> &Arc<Clock> {
         &self.clock
     }
 
     /// Shared function registry (client and server semantics).
-    pub fn funcs(&self) -> &Rc<FuncRegistry> {
+    pub fn funcs(&self) -> &Arc<FuncRegistry> {
         &self.funcs
     }
 
@@ -89,7 +89,7 @@ impl RemoteDb {
         plan: &LogicalPlan,
         params: &HashMap<String, Value>,
     ) -> DbResult<QueryResult> {
-        let db = self.db.borrow();
+        let db = self.db.read().unwrap();
         let exec = Executor::new(&db, &self.funcs).with_row_ns(self.server_row_ns);
         let result = exec.execute(plan, params)?;
         let first = exec.first_row_ns(&result.work);
@@ -100,7 +100,7 @@ impl RemoteDb {
             .advance(self.net.round_trip_ns() + first + stream);
         self.stats.record_round_trip();
         self.stats.record_transfer(result.payload_bytes());
-        self.log.borrow_mut().push(QueryRecord {
+        self.log.lock().unwrap().push(QueryRecord {
             sql: minidb::sql::print(plan),
             rows: result.row_count(),
             bytes: result.payload_bytes(),
@@ -118,7 +118,7 @@ impl RemoteDb {
         set_col: &str,
         value: Value,
     ) -> DbResult<usize> {
-        let mut db = self.db.borrow_mut();
+        let mut db = self.db.write().unwrap();
         let t = db.table_mut(table)?;
         let key_idx = t.schema().resolve(key_col)?;
         let set_idx = t.schema().resolve(set_col)?;
@@ -141,22 +141,22 @@ impl RemoteDb {
 
     /// Log of executed read queries.
     pub fn query_log(&self) -> Vec<QueryRecord> {
-        self.log.borrow().clone()
+        self.log.lock().unwrap().clone()
     }
 
     /// Reset counters and the query log (keeps the clock untouched).
     pub fn reset_stats(&self) {
         self.stats.reset();
-        self.log.borrow_mut().clear();
+        self.log.lock().unwrap().clear();
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use minidb::{Column, DataType, Schema};
+    use minidb::{Column, DataType, Database, Schema};
 
-    fn fixture() -> (Rc<RefCell<Database>>, Rc<FuncRegistry>, Rc<Clock>) {
+    fn fixture() -> (minidb::SharedDb, Arc<FuncRegistry>, Arc<Clock>) {
         let mut db = Database::new();
         let schema = Schema::new(vec![
             Column::new("id", DataType::Int),
@@ -165,13 +165,14 @@ mod tests {
         let t = db.create_table("t", schema).unwrap();
         t.set_primary_key("id").unwrap();
         for i in 0..100i64 {
-            t.insert(vec![Value::Int(i), Value::str(format!("row{i}"))]).unwrap();
+            t.insert(vec![Value::Int(i), Value::str(format!("row{i}"))])
+                .unwrap();
         }
         t.analyze();
         (
-            Rc::new(RefCell::new(db)),
-            Rc::new(FuncRegistry::with_builtins()),
-            Rc::new(Clock::new()),
+            minidb::shared(db),
+            Arc::new(FuncRegistry::with_builtins()),
+            Arc::new(Clock::new()),
         )
     }
 
@@ -217,7 +218,7 @@ mod tests {
             .unwrap();
         assert_eq!(n, 1);
         assert!(clock.now() >= 1_000_000);
-        let dbb = db.borrow();
+        let dbb = db.read().unwrap();
         let row = &dbb.table("t").unwrap().rows()[5];
         assert_eq!(row[1], Value::str("changed"));
     }
@@ -227,8 +228,13 @@ mod tests {
         // With a huge bandwidth the stream term is dominated by server
         // time; with tiny bandwidth it is dominated by transfer.
         let (db, funcs, clock) = fixture();
-        let fast = RemoteDb::new(db.clone(), funcs.clone(), NetworkProfile::new("f", 8e12, 0.0), clock.clone())
-            .with_server_row_ns(1000.0);
+        let fast = RemoteDb::new(
+            db.clone(),
+            funcs.clone(),
+            NetworkProfile::new("f", 8e12, 0.0),
+            clock.clone(),
+        )
+        .with_server_row_ns(1000.0);
         let plan = minidb::sql::parse("select * from t").unwrap();
         fast.query(&plan, &HashMap::new()).unwrap();
         let fast_time = clock.now();

@@ -3,9 +3,9 @@
 use crate::mapping::MappingRegistry;
 use crate::remote::RemoteDb;
 use minidb::{DbError, DbResult, LogicalPlan, Row, Schema, Value};
-use std::cell::RefCell;
+
 use std::collections::HashMap;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 /// An ORM session.
 ///
@@ -15,55 +15,56 @@ use std::rc::Rc;
 ///   association navigation goes through this, producing the N+1 pattern
 ///   on cache misses and no traffic on hits.
 pub struct Session {
-    remote: Rc<RemoteDb>,
-    mappings: Rc<MappingRegistry>,
+    remote: Arc<RemoteDb>,
+    mappings: Arc<MappingRegistry>,
     /// First-level cache: (entity, pk) → row.
-    l1: RefCell<HashMap<(String, Value), Rc<Row>>>,
+    l1: Mutex<HashMap<(String, Value), Arc<Row>>>,
     /// Cached entity schemas (qualified by table name).
-    schemas: RefCell<HashMap<String, Rc<Schema>>>,
+    schemas: Mutex<HashMap<String, Arc<Schema>>>,
 }
 
 impl Session {
     /// Open a session over a remote connection.
-    pub fn new(remote: Rc<RemoteDb>, mappings: Rc<MappingRegistry>) -> Session {
+    pub fn new(remote: Arc<RemoteDb>, mappings: Arc<MappingRegistry>) -> Session {
         Session {
             remote,
             mappings,
-            l1: RefCell::new(HashMap::new()),
-            schemas: RefCell::new(HashMap::new()),
+            l1: Mutex::new(HashMap::new()),
+            schemas: Mutex::new(HashMap::new()),
         }
     }
 
     /// The remote connection.
-    pub fn remote(&self) -> &Rc<RemoteDb> {
+    pub fn remote(&self) -> &Arc<RemoteDb> {
         &self.remote
     }
 
     /// The mapping registry.
-    pub fn mappings(&self) -> &Rc<MappingRegistry> {
+    pub fn mappings(&self) -> &Arc<MappingRegistry> {
         &self.mappings
     }
 
     /// Schema of an entity's table (computed once per session).
-    pub fn entity_schema(&self, entity: &str) -> DbResult<Rc<Schema>> {
-        if let Some(s) = self.schemas.borrow().get(entity) {
+    pub fn entity_schema(&self, entity: &str) -> DbResult<Arc<Schema>> {
+        if let Some(s) = self.schemas.lock().unwrap().get(entity) {
             return Ok(s.clone());
         }
         let m = self
             .mappings
             .entity(entity)
             .ok_or_else(|| DbError::Invalid(format!("unmapped entity {entity}")))?;
-        let db = self.remote.database().borrow();
-        let schema = Rc::new(db.table(&m.table)?.schema().clone());
+        let db = self.remote.database().read().unwrap();
+        let schema = Arc::new(db.table(&m.table)?.schema().clone());
         self.schemas
-            .borrow_mut()
+            .lock()
+            .unwrap()
             .insert(entity.to_string(), schema.clone());
         Ok(schema)
     }
 
     /// `loadAll(Entity)`: fetch the entire table, prime the L1 cache, and
     /// return the rows.
-    pub fn load_all(&self, entity: &str) -> DbResult<(Rc<Schema>, Vec<Rc<Row>>)> {
+    pub fn load_all(&self, entity: &str) -> DbResult<(Arc<Schema>, Vec<Arc<Row>>)> {
         let m = self
             .mappings
             .entity(entity)
@@ -74,9 +75,9 @@ impl Session {
         let result = self.remote.query(&plan, &HashMap::new())?;
         let id_idx = schema.resolve(&m.id_column)?;
         let mut rows = Vec::with_capacity(result.rows.len());
-        let mut cache = self.l1.borrow_mut();
+        let mut cache = self.l1.lock().unwrap();
         for row in result.rows {
-            let rc = Rc::new(row);
+            let rc = Arc::new(row);
             cache.insert((entity.to_string(), rc[id_idx].clone()), rc.clone());
             rows.push(rc);
         }
@@ -87,9 +88,9 @@ impl Session {
     ///
     /// A miss issues `select * from table where id = :id` (one round trip);
     /// a hit is free — Hibernate's first-level cache behaviour.
-    pub fn get(&self, entity: &str, id: &Value) -> DbResult<Option<Rc<Row>>> {
+    pub fn get(&self, entity: &str, id: &Value) -> DbResult<Option<Arc<Row>>> {
         let key = (entity.to_string(), id.clone());
-        if let Some(row) = self.l1.borrow().get(&key) {
+        if let Some(row) = self.l1.lock().unwrap().get(&key) {
             return Ok(Some(row.clone()));
         }
         let m = self
@@ -104,9 +105,9 @@ impl Session {
         let mut params = HashMap::new();
         params.insert("id".to_string(), id.clone());
         let result = self.remote.query(&plan, &params)?;
-        let row = result.rows.into_iter().next().map(Rc::new);
+        let row = result.rows.into_iter().next().map(Arc::new);
         if let Some(ref r) = row {
-            self.l1.borrow_mut().insert(key, r.clone());
+            self.l1.lock().unwrap().insert(key, r.clone());
         }
         Ok(row)
     }
@@ -118,7 +119,7 @@ impl Session {
         entity: &str,
         field: &str,
         row: &Row,
-    ) -> DbResult<Option<(String, Rc<Row>)>> {
+    ) -> DbResult<Option<(String, Arc<Row>)>> {
         let m = self
             .mappings
             .entity(entity)
@@ -139,12 +140,12 @@ impl Session {
 
     /// Number of rows currently in the first-level cache.
     pub fn l1_size(&self) -> usize {
-        self.l1.borrow().len()
+        self.l1.lock().unwrap().len()
     }
 
     /// Drop all cached rows (end of transaction).
     pub fn clear(&self) {
-        self.l1.borrow_mut().clear();
+        self.l1.lock().unwrap().clear();
     }
 }
 
@@ -155,7 +156,7 @@ mod tests {
     use minidb::{Column, DataType, Database, FuncRegistry};
     use netsim::{Clock, NetworkProfile};
 
-    fn fixture() -> (Session, Rc<Clock>) {
+    fn fixture() -> (Session, Arc<Clock>) {
         let mut db = Database::new();
         let orders = Schema::new(vec![
             Column::new("o_id", DataType::Int),
@@ -177,23 +178,21 @@ mod tests {
         }
         db.analyze_all();
 
-        let clock = Rc::new(Clock::new());
-        let remote = Rc::new(RemoteDb::new(
-            Rc::new(RefCell::new(db)),
-            Rc::new(FuncRegistry::with_builtins()),
+        let clock = Arc::new(Clock::new());
+        let remote = Arc::new(RemoteDb::new(
+            minidb::shared(db),
+            Arc::new(FuncRegistry::with_builtins()),
             NetworkProfile::new("test", 8e9, 1.0),
             clock.clone(),
         ));
         let mut reg = MappingRegistry::new();
-        reg.register(
-            EntityMapping::new("Order", "orders", "o_id").many_to_one(
-                "customer",
-                "Customer",
-                "o_customer_sk",
-            ),
-        );
+        reg.register(EntityMapping::new("Order", "orders", "o_id").many_to_one(
+            "customer",
+            "Customer",
+            "o_customer_sk",
+        ));
         reg.register(EntityMapping::new("Customer", "customer", "c_customer_sk"));
-        (Session::new(remote, Rc::new(reg)), clock)
+        (Session::new(remote, Arc::new(reg)), clock)
     }
 
     #[test]

@@ -20,11 +20,13 @@
 //!   paper's Figure 4 example (join commutativity/associativity), used by
 //!   tests and as executable documentation of the framework.
 
+mod costmemo;
 mod engine;
 mod memo;
 pub mod relalg;
 mod search;
 
+pub use costmemo::CostMemo;
 pub use engine::{expand, ExpandStats, Rule};
 pub use memo::{Child, GroupId, MExpr, MExprId, Memo, OpTree};
 pub use search::{best_plan, count_plans, BestPlan, CostModel};

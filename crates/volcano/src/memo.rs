@@ -32,20 +32,29 @@ pub enum Child<Op> {
 impl<Op> OpTree<Op> {
     /// Leaf operator (no children).
     pub fn leaf(op: Op) -> OpTree<Op> {
-        OpTree { op, children: Vec::new() }
+        OpTree {
+            op,
+            children: Vec::new(),
+        }
     }
 
     /// Operator over nested trees.
     pub fn node(op: Op, children: Vec<OpTree<Op>>) -> OpTree<Op> {
         OpTree {
             op,
-            children: children.into_iter().map(|t| Child::Tree(Box::new(t))).collect(),
+            children: children
+                .into_iter()
+                .map(|t| Child::Tree(Box::new(t)))
+                .collect(),
         }
     }
 
     /// Operator over existing groups.
     pub fn over_groups(op: Op, groups: Vec<GroupId>) -> OpTree<Op> {
-        OpTree { op, children: groups.into_iter().map(Child::Group).collect() }
+        OpTree {
+            op,
+            children: groups.into_iter().map(Child::Group).collect(),
+        }
     }
 }
 
@@ -71,6 +80,9 @@ pub struct Memo<Op: Clone + Eq + Hash + Debug> {
     parent: Vec<GroupId>,
     /// Hash-consing index: (op, canonical children) → m-expr.
     index: HashMap<(Op, Vec<GroupId>), MExprId>,
+    /// Incremented on every group merge (including cascades); cost caches
+    /// key their validity on this (see [`crate::CostMemo`]).
+    merge_epoch: u64,
 }
 
 impl<Op: Clone + Eq + Hash + Debug> Default for Memo<Op> {
@@ -87,7 +99,15 @@ impl<Op: Clone + Eq + Hash + Debug> Memo<Op> {
             group_exprs: Vec::new(),
             parent: Vec::new(),
             index: HashMap::new(),
+            merge_epoch: 0,
         }
+    }
+
+    /// How many group merges have happened so far (monotone). A change
+    /// means previously-read group structure may be stale — memoized cost
+    /// layers use this to invalidate their caches.
+    pub fn merge_epoch(&self) -> u64 {
+        self.merge_epoch
     }
 
     /// Number of groups (including merged-away ones).
@@ -97,7 +117,9 @@ impl<Op: Clone + Eq + Hash + Debug> Memo<Op> {
 
     /// Number of live (canonical) groups.
     pub fn num_live_groups(&self) -> usize {
-        (0..self.parent.len()).filter(|&g| self.parent[g] == g).count()
+        (0..self.parent.len())
+            .filter(|&g| self.parent[g] == g)
+            .count()
     }
 
     /// Number of m-exprs.
@@ -179,7 +201,11 @@ impl<Op: Clone + Eq + Hash + Debug> Memo<Op> {
             None => self.new_group(),
         };
         let id = self.exprs.len();
-        self.exprs.push(MExpr { op: op.clone(), children: children.clone(), group });
+        self.exprs.push(MExpr {
+            op: op.clone(),
+            children: children.clone(),
+            group,
+        });
         self.group_exprs[group].push(id);
         self.index.insert(key, id);
         self.canonicalize();
@@ -195,6 +221,7 @@ impl<Op: Clone + Eq + Hash + Debug> Memo<Op> {
         }
         // Keep the smaller id as representative for stable tests.
         let (keep, drop) = if a < b { (a, b) } else { (b, a) };
+        self.merge_epoch += 1;
         self.parent[drop] = keep;
         let moved = std::mem::take(&mut self.group_exprs[drop]);
         for id in &moved {
@@ -213,8 +240,11 @@ impl<Op: Clone + Eq + Hash + Debug> Memo<Op> {
             let mut rebuilt: HashMap<(Op, Vec<GroupId>), MExprId> =
                 HashMap::with_capacity(self.exprs.len());
             for id in 0..self.exprs.len() {
-                let canon_children: Vec<GroupId> =
-                    self.exprs[id].children.iter().map(|&c| self.find(c)).collect();
+                let canon_children: Vec<GroupId> = self.exprs[id]
+                    .children
+                    .iter()
+                    .map(|&c| self.find(c))
+                    .collect();
                 self.exprs[id].children = canon_children.clone();
                 let key = (self.exprs[id].op.clone(), canon_children);
                 match rebuilt.get(&key) {
@@ -237,6 +267,7 @@ impl<Op: Clone + Eq + Hash + Debug> Memo<Op> {
             match pending_merge {
                 Some((a, b)) => {
                     let (keep, drop) = if a < b { (a, b) } else { (b, a) };
+                    self.merge_epoch += 1;
                     self.parent[drop] = keep;
                     let moved = std::mem::take(&mut self.group_exprs[drop]);
                     for id in &moved {

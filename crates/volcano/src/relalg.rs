@@ -107,7 +107,9 @@ pub struct CardinalityCost {
 impl CardinalityCost {
     /// Model with per-relation cardinalities.
     pub fn new(cards: impl IntoIterator<Item = (String, f64)>) -> CardinalityCost {
-        CardinalityCost { cards: cards.into_iter().collect() }
+        CardinalityCost {
+            cards: cards.into_iter().collect(),
+        }
     }
 
     #[allow(dead_code)] // kept for symmetry with group_card; used by docs

@@ -73,7 +73,11 @@ pub fn best_plan<Op: Clone + Eq + Hash + Debug>(
     let mut choices = Vec::new();
     let mut path = Vec::new();
     let tree = extract(memo, root, &cost, model, &mut choices, &mut path)?;
-    Some(BestPlan { cost: cost[root], tree, choices })
+    Some(BestPlan {
+        cost: cost[root],
+        tree,
+        choices,
+    })
 }
 
 /// Extract the cheapest plan, never re-entering a group on the current
@@ -118,7 +122,10 @@ fn extract<Op: Clone + Eq + Hash + Debug>(
         children.push(crate::memo::Child::Tree(Box::new(sub)));
     }
     path.pop();
-    Some(OpTree { op: e.op.clone(), children })
+    Some(OpTree {
+        op: e.op.clone(),
+        children,
+    })
 }
 
 /// Count the distinct plans representable from `root` (product over AND
@@ -192,7 +199,10 @@ mod tests {
         let mut memo = Memo::new();
         let tree = OpTree::node(
             Op2::Combine,
-            vec![OpTree::leaf(Op2::Leaf("a")), OpTree::leaf(Op2::Leaf("cheap"))],
+            vec![
+                OpTree::leaf(Op2::Leaf("a")),
+                OpTree::leaf(Op2::Leaf("cheap")),
+            ],
         );
         let root = memo.insert_tree(&tree, None);
         let best = best_plan(&memo, root, &Table).unwrap();
@@ -209,7 +219,11 @@ mod tests {
             None,
         );
         let best = best_plan(&memo, root, &Table).unwrap();
-        assert_eq!(best.cost, 5.0 + 1.0 + 1.0, "shared group costed once, used twice");
+        assert_eq!(
+            best.cost,
+            5.0 + 1.0 + 1.0,
+            "shared group costed once, used twice"
+        );
         assert_eq!(best.choices.len(), 3);
     }
 
@@ -255,7 +269,10 @@ mod tests {
         // Child references existing group inline:
         let mut memo3: Memo<Op2> = Memo::new();
         let base = memo3.insert_tree(&OpTree::leaf(Op2::Leaf("a")), None);
-        let t = OpTree { op: Op2::Combine, children: vec![Child::Group(base)] };
+        let t = OpTree {
+            op: Op2::Combine,
+            children: vec![Child::Group(base)],
+        };
         let root = memo3.insert_tree(&t, None);
         assert!(best_plan(&memo3, root, &Table).is_some());
     }

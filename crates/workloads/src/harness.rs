@@ -2,21 +2,21 @@
 
 use imperative::ast::Program;
 use interp::{Interp, InterpConfig, Outcome};
-use minidb::{Database, DbResult, FuncRegistry};
+use minidb::{DbResult, FuncRegistry};
 use netsim::{Clock, NetworkProfile};
 use orm::{MappingRegistry, RemoteDb, Session};
-use std::cell::RefCell;
-use std::rc::Rc;
+
+use std::sync::Arc;
 
 /// A database + mappings + function registry, ready to run programs.
 #[derive(Clone)]
 pub struct Fixture {
     /// The shared database.
-    pub db: Rc<RefCell<Database>>,
+    pub db: minidb::SharedDb,
     /// ORM mappings for the schema.
     pub mapping: MappingRegistry,
     /// Pure functions the programs call (`myFunc`, …).
-    pub funcs: Rc<FuncRegistry>,
+    pub funcs: Arc<FuncRegistry>,
 }
 
 /// Outcome of running one program on one network profile.
@@ -29,18 +29,15 @@ pub struct RunResult {
 
 impl Fixture {
     /// Open a fresh session over `net` with its own virtual clock.
-    pub fn session(&self, net: NetworkProfile) -> (Session, Rc<Clock>) {
-        let clock = Rc::new(Clock::new());
-        let remote = Rc::new(RemoteDb::new(
+    pub fn session(&self, net: NetworkProfile) -> (Session, Arc<Clock>) {
+        let clock = Arc::new(Clock::new());
+        let remote = Arc::new(RemoteDb::new(
             self.db.clone(),
             self.funcs.clone(),
             net,
             clock.clone(),
         ));
-        (
-            Session::new(remote, Rc::new(self.mapping.clone())),
-            clock,
-        )
+        (Session::new(remote, Arc::new(self.mapping.clone())), clock)
     }
 }
 

@@ -14,6 +14,7 @@
 
 pub mod harness;
 pub mod motivating;
+pub mod rng;
 pub mod wilos;
 
 pub use harness::{run_on, Fixture, RunResult};

@@ -5,13 +5,12 @@
 //! widths, so `S_row` is exact in both the simulator and the cost model).
 
 use crate::harness::Fixture;
+use crate::rng::StdRng;
 use imperative::ast::{Expr, Function, Program, QuerySpec, Stmt, StmtKind};
 use minidb::{Column, DataType, Database, FuncRegistry, Schema, Value};
 use orm::{EntityMapping, MappingRegistry};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-use std::cell::RefCell;
-use std::rc::Rc;
+
+use std::sync::Arc;
 
 /// Columns of `orders` (~100 B/row).
 fn orders_schema() -> Schema {
@@ -75,13 +74,11 @@ pub fn build_fixture(n_orders: usize, n_customers: usize, seed: u64) -> Fixture 
     db.analyze_all();
 
     let mut mapping = MappingRegistry::new();
-    mapping.register(
-        EntityMapping::new("Order", "orders", "o_id").many_to_one(
-            "customer",
-            "Customer",
-            "o_customer_sk",
-        ),
-    );
+    mapping.register(EntityMapping::new("Order", "orders", "o_id").many_to_one(
+        "customer",
+        "Customer",
+        "o_customer_sk",
+    ));
     mapping.register(EntityMapping::new("Customer", "customer", "c_customer_sk"));
 
     let mut funcs = FuncRegistry::with_builtins();
@@ -92,9 +89,9 @@ pub fn build_fixture(n_orders: usize, n_customers: usize, seed: u64) -> Fixture 
     });
 
     Fixture {
-        db: Rc::new(RefCell::new(db)),
+        db: minidb::shared(db),
         mapping,
-        funcs: Rc::new(funcs),
+        funcs: Arc::new(funcs),
     }
 }
 
@@ -260,7 +257,7 @@ mod tests {
     #[test]
     fn fixture_has_tpcds_like_row_sizes() {
         let fx = build_fixture(10, 5, 1);
-        let db = fx.db.borrow();
+        let db = fx.db.read().unwrap();
         assert_eq!(db.table("customer").unwrap().schema().row_bytes(), 132);
         assert_eq!(db.table("orders").unwrap().schema().row_bytes(), 100);
     }
@@ -270,8 +267,8 @@ mod tests {
         let a = build_fixture(50, 10, 42);
         let b = build_fixture(50, 10, 42);
         assert_eq!(
-            a.db.borrow().table("orders").unwrap().rows(),
-            b.db.borrow().table("orders").unwrap().rows()
+            a.db.read().unwrap().table("orders").unwrap().rows(),
+            b.db.read().unwrap().table("orders").unwrap().rows()
         );
     }
 
@@ -296,7 +293,11 @@ mod tests {
         let r0 = run_on(&fx, net.clone(), &p0()).unwrap();
         let r1 = run_on(&fx, net, &p1()).unwrap();
         assert_eq!(r1.outcome.round_trips, 1);
-        assert!(r0.outcome.round_trips > 30, "N+1: {}", r0.outcome.round_trips);
+        assert!(
+            r0.outcome.round_trips > 30,
+            "N+1: {}",
+            r0.outcome.round_trips
+        );
     }
 
     #[test]

@@ -22,13 +22,12 @@
 //! | F | different parts of a collection across callees | multiple select/project queries vs one prefetch |
 
 use crate::harness::Fixture;
+use crate::rng::StdRng;
 use imperative::ast::{Expr, Function, Program, QuerySpec, Stmt, StmtKind};
 use minidb::{BinOp, Column, DataType, Database, FuncRegistry, Schema, Value};
 use orm::{EntityMapping, MappingRegistry};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-use std::cell::RefCell;
-use std::rc::Rc;
+
+use std::sync::Arc;
 
 /// The six cost-based patterns of Figure 14.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -44,7 +43,14 @@ pub enum Pattern {
 impl Pattern {
     /// All patterns in order.
     pub fn all() -> [Pattern; 6] {
-        [Pattern::A, Pattern::B, Pattern::C, Pattern::D, Pattern::E, Pattern::F]
+        [
+            Pattern::A,
+            Pattern::B,
+            Pattern::C,
+            Pattern::D,
+            Pattern::E,
+            Pattern::F,
+        ]
     }
 
     /// Paper description of the cost-based choice (Figure 14).
@@ -353,15 +359,14 @@ pub fn build_fixture(scale: usize, seed: u64) -> Fixture {
 
     let mut mapping = MappingRegistry::new();
     mapping.register(EntityMapping::new("Project", "project", "p_id"));
+    mapping.register(EntityMapping::new("Phase", "phase", "ph_id").many_to_one(
+        "project",
+        "Project",
+        "ph_project",
+    ));
     mapping.register(
-        EntityMapping::new("Phase", "phase", "ph_id").many_to_one("project", "Project", "ph_project"),
-    );
-    mapping.register(
-        EntityMapping::new("Iteration", "iteration", "it_id").many_to_one(
-            "phase",
-            "Phase",
-            "it_phase",
-        ),
+        EntityMapping::new("Iteration", "iteration", "it_id")
+            .many_to_one("phase", "Phase", "it_phase"),
     );
     mapping.register(
         EntityMapping::new("Activity", "activity", "a_id").many_to_one(
@@ -370,25 +375,23 @@ pub fn build_fixture(scale: usize, seed: u64) -> Fixture {
             "a_iteration",
         ),
     );
+    mapping.register(EntityMapping::new("Task", "task", "t_id").many_to_one(
+        "activity",
+        "Activity",
+        "t_activity",
+    ));
     mapping.register(
-        EntityMapping::new("Task", "task", "t_id").many_to_one("activity", "Activity", "t_activity"),
+        EntityMapping::new("WorkProduct", "workproduct", "w_id")
+            .many_to_one("task", "Task", "w_task"),
     );
+    mapping.register(EntityMapping::new("Role", "role", "r_id").many_to_one(
+        "project",
+        "Project",
+        "r_project",
+    ));
     mapping.register(
-        EntityMapping::new("WorkProduct", "workproduct", "w_id").many_to_one(
-            "task",
-            "Task",
-            "w_task",
-        ),
-    );
-    mapping.register(
-        EntityMapping::new("Role", "role", "r_id").many_to_one("project", "Project", "r_project"),
-    );
-    mapping.register(
-        EntityMapping::new("Participant", "participant", "pa_id").many_to_one(
-            "role",
-            "Role",
-            "pa_role",
-        ),
+        EntityMapping::new("Participant", "participant", "pa_id")
+            .many_to_one("role", "Role", "pa_role"),
     );
     mapping.register(EntityMapping::new("Process", "process", "pr_id"));
 
@@ -400,9 +403,9 @@ pub fn build_fixture(scale: usize, seed: u64) -> Fixture {
     });
 
     Fixture {
-        db: Rc::new(RefCell::new(db)),
+        db: minidb::shared(db),
         mapping,
-        funcs: Rc::new(funcs),
+        funcs: Arc::new(funcs),
     }
 }
 
@@ -484,7 +487,10 @@ pub fn build_b(name: &str, table: &str, id_col: &str) -> Program {
                         "cnt".into(),
                         Expr::bin(BinOp::Add, Expr::var("cnt"), Expr::lit(1i64)),
                     )),
-                    st(StmtKind::Add("ids".into(), Expr::field(Expr::var("t"), id_col))),
+                    st(StmtKind::Add(
+                        "ids".into(),
+                        Expr::field(Expr::var("t"), id_col),
+                    )),
                 ],
             }),
         ],
@@ -584,7 +590,9 @@ pub fn build_d(
         ],
     );
     helper.number_lines(2);
-    Program { functions: vec![entry, helper] }
+    Program {
+        functions: vec![entry, helper],
+    }
 }
 
 /// Pattern E: the same relation filtered with a different key per call.
@@ -602,10 +610,8 @@ pub fn build_e(name: &str, table: &str, key_col: &str, val_col: &str, keys: i64)
                     st(StmtKind::Let(
                         "rows".into(),
                         Expr::Query(
-                            QuerySpec::sql(&format!(
-                                "select * from {table} where {key_col} = :k"
-                            ))
-                            .bind("k", Expr::var("k")),
+                            QuerySpec::sql(&format!("select * from {table} where {key_col} = :k"))
+                                .bind("k", Expr::var("k")),
                         ),
                     )),
                     st(StmtKind::Let("s".into(), Expr::lit(0i64))),
@@ -699,19 +705,28 @@ pub fn build_f(
 /// The representative program of a pattern, used in Figure 15.
 pub fn representative(pattern: Pattern) -> Program {
     match pattern {
-        Pattern::A => build_a("patternA", "Role", "r_id", "Participant", "pa_role", "role", "r_size"),
+        Pattern::A => build_a(
+            "patternA",
+            "Role",
+            "r_id",
+            "Participant",
+            "pa_role",
+            "role",
+            "r_size",
+        ),
         Pattern::B => build_b("patternB", "task", "t_id"),
-        Pattern::C => build_c("patternC", "Role", "r_id", "participant", "pa_role", "pa_id"),
+        Pattern::C => build_c(
+            "patternC",
+            "Role",
+            "r_id",
+            "participant",
+            "pa_role",
+            "pa_id",
+        ),
         Pattern::D => build_d("patternD", "WorkProduct", "w_id", "task", "t_priority"),
         Pattern::E => build_e("patternE", "process", "pr_root", "pr_size", PROCESS_ROOTS),
         Pattern::F => build_f(
-            "patternF",
-            "process",
-            "pr_type",
-            "guidance",
-            "phase",
-            "pr_id",
-            "pr_size",
+            "patternF", "process", "pr_type", "guidance", "phase", "pr_id", "pr_size",
         ),
     }
 }
@@ -722,7 +737,13 @@ pub fn fragments() -> Vec<Fragment> {
     let mut id = 0;
     let mut push = |pattern: Pattern, file: &'static str, line: u32, program: Program| {
         id += 1;
-        out.push(Fragment { id, pattern, file, line, program });
+        out.push(Fragment {
+            id,
+            pattern,
+            file,
+            line,
+            program,
+        });
     };
 
     // Pattern A — 3 fragments.
@@ -730,24 +751,58 @@ pub fn fragments() -> Vec<Fragment> {
         Pattern::A,
         "ProjectService",
         1139,
-        build_a("fragA1", "Role", "r_id", "Participant", "pa_role", "role", "r_size"),
+        build_a(
+            "fragA1",
+            "Role",
+            "r_id",
+            "Participant",
+            "pa_role",
+            "role",
+            "r_size",
+        ),
     );
     push(
         Pattern::A,
         "TaskDescriptorService",
         198,
-        build_a("fragA2", "Activity", "a_id", "Task", "t_activity", "activity", "a_size"),
+        build_a(
+            "fragA2",
+            "Activity",
+            "a_id",
+            "Task",
+            "t_activity",
+            "activity",
+            "a_size",
+        ),
     );
     push(
         Pattern::A,
         "ConcreteWorkBreakdownElementService",
         144,
-        build_a("fragA3", "Task", "t_id", "WorkProduct", "w_task", "task", "t_size"),
+        build_a(
+            "fragA3",
+            "Task",
+            "t_id",
+            "WorkProduct",
+            "w_task",
+            "task",
+            "t_size",
+        ),
     );
 
     // Pattern B — 2 fragments.
-    push(Pattern::B, "IterationService", 139, build_b("fragB1", "task", "t_id"));
-    push(Pattern::B, "PhaseService", 185, build_b("fragB2", "workproduct", "w_id"));
+    push(
+        Pattern::B,
+        "IterationService",
+        139,
+        build_b("fragB1", "task", "t_id"),
+    );
+    push(
+        Pattern::B,
+        "PhaseService",
+        185,
+        build_b("fragB2", "workproduct", "w_id"),
+    );
 
     // Pattern C — 9 fragments.
     push(
@@ -778,7 +833,14 @@ pub fn fragments() -> Vec<Fragment> {
         Pattern::C,
         "ConcreteWorkBreakdownElementService",
         63,
-        build_c("fragC5", "Iteration", "it_id", "activity", "a_iteration", "a_id"),
+        build_c(
+            "fragC5",
+            "Iteration",
+            "it_id",
+            "activity",
+            "a_iteration",
+            "a_id",
+        ),
     );
     push(
         Pattern::C,
@@ -802,7 +864,14 @@ pub fn fragments() -> Vec<Fragment> {
         Pattern::C,
         "ActivityService",
         407,
-        build_c("fragC9", "Activity", "a_id", "task", "t_activity", "t_priority"),
+        build_c(
+            "fragC9",
+            "Activity",
+            "a_id",
+            "task",
+            "t_activity",
+            "t_priority",
+        ),
     );
 
     // Pattern D — 7 fragments.
@@ -910,13 +979,23 @@ pub fn fragments() -> Vec<Fragment> {
         Pattern::F,
         "ProcessService",
         406,
-        build_f("fragF1", "process", "pr_type", "guidance", "phase", "pr_id", "pr_size"),
+        build_f(
+            "fragF1", "process", "pr_type", "guidance", "phase", "pr_id", "pr_size",
+        ),
     );
     push(
         Pattern::F,
         "ProcessService",
         921,
-        build_f("fragF2", "task", "t_state", "created", "ready", "t_id", "t_priority"),
+        build_f(
+            "fragF2",
+            "task",
+            "t_state",
+            "created",
+            "ready",
+            "t_id",
+            "t_priority",
+        ),
     );
 
     out
@@ -956,7 +1035,7 @@ mod tests {
     #[test]
     fn fixture_scales_and_ratios() {
         let fx = build_fixture(10_000, 1);
-        let db = fx.db.borrow();
+        let db = fx.db.read().unwrap();
         assert_eq!(db.table("task").unwrap().row_count(), 10_000);
         assert_eq!(db.table("process").unwrap().row_count(), 10_000);
         let roles = db.table("role").unwrap().row_count();
@@ -967,7 +1046,7 @@ mod tests {
     #[test]
     fn state_predicates_have_twenty_percent_selectivity() {
         let fx = build_fixture(5_000, 1);
-        let db = fx.db.borrow();
+        let db = fx.db.read().unwrap();
         let t = db.table("task").unwrap();
         let created = t
             .rows()
@@ -992,8 +1071,13 @@ mod tests {
     #[test]
     fn pattern_a_updates_the_database() {
         let fx = build_fixture(2_000, 2);
-        run_on(&fx, NetworkProfile::fast_local(), &representative(Pattern::A)).unwrap();
-        let db = fx.db.borrow();
+        run_on(
+            &fx,
+            NetworkProfile::fast_local(),
+            &representative(Pattern::A),
+        )
+        .unwrap();
+        let db = fx.db.read().unwrap();
         let updated = db
             .table("role")
             .unwrap()
@@ -1007,7 +1091,12 @@ mod tests {
     #[test]
     fn pattern_e_aggregates_per_key() {
         let fx = build_fixture(2_000, 2);
-        let r = run_on(&fx, NetworkProfile::fast_local(), &representative(Pattern::E)).unwrap();
+        let r = run_on(
+            &fx,
+            NetworkProfile::fast_local(),
+            &representative(Pattern::E),
+        )
+        .unwrap();
         let interp::Snapshot::List(items) = r.outcome.var_snapshot("result") else {
             panic!()
         };

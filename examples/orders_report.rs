@@ -47,7 +47,9 @@ fn main() {
             fixture.mapping.clone(),
         )
         .with_funcs(fixture.funcs.clone());
-        let opt = cobra.optimize_program(&motivating::p0()).expect("optimizes");
+        let opt = cobra
+            .optimize_program(&motivating::p0())
+            .expect("optimizes");
         let chosen = run_on(&fixture, net.clone(), &Program::single(opt.program.clone()))
             .expect("chosen runs");
         println!(

@@ -18,17 +18,25 @@ fn main() {
         .and_then(|s| s.parse().ok())
         .unwrap_or(20_000);
     let net = NetworkProfile::fast_local();
-    println!("scale = {scale} (largest relations), network = {}\n", net.name());
+    println!(
+        "scale = {scale} (largest relations), network = {}\n",
+        net.name()
+    );
 
     for pattern in wilos::Pattern::all() {
         let program = wilos::representative(pattern);
         println!("================ pattern {pattern:?} ================");
         println!("{}", wilos::Pattern::description(pattern));
-        println!("\noriginal:\n{}", pretty::function_to_string(program.entry()));
+        println!(
+            "\noriginal:\n{}",
+            pretty::function_to_string(program.entry())
+        );
 
         // Original runtime.
         let fx = wilos::build_fixture(scale, 7);
-        let t_orig = run_on(&fx, net.clone(), &program).expect("original runs").secs;
+        let t_orig = run_on(&fx, net.clone(), &program)
+            .expect("original runs")
+            .secs;
 
         // Heuristic rewrite ([4]-style push-to-SQL).
         let fx = wilos::build_fixture(scale, 7);
@@ -55,7 +63,11 @@ fn main() {
         let t_cobra = run_on(&fx, net.clone(), &Program { functions: funcs })
             .expect("cobra runs")
             .secs;
-        println!("COBRA choice {:?}:\n{}", opt.tags, pretty::function_to_string(&opt.program));
+        println!(
+            "COBRA choice {:?}:\n{}",
+            opt.tags,
+            pretty::function_to_string(&opt.program)
+        );
 
         println!(
             "runtimes: original {t_orig:.3}s | heuristic {t_heur:.3}s | COBRA {t_cobra:.3}s\n"

@@ -43,6 +43,36 @@
 //! let optimized = cobra.optimize_program(&program).expect("optimizes");
 //! assert!(optimized.alternatives >= 3, "P0, P1-like and P2-like plans");
 //! ```
+//!
+//! ## Thread safety and batch optimization
+//!
+//! The whole optimizer pipeline is `Send + Sync` (enforced by compile-time
+//! assertions in `cobra_core`): shared state travels in `Arc`s, the
+//! database behind an `RwLock` ([`minidb::SharedDb`]), and per-search cost
+//! memoization ([`volcano::CostMemo`]) uses lock/atomic interior
+//! mutability. One `Cobra` can therefore serve many threads, and
+//! `Cobra::optimize_batch` optimizes a whole batch of programs
+//! concurrently with results identical to sequential calls:
+//!
+//! ```
+//! use cobra::core::{Cobra, CostCatalog};
+//! use cobra::netsim::NetworkProfile;
+//! use cobra::workloads::motivating;
+//!
+//! let fixture = motivating::build_fixture(500, 100, 42);
+//! let cobra = Cobra::new(
+//!     fixture.db.clone(),
+//!     NetworkProfile::slow_remote(),
+//!     CostCatalog::default(),
+//!     fixture.mapping.clone(),
+//! )
+//! .with_funcs(fixture.funcs.clone());
+//!
+//! let batch = [motivating::p0(), motivating::m0()];
+//! let results = cobra.optimize_batch(&batch);
+//! assert_eq!(results.len(), 2);
+//! assert!(results.iter().all(|r| r.is_ok()));
+//! ```
 
 pub use cobra_core as core;
 pub use fir;

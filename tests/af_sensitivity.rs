@@ -42,7 +42,10 @@ fn low_af_keeps_point_queries_high_af_prefetches() {
     );
     // Costs are consistent with the choices.
     assert!(est_low <= orig_low * 1.001);
-    assert!(est_high < est_low, "amortization must reduce estimated cost");
+    assert!(
+        est_high < est_low,
+        "amortization must reduce estimated cost"
+    );
 }
 
 #[test]

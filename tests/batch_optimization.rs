@@ -1,0 +1,90 @@
+//! Tests for `Cobra::optimize_batch`, the parallel batch-optimization
+//! driver: concurrent optimization must produce byte-identical programs
+//! and bit-identical costs to sequential `optimize_program` calls. (The
+//! wall-clock speedup assertion lives in `tests/batch_speedup.rs`, its
+//! own binary, so timing is not disturbed by sibling tests.)
+
+use cobra::core::{Cobra, CostCatalog, Optimized};
+use cobra::imperative::ast::Program;
+use cobra::imperative::pretty::function_to_string;
+use cobra::netsim::NetworkProfile;
+use cobra::workloads::{motivating, wilos};
+
+/// Byte-identical results: parallel == sequential, program by program.
+/// An explicit worker count forces the threaded path even on a
+/// single-core host, so this test always exercises real cross-thread
+/// optimization (no process-global env mutation).
+#[test]
+fn batch_matches_sequential_results() {
+    // P0/M0 against the motivating fixture.
+    let fx = motivating::build_fixture(2_000, 400, 21);
+    let cobra = Cobra::new(
+        fx.db.clone(),
+        NetworkProfile::slow_remote(),
+        CostCatalog::default(),
+        fx.mapping.clone(),
+    )
+    .with_funcs(fx.funcs.clone());
+    let programs = vec![motivating::p0(), motivating::m0()];
+    assert_batch_matches(&cobra, &programs);
+
+    // All six Wilos representatives against the wilos fixture.
+    let fx = wilos::build_fixture(2_000, 21);
+    let cobra = Cobra::new(
+        fx.db.clone(),
+        NetworkProfile::fast_local(),
+        CostCatalog::default(),
+        fx.mapping.clone(),
+    )
+    .with_funcs(fx.funcs.clone());
+    let programs: Vec<Program> = wilos::Pattern::all()
+        .into_iter()
+        .map(wilos::representative)
+        .collect();
+    assert!(programs.len() >= 4);
+    assert_batch_matches(&cobra, &programs);
+}
+
+fn assert_batch_matches(cobra: &Cobra, programs: &[Program]) {
+    let sequential: Vec<Optimized> = programs
+        .iter()
+        .map(|p| cobra.optimize_program(p).unwrap())
+        .collect();
+    let parallel: Vec<Optimized> = cobra
+        .optimize_batch_with_workers(programs, 3)
+        .into_iter()
+        .map(|r| r.unwrap())
+        .collect();
+    assert_eq!(sequential.len(), parallel.len());
+    for (i, (s, p)) in sequential.iter().zip(&parallel).enumerate() {
+        assert_eq!(
+            function_to_string(&s.program),
+            function_to_string(&p.program),
+            "program {i}: byte-identical emitted program"
+        );
+        assert_eq!(
+            s.est_cost_ns.to_bits(),
+            p.est_cost_ns.to_bits(),
+            "program {i}: bit-identical cost"
+        );
+        assert_eq!(s.alternatives, p.alternatives, "program {i}");
+        assert_eq!(s.tags, p.tags, "program {i}");
+    }
+}
+
+/// Empty and singleton batches take the sequential path and still work.
+#[test]
+fn batch_edge_cases() {
+    let fx = motivating::build_fixture(500, 100, 5);
+    let cobra = Cobra::new(
+        fx.db.clone(),
+        NetworkProfile::fast_local(),
+        CostCatalog::default(),
+        fx.mapping.clone(),
+    )
+    .with_funcs(fx.funcs.clone());
+    assert!(cobra.optimize_batch(&[]).is_empty());
+    let one = cobra.optimize_batch(&[motivating::p0()]);
+    assert_eq!(one.len(), 1);
+    assert!(one[0].is_ok());
+}

@@ -1,0 +1,69 @@
+//! Wall-clock speedup of `Cobra::optimize_batch` over sequential
+//! optimization. Lives in its own test binary so no sibling test competes
+//! for cores during the timed comparison (cargo runs test binaries one at
+//! a time; tests *within* a binary run concurrently).
+
+use cobra::core::{Cobra, CostCatalog};
+use cobra::netsim::NetworkProfile;
+use cobra::workloads::wilos;
+use std::time::Instant;
+
+/// On a multi-core host, the batch driver beats back-to-back sequential
+/// optimization in wall-clock time. Work is repeated enough times that
+/// scheduling noise cannot flip the comparison on a healthy machine.
+#[test]
+fn batch_is_faster_than_sequential_on_multicore() {
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    if cores < 4 {
+        // On 1 core there is nothing to measure; on 2–3 shared CI cores
+        // the comparison is noise-dominated — only assert where a speedup
+        // is reliably observable.
+        eprintln!("{cores}-core host: speedup assertion skipped (needs >= 4)");
+        return;
+    }
+    let fx = wilos::build_fixture(5_000, 9);
+    let cobra = Cobra::new(
+        fx.db.clone(),
+        NetworkProfile::slow_remote(),
+        CostCatalog::default(),
+        fx.mapping.clone(),
+    )
+    .with_funcs(fx.funcs.clone());
+    // 6 patterns × 4 = 24 searches per measurement.
+    let mut programs = Vec::new();
+    for _ in 0..4 {
+        for pattern in wilos::Pattern::all() {
+            programs.push(wilos::representative(pattern));
+        }
+    }
+
+    // Warm-up (page in stats, allocate caches) before timing.
+    for p in programs.iter().take(2) {
+        cobra.optimize_program(p).unwrap();
+    }
+
+    let t0 = Instant::now();
+    for p in &programs {
+        cobra.optimize_program(p).unwrap();
+    }
+    let sequential = t0.elapsed();
+
+    let t1 = Instant::now();
+    let results = cobra.optimize_batch(&programs);
+    let parallel = t1.elapsed();
+    assert!(results.iter().all(|r| r.is_ok()));
+
+    let speedup = sequential.as_secs_f64() / parallel.as_secs_f64();
+    println!(
+        "optimize_batch: {} programs, {cores} cores: sequential {:?}, parallel {:?}, speedup {speedup:.2}x",
+        programs.len(),
+        sequential,
+        parallel
+    );
+    assert!(
+        speedup > 1.0,
+        "parallel batch must beat sequential on {cores} cores: {speedup:.2}x"
+    );
+}

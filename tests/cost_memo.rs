@@ -1,0 +1,98 @@
+//! Integration tests for the memoized costing layer (`volcano::CostMemo`)
+//! as used by the COBRA optimizer: cache effectiveness on real searches
+//! and — the correctness contract — that memoized search produces
+//! *identical* estimates to un-memoized search. (Counter and merge-
+//! invalidation micro-tests live with the implementation in
+//! `crates/volcano/src/costmemo.rs`.)
+
+use cobra::core::{Cobra, CostCatalog};
+use cobra::netsim::NetworkProfile;
+use cobra::workloads::{motivating, wilos};
+
+fn cobra_for_motivating(memoize: bool) -> (Cobra, Vec<cobra::imperative::ast::Program>) {
+    let fx = motivating::build_fixture(2_000, 400, 11);
+    let cobra = Cobra::new(
+        fx.db.clone(),
+        NetworkProfile::slow_remote(),
+        CostCatalog::default(),
+        fx.mapping.clone(),
+    )
+    .with_funcs(fx.funcs.clone())
+    .with_cost_memoization(memoize);
+    (cobra, vec![motivating::p0(), motivating::m0()])
+}
+
+/// The optimizer's search actually exercises the cache: on the motivating
+/// workloads most estimates are repeat consultations.
+#[test]
+fn optimizer_search_hits_the_cost_cache() {
+    let (cobra, programs) = cobra_for_motivating(true);
+    for program in &programs {
+        let opt = cobra.optimize_program(program).unwrap();
+        assert!(opt.cost_cache_misses > 0, "search consults the model");
+        assert!(
+            opt.cost_cache_hits > opt.cost_cache_misses,
+            "value iteration + extraction revisit m-exprs: {} hits vs {} misses",
+            opt.cost_cache_hits,
+            opt.cost_cache_misses
+        );
+    }
+}
+
+/// Memoized search returns identical `est_cost_ns` (and identical chosen
+/// programs) to un-memoized search on the motivating workloads.
+#[test]
+fn memoized_search_is_identical_to_unmemoized() {
+    let (with_memo, programs) = cobra_for_motivating(true);
+    let (without_memo, _) = cobra_for_motivating(false);
+    for program in &programs {
+        let a = with_memo.optimize_program(program).unwrap();
+        let b = without_memo.optimize_program(program).unwrap();
+        assert_eq!(
+            a.est_cost_ns.to_bits(),
+            b.est_cost_ns.to_bits(),
+            "bit-identical estimated cost for {}",
+            program.entry().name
+        );
+        assert_eq!(a.original_cost_ns.to_bits(), b.original_cost_ns.to_bits());
+        assert_eq!(
+            cobra::imperative::pretty::function_to_string(&a.program),
+            cobra::imperative::pretty::function_to_string(&b.program),
+            "identical chosen program"
+        );
+        assert!(a.cost_cache_misses > 0, "memoized run reports its misses");
+        assert_eq!(
+            (b.cost_cache_hits, b.cost_cache_misses),
+            (0, 0),
+            "memoization off"
+        );
+    }
+    // Same property across every Wilos pattern.
+    for pattern in wilos::Pattern::all() {
+        let fx = wilos::build_fixture(2_000, 5);
+        let program = wilos::representative(pattern);
+        let base = Cobra::new(
+            fx.db.clone(),
+            NetworkProfile::fast_local(),
+            CostCatalog::default(),
+            fx.mapping.clone(),
+        )
+        .with_funcs(fx.funcs.clone());
+        let a = base.optimize_program(&program).unwrap();
+        let fx2 = wilos::build_fixture(2_000, 5);
+        let off = Cobra::new(
+            fx2.db.clone(),
+            NetworkProfile::fast_local(),
+            CostCatalog::default(),
+            fx2.mapping.clone(),
+        )
+        .with_funcs(fx2.funcs.clone())
+        .with_cost_memoization(false);
+        let b = off.optimize_program(&program).unwrap();
+        assert_eq!(
+            a.est_cost_ns.to_bits(),
+            b.est_cost_ns.to_bits(),
+            "pattern {pattern:?}"
+        );
+    }
+}

@@ -8,11 +8,7 @@ use cobra::netsim::NetworkProfile;
 use cobra::workloads::{harness::run_on, motivating};
 
 /// Measured times and estimated costs of P0/P1/P2 on one configuration.
-fn measure(
-    orders: usize,
-    customers: usize,
-    net: NetworkProfile,
-) -> Vec<(&'static str, f64, f64)> {
+fn measure(orders: usize, customers: usize, net: NetworkProfile) -> Vec<(&'static str, f64, f64)> {
     let fx = motivating::build_fixture(orders, customers, 31);
     let cobra = Cobra::new(
         fx.db.clone(),
@@ -48,14 +44,8 @@ fn estimated_winner_is_measured_winner() {
     for (orders, customers) in grid {
         for net in [NetworkProfile::slow_remote(), NetworkProfile::fast_local()] {
             let rows = measure(orders, customers, net.clone());
-            let est_winner = rows
-                .iter()
-                .min_by(|a, b| a.2.total_cmp(&b.2))
-                .unwrap();
-            let act_best = rows
-                .iter()
-                .map(|r| r.1)
-                .fold(f64::INFINITY, f64::min);
+            let est_winner = rows.iter().min_by(|a, b| a.2.total_cmp(&b.2)).unwrap();
+            let act_best = rows.iter().map(|r| r.1).fold(f64::INFINITY, f64::min);
             assert!(
                 est_winner.1 <= act_best * 1.25,
                 "({orders},{customers},{}): estimated winner {} runs {:.3}s vs best {:.3}s\n{rows:?}",

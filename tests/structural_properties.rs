@@ -2,133 +2,160 @@
 //! generated structured programs*, the CFG-based structural analysis must
 //! reconstruct exactly the region tree that the AST implies, and regions
 //! must round-trip to statements losslessly.
+//!
+//! Driven by a deterministic xorshift generator instead of proptest (the
+//! workspace builds offline); the failing case index is in the assertion
+//! message and programs are reproducible from the fixed seed.
 
 use cobra::imperative::ast::{Expr, Function, Stmt, StmtKind};
 use cobra::imperative::regions::Region;
 use cobra::imperative::structural;
 use cobra::minidb::BinOp;
-use proptest::prelude::*;
+use cobra::workloads::rng::StdRng;
+
+/// A short lowercase name, `[a-z]{1,4}`.
+fn name(rng: &mut StdRng) -> String {
+    let len = rng.gen_range(1..5usize);
+    (0..len)
+        .map(|_| (b'a' + rng.gen_range(0..26u32) as u8) as char)
+        .collect()
+}
 
 /// A random simple (non-compound) statement.
-fn simple_stmt() -> impl Strategy<Value = Stmt> {
-    prop_oneof![
-        ("[a-z]{1,4}", 0i64..100).prop_map(|(v, n)| Stmt::new(StmtKind::Let(
-            v,
-            Expr::lit(n)
-        ))),
-        "[a-z]{1,4}".prop_map(|v| Stmt::new(StmtKind::NewCollection(v))),
-        (0i64..100).prop_map(|n| Stmt::new(StmtKind::Print(Expr::lit(n)))),
-        ("[a-z]{1,4}", "[a-z]{1,4}").prop_map(|(c, v)| Stmt::new(StmtKind::Add(
-            c,
-            Expr::var(v)
-        ))),
-    ]
-}
-
-/// Random structured statement lists, recursion depth ≤ 3.
-fn stmts(depth: u32) -> BoxedStrategy<Vec<Stmt>> {
-    let leaf = prop::collection::vec(simple_stmt(), 1..4);
-    if depth == 0 {
-        return leaf.boxed();
+fn simple_stmt(rng: &mut StdRng) -> Stmt {
+    match rng.gen_range(0..4) {
+        0 => Stmt::new(StmtKind::Let(
+            name(rng),
+            Expr::lit(rng.gen_range(0..100) as i64),
+        )),
+        1 => Stmt::new(StmtKind::NewCollection(name(rng))),
+        2 => Stmt::new(StmtKind::Print(Expr::lit(rng.gen_range(0..100) as i64))),
+        _ => Stmt::new(StmtKind::Add(name(rng), Expr::var(name(rng)))),
     }
-    let inner = stmts(depth - 1);
-    let compound = prop_oneof![
-        // if-then / if-then-else
-        (any::<bool>(), inner.clone(), inner.clone(), 0i64..10).prop_map(
-            |(has_else, t, e, n)| {
-                vec![Stmt::new(StmtKind::If {
-                    cond: Expr::bin(BinOp::Lt, Expr::var("x"), Expr::lit(n)),
-                    then_branch: t,
-                    else_branch: if has_else { e } else { vec![] },
-                })]
-            }
-        ),
-        // cursor loop
-        (inner.clone(),).prop_map(|(body,)| {
-            vec![Stmt::new(StmtKind::ForEach {
-                var: "t".into(),
-                iter: Expr::var("rows"),
-                body,
-            })]
-        }),
-        // while loop
-        (inner.clone(), 0i64..10).prop_map(|(body, n)| {
-            vec![Stmt::new(StmtKind::While {
-                cond: Expr::bin(BinOp::Lt, Expr::var("i"), Expr::lit(n)),
-                body,
-            })]
-        }),
-    ];
-    (prop::collection::vec(prop_oneof![simple_stmt().prop_map(|s| vec![s]), compound], 1..4))
-        .prop_map(|chunks| chunks.into_iter().flatten().collect())
-        .boxed()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
+/// Random structured statement lists, recursion depth ≤ `depth`.
+fn stmts(rng: &mut StdRng, depth: u32) -> Vec<Stmt> {
+    let mut out = Vec::new();
+    for _ in 0..rng.gen_range(1..4) {
+        if depth == 0 || rng.gen_range(0..4) == 0 {
+            out.push(simple_stmt(rng));
+            continue;
+        }
+        match rng.gen_range(0..3) {
+            0 => {
+                let has_else = rng.gen_bool();
+                let then_branch = stmts(rng, depth - 1);
+                let else_branch = if has_else {
+                    stmts(rng, depth - 1)
+                } else {
+                    vec![]
+                };
+                out.push(Stmt::new(StmtKind::If {
+                    cond: Expr::bin(
+                        BinOp::Lt,
+                        Expr::var("x"),
+                        Expr::lit(rng.gen_range(0..10) as i64),
+                    ),
+                    then_branch,
+                    else_branch,
+                }));
+            }
+            1 => {
+                out.push(Stmt::new(StmtKind::ForEach {
+                    var: "t".into(),
+                    iter: Expr::var("rows"),
+                    body: stmts(rng, depth - 1),
+                }));
+            }
+            _ => {
+                out.push(Stmt::new(StmtKind::While {
+                    cond: Expr::bin(
+                        BinOp::Lt,
+                        Expr::var("i"),
+                        Expr::lit(rng.gen_range(0..10) as i64),
+                    ),
+                    body: stmts(rng, depth - 1),
+                }));
+            }
+        }
+    }
+    out
+}
 
-    /// CFG-based structural analysis reconstructs the AST's region tree on
-    /// arbitrary structured programs.
-    #[test]
-    fn structural_analysis_matches_ast_regions(body in stmts(3)) {
-        let mut f = Function::new("t", vec![], body);
+/// CFG-based structural analysis reconstructs the AST's region tree on
+/// arbitrary structured programs.
+#[test]
+fn structural_analysis_matches_ast_regions() {
+    let mut rng = StdRng::seed_from_u64(0x57A7);
+    for case in 0..128 {
+        let mut f = Function::new("t", vec![], stmts(&mut rng, 3));
         f.number_lines(2);
         let from_cfg = structural::analyze(&f).expect("structured program reduces");
         let from_ast = Region::from_function(&f).normalize();
-        prop_assert!(
+        assert!(
             from_cfg.same_shape(&from_ast),
-            "shapes differ for:\n{}",
+            "case {case}: shapes differ for:\n{}",
             cobra::imperative::pretty::function_to_string(&f)
         );
     }
+}
 
-    /// Regions reconstruct their statements losslessly.
-    #[test]
-    fn regions_round_trip_statements(body in stmts(3)) {
-        let mut f = Function::new("t", vec![], body);
+/// Regions reconstruct their statements losslessly.
+#[test]
+fn regions_round_trip_statements() {
+    let mut rng = StdRng::seed_from_u64(0x2071);
+    for case in 0..128 {
+        let mut f = Function::new("t", vec![], stmts(&mut rng, 3));
         f.number_lines(2);
         let region = Region::from_function(&f);
-        prop_assert_eq!(region.to_stmts(), f.body);
+        assert_eq!(region.to_stmts(), f.body, "case {case}");
     }
+}
 
-    /// Region labels are well-formed and the outermost region spans the
-    /// whole body.
-    #[test]
-    fn region_spans_cover_the_body(body in stmts(2)) {
-        let mut f = Function::new("t", vec![], body);
+/// Region labels are well-formed and the outermost region spans the
+/// whole body.
+#[test]
+fn region_spans_cover_the_body() {
+    let mut rng = StdRng::seed_from_u64(0x5BA9);
+    for case in 0..128 {
+        let mut f = Function::new("t", vec![], stmts(&mut rng, 2));
         f.number_lines(2);
         let region = Region::from_function(&f);
         let first = f.body.first().map(|s| s.line).unwrap_or(0);
-        prop_assert_eq!(region.span.0, first);
+        assert_eq!(region.span.0, first, "case {case}");
         let mut max_line = 0;
         for s in &f.body {
             max_line = max_line.max(s.max_line());
         }
-        prop_assert!(region.span.1 >= max_line);
+        assert!(region.span.1 >= max_line, "case {case}");
     }
+}
 
-    /// Inserting any structured program into the memo and extracting the
-    /// (only) plan reproduces the program.
-    #[test]
-    fn region_dag_identity_extraction(body in stmts(2)) {
-        use cobra::core::region_ops::{optree_to_stmts, region_to_optree, RegionOp};
-        let mut f = Function::new("t", vec![], body);
+/// Inserting any structured program into the memo and extracting the
+/// (only) plan reproduces the program.
+#[test]
+fn region_dag_identity_extraction() {
+    use cobra::core::region_ops::{optree_to_stmts, region_to_optree, RegionOp};
+    struct Unit;
+    impl cobra::volcano::CostModel<RegionOp> for Unit {
+        fn cost(
+            &self,
+            _m: &cobra::volcano::Memo<RegionOp>,
+            _e: cobra::volcano::MExprId,
+            child_costs: &[f64],
+        ) -> f64 {
+            1.0 + child_costs.iter().sum::<f64>()
+        }
+    }
+    let mut rng = StdRng::seed_from_u64(0x1DE4);
+    for case in 0..128 {
+        let mut f = Function::new("t", vec![], stmts(&mut rng, 2));
         f.number_lines(2);
         let region = Region::from_function(&f);
         let mut memo: cobra::volcano::Memo<RegionOp> = cobra::volcano::Memo::new();
         let root = memo.insert_tree(&region_to_optree(&region), None);
-        struct Unit;
-        impl cobra::volcano::CostModel<RegionOp> for Unit {
-            fn cost(
-                &self,
-                _m: &cobra::volcano::Memo<RegionOp>,
-                _e: cobra::volcano::MExprId,
-                child_costs: &[f64],
-            ) -> f64 {
-                1.0 + child_costs.iter().sum::<f64>()
-            }
-        }
         let best = cobra::volcano::best_plan(&memo, root, &Unit).expect("plan");
-        prop_assert_eq!(optree_to_stmts(&best.tree), f.body);
+        assert_eq!(optree_to_stmts(&best.tree), f.body, "case {case}");
     }
 }

@@ -1,5 +1,5 @@
 //! Figure 15: performance benefits due to COBRA on the Wilos-like
-//! patterns — Original vs Heuristic ([4]'s push-to-SQL) vs COBRA(AF=50)
+//! patterns — Original vs Heuristic (the paper's citation \[4\], push-to-SQL) vs COBRA(AF=50)
 //! vs COBRA(AF=1), on the fast local network with the largest relations at
 //! the configured scale (paper: 1 million; `COBRA_SCALE` to override).
 //!

@@ -21,8 +21,11 @@ pub fn scale() -> usize {
 
 /// Build a COBRA optimizer for a fixture.
 pub fn cobra_for(fixture: &Fixture, net: NetworkProfile, catalog: CostCatalog) -> Cobra {
-    Cobra::new(fixture.db.clone(), net, catalog, fixture.mapping.clone())
-        .with_funcs(fixture.funcs.clone())
+    fixture
+        .cobra_builder()
+        .network(net)
+        .catalog(catalog)
+        .build()
 }
 
 /// Optimize `program` and run the chosen rewriting; returns

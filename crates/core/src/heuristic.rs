@@ -1,4 +1,4 @@
-//! The heuristic optimizer of earlier work ([4] in the paper): "push as
+//! The heuristic optimizer of earlier work (citation \[4\] in the paper): "push as
 //! much computation as possible into SQL query, then prefetch the query
 //! results at the earliest program point".
 //!
@@ -14,7 +14,7 @@ use orm::MappingRegistry;
 
 /// Rewrite the entry function with the push-to-SQL heuristic.
 ///
-/// Inlines procedure calls when possible (the heuristic of [4] also works
+/// Inlines procedure calls when possible (the heuristic of \[4\] also works
 /// interprocedurally), then rewrites every loop bottom-up using the
 /// highest-scoring SQL-push alternative.
 pub fn optimize_heuristic(program: &Program, mappings: &MappingRegistry) -> Function {

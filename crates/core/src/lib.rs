@@ -19,19 +19,33 @@
 //!                              least-cost program (emitted back as AST)
 //! ```
 //!
-//! Entry point: [`Cobra`]. A [`CostCatalog`] carries the tunable cost
-//! parameters (the paper provides them "as a cost catalog file"; see
-//! [`CostCatalog::parse`]).
+//! Entry point: [`Cobra`], constructed through [`Cobra::builder`] /
+//! [`CobraBuilder`]. The typed configuration layer makes the paper's
+//! three inputs explicit API objects: a [`CostCatalog`] carries the
+//! tunable cost parameters (the paper provides them "as a cost catalog
+//! file"; see [`CostCatalog::parse`]), a [`fir::RuleSet`] names the
+//! transformation rules with per-rule toggles, and a [`SearchBudget`]
+//! bounds search effort — with exhaustion surfaced on the result instead
+//! of silent truncation. [`Cobra::explain`] returns a structured
+//! [`OptimizationReport`] of every cost-based choice the search made.
 
 pub mod catalog;
+pub mod config;
 pub mod cost;
 pub mod emit;
 pub mod heuristic;
 pub mod optimizer;
 pub mod region_ops;
+pub mod report;
 pub mod transforms;
 
 pub use catalog::CostCatalog;
+pub use config::{CobraBuilder, OptimizerConfig, SearchBudget};
 pub use cost::RegionCostModel;
 pub use optimizer::{Cobra, Optimized};
 pub use region_ops::RegionOp;
+pub use report::{ChoicePoint, OptimizationReport, ReportedAlternative};
+
+// Re-exported so configuring rules does not require a direct `fir`
+// dependency.
+pub use fir::{Rule, RuleAction, RuleSet};

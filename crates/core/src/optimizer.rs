@@ -2,11 +2,14 @@
 //! least-cost extraction, program emission.
 
 use crate::catalog::CostCatalog;
+use crate::config::{CobraBuilder, OptimizerConfig, SearchBudget};
 use crate::cost::RegionCostModel;
 use crate::emit;
 use crate::region_ops::{region_to_optree, RegionOp};
+use crate::report::{region_label, ChoicePoint, OptimizationReport, ReportedAlternative};
 use crate::transforms;
 use fir::build::FirAlternative;
+use fir::RuleSet;
 use imperative::ast::{Expr, Function, Program, Stmt, StmtKind};
 use imperative::regions::Region;
 use minidb::{DbError, DbResult, FuncRegistry, LogicalPlan};
@@ -15,10 +18,7 @@ use orm::MappingRegistry;
 
 use std::collections::HashMap;
 
-use volcano::{GroupId, Memo};
-
-/// Bound on F-IR alternatives explored per loop region.
-const MAX_LOOP_ALTERNATIVES: usize = 64;
+use volcano::{CostModel, GroupId, MExprId, Memo};
 
 /// The result of optimizing a program.
 #[derive(Debug, Clone)]
@@ -45,17 +45,25 @@ pub struct Optimized {
     pub cost_cache_hits: u64,
     /// Cost estimates computed by the underlying model during the search.
     pub cost_cache_misses: u64,
+    /// True when a [`SearchBudget`] bound clipped the search (alternative
+    /// generation, memo growth, or cost iteration) — alternatives were
+    /// dropped rather than explored. Also surfaced as the
+    /// `"budget-exhausted"` tag.
+    pub budget_exhausted: bool,
 }
 
 /// The COBRA optimizer (Figure 1: program + transformations + cost model
 /// → least-cost equivalent program).
+///
+/// Construct one with [`Cobra::builder`]; the optimizer owns a database
+/// handle, ORM mappings, a function registry, and an
+/// [`OptimizerConfig`] (network profile, cost catalog, [`RuleSet`],
+/// [`SearchBudget`], memoization toggle).
 pub struct Cobra {
     db: minidb::SharedDb,
     funcs: std::sync::Arc<FuncRegistry>,
-    net: NetworkProfile,
-    catalog: CostCatalog,
     mappings: MappingRegistry,
-    memoize_costs: bool,
+    config: OptimizerConfig,
 }
 
 // The optimizer pipeline is thread-safe by construction: shared state goes
@@ -70,26 +78,62 @@ const _: () = {
 };
 
 impl Cobra {
+    /// Start a [`CobraBuilder`] over a shared database handle — the
+    /// primary way to construct an optimizer.
+    ///
+    /// ```
+    /// use cobra_core::{Cobra, CostCatalog};
+    /// use netsim::NetworkProfile;
+    ///
+    /// let db = minidb::shared(minidb::Database::new());
+    /// let cobra = Cobra::builder(db)
+    ///     .network(NetworkProfile::slow_remote())
+    ///     .catalog(CostCatalog::with_af(50.0))
+    ///     .build();
+    /// assert_eq!(cobra.network().name(), "slow-remote");
+    /// ```
+    pub fn builder(db: minidb::SharedDb) -> CobraBuilder {
+        CobraBuilder::new(db)
+    }
+
+    /// Assemble an optimizer from its parts (what [`CobraBuilder::build`]
+    /// calls).
+    pub(crate) fn from_parts(
+        db: minidb::SharedDb,
+        funcs: std::sync::Arc<FuncRegistry>,
+        mappings: MappingRegistry,
+        config: OptimizerConfig,
+    ) -> Cobra {
+        Cobra {
+            db,
+            funcs,
+            mappings,
+            config,
+        }
+    }
+
     /// Create an optimizer against a database, network profile, cost
     /// catalog and ORM mapping registry.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `Cobra::builder(db).network(..).catalog(..).mappings(..).build()`"
+    )]
     pub fn new(
         db: minidb::SharedDb,
         net: NetworkProfile,
         catalog: CostCatalog,
         mappings: MappingRegistry,
     ) -> Cobra {
-        Cobra {
-            db,
-            funcs: std::sync::Arc::new(FuncRegistry::with_builtins()),
-            net,
-            catalog,
-            mappings,
-            memoize_costs: true,
-        }
+        Cobra::builder(db)
+            .network(net)
+            .catalog(catalog)
+            .mappings(mappings)
+            .build()
     }
 
     /// Use a custom function registry (needed when programs call
     /// application-specific pure functions like `myFunc`).
+    #[deprecated(since = "0.2.0", note = "use `CobraBuilder::funcs`")]
     pub fn with_funcs(mut self, funcs: std::sync::Arc<FuncRegistry>) -> Cobra {
         self.funcs = funcs;
         self
@@ -98,19 +142,35 @@ impl Cobra {
     /// Enable or disable per-search cost memoization (on by default).
     /// Memoized and un-memoized searches return bit-identical costs; the
     /// toggle exists for benchmarking and for tests asserting exactly that.
+    #[deprecated(since = "0.2.0", note = "use `CobraBuilder::memoize_costs`")]
     pub fn with_cost_memoization(mut self, on: bool) -> Cobra {
-        self.memoize_costs = on;
+        self.config.memoize_costs = on;
         self
     }
 
     /// The network profile this optimizer costs against.
     pub fn network(&self) -> &NetworkProfile {
-        &self.net
+        &self.config.network
     }
 
     /// The cost catalog.
     pub fn catalog(&self) -> &CostCatalog {
-        &self.catalog
+        &self.config.catalog
+    }
+
+    /// The transformation rules the search explores.
+    pub fn rules(&self) -> &RuleSet {
+        &self.config.rules
+    }
+
+    /// The search budget.
+    pub fn budget(&self) -> &SearchBudget {
+        &self.config.budget
+    }
+
+    /// The whole configuration.
+    pub fn config(&self) -> &OptimizerConfig {
+        &self.config
     }
 
     /// Optimize a single function (no callees).
@@ -120,9 +180,25 @@ impl Cobra {
 
     /// Optimize a program's entry function: builds the Region DAG over the
     /// original (plus the inlined variant when procedure calls can be
-    /// inlined), generates alternatives for every loop/statement region,
-    /// and extracts the least-cost program.
+    /// inlined and the `inline` rule is enabled), generates alternatives
+    /// for every loop/statement region under the configured [`RuleSet`]
+    /// and [`SearchBudget`], and extracts the least-cost program.
     pub fn optimize_program(&self, program: &Program) -> DbResult<Optimized> {
+        Ok(self.run_search(program)?.summary)
+    }
+
+    /// Optimize like [`Cobra::optimize_program`], additionally reporting
+    /// every choice point the cost model decided: the winning and losing
+    /// alternatives per region, their estimated costs, and which rules
+    /// produced them. The report pretty-prints via [`std::fmt::Display`].
+    pub fn explain(&self, program: &Program) -> DbResult<OptimizationReport> {
+        Ok(self.run_search(program)?.into_report())
+    }
+
+    /// The shared search behind [`Cobra::optimize_program`] and
+    /// [`Cobra::explain`].
+    fn run_search(&self, program: &Program) -> DbResult<SearchRun> {
+        let budget = &self.config.budget;
         let entry = program.entry();
         let mut memo: Memo<RegionOp> = Memo::new();
         let mut var_plans: HashMap<String, LogicalPlan> = HashMap::new();
@@ -137,22 +213,43 @@ impl Cobra {
             memo: &mut memo,
             mappings: &self.mappings,
             var_plans: &mut var_plans,
+            rules: &self.config.rules,
+            budget,
+            provenance: HashMap::new(),
+            exhausted: false,
         };
         let region = Region::from_function(entry);
         let root = builder.insert_region(&region, &live0, None, None);
 
         // Variant 1: the inlined entry, if calls can be inlined (pattern D).
-        if let Some(inlined) = transforms::inline_calls(program) {
-            let region = Region::from_function(&inlined);
-            builder.insert_region(&region, &live0, None, Some(root));
+        if self.config.rules.is_enabled("inline") {
+            if let Some(inlined) = transforms::inline_calls(program) {
+                if builder.memo_has_room() {
+                    let before: Vec<MExprId> = builder.memo.group(root).to_vec();
+                    let region = Region::from_function(&inlined);
+                    builder.insert_region(&region, &live0, None, Some(root));
+                    for &e in builder.memo.group(root) {
+                        if !before.contains(&e) {
+                            builder.provenance.insert(e, vec!["inline"]);
+                        }
+                    }
+                } else {
+                    builder.exhausted = true;
+                }
+            }
         }
+        let DagBuilder {
+            provenance,
+            exhausted: mut budget_exhausted,
+            ..
+        } = builder;
 
         // Cost-based extraction.
         let mut model = RegionCostModel::new(
             self.db.clone(),
             self.funcs.clone(),
-            self.net.clone(),
-            self.catalog.clone(),
+            self.config.network.clone(),
+            self.config.catalog.clone(),
             self.mappings.clone(),
         );
         model.set_var_plans(var_plans);
@@ -162,24 +259,35 @@ impl Cobra {
         // model (estimator + network formulas) dominates search time. A
         // `CostMemo` is valid for exactly one `Memo`, so each search
         // builds its own.
-        let (best, cache_hits, cache_misses) = if self.memoize_costs {
+        let sweeps = budget.max_search_sweeps;
+        let (best, table, cache_hits, cache_misses) = if self.config.memoize_costs {
             let memoized = volcano::CostMemo::new(&model);
-            let best = volcano::best_plan(&memo, root, &memoized);
+            let table = volcano::cost_table(&memo, &memoized, sweeps);
+            let best = volcano::best_plan_from(&memo, root, &memoized, &table);
             let (h, m) = (memoized.hits(), memoized.misses());
-            (best, h, m)
+            (best, table, h, m)
         } else {
-            (volcano::best_plan(&memo, root, &model), 0, 0)
+            let table = volcano::cost_table(&memo, &model, sweeps);
+            let best = volcano::best_plan_from(&memo, root, &model, &table);
+            (best, table, 0, 0)
         };
         let best = best.ok_or_else(|| DbError::Invalid("no plan for program".to_string()))?;
+        if !table.converged {
+            budget_exhausted = true;
+        }
 
         let program_out = emit::emit_function(&entry.name, &entry.params, &best.tree);
-        let tags = emit::describe(&program_out);
+        let mut tags = emit::describe(&program_out);
+        if budget_exhausted {
+            tags.push("budget-exhausted");
+            log_budget_exhausted(&entry.name);
+        }
         let original_cost_ns = self.cost_of_with(&model, entry);
 
         let choice_points = (0..memo.num_groups())
             .filter(|&g| memo.find(g) == g && memo.group(g).len() > 1)
             .count();
-        Ok(Optimized {
+        let summary = Optimized {
             program: program_out,
             est_cost_ns: best.cost,
             original_cost_ns,
@@ -190,6 +298,15 @@ impl Cobra {
             tags,
             cost_cache_hits: cache_hits,
             cost_cache_misses: cache_misses,
+            budget_exhausted,
+        };
+        Ok(SearchRun {
+            memo,
+            best,
+            table,
+            provenance,
+            model,
+            summary,
         })
     }
 
@@ -268,8 +385,8 @@ impl Cobra {
         let mut model = RegionCostModel::new(
             self.db.clone(),
             self.funcs.clone(),
-            self.net.clone(),
-            self.catalog.clone(),
+            self.config.network.clone(),
+            self.config.catalog.clone(),
             self.mappings.clone(),
         );
         let mut var_plans = HashMap::new();
@@ -285,7 +402,7 @@ impl Cobra {
         // Fresh per-memo cache (CostMemo keys by MExprId, which is only
         // meaningful within a single Memo); honors the memoization toggle
         // like `optimize_program` does.
-        let best = if self.memoize_costs {
+        let best = if self.config.memoize_costs {
             let memoized = volcano::CostMemo::new(model);
             volcano::best_plan(&memo, root, &memoized)
         } else {
@@ -300,8 +417,8 @@ impl Cobra {
         let mut model = RegionCostModel::new(
             self.db.clone(),
             self.funcs.clone(),
-            self.net.clone(),
-            self.catalog.clone(),
+            self.config.network.clone(),
+            self.config.catalog.clone(),
             self.mappings.clone(),
         );
         let mut var_plans = HashMap::new();
@@ -317,12 +434,130 @@ impl Cobra {
     }
 }
 
+/// Emit a budget-exhaustion notice (opt-in via `COBRA_LOG`, so library
+/// users are not spammed; the flag on [`Optimized`] is the durable record).
+fn log_budget_exhausted(name: &str) {
+    if std::env::var_os("COBRA_LOG").is_some() {
+        eprintln!(
+            "cobra: search budget exhausted while optimizing `{name}`; \
+             alternatives were dropped (raise SearchBudget to explore them)"
+        );
+    }
+}
+
+/// Everything one search produced: the summary plus the introspection
+/// state [`Cobra::explain`] turns into an [`OptimizationReport`].
+struct SearchRun {
+    memo: Memo<RegionOp>,
+    best: volcano::BestPlan<RegionOp>,
+    table: volcano::CostTable,
+    provenance: HashMap<MExprId, Vec<&'static str>>,
+    model: RegionCostModel,
+    summary: Optimized,
+}
+
+impl SearchRun {
+    fn into_report(self) -> OptimizationReport {
+        let SearchRun {
+            memo,
+            best,
+            table,
+            provenance,
+            model,
+            summary,
+        } = self;
+        let chosen: HashMap<GroupId, MExprId> = best.choices.iter().copied().collect();
+
+        let mut choice_points = Vec::new();
+        for g in 0..memo.num_groups() {
+            if memo.find(g) != g || memo.group(g).len() <= 1 {
+                continue;
+            }
+            let exprs = memo.group(g).to_vec();
+            // The group's first expression is the region as originally
+            // inserted — its operator names the region.
+            let region = region_label(&memo.expr(exprs[0]).op);
+            let on_chosen_path = chosen.contains_key(&g);
+            let mut alternatives: Vec<ReportedAlternative> = exprs
+                .iter()
+                .map(|&eid| {
+                    let e = memo.expr(eid);
+                    let child_costs: Vec<f64> = e
+                        .children
+                        .iter()
+                        .map(|&c| table.group_costs[memo.find(c)])
+                        .collect();
+                    let cost_ns = if child_costs.iter().any(|c| !c.is_finite()) {
+                        f64::INFINITY
+                    } else {
+                        model.cost(&memo, eid, &child_costs)
+                    };
+                    ReportedAlternative {
+                        expr: eid,
+                        label: region_label(&e.op),
+                        rules: provenance
+                            .get(&eid)
+                            .cloned()
+                            .unwrap_or_else(|| vec!["original"]),
+                        cost_ns,
+                        chosen: chosen.get(&g) == Some(&eid),
+                    }
+                })
+                .collect();
+            // Ascending cost; the chosen alternative leads among ties.
+            alternatives.sort_by(|a, b| {
+                (a.cost_ns, !a.chosen)
+                    .partial_cmp(&(b.cost_ns, !b.chosen))
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            });
+            choice_points.push(ChoicePoint {
+                group: g,
+                region,
+                on_chosen_path,
+                alternatives,
+            });
+        }
+        choice_points.sort_by_key(|c| {
+            (
+                !c.on_chosen_path,
+                std::cmp::Reverse(c.alternatives.len()),
+                c.group,
+            )
+        });
+
+        let mut rules_fired: Vec<&'static str> = Vec::new();
+        let mut ids: Vec<MExprId> = provenance.keys().copied().collect();
+        ids.sort_unstable();
+        for id in ids {
+            for r in &provenance[&id] {
+                if !rules_fired.contains(r) {
+                    rules_fired.push(r);
+                }
+            }
+        }
+
+        OptimizationReport {
+            summary,
+            choice_points,
+            rules_fired,
+        }
+    }
+}
+
 /// Builds the Region DAG: inserts region trees and registers alternatives
-/// from the F-IR rules (loops) and the statement-level prefetch rule.
+/// from the F-IR rules (loops) and the statement-level prefetch rule,
+/// consulting the configured [`RuleSet`] and [`SearchBudget`] and
+/// recording which rules produced each registered alternative.
 struct DagBuilder<'a> {
     memo: &'a mut Memo<RegionOp>,
     mappings: &'a MappingRegistry,
     var_plans: &'a mut HashMap<String, LogicalPlan>,
+    rules: &'a RuleSet,
+    budget: &'a SearchBudget,
+    /// Root m-expr of each registered alternative → rules that derived it.
+    provenance: HashMap<MExprId, Vec<&'static str>>,
+    /// Set when any budget bound clipped alternative registration.
+    exhausted: bool,
 }
 
 impl<'a> DagBuilder<'a> {
@@ -347,10 +582,18 @@ impl<'a> DagBuilder<'a> {
                     .memo
                     .insert_expr(RegionOp::Leaf(stmt.clone()), vec![], into);
                 self.register_var_plan(stmt);
-                // Statement-level prefetch alternative (patterns E/F).
-                if let Some(alt_stmts) = transforms::prefetch_stmt_alternative(stmt) {
-                    let tree = region_to_optree(&Region::from_stmts(&alt_stmts));
-                    self.memo.insert_tree(&tree, Some(g));
+                // Statement-level prefetch alternative (patterns E/F) —
+                // the prefetch rule N1 applied at statement granularity.
+                if self.rules.is_enabled("N1") {
+                    if let Some(alt_stmts) = transforms::prefetch_stmt_alternative(stmt) {
+                        if self.memo_has_room() {
+                            let tree = region_to_optree(&Region::from_stmts(&alt_stmts));
+                            let (_, eid) = self.memo.insert_tree_full(&tree, Some(g));
+                            self.provenance.entry(eid).or_insert_with(|| vec!["N1"]);
+                        } else {
+                            self.exhausted = true;
+                        }
+                    }
                 }
                 g
             }
@@ -437,20 +680,38 @@ impl<'a> DagBuilder<'a> {
         else {
             return;
         };
-        for alt in fir::rules::expand_alternatives(base, MAX_LOOP_ALTERNATIVES) {
+        let expansion = fir::expand_with(base, self.rules, self.budget.max_alternatives_per_region);
+        if expansion.truncated {
+            self.exhausted = true;
+        }
+        for alt in expansion.alternatives {
             if !self.t1_gate_ok(&alt, prev_sibling) {
                 continue;
             }
             let Some(stmts) = fir::codegen::generate(&alt) else {
                 continue;
             };
+            if !self.memo_has_room() {
+                self.exhausted = true;
+                break;
+            }
             for s in &stmts {
                 self.register_var_plan(s);
             }
             transforms::collect_var_plans(&stmts, self.mappings, self.var_plans);
             let tree = region_to_optree(&Region::from_stmts(&stmts));
-            self.memo.insert_tree(&tree, Some(group));
+            let (_, eid) = self.memo.insert_tree_full(&tree, Some(group));
+            self.provenance
+                .entry(eid)
+                .or_insert_with(|| alt.rules_applied.clone());
         }
+    }
+
+    /// Whether the memo caps of the budget leave room for more
+    /// alternatives.
+    fn memo_has_room(&self) -> bool {
+        self.budget
+            .memo_has_room(self.memo.num_groups(), self.memo.num_exprs())
     }
 
     /// Rule T1's validity gate: `fold(insert, {}, Q) = Q` requires the

@@ -20,14 +20,20 @@
 //!   (prefetching), N2 (selection pull-out), T1 (fold removal), plus the
 //!   closure driver [`rules::expand_alternatives`],
 //! * [`codegen`] — F-IR alternative → imperative statements, the inverse
-//!   of [`build`].
+//!   of [`build`],
+//! * [`ruleset`] — the rules as first-class API objects: a [`RuleSet`]
+//!   registry with per-rule enable/disable toggles and room for
+//!   user-registered [`Rule`]s, consumed by the closure driver
+//!   [`ruleset::expand_with`].
 
 pub mod arena;
 pub mod build;
 pub mod codegen;
 pub mod rules;
+pub mod ruleset;
 
 pub use arena::{FirArena, FirId, FirNode};
 pub use build::{loop_to_fold, FirAlternative, Prefetch};
 pub use codegen::generate;
 pub use rules::expand_alternatives;
+pub use ruleset::{expand_with, Expansion, Rule, RuleAction, RuleSet};

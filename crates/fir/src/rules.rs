@@ -79,7 +79,7 @@ fn top_fold(alt: &FirAlternative) -> Option<FirId> {
 }
 
 /// All fold nodes reachable from the alternative's assignments.
-fn reachable_folds(alt: &FirAlternative) -> Vec<FirId> {
+pub(crate) fn reachable_folds(alt: &FirAlternative) -> Vec<FirId> {
     let mut out = Vec::new();
     for (_, root) in &alt.assigns {
         for id in alt.arena.reachable(*root) {
@@ -92,7 +92,7 @@ fn reachable_folds(alt: &FirAlternative) -> Vec<FirId> {
 }
 
 /// Rebuild every assignment with `old` replaced by `new_node`.
-fn replace_node(
+pub(crate) fn replace_node(
     alt: &FirAlternative,
     old: FirId,
     new_node: FirNode,
@@ -487,7 +487,7 @@ pub fn t5_aggregation(alt: &FirAlternative) -> Vec<FirAlternative> {
 
 /// Rule T2 applied to one fold node: if every accumulator update is
 /// `?(p, g, <acc>)` with the same `p`, push `p` into the source query.
-fn t2_on_fold(arena: &mut FirArena, fold: FirId) -> Option<(FirNode, &'static str)> {
+pub(crate) fn t2_on_fold(arena: &mut FirArena, fold: FirId) -> Option<(FirNode, &'static str)> {
     let parts = fold_parts(arena, fold)?;
     let FirNode::Query { plan, binds } = arena.node(parts.source).clone() else {
         return None;
@@ -540,7 +540,7 @@ fn t2_on_fold(arena: &mut FirArena, fold: FirId) -> Option<(FirNode, &'static st
 // Rule N2 — selection pull-out (reverse of T2).
 // --------------------------------------------------------------------
 
-fn n2_on_fold(arena: &mut FirArena, fold: FirId) -> Option<(FirNode, &'static str)> {
+pub(crate) fn n2_on_fold(arena: &mut FirArena, fold: FirId) -> Option<(FirNode, &'static str)> {
     let parts = fold_parts(arena, fold)?;
     let FirNode::Query { plan, binds } = arena.node(parts.source).clone() else {
         return None;
@@ -593,7 +593,10 @@ fn n2_on_fold(arena: &mut FirArena, fold: FirId) -> Option<(FirNode, &'static st
 
 /// Rewrite an iterative single-row lookup inside the fold into a join with
 /// the source (the paper's "variation of rule T5" that turns P0 into P1).
-fn lookup_to_join_on_fold(arena: &mut FirArena, fold: FirId) -> Option<(FirNode, &'static str)> {
+pub(crate) fn lookup_to_join_on_fold(
+    arena: &mut FirArena,
+    fold: FirId,
+) -> Option<(FirNode, &'static str)> {
     let parts = fold_parts(arena, fold)?;
     let FirNode::Query { plan, binds } = arena.node(parts.source).clone() else {
         return None;
@@ -664,7 +667,10 @@ fn lookup_to_join_on_fold(arena: &mut FirArena, fold: FirId) -> Option<(FirNode,
 
 /// Rule T4 proper: a nested fold over a correlated selection becomes a
 /// single fold over a join (nested-loops join identification, pattern C).
-fn t4_nested_join_on_fold(arena: &mut FirArena, fold: FirId) -> Option<(FirNode, &'static str)> {
+pub(crate) fn t4_nested_join_on_fold(
+    arena: &mut FirArena,
+    fold: FirId,
+) -> Option<(FirNode, &'static str)> {
     let outer = fold_parts(arena, fold)?;
     let FirNode::Query {
         plan: outer_plan,
@@ -851,57 +857,15 @@ pub fn t1_fold_removal(alt: &FirAlternative) -> Option<FirAlternative> {
 // Driver.
 // --------------------------------------------------------------------
 
-/// Close `base` under all rules, deduplicating structurally. Returns the
-/// base plus every derived alternative (bounded by `max_alternatives`).
+/// Close `base` under the standard rule set, deduplicating structurally.
+/// Returns the base plus every derived alternative (bounded by
+/// `max_alternatives`). Convenience wrapper over
+/// [`crate::ruleset::expand_with`] with [`crate::RuleSet::standard`]; use
+/// `expand_with` to toggle individual rules or register your own, and to
+/// learn whether the bound clipped the closure.
 pub fn expand_alternatives(base: FirAlternative, max_alternatives: usize) -> Vec<FirAlternative> {
-    let mut out: Vec<FirAlternative> = Vec::new();
-    let mut seen: Vec<String> = Vec::new();
-    let mut queue: Vec<FirAlternative> = vec![base];
-    while let Some(alt) = queue.pop() {
-        let key = alt.key();
-        if seen.contains(&key) {
-            continue;
-        }
-        seen.push(key);
-        out.push(alt.clone());
-        if out.len() >= max_alternatives {
-            break;
-        }
-
-        // Alternative-level rules.
-        for produced in t5_aggregation(&alt) {
-            queue.push(produced);
-        }
-        if let Some(p) = n1_prefetch(&alt) {
-            queue.push(p);
-        }
-        if let Some(p) = t1_fold_removal(&alt) {
-            queue.push(p);
-        }
-
-        // Fold-local rules, tried at every fold node.
-        type FoldRule = fn(&mut FirArena, FirId) -> Option<(FirNode, &'static str)>;
-        let fold_rules: [FoldRule; 4] = [
-            t2_on_fold,
-            n2_on_fold,
-            lookup_to_join_on_fold,
-            t4_nested_join_on_fold,
-        ];
-        for fold in reachable_folds(&alt) {
-            for rule in fold_rules {
-                let mut arena = alt.arena.clone();
-                if let Some((replacement, name)) = rule(&mut arena, fold) {
-                    let staged = FirAlternative {
-                        arena,
-                        ..alt.clone()
-                    };
-                    let rewritten = replace_node(&staged, fold, replacement, name, Vec::new());
-                    queue.push(rewritten);
-                }
-            }
-        }
-    }
-    out
+    crate::ruleset::expand_with(base, &crate::ruleset::RuleSet::standard(), max_alternatives)
+        .alternatives
 }
 
 #[cfg(test)]

@@ -1,0 +1,494 @@
+//! First-class transformation rules: a named, toggleable rule registry.
+//!
+//! COBRA's contract (Figure 1) is *program + transformation rules + cost
+//! model → least-cost program*. This module makes the middle input a real
+//! API object: every F-IR transformation (T1–T5, N1, N2) is a named
+//! [`Rule`], and a [`RuleSet`] is the registry the closure driver
+//! [`expand_with`] consults. Rules can be disabled for ablation studies,
+//! per-tenant configurations, or debugging, and user rules can be
+//! registered alongside the standard set.
+//!
+//! Rule T3 (pushing scalar functions into query projections) has no
+//! registry entry: it is subsumed by the F-IR ⇄ SQL expression translation
+//! that T2/T5 perform and cannot fire (or be disabled) on its own.
+//!
+//! The registry's iteration order **is** the exploration order of the
+//! closure driver; [`RuleSet::standard`] lists the rules in the order the
+//! legacy hard-coded driver applied them, so results are reproducible
+//! across releases.
+
+use crate::arena::{FirArena, FirId, FirNode};
+use crate::build::FirAlternative;
+use crate::rules;
+use std::sync::Arc;
+
+/// Rewrite callback over a whole alternative (may derive several).
+pub type AlternativeFn = dyn Fn(&FirAlternative) -> Vec<FirAlternative> + Send + Sync;
+/// Rewrite callback tried at every reachable fold node. Returns the
+/// replacement node and the rule tag recorded in
+/// [`FirAlternative::rules_applied`].
+pub type FoldLocalFn =
+    dyn Fn(&mut FirArena, FirId) -> Option<(FirNode, &'static str)> + Send + Sync;
+
+/// How (part of) a rule rewrites alternatives.
+#[derive(Clone)]
+pub enum RuleAction {
+    /// Applies to the whole alternative (T1, T5, N1).
+    Alternative(Arc<AlternativeFn>),
+    /// Applies at each fold node reachable from the alternative's
+    /// assignments (T2, N2, T4).
+    FoldLocal(Arc<FoldLocalFn>),
+    /// Implemented outside the F-IR closure engine; the embedding
+    /// optimizer consults [`RuleSet::is_enabled`] by name (procedure
+    /// inlining, statement-level prefetching).
+    External,
+}
+
+/// A named transformation rule: one of the paper's T/N rules or a
+/// user-registered extension.
+///
+/// A rule may carry several [`RuleAction`]s (rule T4 covers both the
+/// lookup-to-join and the nested-fold-to-join rewrite); enabling or
+/// disabling the rule toggles all of them together.
+#[derive(Clone)]
+pub struct Rule {
+    name: &'static str,
+    description: &'static str,
+    actions: Vec<RuleAction>,
+}
+
+impl Rule {
+    /// A rule rewriting whole alternatives.
+    pub fn alternative(
+        name: &'static str,
+        description: &'static str,
+        f: impl Fn(&FirAlternative) -> Vec<FirAlternative> + Send + Sync + 'static,
+    ) -> Rule {
+        Rule {
+            name,
+            description,
+            actions: vec![RuleAction::Alternative(Arc::new(f))],
+        }
+    }
+
+    /// A rule rewriting individual fold nodes.
+    pub fn fold_local(
+        name: &'static str,
+        description: &'static str,
+        f: impl Fn(&mut FirArena, FirId) -> Option<(FirNode, &'static str)> + Send + Sync + 'static,
+    ) -> Rule {
+        Rule {
+            name,
+            description,
+            actions: vec![RuleAction::FoldLocal(Arc::new(f))],
+        }
+    }
+
+    /// A rule implemented outside the F-IR engine, consulted by name.
+    pub fn external(name: &'static str, description: &'static str) -> Rule {
+        Rule {
+            name,
+            description,
+            actions: vec![RuleAction::External],
+        }
+    }
+
+    /// Add a further action to this rule (builder style).
+    pub fn with_action(mut self, action: RuleAction) -> Rule {
+        self.actions.push(action);
+        self
+    }
+
+    /// The rule's name (`"T1"` … `"N2"`, or a user-chosen name).
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// One-line description of what the rule does.
+    pub fn description(&self) -> &'static str {
+        self.description
+    }
+
+    /// The rule's rewrite actions.
+    pub fn actions(&self) -> &[RuleAction] {
+        &self.actions
+    }
+}
+
+impl std::fmt::Debug for Rule {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Rule")
+            .field("name", &self.name)
+            .field("description", &self.description)
+            .field("actions", &self.actions.len())
+            .finish()
+    }
+}
+
+/// The registry of transformation rules the optimizer explores, with
+/// per-rule enable/disable toggles.
+///
+/// ```
+/// use fir::RuleSet;
+///
+/// let mut rules = RuleSet::standard();
+/// assert!(rules.is_enabled("N1"));
+/// rules.disable("N1"); // ablate prefetching
+/// assert!(!rules.is_enabled("N1"));
+/// ```
+#[derive(Clone, Default)]
+pub struct RuleSet {
+    rules: Vec<(Rule, bool)>,
+}
+
+impl RuleSet {
+    /// An empty registry (no transformations; the optimizer can only keep
+    /// programs as written).
+    pub fn empty() -> RuleSet {
+        RuleSet { rules: Vec::new() }
+    }
+
+    /// The paper's standard rule set: T1–T5 and N1/N2, plus the `inline`
+    /// rule (procedure inlining, the enabler of pattern D) which the
+    /// Region-DAG optimizer applies outside the F-IR engine.
+    ///
+    /// Registry order is exploration order and deliberately matches the
+    /// legacy hard-coded driver: alternative-level rules T5, N1, T1 first,
+    /// then the fold-local rules T2, N2, T4.
+    pub fn standard() -> RuleSet {
+        let mut set = RuleSet::empty();
+        set.register(Rule::alternative(
+            "T5",
+            "extract aggregations into SQL (full and partial)",
+            rules::t5_aggregation,
+        ));
+        set.register(Rule::alternative(
+            "N1",
+            "prefetch relations client-side; lookups probe the cache",
+            |alt| rules::n1_prefetch(alt).into_iter().collect(),
+        ));
+        set.register(Rule::alternative(
+            "T1",
+            "fold(insert, {}, Q) = Q: a loop materializing a query is the query",
+            |alt| rules::t1_fold_removal(alt).into_iter().collect(),
+        ));
+        set.register(Rule::fold_local(
+            "T2",
+            "push a common conditional predicate into the source query",
+            rules::t2_on_fold,
+        ));
+        set.register(Rule::fold_local(
+            "N2",
+            "pull a selection out of the source query (reverse of T2)",
+            rules::n2_on_fold,
+        ));
+        set.register(
+            Rule::fold_local(
+                "T4",
+                "iterative lookups / nested folds become joins",
+                rules::lookup_to_join_on_fold,
+            )
+            .with_action(RuleAction::FoldLocal(Arc::new(
+                rules::t4_nested_join_on_fold,
+            ))),
+        );
+        set.register(Rule::external(
+            "inline",
+            "inline procedure calls so loop bodies expose their queries (pattern D)",
+        ));
+        set
+    }
+
+    /// Register a rule (enabled). Re-registering a name replaces the old
+    /// rule, keeping its position and toggle state.
+    pub fn register(&mut self, rule: Rule) {
+        if let Some(slot) = self.rules.iter_mut().find(|(r, _)| r.name == rule.name) {
+            slot.0 = rule;
+        } else {
+            self.rules.push((rule, true));
+        }
+    }
+
+    /// Builder-style [`RuleSet::register`].
+    pub fn with_rule(mut self, rule: Rule) -> RuleSet {
+        self.register(rule);
+        self
+    }
+
+    /// Enable a rule by name; returns whether the name was known.
+    pub fn enable(&mut self, name: &str) -> bool {
+        self.set_enabled(name, true)
+    }
+
+    /// Disable a rule by name; returns whether the name was known.
+    pub fn disable(&mut self, name: &str) -> bool {
+        self.set_enabled(name, false)
+    }
+
+    /// Builder-style [`RuleSet::disable`] (unknown names are ignored).
+    pub fn without(mut self, name: &str) -> RuleSet {
+        self.disable(name);
+        self
+    }
+
+    fn set_enabled(&mut self, name: &str, on: bool) -> bool {
+        match self.rules.iter_mut().find(|(r, _)| r.name == name) {
+            Some(slot) => {
+                slot.1 = on;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Is the named rule registered and enabled?
+    pub fn is_enabled(&self, name: &str) -> bool {
+        self.rules
+            .iter()
+            .any(|(r, enabled)| r.name == name && *enabled)
+    }
+
+    /// All registered rule names, in registry (exploration) order.
+    pub fn names(&self) -> Vec<&'static str> {
+        self.rules.iter().map(|(r, _)| r.name).collect()
+    }
+
+    /// The registered rules with their toggle state.
+    pub fn rules(&self) -> impl Iterator<Item = (&Rule, bool)> {
+        self.rules.iter().map(|(r, e)| (r, *e))
+    }
+
+    /// The enabled rules, in registry (exploration) order.
+    pub fn enabled(&self) -> impl Iterator<Item = &Rule> {
+        self.rules.iter().filter(|(_, e)| *e).map(|(r, _)| r)
+    }
+
+    /// Number of registered rules (enabled or not).
+    pub fn len(&self) -> usize {
+        self.rules.len()
+    }
+
+    /// Whether the registry is empty.
+    pub fn is_empty(&self) -> bool {
+        self.rules.is_empty()
+    }
+}
+
+impl std::fmt::Debug for RuleSet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let mut map = f.debug_map();
+        for (r, enabled) in &self.rules {
+            map.entry(&r.name, enabled);
+        }
+        map.finish()
+    }
+}
+
+/// The result of closing a base alternative under a rule set.
+#[derive(Debug, Clone)]
+pub struct Expansion {
+    /// The base plus every derived alternative, deduplicated structurally.
+    pub alternatives: Vec<FirAlternative>,
+    /// True when the `max_alternatives` budget stopped the closure before
+    /// it reached a fixpoint — alternatives were dropped, and the caller
+    /// should surface that instead of truncating silently.
+    pub truncated: bool,
+}
+
+/// Close `base` under the enabled rules of `rules`, deduplicating
+/// structurally and stopping after `max_alternatives` (the T2 ⇄ N2 cycle
+/// terminates through deduplication exactly the way cyclic rules
+/// terminate in the Volcano memo).
+pub fn expand_with(base: FirAlternative, rules: &RuleSet, max_alternatives: usize) -> Expansion {
+    // Flatten enabled actions once; fold-local actions keep the
+    // fold-outer/rule-inner iteration of the legacy driver.
+    let mut alt_actions: Vec<&Arc<AlternativeFn>> = Vec::new();
+    let mut fold_actions: Vec<&Arc<FoldLocalFn>> = Vec::new();
+    for rule in rules.enabled() {
+        for action in rule.actions() {
+            match action {
+                RuleAction::Alternative(f) => alt_actions.push(f),
+                RuleAction::FoldLocal(f) => fold_actions.push(f),
+                RuleAction::External => {}
+            }
+        }
+    }
+
+    let mut out: Vec<FirAlternative> = Vec::new();
+    let mut seen: Vec<String> = Vec::new();
+    let mut queue: Vec<FirAlternative> = vec![base];
+    let mut truncated = false;
+    while let Some(alt) = queue.pop() {
+        let key = alt.key();
+        if seen.contains(&key) {
+            continue;
+        }
+        if out.len() >= max_alternatives {
+            // A genuinely new alternative exists but the budget is spent:
+            // the closure was clipped. (A closure that completes exactly
+            // at the bound drains the queue through the dedup check above
+            // and never reaches this point.)
+            truncated = true;
+            break;
+        }
+        seen.push(key);
+        out.push(alt.clone());
+
+        for f in &alt_actions {
+            queue.extend(f(&alt));
+        }
+        for fold in rules::reachable_folds(&alt) {
+            for f in &fold_actions {
+                let mut arena = alt.arena.clone();
+                if let Some((replacement, name)) = f(&mut arena, fold) {
+                    let staged = FirAlternative {
+                        arena,
+                        ..alt.clone()
+                    };
+                    queue.push(rules::replace_node(
+                        &staged,
+                        fold,
+                        replacement,
+                        name,
+                        Vec::new(),
+                    ));
+                }
+            }
+        }
+    }
+    Expansion {
+        alternatives: out,
+        truncated,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::loop_to_fold;
+    use imperative::ast::{Expr, Stmt, StmtKind};
+    use orm::{EntityMapping, MappingRegistry};
+
+    fn mappings() -> MappingRegistry {
+        let mut r = MappingRegistry::new();
+        r.register(EntityMapping::new("Order", "orders", "o_id").many_to_one(
+            "customer",
+            "Customer",
+            "o_customer_sk",
+        ));
+        r.register(EntityMapping::new("Customer", "customer", "c_customer_sk"));
+        r
+    }
+
+    fn p0_alternative() -> FirAlternative {
+        let body = vec![
+            Stmt::new(StmtKind::Let(
+                "cust".into(),
+                Expr::nav(Expr::var("o"), "customer"),
+            )),
+            Stmt::new(StmtKind::Add(
+                "result".into(),
+                Expr::field(Expr::var("cust"), "c_birth_year"),
+            )),
+        ];
+        loop_to_fold(
+            "o",
+            &Expr::LoadAll("Order".into()),
+            &body,
+            &mappings(),
+            Some(&["result".to_string()]),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn standard_set_names_the_paper_rules() {
+        let set = RuleSet::standard();
+        for name in ["T1", "T2", "T4", "T5", "N1", "N2", "inline"] {
+            assert!(set.is_enabled(name), "{name} registered and enabled");
+        }
+        assert_eq!(set.len(), 7);
+    }
+
+    #[test]
+    fn standard_set_matches_legacy_driver() {
+        let base = p0_alternative();
+        let legacy = crate::rules::expand_alternatives(base.clone(), 64);
+        let new = expand_with(base, &RuleSet::standard(), 64);
+        assert!(!new.truncated);
+        let legacy_keys: Vec<String> = legacy.iter().map(|a| a.key()).collect();
+        let new_keys: Vec<String> = new.alternatives.iter().map(|a| a.key()).collect();
+        assert_eq!(legacy_keys, new_keys, "same alternatives, same order");
+    }
+
+    #[test]
+    fn disabling_a_rule_removes_its_alternatives() {
+        let full = expand_with(p0_alternative(), &RuleSet::standard(), 64);
+        let no_n1 = expand_with(p0_alternative(), &RuleSet::standard().without("N1"), 64);
+        assert!(no_n1.alternatives.len() < full.alternatives.len());
+        assert!(no_n1
+            .alternatives
+            .iter()
+            .all(|a| !a.rules_applied.contains(&"N1")));
+    }
+
+    #[test]
+    fn empty_rule_set_keeps_only_the_base() {
+        let exp = expand_with(p0_alternative(), &RuleSet::empty(), 64);
+        assert_eq!(exp.alternatives.len(), 1);
+        assert!(!exp.truncated);
+    }
+
+    #[test]
+    fn closure_completing_exactly_at_the_bound_is_not_truncated() {
+        // Nothing is derivable, and the bound equals the closure size:
+        // nothing was dropped, so nothing may be reported dropped.
+        let exp = expand_with(p0_alternative(), &RuleSet::empty(), 1);
+        assert_eq!(exp.alternatives.len(), 1);
+        assert!(!exp.truncated);
+        // The full standard closure of P0 fits in its own size exactly.
+        let full = expand_with(p0_alternative(), &RuleSet::standard(), 64);
+        assert!(!full.truncated);
+        let exact = expand_with(
+            p0_alternative(),
+            &RuleSet::standard(),
+            full.alternatives.len(),
+        );
+        assert_eq!(exact.alternatives.len(), full.alternatives.len());
+        assert!(!exact.truncated, "completed exactly at the bound");
+    }
+
+    #[test]
+    fn truncation_is_reported() {
+        let exp = expand_with(p0_alternative(), &RuleSet::standard(), 2);
+        assert_eq!(exp.alternatives.len(), 2);
+        assert!(exp.truncated, "the closure was clipped");
+    }
+
+    #[test]
+    fn user_rules_can_be_registered() {
+        let fired = std::sync::Arc::new(std::sync::atomic::AtomicUsize::new(0));
+        let fired2 = fired.clone();
+        let set = RuleSet::standard().with_rule(Rule::alternative(
+            "count-visits",
+            "test-only rule counting driver visits",
+            move |_| {
+                fired2.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                Vec::new()
+            },
+        ));
+        let exp = expand_with(p0_alternative(), &set, 64);
+        assert!(fired.load(std::sync::atomic::Ordering::Relaxed) >= exp.alternatives.len() - 1);
+        assert!(set.names().contains(&"count-visits"));
+    }
+
+    #[test]
+    fn toggles_round_trip() {
+        let mut set = RuleSet::standard();
+        assert!(set.disable("T4"));
+        assert!(!set.is_enabled("T4"));
+        assert!(set.enable("T4"));
+        assert!(set.is_enabled("T4"));
+        assert!(!set.disable("no-such-rule"));
+    }
+}

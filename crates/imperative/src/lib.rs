@@ -12,7 +12,7 @@
 //!
 //! The crate provides:
 //! * [`ast`] — statements, expressions and functions (with line numbers),
-//! * [`cfg`] — lowering to a control-flow graph whose nodes are single
+//! * [`mod@cfg`] — lowering to a control-flow graph whose nodes are single
 //!   statements (the paper treats each statement as a basic block),
 //! * [`regions`] — the region tree built directly from the structured AST,
 //! * [`structural`] — Muchnick-style structural analysis that rebuilds the

@@ -29,4 +29,6 @@ mod search;
 pub use costmemo::CostMemo;
 pub use engine::{expand, ExpandStats, Rule};
 pub use memo::{Child, GroupId, MExpr, MExprId, Memo, OpTree};
-pub use search::{best_plan, count_plans, BestPlan, CostModel};
+pub use search::{
+    best_plan, best_plan_from, cost_table, count_plans, BestPlan, CostModel, CostTable,
+};

@@ -164,6 +164,16 @@ impl<Op: Clone + Eq + Hash + Debug> Memo<Op> {
     /// otherwise the root lands in the group hash-consing dictates (a new
     /// group for a novel expression, an existing one for a duplicate).
     pub fn insert_tree(&mut self, tree: &OpTree<Op>, into: Option<GroupId>) -> GroupId {
+        self.insert_tree_full(tree, into).0
+    }
+
+    /// [`Memo::insert_tree`] also returning the root's m-expr id (stable
+    /// across group merges — provenance trackers key on it).
+    pub fn insert_tree_full(
+        &mut self,
+        tree: &OpTree<Op>,
+        into: Option<GroupId>,
+    ) -> (GroupId, MExprId) {
         let child_groups: Vec<GroupId> = tree
             .children
             .iter()
@@ -172,7 +182,7 @@ impl<Op: Clone + Eq + Hash + Debug> Memo<Op> {
                 Child::Tree(t) => self.insert_tree(t, None),
             })
             .collect();
-        self.insert_expr(tree.op.clone(), child_groups, into)
+        self.insert_expr_full(tree.op.clone(), child_groups, into)
     }
 
     /// Insert an operator over canonical child groups.
@@ -182,6 +192,17 @@ impl<Op: Clone + Eq + Hash + Debug> Memo<Op> {
         children: Vec<GroupId>,
         into: Option<GroupId>,
     ) -> GroupId {
+        self.insert_expr_full(op, children, into).0
+    }
+
+    /// [`Memo::insert_expr`] also returning the m-expr id — the existing
+    /// expression's id when hash-consing finds a duplicate.
+    pub fn insert_expr_full(
+        &mut self,
+        op: Op,
+        children: Vec<GroupId>,
+        into: Option<GroupId>,
+    ) -> (GroupId, MExprId) {
         let children: Vec<GroupId> = children.into_iter().map(|g| self.find(g)).collect();
         let key = (op.clone(), children.clone());
         if let Some(&existing) = self.index.get(&key) {
@@ -194,7 +215,7 @@ impl<Op: Clone + Eq + Hash + Debug> Memo<Op> {
                     self.merge(home, target);
                 }
             }
-            return self.find(home);
+            return (self.find(home), existing);
         }
         let group = match into {
             Some(g) => self.find(g),
@@ -209,7 +230,7 @@ impl<Op: Clone + Eq + Hash + Debug> Memo<Op> {
         self.group_exprs[group].push(id);
         self.index.insert(key, id);
         self.canonicalize();
-        group
+        (group, id)
     }
 
     /// Merge groups `a` and `b` (they compute the same result).

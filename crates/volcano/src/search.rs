@@ -24,29 +24,37 @@ pub struct BestPlan<Op> {
     pub choices: Vec<(GroupId, MExprId)>,
 }
 
-/// Find the least-cost plan rooted at `root`.
-///
-/// OR nodes take the minimum over their alternatives; AND nodes combine
-/// operator and child costs via the model. Costs are computed by **value
-/// iteration**: groups start at `+inf` and relax until a fixpoint, which
-/// correctly handles *self-referential alternatives* — an expression that
-/// contains its own group as a sub-region (e.g. "run the loop, then also
-/// run an extra aggregate query" is an alternative of the loop's group).
-/// The optimum is always achieved by an acyclic plan, and extraction
-/// guards against choosing an expression that re-enters a group already
-/// on the current path.
-pub fn best_plan<Op: Clone + Eq + Hash + Debug>(
+/// The value-iterated cost table: best known cost per group (indexed by
+/// group id; read through [`Memo::find`] for canonical ids), plus whether
+/// iteration reached its fixpoint within the sweep budget.
+#[derive(Debug, Clone)]
+pub struct CostTable {
+    /// Best cost per group (`f64::INFINITY` when no finite plan is known).
+    pub group_costs: Vec<f64>,
+    /// False when a sweep budget stopped iteration before the fixpoint —
+    /// remaining `INFINITY`/non-optimal entries may be artifacts of the
+    /// budget rather than true costs.
+    pub converged: bool,
+}
+
+/// Run cost value iteration over the whole memo: groups start at `+inf`
+/// and relax until a fixpoint (or until `max_sweeps`, when given — the
+/// search-effort budget). Convergence: costs are non-negative and only
+/// decrease; the optimal (acyclic) plan is found within `#groups` sweeps.
+pub fn cost_table<Op: Clone + Eq + Hash + Debug>(
     memo: &Memo<Op>,
-    root: GroupId,
     model: &dyn CostModel<Op>,
-) -> Option<BestPlan<Op>> {
+    max_sweeps: Option<usize>,
+) -> CostTable {
     let n = memo.num_groups();
     let mut cost = vec![f64::INFINITY; n];
-
-    // Value iteration: relax every expression until no group improves.
-    // Convergence: costs are non-negative and only decrease; the optimal
-    // (acyclic) plan is found within #groups sweeps.
-    for _ in 0..n.max(1) {
+    // Improvements only propagate along acyclic paths (a self-referential
+    // expression can never lower its own group), so the fixpoint is
+    // reached within `n` improving sweeps — one more quiet sweep confirms
+    // it. Only an explicit `max_sweeps` budget may stop earlier.
+    let sweeps = max_sweeps.unwrap_or_else(|| n.saturating_add(1)).max(1);
+    let mut converged = false;
+    for _ in 0..sweeps {
         let mut changed = false;
         for eid in memo.expr_ids() {
             let e = memo.expr(eid);
@@ -62,17 +70,51 @@ pub fn best_plan<Op: Clone + Eq + Hash + Debug>(
             }
         }
         if !changed {
+            converged = true;
             break;
         }
     }
+    CostTable {
+        group_costs: cost,
+        converged,
+    }
+}
 
+/// Find the least-cost plan rooted at `root`.
+///
+/// OR nodes take the minimum over their alternatives; AND nodes combine
+/// operator and child costs via the model. Costs are computed by **value
+/// iteration** (see [`cost_table`]), which correctly handles
+/// *self-referential alternatives* — an expression that contains its own
+/// group as a sub-region (e.g. "run the loop, then also run an extra
+/// aggregate query" is an alternative of the loop's group). The optimum
+/// is always achieved by an acyclic plan, and extraction guards against
+/// choosing an expression that re-enters a group already on the current
+/// path.
+pub fn best_plan<Op: Clone + Eq + Hash + Debug>(
+    memo: &Memo<Op>,
+    root: GroupId,
+    model: &dyn CostModel<Op>,
+) -> Option<BestPlan<Op>> {
+    best_plan_from(memo, root, model, &cost_table(memo, model, None))
+}
+
+/// Extract the least-cost plan rooted at `root` from a precomputed
+/// [`CostTable`] (the budgeted / introspectable form of [`best_plan`]).
+pub fn best_plan_from<Op: Clone + Eq + Hash + Debug>(
+    memo: &Memo<Op>,
+    root: GroupId,
+    model: &dyn CostModel<Op>,
+    table: &CostTable,
+) -> Option<BestPlan<Op>> {
+    let cost = &table.group_costs;
     let root = memo.find(root);
     if !cost[root].is_finite() {
         return None;
     }
     let mut choices = Vec::new();
     let mut path = Vec::new();
-    let tree = extract(memo, root, &cost, model, &mut choices, &mut path)?;
+    let tree = extract(memo, root, cost, model, &mut choices, &mut path)?;
     Some(BestPlan {
         cost: cost[root],
         tree,
@@ -238,6 +280,33 @@ mod tests {
         let best = best_plan(&memo, g, &Table).unwrap();
         assert_eq!(best.cost, 10.0);
         assert_eq!(best.tree.op, Op2::Leaf("a"));
+    }
+
+    #[test]
+    fn cost_table_reports_convergence_and_budget_exhaustion() {
+        let mut memo = Memo::new();
+        let tree = OpTree::node(
+            Op2::Combine,
+            vec![
+                OpTree::node(Op2::Combine, vec![OpTree::leaf(Op2::Leaf("a"))]),
+                OpTree::leaf(Op2::Leaf("cheap")),
+            ],
+        );
+        let root = memo.insert_tree(&tree, None);
+        let full = cost_table(&memo, &Table, None);
+        assert!(full.converged);
+        // A minimal memo needing every sweep still confirms its fixpoint.
+        let mut tiny = Memo::new();
+        let g = tiny.insert_tree(&OpTree::leaf(Op2::Leaf("a")), None);
+        let t = cost_table(&tiny, &Table, None);
+        assert!(t.converged, "unbudgeted iteration always converges");
+        assert_eq!(t.group_costs[tiny.find(g)], 10.0);
+        assert_eq!(full.group_costs[memo.find(root)], 5.0 + 5.0 + 10.0 + 1.0);
+        // A one-sweep budget ends iteration while costs are still moving,
+        // so the fixpoint is never confirmed.
+        let clipped = cost_table(&memo, &Table, Some(1));
+        assert!(!clipped.converged);
+        assert!(best_plan_from(&memo, root, &Table, &full).is_some());
     }
 
     #[test]

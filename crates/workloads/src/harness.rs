@@ -28,6 +28,27 @@ pub struct RunResult {
 }
 
 impl Fixture {
+    /// Start a [`cobra_core::CobraBuilder`] pre-wired with this fixture's
+    /// database, mappings and functions — configure network, catalog,
+    /// rules and budget, then `build()`:
+    ///
+    /// ```
+    /// use netsim::NetworkProfile;
+    /// use workloads::motivating;
+    ///
+    /// let fixture = motivating::build_fixture(100, 20, 7);
+    /// let cobra = fixture
+    ///     .cobra_builder()
+    ///     .network(NetworkProfile::slow_remote())
+    ///     .build();
+    /// assert!(cobra.rules().is_enabled("N1"));
+    /// ```
+    pub fn cobra_builder(&self) -> cobra_core::CobraBuilder {
+        cobra_core::Cobra::builder(self.db.clone())
+            .mappings(self.mapping.clone())
+            .funcs(self.funcs.clone())
+    }
+
     /// Open a fresh session over `net` with its own virtual clock.
     pub fn session(&self, net: NetworkProfile) -> (Session, Arc<Clock>) {
         let clock = Arc::new(Clock::new());

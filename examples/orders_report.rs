@@ -6,10 +6,7 @@
 //! cargo run --release --example orders_report
 //! ```
 
-use cobra::core::{Cobra, CostCatalog};
-use cobra::imperative::ast::Program;
-use cobra::netsim::NetworkProfile;
-use cobra::workloads::{harness::run_on, motivating};
+use cobra::prelude::*;
 
 fn main() {
     let orders = 20_000;
@@ -40,13 +37,7 @@ fn main() {
             "all three programs must agree"
         );
 
-        let cobra = Cobra::new(
-            fixture.db.clone(),
-            net.clone(),
-            CostCatalog::default(),
-            fixture.mapping.clone(),
-        )
-        .with_funcs(fixture.funcs.clone());
+        let cobra = fixture.cobra_builder().network(net.clone()).build();
         let opt = cobra
             .optimize_program(&motivating::p0())
             .expect("optimizes");

@@ -5,10 +5,7 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use cobra::core::{Cobra, CostCatalog};
-use cobra::imperative::pretty;
-use cobra::netsim::NetworkProfile;
-use cobra::workloads::motivating;
+use cobra::prelude::*;
 
 fn main() {
     // A database with few orders and many customers: the join query (P1)
@@ -21,13 +18,7 @@ fn main() {
     println!("{}", pretty::function_to_string(p0.entry()));
 
     for net in [NetworkProfile::slow_remote(), NetworkProfile::fast_local()] {
-        let cobra = Cobra::new(
-            fixture.db.clone(),
-            net.clone(),
-            CostCatalog::default(),
-            fixture.mapping.clone(),
-        )
-        .with_funcs(fixture.funcs.clone());
+        let cobra = fixture.cobra_builder().network(net.clone()).build();
 
         let optimized = cobra.optimize_program(&p0).expect("optimization succeeds");
         println!("--- network: {} ---", net.name());

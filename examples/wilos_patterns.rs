@@ -6,11 +6,8 @@
 //! cargo run --release --example wilos_patterns [scale]
 //! ```
 
-use cobra::core::{heuristic, Cobra, CostCatalog};
-use cobra::imperative::ast::Program;
-use cobra::imperative::pretty;
-use cobra::netsim::NetworkProfile;
-use cobra::workloads::{harness::run_on, wilos};
+use cobra::core::heuristic;
+use cobra::prelude::*;
 
 fn main() {
     let scale: usize = std::env::args()
@@ -50,13 +47,11 @@ fn main() {
 
         // COBRA.
         let fx = wilos::build_fixture(scale, 7);
-        let cobra = Cobra::new(
-            fx.db.clone(),
-            net.clone(),
-            CostCatalog::with_af(50.0),
-            fx.mapping.clone(),
-        )
-        .with_funcs(fx.funcs.clone());
+        let cobra = fx
+            .cobra_builder()
+            .network(net.clone())
+            .catalog(CostCatalog::with_af(50.0))
+            .build();
         let opt = cobra.optimize_program(&program).expect("optimizes");
         let mut funcs = vec![opt.program.clone()];
         funcs.extend(program.functions.iter().skip(1).cloned());

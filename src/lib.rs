@@ -17,31 +17,56 @@
 //!   database while accumulating *simulated* wall-clock time.
 //! * [`volcano`] — a generic Volcano/Cascades AND-OR DAG optimizer.
 //! * [`fir`] — the F-IR intermediate representation (`fold`/`tuple`/
-//!   `project`) plus transformation rules T1–T5, N1, N2.
-//! * [`core`] — the COBRA optimizer itself: Region DAG, cost model, search.
+//!   `project`), transformation rules T1–T5, N1, N2, and the [`fir::RuleSet`]
+//!   registry that makes them toggleable, extensible API objects.
+//! * [`core`] — the COBRA optimizer itself: Region DAG, cost model, search,
+//!   and the typed configuration layer ([`core::CobraBuilder`],
+//!   [`core::OptimizerConfig`], [`core::SearchBudget`],
+//!   [`core::OptimizationReport`]).
 //! * [`workloads`] — the paper's workloads: motivating example P0/P1/P2,
 //!   program M0, and the Wilos-like fragments of patterns A–F.
+//!
+//! The [`prelude`] re-exports the common surface in one `use`.
 //!
 //! ## Quickstart
 //!
 //! ```
-//! use cobra::core::{Cobra, CostCatalog};
-//! use cobra::netsim::NetworkProfile;
-//! use cobra::workloads::motivating;
+//! use cobra::prelude::*;
 //!
 //! // Build the orders/customer database (tiny sizes for the doctest).
 //! let fixture = motivating::build_fixture(1_000, 200, 42);
 //! let program = motivating::p0();
 //!
-//! let cobra = Cobra::new(
-//!     fixture.db.clone(),
-//!     NetworkProfile::slow_remote(),
-//!     CostCatalog::default(),
-//!     fixture.mapping.clone(),
-//! )
-//! .with_funcs(fixture.funcs.clone());
+//! let cobra = fixture
+//!     .cobra_builder()
+//!     .network(NetworkProfile::slow_remote())
+//!     .build();
 //! let optimized = cobra.optimize_program(&program).expect("optimizes");
 //! assert!(optimized.alternatives >= 3, "P0, P1-like and P2-like plans");
+//! assert!(!optimized.budget_exhausted, "default budget explores P0 fully");
+//! ```
+//!
+//! ## Configuring the optimizer
+//!
+//! Rules and search effort are first-class configuration: disable rules
+//! for ablations, bound the search, and ask for a structured explanation
+//! of every cost-based choice:
+//!
+//! ```
+//! use cobra::prelude::*;
+//!
+//! let fixture = motivating::build_fixture(1_000, 200, 42);
+//! let cobra = fixture
+//!     .cobra_builder()
+//!     .network(NetworkProfile::slow_remote())
+//!     .rules(RuleSet::standard().without("N1")) // no prefetching
+//!     .budget(SearchBudget::default().with_max_alternatives_per_region(32))
+//!     .build();
+//!
+//! let report = cobra.explain(&motivating::p0()).expect("optimizes");
+//! let top = report.top_choice_point().expect("P0 has a choice point");
+//! assert!(top.alternatives.iter().all(|a| !a.rules.contains(&"N1")));
+//! println!("{report}");
 //! ```
 //!
 //! ## Thread safety and batch optimization
@@ -55,18 +80,13 @@
 //! concurrently with results identical to sequential calls:
 //!
 //! ```
-//! use cobra::core::{Cobra, CostCatalog};
-//! use cobra::netsim::NetworkProfile;
-//! use cobra::workloads::motivating;
+//! use cobra::prelude::*;
 //!
 //! let fixture = motivating::build_fixture(500, 100, 42);
-//! let cobra = Cobra::new(
-//!     fixture.db.clone(),
-//!     NetworkProfile::slow_remote(),
-//!     CostCatalog::default(),
-//!     fixture.mapping.clone(),
-//! )
-//! .with_funcs(fixture.funcs.clone());
+//! let cobra = fixture
+//!     .cobra_builder()
+//!     .network(NetworkProfile::slow_remote())
+//!     .build();
 //!
 //! let batch = [motivating::p0(), motivating::m0()];
 //! let results = cobra.optimize_batch(&batch);
@@ -83,3 +103,20 @@ pub use netsim;
 pub use orm;
 pub use volcano;
 pub use workloads;
+
+/// The common COBRA surface in one import: the optimizer and its typed
+/// configuration (builder, rules, budget, report), the network/database
+/// substrate handles, and the paper's workloads.
+pub mod prelude {
+    pub use cobra_core::{
+        ChoicePoint, Cobra, CobraBuilder, CostCatalog, OptimizationReport, Optimized,
+        OptimizerConfig, ReportedAlternative, Rule, RuleSet, SearchBudget,
+    };
+    pub use imperative::ast::{Expr, Function, Program, Stmt, StmtKind};
+    pub use imperative::pretty;
+    pub use minidb::{Database, FuncRegistry, SharedDb};
+    pub use netsim::{Clock, NetworkProfile};
+    pub use orm::{EntityMapping, MappingRegistry};
+    pub use workloads::harness::{run_on, Fixture, RunResult};
+    pub use workloads::{motivating, wilos};
+}

@@ -3,7 +3,6 @@
 //! and the Region DAG of P0), and the black-box path for unstructured
 //! regions (§IV-B).
 
-use cobra::core::{Cobra, CostCatalog};
 use cobra::imperative::ast::{Expr, Function, Program, Stmt, StmtKind};
 use cobra::imperative::regions::Region;
 use cobra::imperative::{pretty, structural};
@@ -74,13 +73,10 @@ fn unstructured_fragments_become_black_boxes_but_optimization_continues() {
     assert!(structural::analyze(&f).is_err(), "exceptional edges");
 
     // …but the optimizer still rewrites the loop around the black box.
-    let cobra = Cobra::new(
-        fixture.db.clone(),
-        NetworkProfile::slow_remote(),
-        CostCatalog::default(),
-        fixture.mapping.clone(),
-    )
-    .with_funcs(fixture.funcs.clone());
+    let cobra = fixture
+        .cobra_builder()
+        .network(NetworkProfile::slow_remote())
+        .build();
     let opt = cobra.optimize_program(&Program::single(f)).unwrap();
     let text = pretty::function_to_string(&opt.program);
     assert!(text.contains("try {"), "black box kept verbatim:\n{text}");
@@ -97,13 +93,10 @@ fn figure_6c_shared_blocks_are_stored_once() {
     // optimizer's reported DAG sizes: groups < sum of per-alternative
     // region counts.
     let fixture = motivating::build_fixture(500, 100, 5);
-    let cobra = Cobra::new(
-        fixture.db.clone(),
-        NetworkProfile::slow_remote(),
-        CostCatalog::default(),
-        fixture.mapping.clone(),
-    )
-    .with_funcs(fixture.funcs.clone());
+    let cobra = fixture
+        .cobra_builder()
+        .network(NetworkProfile::slow_remote())
+        .build();
     let opt = cobra.optimize_program(&motivating::p0()).unwrap();
     assert!(opt.alternatives >= 3);
     // Each alternative alone has ≥ 5 regions; sharing keeps the DAG small.

@@ -4,7 +4,7 @@
 //! wall-clock speedup assertion lives in `tests/batch_speedup.rs`, its
 //! own binary, so timing is not disturbed by sibling tests.)
 
-use cobra::core::{Cobra, CostCatalog, Optimized};
+use cobra::core::{Cobra, Optimized};
 use cobra::imperative::ast::Program;
 use cobra::imperative::pretty::function_to_string;
 use cobra::netsim::NetworkProfile;
@@ -18,25 +18,19 @@ use cobra::workloads::{motivating, wilos};
 fn batch_matches_sequential_results() {
     // P0/M0 against the motivating fixture.
     let fx = motivating::build_fixture(2_000, 400, 21);
-    let cobra = Cobra::new(
-        fx.db.clone(),
-        NetworkProfile::slow_remote(),
-        CostCatalog::default(),
-        fx.mapping.clone(),
-    )
-    .with_funcs(fx.funcs.clone());
+    let cobra = fx
+        .cobra_builder()
+        .network(NetworkProfile::slow_remote())
+        .build();
     let programs = vec![motivating::p0(), motivating::m0()];
     assert_batch_matches(&cobra, &programs);
 
     // All six Wilos representatives against the wilos fixture.
     let fx = wilos::build_fixture(2_000, 21);
-    let cobra = Cobra::new(
-        fx.db.clone(),
-        NetworkProfile::fast_local(),
-        CostCatalog::default(),
-        fx.mapping.clone(),
-    )
-    .with_funcs(fx.funcs.clone());
+    let cobra = fx
+        .cobra_builder()
+        .network(NetworkProfile::fast_local())
+        .build();
     let programs: Vec<Program> = wilos::Pattern::all()
         .into_iter()
         .map(wilos::representative)
@@ -76,13 +70,10 @@ fn assert_batch_matches(cobra: &Cobra, programs: &[Program]) {
 #[test]
 fn batch_edge_cases() {
     let fx = motivating::build_fixture(500, 100, 5);
-    let cobra = Cobra::new(
-        fx.db.clone(),
-        NetworkProfile::fast_local(),
-        CostCatalog::default(),
-        fx.mapping.clone(),
-    )
-    .with_funcs(fx.funcs.clone());
+    let cobra = fx
+        .cobra_builder()
+        .network(NetworkProfile::fast_local())
+        .build();
     assert!(cobra.optimize_batch(&[]).is_empty());
     let one = cobra.optimize_batch(&[motivating::p0()]);
     assert_eq!(one.len(), 1);

@@ -3,7 +3,6 @@
 //! for cores during the timed comparison (cargo runs test binaries one at
 //! a time; tests *within* a binary run concurrently).
 
-use cobra::core::{Cobra, CostCatalog};
 use cobra::netsim::NetworkProfile;
 use cobra::workloads::wilos;
 use std::time::Instant;
@@ -24,13 +23,10 @@ fn batch_is_faster_than_sequential_on_multicore() {
         return;
     }
     let fx = wilos::build_fixture(5_000, 9);
-    let cobra = Cobra::new(
-        fx.db.clone(),
-        NetworkProfile::slow_remote(),
-        CostCatalog::default(),
-        fx.mapping.clone(),
-    )
-    .with_funcs(fx.funcs.clone());
+    let cobra = fx
+        .cobra_builder()
+        .network(NetworkProfile::slow_remote())
+        .build();
     // 6 patterns × 4 = 24 searches per measurement.
     let mut programs = Vec::new();
     for _ in 0..4 {

@@ -5,20 +5,17 @@
 //! invalidation micro-tests live with the implementation in
 //! `crates/volcano/src/costmemo.rs`.)
 
-use cobra::core::{Cobra, CostCatalog};
+use cobra::core::Cobra;
 use cobra::netsim::NetworkProfile;
 use cobra::workloads::{motivating, wilos};
 
 fn cobra_for_motivating(memoize: bool) -> (Cobra, Vec<cobra::imperative::ast::Program>) {
     let fx = motivating::build_fixture(2_000, 400, 11);
-    let cobra = Cobra::new(
-        fx.db.clone(),
-        NetworkProfile::slow_remote(),
-        CostCatalog::default(),
-        fx.mapping.clone(),
-    )
-    .with_funcs(fx.funcs.clone())
-    .with_cost_memoization(memoize);
+    let cobra = fx
+        .cobra_builder()
+        .network(NetworkProfile::slow_remote())
+        .memoize_costs(memoize)
+        .build();
     (cobra, vec![motivating::p0(), motivating::m0()])
 }
 
@@ -71,23 +68,17 @@ fn memoized_search_is_identical_to_unmemoized() {
     for pattern in wilos::Pattern::all() {
         let fx = wilos::build_fixture(2_000, 5);
         let program = wilos::representative(pattern);
-        let base = Cobra::new(
-            fx.db.clone(),
-            NetworkProfile::fast_local(),
-            CostCatalog::default(),
-            fx.mapping.clone(),
-        )
-        .with_funcs(fx.funcs.clone());
+        let base = fx
+            .cobra_builder()
+            .network(NetworkProfile::fast_local())
+            .build();
         let a = base.optimize_program(&program).unwrap();
         let fx2 = wilos::build_fixture(2_000, 5);
-        let off = Cobra::new(
-            fx2.db.clone(),
-            NetworkProfile::fast_local(),
-            CostCatalog::default(),
-            fx2.mapping.clone(),
-        )
-        .with_funcs(fx2.funcs.clone())
-        .with_cost_memoization(false);
+        let off = fx2
+            .cobra_builder()
+            .network(NetworkProfile::fast_local())
+            .memoize_costs(false)
+            .build();
         let b = off.optimize_program(&program).unwrap();
         assert_eq!(
             a.est_cost_ns.to_bits(),

@@ -3,20 +3,13 @@
 //! bandwidth utilization — but what matters is that the model *ranks*
 //! alternatives the way measurements do. These tests quantify that.
 
-use cobra::core::{Cobra, CostCatalog};
 use cobra::netsim::NetworkProfile;
 use cobra::workloads::{harness::run_on, motivating};
 
 /// Measured times and estimated costs of P0/P1/P2 on one configuration.
 fn measure(orders: usize, customers: usize, net: NetworkProfile) -> Vec<(&'static str, f64, f64)> {
     let fx = motivating::build_fixture(orders, customers, 31);
-    let cobra = Cobra::new(
-        fx.db.clone(),
-        net.clone(),
-        CostCatalog::default(),
-        fx.mapping.clone(),
-    )
-    .with_funcs(fx.funcs.clone());
+    let cobra = fx.cobra_builder().network(net.clone()).build();
     [
         ("P0", motivating::p0()),
         ("P1", motivating::p1()),

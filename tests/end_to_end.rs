@@ -1,19 +1,13 @@
 //! End-to-end integration: COBRA optimizes the motivating example and its
 //! choices match the paper's Experiments 1–3 qualitatively.
 
-use cobra::core::{Cobra, CostCatalog};
+use cobra::core::Cobra;
 use cobra::imperative::pretty;
 use cobra::netsim::NetworkProfile;
 use cobra::workloads::{harness::run_on, motivating};
 
 fn cobra_for(fixture: &cobra::workloads::Fixture, net: NetworkProfile) -> Cobra {
-    Cobra::new(
-        fixture.db.clone(),
-        net,
-        CostCatalog::default(),
-        fixture.mapping.clone(),
-    )
-    .with_funcs(fixture.funcs.clone())
+    fixture.cobra_builder().network(net).build()
 }
 
 #[test]

@@ -8,7 +8,7 @@
 //! properties, reproducible counterexamples (the failing seed is in the
 //! assertion message).
 
-use cobra::core::{heuristic, Cobra, CostCatalog};
+use cobra::core::{heuristic, CostCatalog};
 use cobra::imperative::ast::Program;
 use cobra::minidb::{sql, Value};
 use cobra::netsim::NetworkProfile;
@@ -184,13 +184,11 @@ fn cobra_rewrites_preserve_p0_semantics() {
             NetworkProfile::fast_local()
         };
         let p0 = motivating::p0();
-        let cobra = Cobra::new(
-            fx.db.clone(),
-            net.clone(),
-            CostCatalog::with_af(af),
-            fx.mapping.clone(),
-        )
-        .with_funcs(fx.funcs.clone());
+        let cobra = fx
+            .cobra_builder()
+            .network(net.clone())
+            .catalog(CostCatalog::with_af(af))
+            .build();
         let opt = cobra.optimize_program(&p0).unwrap();
         let original = run_on(&fx, net.clone(), &p0).unwrap();
         let rewritten = run_on(&fx, net, &Program::single(opt.program.clone())).unwrap();
@@ -239,13 +237,11 @@ fn cobra_preserves_all_wilos_pattern_semantics() {
                 let original = run_on(&fx_a, net.clone(), &program).unwrap();
 
                 let fx_b = wilos::build_fixture(3_000, seed);
-                let cobra = Cobra::new(
-                    fx_b.db.clone(),
-                    net.clone(),
-                    CostCatalog::with_af(af),
-                    fx_b.mapping.clone(),
-                )
-                .with_funcs(fx_b.funcs.clone());
+                let cobra = fx_b
+                    .cobra_builder()
+                    .network(net.clone())
+                    .catalog(CostCatalog::with_af(af))
+                    .build();
                 let opt = cobra.optimize_program(&program).unwrap();
                 let mut functions = vec![opt.program.clone()];
                 functions.extend(program.functions.iter().skip(1).cloned());

@@ -209,12 +209,14 @@ impl Cobra {
 
         // Variant 0: the original entry function.
         let live0: Vec<String> = entry.params.clone();
+        let updated_tables = transforms::updated_tables(program);
         let mut builder = DagBuilder {
             memo: &mut memo,
             mappings: &self.mappings,
             var_plans: &mut var_plans,
             rules: &self.config.rules,
             budget,
+            updated_tables,
             provenance: HashMap::new(),
             exhausted: false,
         };
@@ -554,6 +556,10 @@ struct DagBuilder<'a> {
     var_plans: &'a mut HashMap<String, LogicalPlan>,
     rules: &'a RuleSet,
     budget: &'a SearchBudget,
+    /// Tables the program writes. Prefetch alternatives over these are
+    /// unsound (build-once client caches would serve stale rows) and are
+    /// never registered.
+    updated_tables: std::collections::HashSet<String>,
     /// Root m-expr of each registered alternative → rules that derived it.
     provenance: HashMap<MExprId, Vec<&'static str>>,
     /// Set when any budget bound clipped alternative registration.
@@ -585,7 +591,13 @@ impl<'a> DagBuilder<'a> {
                 // Statement-level prefetch alternative (patterns E/F) —
                 // the prefetch rule N1 applied at statement granularity.
                 if self.rules.is_enabled("N1") {
-                    if let Some(alt_stmts) = transforms::prefetch_stmt_alternative(stmt) {
+                    if let Some(alt_stmts) =
+                        transforms::prefetch_stmt_alternative(stmt).filter(|stmts| {
+                            !transforms::prefetched_tables(stmts)
+                                .iter()
+                                .any(|t| self.updated_tables.contains(t))
+                        })
+                    {
                         if self.memo_has_room() {
                             let tree = region_to_optree(&Region::from_stmts(&alt_stmts));
                             let (_, eid) = self.memo.insert_tree_full(&tree, Some(g));
@@ -686,6 +698,15 @@ impl<'a> DagBuilder<'a> {
         }
         for alt in expansion.alternatives {
             if !self.t1_gate_ok(&alt, prev_sibling) {
+                continue;
+            }
+            // Prefetching a table the program updates is unsound: the
+            // build-once client cache would serve pre-update rows.
+            if alt
+                .prefetches
+                .iter()
+                .any(|p| self.updated_tables.contains(&p.table))
+            {
                 continue;
             }
             let Some(stmts) = fir::codegen::generate(&alt) else {

@@ -100,6 +100,53 @@ pub fn collect_var_plans(
     }
 }
 
+/// Tables the program writes (`update …` statements, any function, any
+/// nesting). Client-side prefetch caches are built once per run, so
+/// prefetching a table the program updates would serve stale rows — the
+/// optimizer refuses to register such alternatives (a soundness gate the
+/// differential oracle caught the absence of).
+pub fn updated_tables(program: &Program) -> HashSet<String> {
+    let mut out = HashSet::new();
+    fn walk(stmts: &[Stmt], out: &mut HashSet<String>) {
+        for s in stmts {
+            if let StmtKind::UpdateQuery { table, .. } = &s.kind {
+                out.insert(table.clone());
+            }
+            for child in s.children() {
+                walk(child, out);
+            }
+        }
+    }
+    for f in &program.functions {
+        walk(&f.body, &mut out);
+    }
+    out
+}
+
+/// Tables a statement list prefetches into client caches
+/// (`Utils.cacheByColumn` over a table scan).
+pub fn prefetched_tables(stmts: &[Stmt]) -> Vec<String> {
+    let mut out = Vec::new();
+    fn walk(stmts: &[Stmt], out: &mut Vec<String>) {
+        for s in stmts {
+            if let StmtKind::CacheByColumn {
+                source: Expr::Query(spec),
+                ..
+            } = &s.kind
+            {
+                if let LogicalPlan::Scan { table, .. } = &spec.plan {
+                    out.push(table.clone());
+                }
+            }
+            for child in s.children() {
+                walk(child, out);
+            }
+        }
+    }
+    walk(stmts, &mut out);
+    out
+}
+
 /// Statement-level prefetch alternative (patterns E/F): a point/filtered
 /// query `v = executeQuery(σ_{A=key}(R))` can instead probe a client-side
 /// cache of the whole relation:

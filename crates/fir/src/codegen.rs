@@ -104,7 +104,7 @@ impl<'a> Gen<'a> {
     fn emit_fold(&mut self, fold: FirId, out: &mut Vec<Stmt>) -> Option<()> {
         let FirNode::Fold {
             func,
-            init: _,
+            init,
             source,
             loop_var,
             updated,
@@ -115,18 +115,46 @@ impl<'a> Gen<'a> {
         let FirNode::Tuple(items) = self.arena.node(func).clone() else {
             return None;
         };
+        let FirNode::Tuple(init_items) = self.arena.node(init).clone() else {
+            return None;
+        };
         self.emitted_folds.push(fold);
+
+        // Materialize non-trivial initial values before the loop. A
+        // top-level fold's init is the accumulator's own region-entry
+        // value (nothing to do), but a *nested* fold continues an
+        // accumulation whose value-so-far lives in its init expression —
+        // dropping it loses every contribution made earlier in the outer
+        // iteration (a bug the differential oracle caught).
+        for (u, &init_item) in updated.iter().zip(&init_items) {
+            let trivial = matches!(
+                self.arena.node(init_item),
+                FirNode::AccParam(v) | FirNode::Param(v) | FirNode::CollectionParam(v) if v == u
+            );
+            if !trivial {
+                self.emit_update(u, init_item, out)?;
+            }
+        }
 
         let iter = self.source_expr(source, out)?;
         let mut body = Vec::new();
         // Accumulator updates run in first-update order; dependent reads of
         // an earlier accumulator's final value resolve to its variable.
+        // Bindings made *inside* the body (row variables, nested folds) go
+        // out of scope with it — the loop may run zero times, so code
+        // after the loop must not reuse them.
         let saved_accs = self.emitted_accs.clone();
-        for (u, &item) in updated.iter().zip(&items) {
+        let saved_rows = self.row_vars.clone();
+        let saved_folds = self.emitted_folds.clone();
+        let order = update_order(self.arena, &updated, &items)?;
+        for idx in order {
+            let (u, item) = (&updated[idx], items[idx]);
             self.emit_update(u, item, &mut body)?;
             self.emitted_accs.insert(item, u.clone());
         }
         self.emitted_accs = saved_accs;
+        self.row_vars = saved_rows;
+        self.emitted_folds = saved_folds;
         out.push(Stmt::new(StmtKind::ForEach {
             var: loop_var,
             iter,
@@ -162,10 +190,22 @@ impl<'a> Gen<'a> {
                 else_val,
             } => {
                 let p = self.tx(pred, body)?;
+                // Each branch executes alone: bindings and folds emitted
+                // in one branch are not in scope in the other (or after
+                // the conditional), even though hash-consing shares their
+                // nodes. Without this isolation the second branch would
+                // skip a fold "already emitted" in the first — dropping
+                // its loop entirely.
+                let saved_rows = self.row_vars.clone();
+                let saved_folds = self.emitted_folds.clone();
                 let mut then_branch = Vec::new();
                 self.emit_update(var, then_val, &mut then_branch)?;
+                self.row_vars = saved_rows.clone();
+                self.emitted_folds = saved_folds.clone();
                 let mut else_branch = Vec::new();
                 self.emit_update(var, else_val, &mut else_branch)?;
+                self.row_vars = saved_rows;
+                self.emitted_folds = saved_folds;
                 body.push(Stmt::new(StmtKind::If {
                     cond: p,
                     then_branch,
@@ -315,6 +355,91 @@ impl<'a> Gen<'a> {
     }
 }
 
+/// Order the accumulator updates of one fold so every cross-accumulator
+/// read resolves to the right value once updates mutate variables in
+/// place:
+///
+/// * an item reading `<b>` (accumulator `b`'s iteration-start value)
+///   must be emitted **before** `b`'s own update overwrites it;
+/// * an item embedding `b`'s final update expression must be emitted
+///   **after** it, so the shared subexpression resolves to `b`'s
+///   variable (the M0 dependent-aggregation pattern);
+/// * an item needing both (or a dependency cycle) has no in-place
+///   emission — the alternative is reported unavailable rather than
+///   miscompiled. The differential oracle caught the earlier behavior,
+///   which emitted declaration order and silently read mid-iteration
+///   values.
+///
+/// The returned order is the stable topological sort (original order
+/// among unconstrained updates, preserving legacy output).
+fn update_order(arena: &FirArena, updated: &[String], items: &[FirId]) -> Option<Vec<usize>> {
+    let n = items.len();
+    // Does `root` reference AccParam(`name`) outside any occurrence of
+    // the full expression `stop` (which will resolve to a variable)?
+    fn reads_start(
+        arena: &FirArena,
+        root: FirId,
+        stop: FirId,
+        name: &str,
+        root_is_self: bool,
+    ) -> bool {
+        if !root_is_self && root == stop {
+            return false;
+        }
+        if let FirNode::AccParam(v) = arena.node(root) {
+            if v == name {
+                return true;
+            }
+        }
+        arena
+            .children(root)
+            .into_iter()
+            .any(|c| reads_start(arena, c, stop, name, false))
+    }
+    // Does `root` embed `other` as a (strict) subexpression?
+    fn embeds(arena: &FirArena, root: FirId, other: FirId) -> bool {
+        arena
+            .children(root)
+            .into_iter()
+            .any(|c| c == other || embeds(arena, c, other))
+    }
+
+    // before[a] holds every b that must be emitted before a.
+    let mut before: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for a in 0..n {
+        for b in 0..n {
+            if a == b {
+                continue;
+            }
+            if items[a] == items[b] {
+                // Hash-consing shared the whole update: whichever emits
+                // first, the other resolves to its variable (`b = a`) and
+                // both orders read the same pre-update state — no
+                // constraint, and in particular no false cycle.
+                continue;
+            }
+            let final_ref = embeds(arena, items[a], items[b]);
+            let start_ref = reads_start(arena, items[a], items[b], &updated[b], true);
+            match (start_ref, final_ref) {
+                (true, true) => return None,        // needs both old and new value of b
+                (true, false) => before[b].push(a), // a precedes b
+                (false, true) => before[a].push(b), // b precedes a
+                (false, false) => {}
+            }
+        }
+    }
+    // Stable Kahn's algorithm: lowest original index among ready updates
+    // first; no ready update means a cycle.
+    let mut emitted = vec![false; n];
+    let mut order = Vec::with_capacity(n);
+    while order.len() < n {
+        let next = (0..n).find(|&i| !emitted[i] && before[i].iter().all(|&b| emitted[b]))?;
+        emitted[next] = true;
+        order.push(next);
+    }
+    Some(order)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -459,7 +584,8 @@ mod tests {
         let text = pretty::stmts_to_string(&stmts);
         assert_eq!(
             text.trim(),
-            "sum = executeScalar(\"select sum(sale_amt) as agg_sum from sales\");"
+            "sum = sum + coalesce(executeScalar(\"select sum(sale_amt) as agg_sum from sales\"), 0);",
+            "the extraction adds onto the entry value and guards empty input"
         );
     }
 

@@ -371,6 +371,39 @@ fn strip_order(plan: &LogicalPlan) -> LogicalPlan {
     p
 }
 
+/// Is this node the literal zero (int or float)?
+fn is_zero_const(arena: &FirArena, id: FirId) -> bool {
+    match arena.node(id) {
+        FirNode::Const(Value::Int(0)) => true,
+        FirNode::Const(Value::Float(f)) => *f == 0.0,
+        _ => false,
+    }
+}
+
+/// Guard an extracted aggregate against SQL's empty-input semantics:
+/// `sum` (and friends) over zero rows is NULL while the fold keeps its
+/// initial value, so wrap in `coalesce(agg, 0)`. `count` is already 0 on
+/// empty input and needs no guard.
+fn guard_empty_agg(arena: &mut FirArena, agg: FirId, func: AggFunc) -> FirId {
+    if matches!(func, AggFunc::Count) {
+        return agg;
+    }
+    let zero = arena.add(FirNode::Const(Value::Int(0)));
+    arena.add(FirNode::Call("coalesce".to_string(), vec![agg, zero]))
+}
+
+/// `init + agg`, simplified to `agg` when the initial value is the
+/// literal zero. A fold's value is *init plus* the aggregated delta; the
+/// differential oracle caught the earlier shape that dropped `init`
+/// whenever the accumulator entered the region non-zero.
+fn add_init(arena: &mut FirArena, init: FirId, agg: FirId) -> FirId {
+    if is_zero_const(arena, init) {
+        agg
+    } else {
+        arena.add(FirNode::Bin(BinOp::Add, init, agg))
+    }
+}
+
 /// Rule T5: extract aggregations into SQL.
 ///
 /// * If **every** accumulator is a scalar aggregation, the whole loop
@@ -379,6 +412,11 @@ fn strip_order(plan: &LogicalPlan) -> LogicalPlan {
 ///   the loop is kept intact and an extra aggregate query recomputes the
 ///   accumulator — the paper's §V-B example of a rewrite that usually
 ///   degrades performance and must be judged by the cost model.
+///
+/// Extracted values are always `entry + coalesce(agg, 0)` (simplified
+/// when the entry value is literally zero): the fold starts from the
+/// accumulator's region-entry value and yields it unchanged on an empty
+/// source, and the SQL query must reproduce both behaviors.
 pub fn t5_aggregation(alt: &FirAlternative) -> Vec<FirAlternative> {
     let Some(fold) = top_fold(alt) else {
         return Vec::new();
@@ -423,7 +461,10 @@ pub fn t5_aggregation(alt: &FirAlternative) -> Vec<FirAlternative> {
                 plan: agg_plan,
                 binds: Vec::new(),
             });
-            vec![(parts.updated[0].clone(), sq)]
+            let func = classes[0].as_ref().unwrap().func;
+            let guarded = guard_empty_agg(&mut arena, sq, func);
+            let value = add_init(&mut arena, parts.init_items[0], guarded);
+            vec![(parts.updated[0].clone(), value)]
         } else {
             let q = arena.add(FirNode::Query {
                 plan: agg_plan,
@@ -432,9 +473,13 @@ pub fn t5_aggregation(alt: &FirAlternative) -> Vec<FirAlternative> {
             parts
                 .updated
                 .iter()
-                .map(|u| {
+                .zip(&classes)
+                .zip(&parts.init_items)
+                .map(|((u, c), &init)| {
                     let rf = arena.add(FirNode::RowField(q, format!("agg_{u}")));
-                    (u.clone(), rf)
+                    let guarded = guard_empty_agg(&mut arena, rf, c.as_ref().unwrap().func);
+                    let value = add_init(&mut arena, init, guarded);
+                    (u.clone(), value)
                 })
                 .collect()
         };
@@ -465,8 +510,20 @@ pub fn t5_aggregation(alt: &FirAlternative) -> Vec<FirAlternative> {
                 plan: agg_plan,
                 binds: Vec::new(),
             });
+            let guarded = guard_empty_agg(&mut arena, sq, c.func);
             let mut assigns = alt.assigns.clone();
-            assigns.push((u.clone(), sq));
+            let init = parts.init_items[i];
+            let value = if is_zero_const(&arena, init) {
+                guarded
+            } else {
+                // The kept loop mutates `u`, so its region-entry value
+                // must be captured *before* the loop runs.
+                let entry_var = format!("{u}__at_entry");
+                let entry_param = arena.add(FirNode::Param(entry_var.clone()));
+                assigns.insert(0, (entry_var, init));
+                arena.add(FirNode::Bin(BinOp::Add, entry_param, guarded))
+            };
+            assigns.push((u.clone(), value));
             let mut rules_applied = alt.rules_applied.clone();
             rules_applied.push("T5-partial");
             out.push(FirAlternative {
@@ -591,6 +648,89 @@ pub(crate) fn n2_on_fold(arena: &mut FirArena, fold: FirId) -> Option<(FirNode, 
 // T4 / T5-variant — lookups and nested loops become joins.
 // --------------------------------------------------------------------
 
+/// Is this accumulator update insensitive to iteration *order*?
+///
+/// A join does not guarantee the nested loops' pair order (the executor
+/// may probe from either side), so the join rewrites are only valid for
+/// updates whose final value is the same under any permutation of the
+/// source rows:
+///
+/// * `<acc> ± δ(row)` chains — the accumulator appears exactly once,
+///   positively, and the deltas read no accumulator state;
+/// * `insert(<acc>, e)` — collections compare as bags across rewrites
+///   (the paper's join rewrites reorder them already, e.g. P0 → P1);
+/// * `mapput(<acc>, k, v)` with accumulator-free `k`/`v` — distinct keys
+///   commute, and a key collision overwrites with a row-determined value
+///   either way;
+/// * `?(p, then, else)` with an accumulator-free predicate and
+///   order-insensitive branches.
+///
+/// Anything else (e.g. `<acc> + <acc>`, predicates over the running
+/// value, dependent aggregations reading another accumulator mid-stream)
+/// is order-sensitive: the differential oracle caught a join rewrite of
+/// `total = total + total - 86·t.fk`, where the executor's
+/// build-on-the-smaller-side hash join enumerated pairs in a different
+/// order and changed the result.
+fn order_insensitive_update(arena: &FirArena, item: FirId, acc: &str) -> bool {
+    let reads_any_acc = |id: FirId| arena.any(id, &|n| matches!(n, FirNode::AccParam(_)));
+    // Flatten a ±-chain with sign tracking (Sub negates its right arm).
+    fn flatten(arena: &FirArena, id: FirId, positive: bool, out: &mut Vec<(FirId, bool)>) {
+        match arena.node(id) {
+            FirNode::Bin(BinOp::Add, l, r) => {
+                flatten(arena, *l, positive, out);
+                flatten(arena, *r, positive, out);
+            }
+            FirNode::Bin(BinOp::Sub, l, r) => {
+                flatten(arena, *l, positive, out);
+                flatten(arena, *r, !positive, out);
+            }
+            _ => out.push((id, positive)),
+        }
+    }
+    match arena.node(item) {
+        FirNode::AccParam(v) => v == acc,
+        FirNode::Bin(BinOp::Add | BinOp::Sub, _, _) => {
+            let mut terms = Vec::new();
+            flatten(arena, item, true, &mut terms);
+            let acc_node = FirNode::AccParam(acc.to_string());
+            let accs: Vec<bool> = terms
+                .iter()
+                .filter(|(t, _)| arena.node(*t) == &acc_node)
+                .map(|&(_, positive)| positive)
+                .collect();
+            accs == [true]
+                && terms
+                    .iter()
+                    .filter(|(t, _)| arena.node(*t) != &acc_node)
+                    .all(|&(t, _)| !reads_any_acc(t))
+        }
+        FirNode::Insert(base, elem) => {
+            !reads_any_acc(*elem) && order_insensitive_update(arena, *base, acc)
+        }
+        FirNode::MapPut(base, k, v) => {
+            !reads_any_acc(*k) && !reads_any_acc(*v) && order_insensitive_update(arena, *base, acc)
+        }
+        FirNode::Cond {
+            pred,
+            then_val,
+            else_val,
+        } => {
+            !reads_any_acc(*pred)
+                && order_insensitive_update(arena, *then_val, acc)
+                && order_insensitive_update(arena, *else_val, acc)
+        }
+        _ => false,
+    }
+}
+
+/// [`order_insensitive_update`] over every accumulator of a fold.
+fn join_safe(arena: &FirArena, updated: &[String], items: &[FirId]) -> bool {
+    updated
+        .iter()
+        .zip(items)
+        .all(|(u, &item)| order_insensitive_update(arena, item, u))
+}
+
 /// Rewrite an iterative single-row lookup inside the fold into a join with
 /// the source (the paper's "variation of rule T5" that turns P0 into P1).
 pub(crate) fn lookup_to_join_on_fold(
@@ -601,6 +741,10 @@ pub(crate) fn lookup_to_join_on_fold(
     let FirNode::Query { plan, binds } = arena.node(parts.source).clone() else {
         return None;
     };
+    // The join may enumerate rows in a different order than the loop.
+    if !join_safe(arena, &parts.updated, &parts.func_items) {
+        return None;
+    }
     // Find a lookup query reachable from the fold function whose key is an
     // attribute of *this* fold's tuple.
     let func_node = arena.add(FirNode::Tuple(parts.func_items.clone()));
@@ -710,6 +854,11 @@ pub(crate) fn t4_nested_join_on_fold(
     }
     // Inner updated must cover outer updated (same variables).
     if inner.updated != outer.updated {
+        return None;
+    }
+    // The join may enumerate pairs in a different order than the nested
+    // loops (the executor builds the hash table on the smaller side).
+    if !join_safe(arena, &inner.updated, &inner.func_items) {
         return None;
     }
 
@@ -1027,12 +1176,87 @@ mod tests {
             .expect("partial alternative");
         assert_eq!(
             partial.assigns.len(),
-            3,
-            "sum, cSum from loop + sum override"
+            4,
+            "entry capture + sum, cSum from loop + sum override"
+        );
+        assert_eq!(
+            partial.assigns[0].0, "sum__at_entry",
+            "the kept loop mutates `sum`, so its entry value is captured first"
         );
         let text = partial.display();
         assert!(text.contains("fold("), "loop kept: {text}");
         assert!(text.contains("scalarQ[select sum(sale_amt)"), "{text}");
+        assert!(
+            text.contains("sum__at_entry + coalesce("),
+            "override preserves the entry value and guards empty input: {text}"
+        );
+    }
+
+    #[test]
+    fn join_rewrites_refuse_order_sensitive_accumulations() {
+        // `total = total + total - t.o_amount` doubles the running value
+        // each iteration: a join's pair order is not the nested-loop
+        // order, so no join alternative may be derived for this fold.
+        let body = vec![
+            Stmt::new(StmtKind::Let(
+                "cust".into(),
+                Expr::nav(Expr::var("o"), "customer"),
+            )),
+            Stmt::new(StmtKind::Let(
+                "total".into(),
+                Expr::bin(
+                    BinOp::Sub,
+                    Expr::bin(BinOp::Add, Expr::var("total"), Expr::var("total")),
+                    Expr::field(Expr::var("cust"), "c_birth_year"),
+                ),
+            )),
+        ];
+        let base = loop_to_fold(
+            "o",
+            &Expr::LoadAll("Order".into()),
+            &body,
+            &mappings(),
+            Some(&["total".to_string()]),
+        )
+        .unwrap();
+        let alts = expand_alternatives(base, 64);
+        assert!(
+            alts.iter().all(|a| !a
+                .rules_applied
+                .iter()
+                .any(|r| r.contains("T4") || r.contains("join"))),
+            "order-sensitive accumulation must not be join-rewritten: {:?}",
+            alts.iter().map(|a| &a.rules_applied).collect::<Vec<_>>()
+        );
+        // The additive form stays join-rewritable.
+        let additive = vec![
+            Stmt::new(StmtKind::Let(
+                "cust".into(),
+                Expr::nav(Expr::var("o"), "customer"),
+            )),
+            Stmt::new(StmtKind::Let(
+                "total".into(),
+                Expr::bin(
+                    BinOp::Sub,
+                    Expr::var("total"),
+                    Expr::field(Expr::var("cust"), "c_birth_year"),
+                ),
+            )),
+        ];
+        let base = loop_to_fold(
+            "o",
+            &Expr::LoadAll("Order".into()),
+            &additive,
+            &mappings(),
+            Some(&["total".to_string()]),
+        )
+        .unwrap();
+        let alts = expand_alternatives(base, 64);
+        assert!(
+            alts.iter()
+                .any(|a| a.rules_applied.iter().any(|r| r.contains("join"))),
+            "additive accumulation keeps its join alternatives"
+        );
     }
 
     #[test]

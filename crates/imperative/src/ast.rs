@@ -249,6 +249,17 @@ impl Stmt {
         max
     }
 
+    /// Number of statements in this statement, inclusive of children
+    /// (an `if` with two one-statement branches counts 3).
+    pub fn stmt_count(&self) -> usize {
+        1 + self
+            .children()
+            .iter()
+            .flat_map(|list| list.iter())
+            .map(|s| s.stmt_count())
+            .sum::<usize>()
+    }
+
     /// The variable this statement defines/updates at the top level, if any.
     pub fn updated_var(&self) -> Option<&str> {
         match &self.kind {
@@ -297,6 +308,12 @@ impl Function {
             params,
             body,
         }
+    }
+
+    /// Total number of statements in the body, inclusive of nesting —
+    /// the size metric the differential-oracle minimizer reduces.
+    pub fn stmt_count(&self) -> usize {
+        self.body.iter().map(|s| s.stmt_count()).sum()
     }
 
     /// Assign sequential line numbers (starting at `first`) to every
@@ -360,6 +377,20 @@ impl Program {
     /// Look up a function by name.
     pub fn function(&self, name: &str) -> Option<&Function> {
         self.functions.iter().find(|f| f.name == name)
+    }
+
+    /// Total statement count across all functions.
+    pub fn stmt_count(&self) -> usize {
+        self.functions.iter().map(|f| f.stmt_count()).sum()
+    }
+
+    /// This program with its entry function replaced (helpers unchanged) —
+    /// the shape the optimizer returns, reassembled into a runnable
+    /// program.
+    pub fn with_entry(&self, entry: Function) -> Program {
+        let mut functions = self.functions.clone();
+        functions[0] = entry;
+        Program { functions }
     }
 }
 

@@ -26,6 +26,18 @@ pub fn function_to_string(f: &Function) -> String {
     out
 }
 
+/// Render a whole program: every function, entry first.
+pub fn program_to_string(p: &crate::ast::Program) -> String {
+    let mut out = String::new();
+    for (i, f) in p.functions.iter().enumerate() {
+        if i > 0 {
+            out.push('\n');
+        }
+        out.push_str(&function_to_string(f));
+    }
+    out
+}
+
 /// Render a statement list at the given indent depth.
 pub fn stmts_to_string(stmts: &[Stmt]) -> String {
     let mut out = String::new();

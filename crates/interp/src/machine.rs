@@ -36,6 +36,12 @@ pub struct Outcome {
     pub bytes: u64,
     /// Output of `print` statements, in order.
     pub prints: Vec<String>,
+    /// The printed *values* (deep snapshots), in print order. Unlike
+    /// [`Outcome::prints`] (display strings, kept for logging), these can
+    /// be normalized for order-insensitive comparison — fixing the
+    /// print-vs-result asymmetry where results compared structurally but
+    /// prints only textually.
+    pub print_values: Vec<Snapshot>,
     /// Number of statement executions.
     pub stmts_executed: u64,
 }
@@ -47,6 +53,73 @@ impl Outcome {
             .get(name)
             .map(|v| v.snapshot())
             .unwrap_or(Snapshot::Unit)
+    }
+
+    /// The run's observables in rewrite-invariant form: the return value
+    /// and every printed value, each normalized to bag semantics
+    /// ([`Snapshot::normalized`] — collections *always* compare as
+    /// multisets, because the cost-based rewrites legitimately reorder
+    /// them: a join enumerates rows in a different order than the loop it
+    /// replaces (P0 → P1). Element order inside a collection is therefore
+    /// not an observable here, even under an `order by` source. What
+    /// stays order-sensitive is the print *sequence*: print k must carry
+    /// the same (normalized) value on both sides, so reordering
+    /// observable side effects is still a divergence.
+    ///
+    /// Add out-parameter variables with
+    /// [`Outcome::normalized_with_vars`]; they are what differential
+    /// testing compares between an original and a rewritten program.
+    pub fn normalized(&self) -> NormalizedOutcome {
+        NormalizedOutcome {
+            vars: Vec::new(),
+            ret: self.ret.snapshot().normalized(),
+            prints: self
+                .print_values
+                .iter()
+                .map(|s| s.clone().normalized())
+                .collect(),
+        }
+    }
+
+    /// [`Outcome::normalized`] extended with the final values of the named
+    /// variables (absent variables snapshot as [`Snapshot::Unit`], so a
+    /// rewrite that *drops* an observed variable still diverges).
+    pub fn normalized_with_vars(&self, names: &[&str]) -> NormalizedOutcome {
+        let mut n = self.normalized();
+        n.vars = names
+            .iter()
+            .map(|name| (name.to_string(), self.var_snapshot(name).normalized()))
+            .collect();
+        n.vars.sort();
+        n
+    }
+}
+
+/// The comparable observables of one program run: selected final variable
+/// values, the return value, and printed values — all normalized via
+/// [`Snapshot::normalized`]. Two runs are *observationally equivalent*
+/// exactly when their `NormalizedOutcome`s are `==`; the differential
+/// oracle builds its `assert_equivalent` on this.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NormalizedOutcome {
+    /// Observed variables (name, normalized snapshot), sorted by name.
+    pub vars: Vec<(String, Snapshot)>,
+    /// Normalized return value.
+    pub ret: Snapshot,
+    /// Normalized printed values, in print order.
+    pub prints: Vec<Snapshot>,
+}
+
+impl std::fmt::Display for NormalizedOutcome {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        for (name, snap) in &self.vars {
+            writeln!(f, "var {name} = {snap}")?;
+        }
+        writeln!(f, "ret = {}", self.ret)?;
+        for (i, p) in self.prints.iter().enumerate() {
+            writeln!(f, "print[{i}] = {p}")?;
+        }
+        Ok(())
     }
 }
 
@@ -99,6 +172,7 @@ impl<'a> Interp<'a> {
 
         let mut state = State {
             prints: Vec::new(),
+            print_values: Vec::new(),
             stmts: 0,
             built_caches: Vec::new(),
         };
@@ -115,6 +189,7 @@ impl<'a> Interp<'a> {
             round_trips: self.session.remote().round_trips() - start_trips,
             bytes: self.session.remote().bytes_transferred() - start_bytes,
             prints: state.prints,
+            print_values: state.print_values,
             stmts_executed: state.stmts,
         })
     }
@@ -233,7 +308,9 @@ impl<'a> Interp<'a> {
             }
             StmtKind::Print(e) => {
                 let v = self.eval(e, env, state)?;
-                state.prints.push(format!("{:?}", v.snapshot()));
+                let snap = v.snapshot();
+                state.prints.push(format!("{snap:?}"));
+                state.print_values.push(snap);
                 Ok(Flow::Normal)
             }
             StmtKind::Return(e) => {
@@ -391,6 +468,24 @@ impl<'a> Interp<'a> {
                         .field(name)
                         .map(RtVal::Scalar)
                         .ok_or_else(|| DbError::UnknownColumn(name.clone())),
+                    // Single-row convention (the ORM `uniqueResult` idiom,
+                    // same as cache lookups): a one-row collection behaves
+                    // as the row itself. Codegen relies on this when it
+                    // lowers association navigation to a point query and
+                    // reads the result's columns.
+                    RtVal::Collection(c) => {
+                        let items = c.lock().unwrap();
+                        match items.as_slice() {
+                            [RtVal::Row(r)] => r
+                                .field(name)
+                                .map(RtVal::Scalar)
+                                .ok_or_else(|| DbError::UnknownColumn(name.clone())),
+                            _ => Err(DbError::Type(format!(
+                                "field access .{name} on a {}-row collection",
+                                items.len()
+                            ))),
+                        }
+                    }
                     _ => Err(DbError::Type(format!("field access .{name} on non-row"))),
                 }
             }
@@ -564,6 +659,7 @@ fn single_table_entity(plan: &minidb::LogicalPlan, session: &Session) -> Option<
 
 struct State {
     prints: Vec<String>,
+    print_values: Vec<Snapshot>,
     stmts: u64,
     /// Names of client-side caches already built during this run.
     built_caches: Vec<String>,
@@ -906,6 +1002,34 @@ mod tests {
     }
 
     #[test]
+    fn normalized_outcomes_compare_order_insensitively() {
+        // P0 and P1 produce `result` in different orders on the wire, and
+        // print it; the normalized observables must still agree.
+        let mut with_print = p0();
+        with_print.functions[0]
+            .body
+            .push(Stmt::new(StmtKind::Print(Expr::var("result"))));
+        let mut p1_print = p1();
+        p1_print.functions[0]
+            .body
+            .push(Stmt::new(StmtKind::Print(Expr::var("result"))));
+        let (a, _) = run(&with_print);
+        let (b, _) = run(&p1_print);
+        assert_eq!(
+            a.normalized_with_vars(&["result"]),
+            b.normalized_with_vars(&["result"])
+        );
+        // An observed variable that only one run binds diverges.
+        assert_ne!(
+            a.normalized_with_vars(&["result", "ghost_var"]),
+            a.normalized_with_vars(&["result"])
+        );
+        // Print values carry deep snapshots in print order.
+        assert_eq!(a.print_values.len(), 1);
+        assert!(matches!(a.print_values[0], Snapshot::List(_)));
+    }
+
+    #[test]
     fn prints_are_captured_in_order() {
         let program = Program::single(Function::new(
             "f",
@@ -932,6 +1056,47 @@ mod tests {
         ));
         let (out, _) = run(&program);
         assert_eq!(out.var_snapshot("x"), Snapshot::Scalar(Value::Int(1)));
+    }
+
+    #[test]
+    fn single_row_query_results_support_field_access() {
+        // The unique-result convention: codegen lowers `o.customer` to a
+        // point query and reads fields off the one-row result.
+        let program = Program::single(Function::new(
+            "f",
+            vec![],
+            vec![
+                Stmt::new(StmtKind::Let(
+                    "row".into(),
+                    Expr::Query(QuerySpec::sql(
+                        "select * from customer where c_customer_sk = 2",
+                    )),
+                )),
+                Stmt::new(StmtKind::Let(
+                    "year".into(),
+                    Expr::field(Expr::var("row"), "c_birth_year"),
+                )),
+            ],
+        ));
+        let (out, _) = run(&program);
+        assert_eq!(out.var_snapshot("year"), Snapshot::Scalar(Value::Int(1962)));
+        // Multi-row results still reject field access.
+        let bad = Program::single(Function::new(
+            "f",
+            vec![],
+            vec![
+                Stmt::new(StmtKind::Let(
+                    "rows".into(),
+                    Expr::Query(QuerySpec::sql("select * from orders")),
+                )),
+                Stmt::new(StmtKind::Let(
+                    "x".into(),
+                    Expr::field(Expr::var("rows"), "o_id"),
+                )),
+            ],
+        ));
+        let (session, _) = fixture();
+        assert!(Interp::new(&session, &bad).run(vec![]).is_err());
     }
 
     #[test]

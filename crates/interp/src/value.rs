@@ -153,6 +153,59 @@ pub enum Snapshot {
     Map(Vec<(Value, Snapshot)>),
 }
 
+/// Render a scalar with a stable, unambiguous textual form: floats always
+/// carry a decimal point (`1.0`, never `1`) via the shortest round-trip
+/// formatting, and strings are quoted — so snapshot text never conflates
+/// `Int(1)`, `Float(1.0)` and `Str("1")`.
+fn write_value(f: &mut std::fmt::Formatter<'_>, v: &Value) -> std::fmt::Result {
+    match v {
+        Value::Float(x) => write!(f, "{x:?}"),
+        Value::Str(s) => write!(f, "{s:?}"),
+        other => write!(f, "{other}"),
+    }
+}
+
+/// Stable textual form used by equivalence diagnostics and repro output.
+impl std::fmt::Display for Snapshot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Snapshot::Unit => write!(f, "unit"),
+            Snapshot::Scalar(v) => write_value(f, v),
+            Snapshot::Row(vals) => {
+                write!(f, "(")?;
+                for (i, v) in vals.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write_value(f, v)?;
+                }
+                write!(f, ")")
+            }
+            Snapshot::List(items) => {
+                write!(f, "[")?;
+                for (i, s) in items.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{s}")?;
+                }
+                write!(f, "]")
+            }
+            Snapshot::Map(entries) => {
+                write!(f, "{{")?;
+                for (i, (k, v)) in entries.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write_value(f, k)?;
+                    write!(f, ": {v}")?;
+                }
+                write!(f, "}}")
+            }
+        }
+    }
+}
+
 impl Snapshot {
     /// Normalize to bag semantics: recursively sort every list. Rewrites
     /// that preserve multisets but not order compare equal afterwards.
@@ -263,6 +316,20 @@ mod tests {
         };
         assert_eq!(entries[0].0, Value::Int(1));
         assert_eq!(entries[1].0, Value::Int(2));
+    }
+
+    #[test]
+    fn display_keeps_floats_and_strings_unambiguous() {
+        let s = Snapshot::List(vec![
+            Snapshot::Scalar(Value::Int(1)),
+            Snapshot::Scalar(Value::Float(1.0)),
+            Snapshot::Scalar(Value::str("1")),
+        ]);
+        assert_eq!(s.to_string(), "[1, 1.0, \"1\"]");
+        let m = Snapshot::Map(vec![(Value::Int(2), Snapshot::Unit)]);
+        assert_eq!(m.to_string(), "{2: unit}");
+        let r = Snapshot::Row(vec![Value::Float(0.5), Value::Null]);
+        assert_eq!(r.to_string(), "(0.5, NULL)");
     }
 
     #[test]

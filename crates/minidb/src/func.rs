@@ -92,6 +92,19 @@ impl FuncRegistry {
                 (a, b) => Err(DbError::Type(format!("mod({a}, {b})"))),
             }
         });
+        // SQL-standard coalesce: the first non-NULL argument. The F-IR
+        // aggregation-extraction rule relies on it to reconcile SQL's
+        // `sum`-over-empty-is-NULL with the fold's keep-the-initial-value
+        // semantics. Like `abs`, the declared type is nominal — the value
+        // type follows the arguments at runtime.
+        r.register("coalesce", DataType::Int, |args| {
+            for a in args {
+                if !a.is_null() {
+                    return Ok(a.clone());
+                }
+            }
+            Ok(Value::Null)
+        });
         r
     }
 

@@ -1,0 +1,226 @@
+//! Observational-equivalence checking between two program runs.
+//!
+//! Built on [`interp::NormalizedOutcome`] (`PartialEq`): two runs are
+//! equivalent when their observed variables, return values and printed
+//! values agree after normalization. Collections always compare as
+//! multisets — the rewrites legitimately reorder them (a join enumerates
+//! rows in a different order than the loop it replaces, P0 → P1) — while
+//! the print *sequence* stays order-sensitive.
+
+use interp::{NormalizedOutcome, Snapshot};
+
+/// The first observable difference between two runs.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Divergence {
+    /// A variable observed by only one side, or with different values.
+    Var {
+        /// Variable name.
+        name: String,
+        /// Value on the original side ([`Snapshot::Unit`] when unbound).
+        original: Snapshot,
+        /// Value on the rewritten side.
+        rewritten: Snapshot,
+    },
+    /// Different return values.
+    Ret {
+        /// Original return value.
+        original: Snapshot,
+        /// Rewritten return value.
+        rewritten: Snapshot,
+    },
+    /// Different print counts.
+    PrintCount {
+        /// Number of prints on the original side.
+        original: usize,
+        /// Number of prints on the rewritten side.
+        rewritten: usize,
+    },
+    /// Print `index` produced different values.
+    Print {
+        /// Position in the print sequence.
+        index: usize,
+        /// Original printed value.
+        original: Snapshot,
+        /// Rewritten printed value.
+        rewritten: Snapshot,
+    },
+}
+
+impl std::fmt::Display for Divergence {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Divergence::Var {
+                name,
+                original,
+                rewritten,
+            } => write!(
+                f,
+                "variable `{name}`: original = {original}, rewritten = {rewritten}"
+            ),
+            Divergence::Ret {
+                original,
+                rewritten,
+            } => write!(
+                f,
+                "return value: original = {original}, rewritten = {rewritten}"
+            ),
+            Divergence::PrintCount {
+                original,
+                rewritten,
+            } => write!(
+                f,
+                "print count: original = {original}, rewritten = {rewritten}"
+            ),
+            Divergence::Print {
+                index,
+                original,
+                rewritten,
+            } => write!(
+                f,
+                "print[{index}]: original = {original}, rewritten = {rewritten}"
+            ),
+        }
+    }
+}
+
+/// Compare two normalized outcomes; `Err` carries the first divergence.
+///
+/// Equality is the `PartialEq` on [`NormalizedOutcome`], except that a
+/// variable absent on one side compares as [`Snapshot::Unit`] (the value
+/// [`interp::Outcome::var_snapshot`] reports for unbound variables) — so
+/// an observed-variable list that spells `Unit` out and one that omits
+/// the entry are the same observation, never a panic.
+pub fn check_equivalent(
+    original: &NormalizedOutcome,
+    rewritten: &NormalizedOutcome,
+) -> Result<(), Divergence> {
+    // Locate the first difference for the report.
+    let names: Vec<&String> = {
+        let mut n: Vec<&String> = original
+            .vars
+            .iter()
+            .chain(rewritten.vars.iter())
+            .map(|(name, _)| name)
+            .collect();
+        n.sort();
+        n.dedup();
+        n
+    };
+    let lookup = |out: &NormalizedOutcome, name: &str| {
+        out.vars
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, s)| s.clone())
+            .unwrap_or(Snapshot::Unit)
+    };
+    for name in names {
+        let a = lookup(original, name);
+        let b = lookup(rewritten, name);
+        if a != b {
+            return Err(Divergence::Var {
+                name: name.clone(),
+                original: a,
+                rewritten: b,
+            });
+        }
+    }
+    if original.ret != rewritten.ret {
+        return Err(Divergence::Ret {
+            original: original.ret.clone(),
+            rewritten: rewritten.ret.clone(),
+        });
+    }
+    if original.prints.len() != rewritten.prints.len() {
+        return Err(Divergence::PrintCount {
+            original: original.prints.len(),
+            rewritten: rewritten.prints.len(),
+        });
+    }
+    for (i, (a, b)) in original.prints.iter().zip(&rewritten.prints).enumerate() {
+        if a != b {
+            return Err(Divergence::Print {
+                index: i,
+                original: a.clone(),
+                rewritten: b.clone(),
+            });
+        }
+    }
+    // Every observation agrees; any residual `PartialEq` difference can
+    // only be vars-list shape (explicit Unit vs omitted entry).
+    Ok(())
+}
+
+/// Panic with a readable diff unless the two outcomes are equivalent.
+///
+/// # Panics
+/// Panics when the outcomes diverge, printing both sides.
+pub fn assert_equivalent(original: &NormalizedOutcome, rewritten: &NormalizedOutcome) {
+    if let Err(d) = check_equivalent(original, rewritten) {
+        panic!(
+            "observational equivalence violated: {d}\n--- original ---\n{original}--- rewritten ---\n{rewritten}"
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use minidb::Value;
+
+    fn base() -> NormalizedOutcome {
+        NormalizedOutcome {
+            vars: vec![("result".into(), Snapshot::List(vec![]))],
+            ret: Snapshot::Unit,
+            prints: vec![Snapshot::Scalar(Value::Int(1))],
+        }
+    }
+
+    #[test]
+    fn equal_outcomes_pass() {
+        assert!(check_equivalent(&base(), &base()).is_ok());
+        assert_equivalent(&base(), &base());
+    }
+
+    #[test]
+    fn explicit_unit_and_omitted_var_are_equivalent() {
+        // An unbound variable snapshots as Unit, so spelling it out and
+        // omitting it are the same observation (and never a panic).
+        let mut with_unit = base();
+        with_unit.vars.push(("ghost".into(), Snapshot::Unit));
+        assert!(check_equivalent(&base(), &with_unit).is_ok());
+        assert!(check_equivalent(&with_unit, &base()).is_ok());
+    }
+
+    #[test]
+    fn var_divergence_is_located() {
+        let mut b = base();
+        b.vars[0].1 = Snapshot::List(vec![Snapshot::Scalar(Value::Int(9))]);
+        match check_equivalent(&base(), &b) {
+            Err(Divergence::Var { name, .. }) => assert_eq!(name, "result"),
+            other => panic!("expected var divergence, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn print_divergence_is_located() {
+        let mut b = base();
+        b.prints[0] = Snapshot::Scalar(Value::Int(2));
+        match check_equivalent(&base(), &b) {
+            Err(Divergence::Print { index: 0, .. }) => {}
+            other => panic!("expected print divergence, got {other:?}"),
+        }
+        b.prints.push(Snapshot::Unit);
+        assert!(matches!(
+            check_equivalent(&base(), &b),
+            Err(Divergence::PrintCount { .. })
+        ));
+    }
+
+    #[test]
+    #[should_panic(expected = "observational equivalence violated")]
+    fn assert_panics_on_divergence() {
+        let mut b = base();
+        b.ret = Snapshot::Scalar(Value::Int(7));
+        assert_equivalent(&base(), &b);
+    }
+}

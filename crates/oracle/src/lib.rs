@@ -1,0 +1,46 @@
+//! The differential-execution oracle.
+//!
+//! COBRA's contract is that every rewrite it picks is
+//! *semantics-preserving* and that its cost model ranks alternatives the
+//! way execution does. This crate tests that contract generatively rather
+//! than on hand-written fixtures:
+//!
+//! 1. [`workloads::genprog`] draws a random schema and a well-typed
+//!    program from a `u64` seed (every case reproduces from its seed
+//!    alone);
+//! 2. the [`matrix`] driver optimizes the program under a sweep of
+//!    network profiles × [`cobra_core::SearchBudget`]s × [`fir::RuleSet`]s
+//!    and executes original and optimized programs on fresh fixtures,
+//!    asserting observational equivalence ([`equivalence`]) and recording
+//!    predicted vs simulated cost;
+//! 3. on any failure, the [`minimizer`] greedily shrinks the program and
+//!    its data to a small self-contained [`Repro`];
+//! 4. [`mutation`] supplies an intentionally broken rule so the suite can
+//!    prove it *would* catch a semantics-breaking rewrite;
+//! 5. [`stats::spearman`] quantifies cost-model fidelity as rank
+//!    correlation between predicted `est_cost_ns` and simulated seconds.
+//!
+//! ```
+//! use oracle::{run_case, OracleMatrix};
+//! use workloads::genprog::{GenCase, GenConfig};
+//!
+//! let case = GenCase::from_seed(42, &GenConfig::default());
+//! let report = run_case(&case, &OracleMatrix::default());
+//! assert!(report.failures.is_empty(), "{}", report.failures[0]);
+//! assert_eq!(report.records.len(), 6); // 3 profiles × 2 budgets
+//! ```
+
+pub mod equivalence;
+pub mod matrix;
+pub mod minimizer;
+pub mod mutation;
+pub mod stats;
+
+pub use equivalence::{assert_equivalent, check_equivalent, Divergence};
+pub use matrix::{
+    fuzz, mid_range, run_case, run_cell, seed_range_from_env, tight_budget, CaseReport, Failure,
+    FailureKind, FuzzReport, OracleCell, OracleMatrix, RunRecord,
+};
+pub use minimizer::{minimize, Repro};
+pub use mutation::broken_limit_rule;
+pub use stats::spearman;

@@ -1,0 +1,252 @@
+//! Greedy case minimization: shrink a failing program (and its data)
+//! while the failure keeps reproducing, then emit a self-contained repro.
+
+use crate::matrix::{run_cell, Failure, FailureKind, OracleCell};
+use imperative::ast::{Program, Stmt, StmtKind};
+use workloads::genprog::GenCase;
+
+/// A minimized, self-contained reproduction of an oracle failure.
+#[derive(Debug, Clone)]
+pub struct Repro {
+    /// Generating seed (rerun the cell from this seed alone to regenerate
+    /// the *original* unminimized case).
+    pub seed: u64,
+    /// The failing configuration.
+    pub cell: OracleCell,
+    /// Data scale the failure still reproduces at.
+    pub row_scale: f64,
+    /// The minimized failing program.
+    pub program: Program,
+    /// Statement count of the minimized program.
+    pub stmt_count: usize,
+    /// The failure the minimized program still exhibits.
+    pub kind: String,
+}
+
+impl std::fmt::Display for Repro {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "=== oracle repro (seed {}) ===", self.seed)?;
+        writeln!(
+            f,
+            "cell: profile={} budget={} rules={}  row_scale={}",
+            self.cell.profile.name(),
+            self.cell.budget_name,
+            self.cell.ruleset_name,
+            self.row_scale
+        )?;
+        writeln!(f, "failure: {}", self.kind)?;
+        writeln!(f, "minimized program ({} statements):", self.stmt_count)?;
+        write!(
+            f,
+            "{}",
+            imperative::pretty::program_to_string(&self.program)
+        )?;
+        writeln!(
+            f,
+            "reproduce: GenCase::from_seed({}, &GenConfig::default()) + oracle::run_cell(..)",
+            self.seed
+        )
+    }
+}
+
+/// Does this case still fail in `cell` with an optimizer-attributable
+/// failure (the original must run cleanly — reductions that break the
+/// original program are rejected)?
+fn still_fails(case: &GenCase, cell: &OracleCell) -> Option<FailureKind> {
+    match run_cell(case, cell, None) {
+        Ok(_) => None,
+        Err(Failure { kind, .. }) => match kind {
+            FailureKind::OriginalRun(_) => None,
+            other => Some(other),
+        },
+    }
+}
+
+/// All single-step reductions of a statement list. Every candidate has
+/// strictly fewer statements than the input, so greedy iteration
+/// terminates:
+///
+/// * drop any one statement,
+/// * replace a loop (`for`/`while`) or `try` by its body,
+/// * replace an `if` by either branch,
+/// * the same, recursively, inside nested bodies.
+fn reductions(body: &[Stmt]) -> Vec<Vec<Stmt>> {
+    let mut out = Vec::new();
+    let splice = |i: usize, replacement: Vec<Stmt>| -> Vec<Stmt> {
+        let mut v = body[..i].to_vec();
+        v.extend(replacement);
+        v.extend_from_slice(&body[i + 1..]);
+        v
+    };
+    let with_child = |i: usize, rebuild: &dyn Fn(Vec<Stmt>) -> StmtKind, child: Vec<Stmt>| {
+        splice(i, vec![Stmt::new(rebuild(child))])
+    };
+    for (i, stmt) in body.iter().enumerate() {
+        out.push(splice(i, vec![]));
+        match &stmt.kind {
+            StmtKind::ForEach { var, iter, body: b } => {
+                out.push(splice(i, b.clone()));
+                let (var, iter) = (var.clone(), iter.clone());
+                for rb in reductions(b) {
+                    out.push(with_child(
+                        i,
+                        &|child| StmtKind::ForEach {
+                            var: var.clone(),
+                            iter: iter.clone(),
+                            body: child,
+                        },
+                        rb,
+                    ));
+                }
+            }
+            StmtKind::While { cond, body: b } => {
+                out.push(splice(i, b.clone()));
+                let cond = cond.clone();
+                for rb in reductions(b) {
+                    out.push(with_child(
+                        i,
+                        &|child| StmtKind::While {
+                            cond: cond.clone(),
+                            body: child,
+                        },
+                        rb,
+                    ));
+                }
+            }
+            StmtKind::If {
+                cond,
+                then_branch,
+                else_branch,
+            } => {
+                out.push(splice(i, then_branch.clone()));
+                out.push(splice(i, else_branch.clone()));
+                let (cond, tb, eb) = (cond.clone(), then_branch.clone(), else_branch.clone());
+                for rt in reductions(&tb) {
+                    out.push(with_child(
+                        i,
+                        &|child| StmtKind::If {
+                            cond: cond.clone(),
+                            then_branch: child,
+                            else_branch: eb.clone(),
+                        },
+                        rt,
+                    ));
+                }
+                for re in reductions(&eb) {
+                    out.push(with_child(
+                        i,
+                        &|child| StmtKind::If {
+                            cond: cond.clone(),
+                            then_branch: tb.clone(),
+                            else_branch: child,
+                        },
+                        re,
+                    ));
+                }
+            }
+            StmtKind::TryCatch { body: b, handler } => {
+                out.push(splice(i, b.clone()));
+                let (b2, handler) = (b.clone(), handler.clone());
+                for rb in reductions(&b2) {
+                    out.push(with_child(
+                        i,
+                        &|child| StmtKind::TryCatch {
+                            body: child,
+                            handler: handler.clone(),
+                        },
+                        rb,
+                    ));
+                }
+            }
+            _ => {}
+        }
+    }
+    out
+}
+
+/// Greedily minimize a failing case within one matrix cell: repeatedly
+/// apply the first statement reduction that keeps the failure alive, then
+/// shrink the data (`row_scale` 0.5 → 0.25 → 0.1) while it still fails.
+/// Returns `None` when the case does not fail in `cell` to begin with.
+pub fn minimize(case: &GenCase, cell: &OracleCell) -> Option<Repro> {
+    let mut kind = still_fails(case, cell)?;
+    let mut current = case.clone();
+
+    // Statement shrinking to a local fixpoint.
+    loop {
+        let entry = current.program.entry().clone();
+        let mut improved = false;
+        for candidate in reductions(&entry.body) {
+            let mut f = entry.clone();
+            f.body = candidate;
+            let next = current.with_program(current.program.with_entry(f));
+            if let Some(k) = still_fails(&next, cell) {
+                current = next;
+                kind = k;
+                improved = true;
+                break;
+            }
+        }
+        if !improved {
+            break;
+        }
+    }
+
+    // Data shrinking.
+    for scale in [0.5, 0.25, 0.1] {
+        let next = current.with_row_scale(scale);
+        if let Some(k) = still_fails(&next, cell) {
+            current = next;
+            kind = k;
+        } else {
+            break;
+        }
+    }
+
+    let stmt_count = current.program.stmt_count();
+    Some(Repro {
+        seed: case.seed,
+        cell: cell.clone(),
+        row_scale: current.row_scale,
+        program: current.program,
+        stmt_count,
+        kind: kind.to_string(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use imperative::ast::Expr;
+
+    fn let_stmt(v: &str) -> Stmt {
+        Stmt::new(StmtKind::Let(v.into(), Expr::lit(1i64)))
+    }
+
+    #[test]
+    fn reductions_strictly_shrink() {
+        let body = vec![
+            let_stmt("a"),
+            Stmt::new(StmtKind::ForEach {
+                var: "v".into(),
+                iter: Expr::LoadAll("E0".into()),
+                body: vec![let_stmt("b"), let_stmt("c")],
+            }),
+            Stmt::new(StmtKind::If {
+                cond: Expr::lit(true),
+                then_branch: vec![let_stmt("d")],
+                else_branch: vec![],
+            }),
+        ];
+        let total: usize = body.iter().map(|s| s.stmt_count()).sum();
+        let cands = reductions(&body);
+        assert!(!cands.is_empty());
+        for c in &cands {
+            let n: usize = c.iter().map(|s| s.stmt_count()).sum();
+            assert!(n < total, "candidate did not shrink: {n} vs {total}");
+        }
+        // Dropping each of the 3 top statements, hoisting the loop body,
+        // collapsing the if both ways, and nested reductions.
+        assert!(cands.len() >= 8);
+    }
+}

@@ -1,0 +1,70 @@
+//! Intentionally broken transformation rules for mutation smoke testing.
+//!
+//! The oracle is only trustworthy if it *would* catch a semantics-breaking
+//! rewrite. These rules break semantics on purpose — registered into a
+//! [`fir::RuleSet`] alongside the standard rules, they derive alternatives
+//! that are cheaper than any correct one, so the cost-based search picks
+//! them and the differential suite must flag the mismatch and minimize it.
+
+use fir::{FirNode, Rule};
+
+/// A broken rule that truncates every fold's source query to one row
+/// (`… limit 1`). The derived alternative does strictly less work than
+/// any correct alternative — less transfer, fewer iterations — so
+/// whenever a loop is foldable and its source yields more than one row,
+/// the optimizer prefers it and the oracle must catch the divergence.
+///
+/// **Never** register this outside a test.
+pub fn broken_limit_rule() -> Rule {
+    Rule::fold_local(
+        "Xbug",
+        "INTENTIONALLY BROKEN (mutation smoke test): truncate fold sources to one row",
+        |arena, fold| {
+            let FirNode::Fold {
+                func,
+                init,
+                source,
+                loop_var,
+                updated,
+            } = arena.node(fold).clone()
+            else {
+                return None;
+            };
+            let FirNode::Query { plan, binds } = arena.node(source).clone() else {
+                return None;
+            };
+            if matches!(plan, minidb::LogicalPlan::Limit { .. }) {
+                return None; // already mutated; don't refire forever
+            }
+            let new_source = arena.add(FirNode::Query {
+                plan: plan.limit(1),
+                binds,
+            });
+            Some((
+                FirNode::Fold {
+                    func,
+                    init,
+                    source: new_source,
+                    loop_var,
+                    updated,
+                },
+                "Xbug",
+            ))
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fir::RuleSet;
+
+    #[test]
+    fn broken_rule_registers_and_toggles() {
+        let set = RuleSet::standard().with_rule(broken_limit_rule());
+        assert!(set.is_enabled("Xbug"));
+        assert_eq!(set.len(), 8);
+        let off = set.without("Xbug");
+        assert!(!off.is_enabled("Xbug"));
+    }
+}

@@ -1,0 +1,88 @@
+//! Rank statistics for cost-model fidelity checks.
+
+/// Spearman rank-correlation coefficient between two equal-length samples
+/// (ties get averaged ranks). Returns a value in `[-1, 1]`; `NaN` inputs
+/// are rejected.
+///
+/// # Panics
+/// Panics when the slices differ in length, are shorter than 2, or
+/// contain non-finite values.
+pub fn spearman(xs: &[f64], ys: &[f64]) -> f64 {
+    assert_eq!(xs.len(), ys.len(), "paired samples required");
+    assert!(xs.len() >= 2, "need at least two pairs");
+    assert!(
+        xs.iter().chain(ys).all(|v| v.is_finite()),
+        "samples must be finite"
+    );
+    pearson(&ranks(xs), &ranks(ys))
+}
+
+/// Average ranks (1-based; ties share the mean of their positions).
+fn ranks(v: &[f64]) -> Vec<f64> {
+    let mut idx: Vec<usize> = (0..v.len()).collect();
+    idx.sort_by(|&a, &b| v[a].total_cmp(&v[b]));
+    let mut out = vec![0.0; v.len()];
+    let mut i = 0;
+    while i < idx.len() {
+        let mut j = i;
+        while j + 1 < idx.len() && v[idx[j + 1]] == v[idx[i]] {
+            j += 1;
+        }
+        // Positions i..=j hold ties; their shared rank is the average.
+        let rank = (i + j) as f64 / 2.0 + 1.0;
+        for &k in &idx[i..=j] {
+            out[k] = rank;
+        }
+        i = j + 1;
+    }
+    out
+}
+
+fn pearson(xs: &[f64], ys: &[f64]) -> f64 {
+    let n = xs.len() as f64;
+    let mx = xs.iter().sum::<f64>() / n;
+    let my = ys.iter().sum::<f64>() / n;
+    let mut cov = 0.0;
+    let mut vx = 0.0;
+    let mut vy = 0.0;
+    for (x, y) in xs.iter().zip(ys) {
+        cov += (x - mx) * (y - my);
+        vx += (x - mx).powi(2);
+        vy += (y - my).powi(2);
+    }
+    if vx == 0.0 || vy == 0.0 {
+        // A constant sample carries no ranking information; report no
+        // correlation rather than dividing by zero.
+        return 0.0;
+    }
+    cov / (vx.sqrt() * vy.sqrt())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_monotone_agreement_is_one() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        let ys = [10.0, 20.0, 300.0, 4000.0]; // monotone, non-linear
+        assert!((spearman(&xs, &ys) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reversed_order_is_minus_one() {
+        let xs = [1.0, 2.0, 3.0];
+        let ys = [9.0, 5.0, 1.0];
+        assert!((spearman(&xs, &ys) + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ties_get_average_ranks() {
+        assert_eq!(ranks(&[5.0, 1.0, 5.0]), vec![2.5, 1.0, 2.5]);
+    }
+
+    #[test]
+    fn constant_sample_reports_zero() {
+        assert_eq!(spearman(&[1.0, 1.0, 1.0], &[1.0, 2.0, 3.0]), 0.0);
+    }
+}

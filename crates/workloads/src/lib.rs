@@ -9,9 +9,15 @@
 //!   cost-based patterns A–F of Figure 14, plus the representative
 //!   programs and data generator (10:1 many-to-one ratio, 20 %
 //!   selectivity) used for Figure 15.
+//! * [`genprog`] — the seeded random program generator behind the
+//!   differential-execution oracle: randomized schemas (2–5 tables,
+//!   foreign keys, varied stats) and well-typed programs composing the
+//!   shapes the rules target, every case reproducible from one `u64`
+//!   seed.
 //! * [`harness`] — shared glue: build sessions over a network profile,
 //!   run programs, collect outcomes.
 
+pub mod genprog;
 pub mod harness;
 pub mod motivating;
 pub mod rng;

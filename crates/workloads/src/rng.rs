@@ -43,6 +43,17 @@ impl StdRng {
     pub fn gen_bool(&mut self) -> bool {
         self.next_u64() & 1 == 1
     }
+
+    /// True with probability `percent`/100 (0 never, 100 always).
+    pub fn chance(&mut self, percent: u32) -> bool {
+        self.gen_range(0..100u32) < percent
+    }
+
+    /// A uniformly random element of a non-empty slice.
+    pub fn pick<'a, T>(&mut self, items: &'a [T]) -> &'a T {
+        assert!(!items.is_empty(), "pick from empty slice");
+        &items[self.gen_range(0..items.len())]
+    }
 }
 
 /// Types `StdRng::gen_range` can sample.

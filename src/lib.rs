@@ -24,7 +24,12 @@
 //!   [`core::OptimizerConfig`], [`core::SearchBudget`],
 //!   [`core::OptimizationReport`]).
 //! * [`workloads`] — the paper's workloads: motivating example P0/P1/P2,
-//!   program M0, and the Wilos-like fragments of patterns A–F.
+//!   program M0, the Wilos-like fragments of patterns A–F, and the seeded
+//!   random program generator [`workloads::genprog`].
+//! * [`oracle`] — the differential-execution oracle: original-vs-optimized
+//!   equivalence fuzzing over generated programs across network profiles,
+//!   budgets and rule sets, with failure minimization down to seed-keyed
+//!   repros.
 //!
 //! The [`prelude`] re-exports the common surface in one `use`.
 //!
@@ -100,6 +105,7 @@ pub use imperative;
 pub use interp;
 pub use minidb;
 pub use netsim;
+pub use oracle;
 pub use orm;
 pub use volcano;
 pub use workloads;
@@ -116,7 +122,11 @@ pub mod prelude {
     pub use imperative::pretty;
     pub use minidb::{Database, FuncRegistry, SharedDb};
     pub use netsim::{Clock, NetworkProfile};
+    pub use oracle::{
+        assert_equivalent, check_equivalent, run_case, run_cell, OracleCell, OracleMatrix, Repro,
+    };
     pub use orm::{EntityMapping, MappingRegistry};
+    pub use workloads::genprog::{GenCase, GenConfig};
     pub use workloads::harness::{run_on, Fixture, RunResult};
-    pub use workloads::{motivating, wilos};
+    pub use workloads::{genprog, motivating, wilos};
 }

@@ -1,0 +1,86 @@
+//! Budget safety: a minimal [`cobra::core::SearchBudget`] (one alternative
+//! per region, tiny memo caps) may drop *optimizations*, never
+//! *correctness* — and the clipping is always reported via
+//! `budget_exhausted`, not silently.
+
+use cobra::netsim::NetworkProfile;
+use cobra::oracle::{fuzz, tight_budget, OracleMatrix};
+use cobra::prelude::*;
+use cobra::workloads::genprog::{GenCase, GenConfig};
+
+/// 120 generated programs optimized under the minimal budget are all
+/// observationally equivalent to their originals.
+#[test]
+fn tight_budget_preserves_semantics_on_generated_corpus() {
+    let matrix = OracleMatrix {
+        profiles: vec![NetworkProfile::slow_remote()],
+        budgets: vec![("tight".to_string(), tight_budget())],
+        rulesets: vec![("standard".to_string(), RuleSet::standard())],
+    };
+    let report = fuzz(2000..2120, &GenConfig::default(), &matrix);
+    assert!(report.failures.is_empty(), "{}", report.render_failures());
+    assert_eq!(report.cases, 120);
+}
+
+/// Whenever the tight budget explores fewer complete programs than the
+/// default budget would, the search says so: `budget_exhausted` is set
+/// rather than silently truncating.
+#[test]
+fn clipping_is_reported_not_silent() {
+    let cfg = GenConfig::default();
+    let mut clipped = 0usize;
+    for seed in 2000..2060u64 {
+        let case = GenCase::from_seed(seed, &cfg);
+        let fixture = case.fixture();
+        let full = fixture
+            .cobra_builder()
+            .network(NetworkProfile::slow_remote())
+            .build()
+            .optimize_program(&case.program)
+            .unwrap();
+        let tight = fixture
+            .cobra_builder()
+            .network(NetworkProfile::slow_remote())
+            .budget(tight_budget())
+            .build()
+            .optimize_program(&case.program)
+            .unwrap();
+        if tight.alternatives < full.alternatives {
+            clipped += 1;
+            assert!(
+                tight.budget_exhausted,
+                "seed {seed}: tight search dropped alternatives \
+                 ({} vs {}) without reporting budget exhaustion",
+                tight.alternatives, full.alternatives
+            );
+        }
+    }
+    assert!(
+        clipped >= 10,
+        "the corpus should contain plenty of clipped searches, got {clipped}"
+    );
+}
+
+/// The known P0 case: the default budget explores P1/P2-like rewrites;
+/// one alternative per region cannot, and must report it.
+#[test]
+fn p0_under_minimal_budget_reports_exhaustion_and_stays_correct() {
+    let fixture = motivating::build_fixture(500, 100, 9);
+    let net = NetworkProfile::slow_remote();
+    let cobra = fixture
+        .cobra_builder()
+        .network(net.clone())
+        .budget(tight_budget())
+        .build();
+    let p0 = motivating::p0();
+    let opt = cobra.optimize_program(&p0).unwrap();
+    assert!(opt.budget_exhausted, "P0 has rewrites the budget clips");
+    assert!(opt.tags.contains(&"budget-exhausted"));
+
+    let original = run_on(&fixture, net.clone(), &p0).unwrap();
+    let rewritten = run_on(&fixture, net, &p0.with_entry(opt.program)).unwrap();
+    assert_equivalent(
+        &original.outcome.normalized_with_vars(&["result"]),
+        &rewritten.outcome.normalized_with_vars(&["result"]),
+    );
+}

@@ -4,6 +4,8 @@
 //! alternatives the way measurements do. These tests quantify that.
 
 use cobra::netsim::NetworkProfile;
+use cobra::oracle::{mid_range, spearman};
+use cobra::workloads::genprog::{GenCase, GenConfig};
 use cobra::workloads::{harness::run_on, motivating};
 
 /// Measured times and estimated costs of P0/P1/P2 on one configuration.
@@ -101,4 +103,64 @@ fn session_cache_saturation_is_observable() {
     );
     // …and the runtime grows far less than 10×.
     assert!(large.secs < small.secs * 6.0);
+}
+
+/// Fidelity at scale: across 40 *generated* programs — each with its own
+/// randomized schema, data and control flow — the model's predicted costs
+/// must *rank* programs the way simulated execution does, on every
+/// network profile. (Spearman rank correlation; the paper's "Threats to
+/// validity" argues ranking is what the search actually needs.)
+#[test]
+fn predicted_costs_rank_generated_programs_like_execution() {
+    let cfg = GenConfig::default();
+    for net in [
+        NetworkProfile::slow_remote(),
+        mid_range(),
+        NetworkProfile::fast_local(),
+    ] {
+        let mut predicted = Vec::new();
+        let mut simulated = Vec::new();
+        for seed in 3000..3040u64 {
+            let case = GenCase::from_seed(seed, &cfg);
+            let fixture = case.fixture();
+            let cobra = fixture.cobra_builder().network(net.clone()).build();
+            predicted.push(cobra.cost_of(case.program.entry()));
+            simulated.push(
+                run_on(&case.fixture(), net.clone(), &case.program)
+                    .unwrap()
+                    .secs,
+            );
+        }
+        let rho = spearman(&predicted, &simulated);
+        assert!(
+            rho >= 0.7,
+            "{}: predicted cost must rank like simulated time, rho = {rho:.3}",
+            net.name()
+        );
+    }
+}
+
+/// The same holds for the *optimized* programs' predicted cost vs their
+/// simulated runtime — the quantity the search actually minimizes.
+#[test]
+fn optimized_cost_estimates_rank_like_optimized_runtimes() {
+    let cfg = GenConfig::default();
+    let net = NetworkProfile::slow_remote();
+    let mut predicted = Vec::new();
+    let mut simulated = Vec::new();
+    for seed in 3100..3130u64 {
+        let case = GenCase::from_seed(seed, &cfg);
+        let fixture = case.fixture();
+        let cobra = fixture.cobra_builder().network(net.clone()).build();
+        let opt = cobra.optimize_program(&case.program).unwrap();
+        let rewritten = case.program.with_entry(opt.program);
+        predicted.push(opt.est_cost_ns);
+        simulated.push(
+            run_on(&case.fixture(), net.clone(), &rewritten)
+                .unwrap()
+                .secs,
+        );
+    }
+    let rho = spearman(&predicted, &simulated);
+    assert!(rho >= 0.7, "optimized-programs rank correlation: {rho:.3}");
 }

@@ -1,0 +1,93 @@
+//! Mutation smoke test: the oracle is only trustworthy if it *would*
+//! catch a semantics-breaking rewrite. Register an intentionally broken
+//! rule ([`cobra::oracle::broken_limit_rule`]) alongside the standard
+//! set; the cost-based search prefers its too-cheap alternatives, and the
+//! differential suite must flag the divergence and minimize it to a tiny
+//! seed-keyed repro.
+
+use cobra::core::SearchBudget;
+use cobra::netsim::NetworkProfile;
+use cobra::oracle::{broken_limit_rule, fuzz, minimize, run_cell, FailureKind, OracleMatrix};
+use cobra::prelude::*;
+use cobra::workloads::genprog::{GenCase, GenConfig};
+
+fn broken_matrix() -> OracleMatrix {
+    OracleMatrix {
+        profiles: vec![NetworkProfile::slow_remote()],
+        budgets: vec![("default".to_string(), SearchBudget::default())],
+        rulesets: vec![(
+            "standard+Xbug".to_string(),
+            RuleSet::standard().with_rule(broken_limit_rule()),
+        )],
+    }
+}
+
+/// The broken rule is caught on a large fraction of the corpus, and the
+/// failures are genuine result mismatches (both programs still run).
+#[test]
+fn broken_rule_is_caught() {
+    let report = fuzz(0..40, &GenConfig::default(), &broken_matrix());
+    assert!(
+        report.failures.len() >= 10,
+        "a rule that truncates every fold source must be caught often, \
+         got {} failures",
+        report.failures.len()
+    );
+    assert!(
+        report
+            .failures
+            .iter()
+            .any(|f| matches!(f.kind, FailureKind::Mismatch(_))),
+        "at least some failures are clean value mismatches"
+    );
+    // The same corpus under the *standard* rules is clean — the failures
+    // are attributable to the injected rule alone.
+    let clean = fuzz(0..40, &GenConfig::default(), &OracleMatrix::default());
+    assert!(clean.failures.is_empty(), "{}", clean.render_failures());
+}
+
+/// The first caught failure minimizes to a ≤ 10-statement repro that
+/// still fails, and the printed seed alone reproduces it.
+#[test]
+fn caught_failure_minimizes_to_small_repro() {
+    let report = fuzz(0..40, &GenConfig::default(), &broken_matrix());
+    let failure = report.failures.first().expect("broken rule is caught");
+
+    let case = GenCase::from_seed(failure.seed, &GenConfig::default());
+    let repro = minimize(&case, &failure.cell).expect("failure reproduces");
+    assert!(
+        repro.stmt_count <= 10,
+        "repro should be tiny, got {} statements:\n{repro}",
+        repro.stmt_count
+    );
+    let text = repro.to_string();
+    assert!(
+        text.contains(&format!("seed {}", failure.seed)),
+        "repro prints its seed: {text}"
+    );
+
+    // Re-runnable from the seed alone: regenerate the case and the
+    // minimized program still fails in the same cell.
+    let regenerated = GenCase::from_seed(failure.seed, &GenConfig::default())
+        .with_program(repro.program.clone())
+        .with_row_scale(repro.row_scale);
+    assert!(
+        run_cell(&regenerated, &failure.cell, None).is_err(),
+        "minimized repro must still fail when regenerated from its seed"
+    );
+}
+
+/// Ablating the broken rule restores a clean corpus — the RuleSet toggle
+/// isolates the culprit.
+#[test]
+fn disabling_the_broken_rule_restores_equivalence() {
+    let mut matrix = broken_matrix();
+    matrix.rulesets = vec![(
+        "standard+Xbug-disabled".to_string(),
+        RuleSet::standard()
+            .with_rule(broken_limit_rule())
+            .without("Xbug"),
+    )];
+    let report = fuzz(0..40, &GenConfig::default(), &matrix);
+    assert!(report.failures.is_empty(), "{}", report.render_failures());
+}

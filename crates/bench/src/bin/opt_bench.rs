@@ -1,0 +1,253 @@
+//! Optimizer-throughput benchmark over the genprog corpus.
+//!
+//! Measures *real* wall-clock optimization time (the one part of the
+//! reproduction that runs the actual algorithm rather than a simulation):
+//!
+//! * **single-program latency** — `Cobra::optimize_program` per
+//!   (genprog seed × network profile), min/mean over `--iters` runs;
+//! * **batch throughput** — `Cobra::optimize_batch_with_workers` over a
+//!   replicated corpus program at 1/2/4/8 workers.
+//!
+//! Results land in `BENCH_optimizer.json` (override with `--json <path>`
+//! or `COBRA_BENCH_JSON`) so every perf PR leaves a machine-readable
+//! trajectory. Pass `--baseline <prior.json>` to embed a previous run and
+//! compute the geometric-mean speedup against it.
+//!
+//! Usage: `opt_bench [--seeds N] [--iters N] [--batch N] [--json PATH]
+//!                   [--baseline PATH] [--smoke]`
+//!
+//! `--smoke` shrinks everything (3 seeds, 1 iter, batch 4) for CI.
+
+use bench_support::{json_str, BenchRecord};
+use cobra_core::Cobra;
+use imperative::ast::Program;
+use netsim::NetworkProfile;
+use std::time::Instant;
+use workloads::genprog::{GenCase, GenConfig};
+
+struct Config {
+    seeds: u64,
+    iters: usize,
+    batch: usize,
+    workers: Vec<usize>,
+    json: std::path::PathBuf,
+    baseline: Option<std::path::PathBuf>,
+}
+
+fn parse_args() -> Config {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let flag = |name: &str| -> Option<String> {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1).cloned())
+    };
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let (d_seeds, d_iters, d_batch) = if smoke { (3, 1, 4) } else { (24, 5, 16) };
+    Config {
+        seeds: flag("--seeds")
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(d_seeds),
+        iters: flag("--iters")
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(d_iters),
+        batch: flag("--batch")
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(d_batch),
+        workers: vec![1, 2, 4, 8],
+        json: flag("--json")
+            .map(Into::into)
+            .or_else(|| std::env::var_os("COBRA_BENCH_JSON").map(Into::into))
+            .unwrap_or_else(|| "BENCH_optimizer.json".into()),
+        baseline: flag("--baseline").map(Into::into),
+    }
+}
+
+fn profiles() -> Vec<NetworkProfile> {
+    vec![
+        NetworkProfile::slow_remote(),
+        NetworkProfile::new("mid-range", 100e6, 10.0),
+        NetworkProfile::fast_local(),
+    ]
+}
+
+/// Extract `"key":<number>` from our own JSON output (good enough for the
+/// flat documents this binary writes; avoids a JSON-parser dependency).
+fn json_number(doc: &str, key: &str) -> Option<f64> {
+    let pat = format!("\"{key}\":");
+    let start = doc.find(&pat)? + pat.len();
+    let rest = &doc[start..];
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == '+'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+struct BatchRow {
+    profile: String,
+    workers: usize,
+    batch: usize,
+    total_ns: f64,
+    per_program_ns: f64,
+}
+
+fn main() {
+    let cfg = parse_args();
+    let gen_cfg = GenConfig::default();
+    let prof = profiles();
+
+    println!(
+        "opt_bench: {} seeds x {} profiles, {} iters; batch {} x workers {:?}",
+        cfg.seeds,
+        prof.len(),
+        cfg.iters,
+        cfg.batch,
+        cfg.workers
+    );
+
+    // ---- single-program latency --------------------------------------
+    let mut singles: Vec<BenchRecord> = Vec::new();
+    for seed in 0..cfg.seeds {
+        let case = GenCase::from_seed(seed, &gen_cfg);
+        let fixture = case.fixture();
+        for net in &prof {
+            let cobra = fixture.cobra_builder().network(net.clone()).build();
+            let rec = bench_support::bench_record(
+                &format!("optimize_program/seed={seed}/{}", net.name()),
+                &format!("seed={seed} profile={}", net.name()),
+                cfg.iters,
+                || cobra.optimize_program(&case.program).expect("optimizes"),
+            );
+            singles.push(rec);
+        }
+    }
+
+    // Geometric means of per-case mean latency, overall and per profile.
+    let geomean = |xs: &[f64]| -> f64 {
+        if xs.is_empty() {
+            return f64::NAN;
+        }
+        (xs.iter().map(|x| x.ln()).sum::<f64>() / xs.len() as f64).exp()
+    };
+    let overall = geomean(&singles.iter().map(|r| r.mean_ns).collect::<Vec<_>>());
+    let mut per_profile: Vec<(String, f64)> = Vec::new();
+    for net in &prof {
+        let xs: Vec<f64> = singles
+            .iter()
+            .filter(|r| r.config.ends_with(&format!("profile={}", net.name())))
+            .map(|r| r.mean_ns)
+            .collect();
+        per_profile.push((net.name().to_string(), geomean(&xs)));
+    }
+    println!(
+        "\ngeomean optimize_program latency: {:.3} ms",
+        overall / 1e6
+    );
+    for (name, g) in &per_profile {
+        println!("  {name:<12} {:.3} ms", g / 1e6);
+    }
+
+    // ---- batch throughput scaling ------------------------------------
+    // One representative case per profile, replicated: isolates worker
+    // scaling from per-seed variance (every search is identical work).
+    let mut batch_rows: Vec<BatchRow> = Vec::new();
+    let batch_case = GenCase::from_seed(0, &gen_cfg);
+    let batch_fixture = batch_case.fixture();
+    let programs: Vec<Program> = (0..cfg.batch).map(|_| batch_case.program.clone()).collect();
+    for net in &prof {
+        let cobra: Cobra = batch_fixture.cobra_builder().network(net.clone()).build();
+        for &w in &cfg.workers {
+            // Warm-up, then one timed pass (batches are big enough that a
+            // single pass is stable; iters would multiply runtime 4x).
+            let _ = cobra.optimize_batch_with_workers(&programs, w);
+            let start = Instant::now();
+            let out = cobra.optimize_batch_with_workers(&programs, w);
+            let total_ns = start.elapsed().as_secs_f64() * 1e9;
+            assert!(out.iter().all(|r| r.is_ok()), "batch optimizes");
+            println!(
+                "optimize_batch/{}/workers={w}: {:.1} ms total, {:.3} ms/program",
+                net.name(),
+                total_ns / 1e6,
+                total_ns / 1e6 / cfg.batch as f64
+            );
+            batch_rows.push(BatchRow {
+                profile: net.name().to_string(),
+                workers: w,
+                batch: cfg.batch,
+                total_ns,
+                per_program_ns: total_ns / cfg.batch as f64,
+            });
+        }
+    }
+
+    // ---- baseline comparison -----------------------------------------
+    let baseline_doc = cfg
+        .baseline
+        .as_ref()
+        .map(|p| std::fs::read_to_string(p).expect("read baseline JSON"));
+    let baseline_geomean = baseline_doc
+        .as_deref()
+        .and_then(|d| json_number(d, "geomean_mean_ns"));
+    let speedup = baseline_geomean.map(|b| b / overall);
+    if let Some(s) = speedup {
+        println!("\ngeomean speedup vs baseline: {s:.2}x");
+    }
+
+    // ---- JSON emission -----------------------------------------------
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("\"bench\":\"opt_bench\",\n\"schema_version\":1,\n");
+    out.push_str(&format!(
+        "\"config\":{{\"seeds\":{},\"iters\":{},\"batch\":{},\"workers\":[{}],\"host_parallelism\":{}}},\n",
+        cfg.seeds,
+        cfg.iters,
+        cfg.batch,
+        cfg.workers
+            .iter()
+            .map(|w| w.to_string())
+            .collect::<Vec<_>>()
+            .join(","),
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    ));
+    out.push_str(&format!("\"geomean_mean_ns\":{overall:.1},\n"));
+    out.push_str("\"geomean_per_profile\":{");
+    out.push_str(
+        &per_profile
+            .iter()
+            .map(|(n, g)| format!("{}:{g:.1}", json_str(n)))
+            .collect::<Vec<_>>()
+            .join(","),
+    );
+    out.push_str("},\n");
+    if let Some(b) = baseline_geomean {
+        out.push_str(&format!("\"baseline_geomean_mean_ns\":{b:.1},\n"));
+        out.push_str(&format!("\"speedup_geomean\":{:.3},\n", speedup.unwrap()));
+    }
+    out.push_str("\"singles\":[\n");
+    out.push_str(
+        &singles
+            .iter()
+            .map(|r| format!("  {}", r.to_json()))
+            .collect::<Vec<_>>()
+            .join(",\n"),
+    );
+    out.push_str("\n],\n\"batch\":[\n");
+    out.push_str(
+        &batch_rows
+            .iter()
+            .map(|r| {
+                format!(
+                    "  {{\"profile\":{},\"workers\":{},\"batch\":{},\"total_ns\":{:.1},\"per_program_ns\":{:.1}}}",
+                    json_str(&r.profile),
+                    r.workers,
+                    r.batch,
+                    r.total_ns,
+                    r.per_program_ns
+                )
+            })
+            .collect::<Vec<_>>()
+            .join(",\n"),
+    );
+    out.push_str("\n]\n}\n");
+    std::fs::write(&cfg.json, out).expect("write BENCH json");
+    println!("wrote {}", cfg.json.display());
+}

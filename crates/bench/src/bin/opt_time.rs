@@ -10,6 +10,7 @@ use std::time::Instant;
 use workloads::{motivating, wilos};
 
 fn main() {
+    let mut records: Vec<bench_support::BenchRecord> = Vec::new();
     println!("\nCOBRA optimization wall-clock time (per program)");
     println!(
         "{:<14} {:>12} {:>14} {:>10} {:>8}",
@@ -40,6 +41,13 @@ fn main() {
             opt.exprs
         );
         assert!(elapsed.as_secs_f64() < 1.0, "paper: optimization < 1s");
+        records.push(bench_support::BenchRecord {
+            name: format!("opt_time/{name}"),
+            config: "net=slow-remote".to_string(),
+            iters: 1,
+            min_ns: elapsed.as_secs_f64() * 1e9,
+            mean_ns: elapsed.as_secs_f64() * 1e9,
+        });
     }
 
     let fx_w = wilos::build_fixture(10_000, 3);
@@ -58,7 +66,15 @@ fn main() {
             opt.exprs
         );
         assert!(elapsed.as_secs_f64() < 1.0, "paper: optimization < 1s");
+        records.push(bench_support::BenchRecord {
+            name: format!("opt_time/pattern-{pattern:?}"),
+            config: "net=fast-local".to_string(),
+            iters: 1,
+            min_ns: elapsed.as_secs_f64() * 1e9,
+            mean_ns: elapsed.as_secs_f64() * 1e9,
+        });
     }
     println!("{:-<64}", "");
     println!("all optimizations completed in < 1s, matching the paper's report");
+    bench_support::emit_json_if_requested("opt_time", &records);
 }

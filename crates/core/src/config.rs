@@ -126,6 +126,12 @@ pub struct OptimizerConfig {
     /// Per-search cost memoization (`volcano::CostMemo`); memoized and
     /// un-memoized searches return bit-identical costs.
     pub memoize_costs: bool,
+    /// Fingerprint-keyed whole-plan estimate caching
+    /// (`minidb::EstimateCache`), shared across every search and batch
+    /// worker of one `Cobra`. Cached and uncached estimation are
+    /// bit-identical; the toggle exists for benchmarking and for the
+    /// equivalence suite asserting exactly that.
+    pub cache_estimates: bool,
 }
 
 impl Default for OptimizerConfig {
@@ -136,6 +142,7 @@ impl Default for OptimizerConfig {
             rules: RuleSet::standard(),
             budget: SearchBudget::default(),
             memoize_costs: true,
+            cache_estimates: true,
         }
     }
 }
@@ -219,6 +226,13 @@ impl CobraBuilder {
     /// Enable or disable per-search cost memoization (default: on).
     pub fn memoize_costs(mut self, on: bool) -> CobraBuilder {
         self.config.memoize_costs = on;
+        self
+    }
+
+    /// Enable or disable fingerprint-keyed estimate caching (default:
+    /// on). Cached and uncached searches return bit-identical results.
+    pub fn cache_estimates(mut self, on: bool) -> CobraBuilder {
+        self.config.cache_estimates = on;
         self
     }
 

@@ -23,11 +23,16 @@
 use crate::catalog::CostCatalog;
 use crate::region_ops::RegionOp;
 use imperative::ast::{Expr, Stmt, StmtKind};
-use minidb::{Estimator, FuncRegistry, LogicalPlan, ScalarExpr, Value};
+use minidb::{
+    Estimate, EstimateCache, Estimator, FuncRegistry, LogicalPlan, PlanFingerprint, ScalarExpr,
+    SharedPlan, Value,
+};
 use netsim::NetworkProfile;
 use orm::MappingRegistry;
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 use volcano::{CostModel, MExprId, Memo};
 
@@ -45,9 +50,26 @@ pub struct RegionCostModel {
     mappings: MappingRegistry,
     /// Known collection bindings: variable → producing plan (flow-
     /// insensitive; gathered from every program variant in the DAG).
-    var_plans: HashMap<String, LogicalPlan>,
+    var_plans: HashMap<String, SharedPlan>,
     /// Pre-computed plain costs of callee functions (for `LetCall`).
     fn_costs: HashMap<String, f64>,
+    /// Whole-plan estimate cache, keyed by plan fingerprint. Shareable
+    /// across searches and batch workers (see [`EstimateCache`]); a fresh
+    /// private cache is used unless [`RegionCostModel::set_estimate_cache`]
+    /// installs a shared one.
+    estimates: Arc<EstimateCache>,
+    /// Estimates this model served from the cache / had to compute
+    /// (model-local, so per-search reporting stays exact even when the
+    /// cache storage is shared across concurrent searches).
+    est_hits: AtomicU64,
+    est_misses: AtomicU64,
+    /// When false, every estimate is recomputed (see
+    /// [`RegionCostModel::disable_estimate_cache`]).
+    use_estimate_cache: bool,
+    /// Interned synthetic plans (`loadAll` scans, association lookups) so
+    /// repeated costings reuse one fingerprinted allocation.
+    scan_plans: std::sync::Mutex<HashMap<String, SharedPlan>>,
+    nav_plans: std::sync::Mutex<HashMap<String, Option<SharedPlan>>>,
 }
 
 impl RegionCostModel {
@@ -67,11 +89,26 @@ impl RegionCostModel {
             mappings,
             var_plans: HashMap::new(),
             fn_costs: HashMap::new(),
+            estimates: Arc::new(EstimateCache::new()),
+            est_hits: AtomicU64::new(0),
+            est_misses: AtomicU64::new(0),
+            use_estimate_cache: true,
+            scan_plans: std::sync::Mutex::new(HashMap::new()),
+            nav_plans: std::sync::Mutex::new(HashMap::new()),
         }
     }
 
+    /// The interned whole-table scan plan for `table`.
+    fn scan_plan(&self, table: &str) -> SharedPlan {
+        let mut cache = self.scan_plans.lock().unwrap();
+        cache
+            .entry(table.to_string())
+            .or_insert_with(|| LogicalPlan::scan(table).into())
+            .clone()
+    }
+
     /// Register collection bindings (variable → producing plan).
-    pub fn set_var_plans(&mut self, plans: HashMap<String, LogicalPlan>) {
+    pub fn set_var_plans(&mut self, plans: HashMap<String, SharedPlan>) {
         self.var_plans = plans;
     }
 
@@ -80,34 +117,85 @@ impl RegionCostModel {
         self.fn_costs = costs;
     }
 
+    /// Serve estimates through `cache` (epoch-validated, so sharing one
+    /// cache across many searches over the same database is safe and is
+    /// what [`crate::Cobra`] does).
+    pub fn set_estimate_cache(&mut self, cache: Arc<EstimateCache>) {
+        self.estimates = cache;
+    }
+
+    /// Disable estimate caching entirely (every estimate recomputed).
+    /// Exists for benchmarking and for the equivalence suite; results are
+    /// bit-identical either way.
+    pub fn disable_estimate_cache(&mut self) {
+        self.use_estimate_cache = false;
+    }
+
+    /// Estimates this model served from its estimate cache.
+    pub fn estimate_cache_hits(&self) -> u64 {
+        self.est_hits.load(Ordering::Relaxed)
+    }
+
+    /// Estimates this model computed (cache misses).
+    pub fn estimate_cache_misses(&self) -> u64 {
+        self.est_misses.load(Ordering::Relaxed)
+    }
+
     /// The catalog in use.
     pub fn catalog(&self) -> &CostCatalog {
         &self.catalog
     }
 
+    /// Whole-plan estimate via the fingerprint cache: cached and uncached
+    /// paths are bit-identical (the cache stores the computed
+    /// [`Estimate`] verbatim, failures included). The cache protocol
+    /// lives in one place — [`Estimator::estimate_fp_stats`]; this layer
+    /// only adds the model-local hit/miss accounting.
+    fn cached_estimate(&self, plan: &LogicalPlan, fp: PlanFingerprint) -> Result<Estimate, ()> {
+        let db = self.db.read().unwrap();
+        let estimator = Estimator::new(&db, &self.funcs).with_row_ns(self.catalog.server_row_ns);
+        if !self.use_estimate_cache {
+            return estimator.estimate(plan).map_err(|_| ());
+        }
+        let (result, hit) = estimator
+            .with_cache(&self.estimates)
+            .estimate_fp_stats(plan, fp);
+        if hit {
+            self.est_hits.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.est_misses.fetch_add(1, Ordering::Relaxed);
+        }
+        result.map_err(|_| ())
+    }
+
+    /// `C_Q` from an [`Estimate`] (§VI's formula).
+    fn query_cost_of(&self, e: &Estimate) -> f64 {
+        let first = e.first_row_ns(self.catalog.server_row_ns);
+        let last = e.last_row_ns(self.catalog.server_row_ns);
+        let transfer = self.net.transfer_ns_f(e.payload_bytes());
+        self.net.round_trip_ns() as f64 + first + transfer.max(last - first)
+    }
+
     /// `C_Q` for one query execution (§VI).
     pub fn query_cost(&self, plan: &LogicalPlan) -> f64 {
-        let db = self.db.read().unwrap();
-        let est = Estimator::new(&db, &self.funcs)
-            .with_row_ns(self.catalog.server_row_ns)
-            .estimate(plan);
-        match est {
-            Ok(e) => {
-                let first = e.first_row_ns(self.catalog.server_row_ns);
-                let last = e.last_row_ns(self.catalog.server_row_ns);
-                let transfer = self.net.transfer_ns_f(e.payload_bytes());
-                self.net.round_trip_ns() as f64 + first + transfer.max(last - first)
-            }
-            Err(_) => UNESTIMABLE,
+        match self.cached_estimate(plan, PlanFingerprint::of(plan)) {
+            Ok(e) => self.query_cost_of(&e),
+            Err(()) => UNESTIMABLE,
+        }
+    }
+
+    /// [`RegionCostModel::query_cost`] for a [`SharedPlan`] — uses the
+    /// plan's precomputed fingerprint.
+    pub fn query_cost_shared(&self, plan: &SharedPlan) -> f64 {
+        match self.cached_estimate(plan, plan.fingerprint()) {
+            Ok(e) => self.query_cost_of(&e),
+            Err(()) => UNESTIMABLE,
         }
     }
 
     /// Estimated result cardinality of a plan.
-    fn plan_rows(&self, plan: &LogicalPlan) -> f64 {
-        let db = self.db.read().unwrap();
-        Estimator::new(&db, &self.funcs)
-            .with_row_ns(self.catalog.server_row_ns)
-            .estimate(plan)
+    fn plan_rows(&self, plan: &SharedPlan) -> f64 {
+        self.cached_estimate(plan, plan.fingerprint())
             .map(|e| e.rows)
             .unwrap_or(self.catalog.default_collection_iters)
     }
@@ -117,7 +205,7 @@ impl RegionCostModel {
         match iter {
             Expr::Query(spec) => self.plan_rows(&spec.plan),
             Expr::LoadAll(entity) => match self.mappings.entity(entity) {
-                Some(m) => self.plan_rows(&LogicalPlan::scan(&m.table)),
+                Some(m) => self.plan_rows(&self.scan_plan(&m.table)),
                 None => self.catalog.default_collection_iters,
             },
             Expr::Var(v) => match self.var_plans.get(v) {
@@ -145,9 +233,9 @@ impl RegionCostModel {
     /// Cost of *fetching* the iterable (charged once per loop execution).
     fn iter_fetch_cost(&self, iter: &Expr) -> f64 {
         match iter {
-            Expr::Query(spec) => self.query_cost(&spec.plan),
+            Expr::Query(spec) => self.query_cost_shared(&spec.plan),
             Expr::LoadAll(entity) => match self.mappings.entity(entity) {
-                Some(m) => self.query_cost(&LogicalPlan::scan(&m.table)),
+                Some(m) => self.query_cost_shared(&self.scan_plan(&m.table)),
                 None => UNESTIMABLE,
             },
             Expr::Var(_) => 0.0, // already materialized
@@ -171,11 +259,11 @@ impl RegionCostModel {
                 self.catalog.cy_ns + args.iter().map(|a| self.expr_cost(a)).sum::<f64>()
             }
             Expr::LoadAll(entity) => match self.mappings.entity(entity) {
-                Some(m) => self.query_cost(&LogicalPlan::scan(&m.table)),
+                Some(m) => self.query_cost_shared(&self.scan_plan(&m.table)),
                 None => UNESTIMABLE,
             },
             Expr::Query(spec) | Expr::ScalarQuery(spec) => {
-                self.query_cost(&spec.plan)
+                self.query_cost_shared(&spec.plan)
                     + spec
                         .binds
                         .iter()
@@ -188,19 +276,32 @@ impl RegionCostModel {
     }
 
     /// Cost of one association navigation: a point query on the target.
+    /// The lookup plan is interned per association field.
     fn nav_cost(&self, field: &str) -> f64 {
-        for mapping in self.mappings.iter() {
-            if let Some(assoc) = mapping.association(field) {
-                if let Some(target) = self.mappings.entity(&assoc.target_entity) {
-                    let plan = LogicalPlan::scan(&target.table).select(ScalarExpr::eq(
-                        ScalarExpr::col(&target.id_column),
-                        ScalarExpr::param("k"),
-                    ));
-                    return self.query_cost(&plan);
-                }
-            }
+        let plan = {
+            let mut cache = self.nav_plans.lock().unwrap();
+            cache
+                .entry(field.to_string())
+                .or_insert_with(|| {
+                    for mapping in self.mappings.iter() {
+                        if let Some(assoc) = mapping.association(field) {
+                            if let Some(target) = self.mappings.entity(&assoc.target_entity) {
+                                let plan = LogicalPlan::scan(&target.table).select(ScalarExpr::eq(
+                                    ScalarExpr::col(&target.id_column),
+                                    ScalarExpr::param("k"),
+                                ));
+                                return Some(plan.into());
+                            }
+                        }
+                    }
+                    None
+                })
+                .clone()
+        };
+        match plan {
+            Some(p) => self.query_cost_shared(&p),
+            None => UNESTIMABLE,
         }
-        UNESTIMABLE
     }
 
     /// Cost of a single simple statement (basic block).

@@ -45,6 +45,11 @@ pub struct Optimized {
     pub cost_cache_hits: u64,
     /// Cost estimates computed by the underlying model during the search.
     pub cost_cache_misses: u64,
+    /// Plan estimates served from the fingerprint-keyed estimator cache
+    /// (see [`minidb::EstimateCache`]) during this search.
+    pub estimator_cache_hits: u64,
+    /// Plan estimates the estimator had to compute during this search.
+    pub estimator_cache_misses: u64,
     /// True when a [`SearchBudget`] bound clipped the search (alternative
     /// generation, memo growth, or cost iteration) — alternatives were
     /// dropped rather than explored. Also surfaced as the
@@ -64,6 +69,10 @@ pub struct Cobra {
     funcs: std::sync::Arc<FuncRegistry>,
     mappings: MappingRegistry,
     config: OptimizerConfig,
+    /// Whole-plan estimate cache shared by every search (and every batch
+    /// worker) this optimizer runs; epoch-validated against the database,
+    /// so it survives across programs. See [`minidb::EstimateCache`].
+    estimates: std::sync::Arc<minidb::EstimateCache>,
 }
 
 // The optimizer pipeline is thread-safe by construction: shared state goes
@@ -109,6 +118,98 @@ impl Cobra {
             funcs,
             mappings,
             config,
+            estimates: std::sync::Arc::new(minidb::EstimateCache::new()),
+        }
+    }
+
+    /// Build a [`RegionCostModel`] wired to this optimizer's configuration
+    /// and shared estimate cache.
+    fn cost_model(&self) -> RegionCostModel {
+        let mut model = RegionCostModel::new(
+            self.db.clone(),
+            self.funcs.clone(),
+            self.config.network.clone(),
+            self.config.catalog.clone(),
+            self.mappings.clone(),
+        );
+        model.set_estimate_cache(self.estimates.clone());
+        if !self.config.cache_estimates {
+            model.disable_estimate_cache();
+        }
+        model
+    }
+
+    /// Build (but do not search) the Region DAG for `program`: the memo
+    /// with every registered alternative plus its root group, alongside a
+    /// cost model configured like [`Cobra::optimize_program`]'s. This is
+    /// the introspection hook the cost-iteration equivalence suite drives
+    /// `volcano::cost_table` vs `volcano::cost_table_sweeps` through.
+    pub fn region_dag(
+        &self,
+        program: &Program,
+    ) -> DbResult<(Memo<RegionOp>, GroupId, RegionCostModel)> {
+        let built = self.build_dag(program);
+        Ok((built.memo, built.root, built.model))
+    }
+
+    /// The DAG-construction half of [`Cobra::run_search`].
+    fn build_dag(&self, program: &Program) -> BuiltDag {
+        let budget = &self.config.budget;
+        let entry = program.entry();
+        let mut memo: Memo<RegionOp> = Memo::new();
+        let mut var_plans: HashMap<String, minidb::SharedPlan> = HashMap::new();
+
+        // Costs of callee functions (plain, no transformation) for
+        // `LetCall` statements in non-inlined variants.
+        let fn_costs = self.callee_costs(program);
+
+        // Variant 0: the original entry function.
+        let live0: Vec<String> = entry.params.clone();
+        let updated_tables = transforms::updated_tables(program);
+        let mut builder = DagBuilder {
+            memo: &mut memo,
+            mappings: &self.mappings,
+            var_plans: &mut var_plans,
+            rules: &self.config.rules,
+            budget,
+            updated_tables,
+            provenance: HashMap::new(),
+            exhausted: false,
+        };
+        let region = Region::from_function(entry);
+        let root = builder.insert_region(&region, &live0, None, None);
+
+        // Variant 1: the inlined entry, if calls can be inlined (pattern D).
+        if self.config.rules.is_enabled("inline") {
+            if let Some(inlined) = transforms::inline_calls(program) {
+                if builder.memo_has_room() {
+                    let before: Vec<MExprId> = builder.memo.group(root).to_vec();
+                    let region = Region::from_function(&inlined);
+                    builder.insert_region(&region, &live0, None, Some(root));
+                    for &e in builder.memo.group(root) {
+                        if !before.contains(&e) {
+                            builder.provenance.insert(e, vec!["inline"]);
+                        }
+                    }
+                } else {
+                    builder.exhausted = true;
+                }
+            }
+        }
+        let DagBuilder {
+            provenance,
+            exhausted,
+            ..
+        } = builder;
+        let mut model = self.cost_model();
+        model.set_var_plans(var_plans);
+        model.set_fn_costs(fn_costs);
+        BuiltDag {
+            memo,
+            root,
+            provenance,
+            exhausted,
+            model,
         }
     }
 
@@ -198,70 +299,22 @@ impl Cobra {
     /// The shared search behind [`Cobra::optimize_program`] and
     /// [`Cobra::explain`].
     fn run_search(&self, program: &Program) -> DbResult<SearchRun> {
-        let budget = &self.config.budget;
         let entry = program.entry();
-        let mut memo: Memo<RegionOp> = Memo::new();
-        let mut var_plans: HashMap<String, LogicalPlan> = HashMap::new();
-
-        // Costs of callee functions (plain, no transformation) for
-        // `LetCall` statements in non-inlined variants.
-        let fn_costs = self.callee_costs(program);
-
-        // Variant 0: the original entry function.
-        let live0: Vec<String> = entry.params.clone();
-        let updated_tables = transforms::updated_tables(program);
-        let mut builder = DagBuilder {
-            memo: &mut memo,
-            mappings: &self.mappings,
-            var_plans: &mut var_plans,
-            rules: &self.config.rules,
-            budget,
-            updated_tables,
-            provenance: HashMap::new(),
-            exhausted: false,
-        };
-        let region = Region::from_function(entry);
-        let root = builder.insert_region(&region, &live0, None, None);
-
-        // Variant 1: the inlined entry, if calls can be inlined (pattern D).
-        if self.config.rules.is_enabled("inline") {
-            if let Some(inlined) = transforms::inline_calls(program) {
-                if builder.memo_has_room() {
-                    let before: Vec<MExprId> = builder.memo.group(root).to_vec();
-                    let region = Region::from_function(&inlined);
-                    builder.insert_region(&region, &live0, None, Some(root));
-                    for &e in builder.memo.group(root) {
-                        if !before.contains(&e) {
-                            builder.provenance.insert(e, vec!["inline"]);
-                        }
-                    }
-                } else {
-                    builder.exhausted = true;
-                }
-            }
-        }
-        let DagBuilder {
+        let BuiltDag {
+            memo,
+            root,
             provenance,
             exhausted: mut budget_exhausted,
-            ..
-        } = builder;
+            model,
+        } = self.build_dag(program);
 
         // Cost-based extraction.
-        let mut model = RegionCostModel::new(
-            self.db.clone(),
-            self.funcs.clone(),
-            self.config.network.clone(),
-            self.config.catalog.clone(),
-            self.mappings.clone(),
-        );
-        model.set_var_plans(var_plans);
-        model.set_fn_costs(fn_costs);
         // Memoize estimates across the search: value iteration and
         // extraction revisit the same m-exprs many times, and the cost
         // model (estimator + network formulas) dominates search time. A
         // `CostMemo` is valid for exactly one `Memo`, so each search
         // builds its own.
-        let sweeps = budget.max_search_sweeps;
+        let sweeps = self.config.budget.max_search_sweeps;
         let (best, table, cache_hits, cache_misses) = if self.config.memoize_costs {
             let memoized = volcano::CostMemo::new(&model);
             let table = volcano::cost_table(&memo, &memoized, sweeps);
@@ -300,6 +353,8 @@ impl Cobra {
             tags,
             cost_cache_hits: cache_hits,
             cost_cache_misses: cache_misses,
+            estimator_cache_hits: model.estimate_cache_hits(),
+            estimator_cache_misses: model.estimate_cache_misses(),
             budget_exhausted,
         };
         Ok(SearchRun {
@@ -384,13 +439,7 @@ impl Cobra {
     /// Cost a function as-is (no transformations) under this optimizer's
     /// model — used for reporting and for the experiments' cost columns.
     pub fn cost_of(&self, f: &Function) -> f64 {
-        let mut model = RegionCostModel::new(
-            self.db.clone(),
-            self.funcs.clone(),
-            self.config.network.clone(),
-            self.config.catalog.clone(),
-            self.mappings.clone(),
-        );
+        let mut model = self.cost_model();
         let mut var_plans = HashMap::new();
         transforms::collect_var_plans(&f.body, &self.mappings, &mut var_plans);
         model.set_var_plans(var_plans);
@@ -416,13 +465,7 @@ impl Cobra {
     /// Plain costs of every non-entry function (callee bodies), used for
     /// `LetCall` statements.
     fn callee_costs(&self, program: &Program) -> HashMap<String, f64> {
-        let mut model = RegionCostModel::new(
-            self.db.clone(),
-            self.funcs.clone(),
-            self.config.network.clone(),
-            self.config.catalog.clone(),
-            self.mappings.clone(),
-        );
+        let mut model = self.cost_model();
         let mut var_plans = HashMap::new();
         for f in &program.functions {
             transforms::collect_var_plans(&f.body, &self.mappings, &mut var_plans);
@@ -445,6 +488,15 @@ fn log_budget_exhausted(name: &str) {
              alternatives were dropped (raise SearchBudget to explore them)"
         );
     }
+}
+
+/// A constructed Region DAG, ready for cost-based extraction.
+struct BuiltDag {
+    memo: Memo<RegionOp>,
+    root: GroupId,
+    provenance: HashMap<MExprId, Vec<&'static str>>,
+    exhausted: bool,
+    model: RegionCostModel,
 }
 
 /// Everything one search produced: the summary plus the introspection
@@ -553,7 +605,7 @@ impl SearchRun {
 struct DagBuilder<'a> {
     memo: &'a mut Memo<RegionOp>,
     mappings: &'a MappingRegistry,
-    var_plans: &'a mut HashMap<String, LogicalPlan>,
+    var_plans: &'a mut HashMap<String, minidb::SharedPlan>,
     rules: &'a RuleSet,
     budget: &'a SearchBudget,
     /// Tables the program writes. Prefetch alternatives over these are
@@ -610,18 +662,20 @@ impl<'a> DagBuilder<'a> {
                 g
             }
             RegionKind::Seq(children) => {
+                // Per-child read sets once (sets, so suffix-unioning them
+                // child-by-child matches the old concatenate-then-scan).
+                let child_reads: Vec<std::collections::HashSet<String>> =
+                    children.iter().map(transforms::reads_of_region).collect();
                 let mut child_groups = Vec::with_capacity(children.len());
                 for (i, child) in children.iter().enumerate() {
                     // Live set for child i: everything read by children
                     // after it, plus the incoming live set.
                     let mut live: Vec<String> = live_after.to_vec();
-                    let mut following = Vec::new();
-                    for later in &children[i + 1..] {
-                        following.extend(later.to_stmts());
-                    }
-                    for v in transforms::reads_of(&following) {
-                        if !live.contains(&v) {
-                            live.push(v);
+                    for later in &child_reads[i + 1..] {
+                        for v in later {
+                            if !live.iter().any(|l| l == v) {
+                                live.push(v.clone());
+                            }
                         }
                     }
                     let prev = if i > 0 {
@@ -648,7 +702,7 @@ impl<'a> DagBuilder<'a> {
                 // Body sub-regions get their own groups (and alternatives:
                 // inner loops of non-foldable outer loops — pattern A).
                 let mut live: Vec<String> = live_after.to_vec();
-                for v in transforms::reads_of(&body.to_stmts()) {
+                for v in transforms::reads_of_region(body) {
                     if !live.contains(&v) {
                         live.push(v);
                     }
@@ -756,7 +810,7 @@ impl<'a> DagBuilder<'a> {
             StmtKind::Let(v, Expr::LoadAll(entity)) => {
                 if let Some(m) = self.mappings.entity(entity) {
                     self.var_plans
-                        .insert(v.clone(), LogicalPlan::scan(&m.table));
+                        .insert(v.clone(), LogicalPlan::scan(&m.table).into());
                 }
             }
             _ => {}
@@ -764,7 +818,30 @@ impl<'a> DagBuilder<'a> {
     }
 }
 
-/// The last simple statement of a region, for T1 gating.
+/// The last statement of a region, for T1 gating. Only `NewCollection` /
+/// `NewMap` heads matter to the gate, so compound trailing statements are
+/// rebuilt with empty bodies instead of deep-cloning them (gate-equivalent
+/// to `region.to_stmts().into_iter().last()`, without the clones).
 fn last_stmt(region: &Region) -> Option<Stmt> {
-    region.to_stmts().into_iter().last()
+    use imperative::regions::RegionKind;
+    match &region.kind {
+        RegionKind::Block(s) => Some(s.clone()),
+        RegionKind::Seq(children) => children.iter().rev().find_map(last_stmt),
+        RegionKind::Cond { cond, .. } => Some(Stmt::new(StmtKind::If {
+            cond: cond.clone(),
+            then_branch: Vec::new(),
+            else_branch: Vec::new(),
+        })),
+        RegionKind::Loop { var, iter, .. } => Some(Stmt::new(StmtKind::ForEach {
+            var: var.clone(),
+            iter: iter.clone(),
+            body: Vec::new(),
+        })),
+        RegionKind::WhileLoop { cond, .. } => Some(Stmt::new(StmtKind::While {
+            cond: cond.clone(),
+            body: Vec::new(),
+        })),
+        RegionKind::BlackBox(stmts) => stmts.last().cloned(),
+        RegionKind::Empty => None,
+    }
 }

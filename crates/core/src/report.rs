@@ -92,6 +92,25 @@ impl std::fmt::Display for OptimizationReport {
             s.exprs,
         )?;
         writeln!(f, "rules fired: {}", self.rules_fired.join(", "))?;
+        let pct = |hits: u64, misses: u64| {
+            let total = hits + misses;
+            if total == 0 {
+                0.0
+            } else {
+                100.0 * hits as f64 / total as f64
+            }
+        };
+        writeln!(
+            f,
+            "caches: cost-memo {} hits / {} misses ({:.0}% hit), \
+             estimator {} hits / {} misses ({:.0}% hit)",
+            s.cost_cache_hits,
+            s.cost_cache_misses,
+            pct(s.cost_cache_hits, s.cost_cache_misses),
+            s.estimator_cache_hits,
+            s.estimator_cache_misses,
+            pct(s.estimator_cache_hits, s.estimator_cache_misses),
+        )?;
         if s.budget_exhausted {
             writeln!(
                 f,

@@ -62,13 +62,59 @@ pub fn reads_of(stmts: &[Stmt]) -> HashSet<String> {
     out
 }
 
+/// [`reads_of`] computed directly on a region tree — no intermediate
+/// statement materialization (`Region::to_stmts` deep-clones every
+/// nested statement, which made the per-child live-set computation of
+/// DAG construction quadratic in cloned statements).
+pub fn reads_of_region(region: &imperative::regions::Region) -> HashSet<String> {
+    let mut out = HashSet::new();
+    fn go(region: &imperative::regions::Region, out: &mut HashSet<String>) {
+        use imperative::regions::RegionKind;
+        match &region.kind {
+            RegionKind::Block(s) => out.extend(reads_of(std::slice::from_ref(s))),
+            RegionKind::Seq(children) => {
+                for c in children {
+                    go(c, out);
+                }
+            }
+            RegionKind::Cond {
+                cond,
+                then_r,
+                else_r,
+            } => {
+                let mut vars = Vec::new();
+                cond.free_vars(&mut vars);
+                out.extend(vars);
+                go(then_r, out);
+                go(else_r, out);
+            }
+            RegionKind::Loop { iter, body, .. } => {
+                let mut vars = Vec::new();
+                iter.free_vars(&mut vars);
+                out.extend(vars);
+                go(body, out);
+            }
+            RegionKind::WhileLoop { cond, body } => {
+                let mut vars = Vec::new();
+                cond.free_vars(&mut vars);
+                out.extend(vars);
+                go(body, out);
+            }
+            RegionKind::BlackBox(stmts) => out.extend(reads_of(stmts)),
+            RegionKind::Empty => {}
+        }
+    }
+    go(region, &mut out);
+    out
+}
+
 /// Gather `variable → producing plan` bindings from `Let(v, query)` and
 /// `Let(v, loadAll)` statements — the cost model uses them to estimate
 /// trip counts of loops over collection variables.
 pub fn collect_var_plans(
     stmts: &[Stmt],
     mappings: &orm::MappingRegistry,
-    out: &mut HashMap<String, LogicalPlan>,
+    out: &mut HashMap<String, minidb::SharedPlan>,
 ) {
     for s in stmts {
         match &s.kind {
@@ -77,7 +123,7 @@ pub fn collect_var_plans(
             }
             StmtKind::Let(v, Expr::LoadAll(entity)) => {
                 if let Some(m) = mappings.entity(entity) {
-                    out.insert(v.clone(), LogicalPlan::scan(&m.table));
+                    out.insert(v.clone(), LogicalPlan::scan(&m.table).into());
                 }
             }
             StmtKind::ForEach { body, .. } | StmtKind::While { body, .. } => {
@@ -134,7 +180,7 @@ pub fn prefetched_tables(stmts: &[Stmt]) -> Vec<String> {
                 ..
             } = &s.kind
             {
-                if let LogicalPlan::Scan { table, .. } = &spec.plan {
+                if let LogicalPlan::Scan { table, .. } = spec.plan.as_plan() {
                     out.push(table.clone());
                 }
             }
@@ -163,7 +209,7 @@ pub fn prefetch_stmt_alternative(stmt: &Stmt) -> Option<Vec<Stmt>> {
         return None;
     };
     // Peel a projection; then require σ_{A = key}(Scan R).
-    let mut plan = &spec.plan;
+    let mut plan = spec.plan.as_plan();
     if let LogicalPlan::Project { input, .. } = plan {
         plan = input;
     }
@@ -646,6 +692,6 @@ mod tests {
         let mut plans = HashMap::new();
         collect_var_plans(&stmts, &mappings, &mut plans);
         assert_eq!(plans.len(), 2);
-        assert_eq!(plans["all"], LogicalPlan::scan("orders"));
+        assert_eq!(plans["all"], LogicalPlan::scan("orders").into());
     }
 }

@@ -1,6 +1,6 @@
 //! The hash-consed F-IR expression DAG.
 
-use minidb::{BinOp, LogicalPlan, Value};
+use minidb::{BinOp, SharedPlan, Value};
 use std::collections::HashMap;
 
 /// Index of a node in a [`FirArena`].
@@ -44,13 +44,15 @@ pub enum FirNode {
     Project(FirId, usize),
     /// An embedded query; `binds` map its named parameters to F-IR values
     /// (a bind referencing an enclosing fold's tuple makes it correlated).
+    /// The plan is `Arc`-shared with a precomputed fingerprint, so arena
+    /// interning hashes it in O(1) and clones are refcount bumps.
     Query {
-        plan: LogicalPlan,
+        plan: SharedPlan,
         binds: Vec<(String, FirId)>,
     },
     /// A query used as a scalar (first column of first row).
     ScalarQuery {
-        plan: LogicalPlan,
+        plan: SharedPlan,
         binds: Vec<(String, FirId)>,
     },
     /// Column of a single-row source (a lookup query or cache lookup).
@@ -77,10 +79,15 @@ pub enum FirNode {
 /// A hash-consed arena of F-IR nodes: structurally identical expressions
 /// share one id, so common sub-expressions are shared (§V-B: "The
 /// expressions may have common sub-expressions, which are shared").
+///
+/// Nodes are stored behind `Arc`, with the interning index keyed by the
+/// same allocation: cloning an arena — which the rule driver does once
+/// per candidate rewrite — bumps refcounts instead of deep-cloning (and
+/// re-hashing) every node.
 #[derive(Debug, Clone, Default)]
 pub struct FirArena {
-    nodes: Vec<FirNode>,
-    index: HashMap<FirNode, FirId>,
+    nodes: Vec<std::sync::Arc<FirNode>>,
+    index: HashMap<std::sync::Arc<FirNode>, FirId>,
 }
 
 impl FirArena {
@@ -91,10 +98,13 @@ impl FirArena {
 
     /// Intern a node.
     pub fn add(&mut self, node: FirNode) -> FirId {
+        // `Arc<FirNode>: Borrow<FirNode>` lets the owned map be probed by
+        // reference without allocating.
         if let Some(&id) = self.index.get(&node) {
             return id;
         }
         let id = self.nodes.len();
+        let node = std::sync::Arc::new(node);
         self.nodes.push(node.clone());
         self.index.insert(node, id);
         id
@@ -123,7 +133,7 @@ impl FirArena {
         id: FirId,
         subst: &impl Fn(FirId, &FirNode) -> Option<FirNode>,
     ) -> FirId {
-        let node = self.nodes[id].clone();
+        let node = (*self.nodes[id]).clone();
         if let Some(replacement) = subst(id, &node) {
             return self.add(replacement);
         }
@@ -241,10 +251,47 @@ impl FirArena {
     /// Collect every node id reachable from `id` (including itself),
     /// in post-order.
     pub fn reachable(&self, id: FirId) -> Vec<FirId> {
-        let mut seen = vec![false; self.nodes.len()];
+        let mut seen = Vec::new();
         let mut order = Vec::new();
-        self.visit(id, &mut seen, &mut order);
+        self.reachable_into(id, &mut seen, &mut order);
         order
+    }
+
+    /// [`FirArena::reachable`] into caller-owned buffers — hot loops
+    /// traverse many roots and reuse one pair of scratch vectors instead
+    /// of allocating per call. `order` is cleared and refilled.
+    pub fn reachable_into(&self, id: FirId, seen: &mut Vec<bool>, order: &mut Vec<FirId>) {
+        seen.clear();
+        seen.resize(self.nodes.len(), false);
+        order.clear();
+        self.visit(id, seen, order);
+    }
+
+    /// True when `target` is reachable from `from` (early-exit DFS).
+    pub fn reaches(&self, from: FirId, target: FirId) -> bool {
+        if from == target {
+            return true;
+        }
+        let mut seen = vec![false; self.nodes.len()];
+        let mut stack = vec![from];
+        while let Some(n) = stack.pop() {
+            if seen[n] {
+                continue;
+            }
+            seen[n] = true;
+            let mut found = false;
+            self.for_each_child(n, |c| {
+                if c == target {
+                    found = true;
+                } else {
+                    stack.push(c);
+                }
+            });
+            if found {
+                return true;
+            }
+        }
+        false
     }
 
     fn visit(&self, id: FirId, seen: &mut Vec<bool>, order: &mut Vec<FirId>) {
@@ -252,9 +299,7 @@ impl FirArena {
             return;
         }
         seen[id] = true;
-        for c in self.children(id) {
-            self.visit(c, seen, order);
-        }
+        self.for_each_child(id, |c| self.visit(c, seen, order));
         order.push(id);
     }
 
@@ -283,9 +328,225 @@ impl FirArena {
         }
     }
 
-    /// True if any node reachable from `id` satisfies `pred`.
+    /// True if any node reachable from `id` satisfies `pred` — an
+    /// early-exit DFS that stops at the first match and visits shared
+    /// sub-DAGs once (no post-order or `reachable` vector is built).
     pub fn any(&self, id: FirId, pred: &impl Fn(&FirNode) -> bool) -> bool {
-        self.reachable(id).iter().any(|&n| pred(self.node(n)))
+        let mut seen = vec![false; self.nodes.len()];
+        let mut stack = vec![id];
+        while let Some(n) = stack.pop() {
+            if seen[n] {
+                continue;
+            }
+            seen[n] = true;
+            if pred(self.node(n)) {
+                return true;
+            }
+            self.for_each_child(n, |c| stack.push(c));
+        }
+        false
+    }
+
+    /// Visit the direct children of `id` without allocating (the `Vec`
+    /// that [`FirArena::children`] returns is pure overhead in traversal
+    /// hot loops).
+    pub fn for_each_child(&self, id: FirId, mut f: impl FnMut(FirId)) {
+        match self.node(id) {
+            FirNode::Bin(_, l, r) | FirNode::Insert(l, r) => {
+                f(*l);
+                f(*r);
+            }
+            FirNode::Not(e) | FirNode::Project(e, _) | FirNode::RowField(e, _) => f(*e),
+            FirNode::Call(_, args) | FirNode::Tuple(args) => {
+                for a in args {
+                    f(*a);
+                }
+            }
+            FirNode::MapPut(a, b, c) => {
+                f(*a);
+                f(*b);
+                f(*c);
+            }
+            FirNode::Cond {
+                pred,
+                then_val,
+                else_val,
+            } => {
+                f(*pred);
+                f(*then_val);
+                f(*else_val);
+            }
+            FirNode::Query { binds, .. } | FirNode::ScalarQuery { binds, .. } => {
+                for (_, e) in binds {
+                    f(*e);
+                }
+            }
+            FirNode::CacheLookup { key, .. } => f(*key),
+            FirNode::Fold {
+                func, init, source, ..
+            } => {
+                f(*func);
+                f(*init);
+                f(*source);
+            }
+            FirNode::Const(_)
+            | FirNode::Param(_)
+            | FirNode::AccParam(_)
+            | FirNode::TupleVar(_)
+            | FirNode::TupleAttr(_, _)
+            | FirNode::CollectionParam(_) => {}
+        }
+    }
+
+    /// A stable 64-bit structural hash of the DAG rooted at `id`:
+    /// arena-id-independent (child ids are replaced by their own
+    /// structural hashes), so hashes compare across arenas. `memo` caches
+    /// per-node results — pass a `vec![None; arena.len()]` (or shorter;
+    /// it grows) and reuse it for every root of the same arena.
+    pub fn structural_hash(&self, id: FirId, memo: &mut Vec<Option<u64>>) -> u64 {
+        use std::hash::{Hash, Hasher};
+        if memo.len() < self.nodes.len() {
+            memo.resize(self.nodes.len(), None);
+        }
+        if let Some(h) = memo[id] {
+            return h;
+        }
+        let mut h = minidb::StableHasher::new();
+        let child = |s: &Self, m: &mut Vec<Option<u64>>, c: FirId| s.structural_hash(c, m);
+        match self.node(id) {
+            FirNode::Const(v) => {
+                0u8.hash(&mut h);
+                v.hash(&mut h);
+            }
+            FirNode::Param(s) => {
+                1u8.hash(&mut h);
+                s.hash(&mut h);
+            }
+            FirNode::AccParam(s) => {
+                2u8.hash(&mut h);
+                s.hash(&mut h);
+            }
+            FirNode::TupleVar(s) => {
+                3u8.hash(&mut h);
+                s.hash(&mut h);
+            }
+            FirNode::TupleAttr(v, c) => {
+                4u8.hash(&mut h);
+                v.hash(&mut h);
+                c.hash(&mut h);
+            }
+            FirNode::Bin(op, l, r) => {
+                5u8.hash(&mut h);
+                op.hash(&mut h);
+                let (l, r) = (*l, *r);
+                child(self, memo, l).hash(&mut h);
+                child(self, memo, r).hash(&mut h);
+            }
+            FirNode::Not(e) => {
+                6u8.hash(&mut h);
+                let e = *e;
+                child(self, memo, e).hash(&mut h);
+            }
+            FirNode::Call(f, args) => {
+                7u8.hash(&mut h);
+                f.hash(&mut h);
+                for &a in args {
+                    child(self, memo, a).hash(&mut h);
+                }
+            }
+            FirNode::Insert(a, b) => {
+                8u8.hash(&mut h);
+                let (a, b) = (*a, *b);
+                child(self, memo, a).hash(&mut h);
+                child(self, memo, b).hash(&mut h);
+            }
+            FirNode::MapPut(a, b, c) => {
+                9u8.hash(&mut h);
+                let (a, b, c) = (*a, *b, *c);
+                child(self, memo, a).hash(&mut h);
+                child(self, memo, b).hash(&mut h);
+                child(self, memo, c).hash(&mut h);
+            }
+            FirNode::Cond {
+                pred,
+                then_val,
+                else_val,
+            } => {
+                10u8.hash(&mut h);
+                let (p, t, e) = (*pred, *then_val, *else_val);
+                child(self, memo, p).hash(&mut h);
+                child(self, memo, t).hash(&mut h);
+                child(self, memo, e).hash(&mut h);
+            }
+            FirNode::Tuple(items) => {
+                11u8.hash(&mut h);
+                items.len().hash(&mut h);
+                for &i in items {
+                    child(self, memo, i).hash(&mut h);
+                }
+            }
+            FirNode::Project(t, i) => {
+                12u8.hash(&mut h);
+                i.hash(&mut h);
+                let t = *t;
+                child(self, memo, t).hash(&mut h);
+            }
+            FirNode::Query { plan, binds } => {
+                13u8.hash(&mut h);
+                plan.fingerprint().as_u64().hash(&mut h);
+                for (p, e) in binds {
+                    p.hash(&mut h);
+                    child(self, memo, *e).hash(&mut h);
+                }
+            }
+            FirNode::ScalarQuery { plan, binds } => {
+                14u8.hash(&mut h);
+                plan.fingerprint().as_u64().hash(&mut h);
+                for (p, e) in binds {
+                    p.hash(&mut h);
+                    child(self, memo, *e).hash(&mut h);
+                }
+            }
+            FirNode::RowField(r, c) => {
+                15u8.hash(&mut h);
+                c.hash(&mut h);
+                let r = *r;
+                child(self, memo, r).hash(&mut h);
+            }
+            FirNode::CacheLookup {
+                table,
+                key_col,
+                key,
+            } => {
+                16u8.hash(&mut h);
+                table.hash(&mut h);
+                key_col.hash(&mut h);
+                let k = *key;
+                child(self, memo, k).hash(&mut h);
+            }
+            FirNode::CollectionParam(s) => {
+                17u8.hash(&mut h);
+                s.hash(&mut h);
+            }
+            FirNode::Fold {
+                func,
+                init,
+                source,
+                loop_var,
+                updated,
+            } => {
+                18u8.hash(&mut h);
+                loop_var.hash(&mut h);
+                updated.hash(&mut h);
+                let (f0, i0, s0) = (*func, *init, *source);
+                child(self, memo, f0).hash(&mut h);
+                child(self, memo, i0).hash(&mut h);
+                child(self, memo, s0).hash(&mut h);
+            }
+        }
+        let out = h.finish();
+        memo[id] = Some(out);
+        out
     }
 
     /// Paper-style rendering, e.g. `fold(<sum> + t.sale_amt, tuple(0), Q)`.
@@ -402,7 +663,9 @@ mod tests {
         let zero = a.add(FirNode::Const(Value::Int(0)));
         let init = a.add(FirNode::Tuple(vec![zero]));
         let q = a.add(FirNode::Query {
-            plan: minidb::sql::parse("select month, sale_amt from sales order by month").unwrap(),
+            plan: minidb::sql::parse("select month, sale_amt from sales order by month")
+                .unwrap()
+                .into(),
             binds: vec![],
         });
         let fold = a.add(FirNode::Fold {
@@ -450,7 +713,7 @@ mod tests {
         let mut a = FirArena::new();
         let x = a.add(FirNode::Param("x".into()));
         let q = a.add(FirNode::Query {
-            plan: minidb::sql::parse("select * from t").unwrap(),
+            plan: minidb::sql::parse("select * from t").unwrap().into(),
             binds: vec![("p".into(), x)],
         });
         assert!(a.any(q, &|n| matches!(n, FirNode::Param(_))));

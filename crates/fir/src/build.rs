@@ -46,7 +46,30 @@ pub struct FirAlternative {
 }
 
 impl FirAlternative {
-    /// Structural key for deduplication.
+    /// Compact structural key for deduplication: a stable 64-bit hash
+    /// over prefetches (sorted), assignment targets and their expression
+    /// DAGs (with plans contributing their fingerprints), and the
+    /// empty-init requirement. Equal [`FirAlternative::key`] strings
+    /// imply equal `dedup_key`s; the expansion driver dedups on this, so
+    /// it never renders SQL text on the hot path.
+    pub fn dedup_key(&self) -> u64 {
+        use std::hash::{Hash, Hasher};
+        let mut h = minidb::StableHasher::new();
+        let mut pf = self.prefetches.clone();
+        pf.sort();
+        pf.hash(&mut h);
+        let mut memo: Vec<Option<u64>> = vec![None; self.arena.len()];
+        self.assigns.len().hash(&mut h);
+        for (v, id) in &self.assigns {
+            v.hash(&mut h);
+            self.arena.structural_hash(*id, &mut memo).hash(&mut h);
+        }
+        self.requires_empty_init.hash(&mut h);
+        h.finish()
+    }
+
+    /// Structural key for deduplication (human-readable form; see
+    /// [`FirAlternative::dedup_key`] for the hot-path variant).
     pub fn key(&self) -> String {
         let mut parts: Vec<String> = Vec::new();
         let mut pf = self.prefetches.clone();
@@ -252,7 +275,7 @@ fn sym_source(
             let plan = LogicalPlan::scan(&m.table);
             ctx.entities.insert(loop_var.to_string(), entity.clone());
             Some(ctx.arena.add(FirNode::Query {
-                plan,
+                plan: plan.into(),
                 binds: Vec::new(),
             }))
         }
@@ -441,7 +464,7 @@ fn sym_expr(
                 .arena
                 .add(FirNode::TupleAttr(v, assoc.fk_column.clone()));
             Some(ctx.arena.add(FirNode::Query {
-                plan,
+                plan: plan.into(),
                 binds: vec![("k".to_string(), key)],
             }))
         }
@@ -456,7 +479,7 @@ fn sym_expr(
             let m = ctx.mappings.entity(entity)?;
             let plan = LogicalPlan::scan(&m.table);
             Some(ctx.arena.add(FirNode::Query {
-                plan,
+                plan: plan.into(),
                 binds: Vec::new(),
             }))
         }

@@ -249,7 +249,7 @@ impl<'a> Gen<'a> {
 
     fn query_spec(
         &mut self,
-        plan: minidb::LogicalPlan,
+        plan: minidb::SharedPlan,
         binds: &[(String, FirId)],
         out: &mut Vec<Stmt>,
     ) -> Option<QuerySpec> {

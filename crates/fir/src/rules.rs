@@ -81,8 +81,10 @@ fn top_fold(alt: &FirAlternative) -> Option<FirId> {
 /// All fold nodes reachable from the alternative's assignments.
 pub(crate) fn reachable_folds(alt: &FirAlternative) -> Vec<FirId> {
     let mut out = Vec::new();
+    let (mut seen, mut order) = (Vec::new(), Vec::new());
     for (_, root) in &alt.assigns {
-        for id in alt.arena.reachable(*root) {
+        alt.arena.reachable_into(*root, &mut seen, &mut order);
+        for &id in &order {
             if matches!(alt.arena.node(id), FirNode::Fold { .. }) && !out.contains(&id) {
                 out.push(id);
             }
@@ -224,7 +226,7 @@ fn match_lookup_query(arena: &FirArena, id: FirId) -> Option<(String, String, Fi
     let FirNode::Query { plan, binds } = arena.node(id) else {
         return None;
     };
-    let LogicalPlan::Select { input, pred } = plan else {
+    let LogicalPlan::Select { input, pred } = plan.as_plan() else {
         return None;
     };
     let LogicalPlan::Scan { table, .. } = &**input else {
@@ -261,16 +263,16 @@ fn match_lookup_query_mut(arena: &mut FirArena, id: FirId) -> Option<(String, St
     if !binds.is_empty() {
         return None;
     }
-    let LogicalPlan::Select { input, pred } = plan else {
+    let LogicalPlan::Select { input, pred } = plan.as_plan() else {
         return None;
     };
-    let LogicalPlan::Scan { table, .. } = &*input else {
+    let LogicalPlan::Scan { table, .. } = &**input else {
         return None;
     };
     let ScalarExpr::Bin(BinOp::Eq, l, r) = pred else {
         return None;
     };
-    let (col, key_expr) = match (&*l, &*r) {
+    let (col, key_expr) = match (&**l, &**r) {
         (ScalarExpr::Col(c), other) => (c, other),
         (other, ScalarExpr::Col(c)) => (c, other),
         _ => return None,
@@ -458,7 +460,7 @@ pub fn t5_aggregation(alt: &FirAlternative) -> Vec<FirAlternative> {
         let agg_plan = strip_order(plan).aggregate(Vec::new(), aggs);
         let assigns = if parts.updated.len() == 1 {
             let sq = arena.add(FirNode::ScalarQuery {
-                plan: agg_plan,
+                plan: agg_plan.into(),
                 binds: Vec::new(),
             });
             let func = classes[0].as_ref().unwrap().func;
@@ -467,7 +469,7 @@ pub fn t5_aggregation(alt: &FirAlternative) -> Vec<FirAlternative> {
             vec![(parts.updated[0].clone(), value)]
         } else {
             let q = arena.add(FirNode::Query {
-                plan: agg_plan,
+                plan: agg_plan.into(),
                 binds: Vec::new(),
             });
             parts
@@ -507,7 +509,7 @@ pub fn t5_aggregation(alt: &FirAlternative) -> Vec<FirAlternative> {
                 }],
             );
             let sq = arena.add(FirNode::ScalarQuery {
-                plan: agg_plan,
+                plan: agg_plan.into(),
                 binds: Vec::new(),
             });
             let guarded = guard_empty_agg(&mut arena, sq, c.func);
@@ -574,9 +576,9 @@ pub(crate) fn t2_on_fold(arena: &mut FirArena, fold: FirId) -> Option<(FirNode, 
     let pred = common_pred?;
     let mut new_binds = binds.clone();
     let scalar = to_scalar(arena, pred, &parts.loop_var, &mut new_binds)?;
-    let new_plan = plan.select(scalar);
+    let new_plan = plan.unshare().select(scalar);
     let new_source = arena.add(FirNode::Query {
-        plan: new_plan,
+        plan: new_plan.into(),
         binds: new_binds,
     });
     let func = arena.add(FirNode::Tuple(inner_items));
@@ -602,7 +604,7 @@ pub(crate) fn n2_on_fold(arena: &mut FirArena, fold: FirId) -> Option<(FirNode, 
     let FirNode::Query { plan, binds } = arena.node(parts.source).clone() else {
         return None;
     };
-    let LogicalPlan::Select { input, pred } = plan else {
+    let LogicalPlan::Select { input, pred } = plan.unshare() else {
         return None;
     };
     let fir_pred = from_scalar(arena, &pred, &parts.loop_var, &binds)?;
@@ -614,7 +616,7 @@ pub(crate) fn n2_on_fold(arena: &mut FirArena, fold: FirId) -> Option<(FirNode, 
         .filter(|(n, _)| !used.contains(n))
         .collect();
     let new_source = arena.add(FirNode::Query {
-        plan: (*input).clone(),
+        plan: (*input).into(),
         binds: rest_binds,
     });
     let new_items: Vec<FirId> = parts
@@ -762,12 +764,12 @@ pub(crate) fn lookup_to_join_on_fold(
     let (lookup, table, key_col, fk_col) = target?;
 
     // New source: source ⋈_{fk = key} table.
-    let join_plan = plan.join(
+    let join_plan = plan.unshare().join(
         LogicalPlan::scan(&table),
         ScalarExpr::eq(ScalarExpr::col(&fk_col), ScalarExpr::col(&key_col)),
     );
     let new_source = arena.add(FirNode::Query {
-        plan: join_plan,
+        plan: join_plan.into(),
         binds,
     });
 
@@ -791,7 +793,7 @@ pub(crate) fn lookup_to_join_on_fold(
         .collect();
     // The lookup must be fully consumed by field accesses.
     for &item in &new_items {
-        if arena.reachable(item).contains(&lookup) {
+        if arena.reaches(item, lookup) {
             return None;
         }
     }
@@ -862,12 +864,12 @@ pub(crate) fn t4_nested_join_on_fold(
         return None;
     }
 
-    let join_plan = outer_plan.join(
+    let join_plan = outer_plan.unshare().join(
         LogicalPlan::scan(&table),
         ScalarExpr::eq(ScalarExpr::col(&fk_col), ScalarExpr::col(&key_col)),
     );
     let new_source = arena.add(FirNode::Query {
-        plan: join_plan,
+        plan: join_plan.into(),
         binds: outer_binds,
     });
     // Rename the inner tuple variable to the outer one: the join tuple
@@ -913,9 +915,10 @@ pub fn n1_prefetch(alt: &FirAlternative) -> Option<FirAlternative> {
     // Collect matches first.
     let mut arena = alt.arena.clone();
     let mut lookups: Vec<(FirId, String, String, FirId)> = Vec::new();
+    let (mut seen, mut order) = (Vec::new(), Vec::new());
     for (_, root) in &alt.assigns {
-        let ids = arena.reachable(*root);
-        for id in ids {
+        arena.reachable_into(*root, &mut seen, &mut order);
+        for &id in &order {
             if lookups.iter().any(|(l, _, _, _)| *l == id) {
                 continue;
             }

@@ -315,11 +315,11 @@ pub fn expand_with(base: FirAlternative, rules: &RuleSet, max_alternatives: usiz
     }
 
     let mut out: Vec<FirAlternative> = Vec::new();
-    let mut seen: Vec<String> = Vec::new();
+    let mut seen: std::collections::HashSet<u64> = std::collections::HashSet::new();
     let mut queue: Vec<FirAlternative> = vec![base];
     let mut truncated = false;
     while let Some(alt) = queue.pop() {
-        let key = alt.key();
+        let key = alt.dedup_key();
         if seen.contains(&key) {
             continue;
         }
@@ -331,7 +331,7 @@ pub fn expand_with(base: FirAlternative, rules: &RuleSet, max_alternatives: usiz
             truncated = true;
             break;
         }
-        seen.push(key);
+        seen.insert(key);
         out.push(alt.clone());
 
         for f in &alt_actions {

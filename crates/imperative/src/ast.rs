@@ -6,24 +6,29 @@
 //! structurally identical fragments are the same region alternative in the
 //! Region DAG regardless of where they appeared.
 
-use minidb::{BinOp, LogicalPlan, Value};
+use minidb::{BinOp, SharedPlan, Value};
 use std::hash::{Hash, Hasher};
 
 /// An embedded query: a logical plan (parsed from SQL) plus bindings for
 /// its named parameters (`:param` → expression evaluated at the call site).
+///
+/// The plan is [`SharedPlan`] (an `Arc` plus a precomputed structural
+/// fingerprint): programs, region operators and memo keys embed the same
+/// plans thousands of times, so cloning is a refcount bump and
+/// hashing/equality are O(1) fingerprint operations.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct QuerySpec {
     /// The query plan.
-    pub plan: LogicalPlan,
+    pub plan: SharedPlan,
     /// Parameter bindings, in declaration order.
     pub binds: Vec<(String, Expr)>,
 }
 
 impl QuerySpec {
     /// A query with no parameters.
-    pub fn of(plan: LogicalPlan) -> QuerySpec {
+    pub fn of(plan: impl Into<SharedPlan>) -> QuerySpec {
         QuerySpec {
-            plan,
+            plan: plan.into(),
             binds: Vec::new(),
         }
     }

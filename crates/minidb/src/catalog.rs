@@ -180,15 +180,67 @@ impl Table {
 }
 
 /// The catalog: a named collection of tables.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug)]
 pub struct Database {
     tables: BTreeMap<String, Table>,
+    /// Bumped on every operation that may change schemas, data or
+    /// statistics; estimate caches key their validity on it.
+    stats_epoch: u64,
+    /// Process-unique identity of this `Database` *value* (clones get
+    /// fresh ids): estimate caches stamp entries with `(instance_id,
+    /// stats_epoch)` so a cache shared across databases can never serve
+    /// one database's numbers for another.
+    instance_id: u64,
+}
+
+/// Process-unique database instance ids, starting at 1 so the estimate
+/// cache's zeroed initial stamp matches no real database.
+fn next_instance_id() -> u64 {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static NEXT: AtomicU64 = AtomicU64::new(1);
+    NEXT.fetch_add(1, Ordering::Relaxed)
+}
+
+impl Default for Database {
+    fn default() -> Database {
+        Database {
+            tables: BTreeMap::new(),
+            stats_epoch: 0,
+            instance_id: next_instance_id(),
+        }
+    }
+}
+
+/// Cloning copies the data but mints a fresh [`Database::instance_id`]:
+/// the clone's statistics evolve independently, so cached estimates for
+/// the original must never be served for it.
+impl Clone for Database {
+    fn clone(&self) -> Database {
+        Database {
+            tables: self.tables.clone(),
+            stats_epoch: self.stats_epoch,
+            instance_id: next_instance_id(),
+        }
+    }
 }
 
 impl Database {
     /// An empty database.
     pub fn new() -> Database {
         Database::default()
+    }
+
+    /// A counter that advances whenever the catalog hands out mutable
+    /// access (table creation, `table_mut`, re-analysis). Cached
+    /// estimates are valid only for the epoch they were computed in.
+    pub fn stats_epoch(&self) -> u64 {
+        self.stats_epoch
+    }
+
+    /// The process-unique identity of this `Database` value (see the
+    /// field docs; clones get fresh ids).
+    pub fn instance_id(&self) -> u64 {
+        self.instance_id
     }
 
     /// Create a table; errors if the name is taken.
@@ -201,6 +253,7 @@ impl Database {
         if self.tables.contains_key(&name) {
             return Err(DbError::Invalid(format!("table {name} already exists")));
         }
+        self.stats_epoch += 1;
         self.tables
             .insert(name.clone(), Table::new(name.clone(), schema));
         Ok(self.tables.get_mut(&name).unwrap())
@@ -213,8 +266,10 @@ impl Database {
             .ok_or_else(|| DbError::UnknownTable(name.to_string()))
     }
 
-    /// Look up a table mutably.
+    /// Look up a table mutably. Conservatively advances the stats epoch:
+    /// the borrow may insert, index or update rows.
     pub fn table_mut(&mut self, name: &str) -> DbResult<&mut Table> {
+        self.stats_epoch += 1;
         self.tables
             .get_mut(name)
             .ok_or_else(|| DbError::UnknownTable(name.to_string()))
@@ -227,6 +282,7 @@ impl Database {
 
     /// Recompute statistics for every table.
     pub fn analyze_all(&mut self) {
+        self.stats_epoch += 1;
         for t in self.tables.values_mut() {
             t.analyze();
         }

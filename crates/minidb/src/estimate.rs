@@ -15,9 +15,14 @@ use crate::catalog::Database;
 use crate::error::DbResult;
 use crate::exec::DEFAULT_SERVER_ROW_NS;
 use crate::expr::{BinOp, ColRef, ScalarExpr};
+use crate::fingerprint::PlanFingerprint;
 use crate::func::FuncRegistry;
 use crate::plan::LogicalPlan;
 use crate::schema::Schema;
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::RwLock;
 
 /// The estimate for one query plan.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -49,11 +54,121 @@ impl Estimate {
     }
 }
 
+/// A shared, stamped cache of whole-plan [`Estimate`]s, keyed by
+/// `(plan fingerprint, row_ns bits)` and valid for exactly one
+/// `(database instance, stats epoch)` pair.
+///
+/// Estimates depend only on the plan's structure (parameter *names* are
+/// part of it; bound values are not consulted) plus the database's
+/// statistics and the per-row server cost — so a fingerprint plus the
+/// `row_ns` bit pattern is a complete key. Validity is a **stamp**:
+/// [`Database::instance_id`] (every `Database` value, clones included,
+/// has its own) plus [`Database::stats_epoch`], so a cache accidentally
+/// shared across different databases flushes instead of serving the
+/// other database's numbers. Failed estimations are cached verbatim (the
+/// same `DbError` every time).
+///
+/// Thread-safe (`RwLock` + atomics): one cache instance can serve every
+/// worker of a batch optimization.
+#[derive(Debug, Default)]
+pub struct EstimateCache {
+    inner: RwLock<CacheInner>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+/// A cache validity stamp: `(database instance id, stats epoch)`.
+pub type CacheStamp = (u64, u64);
+
+#[derive(Debug, Default)]
+struct CacheInner {
+    entries: HashMap<(PlanFingerprint, u64), DbResult<Estimate>>,
+    /// The stamp the entries are valid for. `(0, 0)` matches no real
+    /// database (instance ids start at 1).
+    valid: CacheStamp,
+}
+
+impl EstimateCache {
+    /// An empty cache.
+    pub fn new() -> EstimateCache {
+        EstimateCache::default()
+    }
+
+    /// The validity stamp for `db`, as [`EstimateCache::lookup`] /
+    /// [`EstimateCache::insert`] expect it.
+    pub fn stamp(db: &Database) -> CacheStamp {
+        (db.instance_id(), db.stats_epoch())
+    }
+
+    /// Estimates served from the cache.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Estimates computed by an estimator (and inserted).
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Cached entries currently held.
+    pub fn len(&self) -> usize {
+        self.inner.read().unwrap().entries.len()
+    }
+
+    /// True when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Look up a cached estimate, flushing the contents when they were
+    /// computed under a different stamp (another database instance or an
+    /// older stats epoch). Counts a hit when found.
+    pub fn lookup(
+        &self,
+        stamp: CacheStamp,
+        key: (PlanFingerprint, u64),
+    ) -> Option<DbResult<Estimate>> {
+        {
+            let inner = self.inner.read().unwrap();
+            if inner.valid == stamp {
+                let hit = inner.entries.get(&key).cloned();
+                if hit.is_some() {
+                    self.hits.fetch_add(1, Ordering::Relaxed);
+                }
+                return hit;
+            }
+        }
+        let mut inner = self.inner.write().unwrap();
+        // Re-check under the write lock: another thread may have flushed.
+        if inner.valid != stamp {
+            inner.entries.clear();
+            inner.valid = stamp;
+        }
+        None
+    }
+
+    /// Insert a computed estimate for `stamp` (counts a miss; dropped
+    /// when the stamp moved while computing).
+    pub fn insert(
+        &self,
+        stamp: CacheStamp,
+        key: (PlanFingerprint, u64),
+        value: DbResult<Estimate>,
+    ) {
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let mut inner = self.inner.write().unwrap();
+        if inner.valid == stamp {
+            inner.entries.insert(key, value);
+        }
+    }
+}
+
 /// Estimates plans against a database's statistics.
 pub struct Estimator<'a> {
     db: &'a Database,
     funcs: &'a FuncRegistry,
     row_ns: f64,
+    cache: Option<&'a EstimateCache>,
 }
 
 /// Selectivity assumed for range predicates (`<`, `>`, …).
@@ -68,6 +183,7 @@ impl<'a> Estimator<'a> {
             db,
             funcs,
             row_ns: DEFAULT_SERVER_ROW_NS,
+            cache: None,
         }
     }
 
@@ -78,9 +194,45 @@ impl<'a> Estimator<'a> {
         self
     }
 
+    /// Serve [`Estimator::estimate_fp`] through `cache` (whole-plan
+    /// results only; the recursive per-node work is uncached).
+    pub fn with_cache(mut self, cache: &'a EstimateCache) -> Estimator<'a> {
+        self.cache = Some(cache);
+        self
+    }
+
     /// The per-row server cost used for time estimates.
     pub fn row_ns(&self) -> f64 {
         self.row_ns
+    }
+
+    /// [`Estimator::estimate`] with a precomputed fingerprint for `plan`,
+    /// consulting the cache configured via [`Estimator::with_cache`].
+    /// Cached and uncached paths return bit-identical estimates *and*
+    /// identical errors (failures are cached verbatim).
+    pub fn estimate_fp(&self, plan: &LogicalPlan, fp: PlanFingerprint) -> DbResult<Estimate> {
+        self.estimate_fp_stats(plan, fp).0
+    }
+
+    /// [`Estimator::estimate_fp`] also reporting whether the result came
+    /// from the cache — the hook cost models use for their own per-search
+    /// hit/miss accounting.
+    pub fn estimate_fp_stats(
+        &self,
+        plan: &LogicalPlan,
+        fp: PlanFingerprint,
+    ) -> (DbResult<Estimate>, bool) {
+        let Some(cache) = self.cache else {
+            return (self.estimate(plan), false);
+        };
+        let stamp = EstimateCache::stamp(self.db);
+        let key = (fp, self.row_ns.to_bits());
+        if let Some(cached) = cache.lookup(stamp, key) {
+            return (cached, true);
+        }
+        let computed = self.estimate(plan);
+        cache.insert(stamp, key, computed.clone());
+        (computed, false)
     }
 
     /// Estimate cardinality, row size and work for `plan`.
@@ -496,6 +648,68 @@ mod tests {
                 est.rows
             );
         }
+    }
+
+    #[test]
+    fn cached_estimates_are_bit_identical_and_epoch_validated() {
+        let mut db = test_db();
+        let funcs = FuncRegistry::with_builtins();
+        let cache = EstimateCache::new();
+        let plan = parse("select * from orders where o_customer_sk = 7").unwrap();
+        let fp = PlanFingerprint::of(&plan);
+
+        let plain = Estimator::new(&db, &funcs).estimate(&plan).unwrap();
+        let first = Estimator::new(&db, &funcs)
+            .with_cache(&cache)
+            .estimate_fp(&plan, fp)
+            .unwrap();
+        let second = Estimator::new(&db, &funcs)
+            .with_cache(&cache)
+            .estimate_fp(&plan, fp)
+            .unwrap();
+        assert_eq!(plain, first);
+        assert_eq!(first, second);
+        assert_eq!(cache.misses(), 1, "one compute");
+        assert_eq!(cache.hits(), 1, "one cache hit");
+
+        // Mutating the database advances the stats epoch → flush.
+        db.table_mut("orders")
+            .unwrap()
+            .insert(vec![Value::Int(10_000), Value::Int(1), Value::str("open")])
+            .unwrap();
+        db.analyze_all();
+        let third = Estimator::new(&db, &funcs)
+            .with_cache(&cache)
+            .estimate_fp(&plan, fp)
+            .unwrap();
+        assert_eq!(cache.misses(), 2, "stale entry recomputed");
+        assert!(third.rows > second.rows - 1e-9, "new stats observed");
+
+        // Different row_ns must not collide.
+        let slow = Estimator::new(&db, &funcs)
+            .with_cache(&cache)
+            .with_row_ns(999.0)
+            .estimate_fp(&plan, fp)
+            .unwrap();
+        assert_eq!(cache.misses(), 3);
+        assert_eq!(slow.rows, third.rows);
+    }
+
+    #[test]
+    fn cache_remembers_failures() {
+        let db = test_db();
+        let funcs = FuncRegistry::with_builtins();
+        let cache = EstimateCache::new();
+        let plan = LogicalPlan::scan("no_such_table");
+        let fp = PlanFingerprint::of(&plan);
+        for _ in 0..2 {
+            assert!(Estimator::new(&db, &funcs)
+                .with_cache(&cache)
+                .estimate_fp(&plan, fp)
+                .is_err());
+        }
+        assert_eq!(cache.misses(), 1, "failure cached");
+        assert_eq!(cache.hits(), 1);
     }
 
     #[test]

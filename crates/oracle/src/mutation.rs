@@ -33,11 +33,11 @@ pub fn broken_limit_rule() -> Rule {
             let FirNode::Query { plan, binds } = arena.node(source).clone() else {
                 return None;
             };
-            if matches!(plan, minidb::LogicalPlan::Limit { .. }) {
+            if matches!(plan.as_plan(), minidb::LogicalPlan::Limit { .. }) {
                 return None; // already mutated; don't refire forever
             }
             let new_source = arena.add(FirNode::Query {
-                plan: plan.limit(1),
+                plan: plan.unshare().limit(1).into(),
                 binds,
             });
             Some((

@@ -1,6 +1,6 @@
 //! Entity/table mapping metadata (the Figure 2 annotations).
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// A many-to-one association: `field` on this entity navigates to
 /// `target_entity`, joining this table's `fk_column` to the target's
@@ -71,7 +71,7 @@ impl EntityMapping {
 /// All entity mappings of an application.
 #[derive(Debug, Clone, Default)]
 pub struct MappingRegistry {
-    by_entity: HashMap<String, EntityMapping>,
+    by_entity: BTreeMap<String, EntityMapping>,
 }
 
 impl MappingRegistry {
@@ -95,7 +95,11 @@ impl MappingRegistry {
         self.by_entity.values().find(|m| m.table == table)
     }
 
-    /// Iterate over registered mappings (unordered).
+    /// Iterate over registered mappings, ordered by entity name. (The
+    /// order is load-bearing: cost estimation resolves ambiguous
+    /// association fields to the *first* matching mapping, so iteration
+    /// must be deterministic across processes — a `HashMap` here once
+    /// made nav-cost estimates vary run to run.)
     pub fn iter(&self) -> impl Iterator<Item = &EntityMapping> {
         self.by_entity.values()
     }

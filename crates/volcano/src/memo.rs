@@ -78,11 +78,36 @@ pub struct Memo<Op: Clone + Eq + Hash + Debug> {
     group_exprs: Vec<Vec<MExprId>>,
     /// Union-find parent per group.
     parent: Vec<GroupId>,
-    /// Hash-consing index: (op, canonical children) → m-expr.
-    index: HashMap<(Op, Vec<GroupId>), MExprId>,
+    /// Hash-consing index: (operator hash, canonical children) → candidate
+    /// m-exprs. Keying on a 64-bit operator *hash* instead of a cloned
+    /// operator keeps insertion free of deep `Op` clones; candidates in a
+    /// bucket are disambiguated with a full equality check.
+    index: HashMap<(u64, Vec<GroupId>), Vec<MExprId>>,
     /// Incremented on every group merge (including cascades); cost caches
     /// key their validity on this (see [`crate::CostMemo`]).
     merge_epoch: u64,
+}
+
+/// FNV-1a over the operator's `Hash` stream: a deterministic hasher so
+/// index keys are reproducible (`RandomState` would also work — the hash
+/// never leaves the process — but determinism costs nothing and keeps
+/// debugging sane).
+fn op_hash<Op: Hash>(op: &Op) -> u64 {
+    struct Fnv(u64);
+    impl std::hash::Hasher for Fnv {
+        fn finish(&self) -> u64 {
+            self.0
+        }
+        fn write(&mut self, bytes: &[u8]) {
+            for &b in bytes {
+                self.0 ^= b as u64;
+                self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+        }
+    }
+    let mut h = Fnv(0xcbf2_9ce4_8422_2325);
+    op.hash(&mut h);
+    std::hash::Hasher::finish(&h)
 }
 
 impl<Op: Clone + Eq + Hash + Debug> Default for Memo<Op> {
@@ -204,18 +229,20 @@ impl<Op: Clone + Eq + Hash + Debug> Memo<Op> {
         into: Option<GroupId>,
     ) -> (GroupId, MExprId) {
         let children: Vec<GroupId> = children.into_iter().map(|g| self.find(g)).collect();
-        let key = (op.clone(), children.clone());
-        if let Some(&existing) = self.index.get(&key) {
-            let home = self.find(self.exprs[existing].group);
-            if let Some(target) = into {
-                let target = self.find(target);
-                if target != home {
-                    // The same expression appears in two groups: they
-                    // compute the same result → merge.
-                    self.merge(home, target);
+        let key = (op_hash(&op), children.clone());
+        if let Some(cands) = self.index.get(&key) {
+            if let Some(&existing) = cands.iter().find(|&&e| self.exprs[e].op == op) {
+                let home = self.find(self.exprs[existing].group);
+                if let Some(target) = into {
+                    let target = self.find(target);
+                    if target != home {
+                        // The same expression appears in two groups: they
+                        // compute the same result → merge.
+                        self.merge(home, target);
+                    }
                 }
+                return (self.find(home), existing);
             }
-            return (self.find(home), existing);
         }
         let group = match into {
             Some(g) => self.find(g),
@@ -223,13 +250,16 @@ impl<Op: Clone + Eq + Hash + Debug> Memo<Op> {
         };
         let id = self.exprs.len();
         self.exprs.push(MExpr {
-            op: op.clone(),
-            children: children.clone(),
+            op,
+            children,
             group,
         });
         self.group_exprs[group].push(id);
-        self.index.insert(key, id);
-        self.canonicalize();
+        self.index.entry(key).or_default().push(id);
+        // No canonicalization needed: children are already canonical and a
+        // fresh expression cannot trigger a merge, so the (O(#exprs) index
+        // rebuild) pass would be a no-op. Only [`Memo::merge`] has to
+        // re-canonicalize.
         (group, id)
     }
 
@@ -258,7 +288,7 @@ impl<Op: Clone + Eq + Hash + Debug> Memo<Op> {
     fn canonicalize(&mut self) {
         loop {
             let mut pending_merge: Option<(GroupId, GroupId)> = None;
-            let mut rebuilt: HashMap<(Op, Vec<GroupId>), MExprId> =
+            let mut rebuilt: HashMap<(u64, Vec<GroupId>), Vec<MExprId>> =
                 HashMap::with_capacity(self.exprs.len());
             for id in 0..self.exprs.len() {
                 let canon_children: Vec<GroupId> = self.exprs[id]
@@ -267,12 +297,20 @@ impl<Op: Clone + Eq + Hash + Debug> Memo<Op> {
                     .map(|&c| self.find(c))
                     .collect();
                 self.exprs[id].children = canon_children.clone();
-                let key = (self.exprs[id].op.clone(), canon_children);
-                match rebuilt.get(&key) {
+                let key = (op_hash(&self.exprs[id].op), canon_children);
+                let prior = rebuilt
+                    .get(&key)
+                    .and_then(|cands| {
+                        cands
+                            .iter()
+                            .find(|&&e| self.exprs[e].op == self.exprs[id].op)
+                    })
+                    .copied();
+                match prior {
                     None => {
-                        rebuilt.insert(key, id);
+                        rebuilt.entry(key).or_default().push(id);
                     }
-                    Some(&prior) => {
+                    Some(prior) => {
                         let g1 = self.find(self.exprs[prior].group);
                         let g2 = self.find(self.exprs[id].group);
                         if g1 != g2 {

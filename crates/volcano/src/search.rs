@@ -41,17 +41,142 @@ pub struct CostTable {
 /// and relax until a fixpoint (or until `max_sweeps`, when given — the
 /// search-effort budget). Convergence: costs are non-negative and only
 /// decrease; the optimal (acyclic) plan is found within `#groups` sweeps.
+///
+/// Internally this is **worklist-driven**: a reverse-dependency index
+/// (child group → parent m-exprs) is built once, and each sweep evaluates
+/// only the expressions whose child costs changed since their previous
+/// evaluation. Because re-evaluating an expression with unchanged child
+/// costs can never lower its group's (monotonically decreasing) cost, the
+/// worklist run produces the *same sequence of cost updates* as the full
+/// Gauss-Seidel sweep of [`cost_table_sweeps`] — `group_costs` and
+/// `converged` are bit-for-bit identical under any `max_sweeps` budget;
+/// only the number of cost-model consultations shrinks.
 pub fn cost_table<Op: Clone + Eq + Hash + Debug>(
     memo: &Memo<Op>,
     model: &dyn CostModel<Op>,
     max_sweeps: Option<usize>,
 ) -> CostTable {
     let n = memo.num_groups();
+    let n_exprs = memo.num_exprs();
     let mut cost = vec![f64::INFINITY; n];
     // Improvements only propagate along acyclic paths (a self-referential
     // expression can never lower its own group), so the fixpoint is
     // reached within `n` improving sweeps — one more quiet sweep confirms
     // it. Only an explicit `max_sweeps` budget may stop earlier.
+    let sweeps = max_sweeps.unwrap_or_else(|| n.saturating_add(1)).max(1);
+
+    // Canonicalize the DAG once: per-expr home group and child groups
+    // (flattened; `memo.find` is stable while the memo is borrowed).
+    let mut expr_group = Vec::with_capacity(n_exprs);
+    let mut flat_children: Vec<GroupId> = Vec::new();
+    let mut child_offsets = Vec::with_capacity(n_exprs + 1);
+    child_offsets.push(0usize);
+    for eid in memo.expr_ids() {
+        let e = memo.expr(eid);
+        expr_group.push(memo.find(e.group));
+        flat_children.extend(e.children.iter().map(|&c| memo.find(c)));
+        child_offsets.push(flat_children.len());
+    }
+    // Reverse-dependency index: group → expressions with it as a child
+    // (deduplicated; an expr using a group twice is still one parent).
+    let mut parents: Vec<Vec<MExprId>> = vec![Vec::new(); n];
+    for eid in 0..n_exprs {
+        let kids = &flat_children[child_offsets[eid]..child_offsets[eid + 1]];
+        for (i, &g) in kids.iter().enumerate() {
+            if !kids[..i].contains(&g) {
+                parents[g].push(eid);
+            }
+        }
+    }
+
+    // The first sweep evaluates everything (all costs just became known);
+    // later sweeps evaluate only scheduled expressions, in ascending id
+    // order to reproduce the reference sweep's in-place update sequence.
+    let mut current: Vec<MExprId> = (0..n_exprs).collect();
+    let mut next: Vec<MExprId> = Vec::new();
+    // Bitsets: `in_current[e]` — e sits in the *unprocessed tail* of this
+    // sweep; `in_next[e]` — e is already scheduled for the next sweep.
+    let mut in_current = vec![true; n_exprs];
+    let mut in_next = vec![false; n_exprs];
+    let mut scratch: Vec<f64> = Vec::new();
+    let mut converged = false;
+    for _ in 0..sweeps {
+        if current.is_empty() {
+            // The reference sweep would scan every expr and change
+            // nothing: the fixpoint is confirmed within budget.
+            converged = true;
+            break;
+        }
+        let mut changed = false;
+        // Ascending order; an in-sweep improvement may insert parents with
+        // larger ids, which must run in this same sweep (Gauss-Seidel).
+        let mut i = 0;
+        while i < current.len() {
+            let eid = current[i];
+            i += 1;
+            in_current[eid] = false;
+            let kids = &flat_children[child_offsets[eid]..child_offsets[eid + 1]];
+            scratch.clear();
+            scratch.extend(kids.iter().map(|&c| cost[c]));
+            if scratch.iter().any(|c| !c.is_finite()) {
+                continue;
+            }
+            let total = model.cost(memo, eid, &scratch);
+            let group = expr_group[eid];
+            if total < cost[group] {
+                cost[group] = total;
+                changed = true;
+                for &p in &parents[group] {
+                    if p > eid {
+                        // Later in this sweep: the reference sweep sees
+                        // the new cost when it reaches `p`. The tail of
+                        // `current` stays sorted, so insert in order.
+                        if !in_current[p] {
+                            in_current[p] = true;
+                            let pos = current[i..]
+                                .iter()
+                                .position(|&q| q > p)
+                                .map(|k| i + k)
+                                .unwrap_or(current.len());
+                            current.insert(pos, p);
+                        }
+                    } else if !in_next[p] {
+                        in_next[p] = true;
+                        next.push(p);
+                    }
+                }
+            }
+        }
+        if !changed {
+            converged = true;
+            break;
+        }
+        current.clear();
+        std::mem::swap(&mut current, &mut next);
+        current.sort_unstable();
+        for &e in &current {
+            in_next[e] = false;
+            in_current[e] = true;
+        }
+    }
+    CostTable {
+        group_costs: cost,
+        converged,
+    }
+}
+
+/// The straightforward O(sweeps × exprs) Gauss-Seidel sweep this module
+/// used before the worklist engine — kept as the executable specification:
+/// [`cost_table`] must reproduce its `group_costs` and `converged`
+/// bit-for-bit (asserted by the equivalence suite), it just consults the
+/// cost model far less.
+pub fn cost_table_sweeps<Op: Clone + Eq + Hash + Debug>(
+    memo: &Memo<Op>,
+    model: &dyn CostModel<Op>,
+    max_sweeps: Option<usize>,
+) -> CostTable {
+    let n = memo.num_groups();
+    let mut cost = vec![f64::INFINITY; n];
     let sweeps = max_sweeps.unwrap_or_else(|| n.saturating_add(1)).max(1);
     let mut converged = false;
     for _ in 0..sweeps {
@@ -113,8 +238,8 @@ pub fn best_plan_from<Op: Clone + Eq + Hash + Debug>(
         return None;
     }
     let mut choices = Vec::new();
-    let mut path = Vec::new();
-    let tree = extract(memo, root, cost, model, &mut choices, &mut path)?;
+    let mut on_path = vec![false; memo.num_groups()];
+    let tree = extract(memo, root, cost, model, &mut choices, &mut on_path)?;
     Some(BestPlan {
         cost: cost[root],
         tree,
@@ -123,31 +248,35 @@ pub fn best_plan_from<Op: Clone + Eq + Hash + Debug>(
 }
 
 /// Extract the cheapest plan, never re-entering a group on the current
-/// path (an acyclic optimum always exists).
+/// path (an acyclic optimum always exists). `on_path` is a bitset over
+/// canonical group ids (constant-time membership instead of the linear
+/// scan a `Vec` path would need).
 fn extract<Op: Clone + Eq + Hash + Debug>(
     memo: &Memo<Op>,
     group: GroupId,
     cost: &[f64],
     model: &dyn CostModel<Op>,
     choices: &mut Vec<(GroupId, MExprId)>,
-    path: &mut Vec<GroupId>,
+    on_path: &mut [bool],
 ) -> Option<OpTree<Op>> {
     let group = memo.find(group);
-    if path.contains(&group) {
+    if on_path[group] {
         return None;
     }
-    path.push(group);
+    on_path[group] = true;
 
     // Cheapest expression whose children avoid the current path.
+    let mut child_costs: Vec<f64> = Vec::new();
     let mut best: Option<(f64, MExprId)> = None;
-    for &eid in memo.group(group) {
+    'exprs: for &eid in memo.group(group) {
         let e = memo.expr(eid);
-        if e.children.iter().any(|&c| path.contains(&memo.find(c))) {
-            continue;
-        }
-        let child_costs: Vec<f64> = e.children.iter().map(|&c| cost[memo.find(c)]).collect();
-        if child_costs.iter().any(|c| !c.is_finite()) {
-            continue;
+        child_costs.clear();
+        for &c in &e.children {
+            let c = memo.find(c);
+            if on_path[c] || !cost[c].is_finite() {
+                continue 'exprs;
+            }
+            child_costs.push(cost[c]);
         }
         let total = model.cost(memo, eid, &child_costs);
         match best {
@@ -155,15 +284,18 @@ fn extract<Op: Clone + Eq + Hash + Debug>(
             _ => best = Some((total, eid)),
         }
     }
-    let (_, expr) = best?;
+    let Some((_, expr)) = best else {
+        on_path[group] = false;
+        return None;
+    };
     choices.push((group, expr));
     let e = memo.expr(expr);
     let mut children = Vec::with_capacity(e.children.len());
     for &c in &e.children {
-        let sub = extract(memo, c, cost, model, choices, path)?;
+        let sub = extract(memo, c, cost, model, choices, on_path)?;
         children.push(crate::memo::Child::Tree(Box::new(sub)));
     }
-    path.pop();
+    on_path[group] = false;
     Some(OpTree {
         op: e.op.clone(),
         children,
@@ -177,13 +309,13 @@ pub fn count_plans<Op: Clone + Eq + Hash + Debug>(memo: &Memo<Op>, root: GroupId
     fn go<Op: Clone + Eq + Hash + Debug>(
         memo: &Memo<Op>,
         group: GroupId,
-        visiting: &mut Vec<GroupId>,
+        visiting: &mut [bool],
     ) -> u64 {
         let group = memo.find(group);
-        if visiting.contains(&group) {
+        if visiting[group] {
             return 0;
         }
-        visiting.push(group);
+        visiting[group] = true;
         let mut total: u64 = 0;
         for &eid in memo.group(group) {
             let mut prod: u64 = 1;
@@ -195,10 +327,10 @@ pub fn count_plans<Op: Clone + Eq + Hash + Debug>(memo: &Memo<Op>, root: GroupId
             }
             total = total.saturating_add(prod);
         }
-        visiting.pop();
+        visiting[group] = false;
         total
     }
-    go(memo, root, &mut Vec::new())
+    go(memo, root, &mut vec![false; memo.num_groups()])
 }
 
 #[cfg(test)]
@@ -307,6 +439,28 @@ mod tests {
         let clipped = cost_table(&memo, &Table, Some(1));
         assert!(!clipped.converged);
         assert!(best_plan_from(&memo, root, &Table, &full).is_some());
+    }
+
+    /// The worklist engine must reproduce the reference sweep exactly —
+    /// including mid-iteration states frozen by a sweep budget.
+    #[test]
+    fn worklist_matches_reference_sweep_under_any_budget() {
+        // A DAG deep enough to need several sweeps, with a shared group,
+        // a cheap/pricey alternative pair and a self-referential expr.
+        let mut memo = Memo::new();
+        let shared = memo.insert_tree(&OpTree::leaf(Op2::Leaf("pricey")), None);
+        memo.insert_tree(&OpTree::leaf(Op2::Leaf("cheap")), Some(shared));
+        let mid = memo.insert_tree(&OpTree::over_groups(Op2::Combine, vec![shared]), None);
+        let top = memo.insert_tree(&OpTree::over_groups(Op2::Combine, vec![mid, shared]), None);
+        memo.insert_expr(Op2::Combine, vec![top], Some(top)); // self-loop
+        for budget in [None, Some(1), Some(2), Some(3), Some(10)] {
+            let fast = cost_table(&memo, &Table, budget);
+            let slow = cost_table_sweeps(&memo, &Table, budget);
+            assert_eq!(fast.converged, slow.converged, "budget {budget:?}");
+            let fast_bits: Vec<u64> = fast.group_costs.iter().map(|c| c.to_bits()).collect();
+            let slow_bits: Vec<u64> = slow.group_costs.iter().map(|c| c.to_bits()).collect();
+            assert_eq!(fast_bits, slow_bits, "budget {budget:?}");
+        }
     }
 
     #[test]

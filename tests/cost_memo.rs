@@ -19,8 +19,12 @@ fn cobra_for_motivating(memoize: bool) -> (Cobra, Vec<cobra::imperative::ast::Pr
     (cobra, vec![motivating::p0(), motivating::m0()])
 }
 
-/// The optimizer's search actually exercises the cache: on the motivating
-/// workloads most estimates are repeat consultations.
+/// The optimizer's search actually exercises the cache. (Before the
+/// worklist cost-table engine, value iteration re-evaluated every m-expr
+/// each sweep and hits far outnumbered misses; the worklist skips
+/// expressions whose child costs are unchanged, so extraction and the
+/// report path are now the main repeat consumers — the cache must still
+/// see both traffic and hits.)
 #[test]
 fn optimizer_search_hits_the_cost_cache() {
     let (cobra, programs) = cobra_for_motivating(true);
@@ -28,8 +32,8 @@ fn optimizer_search_hits_the_cost_cache() {
         let opt = cobra.optimize_program(program).unwrap();
         assert!(opt.cost_cache_misses > 0, "search consults the model");
         assert!(
-            opt.cost_cache_hits > opt.cost_cache_misses,
-            "value iteration + extraction revisit m-exprs: {} hits vs {} misses",
+            opt.cost_cache_hits > 0,
+            "extraction re-reads costs the worklist computed: {} hits vs {} misses",
             opt.cost_cache_hits,
             opt.cost_cache_misses
         );

@@ -1,0 +1,172 @@
+//! Equivalence suite for the optimizer hot-path overhaul: the perf
+//! machinery (worklist cost iteration, fingerprint-keyed estimate caches,
+//! Arc-shared plans) must change *nothing* about what the optimizer
+//! chooses or reports — only how fast it gets there.
+//!
+//! * cached vs uncached estimation produces bit-identical [`Optimized`]
+//!   results and semantically identical [`OptimizationReport`]s across
+//!   the oracle's generated corpus × all three network profiles;
+//! * the worklist `volcano::cost_table` reproduces the reference
+//!   Gauss-Seidel sweep (`volcano::cost_table_sweeps`) bit-for-bit —
+//!   `group_costs` and `converged` — on real Region DAGs, under the
+//!   unbudgeted and several budgeted configurations.
+
+use cobra::core::Cobra;
+use cobra::imperative::pretty;
+use cobra::netsim::NetworkProfile;
+use cobra::oracle::matrix::mid_range;
+use cobra::volcano;
+use cobra::workloads::genprog::{GenCase, GenConfig};
+
+const SEEDS: u64 = 100;
+
+fn profiles() -> Vec<NetworkProfile> {
+    vec![
+        NetworkProfile::slow_remote(),
+        mid_range(),
+        NetworkProfile::fast_local(),
+    ]
+}
+
+fn cobra_for(case: &GenCase, net: NetworkProfile, cache: bool) -> Cobra {
+    case.fixture()
+        .cobra_builder()
+        .network(net)
+        .cache_estimates(cache)
+        .build()
+}
+
+/// Cached and uncached costing agree bit-for-bit on everything the
+/// optimizer returns: tags, costs, the chosen program, and the whole
+/// report (up to the cache-statistics counters themselves).
+#[test]
+fn cached_costing_is_bit_identical_across_corpus() {
+    let cfg = GenConfig::default();
+    for seed in 0..SEEDS {
+        let case = GenCase::from_seed(seed, &cfg);
+        for net in profiles() {
+            let cached = cobra_for(&case, net.clone(), true);
+            let uncached = cobra_for(&case, net.clone(), false);
+            let a = cached.optimize_program(&case.program).unwrap();
+            let b = uncached.optimize_program(&case.program).unwrap();
+            let ctx = format!("seed {seed}, profile {}", net.name());
+
+            assert_eq!(
+                a.est_cost_ns.to_bits(),
+                b.est_cost_ns.to_bits(),
+                "est_cost_ns: {ctx}"
+            );
+            assert_eq!(
+                a.original_cost_ns.to_bits(),
+                b.original_cost_ns.to_bits(),
+                "original_cost_ns: {ctx}"
+            );
+            assert_eq!(
+                pretty::function_to_string(&a.program),
+                pretty::function_to_string(&b.program),
+                "chosen program: {ctx}"
+            );
+            assert_eq!(a.tags, b.tags, "tags: {ctx}");
+            assert_eq!(a.alternatives, b.alternatives, "{ctx}");
+            assert_eq!(a.choice_points, b.choice_points, "{ctx}");
+            assert_eq!((a.groups, a.exprs), (b.groups, b.exprs), "{ctx}");
+            assert_eq!(a.budget_exhausted, b.budget_exhausted, "{ctx}");
+            assert_eq!(
+                (b.estimator_cache_hits, b.estimator_cache_misses),
+                (0, 0),
+                "uncached run must not touch the estimate cache: {ctx}"
+            );
+
+            // Reports agree on every semantic field (cost bits included).
+            let ra = cached.explain(&case.program).unwrap();
+            let rb = uncached.explain(&case.program).unwrap();
+            assert_eq!(ra.rules_fired, rb.rules_fired, "{ctx}");
+            assert_eq!(ra.choice_points.len(), rb.choice_points.len(), "{ctx}");
+            for (ca, cb) in ra.choice_points.iter().zip(&rb.choice_points) {
+                assert_eq!(ca.group, cb.group, "{ctx}");
+                assert_eq!(ca.region, cb.region, "{ctx}");
+                assert_eq!(ca.on_chosen_path, cb.on_chosen_path, "{ctx}");
+                assert_eq!(ca.alternatives.len(), cb.alternatives.len(), "{ctx}");
+                for (aa, ab) in ca.alternatives.iter().zip(&cb.alternatives) {
+                    assert_eq!(aa.expr, ab.expr, "{ctx}");
+                    assert_eq!(aa.label, ab.label, "{ctx}");
+                    assert_eq!(aa.rules, ab.rules, "{ctx}");
+                    assert_eq!(aa.chosen, ab.chosen, "{ctx}");
+                    assert_eq!(
+                        aa.cost_ns.to_bits(),
+                        ab.cost_ns.to_bits(),
+                        "alternative cost: {ctx}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// The estimate cache is actually doing work on this corpus (the
+/// equivalence above would pass trivially if the cache never engaged).
+#[test]
+fn estimate_cache_engages_on_real_searches() {
+    let cfg = GenConfig::default();
+    let mut total_hits = 0u64;
+    for seed in 0..10 {
+        let case = GenCase::from_seed(seed, &cfg);
+        let cobra = cobra_for(&case, NetworkProfile::slow_remote(), true);
+        let opt = cobra.optimize_program(&case.program).unwrap();
+        assert!(
+            opt.estimator_cache_misses > 0,
+            "seed {seed}: estimates were computed"
+        );
+        total_hits += opt.estimator_cache_hits;
+        // A second search over the same Cobra reuses the shared cache:
+        // nothing new to compute.
+        let again = cobra.optimize_program(&case.program).unwrap();
+        assert_eq!(
+            again.estimator_cache_misses, 0,
+            "seed {seed}: repeat search fully served from the shared cache"
+        );
+        assert!(again.estimator_cache_hits > 0, "seed {seed}");
+    }
+    assert!(total_hits > 0, "repeated plans hit within single searches");
+}
+
+/// The worklist cost iteration reproduces the reference sweep exactly on
+/// real Region DAGs — including the mid-iteration states a sweep budget
+/// freezes, and the `converged` flag.
+#[test]
+fn worklist_cost_table_matches_reference_sweep_on_corpus() {
+    let cfg = GenConfig::default();
+    for seed in 0..SEEDS {
+        let case = GenCase::from_seed(seed, &cfg);
+        for net in profiles() {
+            let cobra = cobra_for(&case, net.clone(), true);
+            let (memo, _root, model) = cobra.region_dag(&case.program).unwrap();
+            for budget in [None, Some(1), Some(2), Some(3), Some(8)] {
+                let fast = volcano::cost_table(&memo, &model, budget);
+                let slow = volcano::cost_table_sweeps(&memo, &model, budget);
+                let ctx = format!("seed {seed}, profile {}, budget {budget:?}", net.name());
+                assert_eq!(fast.converged, slow.converged, "{ctx}");
+                assert_eq!(fast.group_costs.len(), slow.group_costs.len(), "{ctx}");
+                for (g, (a, b)) in fast.group_costs.iter().zip(&slow.group_costs).enumerate() {
+                    assert_eq!(
+                        a.to_bits(),
+                        b.to_bits(),
+                        "group {g} cost: {ctx} ({a} vs {b})"
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// The report's `Display` surfaces both cache layers.
+#[test]
+fn report_display_shows_cache_effectiveness() {
+    let case = GenCase::from_seed(3, &GenConfig::default());
+    let cobra = cobra_for(&case, NetworkProfile::slow_remote(), true);
+    let report = cobra.explain(&case.program).unwrap();
+    let text = report.to_string();
+    assert!(text.contains("cost-memo"), "{text}");
+    assert!(text.contains("estimator"), "{text}");
+    assert!(text.contains("% hit"), "{text}");
+}

@@ -8,6 +8,12 @@
 //! * **batch throughput** — `Cobra::optimize_batch_with_workers` over a
 //!   replicated corpus program at 1/2/4/8 workers.
 //!
+//! * **estimation error** — on the *skewed* genprog corpus, the cost
+//!   model's calibration: geomean multiplicative error
+//!   `exp(mean |ln(est/actual)|)` of estimated vs simulated program
+//!   cost, for the uniform-NDV baseline and for histogram + runtime
+//!   feedback estimation (the adaptive-statistics fidelity trajectory).
+//!
 //! Results land in `BENCH_optimizer.json` (override with `--json <path>`
 //! or `COBRA_BENCH_JSON`) so every perf PR leaves a machine-readable
 //! trajectory. Pass `--baseline <prior.json>` to embed a previous run and
@@ -21,15 +27,20 @@
 use bench_support::{json_str, BenchRecord};
 use cobra_core::Cobra;
 use imperative::ast::Program;
+use minidb::FeedbackStore;
 use netsim::NetworkProfile;
+use std::sync::Arc;
 use std::time::Instant;
 use workloads::genprog::{GenCase, GenConfig};
+use workloads::harness::run_on_with_feedback;
 
 struct Config {
     seeds: u64,
     iters: usize,
     batch: usize,
     workers: Vec<usize>,
+    /// Skewed-corpus size for the estimation-error metric.
+    est_seeds: u64,
     json: std::path::PathBuf,
     baseline: Option<std::path::PathBuf>,
 }
@@ -42,7 +53,7 @@ fn parse_args() -> Config {
             .and_then(|i| args.get(i + 1).cloned())
     };
     let smoke = args.iter().any(|a| a == "--smoke");
-    let (d_seeds, d_iters, d_batch) = if smoke { (3, 1, 4) } else { (24, 5, 16) };
+    let (d_seeds, d_iters, d_batch, d_est) = if smoke { (3, 1, 4, 4) } else { (24, 5, 16, 20) };
     Config {
         seeds: flag("--seeds")
             .and_then(|s| s.parse().ok())
@@ -53,6 +64,9 @@ fn parse_args() -> Config {
         batch: flag("--batch")
             .and_then(|s| s.parse().ok())
             .unwrap_or(d_batch),
+        est_seeds: flag("--est-seeds")
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(d_est),
         workers: vec![1, 2, 4, 8],
         json: flag("--json")
             .map(Into::into)
@@ -179,6 +193,54 @@ fn main() {
         }
     }
 
+    // ---- skewed-corpus estimation error ------------------------------
+    // Cost-model calibration, not wall-clock: how far estimated program
+    // costs sit from simulated runtimes on skewed data, as a geomean
+    // multiplicative factor (1.0 = perfectly calibrated). Tracked for
+    // the uniform-NDV baseline and for histogram + feedback estimation.
+    let est_cfg = GenConfig::skewed();
+    let mut err_base = Vec::new();
+    let mut err_adaptive = Vec::new();
+    for seed in 0..cfg.est_seeds {
+        let case = GenCase::from_seed(7000 + seed, &est_cfg);
+        let fixture = case.fixture();
+        for net in &prof {
+            let base = fixture
+                .cobra_builder()
+                .network(net.clone())
+                .histograms(false)
+                .build();
+            // One run doubles as the ground truth and the feedback
+            // recording (runs are deterministic on a fresh fixture).
+            let store = Arc::new(FeedbackStore::new());
+            let actual =
+                run_on_with_feedback(&case.fixture(), net.clone(), &case.program, store.clone())
+                    .expect("skewed case runs")
+                    .secs;
+            let adaptive = fixture
+                .cobra_builder()
+                .network(net.clone())
+                .feedback(store)
+                .build();
+            let log_err = |est_ns: f64| ((est_ns / 1e9).max(1e-9) / actual.max(1e-9)).ln().abs();
+            err_base.push(log_err(base.cost_of(case.program.entry())));
+            err_adaptive.push(log_err(adaptive.cost_of(case.program.entry())));
+        }
+    }
+    let error_factor = |errs: &[f64]| -> f64 {
+        if errs.is_empty() {
+            return f64::NAN;
+        }
+        (errs.iter().sum::<f64>() / errs.len() as f64).exp()
+    };
+    let est_base_factor = error_factor(&err_base);
+    let est_adaptive_factor = error_factor(&err_adaptive);
+    println!(
+        "\nskewed-corpus estimation error ({} cases): \
+         baseline x{est_base_factor:.3}, histogram+feedback x{est_adaptive_factor:.3}",
+        err_base.len()
+    );
+
     // ---- baseline comparison -----------------------------------------
     let baseline_doc = cfg
         .baseline
@@ -222,6 +284,12 @@ fn main() {
         out.push_str(&format!("\"baseline_geomean_mean_ns\":{b:.1},\n"));
         out.push_str(&format!("\"speedup_geomean\":{:.3},\n", speedup.unwrap()));
     }
+    out.push_str(&format!(
+        "\"estimation\":{{\"corpus\":\"skewed\",\"cases\":{},\
+         \"uniform_ndv_error_factor\":{est_base_factor:.4},\
+         \"histogram_feedback_error_factor\":{est_adaptive_factor:.4}}},\n",
+        err_base.len()
+    ));
     out.push_str("\"singles\":[\n");
     out.push_str(
         &singles

@@ -132,6 +132,11 @@ pub struct OptimizerConfig {
     /// bit-identical; the toggle exists for benchmarking and for the
     /// equivalence suite asserting exactly that.
     pub cache_estimates: bool,
+    /// Histogram/statistics-interpolated selectivity estimation (default
+    /// on). Off reproduces the uniform-NDV baseline — fixed 1/3 range
+    /// selectivity, null-blind 1/NDV equality — kept for ablations and
+    /// for measuring how much the adaptive statistics help.
+    pub use_histograms: bool,
 }
 
 impl Default for OptimizerConfig {
@@ -143,6 +148,7 @@ impl Default for OptimizerConfig {
             budget: SearchBudget::default(),
             memoize_costs: true,
             cache_estimates: true,
+            use_histograms: true,
         }
     }
 }
@@ -159,6 +165,7 @@ pub struct CobraBuilder {
     funcs: Arc<FuncRegistry>,
     mappings: MappingRegistry,
     config: OptimizerConfig,
+    feedback: Option<Arc<minidb::FeedbackStore>>,
 }
 
 impl CobraBuilder {
@@ -169,6 +176,7 @@ impl CobraBuilder {
             funcs: Arc::new(FuncRegistry::with_builtins()),
             mappings: MappingRegistry::new(),
             config: OptimizerConfig::default(),
+            feedback: None,
         }
     }
 
@@ -236,6 +244,23 @@ impl CobraBuilder {
         self
     }
 
+    /// Enable or disable histogram-interpolated selectivity estimation
+    /// (default: on). Off reproduces the uniform-NDV baseline estimator.
+    pub fn histograms(mut self, on: bool) -> CobraBuilder {
+        self.config.use_histograms = on;
+        self
+    }
+
+    /// Attach a runtime-feedback store: the optimizer's estimator prefers
+    /// cardinalities observed by execution (recorded via
+    /// `RemoteDb::with_feedback` / `Executor::with_feedback`) over
+    /// histogram guesses, and `Cobra::reoptimize_on_drift` re-optimizes
+    /// when estimates have drifted from observation.
+    pub fn feedback(mut self, feedback: Arc<minidb::FeedbackStore>) -> CobraBuilder {
+        self.feedback = Some(feedback);
+        self
+    }
+
     /// Replace the whole configuration at once.
     pub fn config(mut self, config: OptimizerConfig) -> CobraBuilder {
         self.config = config;
@@ -244,7 +269,13 @@ impl CobraBuilder {
 
     /// Build the optimizer.
     pub fn build(self) -> Cobra {
-        Cobra::from_parts(self.db, self.funcs, self.mappings, self.config)
+        Cobra::from_parts(
+            self.db,
+            self.funcs,
+            self.mappings,
+            self.config,
+            self.feedback,
+        )
     }
 }
 

@@ -50,6 +50,11 @@ pub struct Optimized {
     pub estimator_cache_hits: u64,
     /// Plan estimates the estimator had to compute during this search.
     pub estimator_cache_misses: u64,
+    /// Estimates computed with an *observed* runtime cardinality (from
+    /// the attached [`minidb::FeedbackStore`]) substituted for the
+    /// model's guess; 0 when no feedback store is attached or nothing
+    /// relevant has been observed yet.
+    pub feedback_overrides: u64,
     /// True when a [`SearchBudget`] bound clipped the search (alternative
     /// generation, memo growth, or cost iteration) — alternatives were
     /// dropped rather than explored. Also surfaced as the
@@ -73,6 +78,10 @@ pub struct Cobra {
     /// worker) this optimizer runs; epoch-validated against the database,
     /// so it survives across programs. See [`minidb::EstimateCache`].
     estimates: std::sync::Arc<minidb::EstimateCache>,
+    /// Runtime cardinality observations ([`CobraBuilder::feedback`]);
+    /// estimates prefer these, and [`Cobra::reoptimize_on_drift`] watches
+    /// them for model drift.
+    feedback: Option<std::sync::Arc<minidb::FeedbackStore>>,
 }
 
 // The optimizer pipeline is thread-safe by construction: shared state goes
@@ -112,6 +121,7 @@ impl Cobra {
         funcs: std::sync::Arc<FuncRegistry>,
         mappings: MappingRegistry,
         config: OptimizerConfig,
+        feedback: Option<std::sync::Arc<minidb::FeedbackStore>>,
     ) -> Cobra {
         Cobra {
             db,
@@ -119,6 +129,7 @@ impl Cobra {
             mappings,
             config,
             estimates: std::sync::Arc::new(minidb::EstimateCache::new()),
+            feedback,
         }
     }
 
@@ -136,6 +147,8 @@ impl Cobra {
         if !self.config.cache_estimates {
             model.disable_estimate_cache();
         }
+        model.set_use_histograms(self.config.use_histograms);
+        model.set_feedback(self.feedback.clone());
         model
     }
 
@@ -293,7 +306,11 @@ impl Cobra {
     /// alternatives per region, their estimated costs, and which rules
     /// produced them. The report pretty-prints via [`std::fmt::Display`].
     pub fn explain(&self, program: &Program) -> DbResult<OptimizationReport> {
-        Ok(self.run_search(program)?.into_report())
+        let mut report = self.run_search(program)?.into_report();
+        if self.feedback.is_some() {
+            report.drift = Some(self.estimation_drift());
+        }
+        Ok(report)
     }
 
     /// The shared search behind [`Cobra::optimize_program`] and
@@ -355,6 +372,7 @@ impl Cobra {
             cost_cache_misses: cache_misses,
             estimator_cache_hits: model.estimate_cache_hits(),
             estimator_cache_misses: model.estimate_cache_misses(),
+            feedback_overrides: model.feedback_overrides(),
             budget_exhausted,
         };
         Ok(SearchRun {
@@ -365,6 +383,63 @@ impl Cobra {
             model,
             summary,
         })
+    }
+
+    /// The runtime-feedback store attached at build time, if any.
+    pub fn feedback_store(&self) -> Option<&std::sync::Arc<minidb::FeedbackStore>> {
+        self.feedback.as_ref()
+    }
+
+    /// How far the statistics-only model has drifted from runtime
+    /// observation: the worst multiplicative divergence between the
+    /// model's cardinality estimate (histograms, **no** feedback) and the
+    /// observed cardinality, across every plan the feedback store has
+    /// seen. `1.0` means perfect agreement (or no feedback/observations);
+    /// `4.0` means some plan's cardinality is off by 4× in either
+    /// direction. Cardinalities below one row are clamped to one so empty
+    /// results cannot produce infinite drift.
+    pub fn estimation_drift(&self) -> f64 {
+        let Some(fb) = &self.feedback else {
+            return 1.0;
+        };
+        let db = self.db.read().unwrap();
+        let estimator = minidb::Estimator::new(&db, &self.funcs)
+            .with_row_ns(self.config.catalog.server_row_ns)
+            .with_histograms(self.config.use_histograms);
+        let mut worst = 1.0f64;
+        for (plan, obs) in fb.snapshot() {
+            let Ok(est) = estimator.estimate(plan.as_plan()) else {
+                continue;
+            };
+            let (a, b) = (est.rows.max(1.0), obs.rows.max(1.0));
+            worst = worst.max(a / b).max(b / a);
+        }
+        worst
+    }
+
+    /// Re-optimize `program` if the cost model's estimates have drifted
+    /// from runtime observation by at least `threshold` (a multiplicative
+    /// factor; e.g. `2.0` re-optimizes once some observed cardinality is
+    /// off by 2× from the model's guess — see
+    /// [`Cobra::estimation_drift`]).
+    ///
+    /// On drift, the database's stats epoch is bumped first
+    /// ([`minidb::Database::bump_stats_epoch`]), so every cached estimate
+    /// — this optimizer's shared [`minidb::EstimateCache`] *and* any other
+    /// cache stamped against the same database — is invalidated and the
+    /// new search re-estimates everything, now preferring the observed
+    /// cardinalities. Returns `Ok(None)` when estimates still agree with
+    /// observation (or no feedback store is attached).
+    pub fn reoptimize_on_drift(
+        &self,
+        program: &Program,
+        threshold: f64,
+    ) -> DbResult<Option<Optimized>> {
+        if self.feedback.is_none() || self.estimation_drift() < threshold {
+            return Ok(None);
+        }
+        self.db.write().unwrap().bump_stats_epoch();
+        self.optimize_program(program).map(Some)
     }
 
     /// Optimize many programs concurrently, one optimizer search per
@@ -594,6 +669,7 @@ impl SearchRun {
             summary,
             choice_points,
             rules_fired,
+            drift: None,
         }
     }
 }

@@ -57,6 +57,11 @@ pub struct OptimizationReport {
     /// Distinct rule names that produced at least one registered
     /// alternative, in discovery order.
     pub rules_fired: Vec<&'static str>,
+    /// Estimation drift vs runtime observation at explain time (see
+    /// `Cobra::estimation_drift`): the worst multiplicative divergence
+    /// between model-estimated and observed cardinalities. `None` when no
+    /// feedback store is attached; `Some(1.0)` means perfect agreement.
+    pub drift: Option<f64>,
 }
 
 impl OptimizationReport {
@@ -111,6 +116,17 @@ impl std::fmt::Display for OptimizationReport {
             s.estimator_cache_misses,
             pct(s.estimator_cache_hits, s.estimator_cache_misses),
         )?;
+        if s.feedback_overrides > 0 || self.drift.is_some() {
+            write!(
+                f,
+                "runtime feedback: {} estimate(s) used observed cardinalities",
+                s.feedback_overrides
+            )?;
+            if let Some(d) = self.drift {
+                write!(f, "; model drift ×{d:.2}")?;
+            }
+            writeln!(f)?;
+        }
         if s.budget_exhausted {
             writeln!(
                 f,

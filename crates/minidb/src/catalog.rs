@@ -17,6 +17,12 @@ pub struct Table {
     /// Column position of the primary key, if declared.
     primary_key: Option<usize>,
     stats: TableStats,
+    /// Bumped by every operation that can change what an estimator would
+    /// conclude about this table (row writes, index changes, re-analysis).
+    /// [`Database::stats_epoch`] sums these, so estimate caches are
+    /// invalidated by actual writes — not by merely *borrowing* a table
+    /// mutably.
+    version: u64,
 }
 
 impl Table {
@@ -29,6 +35,7 @@ impl Table {
             indexes: HashMap::new(),
             primary_key: None,
             stats: TableStats::default(),
+            version: 0,
         }
     }
 
@@ -56,6 +63,7 @@ impl Table {
     pub fn set_primary_key(&mut self, column: &str) -> DbResult<()> {
         let idx = self.schema.resolve(column)?;
         self.primary_key = Some(idx);
+        self.version += 1;
         self.create_index_at(idx);
         Ok(())
     }
@@ -80,6 +88,7 @@ impl Table {
             index.entry(row[col].clone()).or_default().push(pos);
         }
         self.rows.push(row);
+        self.version += 1;
         Ok(())
     }
 
@@ -103,12 +112,14 @@ impl Table {
         for c in cols {
             self.rebuild_index(c);
         }
+        self.version += 1;
         Ok(())
     }
 
     /// Create a hash index on `column`.
     pub fn create_index(&mut self, column: &str) -> DbResult<()> {
         let idx = self.schema.resolve(column)?;
+        self.version += 1;
         self.create_index_at(idx);
         Ok(())
     }
@@ -143,6 +154,7 @@ impl Table {
     /// Recompute statistics from current rows.
     pub fn analyze(&mut self) {
         self.stats = TableStats::analyze(&self.rows, self.schema.len());
+        self.version += 1;
     }
 
     /// Most recent statistics (empty until [`Table::analyze`] runs).
@@ -172,8 +184,11 @@ impl Table {
         for &pos in &positions {
             self.rows[pos][set_col] = value.clone();
         }
-        if !positions.is_empty() && self.indexes.contains_key(&set_col) {
-            self.rebuild_index(set_col);
+        if !positions.is_empty() {
+            self.version += 1;
+            if self.indexes.contains_key(&set_col) {
+                self.rebuild_index(set_col);
+            }
         }
         positions.len()
     }
@@ -183,9 +198,11 @@ impl Table {
 #[derive(Debug)]
 pub struct Database {
     tables: BTreeMap<String, Table>,
-    /// Bumped on every operation that may change schemas, data or
-    /// statistics; estimate caches key their validity on it.
-    stats_epoch: u64,
+    /// Epoch contribution of catalog-level changes (table creation,
+    /// explicit invalidation). [`Database::stats_epoch`] adds the
+    /// per-table write versions on top, so only *actual writes* move the
+    /// epoch — not read-only mutable borrows.
+    epoch_base: u64,
     /// Process-unique identity of this `Database` *value* (clones get
     /// fresh ids): estimate caches stamp entries with `(instance_id,
     /// stats_epoch)` so a cache shared across databases can never serve
@@ -205,7 +222,7 @@ impl Default for Database {
     fn default() -> Database {
         Database {
             tables: BTreeMap::new(),
-            stats_epoch: 0,
+            epoch_base: 0,
             instance_id: next_instance_id(),
         }
     }
@@ -218,7 +235,7 @@ impl Clone for Database {
     fn clone(&self) -> Database {
         Database {
             tables: self.tables.clone(),
-            stats_epoch: self.stats_epoch,
+            epoch_base: self.epoch_base,
             instance_id: next_instance_id(),
         }
     }
@@ -230,11 +247,28 @@ impl Database {
         Database::default()
     }
 
-    /// A counter that advances whenever the catalog hands out mutable
-    /// access (table creation, `table_mut`, re-analysis). Cached
-    /// estimates are valid only for the epoch they were computed in.
+    /// A counter that advances whenever catalog contents actually change:
+    /// table creation, row inserts/updates, index creation, re-analysis,
+    /// or an explicit [`Database::bump_stats_epoch`]. Cached estimates are
+    /// valid only for the epoch they were computed in. Merely *borrowing*
+    /// a table mutably ([`Database::table_mut`]) does **not** advance it,
+    /// so read-only borrows keep estimate caches warm.
     pub fn stats_epoch(&self) -> u64 {
-        self.stats_epoch
+        self.epoch_base
+            + self
+                .tables
+                .values()
+                .map(|t| t.version)
+                .fold(0u64, u64::wrapping_add)
+    }
+
+    /// Explicitly advance the statistics epoch, invalidating every cached
+    /// estimate stamped against this database. Used by adaptive
+    /// re-optimization (`reoptimize_on_drift`): when runtime feedback
+    /// shows the model's estimates have drifted, the bump forces fresh
+    /// estimation on the next search.
+    pub fn bump_stats_epoch(&mut self) {
+        self.epoch_base += 1;
     }
 
     /// The process-unique identity of this `Database` value (see the
@@ -253,7 +287,7 @@ impl Database {
         if self.tables.contains_key(&name) {
             return Err(DbError::Invalid(format!("table {name} already exists")));
         }
-        self.stats_epoch += 1;
+        self.epoch_base += 1;
         self.tables
             .insert(name.clone(), Table::new(name.clone(), schema));
         Ok(self.tables.get_mut(&name).unwrap())
@@ -266,10 +300,11 @@ impl Database {
             .ok_or_else(|| DbError::UnknownTable(name.to_string()))
     }
 
-    /// Look up a table mutably. Conservatively advances the stats epoch:
-    /// the borrow may insert, index or update rows.
+    /// Look up a table mutably. The borrow itself does not advance the
+    /// stats epoch — the [`Table`] write operations bump their own version
+    /// counters, which [`Database::stats_epoch`] reflects. A read-only
+    /// mutable borrow therefore leaves estimate caches valid.
     pub fn table_mut(&mut self, name: &str) -> DbResult<&mut Table> {
-        self.stats_epoch += 1;
         self.tables
             .get_mut(name)
             .ok_or_else(|| DbError::UnknownTable(name.to_string()))
@@ -282,7 +317,6 @@ impl Database {
 
     /// Recompute statistics for every table.
     pub fn analyze_all(&mut self) {
-        self.stats_epoch += 1;
         for t in self.tables.values_mut() {
             t.analyze();
         }
@@ -364,6 +398,46 @@ mod tests {
         let s = db.table("orders").unwrap().stats();
         assert_eq!(s.row_count, 10);
         assert_eq!(s.columns[1].ndv, 3);
+    }
+
+    #[test]
+    fn read_only_table_mut_borrow_keeps_epoch() {
+        // Regression: `table_mut` used to bump the stats epoch on every
+        // borrow, evicting the whole estimate cache even when no write
+        // happened.
+        let mut db = db_with_orders();
+        let e0 = db.stats_epoch();
+        let _ = db.table_mut("orders").unwrap().row_count();
+        let _ = db.table_mut("orders").unwrap().stats().row_count;
+        assert_eq!(db.stats_epoch(), e0);
+    }
+
+    #[test]
+    fn writes_advance_epoch() {
+        let mut db = db_with_orders();
+        let e0 = db.stats_epoch();
+        db.table_mut("orders")
+            .unwrap()
+            .insert(vec![Value::Int(100), Value::Int(1)])
+            .unwrap();
+        let e1 = db.stats_epoch();
+        assert!(e1 > e0, "insert is a write");
+        db.table_mut("orders")
+            .unwrap()
+            .create_index("o_customer_sk")
+            .unwrap();
+        let e2 = db.stats_epoch();
+        assert!(e2 > e1, "index creation changes estimation");
+        db.table_mut("orders")
+            .unwrap()
+            .update_where_eq(0, &Value::Int(0), 1, Value::Int(9));
+        let e3 = db.stats_epoch();
+        assert!(e3 > e2, "update is a write");
+        db.analyze_all();
+        let e4 = db.stats_epoch();
+        assert!(e4 > e3, "re-analysis refreshes statistics");
+        db.bump_stats_epoch();
+        assert!(db.stats_epoch() > e4, "explicit invalidation");
     }
 
     #[test]

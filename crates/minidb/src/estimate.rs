@@ -11,14 +11,16 @@
 //! that role using table statistics and the same work model as the
 //! executor.
 
-use crate::catalog::Database;
+use crate::catalog::{Database, Table};
 use crate::error::DbResult;
 use crate::exec::DEFAULT_SERVER_ROW_NS;
 use crate::expr::{BinOp, ColRef, ScalarExpr};
+use crate::feedback::FeedbackStore;
 use crate::fingerprint::PlanFingerprint;
 use crate::func::FuncRegistry;
 use crate::plan::LogicalPlan;
 use crate::schema::Schema;
+use crate::value::Value;
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -56,17 +58,20 @@ impl Estimate {
 
 /// A shared, stamped cache of whole-plan [`Estimate`]s, keyed by
 /// `(plan fingerprint, row_ns bits)` and valid for exactly one
-/// `(database instance, stats epoch)` pair.
+/// [`CacheStamp`].
 ///
 /// Estimates depend only on the plan's structure (parameter *names* are
 /// part of it; bound values are not consulted) plus the database's
-/// statistics and the per-row server cost — so a fingerprint plus the
-/// `row_ns` bit pattern is a complete key. Validity is a **stamp**:
-/// [`Database::instance_id`] (every `Database` value, clones included,
-/// has its own) plus [`Database::stats_epoch`], so a cache accidentally
-/// shared across different databases flushes instead of serving the
-/// other database's numbers. Failed estimations are cached verbatim (the
-/// same `DbError` every time).
+/// statistics, the estimation mode, any runtime feedback, and the per-row
+/// server cost — so a fingerprint plus the `row_ns` bit pattern is a
+/// complete key. Validity is a **stamp**: [`Database::instance_id`]
+/// (every `Database` value, clones included, has its own),
+/// [`Database::stats_epoch`], the [`FeedbackStore::generation`] of the
+/// estimator's feedback store (new observations invalidate), and the
+/// estimation-mode bits — so a cache accidentally shared across different
+/// databases or differently-configured estimators flushes instead of
+/// serving the other configuration's numbers. Failed estimations are
+/// cached verbatim (the same `DbError` every time).
 ///
 /// Thread-safe (`RwLock` + atomics): one cache instance can serve every
 /// worker of a batch optimization.
@@ -77,14 +82,39 @@ pub struct EstimateCache {
     misses: AtomicU64,
 }
 
-/// A cache validity stamp: `(database instance id, stats epoch)`.
-pub type CacheStamp = (u64, u64);
+/// A cache validity stamp: database identity and epoch, feedback-store
+/// generation, and estimation-mode bits. The [`Default`] stamp matches no
+/// real database (instance ids start at 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStamp {
+    /// [`Database::instance_id`] of the database estimated against.
+    pub instance_id: u64,
+    /// [`Database::stats_epoch`] at estimation time.
+    pub stats_epoch: u64,
+    /// [`FeedbackStore::generation`] of the estimator's feedback store
+    /// (0 when estimating without feedback).
+    pub feedback_generation: u64,
+    /// Estimation-mode bits (bit 0: histograms enabled).
+    pub mode: u8,
+}
+
+impl CacheStamp {
+    /// The stamp for estimating against `db` with the default mode
+    /// (histograms on, no feedback).
+    pub fn for_db(db: &Database) -> CacheStamp {
+        CacheStamp {
+            instance_id: db.instance_id(),
+            stats_epoch: db.stats_epoch(),
+            feedback_generation: 0,
+            mode: 1,
+        }
+    }
+}
 
 #[derive(Debug, Default)]
 struct CacheInner {
     entries: HashMap<(PlanFingerprint, u64), DbResult<Estimate>>,
-    /// The stamp the entries are valid for. `(0, 0)` matches no real
-    /// database (instance ids start at 1).
+    /// The stamp the entries are valid for.
     valid: CacheStamp,
 }
 
@@ -94,10 +124,11 @@ impl EstimateCache {
         EstimateCache::default()
     }
 
-    /// The validity stamp for `db`, as [`EstimateCache::lookup`] /
-    /// [`EstimateCache::insert`] expect it.
+    /// The default-mode validity stamp for `db` (see
+    /// [`CacheStamp::for_db`]); estimators with feedback or a non-default
+    /// mode derive their own stamp.
     pub fn stamp(db: &Database) -> CacheStamp {
-        (db.instance_id(), db.stats_epoch())
+        CacheStamp::for_db(db)
     }
 
     /// Estimates served from the cache.
@@ -163,12 +194,22 @@ impl EstimateCache {
     }
 }
 
-/// Estimates plans against a database's statistics.
+/// Estimates plans against a database's statistics — and, when a
+/// [`FeedbackStore`] is attached, against observed runtime cardinalities,
+/// which take precedence over histogram guesses.
 pub struct Estimator<'a> {
     db: &'a Database,
     funcs: &'a FuncRegistry,
     row_ns: f64,
     cache: Option<&'a EstimateCache>,
+    /// Runtime observations; whole-plan estimates prefer these.
+    feedback: Option<&'a FeedbackStore>,
+    /// When false, fall back to the pre-histogram uniform model (fixed
+    /// 1/3 range selectivity, raw 1/NDV equality) — the ablation baseline.
+    use_histograms: bool,
+    /// Counter bumped each time an observation replaces a model guess
+    /// (lets a cost model account feedback use per search).
+    override_counter: Option<&'a AtomicU64>,
 }
 
 /// Selectivity assumed for range predicates (`<`, `>`, …).
@@ -184,6 +225,9 @@ impl<'a> Estimator<'a> {
             funcs,
             row_ns: DEFAULT_SERVER_ROW_NS,
             cache: None,
+            feedback: None,
+            use_histograms: true,
+            override_counter: None,
         }
     }
 
@@ -201,9 +245,42 @@ impl<'a> Estimator<'a> {
         self
     }
 
+    /// Prefer observed runtime cardinalities from `feedback` over model
+    /// guesses for whole-plan estimates ([`Estimator::estimate_fp`] and
+    /// friends; the recursive per-node model is unchanged).
+    pub fn with_feedback(mut self, feedback: &'a FeedbackStore) -> Estimator<'a> {
+        self.feedback = Some(feedback);
+        self
+    }
+
+    /// Enable or disable histogram/statistics-interpolated selectivities
+    /// (default on). Off reproduces the uniform-NDV baseline estimator —
+    /// kept for ablation and fidelity comparison.
+    pub fn with_histograms(mut self, on: bool) -> Estimator<'a> {
+        self.use_histograms = on;
+        self
+    }
+
+    /// Count feedback overrides into `counter` (one increment per
+    /// computed estimate that used an observation).
+    pub fn with_override_counter(mut self, counter: &'a AtomicU64) -> Estimator<'a> {
+        self.override_counter = Some(counter);
+        self
+    }
+
     /// The per-row server cost used for time estimates.
     pub fn row_ns(&self) -> f64 {
         self.row_ns
+    }
+
+    /// The cache-validity stamp for this estimator's configuration.
+    fn stamp(&self) -> CacheStamp {
+        CacheStamp {
+            instance_id: self.db.instance_id(),
+            stats_epoch: self.db.stats_epoch(),
+            feedback_generation: self.feedback.map(|f| f.generation()).unwrap_or(0),
+            mode: self.use_histograms as u8,
+        }
     }
 
     /// [`Estimator::estimate`] with a precomputed fingerprint for `plan`,
@@ -223,16 +300,35 @@ impl<'a> Estimator<'a> {
         fp: PlanFingerprint,
     ) -> (DbResult<Estimate>, bool) {
         let Some(cache) = self.cache else {
-            return (self.estimate(plan), false);
+            return (self.estimate_observed(plan, fp), false);
         };
-        let stamp = EstimateCache::stamp(self.db);
+        let stamp = self.stamp();
         let key = (fp, self.row_ns.to_bits());
         if let Some(cached) = cache.lookup(stamp, key) {
             return (cached, true);
         }
-        let computed = self.estimate(plan);
+        let computed = self.estimate_observed(plan, fp);
         cache.insert(stamp, key, computed.clone());
         (computed, false)
+    }
+
+    /// [`Estimator::estimate`], with observed runtime cardinality and
+    /// work substituted for the model's guess when the feedback store has
+    /// seen this plan execute (row size stays declared-schema-exact).
+    fn estimate_observed(&self, plan: &LogicalPlan, fp: PlanFingerprint) -> DbResult<Estimate> {
+        let mut e = self.estimate(plan)?;
+        if let Some(fb) = self.feedback {
+            if let Some(obs) = fb.observed(fp) {
+                e.rows = obs.rows;
+                e.startup_work = obs.startup_work;
+                e.total_work = obs.total_work;
+                fb.note_served();
+                if let Some(ctr) = self.override_counter {
+                    ctr.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
+        Ok(e)
     }
 
     /// Estimate cardinality, row size and work for `plan`.
@@ -372,8 +468,17 @@ impl<'a> Estimator<'a> {
             }
             ScalarExpr::Not(e) => 1.0 - self.selectivity(schema, e),
             ScalarExpr::Bin(BinOp::Eq, l, r) => {
-                // col = constant/param → 1/NDV; col = col handled by joins.
+                // col = constant/param → non-null fraction / NDV (equality
+                // never matches NULLs); col = col handled by joins.
                 if let Some(c) = as_column(l).or_else(|| as_column(r)) {
+                    if self.use_histograms {
+                        if let Some((table, i)) = self.locate_column(&c) {
+                            let stats = table.stats();
+                            if stats.analyzed {
+                                return stats.eq_selectivity(i);
+                            }
+                        }
+                    }
                     let ndv = self.column_ndv(schema, &c);
                     if ndv > 0.0 {
                         return 1.0 / ndv;
@@ -382,9 +487,38 @@ impl<'a> Estimator<'a> {
                 DEFAULT_SELECTIVITY
             }
             ScalarExpr::Bin(BinOp::Ne, _, _) => 1.0 - 0.1,
-            ScalarExpr::Bin(op, _, _) if op.is_comparison() => RANGE_SELECTIVITY,
+            ScalarExpr::Bin(op, l, r) if op.is_comparison() => {
+                // col ⋈ literal → histogram (equi-depth, built by ANALYZE)
+                // or min/max interpolation; the fixed 1/3 only survives as
+                // the un-analyzed / non-literal fallback.
+                if self.use_histograms {
+                    if let Some(sel) = self.range_selectivity_from_stats(l, r, *op) {
+                        return sel;
+                    }
+                }
+                RANGE_SELECTIVITY
+            }
             _ => DEFAULT_SELECTIVITY,
         }
+    }
+
+    /// Selectivity of `column ⋈ literal` (either orientation) from table
+    /// statistics. `None` when the predicate shape or the statistics
+    /// cannot answer (parameter probe, never-analyzed table, non-numeric
+    /// column) — the caller falls back to the default.
+    fn range_selectivity_from_stats(
+        &self,
+        l: &ScalarExpr,
+        r: &ScalarExpr,
+        op: BinOp,
+    ) -> Option<f64> {
+        let (col, lit, op) = match (l, r) {
+            (ScalarExpr::Col(c), ScalarExpr::Lit(v)) => (c, v, op),
+            (ScalarExpr::Lit(v), ScalarExpr::Col(c)) => (c, v, op.mirror()),
+            _ => return None,
+        };
+        let (table, i) = self.locate_column(col)?;
+        table.stats().range_selectivity(i, op, lit)
     }
 
     fn join_selectivity(&self, l_schema: &Schema, r_schema: &Schema, pred: &ScalarExpr) -> f64 {
@@ -394,27 +528,49 @@ impl<'a> Estimator<'a> {
                     let joint = l_schema.join(r_schema);
                     let ndv_a = self.column_ndv(&joint, &ca).max(1.0);
                     let ndv_b = self.column_ndv(&joint, &cb).max(1.0);
-                    return 1.0 / ndv_a.max(ndv_b);
+                    let mut sel = 1.0 / ndv_a.max(ndv_b);
+                    if self.use_histograms {
+                        // NULL join keys never match: scale the output by
+                        // both keys' non-null fractions.
+                        for col in [&ca, &cb] {
+                            if let Some((t, i)) = self.locate_column(col) {
+                                let stats = t.stats();
+                                if stats.analyzed {
+                                    if let Some(cs) = stats.columns.get(i) {
+                                        sel *= cs.non_null_fraction(stats.row_count);
+                                    }
+                                }
+                            }
+                        }
+                    }
+                    return sel;
                 }
             }
         }
-        if matches!(pred, ScalarExpr::Lit(crate::value::Value::Bool(true))) {
+        if matches!(pred, ScalarExpr::Lit(Value::Bool(true))) {
             return 1.0; // cross join
         }
         DEFAULT_SELECTIVITY
     }
 
-    /// NDV of a referenced column. The column is traced back to a base
-    /// table by name (column names are unique per table in our workloads).
-    fn column_ndv(&self, _schema: &Schema, col: &ColRef) -> f64 {
+    /// The base table and column position a column reference resolves to
+    /// (column names are unique per table in our workloads).
+    fn locate_column(&self, col: &ColRef) -> Option<(&Table, usize)> {
         for table in self.db.tables() {
             for (i, c) in table.schema().columns().iter().enumerate() {
                 if c.name == col.name {
-                    return table.stats().ndv(i) as f64;
+                    return Some((table, i));
                 }
             }
         }
-        0.0
+        None
+    }
+
+    /// NDV of a referenced column, traced back to its base table.
+    fn column_ndv(&self, _schema: &Schema, col: &ColRef) -> f64 {
+        self.locate_column(col)
+            .map(|(t, i)| t.stats().ndv(i) as f64)
+            .unwrap_or(0.0)
     }
 
     /// True when `inner_plan` is a bare indexed scan joinable from
@@ -490,6 +646,7 @@ fn as_column(e: &ScalarExpr) -> Option<ColRef> {
         _ => None,
     }
 }
+
 
 #[cfg(test)]
 mod tests {
@@ -603,10 +760,163 @@ mod tests {
     }
 
     #[test]
-    fn range_predicate_uses_third() {
+    fn range_predicates_interpolate_from_histograms() {
         let db = test_db();
-        let e = estimate(&db, "select * from orders where o_id > 10");
+        // o_id is uniform on 0..1000: `> 10` keeps ~99 %, `> 990` ~1 %.
+        let wide = estimate(&db, "select * from orders where o_id > 10");
+        assert!((wide.rows - 989.0).abs() < 25.0, "got {}", wide.rows);
+        // Regression: the pre-histogram estimator returned a hardcoded
+        // 1/3 (≈ 333 rows) regardless of where the predicate cut.
+        let narrow = estimate(&db, "select * from orders where o_id > 990");
+        assert!(narrow.rows < 30.0, "~1 % of the range, got {}", narrow.rows);
+        // Literal-on-the-left flips the comparison.
+        let flipped = estimate(&db, "select * from orders where 990 < o_id");
+        assert!((flipped.rows - narrow.rows).abs() < 1e-9);
+    }
+
+    #[test]
+    fn range_fallbacks_keep_one_third() {
+        let db = test_db();
+        let funcs = FuncRegistry::with_builtins();
+        // A parameter probe is unknown at estimation time → fallback.
+        let e = estimate(&db, "select * from orders where o_id > :k");
         assert!((e.rows - 1000.0 / 3.0).abs() < 1.0);
+        // The legacy uniform baseline ignores histograms entirely.
+        let plan = parse("select * from orders where o_id > 990").unwrap();
+        let legacy = Estimator::new(&db, &funcs)
+            .with_histograms(false)
+            .estimate(&plan)
+            .unwrap();
+        assert!((legacy.rows - 1000.0 / 3.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn analyzed_empty_table_estimates_zero_rows() {
+        // Regression: equality on an analyzed-empty table estimated 10 %.
+        let mut db = Database::new();
+        db.create_table(
+            "empty",
+            Schema::new(vec![Column::new("e_id", DataType::Int)]),
+        )
+        .unwrap();
+        db.analyze_all();
+        let e = estimate(&db, "select * from empty where e_id = 7");
+        assert_eq!(e.rows, 0.0);
+        let funcs = FuncRegistry::with_builtins();
+        let est = Estimator::new(&db, &funcs);
+        let schema = LogicalPlan::scan("empty")
+            .output_schema(&db, &funcs)
+            .unwrap();
+        let plan = parse("select * from empty where e_id = 7").unwrap();
+        let LogicalPlan::Select { pred, .. } = plan else {
+            panic!()
+        };
+        assert_eq!(est.selectivity(&schema, &pred), 0.0);
+    }
+
+    #[test]
+    fn eq_selectivity_scales_by_non_null_fraction() {
+        // Regression: NULLs never satisfy equality, but the estimator
+        // used raw 1/NDV.
+        let mut db = Database::new();
+        let t = db
+            .create_table(
+                "sparse",
+                Schema::new(vec![
+                    Column::new("s_id", DataType::Int),
+                    Column::new("s_val", DataType::Int),
+                ]),
+            )
+            .unwrap();
+        for i in 0..100i64 {
+            let v = if i % 2 == 0 {
+                Value::Null
+            } else {
+                Value::Int(i % 5)
+            };
+            t.insert(vec![Value::Int(i), v]).unwrap();
+        }
+        db.analyze_all();
+        // 50 non-null rows over 5 distinct values → 10 rows per value.
+        let e = estimate(&db, "select * from sparse where s_val = 1");
+        assert!((e.rows - 10.0).abs() < 1e-6, "got {}", e.rows);
+        // The null-blind model would have said 100/5 = 20.
+    }
+
+    #[test]
+    fn feedback_overrides_model_guesses() {
+        let db = test_db();
+        let funcs = FuncRegistry::with_builtins();
+        let plan = parse("select * from orders where o_customer_sk = :k").unwrap();
+        let fp = PlanFingerprint::of(&plan);
+        let fb = crate::feedback::FeedbackStore::new();
+        let base = Estimator::new(&db, &funcs).estimate(&plan).unwrap();
+        assert!((base.rows - 10.0).abs() < 1e-9, "model guess: 1000/100");
+
+        // Reality disagrees (a hot key): the observation wins.
+        fb.record(
+            &plan,
+            600,
+            &crate::exec::ExecWork {
+                startup_rows: 0,
+                total_rows: 1000,
+            },
+        );
+        let fed = Estimator::new(&db, &funcs)
+            .with_feedback(&fb)
+            .estimate_fp(&plan, fp)
+            .unwrap();
+        assert_eq!(fed.rows, 600.0);
+        assert_eq!(fed.total_work, 1000.0);
+        assert_eq!(fed.row_bytes, base.row_bytes, "row size stays declared");
+        assert_eq!(fb.served(), 1);
+
+        // Cached estimates refresh when new observations arrive: the
+        // feedback generation is part of the validity stamp.
+        let cache = EstimateCache::new();
+        let c1 = Estimator::new(&db, &funcs)
+            .with_feedback(&fb)
+            .with_cache(&cache)
+            .estimate_fp(&plan, fp)
+            .unwrap();
+        assert_eq!(c1.rows, 600.0);
+        fb.record(&plan, 0, &crate::exec::ExecWork::default());
+        let c2 = Estimator::new(&db, &funcs)
+            .with_feedback(&fb)
+            .with_cache(&cache)
+            .estimate_fp(&plan, fp)
+            .unwrap();
+        assert_eq!(c2.rows, 300.0, "running mean over two runs");
+        assert_eq!(cache.misses(), 2, "generation bump flushed the cache");
+    }
+
+    #[test]
+    fn read_only_table_mut_borrow_retains_cached_estimates() {
+        // Regression: `Database::table_mut` bumped the stats epoch on
+        // every borrow, so even read-only borrows evicted the entire
+        // estimate cache.
+        let mut db = test_db();
+        let funcs = FuncRegistry::with_builtins();
+        let cache = EstimateCache::new();
+        let plan = parse("select * from orders where o_customer_sk = 7").unwrap();
+        let fp = PlanFingerprint::of(&plan);
+        for _ in 0..2 {
+            Estimator::new(&db, &funcs)
+                .with_cache(&cache)
+                .estimate_fp(&plan, fp)
+                .unwrap();
+        }
+        assert_eq!((cache.hits(), cache.misses()), (1, 1));
+        let _ = db.table_mut("orders").unwrap().row_count();
+        Estimator::new(&db, &funcs)
+            .with_cache(&cache)
+            .estimate_fp(&plan, fp)
+            .unwrap();
+        assert_eq!(
+            (cache.hits(), cache.misses()),
+            (2, 1),
+            "hit counters keep climbing across read-only borrows"
+        );
     }
 
     #[test]

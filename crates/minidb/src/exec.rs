@@ -71,6 +71,10 @@ pub struct Executor<'a> {
     funcs: &'a FuncRegistry,
     /// Server-side cost per row-touch, in nanoseconds.
     row_ns: f64,
+    /// When set, every execution records its actual cardinality and work
+    /// per plan fingerprint — the runtime half of the cardinality
+    /// feedback loop (see [`crate::feedback::FeedbackStore`]).
+    feedback: Option<&'a crate::feedback::FeedbackStore>,
 }
 
 /// Default per-row server cost. Roughly calibrated so that a 1 M-row scan
@@ -85,12 +89,20 @@ impl<'a> Executor<'a> {
             db,
             funcs,
             row_ns: DEFAULT_SERVER_ROW_NS,
+            feedback: None,
         }
     }
 
     /// Override the per-row server cost (nanoseconds per row-touch).
     pub fn with_row_ns(mut self, row_ns: f64) -> Executor<'a> {
         self.row_ns = row_ns;
+        self
+    }
+
+    /// Record every execution's observed cardinality and work into
+    /// `feedback`, keyed by the plan's structural fingerprint.
+    pub fn with_feedback(mut self, feedback: &'a crate::feedback::FeedbackStore) -> Executor<'a> {
+        self.feedback = Some(feedback);
         self
     }
 
@@ -106,6 +118,9 @@ impl<'a> Executor<'a> {
         params: &HashMap<String, Value>,
     ) -> DbResult<QueryResult> {
         let (schema, rows, work) = self.run(plan, params)?;
+        if let Some(fb) = self.feedback {
+            fb.record(plan, rows.len() as u64, &work);
+        }
         Ok(QueryResult { schema, rows, work })
     }
 

@@ -73,6 +73,18 @@ impl BinOp {
         )
     }
 
+    /// The comparison with its operands swapped (`a ⋈ b` ⇔ `b ⋈' a`):
+    /// `<` ↔ `>`, `<=` ↔ `>=`; symmetric operators map to themselves.
+    pub fn mirror(self) -> BinOp {
+        match self {
+            BinOp::Lt => BinOp::Gt,
+            BinOp::Le => BinOp::Ge,
+            BinOp::Gt => BinOp::Lt,
+            BinOp::Ge => BinOp::Le,
+            other => other,
+        }
+    }
+
     /// SQL spelling of the operator.
     pub fn sql(self) -> &'static str {
         match self {

@@ -1,0 +1,211 @@
+//! Runtime cardinality feedback.
+//!
+//! Statistics-based estimation is a guess; execution is the ground truth.
+//! A [`FeedbackStore`] closes the loop: every executed query records its
+//! *actual* result cardinality and work profile keyed by the plan's
+//! structural [`PlanFingerprint`], and estimators configured with the
+//! store ([`crate::Estimator::with_feedback`]) prefer those observations
+//! over histogram guesses — the paper's "based on past executions" made
+//! literal.
+//!
+//! Observations are running means, so a parameterized plan executed with
+//! many bindings converges to its *average* cardinality — exactly the
+//! quantity loop-cost formulas (`N_Q · C_body`) need.
+//!
+//! Thread-safe (`RwLock` + atomics): one store can serve a whole
+//! application — the simulated server records into it while optimizer
+//! searches read from it. The monotonic [`FeedbackStore::generation`]
+//! counter advances on every recording; estimate caches fold it into
+//! their validity stamp so fresh observations invalidate stale cached
+//! estimates automatically.
+
+use crate::exec::ExecWork;
+use crate::fingerprint::{PlanFingerprint, SharedPlan};
+use crate::plan::LogicalPlan;
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::RwLock;
+
+/// The running-mean observation for one plan fingerprint.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Observation {
+    /// Mean observed result cardinality.
+    pub rows: f64,
+    /// Mean observed row-touches before the first output row.
+    pub startup_work: f64,
+    /// Mean observed total row-touches.
+    pub total_work: f64,
+    /// Number of executions folded into the means.
+    pub runs: u64,
+}
+
+#[derive(Debug, Clone)]
+struct Entry {
+    plan: SharedPlan,
+    obs: Observation,
+}
+
+/// Observed cardinalities and work profiles per plan fingerprint.
+#[derive(Debug, Default)]
+pub struct FeedbackStore {
+    inner: RwLock<HashMap<PlanFingerprint, Entry>>,
+    /// Bumped on every recording; estimate-cache stamps include it.
+    generation: AtomicU64,
+    /// Estimates that used an observation instead of a model guess.
+    served: AtomicU64,
+}
+
+impl FeedbackStore {
+    /// An empty store.
+    pub fn new() -> FeedbackStore {
+        FeedbackStore::default()
+    }
+
+    /// Record one execution of `plan`: `rows` result rows with `work`
+    /// row-touches. The first observation of a fingerprint keeps a shared
+    /// copy of the plan (so drift can re-estimate it later); subsequent
+    /// ones only update the running means.
+    pub fn record(&self, plan: &LogicalPlan, rows: u64, work: &ExecWork) {
+        let fp = PlanFingerprint::of(plan);
+        let mut inner = self.inner.write().unwrap();
+        match inner.get_mut(&fp) {
+            Some(entry) => fold(&mut entry.obs, rows, work),
+            None => {
+                let mut obs = Observation {
+                    rows: 0.0,
+                    startup_work: 0.0,
+                    total_work: 0.0,
+                    runs: 0,
+                };
+                fold(&mut obs, rows, work);
+                inner.insert(
+                    fp,
+                    Entry {
+                        plan: SharedPlan::new(plan.clone()),
+                        obs,
+                    },
+                );
+            }
+        }
+        drop(inner);
+        self.generation.fetch_add(1, Ordering::Release);
+    }
+
+    /// The observation for `fp`, if any execution has been recorded.
+    pub fn observed(&self, fp: PlanFingerprint) -> Option<Observation> {
+        self.inner.read().unwrap().get(&fp).map(|e| e.obs)
+    }
+
+    /// Monotonic recording counter (0 = nothing recorded yet). Estimate
+    /// caches include it in their validity stamp.
+    pub fn generation(&self) -> u64 {
+        self.generation.load(Ordering::Acquire)
+    }
+
+    /// Estimates that were served an observation instead of a model guess
+    /// (process-lifetime counter across every estimator using this store).
+    pub fn served(&self) -> u64 {
+        self.served.load(Ordering::Relaxed)
+    }
+
+    pub(crate) fn note_served(&self) {
+        self.served.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Number of distinct plans observed.
+    pub fn len(&self) -> usize {
+        self.inner.read().unwrap().len()
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Forget every observation (generation still advances, so cached
+    /// estimates computed with feedback are invalidated).
+    pub fn clear(&self) {
+        self.inner.write().unwrap().clear();
+        self.generation.fetch_add(1, Ordering::Release);
+    }
+
+    /// Every observed plan with its observation — drift analysis walks
+    /// this to compare model estimates against reality.
+    pub fn snapshot(&self) -> Vec<(SharedPlan, Observation)> {
+        let inner = self.inner.read().unwrap();
+        let mut out: Vec<(SharedPlan, Observation)> =
+            inner.values().map(|e| (e.plan.clone(), e.obs)).collect();
+        // Deterministic order for reporting.
+        out.sort_by_key(|(p, _)| p.fingerprint());
+        out
+    }
+}
+
+fn fold(obs: &mut Observation, rows: u64, work: &ExecWork) {
+    let n = obs.runs as f64;
+    obs.rows = (obs.rows * n + rows as f64) / (n + 1.0);
+    obs.startup_work = (obs.startup_work * n + work.startup_rows as f64) / (n + 1.0);
+    obs.total_work = (obs.total_work * n + work.total_rows as f64) / (n + 1.0);
+    obs.runs += 1;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn work(startup: u64, total: u64) -> ExecWork {
+        ExecWork {
+            startup_rows: startup,
+            total_rows: total,
+        }
+    }
+
+    #[test]
+    fn records_and_averages_observations() {
+        let store = FeedbackStore::new();
+        let plan = LogicalPlan::scan("orders");
+        let fp = PlanFingerprint::of(&plan);
+        assert_eq!(store.observed(fp), None);
+        assert_eq!(store.generation(), 0);
+
+        store.record(&plan, 10, &work(0, 10));
+        store.record(&plan, 30, &work(0, 30));
+        let obs = store.observed(fp).unwrap();
+        assert_eq!(obs.rows, 20.0);
+        assert_eq!(obs.total_work, 20.0);
+        assert_eq!(obs.runs, 2);
+        assert_eq!(store.generation(), 2);
+        assert_eq!(store.len(), 1);
+    }
+
+    #[test]
+    fn distinct_plans_do_not_collide() {
+        let store = FeedbackStore::new();
+        store.record(&LogicalPlan::scan("a"), 1, &work(0, 1));
+        store.record(&LogicalPlan::scan("b"), 9, &work(0, 9));
+        assert_eq!(store.len(), 2);
+        let a = store
+            .observed(PlanFingerprint::of(&LogicalPlan::scan("a")))
+            .unwrap();
+        assert_eq!(a.rows, 1.0);
+    }
+
+    #[test]
+    fn snapshot_is_deterministic_and_clear_advances_generation() {
+        let store = FeedbackStore::new();
+        store.record(&LogicalPlan::scan("a"), 1, &work(0, 1));
+        store.record(&LogicalPlan::scan("b"), 2, &work(0, 2));
+        let s1 = store.snapshot();
+        let s2 = store.snapshot();
+        assert_eq!(s1.len(), 2);
+        assert_eq!(
+            s1.iter().map(|(p, _)| p.fingerprint()).collect::<Vec<_>>(),
+            s2.iter().map(|(p, _)| p.fingerprint()).collect::<Vec<_>>()
+        );
+        let g = store.generation();
+        store.clear();
+        assert!(store.is_empty());
+        assert!(store.generation() > g);
+    }
+}

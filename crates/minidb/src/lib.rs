@@ -25,6 +25,7 @@ pub mod error;
 pub mod estimate;
 pub mod exec;
 pub mod expr;
+pub mod feedback;
 pub mod fingerprint;
 pub mod func;
 pub mod plan;
@@ -44,12 +45,13 @@ pub fn shared(db: Database) -> SharedDb {
     std::sync::Arc::new(std::sync::RwLock::new(db))
 }
 pub use error::{DbError, DbResult};
-pub use estimate::{Estimate, EstimateCache, Estimator};
+pub use estimate::{CacheStamp, Estimate, EstimateCache, Estimator};
 pub use exec::{ExecWork, Executor, QueryResult};
 pub use expr::{apply_bin_op, AggFunc, BinOp, ColRef, ScalarExpr};
+pub use feedback::{FeedbackStore, Observation};
 pub use fingerprint::{PlanFingerprint, SharedPlan, StableHasher};
 pub use func::FuncRegistry;
 pub use plan::LogicalPlan;
 pub use schema::{Column, DataType, Schema};
-pub use stats::{ColumnStats, TableStats};
+pub use stats::{ColumnStats, Histogram, TableStats};
 pub use value::{Row, Value};

@@ -31,6 +31,10 @@ pub struct RemoteDb {
     stats: NetStats,
     log: Mutex<Vec<QueryRecord>>,
     server_row_ns: f64,
+    /// When set, every executed query records its observed cardinality
+    /// and work into this store (the runtime half of the cardinality
+    /// feedback loop; estimators opt in via `Estimator::with_feedback`).
+    feedback: Option<Arc<minidb::FeedbackStore>>,
 }
 
 impl RemoteDb {
@@ -49,6 +53,7 @@ impl RemoteDb {
             stats: NetStats::new(),
             log: Mutex::new(Vec::new()),
             server_row_ns: minidb::exec::DEFAULT_SERVER_ROW_NS,
+            feedback: None,
         }
     }
 
@@ -56,6 +61,18 @@ impl RemoteDb {
     pub fn with_server_row_ns(mut self, row_ns: f64) -> RemoteDb {
         self.server_row_ns = row_ns;
         self
+    }
+
+    /// Record every executed query's observed cardinality and work into
+    /// `feedback` (keyed by plan fingerprint).
+    pub fn with_feedback(mut self, feedback: Arc<minidb::FeedbackStore>) -> RemoteDb {
+        self.feedback = Some(feedback);
+        self
+    }
+
+    /// The feedback store queries record into, if one is attached.
+    pub fn feedback(&self) -> Option<&Arc<minidb::FeedbackStore>> {
+        self.feedback.as_ref()
     }
 
     /// The underlying database handle.
@@ -90,7 +107,10 @@ impl RemoteDb {
         params: &HashMap<String, Value>,
     ) -> DbResult<QueryResult> {
         let db = self.db.read().unwrap();
-        let exec = Executor::new(&db, &self.funcs).with_row_ns(self.server_row_ns);
+        let mut exec = Executor::new(&db, &self.funcs).with_row_ns(self.server_row_ns);
+        if let Some(fb) = &self.feedback {
+            exec = exec.with_feedback(fb);
+        }
         let result = exec.execute(plan, params)?;
         let first = exec.first_row_ns(&result.work);
         let total = exec.total_ns(&result.work);

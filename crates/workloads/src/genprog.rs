@@ -52,6 +52,13 @@ pub struct GenConfig {
     pub max_body_stmts: usize,
     /// Maximum loop-nesting depth below a top-level loop.
     pub max_depth: usize,
+    /// Data-skew exponent. `None` draws every data column uniformly (the
+    /// historical corpus, byte-identical). `Some(s)` draws values as
+    /// `⌊range·uˢ⌋` for uniform `u` — a power-law-ish pile-up near zero
+    /// (column values *and* foreign keys, so join fan-outs are skewed
+    /// too). Skewed data is where uniform-NDV estimation misranks plans
+    /// and histograms + runtime feedback earn their keep.
+    pub skew: Option<f64>,
 }
 
 impl Default for GenConfig {
@@ -63,6 +70,21 @@ impl Default for GenConfig {
             max_top_stmts: 4,
             max_body_stmts: 4,
             max_depth: 2,
+            skew: None,
+        }
+    }
+}
+
+impl GenConfig {
+    /// The skewed-corpus preset: larger tables (so selectivity errors
+    /// actually move costs) with heavily skewed data columns and foreign
+    /// keys. Used by the cost-model-fidelity suite and the `opt_bench`
+    /// estimation-error metric.
+    pub fn skewed() -> GenConfig {
+        GenConfig {
+            max_rows: 320,
+            skew: Some(2.5),
+            ..GenConfig::default()
         }
     }
 }
@@ -112,6 +134,9 @@ impl GenTable {
 pub struct GenSchema {
     /// The tables; a table's `parent` always has a smaller index.
     pub tables: Vec<GenTable>,
+    /// Data-skew exponent the fixture builder applies (from
+    /// [`GenConfig::skew`]).
+    pub skew: Option<f64>,
 }
 
 impl GenSchema {
@@ -137,7 +162,10 @@ impl GenSchema {
                 parent,
             });
         }
-        GenSchema { tables }
+        GenSchema {
+            tables,
+            skew: cfg.skew,
+        }
     }
 
     /// Indices of tables whose FK parent is `t`.
@@ -175,13 +203,14 @@ impl GenSchema {
             let table = db.create_table(&t.name, Schema::new(cols)).unwrap();
             table.set_primary_key(&t.pk()).unwrap();
             let parent_rows = t.parent.map(|p| scaled[p] as i64).unwrap_or(1);
+            let skew = self.skew;
             let rows = (0..scaled[i]).map(|r| {
                 let mut row = vec![Value::Int(r as i64)];
                 if t.parent.is_some() {
-                    row.push(Value::Int(rng.gen_range(0..parent_rows)));
+                    row.push(Value::Int(draw_value(&mut rng, parent_rows, skew)));
                 }
-                row.push(Value::Int(rng.gen_range(0..100i64)));
-                row.push(Value::Int(rng.gen_range(0..50i64)));
+                row.push(Value::Int(draw_value(&mut rng, 100, skew)));
+                row.push(Value::Int(draw_value(&mut rng, 50, skew)));
                 row.push(Value::str(format!("{}-{}", t.name, r % 7)));
                 row
             });
@@ -706,6 +735,23 @@ impl<'a> ProgramGen<'a> {
             cols.push(table.fk());
         }
         self.rng.pick(&cols).clone()
+    }
+}
+
+/// One data value in `[0, bound)`: uniform without skew, `⌊bound·uˢ⌋`
+/// with skew exponent `s` (mass piles up near zero; one uniform draw
+/// either way, so the unskewed corpus stays byte-identical to the
+/// historical one).
+fn draw_value(rng: &mut StdRng, bound: i64, skew: Option<f64>) -> i64 {
+    let bound = bound.max(1);
+    match skew {
+        // Same single uniform draw as the historical generator (identical
+        // rng consumption keeps the unskewed corpus byte-identical).
+        None => rng.gen_range(0..bound),
+        Some(s) => {
+            let u = (rng.gen_range(0..1_000_000u64) as f64 + 0.5) / 1_000_000.0;
+            ((bound as f64 * u.powf(s)) as i64).clamp(0, bound - 1)
+        }
     }
 }
 

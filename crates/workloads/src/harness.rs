@@ -60,6 +60,23 @@ impl Fixture {
         ));
         (Session::new(remote, Arc::new(self.mapping.clone())), clock)
     }
+
+    /// [`Fixture::session`], with every executed query recording its
+    /// observed cardinality into `feedback` (the runtime half of the
+    /// cardinality feedback loop — pair it with
+    /// `CobraBuilder::feedback`).
+    pub fn session_with_feedback(
+        &self,
+        net: NetworkProfile,
+        feedback: Arc<minidb::FeedbackStore>,
+    ) -> (Session, Arc<Clock>) {
+        let clock = Arc::new(Clock::new());
+        let remote = Arc::new(
+            RemoteDb::new(self.db.clone(), self.funcs.clone(), net, clock.clone())
+                .with_feedback(feedback),
+        );
+        (Session::new(remote, Arc::new(self.mapping.clone())), clock)
+    }
 }
 
 /// Execute `program` against `fixture` over `net` and report results plus
@@ -67,7 +84,25 @@ impl Fixture {
 /// transaction, as in the paper's per-run measurements).
 pub fn run_on(fixture: &Fixture, net: NetworkProfile, program: &Program) -> DbResult<RunResult> {
     let (session, _clock) = fixture.session(net);
-    let outcome = Interp::new(&session, program)
+    run_in(&session, program)
+}
+
+/// [`run_on`], additionally recording every executed query's observed
+/// cardinality and work into `feedback` — one execution populates the
+/// observations that feedback-aware estimation
+/// (`Estimator::with_feedback`, `CobraBuilder::feedback`) then prefers.
+pub fn run_on_with_feedback(
+    fixture: &Fixture,
+    net: NetworkProfile,
+    program: &Program,
+    feedback: Arc<minidb::FeedbackStore>,
+) -> DbResult<RunResult> {
+    let (session, _clock) = fixture.session_with_feedback(net, feedback);
+    run_in(&session, program)
+}
+
+fn run_in(session: &Session, program: &Program) -> DbResult<RunResult> {
+    let outcome = Interp::new(session, program)
         .with_config(InterpConfig::default())
         .run(vec![])?;
     let secs = netsim::ns_to_secs(outcome.elapsed_ns);

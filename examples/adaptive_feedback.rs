@@ -1,0 +1,133 @@
+//! The adaptive-statistics loop end to end: optimize, execute with
+//! runtime cardinality feedback, detect model drift, re-optimize.
+//!
+//! The program loops over `orders where o_priority = 3`. At analyze
+//! time priorities are uniform over 0..10, so the optimizer plans for
+//! ~100 of 1000 rows. Then the workload shifts — almost everything gets
+//! escalated to priority 3 — and the stale statistics underestimate the
+//! loop by an order of magnitude. One feedback-recorded execution
+//! exposes the drift, and `reoptimize_on_drift` re-plans against the
+//! observed cardinalities.
+
+use cobra::minidb::{self, Column, DataType, FeedbackStore, Schema, Value};
+use cobra::prelude::*;
+use cobra::workloads::harness::{run_on_with_feedback, Fixture};
+use imperative::ast::QuerySpec;
+use std::sync::Arc;
+
+fn fixture() -> Fixture {
+    let mut db = Database::new();
+    let orders = Schema::new(vec![
+        Column::new("o_id", DataType::Int),
+        Column::new("o_customer_sk", DataType::Int),
+        Column::new("o_priority", DataType::Int),
+    ]);
+    let t = db.create_table("orders", orders).unwrap();
+    t.set_primary_key("o_id").unwrap();
+    for i in 0..1000i64 {
+        t.insert(vec![Value::Int(i), Value::Int(i % 50), Value::Int(i % 10)])
+            .unwrap();
+    }
+    let customer = Schema::new(vec![
+        Column::new("c_customer_sk", DataType::Int),
+        Column::new("c_birth_year", DataType::Int),
+    ]);
+    let t = db.create_table("customer", customer).unwrap();
+    t.set_primary_key("c_customer_sk").unwrap();
+    for i in 0..50i64 {
+        t.insert(vec![Value::Int(i), Value::Int(1950 + i)]).unwrap();
+    }
+    db.analyze_all();
+    let mut mapping = MappingRegistry::new();
+    mapping.register(EntityMapping::new("Order", "orders", "o_id").many_to_one(
+        "customer",
+        "Customer",
+        "o_customer_sk",
+    ));
+    mapping.register(EntityMapping::new("Customer", "customer", "c_customer_sk"));
+    Fixture {
+        db: minidb::shared(db),
+        mapping,
+        funcs: Arc::new(FuncRegistry::with_builtins()),
+    }
+}
+
+fn open_orders_program() -> Program {
+    use imperative::ast::{Expr, Function, Stmt, StmtKind};
+    Program::single(Function::new(
+        "openOrders",
+        vec!["result".to_string()],
+        vec![
+            Stmt::new(StmtKind::NewCollection("result".into())),
+            Stmt::new(StmtKind::ForEach {
+                var: "o".into(),
+                iter: Expr::Query(QuerySpec::sql("select * from orders where o_priority = 3")),
+                body: vec![
+                    Stmt::new(StmtKind::Let(
+                        "c".into(),
+                        Expr::nav(Expr::var("o"), "customer"),
+                    )),
+                    Stmt::new(StmtKind::Add(
+                        "result".into(),
+                        Expr::field(Expr::var("c"), "c_birth_year"),
+                    )),
+                ],
+            }),
+        ],
+    ))
+}
+
+fn main() {
+    let fixture = fixture();
+    let program = open_orders_program();
+    let net = NetworkProfile::slow_remote();
+    let store = Arc::new(FeedbackStore::new());
+    let cobra = fixture
+        .cobra_builder()
+        .network(net.clone())
+        .feedback(store.clone())
+        .build();
+
+    let first = cobra.optimize_program(&program).unwrap();
+    println!(
+        "initial plan: original est {:.3}s -> chosen {:?} est {:.3}s",
+        first.original_cost_ns / 1e9,
+        first.tags,
+        first.est_cost_ns / 1e9,
+    );
+
+    // The workload shifts: nearly everything is escalated to priority
+    // 3. Statistics go stale (ANALYZE has not rerun).
+    {
+        let mut db = fixture.db.write().unwrap();
+        let t = db.table_mut("orders").unwrap();
+        for i in 0..1000i64 {
+            if i % 11 != 0 {
+                t.update_where_eq(0, &Value::Int(i), 2, Value::Int(3));
+            }
+        }
+    }
+
+    // One production run records observed cardinalities per plan.
+    let run = run_on_with_feedback(&fixture, net, &program, store.clone()).unwrap();
+    println!(
+        "observed run: {:.3}s simulated, {} plans observed",
+        run.secs,
+        store.len()
+    );
+
+    let drift = cobra.estimation_drift();
+    println!("estimation drift vs observation: x{drift:.2}");
+    match cobra.reoptimize_on_drift(&program, 2.0).unwrap() {
+        Some(re) => println!(
+            "re-optimized: original est {:.3}s (was {:.3}s; {} estimate(s) \
+             used observations) -> chosen {:?} est {:.3}s",
+            re.original_cost_ns / 1e9,
+            first.original_cost_ns / 1e9,
+            re.feedback_overrides,
+            re.tags,
+            re.est_cost_ns / 1e9,
+        ),
+        None => println!("no drift above threshold; plan kept"),
+    }
+}

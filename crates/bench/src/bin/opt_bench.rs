@@ -14,6 +14,13 @@
 //!   cost, for the uniform-NDV baseline and for histogram + runtime
 //!   feedback estimation (the adaptive-statistics fidelity trajectory).
 //!
+//! * **execution throughput** — real wall-clock query execution on a
+//!   [`GenConfig::large`] fixture (1M+ rows per table): scan/filter/
+//!   join/aggregate plans run through `minidb::Executor` on the columnar
+//!   and row engines *interleaved* (A/B/A/B, cancelling thermal drift),
+//!   reporting executions/sec, rows/sec and the per-query and geomean
+//!   columnar-over-row speedup.
+//!
 //! Results land in `BENCH_optimizer.json` (override with `--json <path>`
 //! or `COBRA_BENCH_JSON`) so every perf PR leaves a machine-readable
 //! trajectory. Pass `--baseline <prior.json>` to embed a previous run and
@@ -27,12 +34,14 @@
 use bench_support::{json_str, BenchRecord};
 use cobra_core::Cobra;
 use imperative::ast::Program;
-use minidb::FeedbackStore;
+use minidb::{ExecEngine, Executor, FeedbackStore};
 use netsim::NetworkProfile;
+use std::collections::HashMap;
 use std::sync::Arc;
 use std::time::Instant;
-use workloads::genprog::{GenCase, GenConfig};
+use workloads::genprog::{GenCase, GenConfig, GenSchema};
 use workloads::harness::run_on_with_feedback;
+use workloads::rng::StdRng;
 
 struct Config {
     seeds: u64,
@@ -41,6 +50,11 @@ struct Config {
     workers: Vec<usize>,
     /// Skewed-corpus size for the estimation-error metric.
     est_seeds: u64,
+    /// Timed iterations per (query × engine) in the execution section.
+    exec_iters: usize,
+    /// Row scale applied to the [`GenConfig::large`] execution fixture
+    /// (1.0 = the full 1M+ rows; smoke shrinks it).
+    exec_scale: f64,
     json: std::path::PathBuf,
     baseline: Option<std::path::PathBuf>,
 }
@@ -54,6 +68,9 @@ fn parse_args() -> Config {
     };
     let smoke = args.iter().any(|a| a == "--smoke");
     let (d_seeds, d_iters, d_batch, d_est) = if smoke { (3, 1, 4, 4) } else { (24, 5, 16, 20) };
+    // Smoke shrinks the 1M+-row execution fixture to ~2% (tens of
+    // thousands of rows) so CI stays fast; timings are report-only there.
+    let (d_exec_iters, d_exec_scale) = if smoke { (2, 0.02) } else { (5, 1.0) };
     Config {
         seeds: flag("--seeds")
             .and_then(|s| s.parse().ok())
@@ -67,6 +84,12 @@ fn parse_args() -> Config {
         est_seeds: flag("--est-seeds")
             .and_then(|s| s.parse().ok())
             .unwrap_or(d_est),
+        exec_iters: flag("--exec-iters")
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(d_exec_iters),
+        exec_scale: flag("--exec-scale")
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(d_exec_scale),
         workers: vec![1, 2, 4, 8],
         json: flag("--json")
             .map(Into::into)
@@ -102,6 +125,166 @@ struct BatchRow {
     batch: usize,
     total_ns: f64,
     per_program_ns: f64,
+}
+
+/// One engine's timings for one benchmark query.
+struct EngineTiming {
+    mean_ns: f64,
+    execs_per_sec: f64,
+    rows_per_sec: f64,
+}
+
+/// Columnar-vs-row measurements for one benchmark query.
+struct ExecQueryRow {
+    name: &'static str,
+    sql: String,
+    /// Base-table rows the query reads per execution.
+    input_rows: u64,
+    /// Result rows per execution (identical across engines by the
+    /// equivalence contract; asserted before timing).
+    out_rows: u64,
+    /// Whether this query counts toward the scan/filter/join speedup gate.
+    gated: bool,
+    columnar: EngineTiming,
+    row: EngineTiming,
+    speedup: f64,
+}
+
+/// The whole execution-throughput section.
+struct ExecSection {
+    corpus_rows: u64,
+    iters: usize,
+    scale: f64,
+    geomean_speedup: f64,
+    queries: Vec<ExecQueryRow>,
+}
+
+/// Run the scan/filter/join/aggregate plans on both engines, interleaved,
+/// over a [`GenConfig::large`] fixture scaled by `scale`.
+fn bench_execution(iters: usize, scale: f64) -> ExecSection {
+    // A fixed-seed large schema: ≥2 tables, t1 FK-linked to t0, 1M+ rows
+    // per table at scale 1.0 (GenSchema guarantees the shape).
+    let mut rng = StdRng::seed_from_u64(2024);
+    let schema = GenSchema::generate(&mut rng, &GenConfig::large());
+    let fixture = schema.build_fixture(0xC0B2A, scale);
+    let db = fixture.db.read().unwrap();
+    let corpus_rows: u64 = schema
+        .tables
+        .iter()
+        .map(|t| db.table(&t.name).unwrap().row_count() as u64)
+        .sum();
+    let t0 = db.table("t0").unwrap().row_count() as u64;
+    let t1 = db.table("t1").unwrap().row_count() as u64;
+    println!(
+        "\nexecution corpus: {} tables, {corpus_rows} rows total (scale {scale})",
+        schema.tables.len()
+    );
+
+    // The operator mix of the data plane: a full-column scan reduction, a
+    // multi-conjunct filter, a 1M×1M FK hash join, and a grouped
+    // aggregate. Aggregating outputs keeps result materialization out of
+    // the measurement, so the timing isolates the operators themselves.
+    let queries: [(&'static str, String, u64, bool); 4] = [
+        (
+            "scan",
+            "select sum(t0_a) as s from t0".to_string(),
+            t0,
+            true,
+        ),
+        (
+            "filter",
+            "select count(*) as n from t0 where t0_a < 20 and t0_b < 25".to_string(),
+            t0,
+            true,
+        ),
+        (
+            "join",
+            "select count(*) as n from t0 join t1 on t0_id = t1_fk where t1_b < 10".to_string(),
+            t0 + t1,
+            true,
+        ),
+        (
+            "aggregate",
+            "select t0_a, count(*) as n, sum(t0_b) as s from t0 group by t0_a".to_string(),
+            t0,
+            false,
+        ),
+    ];
+
+    let params = HashMap::new();
+    let mut rows_out = Vec::new();
+    for (name, sql, input_rows, gated) in queries {
+        let plan = minidb::sql::parse(&sql).expect("benchmark query parses");
+        let run = |engine: ExecEngine| {
+            Executor::new(&db, &fixture.funcs)
+                .with_engine(engine)
+                .execute(&plan, &params)
+                .expect("benchmark query executes")
+        };
+        // Warm-up both engines (also populates the columnar cache) and
+        // check the equivalence contract before timing anything.
+        let c = run(ExecEngine::Columnar);
+        let r = run(ExecEngine::Row);
+        assert_eq!(c.rows, r.rows, "engines must agree on {name}");
+        assert_eq!(c.work, r.work, "work accounting must agree on {name}");
+        let out_rows = c.row_count();
+
+        // Interleaved timing: columnar, row, columnar, row, …
+        let mut col_ns = Vec::with_capacity(iters);
+        let mut row_ns = Vec::with_capacity(iters);
+        for _ in 0..iters {
+            let t = Instant::now();
+            std::hint::black_box(run(ExecEngine::Columnar));
+            col_ns.push(t.elapsed().as_secs_f64() * 1e9);
+            let t = Instant::now();
+            std::hint::black_box(run(ExecEngine::Row));
+            row_ns.push(t.elapsed().as_secs_f64() * 1e9);
+        }
+        let mean = |xs: &[f64]| xs.iter().sum::<f64>() / xs.len() as f64;
+        let timing = |ns: &[f64]| {
+            let mean_ns = mean(ns);
+            EngineTiming {
+                mean_ns,
+                execs_per_sec: 1e9 / mean_ns,
+                rows_per_sec: input_rows as f64 * 1e9 / mean_ns,
+            }
+        };
+        let columnar = timing(&col_ns);
+        let row = timing(&row_ns);
+        let speedup = row.mean_ns / columnar.mean_ns;
+        println!(
+            "exec/{name}: columnar {:.2} ms ({:.2e} rows/s), row {:.2} ms — {speedup:.2}x",
+            columnar.mean_ns / 1e6,
+            columnar.rows_per_sec,
+            row.mean_ns / 1e6,
+        );
+        rows_out.push(ExecQueryRow {
+            name,
+            sql,
+            input_rows,
+            out_rows,
+            gated,
+            columnar,
+            row,
+            speedup,
+        });
+    }
+
+    let gated: Vec<f64> = rows_out
+        .iter()
+        .filter(|q| q.gated)
+        .map(|q| q.speedup.ln())
+        .collect();
+    let geomean_speedup = (gated.iter().sum::<f64>() / gated.len() as f64).exp();
+    println!("geomean columnar speedup (scan/filter/join): {geomean_speedup:.2}x");
+
+    ExecSection {
+        corpus_rows,
+        iters,
+        scale,
+        geomean_speedup,
+        queries: rows_out,
+    }
 }
 
 fn main() {
@@ -241,6 +424,12 @@ fn main() {
         err_base.len()
     );
 
+    // ---- execution throughput: columnar vs row data plane ------------
+    // Real wall-clock execution on a GenConfig::large() fixture (1M+
+    // rows per table at scale 1.0). Engines run interleaved — columnar,
+    // row, columnar, row — so thermal/frequency drift hits both equally.
+    let exec_section = bench_execution(cfg.exec_iters, cfg.exec_scale);
+
     // ---- baseline comparison -----------------------------------------
     let baseline_doc = cfg
         .baseline
@@ -290,6 +479,43 @@ fn main() {
          \"histogram_feedback_error_factor\":{est_adaptive_factor:.4}}},\n",
         err_base.len()
     ));
+    out.push_str(&format!(
+        "\"execution\":{{\"corpus_rows\":{},\"scale\":{},\"iters\":{},\
+         \"batch_size\":{},\"geomean_speedup_scan_filter_join\":{:.3},\"queries\":[\n",
+        exec_section.corpus_rows,
+        exec_section.scale,
+        exec_section.iters,
+        minidb::BATCH_SIZE,
+        exec_section.geomean_speedup
+    ));
+    let engine_json = |t: &EngineTiming| {
+        format!(
+            "{{\"mean_ns\":{:.1},\"execs_per_sec\":{:.4},\"rows_per_sec\":{:.1}}}",
+            t.mean_ns, t.execs_per_sec, t.rows_per_sec
+        )
+    };
+    out.push_str(
+        &exec_section
+            .queries
+            .iter()
+            .map(|q| {
+                format!(
+                    "  {{\"name\":{},\"sql\":{},\"input_rows\":{},\"out_rows\":{},\
+                     \"gated\":{},\"columnar\":{},\"row\":{},\"speedup\":{:.3}}}",
+                    json_str(q.name),
+                    json_str(&q.sql),
+                    q.input_rows,
+                    q.out_rows,
+                    q.gated,
+                    engine_json(&q.columnar),
+                    engine_json(&q.row),
+                    q.speedup
+                )
+            })
+            .collect::<Vec<_>>()
+            .join(",\n"),
+    );
+    out.push_str("\n]},\n");
     out.push_str("\"singles\":[\n");
     out.push_str(
         &singles

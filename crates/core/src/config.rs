@@ -32,7 +32,7 @@
 use crate::catalog::CostCatalog;
 use crate::optimizer::Cobra;
 use fir::RuleSet;
-use minidb::FuncRegistry;
+use minidb::{ExecEngine, FuncRegistry};
 use netsim::NetworkProfile;
 use orm::MappingRegistry;
 use std::sync::Arc;
@@ -137,6 +137,12 @@ pub struct OptimizerConfig {
     /// selectivity, null-blind 1/NDV equality — kept for ablations and
     /// for measuring how much the adaptive statistics help.
     pub use_histograms: bool,
+    /// Which server-side execution engine sessions built from this
+    /// configuration run plans on (columnar by default; the row engine is
+    /// the bit-identical differential baseline). Surfaced in
+    /// [`crate::OptimizationReport`] so experiment output names the data
+    /// plane it measured.
+    pub exec_engine: ExecEngine,
 }
 
 impl Default for OptimizerConfig {
@@ -149,6 +155,7 @@ impl Default for OptimizerConfig {
             memoize_costs: true,
             cache_estimates: true,
             use_histograms: true,
+            exec_engine: ExecEngine::default(),
         }
     }
 }
@@ -251,6 +258,14 @@ impl CobraBuilder {
         self
     }
 
+    /// Select the execution engine (default: [`ExecEngine::Columnar`]).
+    /// The row engine is kept as the differential baseline; both produce
+    /// bit-identical results and work accounting.
+    pub fn engine(mut self, engine: ExecEngine) -> CobraBuilder {
+        self.config.exec_engine = engine;
+        self
+    }
+
     /// Attach a runtime-feedback store: the optimizer's estimator prefers
     /// cardinalities observed by execution (recorded via
     /// `RemoteDb::with_feedback` / `Executor::with_feedback`) over
@@ -313,6 +328,7 @@ mod tests {
             .disable_rule("T4")
             .budget(SearchBudget::default().with_max_memo_exprs(100))
             .memoize_costs(false)
+            .engine(ExecEngine::Row)
             .build();
         assert_eq!(cobra.network().name(), NetworkProfile::slow_remote().name());
         assert_eq!(cobra.catalog().default_af, 7.0);
@@ -320,5 +336,12 @@ mod tests {
         assert!(cobra.rules().is_enabled("T2"));
         assert_eq!(cobra.budget().max_memo_exprs, Some(100));
         assert!(!cobra.config().memoize_costs);
+        assert_eq!(cobra.config().exec_engine, ExecEngine::Row);
+    }
+
+    #[test]
+    fn engine_defaults_to_columnar() {
+        let cfg = OptimizerConfig::default();
+        assert_eq!(cfg.exec_engine, ExecEngine::Columnar);
     }
 }

@@ -307,6 +307,7 @@ impl Cobra {
     /// produced them. The report pretty-prints via [`std::fmt::Display`].
     pub fn explain(&self, program: &Program) -> DbResult<OptimizationReport> {
         let mut report = self.run_search(program)?.into_report();
+        report.engine = self.config.exec_engine;
         if self.feedback.is_some() {
             report.drift = Some(self.estimation_drift());
         }
@@ -670,6 +671,8 @@ impl SearchRun {
             choice_points,
             rules_fired,
             drift: None,
+            engine: minidb::ExecEngine::default(),
+            batch_size: minidb::BATCH_SIZE,
         }
     }
 }

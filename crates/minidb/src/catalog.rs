@@ -1,13 +1,15 @@
 //! Tables and the database catalog.
 
+use crate::column::ColumnTable;
 use crate::error::{DbError, DbResult};
 use crate::schema::Schema;
 use crate::stats::TableStats;
 use crate::value::{Row, Value};
 use std::collections::{BTreeMap, HashMap};
+use std::sync::{Arc, Mutex};
 
 /// A stored table: schema, rows, optional hash indexes, statistics.
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct Table {
     name: String,
     schema: Schema,
@@ -23,6 +25,27 @@ pub struct Table {
     /// invalidated by actual writes — not by merely *borrowing* a table
     /// mutably.
     version: u64,
+    /// Lazily built columnar projection of `rows` — the vectorized
+    /// engine's zero-copy scan source. Invalidated by row writes
+    /// (insert/update), *not* by index creation or re-analysis.
+    columns: Mutex<Option<Arc<ColumnTable>>>,
+}
+
+/// Cloning shares the (immutable) columnar snapshot: row writes on either
+/// copy replace their own cache, never mutate it in place.
+impl Clone for Table {
+    fn clone(&self) -> Table {
+        Table {
+            name: self.name.clone(),
+            schema: self.schema.clone(),
+            rows: self.rows.clone(),
+            indexes: self.indexes.clone(),
+            primary_key: self.primary_key,
+            stats: self.stats.clone(),
+            version: self.version,
+            columns: Mutex::new(self.columns.lock().unwrap().clone()),
+        }
+    }
 }
 
 impl Table {
@@ -36,6 +59,7 @@ impl Table {
             primary_key: None,
             stats: TableStats::default(),
             version: 0,
+            columns: Mutex::new(None),
         }
     }
 
@@ -57,6 +81,24 @@ impl Table {
     /// Number of rows.
     pub fn row_count(&self) -> usize {
         self.rows.len()
+    }
+
+    /// The columnar projection of this table, built lazily from the row
+    /// store and `Arc`-shared thereafter: scans (and `ANALYZE`) read it
+    /// zero-copy; row writes invalidate it.
+    pub fn columnar(&self) -> Arc<ColumnTable> {
+        let mut guard = self.columns.lock().unwrap();
+        if let Some(ct) = guard.as_ref() {
+            return ct.clone();
+        }
+        let ct = Arc::new(ColumnTable::from_rows(&self.schema, &self.rows));
+        *guard = Some(ct.clone());
+        ct
+    }
+
+    /// Drop the cached columnar projection (called after row writes).
+    fn invalidate_columns(&mut self) {
+        *self.columns.get_mut().unwrap() = None;
     }
 
     /// Declare `column` as primary key and index it.
@@ -89,6 +131,7 @@ impl Table {
         }
         self.rows.push(row);
         self.version += 1;
+        self.invalidate_columns();
         Ok(())
     }
 
@@ -113,6 +156,7 @@ impl Table {
             self.rebuild_index(c);
         }
         self.version += 1;
+        self.invalidate_columns();
         Ok(())
     }
 
@@ -151,9 +195,12 @@ impl Table {
         self.indexes.contains_key(&col)
     }
 
-    /// Recompute statistics from current rows.
+    /// Recompute statistics from current rows, in one typed pass per
+    /// column over the columnar projection (building it if needed — the
+    /// usual load-then-analyze sequence warms the scan cache for free).
     pub fn analyze(&mut self) {
-        self.stats = TableStats::analyze(&self.rows, self.schema.len());
+        let cols = self.columnar();
+        self.stats = TableStats::analyze_columns(&cols);
         self.version += 1;
     }
 
@@ -189,6 +236,7 @@ impl Table {
             if self.indexes.contains_key(&set_col) {
                 self.rebuild_index(set_col);
             }
+            self.invalidate_columns();
         }
         positions.len()
     }
@@ -438,6 +486,36 @@ mod tests {
         assert!(e4 > e3, "re-analysis refreshes statistics");
         db.bump_stats_epoch();
         assert!(db.stats_epoch() > e4, "explicit invalidation");
+    }
+
+    #[test]
+    fn columnar_cache_is_shared_until_a_row_write() {
+        let mut db = db_with_orders();
+        let t = db.table_mut("orders").unwrap();
+        let c1 = t.columnar();
+        let c2 = t.columnar();
+        assert!(Arc::ptr_eq(&c1, &c2), "repeated scans share one snapshot");
+        // Index creation and re-analysis keep the snapshot.
+        t.create_index("o_customer_sk").unwrap();
+        t.analyze();
+        assert!(Arc::ptr_eq(&c1, &t.columnar()));
+        // A row write invalidates it.
+        t.insert(vec![Value::Int(10), Value::Int(1)]).unwrap();
+        let c3 = t.columnar();
+        assert!(!Arc::ptr_eq(&c1, &c3));
+        assert_eq!(c3.len, 11);
+        assert_eq!(c3.row(10), vec![Value::Int(10), Value::Int(1)]);
+        // Updates invalidate too.
+        t.update_where_eq(0, &Value::Int(10), 1, Value::Int(2));
+        assert_eq!(t.columnar().row(10), vec![Value::Int(10), Value::Int(2)]);
+    }
+
+    #[test]
+    fn columnar_analyze_matches_row_analyze() {
+        let db = db_with_orders();
+        let t = db.table("orders").unwrap();
+        let row_stats = TableStats::analyze(t.rows(), t.schema().len());
+        assert_eq!(t.stats(), &row_stats);
     }
 
     #[test]

@@ -647,7 +647,6 @@ fn as_column(e: &ScalarExpr) -> Option<ColRef> {
     }
 }
 
-
 #[cfg(test)]
 mod tests {
     use super::*;

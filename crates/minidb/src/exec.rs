@@ -11,6 +11,12 @@
 //! * hash join for equi-joins (build on the smaller side), nested-loop
 //!   join otherwise,
 //! * hash aggregation, full sort for `ORDER BY`.
+//!
+//! Two data planes share this interface (see [`ExecEngine`]): the
+//! vectorized columnar engine ([`crate::vexec`], the default) and the
+//! original row-at-a-time interpreter kept as its differential baseline.
+//! Both produce bit-identical results and [`ExecWork`] counters; only
+//! wall-clock speed differs.
 
 use crate::catalog::Database;
 use crate::error::DbResult;
@@ -20,6 +26,57 @@ use crate::plan::{AggItem, LogicalPlan, SortDir};
 use crate::schema::Schema;
 use crate::value::{Row, Value};
 use std::collections::HashMap;
+
+/// Which physical data plane executes queries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum ExecEngine {
+    /// Vectorized execution over columnar storage (selection vectors,
+    /// typed kernels, late materialization). The default.
+    #[default]
+    Columnar,
+    /// The original row-at-a-time interpreter — kept as the differential
+    /// baseline and for before/after throughput comparisons.
+    Row,
+}
+
+impl std::fmt::Display for ExecEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExecEngine::Columnar => write!(f, "columnar"),
+            ExecEngine::Row => write!(f, "row"),
+        }
+    }
+}
+
+/// Rows produced by an operator: either borrowed straight from table
+/// storage (scans are zero-copy) or owned by the pipeline. Dereferences
+/// to `[Row]`; ownership is forced only at operator boundaries that
+/// reorder or rewrite rows.
+pub(crate) enum RowsBuf<'a> {
+    /// A borrowed slice of the table's row storage.
+    Borrowed(&'a [Row]),
+    /// Rows materialized by an operator.
+    Owned(Vec<Row>),
+}
+
+impl<'a> std::ops::Deref for RowsBuf<'a> {
+    type Target = [Row];
+    fn deref(&self) -> &[Row] {
+        match self {
+            RowsBuf::Borrowed(s) => s,
+            RowsBuf::Owned(v) => v,
+        }
+    }
+}
+
+impl<'a> RowsBuf<'a> {
+    fn into_owned(self) -> Vec<Row> {
+        match self {
+            RowsBuf::Borrowed(s) => s.to_vec(),
+            RowsBuf::Owned(v) => v,
+        }
+    }
+}
 
 /// Work counters for one query execution.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -31,7 +88,7 @@ pub struct ExecWork {
 }
 
 impl ExecWork {
-    fn add(&mut self, other: ExecWork) {
+    pub(crate) fn add(&mut self, other: ExecWork) {
         self.startup_rows += other.startup_rows;
         self.total_rows += other.total_rows;
     }
@@ -67,10 +124,12 @@ impl QueryResult {
 
 /// Executes logical plans against a database.
 pub struct Executor<'a> {
-    db: &'a Database,
-    funcs: &'a FuncRegistry,
+    pub(crate) db: &'a Database,
+    pub(crate) funcs: &'a FuncRegistry,
     /// Server-side cost per row-touch, in nanoseconds.
     row_ns: f64,
+    /// Which data plane runs queries (columnar by default).
+    engine: ExecEngine,
     /// When set, every execution records its actual cardinality and work
     /// per plan fingerprint — the runtime half of the cardinality
     /// feedback loop (see [`crate::feedback::FeedbackStore`]).
@@ -89,6 +148,7 @@ impl<'a> Executor<'a> {
             db,
             funcs,
             row_ns: DEFAULT_SERVER_ROW_NS,
+            engine: ExecEngine::default(),
             feedback: None,
         }
     }
@@ -97,6 +157,17 @@ impl<'a> Executor<'a> {
     pub fn with_row_ns(mut self, row_ns: f64) -> Executor<'a> {
         self.row_ns = row_ns;
         self
+    }
+
+    /// Select the physical data plane (columnar by default).
+    pub fn with_engine(mut self, engine: ExecEngine) -> Executor<'a> {
+        self.engine = engine;
+        self
+    }
+
+    /// The data plane this executor runs on.
+    pub fn engine(&self) -> ExecEngine {
+        self.engine
     }
 
     /// Record every execution's observed cardinality and work into
@@ -117,7 +188,13 @@ impl<'a> Executor<'a> {
         plan: &LogicalPlan,
         params: &HashMap<String, Value>,
     ) -> DbResult<QueryResult> {
-        let (schema, rows, work) = self.run(plan, params)?;
+        let (schema, rows, work) = match self.engine {
+            ExecEngine::Columnar => crate::vexec::run(self, plan, params)?,
+            ExecEngine::Row => {
+                let (schema, rows, work) = self.run(plan, params)?;
+                (schema, rows.into_owned(), work)
+            }
+        };
         if let Some(fb) = self.feedback {
             fb.record(plan, rows.len() as u64, &work);
         }
@@ -138,13 +215,14 @@ impl<'a> Executor<'a> {
         &self,
         plan: &LogicalPlan,
         params: &HashMap<String, Value>,
-    ) -> DbResult<(Schema, Vec<Row>, ExecWork)> {
+    ) -> DbResult<(Schema, RowsBuf<'a>, ExecWork)> {
         match plan {
             LogicalPlan::Scan { table, alias } => {
                 let t = self.db.table(table)?;
                 let q = alias.clone().unwrap_or_else(|| table.clone());
                 let schema = t.schema().with_qualifier(&q);
-                let rows: Vec<Row> = t.rows().to_vec();
+                // Zero-copy: borrow the table's row storage directly.
+                let rows = RowsBuf::Borrowed(t.rows());
                 let work = ExecWork {
                     startup_rows: 0,
                     total_rows: rows.len() as u64,
@@ -156,7 +234,7 @@ impl<'a> Executor<'a> {
                 let (in_schema, in_rows, mut work) = self.run(input, params)?;
                 let out_schema = plan.output_schema(self.db, self.funcs)?;
                 let mut out = Vec::with_capacity(in_rows.len());
-                for row in &in_rows {
+                for row in in_rows.iter() {
                     let mut new_row = Vec::with_capacity(items.len());
                     for (expr, _) in items {
                         new_row.push(expr.eval(&in_schema, row, params, self.funcs)?);
@@ -164,7 +242,7 @@ impl<'a> Executor<'a> {
                     out.push(new_row);
                 }
                 work.total_rows += in_rows.len() as u64;
-                Ok((out_schema, out, work))
+                Ok((out_schema, RowsBuf::Owned(out), work))
             }
             LogicalPlan::Join { left, right, pred } => self.run_join(left, right, pred, params),
             LogicalPlan::Aggregate {
@@ -173,7 +251,8 @@ impl<'a> Executor<'a> {
                 aggs,
             } => self.run_aggregate(plan, input, group_by, aggs, params),
             LogicalPlan::OrderBy { input, keys } => {
-                let (schema, mut rows, mut work) = self.run(input, params)?;
+                let (schema, rows, mut work) = self.run(input, params)?;
+                let mut rows = rows.into_owned();
                 let mut key_idx = Vec::with_capacity(keys.len());
                 for (c, dir) in keys {
                     key_idx.push((schema.resolve(&c.to_ref_string())?, *dir));
@@ -196,11 +275,19 @@ impl<'a> Executor<'a> {
                 let sort_work = n * (64 - n.max(1).leading_zeros() as u64).max(1);
                 work.startup_rows = work.total_rows + sort_work;
                 work.total_rows += sort_work;
-                Ok((schema, rows, work))
+                Ok((schema, RowsBuf::Owned(rows), work))
             }
             LogicalPlan::Limit { input, n } => {
-                let (schema, mut rows, work) = self.run(input, params)?;
-                rows.truncate(*n as usize);
+                let (schema, rows, work) = self.run(input, params)?;
+                let n = *n as usize;
+                let rows = match rows {
+                    // Keep borrowing: a limited scan is still zero-copy.
+                    RowsBuf::Borrowed(s) => RowsBuf::Borrowed(&s[..n.min(s.len())]),
+                    RowsBuf::Owned(mut v) => {
+                        v.truncate(n);
+                        RowsBuf::Owned(v)
+                    }
+                };
                 Ok((schema, rows, work))
             }
         }
@@ -211,7 +298,7 @@ impl<'a> Executor<'a> {
         input: &LogicalPlan,
         pred: &ScalarExpr,
         params: &HashMap<String, Value>,
-    ) -> DbResult<(Schema, Vec<Row>, ExecWork)> {
+    ) -> DbResult<(Schema, RowsBuf<'a>, ExecWork)> {
         // Index fast path: equality conjunct over an indexed base table.
         if let LogicalPlan::Scan { table, alias } = input {
             let t = self.db.table(table)?;
@@ -259,21 +346,21 @@ impl<'a> Executor<'a> {
                         startup_rows: 0,
                         total_rows: positions.len() as u64 + 1,
                     };
-                    return Ok((schema, rows, work));
+                    return Ok((schema, RowsBuf::Owned(rows), work));
                 }
             }
         }
         // Generic filter scan.
         let (schema, in_rows, mut work) = self.run(input, params)?;
         let mut rows = Vec::new();
-        for row in &in_rows {
+        for row in in_rows.iter() {
             let v = pred.eval(&schema, row, params, self.funcs)?;
             if v.as_bool() == Some(true) {
                 rows.push(row.clone());
             }
         }
         work.total_rows += in_rows.len() as u64;
-        Ok((schema, rows, work))
+        Ok((schema, RowsBuf::Owned(rows), work))
     }
 
     /// Try an index-nested-loops join: one side is a bare indexed table
@@ -286,7 +373,7 @@ impl<'a> Executor<'a> {
         right: &LogicalPlan,
         pred: &ScalarExpr,
         params: &HashMap<String, Value>,
-    ) -> DbResult<Option<(Schema, Vec<Row>, ExecWork)>> {
+    ) -> DbResult<Option<(Schema, RowsBuf<'a>, ExecWork)>> {
         for (outer_plan, inner_plan, inner_is_right) in [(left, right, true), (right, left, false)]
         {
             let LogicalPlan::Scan { table, alias } = inner_plan else {
@@ -333,7 +420,7 @@ impl<'a> Executor<'a> {
             };
             let mut work = o_work;
             let mut out = Vec::new();
-            for o_row in &o_rows {
+            for o_row in o_rows.iter() {
                 work.total_rows += 1;
                 let hits = t.index_lookup(i_col, &o_row[o_col]).unwrap_or(&[]);
                 'hits: for &pos in hits {
@@ -353,7 +440,7 @@ impl<'a> Executor<'a> {
                     out.push(joined);
                 }
             }
-            return Ok(Some((out_schema, out, work)));
+            return Ok(Some((out_schema, RowsBuf::Owned(out), work)));
         }
         Ok(None)
     }
@@ -364,7 +451,7 @@ impl<'a> Executor<'a> {
         right: &LogicalPlan,
         pred: &ScalarExpr,
         params: &HashMap<String, Value>,
-    ) -> DbResult<(Schema, Vec<Row>, ExecWork)> {
+    ) -> DbResult<(Schema, RowsBuf<'a>, ExecWork)> {
         if let Some(result) = self.try_inl_join(left, right, pred, params)? {
             return Ok(result);
         }
@@ -400,9 +487,9 @@ impl<'a> Executor<'a> {
             // Hash join; build on the smaller side.
             let build_left = l_rows.len() <= r_rows.len();
             let (build_rows, probe_rows, build_key, probe_key) = if build_left {
-                (&l_rows, &r_rows, li, ri)
+                (&l_rows[..], &r_rows[..], li, ri)
             } else {
-                (&r_rows, &l_rows, ri, li)
+                (&r_rows[..], &l_rows[..], ri, li)
             };
             let mut table: HashMap<&Value, Vec<usize>> = HashMap::with_capacity(build_rows.len());
             for (i, row) in build_rows.iter().enumerate() {
@@ -434,8 +521,8 @@ impl<'a> Executor<'a> {
             // Nested-loop join.
             work.startup_rows = work.total_rows;
             work.total_rows += (l_rows.len() as u64).saturating_mul(r_rows.len() as u64);
-            for l in &l_rows {
-                for r in &r_rows {
+            for l in l_rows.iter() {
+                for r in r_rows.iter() {
                     let joined: Row = l.iter().chain(r.iter()).cloned().collect();
                     let v = pred.eval(&out_schema, &joined, params, self.funcs)?;
                     if v.as_bool() == Some(true) {
@@ -444,7 +531,7 @@ impl<'a> Executor<'a> {
                 }
             }
         }
-        Ok((out_schema, out, work))
+        Ok((out_schema, RowsBuf::Owned(out), work))
     }
 
     /// Check all conjuncts except the equi-join one already applied.
@@ -472,7 +559,7 @@ impl<'a> Executor<'a> {
         group_by: &[crate::expr::ColRef],
         aggs: &[AggItem],
         params: &HashMap<String, Value>,
-    ) -> DbResult<(Schema, Vec<Row>, ExecWork)> {
+    ) -> DbResult<(Schema, RowsBuf<'a>, ExecWork)> {
         let (in_schema, in_rows, mut work) = self.run(input, params)?;
         let out_schema = plan.output_schema(self.db, self.funcs)?;
         let mut group_idx = Vec::with_capacity(group_by.len());
@@ -483,7 +570,7 @@ impl<'a> Executor<'a> {
         // Keyed accumulation, preserving first-seen group order.
         let mut order: Vec<Vec<Value>> = Vec::new();
         let mut groups: HashMap<Vec<Value>, Vec<AggState>> = HashMap::new();
-        for row in &in_rows {
+        for row in in_rows.iter() {
             let key: Vec<Value> = group_idx.iter().map(|&i| row[i].clone()).collect();
             let states = match groups.get_mut(&key) {
                 Some(s) => s,
@@ -523,12 +610,13 @@ impl<'a> Executor<'a> {
         // Aggregation is blocking: everything happens before the first row.
         work.total_rows += in_rows.len() as u64;
         work.startup_rows = work.total_rows;
-        Ok((out_schema, out, work))
+        Ok((out_schema, RowsBuf::Owned(out), work))
     }
 }
 
-/// Incremental aggregate state.
-enum AggState {
+/// Incremental aggregate state (shared with the vectorized engine as its
+/// exact-semantics fallback for non-typed inputs).
+pub(crate) enum AggState {
     Count(u64),
     Sum(Option<Value>),
     Min(Option<Value>),
@@ -537,7 +625,7 @@ enum AggState {
 }
 
 impl AggState {
-    fn new(func: AggFunc) -> AggState {
+    pub(crate) fn new(func: AggFunc) -> AggState {
         match func {
             AggFunc::Count => AggState::Count(0),
             AggFunc::Sum => AggState::Sum(None),
@@ -547,7 +635,7 @@ impl AggState {
         }
     }
 
-    fn update(&mut self, v: Option<&Value>) {
+    pub(crate) fn update(&mut self, v: Option<&Value>) {
         match self {
             AggState::Count(n) => {
                 // count(*) counts rows; count(expr) skips NULLs.
@@ -605,7 +693,7 @@ impl AggState {
         }
     }
 
-    fn finish(self) -> Value {
+    pub(crate) fn finish(self) -> Value {
         match self {
             AggState::Count(n) => Value::Int(n as i64),
             AggState::Sum(acc) => acc.unwrap_or(Value::Null),

@@ -21,6 +21,7 @@
 //! while preserving the cost behaviour the experiments depend on.
 
 pub mod catalog;
+pub mod column;
 pub mod error;
 pub mod estimate;
 pub mod exec;
@@ -33,6 +34,7 @@ pub mod schema;
 pub mod sql;
 pub mod stats;
 pub mod value;
+pub mod vexec;
 
 pub use catalog::{Database, Table};
 
@@ -44,9 +46,10 @@ pub type SharedDb = std::sync::Arc<std::sync::RwLock<Database>>;
 pub fn shared(db: Database) -> SharedDb {
     std::sync::Arc::new(std::sync::RwLock::new(db))
 }
+pub use column::{ColumnTable, ColumnVec, NullMask};
 pub use error::{DbError, DbResult};
 pub use estimate::{CacheStamp, Estimate, EstimateCache, Estimator};
-pub use exec::{ExecWork, Executor, QueryResult};
+pub use exec::{ExecEngine, ExecWork, Executor, QueryResult};
 pub use expr::{apply_bin_op, AggFunc, BinOp, ColRef, ScalarExpr};
 pub use feedback::{FeedbackStore, Observation};
 pub use fingerprint::{PlanFingerprint, SharedPlan, StableHasher};
@@ -55,3 +58,4 @@ pub use plan::LogicalPlan;
 pub use schema::{Column, DataType, Schema};
 pub use stats::{ColumnStats, Histogram, TableStats};
 pub use value::{Row, Value};
+pub use vexec::BATCH_SIZE;

@@ -12,6 +12,7 @@
 //! where the data actually lives. Range selectivities interpolate inside
 //! the probe's bucket instead of assuming a fixed fraction.
 
+use crate::column::{ColumnTable, ColumnVec};
 use crate::expr::BinOp;
 use crate::value::{Row, Value};
 use std::collections::HashSet;
@@ -250,6 +251,138 @@ impl TableStats {
         }
     }
 
+    /// Compute statistics from a columnar projection, one typed pass per
+    /// column. Produces exactly the same [`TableStats`] as
+    /// [`TableStats::analyze`] over the row form: distinctness and
+    /// min/max follow [`Value`] semantics (floats by total order), and
+    /// histograms are built from the same numeric multiset, so equal
+    /// inputs yield equal statistics bit for bit.
+    pub fn analyze_columns(table: &ColumnTable) -> TableStats {
+        let row_count = table.len as u64;
+        let columns = table
+            .cols
+            .iter()
+            .map(|col| Self::analyze_one_column(col, table.len))
+            .collect();
+        TableStats {
+            row_count,
+            columns,
+            analyzed: true,
+        }
+    }
+
+    fn analyze_one_column(col: &ColumnVec, rows: usize) -> ColumnStats {
+        let mut stats = ColumnStats::empty();
+        // Non-null numeric values, in row order, for the histogram.
+        let mut numeric: Vec<f64> = Vec::new();
+        match col {
+            ColumnVec::Int { data, nulls } => {
+                stats.null_count = col.null_count();
+                let mut distinct: HashSet<i64> = HashSet::new();
+                let mut min: Option<i64> = None;
+                let mut max: Option<i64> = None;
+                numeric.reserve(data.len() - stats.null_count as usize);
+                for (i, &v) in data.iter().enumerate() {
+                    if nulls.as_ref().is_some_and(|m| m.is_null(i)) {
+                        continue;
+                    }
+                    distinct.insert(v);
+                    numeric.push(v as f64);
+                    min = Some(min.map_or(v, |m| m.min(v)));
+                    max = Some(max.map_or(v, |m| m.max(v)));
+                }
+                stats.ndv = distinct.len() as u64;
+                stats.min = min.map(Value::Int);
+                stats.max = max.map(Value::Int);
+            }
+            ColumnVec::Float { data, nulls } => {
+                stats.null_count = col.null_count();
+                // Distinctness by bit pattern: `Value::eq` on floats is
+                // total-order equality, which holds exactly when the bits
+                // match.
+                let mut distinct: HashSet<u64> = HashSet::new();
+                let mut min: Option<f64> = None;
+                let mut max: Option<f64> = None;
+                numeric.reserve(data.len() - stats.null_count as usize);
+                for (i, &v) in data.iter().enumerate() {
+                    if nulls.as_ref().is_some_and(|m| m.is_null(i)) {
+                        continue;
+                    }
+                    distinct.insert(v.to_bits());
+                    numeric.push(v);
+                    min = Some(min.map_or(v, |m| if v.total_cmp(&m).is_lt() { v } else { m }));
+                    max = Some(max.map_or(v, |m| if v.total_cmp(&m).is_gt() { v } else { m }));
+                }
+                stats.ndv = distinct.len() as u64;
+                stats.min = min.map(Value::Float);
+                stats.max = max.map(Value::Float);
+            }
+            ColumnVec::Str { data, nulls } => {
+                stats.null_count = col.null_count();
+                let mut distinct: HashSet<&str> = HashSet::new();
+                let mut min: Option<&str> = None;
+                let mut max: Option<&str> = None;
+                for (i, v) in data.iter().enumerate() {
+                    if nulls.as_ref().is_some_and(|m| m.is_null(i)) {
+                        continue;
+                    }
+                    distinct.insert(v);
+                    min = Some(min.map_or(v.as_str(), |m| m.min(v)));
+                    max = Some(max.map_or(v.as_str(), |m| m.max(v)));
+                }
+                stats.ndv = distinct.len() as u64;
+                stats.min = min.map(Value::str);
+                stats.max = max.map(Value::str);
+            }
+            ColumnVec::Bool { data, nulls } => {
+                stats.null_count = col.null_count();
+                let mut seen = [false; 2];
+                let mut min: Option<bool> = None;
+                let mut max: Option<bool> = None;
+                for (i, &v) in data.iter().enumerate() {
+                    if nulls.as_ref().is_some_and(|m| m.is_null(i)) {
+                        continue;
+                    }
+                    seen[v as usize] = true;
+                    min = Some(min.map_or(v, |m| m & v));
+                    max = Some(max.map_or(v, |m| m | v));
+                }
+                stats.ndv = seen.iter().filter(|&&s| s).count() as u64;
+                stats.min = min.map(Value::Bool);
+                stats.max = max.map(Value::Bool);
+            }
+            ColumnVec::Mixed(values) => {
+                // Exact mirror of the row-at-a-time analyze loop.
+                let mut distinct: HashSet<&Value> = HashSet::new();
+                for v in values {
+                    if v.is_null() {
+                        stats.null_count += 1;
+                        continue;
+                    }
+                    distinct.insert(v);
+                    if let Some(x) = v.as_f64() {
+                        numeric.push(x);
+                    }
+                    match &stats.min {
+                        Some(m) if v >= m => {}
+                        _ => stats.min = Some(v.clone()),
+                    }
+                    match &stats.max {
+                        Some(m) if v <= m => {}
+                        _ => stats.max = Some(v.clone()),
+                    }
+                }
+                stats.ndv = distinct.len() as u64;
+            }
+        }
+        // Same pure-numeric gate as the row path: every non-null value
+        // must have contributed a numeric sample.
+        if !numeric.is_empty() && numeric.len() as u64 + stats.null_count == rows as u64 {
+            stats.histogram = Histogram::build(numeric, HISTOGRAM_BUCKETS);
+        }
+        stats
+    }
+
     /// Selectivity of an equality predicate on column `i`.
     ///
     /// Equality never matches NULLs, so `1 / NDV` is scaled by the
@@ -285,10 +418,8 @@ impl TableStats {
         // continuous column probed with an integer literal must not be
         // shifted by half its unit) and applied only to integer probes
         // (a fractional probe already falls between lattice points).
-        let column_integral = matches!(
-            (&c.min, &c.max),
-            (Some(Value::Int(_)), Some(Value::Int(_)))
-        );
+        let column_integral =
+            matches!((&c.min, &c.max), (Some(Value::Int(_)), Some(Value::Int(_))));
         let half = if column_integral && matches!(v, Value::Int(_)) {
             0.5
         } else {

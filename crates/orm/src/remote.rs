@@ -1,6 +1,6 @@
 //! The client's connection to the database across the simulated network.
 
-use minidb::{DbResult, Executor, FuncRegistry, LogicalPlan, QueryResult, Value};
+use minidb::{DbResult, ExecEngine, Executor, FuncRegistry, LogicalPlan, QueryResult, Value};
 use netsim::{Clock, NetStats, NetworkProfile};
 
 use std::collections::HashMap;
@@ -35,6 +35,9 @@ pub struct RemoteDb {
     /// and work into this store (the runtime half of the cardinality
     /// feedback loop; estimators opt in via `Estimator::with_feedback`).
     feedback: Option<Arc<minidb::FeedbackStore>>,
+    /// Which server-side execution engine runs the plans (columnar by
+    /// default; the row engine is kept as a differential baseline).
+    engine: ExecEngine,
 }
 
 impl RemoteDb {
@@ -54,7 +57,19 @@ impl RemoteDb {
             log: Mutex::new(Vec::new()),
             server_row_ns: minidb::exec::DEFAULT_SERVER_ROW_NS,
             feedback: None,
+            engine: ExecEngine::default(),
         }
+    }
+
+    /// Select the server-side execution engine (columnar or row).
+    pub fn with_engine(mut self, engine: ExecEngine) -> RemoteDb {
+        self.engine = engine;
+        self
+    }
+
+    /// The execution engine queries run on.
+    pub fn engine(&self) -> ExecEngine {
+        self.engine
     }
 
     /// Override the server's per-row cost (ns).
@@ -107,7 +122,9 @@ impl RemoteDb {
         params: &HashMap<String, Value>,
     ) -> DbResult<QueryResult> {
         let db = self.db.read().unwrap();
-        let mut exec = Executor::new(&db, &self.funcs).with_row_ns(self.server_row_ns);
+        let mut exec = Executor::new(&db, &self.funcs)
+            .with_row_ns(self.server_row_ns)
+            .with_engine(self.engine);
         if let Some(fb) = &self.feedback {
             exec = exec.with_feedback(fb);
         }

@@ -43,7 +43,9 @@ pub struct GenConfig {
     pub min_tables: usize,
     /// Maximum number of tables per schema.
     pub max_tables: usize,
-    /// Maximum rows per table (each table draws its own count ≥ 4).
+    /// Minimum rows per table (the historical corpus draws from 4).
+    pub min_rows: usize,
+    /// Maximum rows per table (each table draws its own count).
     pub max_rows: usize,
     /// Maximum *extra* top-level statements beyond the fixed skeleton
     /// (one loop is always generated).
@@ -66,6 +68,7 @@ impl Default for GenConfig {
         GenConfig {
             min_tables: 2,
             max_tables: 5,
+            min_rows: 4,
             max_rows: 48,
             max_top_stmts: 4,
             max_body_stmts: 4,
@@ -83,6 +86,22 @@ impl GenConfig {
     pub fn skewed() -> GenConfig {
         GenConfig {
             max_rows: 320,
+            skew: Some(2.5),
+            ..GenConfig::default()
+        }
+    }
+
+    /// The execution-throughput preset: 1M+ rows per table across a
+    /// small schema, so scan/filter/join throughput is memory-bandwidth
+    /// bound rather than dispatch bound. Skewed like [`GenConfig::skewed`]
+    /// so joins have realistic fan-out. Used by `opt_bench`'s
+    /// executions/sec section; far too large for the differential corpus.
+    pub fn large() -> GenConfig {
+        GenConfig {
+            min_tables: 2,
+            max_tables: 3,
+            min_rows: 1_000_000,
+            max_rows: 1_250_000,
             skew: Some(2.5),
             ..GenConfig::default()
         }
@@ -157,7 +176,7 @@ impl GenSchema {
             tables.push(GenTable {
                 name: format!("t{i}"),
                 entity: format!("E{i}"),
-                rows: rng.gen_range(4..cfg.max_rows.max(5)),
+                rows: rng.gen_range(cfg.min_rows..cfg.max_rows.max(cfg.min_rows + 1)),
                 str_width: rng.gen_range(4..40u32),
                 parent,
             });
@@ -180,7 +199,9 @@ impl GenSchema {
 
     /// Build a fresh fixture (database + mappings + functions) for this
     /// schema, deterministic in `data_seed`. `row_scale` multiplies every
-    /// table's row count (floor 1) — the minimizer's data-shrinking knob.
+    /// table's row count (floor 1) — the minimizer shrinks with values
+    /// below 1.0, and benchmarks may scale *up* with values above it (the
+    /// `f64 → usize` cast saturates, so huge products stay well-defined).
     /// Each call returns an *independent* database, so runs that issue
     /// `update` statements cannot contaminate each other.
     pub fn build_fixture(&self, data_seed: u64, row_scale: f64) -> Fixture {
@@ -821,5 +842,52 @@ mod tests {
         let tiny_rows = tiny.db.read().unwrap().table("t0").unwrap().rows().len();
         assert!(tiny_rows <= full_rows);
         assert!(tiny_rows >= 1);
+    }
+
+    #[test]
+    fn row_scale_scales_up_too() {
+        let case = GenCase::from_seed(5, &GenConfig::default());
+        let base = case.schema.tables[0].rows;
+        let big = case.with_row_scale(3.0).fixture();
+        let big_rows = big.db.read().unwrap().table("t0").unwrap().rows().len();
+        assert_eq!(big_rows, ((base as f64) * 3.0) as usize);
+    }
+
+    #[test]
+    fn min_rows_default_keeps_the_corpus_byte_identical() {
+        // `min_rows` landed with the large() preset; the historical draw
+        // was `gen_range(4..max_rows.max(5))`, which the default must
+        // still reproduce exactly.
+        assert_eq!(GenConfig::default().min_rows, 4);
+        let mut rng = StdRng::seed_from_u64(7);
+        let schema = GenSchema::generate(&mut rng, &GenConfig::default());
+        let mut rng2 = StdRng::seed_from_u64(7);
+        let n = rng2.gen_range(2..6usize);
+        let mut rows = Vec::new();
+        for i in 0..n {
+            if i == 1 {
+                Some(0)
+            } else if i >= 2 && rng2.chance(75) {
+                Some(rng2.gen_range(0..i))
+            } else {
+                None
+            };
+            rows.push(rng2.gen_range(4..48usize));
+            rng2.gen_range(4..40u32);
+        }
+        assert_eq!(
+            schema.tables.iter().map(|t| t.rows).collect::<Vec<_>>(),
+            rows
+        );
+    }
+
+    #[test]
+    fn large_config_draws_million_row_tables() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let schema = GenSchema::generate(&mut rng, &GenConfig::large());
+        assert!(schema.tables.len() >= 2);
+        for t in &schema.tables {
+            assert!(t.rows >= 1_000_000, "{} has {} rows", t.name, t.rows);
+        }
     }
 }

@@ -2,7 +2,7 @@
 
 use imperative::ast::Program;
 use interp::{Interp, InterpConfig, Outcome};
-use minidb::{DbResult, FuncRegistry};
+use minidb::{DbResult, ExecEngine, FuncRegistry};
 use netsim::{Clock, NetworkProfile};
 use orm::{MappingRegistry, RemoteDb, Session};
 
@@ -51,13 +51,18 @@ impl Fixture {
 
     /// Open a fresh session over `net` with its own virtual clock.
     pub fn session(&self, net: NetworkProfile) -> (Session, Arc<Clock>) {
+        self.session_on(net, ExecEngine::default())
+    }
+
+    /// [`Fixture::session`], pinned to a specific execution engine —
+    /// the differential suite runs the same programs on
+    /// [`ExecEngine::Columnar`] and [`ExecEngine::Row`] and compares.
+    pub fn session_on(&self, net: NetworkProfile, engine: ExecEngine) -> (Session, Arc<Clock>) {
         let clock = Arc::new(Clock::new());
-        let remote = Arc::new(RemoteDb::new(
-            self.db.clone(),
-            self.funcs.clone(),
-            net,
-            clock.clone(),
-        ));
+        let remote = Arc::new(
+            RemoteDb::new(self.db.clone(), self.funcs.clone(), net, clock.clone())
+                .with_engine(engine),
+        );
         (Session::new(remote, Arc::new(self.mapping.clone())), clock)
     }
 
@@ -84,6 +89,19 @@ impl Fixture {
 /// transaction, as in the paper's per-run measurements).
 pub fn run_on(fixture: &Fixture, net: NetworkProfile, program: &Program) -> DbResult<RunResult> {
     let (session, _clock) = fixture.session(net);
+    run_in(&session, program)
+}
+
+/// [`run_on`], pinned to a specific execution engine. The columnar and
+/// row engines must produce bit-identical outcomes; this is the hook the
+/// differential suite uses to check that.
+pub fn run_on_engine(
+    fixture: &Fixture,
+    net: NetworkProfile,
+    engine: ExecEngine,
+    program: &Program,
+) -> DbResult<RunResult> {
+    let (session, _clock) = fixture.session_on(net, engine);
     run_in(&session, program)
 }
 

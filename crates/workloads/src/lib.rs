@@ -23,4 +23,4 @@ pub mod motivating;
 pub mod rng;
 pub mod wilos;
 
-pub use harness::{run_on, Fixture, RunResult};
+pub use harness::{run_on, run_on_engine, Fixture, RunResult};

@@ -21,6 +21,12 @@
 //!   reporting executions/sec, rows/sec and the per-query and geomean
 //!   columnar-over-row speedup.
 //!
+//! * **serving** — Cobra-as-a-service end to end
+//!   (`cobra_server::CobraService`): cold submissions against fresh
+//!   tenants (full search per request) vs warm cache-hit submissions at
+//!   1/4/8 concurrent sessions, reporting submissions/sec and the
+//!   warm-over-cold per-submission speedup.
+//!
 //! Results land in `BENCH_optimizer.json` (override with `--json <path>`
 //! or `COBRA_BENCH_JSON`) so every perf PR leaves a machine-readable
 //! trajectory. Pass `--baseline <prior.json>` to embed a previous run and
@@ -33,6 +39,7 @@
 
 use bench_support::{json_str, BenchRecord};
 use cobra_core::Cobra;
+use cobra_server::{CobraService, ServerConfig, TenantSpec};
 use imperative::ast::Program;
 use minidb::{ExecEngine, Executor, FeedbackStore};
 use netsim::NetworkProfile;
@@ -55,6 +62,10 @@ struct Config {
     /// Row scale applied to the [`GenConfig::large`] execution fixture
     /// (1.0 = the full 1M+ rows; smoke shrinks it).
     exec_scale: f64,
+    /// Fresh tenants (= full searches) in the serving cold phase.
+    serving_cold: usize,
+    /// Warm submissions per session per concurrency level.
+    serving_submits: usize,
     json: std::path::PathBuf,
     baseline: Option<std::path::PathBuf>,
 }
@@ -71,6 +82,7 @@ fn parse_args() -> Config {
     // Smoke shrinks the 1M+-row execution fixture to ~2% (tens of
     // thousands of rows) so CI stays fast; timings are report-only there.
     let (d_exec_iters, d_exec_scale) = if smoke { (2, 0.02) } else { (5, 1.0) };
+    let (d_serving_cold, d_serving_submits) = if smoke { (3, 10) } else { (8, 50) };
     Config {
         seeds: flag("--seeds")
             .and_then(|s| s.parse().ok())
@@ -90,6 +102,12 @@ fn parse_args() -> Config {
         exec_scale: flag("--exec-scale")
             .and_then(|s| s.parse().ok())
             .unwrap_or(d_exec_scale),
+        serving_cold: flag("--serving-cold")
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(d_serving_cold),
+        serving_submits: flag("--serving-submits")
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(d_serving_submits),
         workers: vec![1, 2, 4, 8],
         json: flag("--json")
             .map(Into::into)
@@ -287,6 +305,121 @@ fn bench_execution(iters: usize, scale: f64) -> ExecSection {
     }
 }
 
+/// One warm-serving measurement at a fixed session count.
+struct ServingRow {
+    sessions: usize,
+    submissions: usize,
+    total_ns: f64,
+    per_submission_ns: f64,
+    submissions_per_sec: f64,
+}
+
+/// The Cobra-as-a-service section: cold full-search submissions vs warm
+/// cache-hit submissions at several concurrency levels.
+struct ServingSection {
+    cold_tenants: usize,
+    cold_per_submission_ns: f64,
+    cold_searches_per_sec: f64,
+    /// Cold per-submission time over warm per-submission time at one
+    /// session — what the plan cache buys a serving deployment.
+    warm_over_cold_speedup: f64,
+    rows: Vec<ServingRow>,
+}
+
+fn bench_serving(cold_tenants: usize, submissions: usize) -> ServingSection {
+    use cobra_server::CacheOutcome;
+    // Seed 0: read-only with a multi-millisecond search; tiny rows keep
+    // execution cheap, so the cold path is dominated by the search the
+    // warm path skips.
+    let case = GenCase::from_seed(0, &GenConfig::default()).with_row_scale(0.2);
+    let fx = case.fixture();
+    let concurrency = [1usize, 4, 8];
+    // Pin the worker pool explicitly: the default follows host
+    // parallelism, which on a small CI runner would serialize admission
+    // and turn the concurrency sweep into a queueing benchmark.
+    let service = CobraService::new(ServerConfig {
+        max_concurrent: *concurrency.iter().max().unwrap(),
+        ..ServerConfig::default()
+    });
+    let tenant_spec = |name: String, fx: &workloads::harness::Fixture| {
+        TenantSpec::new(name, fx.db.clone(), fx.mapping.clone(), fx.funcs.clone()).feedback(false)
+    };
+
+    // Cold: a fresh tenant per submission (fresh database instance id ⇒
+    // cold cache key), so every request pays the full optimizer search.
+    let mut cold_total_ns = 0.0f64;
+    for i in 0..cold_tenants {
+        let fx_cold = fx.fork_db();
+        let tenant = service.register_tenant(tenant_spec(format!("cold{i}"), &fx_cold));
+        let session = service.open_session(tenant).expect("open session");
+        let t = Instant::now();
+        let reply = service.submit(session, &case.program).expect("cold submit");
+        cold_total_ns += t.elapsed().as_secs_f64() * 1e9;
+        assert_eq!(reply.cache, CacheOutcome::Miss, "fresh tenant must miss");
+    }
+    let cold_per_submission_ns = cold_total_ns / cold_tenants as f64;
+    let cold_searches_per_sec = 1e9 / cold_per_submission_ns;
+    println!(
+        "\nserving/cold: {:.3} ms/submission ({:.1} searches/s) over {cold_tenants} fresh tenants",
+        cold_per_submission_ns / 1e6,
+        cold_searches_per_sec
+    );
+
+    // Warm: one tenant, primed once; every further submission is a cache
+    // hit regardless of how many sessions race.
+    let tenant = service.register_tenant(tenant_spec("warm".to_string(), &fx));
+    let prime = service.open_session(tenant).expect("open session");
+    let first = service
+        .submit(prime, &case.program)
+        .expect("priming submit");
+    assert_eq!(first.cache, CacheOutcome::Miss);
+
+    let mut rows = Vec::new();
+    for &sessions in &concurrency {
+        let t = Instant::now();
+        std::thread::scope(|scope| {
+            for _ in 0..sessions {
+                let service = service.clone();
+                let program = &case.program;
+                scope.spawn(move || {
+                    let session = service.open_session(tenant).expect("open session");
+                    for _ in 0..submissions {
+                        let reply = service.submit(session, program).expect("warm submit");
+                        assert_eq!(reply.cache, CacheOutcome::Hit, "warm must hit");
+                    }
+                    service.close_session(session).expect("close session");
+                });
+            }
+        });
+        let total_ns = t.elapsed().as_secs_f64() * 1e9;
+        let n = (sessions * submissions) as f64;
+        let row = ServingRow {
+            sessions,
+            submissions: sessions * submissions,
+            total_ns,
+            per_submission_ns: total_ns / n,
+            submissions_per_sec: n * 1e9 / total_ns,
+        };
+        println!(
+            "serving/warm/sessions={sessions}: {:.1} µs/submission, {:.0} submissions/s",
+            row.per_submission_ns / 1e3,
+            row.submissions_per_sec
+        );
+        rows.push(row);
+    }
+    let warm_over_cold_speedup = cold_per_submission_ns / rows[0].per_submission_ns;
+    println!("serving warm-over-cold speedup (1 session): {warm_over_cold_speedup:.1}x");
+    service.shutdown();
+
+    ServingSection {
+        cold_tenants,
+        cold_per_submission_ns,
+        cold_searches_per_sec,
+        warm_over_cold_speedup,
+        rows,
+    }
+}
+
 fn main() {
     let cfg = parse_args();
     let gen_cfg = GenConfig::default();
@@ -430,6 +563,9 @@ fn main() {
     // row, columnar, row — so thermal/frequency drift hits both equally.
     let exec_section = bench_execution(cfg.exec_iters, cfg.exec_scale);
 
+    // ---- serving: cold vs warm submissions through CobraService ------
+    let serving = bench_serving(cfg.serving_cold, cfg.serving_submits);
+
     // ---- baseline comparison -----------------------------------------
     let baseline_doc = cfg
         .baseline
@@ -510,6 +646,33 @@ fn main() {
                     engine_json(&q.columnar),
                     engine_json(&q.row),
                     q.speedup
+                )
+            })
+            .collect::<Vec<_>>()
+            .join(",\n"),
+    );
+    out.push_str("\n]},\n");
+    out.push_str(&format!(
+        "\"serving\":{{\"cold\":{{\"tenants\":{},\"per_submission_ns\":{:.1},\
+         \"searches_per_sec\":{:.2}}},\"warm_over_cold_speedup\":{:.2},\"warm\":[\n",
+        serving.cold_tenants,
+        serving.cold_per_submission_ns,
+        serving.cold_searches_per_sec,
+        serving.warm_over_cold_speedup
+    ));
+    out.push_str(
+        &serving
+            .rows
+            .iter()
+            .map(|r| {
+                format!(
+                    "  {{\"sessions\":{},\"submissions\":{},\"total_ns\":{:.1},\
+                     \"per_submission_ns\":{:.1},\"submissions_per_sec\":{:.1}}}",
+                    r.sessions,
+                    r.submissions,
+                    r.total_ns,
+                    r.per_submission_ns,
+                    r.submissions_per_sec
                 )
             })
             .collect::<Vec<_>>()

@@ -408,7 +408,13 @@ impl Cobra {
             .with_row_ns(self.config.catalog.server_row_ns)
             .with_histograms(self.config.use_histograms);
         let mut worst = 1.0f64;
-        for (plan, obs) in fb.snapshot() {
+        for (plan, obs, stamp) in fb.snapshot_stamped() {
+            // Observations of since-rewritten tables are evidence about
+            // data that no longer exists — disagreeing with them is not
+            // drift.
+            if stamp.is_some_and(|s| s != db.plan_data_stamp(plan.as_plan())) {
+                continue;
+            }
             let Ok(est) = estimator.estimate(plan.as_plan()) else {
                 continue;
             };

@@ -310,6 +310,24 @@ impl Database {
                 .fold(0u64, u64::wrapping_add)
     }
 
+    /// The combined write-version of `plan`'s base tables: the slice of
+    /// the catalog an observation of `plan` describes. Runtime feedback
+    /// stamps observations with this value
+    /// ([`crate::FeedbackStore::record_at`]) so evidence gathered before
+    /// a table was rewritten is never averaged with — or served instead
+    /// of — evidence about the current contents. Unlike
+    /// [`Database::stats_epoch`], explicit epoch bumps do *not* move it:
+    /// re-optimization sweeps invalidate estimates without discarding
+    /// still-valid observations. Tables the catalog does not know
+    /// contribute nothing (the plan fails elsewhere).
+    pub fn plan_data_stamp(&self, plan: &crate::plan::LogicalPlan) -> u64 {
+        plan.base_tables()
+            .into_iter()
+            .filter_map(|t| self.tables.get(t))
+            .map(|t| t.version)
+            .fold(0u64, u64::wrapping_add)
+    }
+
     /// Explicitly advance the statistics epoch, invalidating every cached
     /// estimate stamped against this database. Used by adaptive
     /// re-optimization (`reoptimize_on_drift`): when runtime feedback

@@ -85,7 +85,7 @@ pub struct EstimateCache {
 /// A cache validity stamp: database identity and epoch, feedback-store
 /// generation, and estimation-mode bits. The [`Default`] stamp matches no
 /// real database (instance ids start at 1).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub struct CacheStamp {
     /// [`Database::instance_id`] of the database estimated against.
     pub instance_id: u64,
@@ -108,6 +108,19 @@ impl CacheStamp {
             feedback_generation: 0,
             mode: 1,
         }
+    }
+}
+
+/// Prints as `db<instance>@e<epoch>/f<feedback gen>/m<mode>` — with a
+/// [`PlanFingerprint`] this names one cache-validity coordinate, the key
+/// server logs use to show which tenant/epoch a cached plan belongs to.
+impl std::fmt::Display for CacheStamp {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "db{}@e{}/f{}/m{}",
+            self.instance_id, self.stats_epoch, self.feedback_generation, self.mode
+        )
     }
 }
 
@@ -315,17 +328,33 @@ impl<'a> Estimator<'a> {
     /// [`Estimator::estimate`], with observed runtime cardinality and
     /// work substituted for the model's guess when the feedback store has
     /// seen this plan execute (row size stays declared-schema-exact).
+    ///
+    /// Observations are consulted in two tiers, both restricted to
+    /// evidence about the *current* table contents
+    /// ([`Database::plan_data_stamp`]): an exact-shape match overrides
+    /// cardinality and the work profile; failing that, an observation of
+    /// a sibling shape of the same query (same
+    /// [`crate::feedback::semantic_key`] — e.g. the predicate pushed to
+    /// the other side of a join) overrides the output cardinality only,
+    /// since work is shape-specific.
     fn estimate_observed(&self, plan: &LogicalPlan, fp: PlanFingerprint) -> DbResult<Estimate> {
         let mut e = self.estimate(plan)?;
         if let Some(fb) = self.feedback {
-            if let Some(obs) = fb.observed(fp) {
+            let data_stamp = self.db.plan_data_stamp(plan);
+            if let Some(obs) = fb.observed_fresh(fp, data_stamp) {
                 e.rows = obs.rows;
                 e.startup_work = obs.startup_work;
                 e.total_work = obs.total_work;
-                fb.note_served();
-                if let Some(ctr) = self.override_counter {
-                    ctr.fetch_add(1, Ordering::Relaxed);
-                }
+            } else if let Some(obs) =
+                fb.observed_semantic(crate::feedback::semantic_key(plan), data_stamp)
+            {
+                e.rows = obs.rows;
+            } else {
+                return Ok(e);
+            }
+            fb.note_served();
+            if let Some(ctr) = self.override_counter {
+                ctr.fetch_add(1, Ordering::Relaxed);
             }
         }
         Ok(e)

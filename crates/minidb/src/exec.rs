@@ -196,7 +196,12 @@ impl<'a> Executor<'a> {
             }
         };
         if let Some(fb) = self.feedback {
-            fb.record(plan, rows.len() as u64, &work);
+            fb.record_at(
+                plan,
+                rows.len() as u64,
+                &work,
+                self.db.plan_data_stamp(plan),
+            );
         }
         Ok(QueryResult { schema, rows, work })
     }

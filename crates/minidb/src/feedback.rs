@@ -12,6 +12,29 @@
 //! many bindings converges to its *average* cardinality — exactly the
 //! quantity loop-cost formulas (`N_Q · C_body`) need.
 //!
+//! Two refinements keep the evidence honest:
+//!
+//! * **Data stamps.** An observation describes the table contents it ran
+//!   against. Recording sites that know the database pass the combined
+//!   write-version of the plan's base tables
+//!   ([`crate::Database::plan_data_stamp`]) via
+//!   [`FeedbackStore::record_at`]; when the tables have since been
+//!   written, the stale mean is *replaced*, not averaged with, and
+//!   stamped lookups ([`FeedbackStore::observed_fresh`]) refuse to serve
+//!   it. Without this, a pre-shift observation would pollute the mean
+//!   forever. [`FeedbackStore::record`] stays available for stores fed
+//!   without a database at hand; its entries are unstamped and always
+//!   considered fresh.
+//! * **Semantic keys.** The optimizer enumerates many operator shapes of
+//!   the same query (predicate pushed below a join or left above it), and
+//!   each shape has its own structural fingerprint — but they all return
+//!   the same rows. Every entry is additionally indexed by
+//!   [`semantic_key`] (a hash of the plan's canonical SQL rendering), so
+//!   an estimator that has no exact-shape observation can still borrow
+//!   the *output cardinality* observed for a sibling shape
+//!   ([`FeedbackStore::observed_semantic`]). Work profiles are
+//!   shape-specific and never transfer.
+//!
 //! Thread-safe (`RwLock` + atomics): one store can serve a whole
 //! application — the simulated server records into it while optimizer
 //! searches read from it. The monotonic [`FeedbackStore::generation`]
@@ -20,10 +43,11 @@
 //! estimates automatically.
 
 use crate::exec::ExecWork;
-use crate::fingerprint::{PlanFingerprint, SharedPlan};
+use crate::fingerprint::{PlanFingerprint, SharedPlan, StableHasher};
 use crate::plan::LogicalPlan;
 
 use std::collections::HashMap;
+use std::hash::Hasher;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::RwLock;
 
@@ -40,16 +64,44 @@ pub struct Observation {
     pub runs: u64,
 }
 
+/// The shape-blind identity of a plan: a stable hash of its canonical
+/// SQL rendering. Operator placements that the printer normalizes away
+/// (predicate above or below a join) map to the same key, so their
+/// observed *output* cardinalities are interchangeable.
+pub fn semantic_key(plan: &LogicalPlan) -> u64 {
+    let mut h = StableHasher::new();
+    h.write(crate::sql::print(plan).as_bytes());
+    h.finish()
+}
+
 #[derive(Debug, Clone)]
 struct Entry {
     plan: SharedPlan,
     obs: Observation,
+    /// [`crate::Database::plan_data_stamp`] at recording time; `None`
+    /// for unstamped ([`FeedbackStore::record`]) entries, which are
+    /// always fresh.
+    data_stamp: Option<u64>,
+}
+
+impl Entry {
+    fn fresh_for(&self, data_stamp: u64) -> bool {
+        self.data_stamp.is_none_or(|s| s == data_stamp)
+    }
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    entries: HashMap<PlanFingerprint, Entry>,
+    /// [`semantic_key`] → fingerprint of the most recently recorded
+    /// entry sharing that key.
+    semantic: HashMap<u64, PlanFingerprint>,
 }
 
 /// Observed cardinalities and work profiles per plan fingerprint.
 #[derive(Debug, Default)]
 pub struct FeedbackStore {
-    inner: RwLock<HashMap<PlanFingerprint, Entry>>,
+    inner: RwLock<Inner>,
     /// Bumped on every recording; estimate-cache stamps include it.
     generation: AtomicU64,
     /// Estimates that used an observation instead of a model guess.
@@ -62,39 +114,84 @@ impl FeedbackStore {
         FeedbackStore::default()
     }
 
-    /// Record one execution of `plan`: `rows` result rows with `work`
-    /// row-touches. The first observation of a fingerprint keeps a shared
-    /// copy of the plan (so drift can re-estimate it later); subsequent
-    /// ones only update the running means.
+    /// Record one execution of `plan` with no data stamp: the entry is
+    /// considered fresh forever. Prefer [`FeedbackStore::record_at`]
+    /// when the database is at hand.
     pub fn record(&self, plan: &LogicalPlan, rows: u64, work: &ExecWork) {
+        self.record_inner(plan, rows, work, None);
+    }
+
+    /// Record one execution of `plan`: `rows` result rows with `work`
+    /// row-touches, observed while the plan's base tables were at
+    /// `data_stamp` ([`crate::Database::plan_data_stamp`]). The first
+    /// observation of a fingerprint keeps a shared copy of the plan (so
+    /// drift can re-estimate it later); subsequent ones at the *same*
+    /// stamp update the running means, while a recording at a new stamp
+    /// replaces the now-stale mean outright.
+    pub fn record_at(&self, plan: &LogicalPlan, rows: u64, work: &ExecWork, data_stamp: u64) {
+        self.record_inner(plan, rows, work, Some(data_stamp));
+    }
+
+    fn record_inner(
+        &self,
+        plan: &LogicalPlan,
+        rows: u64,
+        work: &ExecWork,
+        data_stamp: Option<u64>,
+    ) {
         let fp = PlanFingerprint::of(plan);
         let mut inner = self.inner.write().unwrap();
-        match inner.get_mut(&fp) {
-            Some(entry) => fold(&mut entry.obs, rows, work),
+        match inner.entries.get_mut(&fp) {
+            Some(entry) if entry.data_stamp == data_stamp => fold(&mut entry.obs, rows, work),
+            Some(entry) => {
+                // The tables changed under the plan (or the stamping
+                // discipline did): the old mean describes data that no
+                // longer exists. Start over.
+                entry.obs = one_run(rows, work);
+                entry.data_stamp = data_stamp;
+            }
             None => {
-                let mut obs = Observation {
-                    rows: 0.0,
-                    startup_work: 0.0,
-                    total_work: 0.0,
-                    runs: 0,
-                };
-                fold(&mut obs, rows, work);
-                inner.insert(
+                inner.entries.insert(
                     fp,
                     Entry {
                         plan: SharedPlan::new(plan.clone()),
-                        obs,
+                        obs: one_run(rows, work),
+                        data_stamp,
                     },
                 );
             }
         }
+        inner.semantic.insert(semantic_key(plan), fp);
         drop(inner);
         self.generation.fetch_add(1, Ordering::Release);
     }
 
-    /// The observation for `fp`, if any execution has been recorded.
+    /// The observation for `fp`, if any execution has been recorded —
+    /// regardless of how stale it is. Stamped consumers want
+    /// [`FeedbackStore::observed_fresh`].
     pub fn observed(&self, fp: PlanFingerprint) -> Option<Observation> {
-        self.inner.read().unwrap().get(&fp).map(|e| e.obs)
+        self.inner.read().unwrap().entries.get(&fp).map(|e| e.obs)
+    }
+
+    /// The observation for `fp`, provided it was recorded against the
+    /// current contents of the plan's tables (`data_stamp`) or carries no
+    /// stamp at all.
+    pub fn observed_fresh(&self, fp: PlanFingerprint, data_stamp: u64) -> Option<Observation> {
+        let inner = self.inner.read().unwrap();
+        let entry = inner.entries.get(&fp)?;
+        entry.fresh_for(data_stamp).then_some(entry.obs)
+    }
+
+    /// The freshest observation for *any* plan shape sharing `key`
+    /// ([`semantic_key`]), subject to the same freshness rule as
+    /// [`FeedbackStore::observed_fresh`]. Only the output cardinality
+    /// (`rows`) is meaningful across shapes; the work profile describes
+    /// the recorded shape, not the asker's.
+    pub fn observed_semantic(&self, key: u64, data_stamp: u64) -> Option<Observation> {
+        let inner = self.inner.read().unwrap();
+        let fp = inner.semantic.get(&key)?;
+        let entry = inner.entries.get(fp)?;
+        entry.fresh_for(data_stamp).then_some(entry.obs)
     }
 
     /// Monotonic recording counter (0 = nothing recorded yet). Estimate
@@ -115,7 +212,7 @@ impl FeedbackStore {
 
     /// Number of distinct plans observed.
     pub fn len(&self) -> usize {
-        self.inner.read().unwrap().len()
+        self.inner.read().unwrap().entries.len()
     }
 
     /// True when nothing has been recorded.
@@ -126,19 +223,44 @@ impl FeedbackStore {
     /// Forget every observation (generation still advances, so cached
     /// estimates computed with feedback are invalidated).
     pub fn clear(&self) {
-        self.inner.write().unwrap().clear();
+        let mut inner = self.inner.write().unwrap();
+        inner.entries.clear();
+        inner.semantic.clear();
+        drop(inner);
         self.generation.fetch_add(1, Ordering::Release);
     }
 
     /// Every observed plan with its observation — drift analysis walks
     /// this to compare model estimates against reality.
     pub fn snapshot(&self) -> Vec<(SharedPlan, Observation)> {
+        self.snapshot_stamped()
+            .into_iter()
+            .map(|(p, o, _)| (p, o))
+            .collect()
+    }
+
+    /// [`FeedbackStore::snapshot`] including each entry's data stamp
+    /// (`None` = unstamped, always fresh), so stamped consumers can skip
+    /// observations describing data that has since been rewritten.
+    pub fn snapshot_stamped(&self) -> Vec<(SharedPlan, Observation, Option<u64>)> {
         let inner = self.inner.read().unwrap();
-        let mut out: Vec<(SharedPlan, Observation)> =
-            inner.values().map(|e| (e.plan.clone(), e.obs)).collect();
+        let mut out: Vec<(SharedPlan, Observation, Option<u64>)> = inner
+            .entries
+            .values()
+            .map(|e| (e.plan.clone(), e.obs, e.data_stamp))
+            .collect();
         // Deterministic order for reporting.
-        out.sort_by_key(|(p, _)| p.fingerprint());
+        out.sort_by_key(|(p, _, _)| p.fingerprint());
         out
+    }
+}
+
+fn one_run(rows: u64, work: &ExecWork) -> Observation {
+    Observation {
+        rows: rows as f64,
+        startup_work: work.startup_rows as f64,
+        total_work: work.total_rows as f64,
+        runs: 1,
     }
 }
 
@@ -207,5 +329,64 @@ mod tests {
         store.clear();
         assert!(store.is_empty());
         assert!(store.generation() > g);
+    }
+
+    #[test]
+    fn stamped_recording_replaces_stale_means_instead_of_averaging() {
+        let store = FeedbackStore::new();
+        let plan = LogicalPlan::scan("orders");
+        let fp = PlanFingerprint::of(&plan);
+
+        store.record_at(&plan, 100, &work(0, 100), 7);
+        store.record_at(&plan, 102, &work(0, 102), 7);
+        assert_eq!(store.observed_fresh(fp, 7).unwrap().rows, 101.0);
+
+        // The table was written: same stamp discipline, new stamp value.
+        // The pre-write mean must not blend into the post-write one.
+        store.record_at(&plan, 900, &work(0, 900), 8);
+        let obs = store.observed_fresh(fp, 8).unwrap();
+        assert_eq!(obs.rows, 900.0);
+        assert_eq!(obs.runs, 1);
+        // And the entry no longer answers for the old stamp.
+        assert_eq!(store.observed_fresh(fp, 7), None);
+        // Unstamped lookup still sees it (legacy behavior).
+        assert_eq!(store.observed(fp).unwrap().rows, 900.0);
+    }
+
+    #[test]
+    fn unstamped_entries_are_always_fresh() {
+        let store = FeedbackStore::new();
+        let plan = LogicalPlan::scan("orders");
+        let fp = PlanFingerprint::of(&plan);
+        store.record(&plan, 5, &work(0, 5));
+        assert_eq!(store.observed_fresh(fp, 0).unwrap().rows, 5.0);
+        assert_eq!(store.observed_fresh(fp, 41).unwrap().rows, 5.0);
+    }
+
+    #[test]
+    fn semantic_key_unifies_predicate_placement() {
+        use crate::expr::ScalarExpr;
+        // select * from a join b on x = y where p = 3, with the filter
+        // below the join in one shape and above it in the other.
+        let on = ScalarExpr::eq(ScalarExpr::col("x"), ScalarExpr::col("y"));
+        let filter = ScalarExpr::eq(ScalarExpr::col("p"), ScalarExpr::lit(3i64));
+        let pushed = LogicalPlan::scan("a")
+            .select(filter.clone())
+            .join(LogicalPlan::scan("b"), on.clone());
+        let hoisted = LogicalPlan::scan("a")
+            .join(LogicalPlan::scan("b"), on)
+            .select(filter);
+        assert_ne!(PlanFingerprint::of(&pushed), PlanFingerprint::of(&hoisted));
+        assert_eq!(semantic_key(&pushed), semantic_key(&hoisted));
+
+        let store = FeedbackStore::new();
+        store.record_at(&pushed, 918, &work(10, 910), 3);
+        // The sibling shape has no exact observation…
+        assert_eq!(store.observed_fresh(PlanFingerprint::of(&hoisted), 3), None);
+        // …but its output cardinality is reachable through the key.
+        let obs = store.observed_semantic(semantic_key(&hoisted), 3).unwrap();
+        assert_eq!(obs.rows, 918.0);
+        // Staleness still applies across the semantic index.
+        assert_eq!(store.observed_semantic(semantic_key(&hoisted), 4), None);
     }
 }

@@ -72,9 +72,25 @@ impl PlanFingerprint {
         PlanFingerprint(h.finish())
     }
 
+    /// A fingerprint from raw bits — for identities computed over other
+    /// structures with a [`StableHasher`] (e.g. whole imperative programs
+    /// in the serving layer's plan cache) that want to reuse the same
+    /// stable-identity type.
+    pub fn from_raw(bits: u64) -> PlanFingerprint {
+        PlanFingerprint(bits)
+    }
+
     /// The raw 64 bits.
     pub fn as_u64(self) -> u64 {
         self.0
+    }
+}
+
+/// Prints as `plan:<16 hex digits>` — the stable identity server logs and
+/// reports use to name a plan across processes and runs.
+impl std::fmt::Display for PlanFingerprint {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "plan:{:016x}", self.0)
     }
 }
 

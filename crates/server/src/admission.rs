@@ -1,0 +1,191 @@
+//! Admission control: a bounded worker pool with a bounded wait queue.
+//!
+//! Every submission acquires a [`Permit`] before touching the optimizer.
+//! At most `max_concurrent` permits are out at once; up to `max_queue`
+//! further requests block waiting for one; anything beyond that is shed
+//! immediately with [`ServerError::Overloaded`] — the queue can never
+//! grow without bound, so a traffic spike degrades latency, not memory.
+//!
+//! Graceful degradation rides on the same state: a permit granted while
+//! the queue is at least `degrade_queue_depth` deep is marked
+//! [`Permit::degraded`], and the service optimizes it under the
+//! configured downgrade [`cobra_core::SearchBudget`] instead of the full
+//! one (trading plan quality for latency exactly when latency is scarce).
+
+use crate::error::ServerError;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Condvar, Mutex};
+
+#[derive(Debug, Default)]
+struct AdmState {
+    running: usize,
+    queued: usize,
+}
+
+/// The admission controller. Thread-safe; one per service.
+#[derive(Debug)]
+pub struct Admission {
+    max_concurrent: usize,
+    max_queue: usize,
+    degrade_queue_depth: usize,
+    state: Mutex<AdmState>,
+    freed: Condvar,
+    admitted: AtomicU64,
+    rejected: AtomicU64,
+    degraded: AtomicU64,
+}
+
+/// An admitted request. Releases its worker slot on drop (including
+/// unwinds), waking one queued waiter.
+#[derive(Debug)]
+pub struct Permit<'a> {
+    admission: &'a Admission,
+    degraded: bool,
+}
+
+impl Permit<'_> {
+    /// True when this request was admitted under queue pressure and
+    /// should be served with the degraded search budget.
+    pub fn degraded(&self) -> bool {
+        self.degraded
+    }
+}
+
+impl Drop for Permit<'_> {
+    fn drop(&mut self) {
+        let mut s = self.admission.state.lock().unwrap();
+        s.running -= 1;
+        drop(s);
+        self.admission.freed.notify_one();
+    }
+}
+
+impl Admission {
+    /// A controller allowing `max_concurrent` in-flight requests, at most
+    /// `max_queue` waiters, and degrading once the queue reaches
+    /// `degrade_queue_depth` (values are clamped to sane minimums:
+    /// at least one worker, and a degrade depth of at least 1 so an
+    /// uncontended server never degrades).
+    pub fn new(max_concurrent: usize, max_queue: usize, degrade_queue_depth: usize) -> Admission {
+        Admission {
+            max_concurrent: max_concurrent.max(1),
+            max_queue,
+            degrade_queue_depth: degrade_queue_depth.max(1),
+            state: Mutex::new(AdmState::default()),
+            freed: Condvar::new(),
+            admitted: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+            degraded: AtomicU64::new(0),
+        }
+    }
+
+    /// Acquire a worker slot, blocking in the bounded queue if all slots
+    /// are busy. Returns [`ServerError::Overloaded`] without blocking
+    /// when the queue is already full.
+    pub fn admit(&self) -> Result<Permit<'_>, ServerError> {
+        let mut s = self.state.lock().unwrap();
+        let mut waited_at_depth = 0usize;
+        if s.running >= self.max_concurrent {
+            if s.queued >= self.max_queue {
+                let err = ServerError::Overloaded {
+                    running: s.running,
+                    queued: s.queued,
+                };
+                drop(s);
+                self.rejected.fetch_add(1, Ordering::Relaxed);
+                return Err(err);
+            }
+            s.queued += 1;
+            waited_at_depth = s.queued;
+            while s.running >= self.max_concurrent {
+                s = self.freed.wait(s).unwrap();
+            }
+            s.queued -= 1;
+        }
+        s.running += 1;
+        drop(s);
+        self.admitted.fetch_add(1, Ordering::Relaxed);
+        // Degrade based on the depth this request *observed*: it queued
+        // behind `waited_at_depth - 1` others, so depth ≥ the knob means
+        // the server was already backed up when this request arrived.
+        let degraded = waited_at_depth >= self.degrade_queue_depth;
+        if degraded {
+            self.degraded.fetch_add(1, Ordering::Relaxed);
+        }
+        Ok(Permit {
+            admission: self,
+            degraded,
+        })
+    }
+
+    /// Requests admitted (including degraded ones).
+    pub fn admitted(&self) -> u64 {
+        self.admitted.load(Ordering::Relaxed)
+    }
+
+    /// Requests shed with [`ServerError::Overloaded`].
+    pub fn rejected(&self) -> u64 {
+        self.rejected.load(Ordering::Relaxed)
+    }
+
+    /// Requests admitted under queue pressure (served with the degraded
+    /// budget).
+    pub fn degraded(&self) -> u64 {
+        self.degraded.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn admits_up_to_capacity_then_sheds() {
+        let adm = Admission::new(2, 0, 1);
+        let p1 = adm.admit().unwrap();
+        let p2 = adm.admit().unwrap();
+        let err = adm.admit().unwrap_err();
+        assert!(matches!(
+            err,
+            ServerError::Overloaded {
+                running: 2,
+                queued: 0
+            }
+        ));
+        assert_eq!(adm.rejected(), 1);
+        drop(p1);
+        let _p3 = adm.admit().unwrap();
+        drop(p2);
+        assert_eq!(adm.admitted(), 3);
+    }
+
+    #[test]
+    fn queued_request_proceeds_when_slot_frees() {
+        let adm = Arc::new(Admission::new(1, 4, 8));
+        let p = adm.admit().unwrap();
+        let adm2 = adm.clone();
+        let waiter = std::thread::spawn(move || {
+            let permit = adm2.admit().unwrap();
+            assert!(!permit.degraded());
+        });
+        // Give the waiter time to enqueue, then free the slot.
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        drop(p);
+        waiter.join().unwrap();
+        assert_eq!(adm.admitted(), 2);
+        assert_eq!(adm.rejected(), 0);
+    }
+
+    #[test]
+    fn deep_queue_marks_degraded() {
+        let adm = Arc::new(Admission::new(1, 16, 1));
+        let p = adm.admit().unwrap();
+        let adm2 = adm.clone();
+        let waiter = std::thread::spawn(move || adm2.admit().unwrap().degraded());
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        drop(p);
+        assert!(waiter.join().unwrap(), "queued at depth 1 => degraded");
+        assert_eq!(adm.degraded(), 1);
+    }
+}

@@ -1,0 +1,1072 @@
+//! The wire codec: a dependency-free binary encoding of requests and
+//! responses.
+//!
+//! The protocol carries whole imperative programs (there is no textual
+//! parser for the mini language, so the AST itself is the interchange
+//! format). Every enum is encoded as a tag byte plus payload; strings
+//! and sequences are u32-length-prefixed; multi-byte integers are
+//! big-endian. Embedded query plans travel as SQL text via
+//! [`minidb::sql::print`] — the printer is parse-idempotent, so decoding
+//! with [`minidb::sql::parse`] reconstructs a structurally identical
+//! plan (and therefore the identical [`minidb::PlanFingerprint`], which
+//! is what keeps the server's plan cache warm across the wire).
+
+use crate::error::ServerError;
+use crate::plan_cache::CacheOutcome;
+use crate::service::{ServerCounters, SubmitReply};
+use imperative::ast::{Expr, Function, Program, QuerySpec, Stmt, StmtKind};
+use interp::{NormalizedOutcome, Snapshot};
+use minidb::{BinOp, CacheStamp, PlanFingerprint, Value};
+
+type Result<T> = std::result::Result<T, ServerError>;
+
+fn bad(what: &str) -> ServerError {
+    ServerError::Protocol(format!("malformed frame: {what}"))
+}
+
+/// Append-only frame builder.
+#[derive(Debug, Default)]
+pub struct ByteWriter {
+    buf: Vec<u8>,
+}
+
+impl ByteWriter {
+    /// An empty writer.
+    pub fn new() -> ByteWriter {
+        ByteWriter::default()
+    }
+
+    /// The finished frame body.
+    pub fn finish(self) -> Vec<u8> {
+        self.buf
+    }
+
+    fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    fn bool(&mut self, v: bool) {
+        self.buf.push(v as u8);
+    }
+
+    fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_be_bytes());
+    }
+
+    fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_be_bytes());
+    }
+
+    fn i64(&mut self, v: i64) {
+        self.buf.extend_from_slice(&v.to_be_bytes());
+    }
+
+    fn f64(&mut self, v: f64) {
+        self.buf.extend_from_slice(&v.to_bits().to_be_bytes());
+    }
+
+    fn str(&mut self, s: &str) {
+        self.u32(s.len() as u32);
+        self.buf.extend_from_slice(s.as_bytes());
+    }
+
+    fn len(&mut self, n: usize) {
+        self.u32(n as u32);
+    }
+}
+
+/// Cursor over a received frame body.
+#[derive(Debug)]
+pub struct ByteReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> ByteReader<'a> {
+    /// A reader over `buf`.
+    pub fn new(buf: &'a [u8]) -> ByteReader<'a> {
+        ByteReader { buf, pos: 0 }
+    }
+
+    /// True when every byte has been consumed (frames must be exact).
+    pub fn at_end(&self) -> bool {
+        self.pos == self.buf.len()
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8]> {
+        let end = self.pos.checked_add(n).ok_or_else(|| bad("overflow"))?;
+        if end > self.buf.len() {
+            return Err(bad("truncated"));
+        }
+        let s = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn bool(&mut self) -> Result<bool> {
+        match self.u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            _ => Err(bad("bool")),
+        }
+    }
+
+    fn u32(&mut self) -> Result<u32> {
+        Ok(u32::from_be_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Result<u64> {
+        Ok(u64::from_be_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn i64(&mut self) -> Result<i64> {
+        Ok(i64::from_be_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn f64(&mut self) -> Result<f64> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    fn str(&mut self) -> Result<String> {
+        let n = self.u32()? as usize;
+        let bytes = self.take(n)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| bad("utf-8"))
+    }
+
+    fn len(&mut self) -> Result<usize> {
+        let n = self.u32()? as usize;
+        // A length prefix can never exceed the bytes that remain; checking
+        // here keeps a corrupt frame from provoking a huge allocation.
+        if n > self.buf.len().saturating_sub(self.pos) {
+            return Err(bad("length prefix"));
+        }
+        Ok(n)
+    }
+}
+
+// ---- scalar layer -------------------------------------------------------
+
+fn put_value(w: &mut ByteWriter, v: &Value) {
+    match v {
+        Value::Null => w.u8(0),
+        Value::Int(i) => {
+            w.u8(1);
+            w.i64(*i);
+        }
+        Value::Float(f) => {
+            w.u8(2);
+            w.f64(*f);
+        }
+        Value::Str(s) => {
+            w.u8(3);
+            w.str(s);
+        }
+        Value::Bool(b) => {
+            w.u8(4);
+            w.bool(*b);
+        }
+    }
+}
+
+fn get_value(r: &mut ByteReader) -> Result<Value> {
+    Ok(match r.u8()? {
+        0 => Value::Null,
+        1 => Value::Int(r.i64()?),
+        2 => Value::Float(r.f64()?),
+        3 => Value::Str(r.str()?),
+        4 => Value::Bool(r.bool()?),
+        _ => return Err(bad("value tag")),
+    })
+}
+
+const BIN_OPS: [BinOp; 12] = [
+    BinOp::Eq,
+    BinOp::Ne,
+    BinOp::Lt,
+    BinOp::Le,
+    BinOp::Gt,
+    BinOp::Ge,
+    BinOp::Add,
+    BinOp::Sub,
+    BinOp::Mul,
+    BinOp::Div,
+    BinOp::And,
+    BinOp::Or,
+];
+
+fn put_bin_op(w: &mut ByteWriter, op: BinOp) {
+    let code = BIN_OPS.iter().position(|o| *o == op).unwrap() as u8;
+    w.u8(code);
+}
+
+fn get_bin_op(r: &mut ByteReader) -> Result<BinOp> {
+    let code = r.u8()? as usize;
+    BIN_OPS.get(code).copied().ok_or_else(|| bad("binop tag"))
+}
+
+// ---- expression / statement layer ---------------------------------------
+
+fn put_query(w: &mut ByteWriter, q: &QuerySpec) {
+    w.str(&minidb::sql::print(q.plan.as_plan()));
+    w.len(q.binds.len());
+    for (name, e) in &q.binds {
+        w.str(name);
+        put_expr(w, e);
+    }
+}
+
+fn get_query(r: &mut ByteReader) -> Result<QuerySpec> {
+    let sql = r.str()?;
+    let plan = minidb::sql::parse(&sql)
+        .map_err(|e| ServerError::Protocol(format!("embedded SQL failed to parse: {e}")))?;
+    let n = r.len()?;
+    let mut binds = Vec::with_capacity(n);
+    for _ in 0..n {
+        let name = r.str()?;
+        binds.push((name, get_expr(r)?));
+    }
+    Ok(QuerySpec {
+        plan: plan.into(),
+        binds,
+    })
+}
+
+fn put_expr(w: &mut ByteWriter, e: &Expr) {
+    match e {
+        Expr::Var(v) => {
+            w.u8(0);
+            w.str(v);
+        }
+        Expr::Lit(v) => {
+            w.u8(1);
+            put_value(w, v);
+        }
+        Expr::Bin(op, l, r) => {
+            w.u8(2);
+            put_bin_op(w, *op);
+            put_expr(w, l);
+            put_expr(w, r);
+        }
+        Expr::Not(e) => {
+            w.u8(3);
+            put_expr(w, e);
+        }
+        Expr::Field(b, name) => {
+            w.u8(4);
+            put_expr(w, b);
+            w.str(name);
+        }
+        Expr::Nav(b, assoc) => {
+            w.u8(5);
+            put_expr(w, b);
+            w.str(assoc);
+        }
+        Expr::Call(name, args) => {
+            w.u8(6);
+            w.str(name);
+            w.len(args.len());
+            for a in args {
+                put_expr(w, a);
+            }
+        }
+        Expr::LoadAll(entity) => {
+            w.u8(7);
+            w.str(entity);
+        }
+        Expr::Query(q) => {
+            w.u8(8);
+            put_query(w, q);
+        }
+        Expr::ScalarQuery(q) => {
+            w.u8(9);
+            put_query(w, q);
+        }
+        Expr::LookupCache(cache, key) => {
+            w.u8(10);
+            w.str(cache);
+            put_expr(w, key);
+        }
+        Expr::MapGet(m, k) => {
+            w.u8(11);
+            put_expr(w, m);
+            put_expr(w, k);
+        }
+        Expr::Len(e) => {
+            w.u8(12);
+            put_expr(w, e);
+        }
+    }
+}
+
+fn get_expr(r: &mut ByteReader) -> Result<Expr> {
+    Ok(match r.u8()? {
+        0 => Expr::Var(r.str()?),
+        1 => Expr::Lit(get_value(r)?),
+        2 => {
+            let op = get_bin_op(r)?;
+            Expr::Bin(op, Box::new(get_expr(r)?), Box::new(get_expr(r)?))
+        }
+        3 => Expr::Not(Box::new(get_expr(r)?)),
+        4 => {
+            let b = get_expr(r)?;
+            Expr::Field(Box::new(b), r.str()?)
+        }
+        5 => {
+            let b = get_expr(r)?;
+            Expr::Nav(Box::new(b), r.str()?)
+        }
+        6 => {
+            let name = r.str()?;
+            let n = r.len()?;
+            let mut args = Vec::with_capacity(n);
+            for _ in 0..n {
+                args.push(get_expr(r)?);
+            }
+            Expr::Call(name, args)
+        }
+        7 => Expr::LoadAll(r.str()?),
+        8 => Expr::Query(get_query(r)?),
+        9 => Expr::ScalarQuery(get_query(r)?),
+        10 => {
+            let cache = r.str()?;
+            Expr::LookupCache(cache, Box::new(get_expr(r)?))
+        }
+        11 => {
+            let m = get_expr(r)?;
+            Expr::MapGet(Box::new(m), Box::new(get_expr(r)?))
+        }
+        12 => Expr::Len(Box::new(get_expr(r)?)),
+        _ => return Err(bad("expr tag")),
+    })
+}
+
+fn put_stmts(w: &mut ByteWriter, stmts: &[Stmt]) {
+    w.len(stmts.len());
+    for s in stmts {
+        put_stmt(w, s);
+    }
+}
+
+fn get_stmts(r: &mut ByteReader) -> Result<Vec<Stmt>> {
+    let n = r.len()?;
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        out.push(get_stmt(r)?);
+    }
+    Ok(out)
+}
+
+fn put_stmt(w: &mut ByteWriter, s: &Stmt) {
+    w.u32(s.line);
+    match &s.kind {
+        StmtKind::Let(v, e) => {
+            w.u8(0);
+            w.str(v);
+            put_expr(w, e);
+        }
+        StmtKind::NewCollection(v) => {
+            w.u8(1);
+            w.str(v);
+        }
+        StmtKind::NewMap(v) => {
+            w.u8(2);
+            w.str(v);
+        }
+        StmtKind::Add(v, e) => {
+            w.u8(3);
+            w.str(v);
+            put_expr(w, e);
+        }
+        StmtKind::Put(v, k, val) => {
+            w.u8(4);
+            w.str(v);
+            put_expr(w, k);
+            put_expr(w, val);
+        }
+        StmtKind::ForEach { var, iter, body } => {
+            w.u8(5);
+            w.str(var);
+            put_expr(w, iter);
+            put_stmts(w, body);
+        }
+        StmtKind::While { cond, body } => {
+            w.u8(6);
+            put_expr(w, cond);
+            put_stmts(w, body);
+        }
+        StmtKind::If {
+            cond,
+            then_branch,
+            else_branch,
+        } => {
+            w.u8(7);
+            put_expr(w, cond);
+            put_stmts(w, then_branch);
+            put_stmts(w, else_branch);
+        }
+        StmtKind::Print(e) => {
+            w.u8(8);
+            put_expr(w, e);
+        }
+        StmtKind::Return(e) => {
+            w.u8(9);
+            match e {
+                Some(e) => {
+                    w.bool(true);
+                    put_expr(w, e);
+                }
+                None => w.bool(false),
+            }
+        }
+        StmtKind::Break => w.u8(10),
+        StmtKind::CacheByColumn {
+            cache,
+            source,
+            key_col,
+        } => {
+            w.u8(11);
+            w.str(cache);
+            put_expr(w, source);
+            w.str(key_col);
+        }
+        StmtKind::UpdateQuery {
+            table,
+            set_col,
+            value,
+            key_col,
+            key,
+        } => {
+            w.u8(12);
+            w.str(table);
+            w.str(set_col);
+            put_expr(w, value);
+            w.str(key_col);
+            put_expr(w, key);
+        }
+        StmtKind::LetCall(v, f, args) => {
+            w.u8(13);
+            w.str(v);
+            w.str(f);
+            w.len(args.len());
+            for a in args {
+                put_expr(w, a);
+            }
+        }
+        StmtKind::TryCatch { body, handler } => {
+            w.u8(14);
+            put_stmts(w, body);
+            put_stmts(w, handler);
+        }
+    }
+}
+
+fn get_stmt(r: &mut ByteReader) -> Result<Stmt> {
+    let line = r.u32()?;
+    let kind = match r.u8()? {
+        0 => {
+            let v = r.str()?;
+            StmtKind::Let(v, get_expr(r)?)
+        }
+        1 => StmtKind::NewCollection(r.str()?),
+        2 => StmtKind::NewMap(r.str()?),
+        3 => {
+            let v = r.str()?;
+            StmtKind::Add(v, get_expr(r)?)
+        }
+        4 => {
+            let v = r.str()?;
+            let k = get_expr(r)?;
+            StmtKind::Put(v, k, get_expr(r)?)
+        }
+        5 => {
+            let var = r.str()?;
+            let iter = get_expr(r)?;
+            StmtKind::ForEach {
+                var,
+                iter,
+                body: get_stmts(r)?,
+            }
+        }
+        6 => {
+            let cond = get_expr(r)?;
+            StmtKind::While {
+                cond,
+                body: get_stmts(r)?,
+            }
+        }
+        7 => {
+            let cond = get_expr(r)?;
+            let then_branch = get_stmts(r)?;
+            StmtKind::If {
+                cond,
+                then_branch,
+                else_branch: get_stmts(r)?,
+            }
+        }
+        8 => StmtKind::Print(get_expr(r)?),
+        9 => {
+            let some = r.bool()?;
+            StmtKind::Return(if some { Some(get_expr(r)?) } else { None })
+        }
+        10 => StmtKind::Break,
+        11 => {
+            let cache = r.str()?;
+            let source = get_expr(r)?;
+            StmtKind::CacheByColumn {
+                cache,
+                source,
+                key_col: r.str()?,
+            }
+        }
+        12 => {
+            let table = r.str()?;
+            let set_col = r.str()?;
+            let value = get_expr(r)?;
+            let key_col = r.str()?;
+            StmtKind::UpdateQuery {
+                table,
+                set_col,
+                value,
+                key_col,
+                key: get_expr(r)?,
+            }
+        }
+        13 => {
+            let v = r.str()?;
+            let f = r.str()?;
+            let n = r.len()?;
+            let mut args = Vec::with_capacity(n);
+            for _ in 0..n {
+                args.push(get_expr(r)?);
+            }
+            StmtKind::LetCall(v, f, args)
+        }
+        14 => {
+            let body = get_stmts(r)?;
+            StmtKind::TryCatch {
+                body,
+                handler: get_stmts(r)?,
+            }
+        }
+        _ => return Err(bad("stmt tag")),
+    };
+    Ok(Stmt { kind, line })
+}
+
+fn put_function(w: &mut ByteWriter, f: &Function) {
+    w.str(&f.name);
+    w.len(f.params.len());
+    for p in &f.params {
+        w.str(p);
+    }
+    put_stmts(w, &f.body);
+}
+
+fn get_function(r: &mut ByteReader) -> Result<Function> {
+    let name = r.str()?;
+    let n = r.len()?;
+    let mut params = Vec::with_capacity(n);
+    for _ in 0..n {
+        params.push(r.str()?);
+    }
+    Ok(Function {
+        name,
+        params,
+        body: get_stmts(r)?,
+    })
+}
+
+/// Encode a whole program.
+pub fn put_program(w: &mut ByteWriter, p: &Program) {
+    w.len(p.functions.len());
+    for f in &p.functions {
+        put_function(w, f);
+    }
+}
+
+/// Decode a whole program.
+pub fn get_program(r: &mut ByteReader) -> Result<Program> {
+    let n = r.len()?;
+    if n == 0 {
+        return Err(bad("empty program"));
+    }
+    let mut functions = Vec::with_capacity(n);
+    for _ in 0..n {
+        functions.push(get_function(r)?);
+    }
+    Ok(Program { functions })
+}
+
+// ---- outcome layer ------------------------------------------------------
+
+fn put_snapshot(w: &mut ByteWriter, s: &Snapshot) {
+    match s {
+        Snapshot::Unit => w.u8(0),
+        Snapshot::Scalar(v) => {
+            w.u8(1);
+            put_value(w, v);
+        }
+        Snapshot::Row(vals) => {
+            w.u8(2);
+            w.len(vals.len());
+            for v in vals {
+                put_value(w, v);
+            }
+        }
+        Snapshot::List(items) => {
+            w.u8(3);
+            w.len(items.len());
+            for i in items {
+                put_snapshot(w, i);
+            }
+        }
+        Snapshot::Map(entries) => {
+            w.u8(4);
+            w.len(entries.len());
+            for (k, v) in entries {
+                put_value(w, k);
+                put_snapshot(w, v);
+            }
+        }
+    }
+}
+
+fn get_snapshot(r: &mut ByteReader) -> Result<Snapshot> {
+    Ok(match r.u8()? {
+        0 => Snapshot::Unit,
+        1 => Snapshot::Scalar(get_value(r)?),
+        2 => {
+            let n = r.len()?;
+            let mut vals = Vec::with_capacity(n);
+            for _ in 0..n {
+                vals.push(get_value(r)?);
+            }
+            Snapshot::Row(vals)
+        }
+        3 => {
+            let n = r.len()?;
+            let mut items = Vec::with_capacity(n);
+            for _ in 0..n {
+                items.push(get_snapshot(r)?);
+            }
+            Snapshot::List(items)
+        }
+        4 => {
+            let n = r.len()?;
+            let mut entries = Vec::with_capacity(n);
+            for _ in 0..n {
+                let k = get_value(r)?;
+                entries.push((k, get_snapshot(r)?));
+            }
+            Snapshot::Map(entries)
+        }
+        _ => return Err(bad("snapshot tag")),
+    })
+}
+
+fn put_outcome(w: &mut ByteWriter, o: &NormalizedOutcome) {
+    w.len(o.vars.len());
+    for (name, snap) in &o.vars {
+        w.str(name);
+        put_snapshot(w, snap);
+    }
+    put_snapshot(w, &o.ret);
+    w.len(o.prints.len());
+    for p in &o.prints {
+        put_snapshot(w, p);
+    }
+}
+
+fn get_outcome(r: &mut ByteReader) -> Result<NormalizedOutcome> {
+    let n = r.len()?;
+    let mut vars = Vec::with_capacity(n);
+    for _ in 0..n {
+        let name = r.str()?;
+        vars.push((name, get_snapshot(r)?));
+    }
+    let ret = get_snapshot(r)?;
+    let n = r.len()?;
+    let mut prints = Vec::with_capacity(n);
+    for _ in 0..n {
+        prints.push(get_snapshot(r)?);
+    }
+    Ok(NormalizedOutcome { vars, ret, prints })
+}
+
+fn put_stamp(w: &mut ByteWriter, s: &CacheStamp) {
+    w.u64(s.instance_id);
+    w.u64(s.stats_epoch);
+    w.u64(s.feedback_generation);
+    w.u8(s.mode);
+}
+
+fn get_stamp(r: &mut ByteReader) -> Result<CacheStamp> {
+    Ok(CacheStamp {
+        instance_id: r.u64()?,
+        stats_epoch: r.u64()?,
+        feedback_generation: r.u64()?,
+        mode: r.u8()?,
+    })
+}
+
+fn put_reply(w: &mut ByteWriter, reply: &SubmitReply) {
+    w.u64(reply.fingerprint.as_u64());
+    put_stamp(w, &reply.stamp);
+    w.u8(match reply.cache {
+        CacheOutcome::Hit => 0,
+        CacheOutcome::Miss => 1,
+        CacheOutcome::Coalesced => 2,
+    });
+    w.bool(reply.degraded);
+    w.f64(reply.est_cost_ns);
+    w.f64(reply.original_cost_ns);
+    w.len(reply.tags.len());
+    for t in &reply.tags {
+        w.str(t);
+    }
+    w.u64(reply.simulated_ns);
+    w.u64(reply.round_trips);
+    put_outcome(w, &reply.results);
+    w.u64(reply.wall_ns);
+}
+
+fn get_reply(r: &mut ByteReader) -> Result<SubmitReply> {
+    let fingerprint = PlanFingerprint::from_raw(r.u64()?);
+    let stamp = get_stamp(r)?;
+    let cache = match r.u8()? {
+        0 => CacheOutcome::Hit,
+        1 => CacheOutcome::Miss,
+        2 => CacheOutcome::Coalesced,
+        _ => return Err(bad("cache outcome tag")),
+    };
+    let degraded = r.bool()?;
+    let est_cost_ns = r.f64()?;
+    let original_cost_ns = r.f64()?;
+    let n = r.len()?;
+    let mut tags = Vec::with_capacity(n);
+    for _ in 0..n {
+        tags.push(r.str()?);
+    }
+    Ok(SubmitReply {
+        fingerprint,
+        stamp,
+        cache,
+        degraded,
+        est_cost_ns,
+        original_cost_ns,
+        tags,
+        simulated_ns: r.u64()?,
+        round_trips: r.u64()?,
+        results: get_outcome(r)?,
+        wall_ns: r.u64()?,
+    })
+}
+
+fn put_counters(w: &mut ByteWriter, c: &ServerCounters) {
+    for v in [
+        c.cache_hits,
+        c.cache_misses,
+        c.coalesced,
+        c.plans_swapped,
+        c.evicted,
+        c.admitted,
+        c.rejected,
+        c.degraded,
+        c.sessions_opened,
+        c.tenants,
+        c.executions,
+        c.drift_swaps,
+    ] {
+        w.u64(v);
+    }
+}
+
+fn get_counters(r: &mut ByteReader) -> Result<ServerCounters> {
+    Ok(ServerCounters {
+        cache_hits: r.u64()?,
+        cache_misses: r.u64()?,
+        coalesced: r.u64()?,
+        plans_swapped: r.u64()?,
+        evicted: r.u64()?,
+        admitted: r.u64()?,
+        rejected: r.u64()?,
+        degraded: r.u64()?,
+        sessions_opened: r.u64()?,
+        tenants: r.u64()?,
+        executions: r.u64()?,
+        drift_swaps: r.u64()?,
+    })
+}
+
+// ---- frame layer --------------------------------------------------------
+
+/// A client→server frame.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Open a session against the named tenant.
+    OpenSession {
+        /// Tenant name (as registered).
+        tenant: String,
+    },
+    /// Submit a program on a session.
+    Submit {
+        /// The session id.
+        session: u64,
+        /// The program to optimize and execute.
+        program: Program,
+    },
+    /// Fetch the optimization report for the session's last program.
+    Report {
+        /// The session id.
+        session: u64,
+    },
+    /// Fetch the server-wide counters.
+    Counters,
+    /// Close a session.
+    CloseSession {
+        /// The session id.
+        session: u64,
+    },
+    /// Ask the server to shut down.
+    Shutdown,
+}
+
+impl Request {
+    /// Encode into a frame body.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = ByteWriter::new();
+        match self {
+            Request::OpenSession { tenant } => {
+                w.u8(1);
+                w.str(tenant);
+            }
+            Request::Submit { session, program } => {
+                w.u8(2);
+                w.u64(*session);
+                put_program(&mut w, program);
+            }
+            Request::Report { session } => {
+                w.u8(3);
+                w.u64(*session);
+            }
+            Request::Counters => w.u8(4),
+            Request::CloseSession { session } => {
+                w.u8(5);
+                w.u64(*session);
+            }
+            Request::Shutdown => w.u8(6),
+        }
+        w.finish()
+    }
+
+    /// Decode a frame body (must consume every byte).
+    pub fn decode(buf: &[u8]) -> Result<Request> {
+        let mut r = ByteReader::new(buf);
+        let req = match r.u8()? {
+            1 => Request::OpenSession { tenant: r.str()? },
+            2 => {
+                let session = r.u64()?;
+                Request::Submit {
+                    session,
+                    program: get_program(&mut r)?,
+                }
+            }
+            3 => Request::Report { session: r.u64()? },
+            4 => Request::Counters,
+            5 => Request::CloseSession { session: r.u64()? },
+            6 => Request::Shutdown,
+            _ => return Err(bad("request tag")),
+        };
+        if !r.at_end() {
+            return Err(bad("trailing bytes"));
+        }
+        Ok(req)
+    }
+}
+
+/// A server→client frame.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// The request failed; `code`/`message` round-trip a
+    /// [`ServerError`] (see [`ServerError::code`]).
+    Error {
+        /// Stable error code.
+        code: u8,
+        /// Human-readable message.
+        message: String,
+    },
+    /// Session opened.
+    SessionOpened {
+        /// The new session id.
+        session: u64,
+    },
+    /// Submission succeeded.
+    SubmitOk(Box<SubmitReply>),
+    /// The optimization report, rendered (reports are for humans; the
+    /// structured numbers a client acts on are in [`SubmitReply`]).
+    ReportText(String),
+    /// Counter snapshot.
+    Counters(ServerCounters),
+    /// Session closed.
+    Closed,
+    /// Shutdown acknowledged.
+    ShuttingDown,
+}
+
+impl Response {
+    /// Encode into a frame body.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = ByteWriter::new();
+        match self {
+            Response::Error { code, message } => {
+                w.u8(0);
+                w.u8(*code);
+                w.str(message);
+            }
+            Response::SessionOpened { session } => {
+                w.u8(1);
+                w.u64(*session);
+            }
+            Response::SubmitOk(reply) => {
+                w.u8(2);
+                put_reply(&mut w, reply);
+            }
+            Response::ReportText(text) => {
+                w.u8(3);
+                w.str(text);
+            }
+            Response::Counters(c) => {
+                w.u8(4);
+                put_counters(&mut w, c);
+            }
+            Response::Closed => w.u8(5),
+            Response::ShuttingDown => w.u8(6),
+        }
+        w.finish()
+    }
+
+    /// Decode a frame body (must consume every byte).
+    pub fn decode(buf: &[u8]) -> Result<Response> {
+        let mut r = ByteReader::new(buf);
+        let resp = match r.u8()? {
+            0 => {
+                let code = r.u8()?;
+                Response::Error {
+                    code,
+                    message: r.str()?,
+                }
+            }
+            1 => Response::SessionOpened { session: r.u64()? },
+            2 => Response::SubmitOk(Box::new(get_reply(&mut r)?)),
+            3 => Response::ReportText(r.str()?),
+            4 => Response::Counters(get_counters(&mut r)?),
+            5 => Response::Closed,
+            6 => Response::ShuttingDown,
+            _ => return Err(bad("response tag")),
+        };
+        if !r.at_end() {
+            return Err(bad("trailing bytes"));
+        }
+        Ok(resp)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use workloads::genprog::{GenCase, GenConfig};
+
+    #[test]
+    fn programs_roundtrip_over_the_generated_corpus() {
+        for seed in 0..40u64 {
+            let case = GenCase::from_seed(seed, &GenConfig::default());
+            let mut w = ByteWriter::new();
+            put_program(&mut w, &case.program);
+            let bytes = w.finish();
+            let mut r = ByteReader::new(&bytes);
+            let back = get_program(&mut r).expect("decode");
+            assert!(r.at_end(), "seed {seed}: trailing bytes");
+            assert_eq!(back, case.program, "seed {seed}: program roundtrip");
+        }
+    }
+
+    #[test]
+    fn roundtrip_preserves_plan_fingerprints() {
+        // Cache warmth across the wire depends on this: the decoded
+        // program must fingerprint identically to the submitted one.
+        use crate::plan_cache::program_fingerprint;
+        for seed in [3u64, 17, 29] {
+            let case = GenCase::from_seed(seed, &GenConfig::default());
+            let mut w = ByteWriter::new();
+            put_program(&mut w, &case.program);
+            let bytes = w.finish();
+            let back = get_program(&mut ByteReader::new(&bytes)).unwrap();
+            assert_eq!(
+                program_fingerprint(&back),
+                program_fingerprint(&case.program)
+            );
+        }
+    }
+
+    #[test]
+    fn requests_and_responses_roundtrip() {
+        let case = GenCase::from_seed(5, &GenConfig::default());
+        let reqs = [
+            Request::OpenSession {
+                tenant: "acme".into(),
+            },
+            Request::Submit {
+                session: 42,
+                program: case.program.clone(),
+            },
+            Request::Report { session: 42 },
+            Request::Counters,
+            Request::CloseSession { session: 42 },
+            Request::Shutdown,
+        ];
+        for req in &reqs {
+            assert_eq!(&Request::decode(&req.encode()).unwrap(), req);
+        }
+
+        let counters = ServerCounters {
+            cache_hits: 10,
+            cache_misses: 2,
+            coalesced: 3,
+            ..ServerCounters::default()
+        };
+        let resps = [
+            Response::Error {
+                code: 1,
+                message: "overloaded".into(),
+            },
+            Response::SessionOpened { session: 7 },
+            Response::ReportText("== report ==".into()),
+            Response::Counters(counters),
+            Response::Closed,
+            Response::ShuttingDown,
+        ];
+        for resp in &resps {
+            assert_eq!(&Response::decode(&resp.encode()).unwrap(), resp);
+        }
+    }
+
+    #[test]
+    fn malformed_frames_error_cleanly() {
+        assert!(Request::decode(&[]).is_err());
+        assert!(Request::decode(&[99]).is_err());
+        assert!(Response::decode(&[2, 0, 0]).is_err(), "truncated reply");
+        // A length prefix larger than the frame must not allocate.
+        let mut w = ByteWriter::new();
+        w.u8(1);
+        w.u32(u32::MAX);
+        assert!(Request::decode(&w.finish()).is_err());
+        // Trailing garbage is rejected.
+        let mut ok = Request::Counters.encode();
+        ok.push(0);
+        assert!(Request::decode(&ok).is_err());
+    }
+}

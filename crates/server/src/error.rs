@@ -1,0 +1,99 @@
+//! Typed server errors.
+//!
+//! Every failure a client can observe is a [`ServerError`] variant with a
+//! stable wire code, so load shedding ([`ServerError::Overloaded`]) is
+//! distinguishable from optimizer failures, protocol garbage, and
+//! shutdown — a client under `Overloaded` should back off and retry, not
+//! report a bug.
+
+use minidb::DbError;
+
+/// Everything the serving layer can report to a caller.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServerError {
+    /// Admission control shed this request: the worker pool was saturated
+    /// and the wait queue full. Carries the queue state at rejection time
+    /// so clients (and tests) can see how loaded the server was.
+    Overloaded {
+        /// Requests currently being served.
+        running: usize,
+        /// Requests queued waiting for a worker.
+        queued: usize,
+    },
+    /// No tenant registered under that id/name.
+    UnknownTenant(String),
+    /// No open session with that id.
+    UnknownSession(u64),
+    /// The optimizer or executor failed (wraps the `DbError` text).
+    Db(String),
+    /// A wire frame failed to decode.
+    Protocol(String),
+    /// Connection/transport failure (wire clients only).
+    Io(String),
+    /// The server is shutting down and no longer accepts work.
+    ShuttingDown,
+}
+
+impl ServerError {
+    /// Stable wire code for this variant (frame-level error tag).
+    pub fn code(&self) -> u8 {
+        match self {
+            ServerError::Overloaded { .. } => 1,
+            ServerError::UnknownTenant(_) => 2,
+            ServerError::UnknownSession(_) => 3,
+            ServerError::Db(_) => 4,
+            ServerError::Protocol(_) => 5,
+            ServerError::Io(_) => 6,
+            ServerError::ShuttingDown => 7,
+        }
+    }
+
+    /// Rebuild a variant from its wire code and message (the lossy
+    /// inverse of [`ServerError::code`] + [`std::fmt::Display`]:
+    /// `Overloaded` queue numbers survive only in the message text).
+    pub fn from_code(code: u8, message: String) -> ServerError {
+        match code {
+            1 => ServerError::Overloaded {
+                running: 0,
+                queued: 0,
+            },
+            2 => ServerError::UnknownTenant(message),
+            3 => ServerError::UnknownSession(0),
+            4 => ServerError::Db(message),
+            6 => ServerError::Io(message),
+            7 => ServerError::ShuttingDown,
+            _ => ServerError::Protocol(message),
+        }
+    }
+}
+
+impl std::fmt::Display for ServerError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServerError::Overloaded { running, queued } => write!(
+                f,
+                "overloaded: {running} running, {queued} queued; retry later"
+            ),
+            ServerError::UnknownTenant(name) => write!(f, "unknown tenant: {name}"),
+            ServerError::UnknownSession(id) => write!(f, "unknown session: {id}"),
+            ServerError::Db(msg) => write!(f, "database error: {msg}"),
+            ServerError::Protocol(msg) => write!(f, "protocol error: {msg}"),
+            ServerError::Io(msg) => write!(f, "i/o error: {msg}"),
+            ServerError::ShuttingDown => write!(f, "server shutting down"),
+        }
+    }
+}
+
+impl std::error::Error for ServerError {}
+
+impl From<DbError> for ServerError {
+    fn from(e: DbError) -> ServerError {
+        ServerError::Db(e.to_string())
+    }
+}
+
+impl From<std::io::Error> for ServerError {
+    fn from(e: std::io::Error) -> ServerError {
+        ServerError::Io(e.to_string())
+    }
+}

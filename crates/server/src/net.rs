@@ -1,0 +1,409 @@
+//! The TCP transport: length-prefixed frames over `std::net`.
+//!
+//! Framing is the simplest thing that works: every message is a 4-byte
+//! big-endian length followed by that many body bytes (encoded by
+//! [`crate::codec`]). One request, one response, in order, per
+//! connection — a connection is a client's command stream, and the
+//! concurrency story lives in [`CobraService`], not the socket layer.
+//!
+//! [`WireServer::spawn`] binds a listener and serves each connection on
+//! its own thread. Shutdown is cooperative: connection threads use a
+//! read timeout to poll the shutdown flag, and [`WireServer::shutdown`]
+//! unblocks the accept loop by connecting to itself.
+
+use crate::codec::{Request, Response};
+use crate::error::ServerError;
+use crate::service::ServerCounters;
+use crate::service::{CobraService, SessionId, SubmitReply};
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// Frames larger than this are rejected as protocol errors (64 MiB —
+/// far beyond any real program, small enough to bound a bad frame).
+const MAX_FRAME: u32 = 64 << 20;
+
+fn write_frame(stream: &mut TcpStream, body: &[u8]) -> std::io::Result<()> {
+    stream.write_all(&(body.len() as u32).to_be_bytes())?;
+    stream.write_all(body)?;
+    stream.flush()
+}
+
+/// Read one frame. `Ok(None)` means the peer closed cleanly between
+/// frames; timeouts bubble up as `WouldBlock`/`TimedOut` errors for the
+/// caller's poll loop.
+fn read_frame(stream: &mut TcpStream) -> std::io::Result<Option<Vec<u8>>> {
+    let mut len = [0u8; 4];
+    match stream.read_exact(&mut len) {
+        Ok(()) => {}
+        Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => return Ok(None),
+        Err(e) => return Err(e),
+    }
+    let len = u32::from_be_bytes(len);
+    if len > MAX_FRAME {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            format!("frame of {len} bytes exceeds the {MAX_FRAME}-byte cap"),
+        ));
+    }
+    let mut body = vec![0u8; len as usize];
+    stream.read_exact(&mut body)?;
+    Ok(Some(body))
+}
+
+/// The wire front end: a TCP listener serving a [`CobraService`].
+pub struct WireServer {
+    service: CobraService,
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept_thread: Mutex<Option<std::thread::JoinHandle<()>>>,
+}
+
+impl WireServer {
+    /// Bind `addr` (use port 0 for an ephemeral port) and start serving
+    /// `service`. Returns once the listener is accepting.
+    pub fn spawn(service: CobraService, addr: impl ToSocketAddrs) -> std::io::Result<WireServer> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let accept_service = service.clone();
+        let accept_stop = stop.clone();
+        let accept_thread = std::thread::Builder::new()
+            .name("cobra-wire-accept".into())
+            .spawn(move || accept_loop(listener, accept_service, accept_stop))?;
+        Ok(WireServer {
+            service,
+            addr,
+            stop,
+            accept_thread: Mutex::new(Some(accept_thread)),
+        })
+    }
+
+    /// The bound address (resolves port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The service this server fronts.
+    pub fn service(&self) -> &CobraService {
+        &self.service
+    }
+
+    /// Stop accepting connections, shut the service down, and join the
+    /// accept loop. Idempotent.
+    pub fn shutdown(&self) {
+        if self.stop.swap(true, Ordering::AcqRel) {
+            return;
+        }
+        self.service.shutdown();
+        // Unblock the accept() call with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(handle) = self.accept_thread.lock().unwrap().take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for WireServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn accept_loop(listener: TcpListener, service: CobraService, stop: Arc<AtomicBool>) {
+    loop {
+        let (stream, _) = match listener.accept() {
+            Ok(conn) => conn,
+            Err(_) => {
+                if stop.load(Ordering::Acquire) {
+                    return;
+                }
+                continue;
+            }
+        };
+        if stop.load(Ordering::Acquire) {
+            return;
+        }
+        let conn_service = service.clone();
+        let conn_stop = stop.clone();
+        // Connection threads are detached; they exit when the peer hangs
+        // up or the stop flag trips (checked each read-timeout tick).
+        let _ = std::thread::Builder::new()
+            .name("cobra-wire-conn".into())
+            .spawn(move || serve_connection(stream, conn_service, conn_stop));
+    }
+}
+
+/// Read one frame under the poll loop: accumulates across read-timeout
+/// ticks (so a timeout mid-frame never loses bytes) and re-checks `stop`
+/// on every tick. `Ok(None)` means clean close or shutdown.
+fn read_frame_polling(
+    stream: &mut TcpStream,
+    stop: &AtomicBool,
+) -> std::io::Result<Option<Vec<u8>>> {
+    let mut have: Vec<u8> = Vec::with_capacity(4);
+    let mut need = 4usize;
+    let mut in_header = true;
+    let mut chunk = [0u8; 8192];
+    loop {
+        if stop.load(Ordering::Acquire) {
+            return Ok(None);
+        }
+        let want = (need - have.len()).min(chunk.len());
+        match stream.read(&mut chunk[..want]) {
+            Ok(0) => {
+                // Clean close only between frames; mid-frame EOF is an error.
+                return if in_header && have.is_empty() {
+                    Ok(None)
+                } else {
+                    Err(std::io::ErrorKind::UnexpectedEof.into())
+                };
+            }
+            Ok(n) => have.extend_from_slice(&chunk[..n]),
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                continue; // poll tick
+            }
+            Err(e) => return Err(e),
+        }
+        if have.len() == need {
+            if in_header {
+                let len = u32::from_be_bytes(have[..4].try_into().unwrap());
+                if len > MAX_FRAME {
+                    return Err(std::io::Error::new(
+                        std::io::ErrorKind::InvalidData,
+                        format!("frame of {len} bytes exceeds the {MAX_FRAME}-byte cap"),
+                    ));
+                }
+                in_header = false;
+                need = len as usize;
+                have = Vec::with_capacity(need);
+                if need == 0 {
+                    return Ok(Some(have));
+                }
+            } else {
+                return Ok(Some(have));
+            }
+        }
+    }
+}
+
+fn serve_connection(mut stream: TcpStream, service: CobraService, stop: Arc<AtomicBool>) {
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(100)));
+    let _ = stream.set_nodelay(true);
+    loop {
+        let body = match read_frame_polling(&mut stream, &stop) {
+            Ok(Some(body)) => body,
+            Ok(None) => return, // clean close or shutdown
+            Err(_) => return,
+        };
+        let (response, shutdown_after) = handle_request(&service, &body);
+        if shutdown_after {
+            // Shut down *before* acking, so a client that saw the ack can
+            // rely on the service being stopped. Trip the stop flag first
+            // so other connections and the accept loop wind down too.
+            stop.store(true, Ordering::Release);
+            service.shutdown();
+        }
+        if write_frame(&mut stream, &response.encode()).is_err() {
+            return;
+        }
+        if shutdown_after {
+            return;
+        }
+    }
+}
+
+/// Execute one decoded request against the service. Returns the response
+/// and whether the connection should shut the server down afterwards.
+fn handle_request(service: &CobraService, body: &[u8]) -> (Response, bool) {
+    let request = match Request::decode(body) {
+        Ok(r) => r,
+        Err(e) => return (error_response(&e), false),
+    };
+    match request {
+        Request::OpenSession { tenant } => {
+            let Some(id) = service.tenant_id(&tenant) else {
+                return (error_response(&ServerError::UnknownTenant(tenant)), false);
+            };
+            match service.open_session(id) {
+                Ok(session) => (Response::SessionOpened { session: session.0 }, false),
+                Err(e) => (error_response(&e), false),
+            }
+        }
+        Request::Submit { session, program } => {
+            match service.submit(SessionId(session), &program) {
+                Ok(reply) => (Response::SubmitOk(Box::new(reply)), false),
+                Err(e) => (error_response(&e), false),
+            }
+        }
+        Request::Report { session } => match service.session_report(SessionId(session)) {
+            Ok(report) => (Response::ReportText(report.to_string()), false),
+            Err(e) => (error_response(&e), false),
+        },
+        Request::Counters => (Response::Counters(service.counters()), false),
+        Request::CloseSession { session } => match service.close_session(SessionId(session)) {
+            Ok(()) => (Response::Closed, false),
+            Err(e) => (error_response(&e), false),
+        },
+        Request::Shutdown => (Response::ShuttingDown, true),
+    }
+}
+
+fn error_response(e: &ServerError) -> Response {
+    Response::Error {
+        code: e.code(),
+        message: e.to_string(),
+    }
+}
+
+/// A blocking client for the wire protocol. One connection, one request
+/// in flight at a time (clone-free by design — open more clients for
+/// concurrency; the server multiplexes).
+pub struct WireClient {
+    stream: TcpStream,
+}
+
+impl WireClient {
+    /// Connect to a server.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<WireClient, ServerError> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(WireClient { stream })
+    }
+
+    fn call(&mut self, request: &Request) -> Result<Response, ServerError> {
+        write_frame(&mut self.stream, &request.encode())?;
+        let body = read_frame(&mut self.stream)?
+            .ok_or_else(|| ServerError::Io("server closed the connection".into()))?;
+        let response = Response::decode(&body)?;
+        if let Response::Error { code, message } = response {
+            return Err(ServerError::from_code(code, message));
+        }
+        Ok(response)
+    }
+
+    /// Open a session against the named tenant.
+    pub fn open_session(&mut self, tenant: &str) -> Result<SessionId, ServerError> {
+        match self.call(&Request::OpenSession {
+            tenant: tenant.to_string(),
+        })? {
+            Response::SessionOpened { session } => Ok(SessionId(session)),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Submit a program on a session and wait for its results.
+    pub fn submit(
+        &mut self,
+        session: SessionId,
+        program: &imperative::ast::Program,
+    ) -> Result<SubmitReply, ServerError> {
+        match self.call(&Request::Submit {
+            session: session.0,
+            program: program.clone(),
+        })? {
+            Response::SubmitOk(reply) => Ok(*reply),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Fetch the rendered optimization report for the session's last
+    /// submitted program.
+    pub fn report(&mut self, session: SessionId) -> Result<String, ServerError> {
+        match self.call(&Request::Report { session: session.0 })? {
+            Response::ReportText(text) => Ok(text),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Fetch the server-wide counters.
+    pub fn counters(&mut self) -> Result<ServerCounters, ServerError> {
+        match self.call(&Request::Counters)? {
+            Response::Counters(c) => Ok(c),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Close a session.
+    pub fn close_session(&mut self, session: SessionId) -> Result<(), ServerError> {
+        match self.call(&Request::CloseSession { session: session.0 })? {
+            Response::Closed => Ok(()),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Ask the server to shut down (acknowledged before it stops).
+    pub fn shutdown_server(&mut self) -> Result<(), ServerError> {
+        match self.call(&Request::Shutdown)? {
+            Response::ShuttingDown => Ok(()),
+            other => Err(unexpected(&other)),
+        }
+    }
+}
+
+fn unexpected(resp: &Response) -> ServerError {
+    ServerError::Protocol(format!("unexpected response frame: {resp:?}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan_cache::CacheOutcome;
+    use crate::service::{ServerConfig, TenantSpec};
+    use workloads::genprog::{GenCase, GenConfig};
+
+    #[test]
+    fn wire_roundtrip_matches_in_process() {
+        let service = CobraService::new(ServerConfig::default());
+        let case = GenCase::from_seed(11, &GenConfig::default());
+        let fx = case.fixture();
+        let tenant = service.register_tenant(TenantSpec::new(
+            "acme",
+            fx.db.clone(),
+            fx.mapping.clone(),
+            fx.funcs.clone(),
+        ));
+
+        // In-process baseline on its own session.
+        let local_session = service.open_session(tenant).unwrap();
+        let local = service.submit(local_session, &case.program).unwrap();
+
+        let server = WireServer::spawn(service, "127.0.0.1:0").unwrap();
+        let mut client = WireClient::connect(server.local_addr()).unwrap();
+        let session = client.open_session("acme").unwrap();
+        let reply = client.submit(session, &case.program).unwrap();
+        // Same tenant, same program: the wire submission must hit the
+        // plan cache warmed by the in-process one and agree on results.
+        assert_eq!(reply.cache, CacheOutcome::Hit);
+        assert_eq!(reply.fingerprint, local.fingerprint);
+        assert_eq!(reply.results, local.results);
+
+        let report = client.report(session).unwrap();
+        assert!(!report.is_empty());
+        let counters = client.counters().unwrap();
+        assert_eq!(counters.cache_hits, 1);
+        client.close_session(session).unwrap();
+
+        client.shutdown_server().unwrap();
+        assert!(server.service().is_shut_down());
+        server.shutdown(); // idempotent
+    }
+
+    #[test]
+    fn unknown_tenant_and_session_error_over_the_wire() {
+        let service = CobraService::new(ServerConfig::default());
+        let server = WireServer::spawn(service, "127.0.0.1:0").unwrap();
+        let mut client = WireClient::connect(server.local_addr()).unwrap();
+        let err = client.open_session("nobody").unwrap_err();
+        assert!(matches!(err, ServerError::UnknownTenant(_)));
+        let case = GenCase::from_seed(1, &GenConfig::default());
+        let err = client.submit(SessionId(999), &case.program).unwrap_err();
+        assert!(matches!(err, ServerError::UnknownSession(_)));
+        server.shutdown();
+    }
+}

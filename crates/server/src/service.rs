@@ -1,0 +1,715 @@
+//! The in-process service: tenants, sessions, submission, drift sweeping.
+//!
+//! [`CobraService`] is the long-running heart of Cobra-as-a-service.
+//! Tenants register a database + ORM mappings + function registry;
+//! sessions open against a tenant; submissions optimize through the
+//! shared single-flight [`PlanCache`] under [`Admission`] control and
+//! then execute the optimized program, feeding observed cardinalities
+//! back into the tenant's [`minidb::FeedbackStore`].
+//!
+//! **Cache validity.** The plan cache keys on
+//! `(program fingerprint, CacheStamp)` with the stamp's
+//! `feedback_generation` pinned to 0: unlike the *estimate* cache (which
+//! invalidates on every new observation — recomputing an estimate is
+//! cheap), a cached *plan* stays valid until the drift policy decides the
+//! model has diverged enough to re-search. The sweeper then bumps the
+//! tenant's stats epoch, re-optimizes every cached program under the new
+//! stamp (now preferring observed cardinalities) and atomically swaps the
+//! results in — sessions never see a half-updated cache, because stale
+//! epochs simply stop being addressable.
+
+use crate::admission::Admission;
+use crate::error::ServerError;
+use crate::plan_cache::{program_fingerprint, CacheKey, CacheOutcome, CachedPlan, PlanCache};
+use cobra_core::{Cobra, CobraBuilder, OptimizationReport, Optimized, SearchBudget};
+use imperative::ast::Program;
+use interp::{Interp, InterpConfig, NormalizedOutcome};
+use minidb::{CacheStamp, ExecEngine, FeedbackStore, FuncRegistry, PlanFingerprint, SharedDb};
+use netsim::{Clock, NetworkProfile};
+use orm::{MappingRegistry, RemoteDb, Session};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, RwLock};
+use std::time::{Duration, Instant};
+
+/// Service-wide tuning knobs.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Worker-pool size: submissions optimized/executed concurrently.
+    /// Default: available hardware parallelism.
+    pub max_concurrent: usize,
+    /// Bounded wait queue beyond the pool; deeper arrivals are shed with
+    /// [`ServerError::Overloaded`]. Default 64.
+    pub max_queue: usize,
+    /// Queue depth at which admitted requests switch to the degraded
+    /// search budget. Default 8.
+    pub degrade_queue_depth: usize,
+    /// The downgraded [`SearchBudget`] used under pressure (fewer
+    /// alternatives, capped cost sweeps). Degraded results are *not*
+    /// retained in the plan cache.
+    pub degraded_budget: SearchBudget,
+    /// Multiplicative estimate-vs-observation divergence at which the
+    /// sweeper re-optimizes a tenant's cached plans. Default 4.0.
+    pub drift_threshold: f64,
+    /// Check drift every N executions per tenant. Default 32.
+    pub drift_check_every: u64,
+    /// Plan-cache shard count. Default 16.
+    pub cache_shards: usize,
+    /// Execution engine sessions run plans on. Default columnar.
+    pub engine: ExecEngine,
+}
+
+impl Default for ServerConfig {
+    fn default() -> ServerConfig {
+        ServerConfig {
+            max_concurrent: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(4),
+            max_queue: 64,
+            degrade_queue_depth: 8,
+            degraded_budget: SearchBudget::default()
+                .with_max_alternatives_per_region(8)
+                .with_max_memo_exprs(512),
+            drift_threshold: 4.0,
+            drift_check_every: 32,
+            cache_shards: 16,
+            engine: ExecEngine::default(),
+        }
+    }
+}
+
+/// Identifies a registered tenant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TenantId(pub u64);
+
+/// Identifies an open session.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SessionId(pub u64);
+
+/// What a tenant registers: its database, ORM mappings, functions, the
+/// network profile its sessions simulate, and whether executions record
+/// runtime feedback.
+#[derive(Clone)]
+pub struct TenantSpec {
+    /// Tenant name (wire clients attach by name).
+    pub name: String,
+    /// The tenant's shared database handle — adopted as is, so the
+    /// embedding application and all sessions see one database.
+    pub db: SharedDb,
+    /// ORM entity mappings for the tenant's schema.
+    pub mappings: MappingRegistry,
+    /// Scalar functions the tenant's programs call.
+    pub funcs: Arc<FuncRegistry>,
+    /// Network profile sessions execute under (and the optimizer costs
+    /// against). Default: slow remote — the regime where rewrites matter.
+    pub network: NetworkProfile,
+    /// Record observed cardinalities into a per-tenant feedback store
+    /// (enables drift-driven re-optimization). Default true.
+    pub feedback: bool,
+}
+
+impl TenantSpec {
+    /// A spec with the default network (slow remote) and feedback on.
+    pub fn new(
+        name: impl Into<String>,
+        db: SharedDb,
+        mappings: MappingRegistry,
+        funcs: Arc<FuncRegistry>,
+    ) -> TenantSpec {
+        TenantSpec {
+            name: name.into(),
+            db,
+            mappings,
+            funcs,
+            network: NetworkProfile::slow_remote(),
+            feedback: true,
+        }
+    }
+
+    /// Override the network profile.
+    pub fn network(mut self, network: NetworkProfile) -> TenantSpec {
+        self.network = network;
+        self
+    }
+
+    /// Enable or disable runtime-feedback recording (off makes every
+    /// submission fully deterministic — no adaptive state).
+    pub fn feedback(mut self, on: bool) -> TenantSpec {
+        self.feedback = on;
+        self
+    }
+}
+
+/// One registered tenant: shared database, optimizers (full + degraded
+/// budget), feedback store, execution counter.
+struct Tenant {
+    name: String,
+    db: SharedDb,
+    mappings: Arc<MappingRegistry>,
+    funcs: Arc<FuncRegistry>,
+    network: NetworkProfile,
+    feedback: Option<Arc<FeedbackStore>>,
+    /// Full-budget optimizer (the plan cache's compute path).
+    cobra: Cobra,
+    /// Degraded-budget optimizer used under admission pressure.
+    cobra_degraded: Cobra,
+    instance_id: u64,
+    executions: AtomicU64,
+    /// Feedback generation at the last drift sweep that acted (or 0);
+    /// the sweeper only re-checks drift once new observations arrived.
+    swept_generation: AtomicU64,
+}
+
+impl Tenant {
+    /// The tenant's current plan-cache stamp. `feedback_generation` is
+    /// pinned (see the module docs): plans invalidate on stats-epoch
+    /// bumps, not on every observation.
+    fn plan_stamp(&self) -> CacheStamp {
+        let db = self.db.read().unwrap();
+        CacheStamp {
+            instance_id: db.instance_id(),
+            stats_epoch: db.stats_epoch(),
+            feedback_generation: 0,
+            mode: 1,
+        }
+    }
+}
+
+/// One open session: which tenant it belongs to and its running totals.
+struct SessionState {
+    tenant: TenantId,
+    /// The last submitted program (report retrieval re-explains it).
+    last_program: Mutex<Option<Arc<Program>>>,
+    submissions: AtomicU64,
+    simulated_ns: AtomicU64,
+}
+
+/// A snapshot of every server-wide counter.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServerCounters {
+    /// Plan-cache lookups served from a completed entry.
+    pub cache_hits: u64,
+    /// Optimizer runs (cache misses, including degraded ones).
+    pub cache_misses: u64,
+    /// Submissions that joined another session's in-flight search.
+    pub coalesced: u64,
+    /// Plans hot-swapped by the drift sweeper.
+    pub plans_swapped: u64,
+    /// Stale cache entries evicted after swaps.
+    pub evicted: u64,
+    /// Requests admitted.
+    pub admitted: u64,
+    /// Requests shed with `Overloaded`.
+    pub rejected: u64,
+    /// Requests served under the degraded budget.
+    pub degraded: u64,
+    /// Sessions opened over the server's lifetime.
+    pub sessions_opened: u64,
+    /// Registered tenants.
+    pub tenants: u64,
+    /// Programs executed.
+    pub executions: u64,
+    /// Drift sweeps that re-optimized at least one plan.
+    pub drift_swaps: u64,
+}
+
+impl std::fmt::Display for ServerCounters {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "cache: {} hits / {} misses / {} coalesced / {} swapped / {} evicted",
+            self.cache_hits, self.cache_misses, self.coalesced, self.plans_swapped, self.evicted
+        )?;
+        writeln!(
+            f,
+            "admission: {} admitted / {} rejected / {} degraded",
+            self.admitted, self.rejected, self.degraded
+        )?;
+        write!(
+            f,
+            "sessions: {} opened across {} tenants; {} executions; {} drift sweeps acted",
+            self.sessions_opened, self.tenants, self.executions, self.drift_swaps
+        )
+    }
+}
+
+/// The reply to one submission: plan identity, how the cache satisfied
+/// it, cost estimates, and the execution's observables.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SubmitReply {
+    /// Structural fingerprint of the submitted program.
+    pub fingerprint: PlanFingerprint,
+    /// The cache stamp the plan was served under.
+    pub stamp: CacheStamp,
+    /// Hit / miss / coalesced.
+    pub cache: CacheOutcome,
+    /// True when served under the degraded budget (admission pressure).
+    pub degraded: bool,
+    /// Estimated cost of the chosen program, ns.
+    pub est_cost_ns: f64,
+    /// Estimated cost of the program as submitted, ns.
+    pub original_cost_ns: f64,
+    /// Feature tags of the chosen program.
+    pub tags: Vec<String>,
+    /// Simulated wall-clock consumed by the execution, ns.
+    pub simulated_ns: u64,
+    /// Network round trips the execution performed.
+    pub round_trips: u64,
+    /// The execution's observables (out-params, return, prints),
+    /// normalized.
+    pub results: NormalizedOutcome,
+    /// Real wall-clock the whole submission took, ns (admission to
+    /// results; what the serving benchmark aggregates).
+    pub wall_ns: u64,
+}
+
+struct Inner {
+    config: ServerConfig,
+    admission: Admission,
+    cache: PlanCache,
+    tenants: RwLock<HashMap<u64, Arc<Tenant>>>,
+    sessions: RwLock<HashMap<u64, Arc<SessionState>>>,
+    next_tenant: AtomicU64,
+    next_session: AtomicU64,
+    sessions_opened: AtomicU64,
+    executions: AtomicU64,
+    drift_swaps: AtomicU64,
+    shutdown: AtomicBool,
+    /// Sweeper wake-up: (pending-signal flag, condvar).
+    sweep_signal: Mutex<bool>,
+    sweep_cv: Condvar,
+    sweeper: Mutex<Option<std::thread::JoinHandle<()>>>,
+}
+
+/// The concurrent optimizer/execution service. Cheap to clone (all state
+/// behind one `Arc`); `Send + Sync`, so one instance serves any number of
+/// threads or wire connections.
+#[derive(Clone)]
+pub struct CobraService {
+    inner: Arc<Inner>,
+}
+
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<CobraService>();
+};
+
+impl CobraService {
+    /// Start a service (spawns the background drift sweeper).
+    pub fn new(config: ServerConfig) -> CobraService {
+        let inner = Arc::new(Inner {
+            admission: Admission::new(
+                config.max_concurrent,
+                config.max_queue,
+                config.degrade_queue_depth,
+            ),
+            cache: PlanCache::new(config.cache_shards),
+            config,
+            tenants: RwLock::new(HashMap::new()),
+            sessions: RwLock::new(HashMap::new()),
+            next_tenant: AtomicU64::new(1),
+            next_session: AtomicU64::new(1),
+            sessions_opened: AtomicU64::new(0),
+            executions: AtomicU64::new(0),
+            drift_swaps: AtomicU64::new(0),
+            shutdown: AtomicBool::new(false),
+            sweep_signal: Mutex::new(false),
+            sweep_cv: Condvar::new(),
+            sweeper: Mutex::new(None),
+        });
+        let weak = Arc::downgrade(&inner);
+        let handle = std::thread::Builder::new()
+            .name("cobra-drift-sweeper".into())
+            .spawn(move || sweeper_loop(weak))
+            .expect("spawn drift sweeper");
+        *inner.sweeper.lock().unwrap() = Some(handle);
+        CobraService { inner }
+    }
+
+    /// The service configuration.
+    pub fn config(&self) -> &ServerConfig {
+        &self.inner.config
+    }
+
+    /// Register a tenant. Each tenant's plans and estimates are isolated
+    /// by its database's `instance_id` through the `CacheStamp` key — two
+    /// tenants with byte-identical schemas and data still never share
+    /// cache entries.
+    pub fn register_tenant(&self, spec: TenantSpec) -> TenantId {
+        let feedback = spec.feedback.then(|| Arc::new(FeedbackStore::new()));
+        let instance_id = spec.db.read().unwrap().instance_id();
+        let builder = || -> CobraBuilder {
+            let mut b = Cobra::builder(spec.db.clone())
+                .mappings(spec.mappings.clone())
+                .funcs(spec.funcs.clone())
+                .network(spec.network.clone())
+                .engine(self.inner.config.engine);
+            if let Some(fb) = &feedback {
+                b = b.feedback(fb.clone());
+            }
+            b
+        };
+        let cobra = builder().build();
+        let cobra_degraded = builder()
+            .budget(self.inner.config.degraded_budget.clone())
+            .build();
+        let tenant = Arc::new(Tenant {
+            name: spec.name,
+            db: spec.db,
+            mappings: Arc::new(spec.mappings),
+            funcs: spec.funcs,
+            network: spec.network,
+            feedback,
+            cobra,
+            cobra_degraded,
+            instance_id,
+            executions: AtomicU64::new(0),
+            swept_generation: AtomicU64::new(0),
+        });
+        let id = self.inner.next_tenant.fetch_add(1, Ordering::Relaxed);
+        self.inner.tenants.write().unwrap().insert(id, tenant);
+        TenantId(id)
+    }
+
+    /// Look a tenant up by name (wire clients attach by name).
+    pub fn tenant_id(&self, name: &str) -> Option<TenantId> {
+        self.inner
+            .tenants
+            .read()
+            .unwrap()
+            .iter()
+            .find(|(_, t)| t.name == name)
+            .map(|(&id, _)| TenantId(id))
+    }
+
+    /// The tenant's per-tenant feedback store, if feedback is enabled.
+    pub fn tenant_feedback(&self, tenant: TenantId) -> Option<Arc<FeedbackStore>> {
+        let tenants = self.inner.tenants.read().unwrap();
+        tenants.get(&tenant.0).and_then(|t| t.feedback.clone())
+    }
+
+    /// Open a session against `tenant`.
+    pub fn open_session(&self, tenant: TenantId) -> Result<SessionId, ServerError> {
+        if self.inner.shutdown.load(Ordering::Acquire) {
+            return Err(ServerError::ShuttingDown);
+        }
+        if !self.inner.tenants.read().unwrap().contains_key(&tenant.0) {
+            return Err(ServerError::UnknownTenant(format!("id {}", tenant.0)));
+        }
+        let id = self.inner.next_session.fetch_add(1, Ordering::Relaxed);
+        let state = Arc::new(SessionState {
+            tenant,
+            last_program: Mutex::new(None),
+            submissions: AtomicU64::new(0),
+            simulated_ns: AtomicU64::new(0),
+        });
+        self.inner.sessions.write().unwrap().insert(id, state);
+        self.inner.sessions_opened.fetch_add(1, Ordering::Relaxed);
+        Ok(SessionId(id))
+    }
+
+    /// Close a session (idempotent; unknown ids error).
+    pub fn close_session(&self, session: SessionId) -> Result<(), ServerError> {
+        self.inner
+            .sessions
+            .write()
+            .unwrap()
+            .remove(&session.0)
+            .map(|_| ())
+            .ok_or(ServerError::UnknownSession(session.0))
+    }
+
+    fn session(&self, id: SessionId) -> Result<Arc<SessionState>, ServerError> {
+        self.inner
+            .sessions
+            .read()
+            .unwrap()
+            .get(&id.0)
+            .cloned()
+            .ok_or(ServerError::UnknownSession(id.0))
+    }
+
+    fn tenant(&self, id: TenantId) -> Result<Arc<Tenant>, ServerError> {
+        self.inner
+            .tenants
+            .read()
+            .unwrap()
+            .get(&id.0)
+            .cloned()
+            .ok_or_else(|| ServerError::UnknownTenant(format!("id {}", id.0)))
+    }
+
+    /// Submit a program on a session: admission → single-flight
+    /// plan-cache optimization → execution of the optimized program, with
+    /// observed cardinalities recorded into the tenant's feedback store.
+    pub fn submit(
+        &self,
+        session: SessionId,
+        program: &Program,
+    ) -> Result<SubmitReply, ServerError> {
+        if self.inner.shutdown.load(Ordering::Acquire) {
+            return Err(ServerError::ShuttingDown);
+        }
+        let start = Instant::now();
+        let state = self.session(session)?;
+        let tenant = self.tenant(state.tenant)?;
+
+        // Admission: bounded pool + bounded queue, shed beyond that.
+        let permit = self.inner.admission.admit()?;
+        let degraded = permit.degraded();
+
+        let program = Arc::new(program.clone());
+        let fingerprint = program_fingerprint(&program);
+        let key = CacheKey {
+            fingerprint,
+            stamp: tenant.plan_stamp(),
+        };
+        let optimizer = if degraded {
+            &tenant.cobra_degraded
+        } else {
+            &tenant.cobra
+        };
+        let (cached, cache_outcome) =
+            self.inner
+                .cache
+                .get_or_compute(key, &program, !degraded, || {
+                    optimizer
+                        .optimize_program(&program)
+                        .map(Arc::new)
+                        .map_err(ServerError::from)
+                });
+        let cached = cached?;
+        let optimized: Arc<Optimized> = cached.optimized;
+
+        // Execute the optimized program on a fresh ORM session/clock (one
+        // submission = one transaction, as in the paper's measurements).
+        let runnable = program.with_entry(optimized.program.clone());
+        let outcome = self.execute(&tenant, &runnable)?;
+        drop(permit);
+
+        let observed: Vec<&str> = runnable.entry().params.iter().map(|s| s.as_str()).collect();
+        let results = outcome.normalized_with_vars(&observed);
+
+        state.submissions.fetch_add(1, Ordering::Relaxed);
+        state
+            .simulated_ns
+            .fetch_add(outcome.elapsed_ns, Ordering::Relaxed);
+        *state.last_program.lock().unwrap() = Some(program.clone());
+        self.inner.executions.fetch_add(1, Ordering::Relaxed);
+
+        // Drift check every N executions per tenant: wake the sweeper.
+        let execs = tenant.executions.fetch_add(1, Ordering::Relaxed) + 1;
+        if tenant.feedback.is_some() && execs % self.inner.config.drift_check_every == 0 {
+            self.signal_sweeper();
+        }
+
+        Ok(SubmitReply {
+            fingerprint,
+            stamp: key.stamp,
+            cache: cache_outcome,
+            degraded,
+            est_cost_ns: optimized.est_cost_ns,
+            original_cost_ns: optimized.original_cost_ns,
+            tags: optimized.tags.iter().map(|t| t.to_string()).collect(),
+            simulated_ns: outcome.elapsed_ns,
+            round_trips: outcome.round_trips,
+            results,
+            wall_ns: start.elapsed().as_nanos() as u64,
+        })
+    }
+
+    fn execute(&self, tenant: &Tenant, program: &Program) -> Result<interp::Outcome, ServerError> {
+        let clock = Arc::new(Clock::new());
+        let mut remote = RemoteDb::new(
+            tenant.db.clone(),
+            tenant.funcs.clone(),
+            tenant.network.clone(),
+            clock,
+        )
+        .with_engine(self.inner.config.engine);
+        if let Some(fb) = &tenant.feedback {
+            remote = remote.with_feedback(fb.clone());
+        }
+        let session = Session::new(Arc::new(remote), tenant.mappings.clone());
+        Interp::new(&session, program)
+            .with_config(InterpConfig::default())
+            .run(vec![])
+            .map_err(ServerError::from)
+    }
+
+    /// The full [`OptimizationReport`] for the session's last submitted
+    /// program (re-explained on demand so the submit hot path never pays
+    /// for report assembly).
+    pub fn session_report(&self, session: SessionId) -> Result<OptimizationReport, ServerError> {
+        let state = self.session(session)?;
+        let tenant = self.tenant(state.tenant)?;
+        let program = state
+            .last_program
+            .lock()
+            .unwrap()
+            .clone()
+            .ok_or_else(|| ServerError::Db("no program submitted on this session".into()))?;
+        tenant.cobra.explain(&program).map_err(ServerError::from)
+    }
+
+    /// Run one synchronous drift sweep over every tenant (what the
+    /// background sweeper does on its own schedule). Returns the number
+    /// of plans hot-swapped. Deterministic hook for tests and demos.
+    pub fn sweep_now(&self) -> usize {
+        let tenants: Vec<Arc<Tenant>> = self
+            .inner
+            .tenants
+            .read()
+            .unwrap()
+            .values()
+            .cloned()
+            .collect();
+        let mut swapped = 0;
+        for tenant in tenants {
+            swapped += self.sweep_tenant(&tenant);
+        }
+        swapped
+    }
+
+    /// Check one tenant's drift and hot-swap its cached plans if the
+    /// model has diverged past the threshold.
+    fn sweep_tenant(&self, tenant: &Tenant) -> usize {
+        let Some(fb) = &tenant.feedback else {
+            return 0;
+        };
+        // Only re-examine once new observations arrived since the last
+        // sweep that acted — drift is defined model-vs-observation, so
+        // without new evidence the verdict cannot change.
+        let generation = fb.generation();
+        if generation == 0 || generation == tenant.swept_generation.load(Ordering::Acquire) {
+            return 0;
+        }
+        if tenant.cobra.estimation_drift() < self.inner.config.drift_threshold {
+            return 0;
+        }
+        tenant.swept_generation.store(generation, Ordering::Release);
+
+        // The hot swap: bump the stats epoch (moving the tenant to a
+        // fresh stamp and invalidating every estimate cache stamped
+        // against this database), re-optimize each cached program — the
+        // estimator now prefers the observed cardinalities — and publish
+        // under the new stamp. Old-stamp entries become unreachable and
+        // are purged.
+        // One cached program can appear under several stale epochs (each
+        // pre-swap write moved the stamp); the re-optimization is per
+        // *program*, so dedupe by fingerprint before paying for searches.
+        let mut work = self.inner.cache.entries_for_instance(tenant.instance_id);
+        let mut seen = std::collections::HashSet::new();
+        work.retain(|(key, _)| seen.insert(key.fingerprint));
+        tenant.db.write().unwrap().bump_stats_epoch();
+        let new_stamp = tenant.plan_stamp();
+        let mut swapped = 0;
+        for (key, cached) in work {
+            // A program that no longer optimizes (e.g. schema edits
+            // under it) is simply dropped from the cache.
+            if let Ok(re) = tenant.cobra.optimize_program(&cached.program) {
+                self.inner.cache.swap_in(
+                    CacheKey {
+                        fingerprint: key.fingerprint,
+                        stamp: new_stamp,
+                    },
+                    CachedPlan {
+                        program: cached.program.clone(),
+                        optimized: Arc::new(re),
+                    },
+                );
+                swapped += 1;
+            }
+        }
+        self.inner
+            .cache
+            .purge_instance_except(tenant.instance_id, new_stamp);
+        if swapped > 0 {
+            self.inner.drift_swaps.fetch_add(1, Ordering::Relaxed);
+        }
+        swapped
+    }
+
+    fn signal_sweeper(&self) {
+        *self.inner.sweep_signal.lock().unwrap() = true;
+        self.inner.sweep_cv.notify_one();
+    }
+
+    /// Snapshot every server-wide counter.
+    pub fn counters(&self) -> ServerCounters {
+        let inner = &self.inner;
+        ServerCounters {
+            cache_hits: inner.cache.hits(),
+            cache_misses: inner.cache.misses(),
+            coalesced: inner.cache.coalesced(),
+            plans_swapped: inner.cache.swapped(),
+            evicted: inner.cache.evicted(),
+            admitted: inner.admission.admitted(),
+            rejected: inner.admission.rejected(),
+            degraded: inner.admission.degraded(),
+            sessions_opened: inner.sessions_opened.load(Ordering::Relaxed),
+            tenants: inner.tenants.read().unwrap().len() as u64,
+            executions: inner.executions.load(Ordering::Relaxed),
+            drift_swaps: inner.drift_swaps.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Plan-cache entries currently held (completed + in-flight).
+    pub fn cache_len(&self) -> usize {
+        self.inner.cache.len()
+    }
+
+    /// Stop accepting work and join the background sweeper. Idempotent;
+    /// open sessions are dropped.
+    pub fn shutdown(&self) {
+        if self.inner.shutdown.swap(true, Ordering::AcqRel) {
+            return;
+        }
+        self.signal_sweeper();
+        if let Some(handle) = self.inner.sweeper.lock().unwrap().take() {
+            let _ = handle.join();
+        }
+        self.inner.sessions.write().unwrap().clear();
+    }
+
+    /// True once [`CobraService::shutdown`] has run.
+    pub fn is_shut_down(&self) -> bool {
+        self.inner.shutdown.load(Ordering::Acquire)
+    }
+}
+
+/// The background sweeper: waits for execution-count signals (with a
+/// periodic fallback poll) and sweeps every tenant for drift. Holds only
+/// a weak reference, so dropping the last service handle ends the thread.
+fn sweeper_loop(weak: std::sync::Weak<Inner>) {
+    loop {
+        let Some(inner) = weak.upgrade() else {
+            return;
+        };
+        if inner.shutdown.load(Ordering::Acquire) {
+            return;
+        }
+        // Wait for a signal (or the fallback poll interval). Drop the
+        // strong reference while parked so shutdown-by-drop still works.
+        {
+            let guard = inner.sweep_signal.lock().unwrap();
+            let (mut guard, _) = inner
+                .sweep_cv
+                .wait_timeout_while(guard, Duration::from_millis(200), |signaled| !*signaled)
+                .unwrap();
+            *guard = false;
+        }
+        if inner.shutdown.load(Ordering::Acquire) {
+            return;
+        }
+        let service = CobraService {
+            inner: inner.clone(),
+        };
+        drop(inner);
+        service.sweep_now();
+        // `service` was constructed from an upgraded Arc, not a real
+        // clone of the caller's handle — dropping it here must not join
+        // ourselves, so shutdown() is only ever called by user handles.
+        drop(service);
+    }
+}

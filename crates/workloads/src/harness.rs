@@ -49,6 +49,30 @@ impl Fixture {
             .funcs(self.funcs.clone())
     }
 
+    /// This fixture over a *different* shared database handle — same
+    /// mappings and functions, the handle adopted as is (no re-wrapping
+    /// into a fresh `Arc<RwLock<_>>`). Sessions and optimizers built from
+    /// the result share `db` with everything else holding that handle,
+    /// which is what a server needs: N sessions against one database.
+    pub fn with_db(&self, db: minidb::SharedDb) -> Fixture {
+        Fixture {
+            db,
+            mapping: self.mapping.clone(),
+            funcs: self.funcs.clone(),
+        }
+    }
+
+    /// An independent tenant copy: the database is deep-copied (minting a
+    /// fresh `Database::instance_id`, so cached estimates and plans for
+    /// this fixture can never be served for the original — the
+    /// `CacheStamp` machinery keys on the instance id), while mappings
+    /// and functions stay shared. Two tenants with identical schemas and
+    /// data are still distinct cache tenants.
+    pub fn fork_db(&self) -> Fixture {
+        let copy = self.db.read().unwrap().clone();
+        self.with_db(minidb::shared(copy))
+    }
+
     /// Open a fresh session over `net` with its own virtual clock.
     pub fn session(&self, net: NetworkProfile) -> (Session, Arc<Clock>) {
         self.session_on(net, ExecEngine::default())

@@ -30,6 +30,11 @@
 //!   equivalence fuzzing over generated programs across network profiles,
 //!   budgets and rule sets, with failure minimization down to seed-keyed
 //!   repros.
+//! * [`server`] — Cobra-as-a-service: a concurrent optimizer/execution
+//!   server with tenants, sessions, a sharded single-flight plan cache,
+//!   admission control with load shedding and budget degradation,
+//!   drift-driven plan hot swapping, and a dependency-free TCP wire
+//!   protocol ([`server::WireServer`] / [`server::WireClient`]).
 //!
 //! The [`prelude`] re-exports the common surface in one `use`.
 //!
@@ -100,6 +105,7 @@
 //! ```
 
 pub use cobra_core as core;
+pub use cobra_server as server;
 pub use fir;
 pub use imperative;
 pub use interp;
@@ -118,9 +124,12 @@ pub mod prelude {
         ChoicePoint, Cobra, CobraBuilder, CostCatalog, OptimizationReport, Optimized,
         OptimizerConfig, ReportedAlternative, Rule, RuleSet, SearchBudget,
     };
+    pub use cobra_server::{
+        CobraService, ServerConfig, ServerError, SubmitReply, TenantSpec, WireClient, WireServer,
+    };
     pub use imperative::ast::{Expr, Function, Program, Stmt, StmtKind};
     pub use imperative::pretty;
-    pub use minidb::{Database, FuncRegistry, SharedDb};
+    pub use minidb::{CacheStamp, Database, FuncRegistry, PlanFingerprint, SharedDb};
     pub use netsim::{Clock, NetworkProfile};
     pub use oracle::{
         assert_equivalent, check_equivalent, run_case, run_cell, OracleCell, OracleMatrix, Repro,

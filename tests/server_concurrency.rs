@@ -1,0 +1,424 @@
+//! Concurrency guarantees of Cobra-as-a-service.
+//!
+//! * Concurrent sessions observe results bit-identical to sequential
+//!   submission (on read-only programs with feedback disabled — the only
+//!   regime where determinism is even *defined*: feedback recording is
+//!   order-dependent, and writes move the stats epoch).
+//! * N sessions submitting the same program concurrently coalesce into a
+//!   single optimizer search.
+//! * Two tenants never share plan-cache entries or feedback state, even
+//!   with byte-identical schemas and data.
+//! * A warm cache makes re-submission dramatically cheaper than the
+//!   first (cold) submission.
+//! * Load beyond the admission queue is shed with a typed error, and
+//!   queue pressure downgrades the search budget instead of stalling.
+
+use cobra::prelude::*;
+use cobra::server::{CacheOutcome, ServerError};
+use imperative::ast::{Stmt, StmtKind};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Barrier};
+
+/// True if the program performs a database write (writes advance the
+/// stats epoch, so they deliberately invalidate cached plans).
+fn writes_db(program: &Program) -> bool {
+    fn stmts_write(stmts: &[Stmt]) -> bool {
+        stmts.iter().any(|s| {
+            matches!(s.kind, StmtKind::UpdateQuery { .. })
+                || s.children().iter().any(|c| stmts_write(c))
+        })
+    }
+    program.functions.iter().any(|f| stmts_write(&f.body))
+}
+
+/// The first `n` generated cases whose programs are read-only.
+fn read_only_cases(n: usize) -> Vec<GenCase> {
+    (0..)
+        .map(|seed| GenCase::from_seed(seed, &GenConfig::default()))
+        .filter(|c| !writes_db(&c.program))
+        .take(n)
+        .collect()
+}
+
+fn tenant_for(name: &str, fx: &Fixture, feedback: bool) -> TenantSpec {
+    TenantSpec::new(name, fx.db.clone(), fx.mapping.clone(), fx.funcs.clone()).feedback(feedback)
+}
+
+#[test]
+fn concurrent_sessions_match_sequential_results() {
+    let cases = read_only_cases(4);
+    // One shared database for every case: genprog schemas use distinct
+    // table names per seed only within a case, so give each its own
+    // tenant instead of merging databases.
+    let service = CobraService::new(ServerConfig::default());
+    let mut tenants = Vec::new();
+    for (i, case) in cases.iter().enumerate() {
+        let fx = case.fixture();
+        // Feedback OFF: recording is order-dependent across threads, and
+        // determinism is the property under test.
+        tenants.push(service.register_tenant(tenant_for(&format!("t{i}"), &fx, false)));
+    }
+
+    // Sequential baseline.
+    let mut baseline = Vec::new();
+    for (case, &tenant) in cases.iter().zip(&tenants) {
+        let session = service.open_session(tenant).unwrap();
+        let reply = service.submit(session, &case.program).unwrap();
+        baseline.push(reply.results.clone());
+        service.close_session(session).unwrap();
+    }
+
+    // 4 threads × 2 sessions each, all submitting every case.
+    std::thread::scope(|scope| {
+        for _ in 0..4 {
+            let service = service.clone();
+            let cases = &cases;
+            let tenants = &tenants;
+            let baseline = &baseline;
+            scope.spawn(move || {
+                for _ in 0..2 {
+                    let sessions: Vec<_> = tenants
+                        .iter()
+                        .map(|&t| service.open_session(t).unwrap())
+                        .collect();
+                    for ((case, &session), expected) in cases.iter().zip(&sessions).zip(baseline) {
+                        let reply = service.submit(session, &case.program).unwrap();
+                        assert_eq!(
+                            &reply.results, expected,
+                            "seed {}: concurrent result diverged from sequential",
+                            case.seed
+                        );
+                    }
+                    for session in sessions {
+                        service.close_session(session).unwrap();
+                    }
+                }
+            });
+        }
+    });
+
+    let counters = service.counters();
+    // Every optimization after the baseline round is cache-served.
+    assert_eq!(counters.cache_misses, cases.len() as u64);
+    assert_eq!(
+        counters.cache_hits + counters.coalesced,
+        (cases.len() * 4 * 2) as u64
+    );
+    service.shutdown();
+}
+
+#[test]
+fn concurrent_same_program_coalesces_into_one_search() {
+    // Retry with fresh services: whether waiters land on the in-flight
+    // window (coalesced) or arrive after completion (hit) is a race; the
+    // invariant that always holds is ONE search. The coalesce observation
+    // itself just needs enough attempts.
+    const SESSIONS: usize = 8;
+    let mut saw_coalesce = false;
+    for attempt in 0..5 {
+        // Seed 0 is read-only with a multi-millisecond search (33
+        // statements): a wide single-flight window. Tiny rows keep the
+        // execution after the search cheap.
+        let case = GenCase::from_seed(0, &GenConfig::default()).with_row_scale(0.2);
+        let fx = case.fixture();
+        // Coalescing requires concurrent *admitted* requests: pin the
+        // worker pool to the session count (the default is the machine's
+        // parallelism, which on a small CI box can serialize admission).
+        let service = CobraService::new(ServerConfig {
+            max_concurrent: SESSIONS,
+            ..ServerConfig::default()
+        });
+        let tenant = service.register_tenant(tenant_for("acme", &fx, false));
+        let barrier = Arc::new(Barrier::new(SESSIONS));
+        let coalesced = Arc::new(AtomicU64::new(0));
+
+        std::thread::scope(|scope| {
+            for _ in 0..SESSIONS {
+                let service = service.clone();
+                let program = &case.program;
+                let barrier = barrier.clone();
+                let coalesced = coalesced.clone();
+                scope.spawn(move || {
+                    let session = service.open_session(tenant).unwrap();
+                    barrier.wait();
+                    let reply = service.submit(session, program).unwrap();
+                    if reply.cache == CacheOutcome::Coalesced {
+                        coalesced.fetch_add(1, Ordering::Relaxed);
+                    }
+                });
+            }
+        });
+
+        let counters = service.counters();
+        assert_eq!(
+            counters.cache_misses, 1,
+            "attempt {attempt}: one search no matter how many sessions race"
+        );
+        assert_eq!(
+            counters.cache_hits + counters.coalesced,
+            (SESSIONS - 1) as u64
+        );
+        assert_eq!(counters.coalesced, coalesced.load(Ordering::Relaxed));
+        service.shutdown();
+        if counters.coalesced >= 1 {
+            saw_coalesce = true;
+            break;
+        }
+    }
+    assert!(
+        saw_coalesce,
+        "no attempt observed single-flight coalescing (only post-completion hits)"
+    );
+}
+
+#[test]
+fn tenants_are_isolated_even_with_identical_data() {
+    let case = GenCase::from_seed(5, &GenConfig::default());
+    let fx_a = case.fixture();
+    let fx_b = fx_a.fork_db(); // identical bytes, fresh instance id
+
+    let service = CobraService::new(ServerConfig::default());
+    let tenant_a = service.register_tenant(tenant_for("alpha", &fx_a, true));
+    let tenant_b = service.register_tenant(tenant_for("beta", &fx_b, true));
+
+    let session_a = service.open_session(tenant_a).unwrap();
+    let reply_a = service.submit(session_a, &case.program).unwrap();
+    assert_eq!(reply_a.cache, CacheOutcome::Miss);
+
+    // Same program, same data — but a different tenant must NOT see
+    // alpha's cached plan.
+    let session_b = service.open_session(tenant_b).unwrap();
+    let reply_b = service.submit(session_b, &case.program).unwrap();
+    assert_eq!(reply_b.cache, CacheOutcome::Miss, "no cross-tenant hit");
+    assert_eq!(reply_a.fingerprint, reply_b.fingerprint, "same program...");
+    assert_ne!(reply_a.stamp, reply_b.stamp, "...different cache identity");
+    assert_eq!(reply_a.results, reply_b.results, "same data, same answers");
+
+    let counters = service.counters();
+    assert_eq!((counters.cache_hits, counters.cache_misses), (0, 2));
+
+    // Feedback is per-tenant too: each store saw only its own run.
+    let fb_a = service.tenant_feedback(tenant_a).unwrap();
+    let fb_b = service.tenant_feedback(tenant_b).unwrap();
+    let gen_a_before = fb_a.generation();
+    service.submit(session_b, &case.program).unwrap();
+    assert_eq!(
+        fb_a.generation(),
+        gen_a_before,
+        "beta's executions must not touch alpha's feedback store"
+    );
+    assert!(fb_b.generation() >= gen_a_before.min(1));
+    service.shutdown();
+}
+
+#[test]
+fn warm_cache_submissions_are_at_least_10x_faster_than_cold() {
+    // Seed 0: heavy search, and tiny rows (cheap execution) so the
+    // measured gap is the optimization the warm path skips.
+    let case = GenCase::from_seed(0, &GenConfig::default()).with_row_scale(0.2);
+    let service = CobraService::new(ServerConfig::default());
+
+    // Cold: three fresh tenants (fresh instance id ⇒ cold key); take the
+    // minimum to shed scheduler noise.
+    let fx = case.fixture();
+    let mut cold_ns = u64::MAX;
+    for i in 0..3 {
+        let fx_cold = fx.fork_db();
+        let tenant = service.register_tenant(tenant_for(&format!("cold{i}"), &fx_cold, false));
+        let session = service.open_session(tenant).unwrap();
+        let reply = service.submit(session, &case.program).unwrap();
+        assert_eq!(reply.cache, CacheOutcome::Miss);
+        cold_ns = cold_ns.min(reply.wall_ns);
+    }
+
+    // Warm: one tenant, one priming miss, then repeated hits.
+    let tenant = service.register_tenant(tenant_for("warm", &fx, false));
+    let session = service.open_session(tenant).unwrap();
+    let first = service.submit(session, &case.program).unwrap();
+    assert_eq!(first.cache, CacheOutcome::Miss);
+    let mut warm_ns = u64::MAX;
+    for _ in 0..10 {
+        let reply = service.submit(session, &case.program).unwrap();
+        assert_eq!(reply.cache, CacheOutcome::Hit);
+        warm_ns = warm_ns.min(reply.wall_ns);
+    }
+
+    assert!(
+        cold_ns >= warm_ns.saturating_mul(10),
+        "warm ({warm_ns} ns) must be ≥10x faster than cold ({cold_ns} ns)"
+    );
+    service.shutdown();
+}
+
+#[test]
+fn overload_is_shed_with_a_typed_error() {
+    // One worker, zero queue: a submission arriving while the worker is
+    // busy must shed. Seed 0's multi-millisecond search keeps the worker
+    // occupied long enough to observe it deterministically.
+    let case = GenCase::from_seed(0, &GenConfig::default()).with_row_scale(0.2);
+    let fx = case.fixture();
+    let service = CobraService::new(ServerConfig {
+        max_concurrent: 1,
+        max_queue: 0,
+        ..ServerConfig::default()
+    });
+    let tenant = service.register_tenant(tenant_for("acme", &fx, false));
+
+    let mut shed = None;
+    for attempt in 0..50i64 {
+        // A fresh program variant each attempt: its cold search keeps the
+        // background worker busy for milliseconds (a cached hit wouldn't).
+        let program = variant(&case.program, attempt);
+        let admitted_before = service.counters().admitted;
+        std::thread::scope(|scope| {
+            let service_bg = service.clone();
+            let program_bg = &program;
+            scope.spawn(move || {
+                let session = service_bg.open_session(tenant).unwrap();
+                let _ = service_bg.submit(session, program_bg);
+            });
+            // Wait until the background submission holds the worker slot
+            // (admission counts before the search starts)...
+            while service.counters().admitted == admitted_before {
+                std::thread::yield_now();
+            }
+            // ...then submit against the saturated pool.
+            let session = service.open_session(tenant).unwrap();
+            for _ in 0..5 {
+                if let Err(e @ ServerError::Overloaded { .. }) = service.submit(session, &program) {
+                    shed = Some(e);
+                    break;
+                }
+            }
+        });
+        if shed.is_some() {
+            break;
+        }
+    }
+    assert!(
+        matches!(
+            shed,
+            Some(ServerError::Overloaded {
+                running: 1,
+                queued: 0
+            })
+        ),
+        "a saturated one-worker/zero-queue server must shed load, got {shed:?}"
+    );
+    assert!(service.counters().rejected >= 1);
+    service.shutdown();
+}
+
+/// `program` with an extra unused `let` prepended to the entry — same
+/// observable behavior, different structural fingerprint (its own plan
+/// cache key).
+fn variant(program: &Program, i: i64) -> Program {
+    let mut entry = program.entry().clone();
+    entry.body.insert(
+        0,
+        Stmt::new(StmtKind::Let(format!("pad_{i}"), Expr::lit(i))),
+    );
+    program.with_entry(entry)
+}
+
+#[test]
+fn queue_pressure_degrades_the_budget_and_skips_retention() {
+    // One worker, deep queue, degrade at depth 1: requests that queue are
+    // served under the degraded budget, and their results must not be
+    // retained in the plan cache. Seed 0's multi-millisecond search is
+    // the pressure source: an occupant submission holds the single worker
+    // while the storm threads pile into the queue behind it.
+    let case = GenCase::from_seed(0, &GenConfig::default()).with_row_scale(0.2);
+    let fx = case.fixture();
+    // Distinct program per thread: no coalescing, so every phase-A reply
+    // is a Miss and its `degraded` flag tells us whether its (unretained)
+    // search was degraded.
+    let variants: Vec<Program> = (0..4).map(|i| variant(&case.program, i)).collect();
+
+    for attempt in 0..8i64 {
+        let service = CobraService::new(ServerConfig {
+            max_concurrent: 1,
+            max_queue: 16,
+            degrade_queue_depth: 1,
+            ..ServerConfig::default()
+        });
+        let tenant = service.register_tenant(tenant_for("acme", &fx, false));
+
+        // Phase A: occupy, then storm. The occupant's cold search keeps
+        // the worker busy for milliseconds; the storm threads admitted in
+        // that window see a non-empty queue and degrade (the first can
+        // still see depth 0 and keep the full budget).
+        let occupant = variant(&case.program, 100 + attempt);
+        let admitted_before = service.counters().admitted;
+        let mut degraded_flags = vec![false; variants.len()];
+        std::thread::scope(|scope| {
+            {
+                let service = service.clone();
+                let occupant = &occupant;
+                scope.spawn(move || {
+                    let session = service.open_session(tenant).unwrap();
+                    let _ = service.submit(session, occupant);
+                });
+            }
+            // Wait until the occupant holds the worker slot (admission
+            // counts before its search starts)...
+            while service.counters().admitted == admitted_before {
+                std::thread::yield_now();
+            }
+            // ...then release the storm into the queue behind it.
+            let barrier = Arc::new(Barrier::new(variants.len()));
+            let handles: Vec<_> = variants
+                .iter()
+                .map(|program| {
+                    let service = service.clone();
+                    let barrier = barrier.clone();
+                    scope.spawn(move || {
+                        let session = service.open_session(tenant).unwrap();
+                        barrier.wait();
+                        let reply = service.submit(session, program).unwrap();
+                        assert_eq!(reply.cache, CacheOutcome::Miss);
+                        reply.degraded
+                    })
+                })
+                .collect();
+            for (flag, handle) in degraded_flags.iter_mut().zip(handles) {
+                *flag = handle.join().unwrap();
+            }
+        });
+
+        // Phase B: uncontended re-submission. Degraded searches were not
+        // retained, so those variants miss again (and now get the full
+        // budget); full-budget searches were retained and hit.
+        let session = service.open_session(tenant).unwrap();
+        for (program, &was_degraded) in variants.iter().zip(&degraded_flags) {
+            let reply = service.submit(session, program).unwrap();
+            assert!(!reply.degraded, "an idle server never degrades");
+            let expected = if was_degraded {
+                CacheOutcome::Miss
+            } else {
+                CacheOutcome::Hit
+            };
+            assert_eq!(
+                reply.cache, expected,
+                "degraded={was_degraded}: degraded results must not be \
+                 retained; full-budget results must be"
+            );
+        }
+
+        let counters = service.counters();
+        let degraded = degraded_flags.iter().filter(|&&d| d).count() as u64;
+        assert_eq!(
+            counters.degraded, degraded,
+            "per-reply degraded flags must match the admission counter"
+        );
+        service.shutdown();
+        // Still racy in principle (the occupant can finish before any
+        // storm thread enqueues): accept the first attempt that actually
+        // produced queue pressure.
+        if degraded >= 1 {
+            return;
+        }
+        eprintln!("attempt {attempt}: no queue pressure observed, retrying");
+    }
+    panic!("a held worker plus a 4-thread storm never queued in 8 attempts");
+}

@@ -38,7 +38,7 @@
 //! `--smoke` shrinks everything (3 seeds, 1 iter, batch 4) for CI.
 
 use bench_support::{json_str, BenchRecord};
-use cobra_core::Cobra;
+use cobra_core::{Cobra, ValidationConfig};
 use cobra_server::{CobraService, ServerConfig, TenantSpec};
 use imperative::ast::Program;
 use minidb::{ExecEngine, Executor, FeedbackStore};
@@ -47,7 +47,7 @@ use std::collections::HashMap;
 use std::sync::Arc;
 use std::time::Instant;
 use workloads::genprog::{GenCase, GenConfig, GenSchema};
-use workloads::harness::run_on_with_feedback;
+use workloads::harness::{run_on, run_on_with_feedback};
 use workloads::rng::StdRng;
 
 struct Config {
@@ -57,6 +57,10 @@ struct Config {
     workers: Vec<usize>,
     /// Skewed-corpus size for the estimation-error metric.
     est_seeds: u64,
+    /// Skewed-corpus size for the validated-selection metric.
+    val_seeds: u64,
+    /// Whether `--smoke` was passed (enables the CI win-rate gate).
+    smoke: bool,
     /// Timed iterations per (query × engine) in the execution section.
     exec_iters: usize,
     /// Row scale applied to the [`GenConfig::large`] execution fixture
@@ -83,6 +87,7 @@ fn parse_args() -> Config {
     // thousands of rows) so CI stays fast; timings are report-only there.
     let (d_exec_iters, d_exec_scale) = if smoke { (2, 0.02) } else { (5, 1.0) };
     let (d_serving_cold, d_serving_submits) = if smoke { (3, 10) } else { (8, 50) };
+    let d_val = if smoke { 4 } else { 12 };
     Config {
         seeds: flag("--seeds")
             .and_then(|s| s.parse().ok())
@@ -96,6 +101,10 @@ fn parse_args() -> Config {
         est_seeds: flag("--est-seeds")
             .and_then(|s| s.parse().ok())
             .unwrap_or(d_est),
+        val_seeds: flag("--val-seeds")
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(d_val),
+        smoke,
         exec_iters: flag("--exec-iters")
             .and_then(|s| s.parse().ok())
             .unwrap_or(d_exec_iters),
@@ -135,6 +144,121 @@ fn json_number(doc: &str, key: &str) -> Option<f64> {
         .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == '+'))
         .unwrap_or(rest.len());
     rest[..end].parse().ok()
+}
+
+/// Checked-in floor for the smoke-mode validated-selection gate: the
+/// fraction of skewed cases where the validated pick's full-fixture
+/// runtime is no worse than the cost-only pick's. Validation that
+/// promotes a plan which loses on the full fixture drags this below the
+/// floor and fails CI.
+const VALIDATION_SMOKE_FLOOR: f64 = 0.95;
+
+/// The validated-selection section: cost-only argmin vs runtime-validated
+/// selection on the skewed genprog corpus, judged by full-fixture runs.
+struct ValidationBench {
+    cases: u64,
+    /// Cases where the validated pick differs from the cost-only argmin.
+    differing: u64,
+    /// Cases where validation promoted a measured non-argmin candidate.
+    promotions: u64,
+    /// Cases where the measured ranking disagreed with the predicted one.
+    disagreements: u64,
+    /// Fraction of cases where each selector's pick is no slower than the
+    /// other's on the full fixture (ties count for both).
+    validated_win_rate: f64,
+    cost_only_win_rate: f64,
+    /// Geomean full-fixture speedup of the validated pick over the
+    /// cost-only pick (1.0 = identical choices everywhere).
+    geomean_speedup: f64,
+}
+
+/// Optimize every skewed case twice — cost-only and with
+/// [`ValidationConfig::default`] — then run both chosen programs on the
+/// *full* fixture (ground truth) and score which selector picked the
+/// program that actually runs faster.
+fn bench_validation(seeds: u64) -> ValidationBench {
+    let gen_cfg = GenConfig::skewed();
+    let net = NetworkProfile::slow_remote();
+    let mut differing = 0;
+    let mut promotions = 0;
+    let mut disagreements = 0;
+    let mut validated_wins = 0u64;
+    let mut cost_only_wins = 0u64;
+    let mut log_speedups = Vec::new();
+    for seed in 0..seeds {
+        let case = GenCase::from_seed(7000 + seed, &gen_cfg);
+        let fixture = case.fixture();
+        let cost_only = fixture.cobra_builder().network(net.clone()).build();
+        let validated = fixture
+            .cobra_builder()
+            .network(net.clone())
+            .validate_selection(ValidationConfig::default())
+            .build();
+        let a = cost_only
+            .optimize_program(&case.program)
+            .expect("optimizes");
+        let b = validated
+            .optimize_program(&case.program)
+            .expect("optimizes");
+        if let Some(v) = &b.validation {
+            if v.promoted_rank > 0 {
+                promotions += 1;
+            }
+            if !v.agreement {
+                disagreements += 1;
+            }
+        }
+        if a.program != b.program {
+            differing += 1;
+        }
+        // Ground truth: each pick simulated on its own fresh full-size
+        // fixture (deterministic, so one run per pick suffices).
+        let t_a = run_on(
+            &case.fixture(),
+            net.clone(),
+            &case.program.with_entry(a.program),
+        )
+        .expect("cost-only pick runs")
+        .secs;
+        let t_b = run_on(
+            &case.fixture(),
+            net.clone(),
+            &case.program.with_entry(b.program),
+        )
+        .expect("validated pick runs")
+        .secs;
+        if t_b <= t_a * (1.0 + 1e-9) {
+            validated_wins += 1;
+        }
+        if t_a <= t_b * (1.0 + 1e-9) {
+            cost_only_wins += 1;
+        }
+        log_speedups.push((t_a.max(1e-12) / t_b.max(1e-12)).ln());
+    }
+    let rate = |wins: u64| wins as f64 / seeds.max(1) as f64;
+    let out = ValidationBench {
+        cases: seeds,
+        differing,
+        promotions,
+        disagreements,
+        validated_win_rate: rate(validated_wins),
+        cost_only_win_rate: rate(cost_only_wins),
+        geomean_speedup: (log_speedups.iter().sum::<f64>() / log_speedups.len().max(1) as f64)
+            .exp(),
+    };
+    println!(
+        "\nvalidated selection ({} skewed cases): win-rate validated {:.2} vs cost-only {:.2}; \
+         {} differing pick(s), {} promotion(s), {} measured disagreement(s), \
+         geomean speedup x{:.3}",
+        out.cases,
+        out.validated_win_rate,
+        out.cost_only_win_rate,
+        out.differing,
+        out.promotions,
+        out.disagreements,
+        out.geomean_speedup
+    );
+    out
 }
 
 struct BatchRow {
@@ -557,6 +681,26 @@ fn main() {
         err_base.len()
     );
 
+    // ---- validated selection vs cost-only argmin ---------------------
+    // Trust-but-verify scoreboard on the skewed corpus: does the
+    // runtime-validated pick actually run faster on the full fixture?
+    let validation = bench_validation(cfg.val_seeds);
+    if cfg.smoke {
+        // CI gate: validated selection must not lose to the cost-only
+        // argmin, and must hold the checked-in absolute floor.
+        assert!(
+            validation.validated_win_rate + 1e-9 >= validation.cost_only_win_rate,
+            "validated selection win-rate {:.3} fell below cost-only {:.3}",
+            validation.validated_win_rate,
+            validation.cost_only_win_rate
+        );
+        assert!(
+            validation.validated_win_rate + 1e-9 >= VALIDATION_SMOKE_FLOOR,
+            "validated selection win-rate {:.3} fell below the {VALIDATION_SMOKE_FLOOR} floor",
+            validation.validated_win_rate
+        );
+    }
+
     // ---- execution throughput: columnar vs row data plane ------------
     // Real wall-clock execution on a GenConfig::large() fixture (1M+
     // rows per table at scale 1.0). Engines run interleaved — columnar,
@@ -614,6 +758,19 @@ fn main() {
          \"uniform_ndv_error_factor\":{est_base_factor:.4},\
          \"histogram_feedback_error_factor\":{est_adaptive_factor:.4}}},\n",
         err_base.len()
+    ));
+    out.push_str(&format!(
+        "\"validation\":{{\"corpus\":\"skewed\",\"cases\":{},\"differing\":{},\
+         \"promotions\":{},\"disagreements\":{},\"validated_win_rate\":{:.4},\
+         \"cost_only_win_rate\":{:.4},\"geomean_speedup_validated_over_cost_only\":{:.4},\
+         \"smoke_floor\":{VALIDATION_SMOKE_FLOOR}}},\n",
+        validation.cases,
+        validation.differing,
+        validation.promotions,
+        validation.disagreements,
+        validation.validated_win_rate,
+        validation.cost_only_win_rate,
+        validation.geomean_speedup
     ));
     out.push_str(&format!(
         "\"execution\":{{\"corpus_rows\":{},\"scale\":{},\"iters\":{},\

@@ -143,6 +143,11 @@ pub struct OptimizerConfig {
     /// [`crate::OptimizationReport`] so experiment output names the data
     /// plane it measured.
     pub exec_engine: ExecEngine,
+    /// Runtime-validated plan selection ([`crate::ValidationConfig`]):
+    /// extract the top-k candidates, micro-measure them, and promote the
+    /// measured winner. `None` (the default) keeps selection cost-only
+    /// and bit-identical to historical output.
+    pub validation: Option<crate::validation::ValidationConfig>,
 }
 
 impl Default for OptimizerConfig {
@@ -156,6 +161,7 @@ impl Default for OptimizerConfig {
             cache_estimates: true,
             use_histograms: true,
             exec_engine: ExecEngine::default(),
+            validation: None,
         }
     }
 }
@@ -276,6 +282,21 @@ impl CobraBuilder {
     /// bit-identical results and work accounting.
     pub fn engine(mut self, engine: ExecEngine) -> CobraBuilder {
         self.config.exec_engine = engine;
+        self
+    }
+
+    /// Enable runtime-validated plan selection: extract the
+    /// `ValidationConfig::top_k` cheapest structurally distinct programs,
+    /// micro-measure them by timed execution on a `row_scale`-shrunk copy
+    /// of the database (or accept the ranking outright when fresh
+    /// feedback observations already back every candidate's queries), and
+    /// emit the measured winner. Disabled by default; selection then
+    /// stays cost-only and bit-identical to historical output.
+    pub fn validate_selection(
+        mut self,
+        validation: crate::validation::ValidationConfig,
+    ) -> CobraBuilder {
+        self.config.validation = Some(validation);
         self
     }
 

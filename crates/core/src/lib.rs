@@ -38,6 +38,7 @@ pub mod optimizer;
 pub mod region_ops;
 pub mod report;
 pub mod transforms;
+pub mod validation;
 
 pub use catalog::CostCatalog;
 pub use config::{CobraBuilder, OptimizerConfig, SearchBudget};
@@ -45,6 +46,7 @@ pub use cost::RegionCostModel;
 pub use optimizer::{Cobra, Optimized};
 pub use region_ops::RegionOp;
 pub use report::{ChoicePoint, OptimizationReport, ReportedAlternative};
+pub use validation::{SelectionValidation, ValidatedCandidate, ValidationConfig, ValidationSource};
 
 // Re-exported so configuring rules does not require a direct `fir`
 // dependency.

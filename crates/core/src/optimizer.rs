@@ -60,6 +60,11 @@ pub struct Optimized {
     /// dropped rather than explored. Also surfaced as the
     /// `"budget-exhausted"` tag.
     pub budget_exhausted: bool,
+    /// The record of runtime-validated selection (predicted vs measured
+    /// ranks, promotion decision) when validation ran with more than one
+    /// candidate; `None` when validation is disabled or the program had a
+    /// single candidate. See [`crate::SelectionValidation`].
+    pub validation: Option<crate::validation::SelectionValidation>,
 }
 
 /// The COBRA optimizer (Figure 1: program + transformations + cost model
@@ -333,24 +338,71 @@ impl Cobra {
         // `CostMemo` is valid for exactly one `Memo`, so each search
         // builds its own.
         let sweeps = self.config.budget.max_search_sweeps;
-        let (best, table, cache_hits, cache_misses) = if self.config.memoize_costs {
+        // With validation enabled, extract the k cheapest structurally
+        // distinct candidates instead of just the argmin; slot 0 of
+        // `top_k_plans` is bit-identical to `best_plan_from`.
+        let top_k = self.config.validation.as_ref().map(|v| v.top_k.max(1));
+        let (mut plans, table, cache_hits, cache_misses) = if self.config.memoize_costs {
             let memoized = volcano::CostMemo::new(&model);
             let table = volcano::cost_table(&memo, &memoized, sweeps);
-            let best = volcano::best_plan_from(&memo, root, &memoized, &table);
+            let plans: Vec<volcano::BestPlan<RegionOp>> = match top_k {
+                None => volcano::best_plan_from(&memo, root, &memoized, &table)
+                    .into_iter()
+                    .collect(),
+                Some(k) => volcano::top_k_plans(&memo, root, &memoized, &table, k),
+            };
             let (h, m) = (memoized.hits(), memoized.misses());
-            (best, table, h, m)
+            (plans, table, h, m)
         } else {
             let table = volcano::cost_table(&memo, &model, sweeps);
-            let best = volcano::best_plan_from(&memo, root, &model, &table);
-            (best, table, 0, 0)
+            let plans: Vec<volcano::BestPlan<RegionOp>> = match top_k {
+                None => volcano::best_plan_from(&memo, root, &model, &table)
+                    .into_iter()
+                    .collect(),
+                Some(k) => volcano::top_k_plans(&memo, root, &model, &table, k),
+            };
+            (plans, table, 0, 0)
         };
-        let best = best.ok_or_else(|| DbError::Invalid("no plan for program".to_string()))?;
+        if plans.is_empty() {
+            return Err(DbError::Invalid("no plan for program".to_string()));
+        }
         if !table.converged {
             budget_exhausted = true;
         }
 
+        // Runtime-validated selection: micro-measure the candidates and
+        // promote the measured winner (trust, but verify).
+        let mut validation = None;
+        let mut chosen_rank = 0usize;
+        if let Some(vcfg) = &self.config.validation {
+            if plans.len() > 1 {
+                let ctx = crate::validation::ValidationContext {
+                    db: &self.db,
+                    funcs: &self.funcs,
+                    mappings: &self.mappings,
+                    network: &self.config.network,
+                    engine: self.config.exec_engine,
+                    feedback: self.feedback.as_ref(),
+                };
+                let outcome = crate::validation::validate_selection(
+                    &ctx,
+                    program,
+                    &entry.name,
+                    &entry.params,
+                    &plans,
+                    vcfg,
+                );
+                chosen_rank = outcome.promoted_rank.min(plans.len() - 1);
+                validation = Some(outcome);
+            }
+        }
+        let best = plans.swap_remove(chosen_rank);
+
         let program_out = emit::emit_function(&entry.name, &entry.params, &best.tree);
         let mut tags = emit::describe(&program_out);
+        if chosen_rank > 0 {
+            tags.push("validated-promotion");
+        }
         if budget_exhausted {
             tags.push("budget-exhausted");
             log_budget_exhausted(&entry.name);
@@ -375,6 +427,7 @@ impl Cobra {
             estimator_cache_misses: model.estimate_cache_misses(),
             feedback_overrides: model.feedback_overrides(),
             budget_exhausted,
+            validation,
         };
         Ok(SearchRun {
             memo,

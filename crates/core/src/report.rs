@@ -140,6 +140,49 @@ impl std::fmt::Display for OptimizationReport {
             }
             writeln!(f)?;
         }
+        if let Some(v) = &s.validation {
+            let source = match v.source {
+                crate::validation::ValidationSource::Execution => {
+                    format!("measured at row scale {}", v.row_scale)
+                }
+                crate::validation::ValidationSource::Feedback => {
+                    "fresh feedback accepted the predicted ranking".to_string()
+                }
+            };
+            writeln!(
+                f,
+                "validated selection: {} candidate(s), {source}; {} (promoted rank {})",
+                v.candidates.len(),
+                if v.agreement {
+                    "measurement agreed with prediction"
+                } else {
+                    "measurement DISAGREED with prediction"
+                },
+                v.promoted_rank,
+            )?;
+            for c in &v.candidates {
+                let measured = match c.measured_ns {
+                    Some(ns) => format!("{:.6}s measured", ns / 1e9),
+                    None => "not measured".to_string(),
+                };
+                writeln!(
+                    f,
+                    "  {} predicted #{} {:.6}s — {}{}",
+                    if c.predicted_rank == v.promoted_rank {
+                        "->"
+                    } else {
+                        "  "
+                    },
+                    c.predicted_rank,
+                    c.predicted_cost_ns / 1e9,
+                    measured,
+                    match c.measured_rank {
+                        Some(r) => format!(" (measured #{r})"),
+                        None => String::new(),
+                    },
+                )?;
+            }
+        }
         if s.budget_exhausted {
             writeln!(
                 f,

@@ -161,7 +161,27 @@ impl FeedbackStore {
                 );
             }
         }
-        inner.semantic.insert(semantic_key(plan), fp);
+        // Redirect the semantic index to this fingerprint only when the
+        // recording is at least as fresh as the shape it would shadow: a
+        // stale sibling (recorded at an older data stamp) must not hide a
+        // sibling whose rows-only evidence still describes current data.
+        // Stamps are monotone, so "newer or equal stamp" means fresher;
+        // unstamped recordings (and dangling index entries) always win.
+        let key = semantic_key(plan);
+        let redirect = match inner
+            .semantic
+            .get(&key)
+            .and_then(|prev| inner.entries.get(prev).map(|e| (*prev, e)))
+        {
+            Some((prev, shadowed)) if prev != fp => match (shadowed.data_stamp, data_stamp) {
+                (Some(theirs), Some(ours)) => ours >= theirs,
+                _ => true,
+            },
+            _ => true,
+        };
+        if redirect {
+            inner.semantic.insert(key, fp);
+        }
         drop(inner);
         self.generation.fetch_add(1, Ordering::Release);
     }
@@ -388,5 +408,43 @@ mod tests {
         assert_eq!(obs.rows, 918.0);
         // Staleness still applies across the semantic index.
         assert_eq!(store.observed_semantic(semantic_key(&hoisted), 4), None);
+    }
+
+    #[test]
+    fn stale_sibling_recording_does_not_shadow_fresh_semantic_evidence() {
+        use crate::expr::ScalarExpr;
+        let on = ScalarExpr::eq(ScalarExpr::col("x"), ScalarExpr::col("y"));
+        let filter = ScalarExpr::eq(ScalarExpr::col("p"), ScalarExpr::lit(3i64));
+        let pushed = LogicalPlan::scan("a")
+            .select(filter.clone())
+            .join(LogicalPlan::scan("b"), on.clone());
+        let hoisted = LogicalPlan::scan("a")
+            .join(LogicalPlan::scan("b"), on)
+            .select(filter);
+        let key = semantic_key(&pushed);
+        assert_eq!(key, semantic_key(&hoisted));
+
+        let store = FeedbackStore::new();
+        // Fresh evidence for the pushed shape at the current stamp…
+        store.record_at(&pushed, 500, &work(0, 500), 8);
+        // …then a replayed / delayed recording of the sibling shape that
+        // ran against the *pre-write* table contents.
+        store.record_at(&hoisted, 120, &work(0, 120), 7);
+        // The sibling's own entry exists and answers for its own stamp…
+        assert_eq!(
+            store
+                .observed_fresh(PlanFingerprint::of(&hoisted), 7)
+                .unwrap()
+                .rows,
+            120.0
+        );
+        // …but it must not have hijacked the semantic index: rows-only
+        // evidence for the current data is still served.
+        let obs = store.observed_semantic(key, 8).unwrap();
+        assert_eq!(obs.rows, 500.0);
+
+        // A recording at a newer (or equal) stamp does redirect the key.
+        store.record_at(&hoisted, 130, &work(0, 130), 9);
+        assert_eq!(store.observed_semantic(key, 9).unwrap().rows, 130.0);
     }
 }

@@ -780,6 +780,7 @@ fn put_counters(w: &mut ByteWriter, c: &ServerCounters) {
         c.tenants,
         c.executions,
         c.drift_swaps,
+        c.validated_promotions,
     ] {
         w.u64(v);
     }
@@ -799,6 +800,7 @@ fn get_counters(r: &mut ByteReader) -> Result<ServerCounters> {
         tenants: r.u64()?,
         executions: r.u64()?,
         drift_swaps: r.u64()?,
+        validated_promotions: r.u64()?,
     })
 }
 

@@ -318,6 +318,7 @@ mod tests {
             estimator_cache_misses: 0,
             feedback_overrides: 0,
             budget_exhausted: false,
+            validation: None,
         })
     }
 

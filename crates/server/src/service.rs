@@ -21,7 +21,9 @@
 use crate::admission::Admission;
 use crate::error::ServerError;
 use crate::plan_cache::{program_fingerprint, CacheKey, CacheOutcome, CachedPlan, PlanCache};
-use cobra_core::{Cobra, CobraBuilder, OptimizationReport, Optimized, SearchBudget};
+use cobra_core::{
+    Cobra, CobraBuilder, OptimizationReport, Optimized, SearchBudget, ValidationConfig,
+};
 use imperative::ast::Program;
 use interp::{Interp, InterpConfig, NormalizedOutcome};
 use minidb::{CacheStamp, ExecEngine, FeedbackStore, FuncRegistry, PlanFingerprint, SharedDb};
@@ -57,6 +59,14 @@ pub struct ServerConfig {
     pub cache_shards: usize,
     /// Execution engine sessions run plans on. Default columnar.
     pub engine: ExecEngine,
+    /// Runtime-validate plan selection on the full-budget path: the
+    /// optimizer's top-k candidates are micro-executed (or judged by
+    /// fresh feedback) and the *measured* winner is promoted — so both
+    /// cache misses and the drift sweeper's hot swaps install measured
+    /// plans, not just re-costed ones. Degraded (load-shed) requests
+    /// skip validation. `None` (default) keeps selection cost-only and
+    /// bit-identical to previous behavior.
+    pub validate: Option<ValidationConfig>,
 }
 
 impl Default for ServerConfig {
@@ -74,6 +84,7 @@ impl Default for ServerConfig {
             drift_check_every: 32,
             cache_shards: 16,
             engine: ExecEngine::default(),
+            validate: None,
         }
     }
 }
@@ -211,6 +222,10 @@ pub struct ServerCounters {
     pub executions: u64,
     /// Drift sweeps that re-optimized at least one plan.
     pub drift_swaps: u64,
+    /// Optimizations (cache fills and sweeper hot swaps) where runtime
+    /// validation promoted a *measured* winner over the cost model's
+    /// argmin. Always 0 unless [`ServerConfig::validate`] is set.
+    pub validated_promotions: u64,
 }
 
 impl std::fmt::Display for ServerCounters {
@@ -227,8 +242,13 @@ impl std::fmt::Display for ServerCounters {
         )?;
         write!(
             f,
-            "sessions: {} opened across {} tenants; {} executions; {} drift sweeps acted",
-            self.sessions_opened, self.tenants, self.executions, self.drift_swaps
+            "sessions: {} opened across {} tenants; {} executions; {} drift sweeps acted; \
+             {} validated promotions",
+            self.sessions_opened,
+            self.tenants,
+            self.executions,
+            self.drift_swaps,
+            self.validated_promotions
         )
     }
 }
@@ -274,6 +294,7 @@ struct Inner {
     sessions_opened: AtomicU64,
     executions: AtomicU64,
     drift_swaps: AtomicU64,
+    validated_promotions: AtomicU64,
     shutdown: AtomicBool,
     /// Sweeper wake-up: (pending-signal flag, condvar).
     sweep_signal: Mutex<bool>,
@@ -312,6 +333,7 @@ impl CobraService {
             sessions_opened: AtomicU64::new(0),
             executions: AtomicU64::new(0),
             drift_swaps: AtomicU64::new(0),
+            validated_promotions: AtomicU64::new(0),
             shutdown: AtomicBool::new(false),
             sweep_signal: Mutex::new(false),
             sweep_cv: Condvar::new(),
@@ -349,7 +371,15 @@ impl CobraService {
             }
             b
         };
-        let cobra = builder().build();
+        // Validation applies to the full-budget optimizer only: the plan
+        // cache's compute path and the drift sweeper both go through it,
+        // so cache fills and hot swaps get measured winners. Degraded
+        // requests are already shedding load — no micro-executions there.
+        let mut full = builder();
+        if let Some(v) = &self.inner.config.validate {
+            full = full.validate_selection(v.clone());
+        }
+        let cobra = full.build();
         let cobra_degraded = builder()
             .budget(self.inner.config.degraded_budget.clone())
             .build();
@@ -480,6 +510,18 @@ impl CobraService {
                 });
         let cached = cached?;
         let optimized: Arc<Optimized> = cached.optimized;
+        // A fresh optimization whose validated selection overrode the
+        // cost model's argmin (hits/coalesced replays would double-count).
+        if cache_outcome == CacheOutcome::Miss
+            && optimized
+                .validation
+                .as_ref()
+                .is_some_and(|v| v.promoted_rank > 0)
+        {
+            self.inner
+                .validated_promotions
+                .fetch_add(1, Ordering::Relaxed);
+        }
 
         // Execute the optimized program on a fresh ORM session/clock (one
         // submission = one transaction, as in the paper's measurements).
@@ -608,6 +650,14 @@ impl CobraService {
             // A program that no longer optimizes (e.g. schema edits
             // under it) is simply dropped from the cache.
             if let Ok(re) = tenant.cobra.optimize_program(&cached.program) {
+                // Hot swaps are *measured*, not just re-costed: when the
+                // tenant's optimizer validates, record how often the
+                // measurement overrode the refreshed cost model.
+                if re.validation.as_ref().is_some_and(|v| v.promoted_rank > 0) {
+                    self.inner
+                        .validated_promotions
+                        .fetch_add(1, Ordering::Relaxed);
+                }
                 self.inner.cache.swap_in(
                     CacheKey {
                         fingerprint: key.fingerprint,
@@ -651,6 +701,7 @@ impl CobraService {
             tenants: inner.tenants.read().unwrap().len() as u64,
             executions: inner.executions.load(Ordering::Relaxed),
             drift_swaps: inner.drift_swaps.load(Ordering::Relaxed),
+            validated_promotions: inner.validated_promotions.load(Ordering::Relaxed),
         }
     }
 

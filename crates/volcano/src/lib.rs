@@ -30,6 +30,6 @@ pub use costmemo::CostMemo;
 pub use engine::{expand, ExpandStats, Rule};
 pub use memo::{Child, GroupId, MExpr, MExprId, Memo, OpTree};
 pub use search::{
-    best_plan, best_plan_from, cost_table, cost_table_sweeps, count_plans, BestPlan, CostModel,
-    CostTable,
+    best_plan, best_plan_from, cost_table, cost_table_sweeps, count_plans, top_k_plans,
+    tree_fingerprint, BestPlan, CostModel, CostTable,
 };

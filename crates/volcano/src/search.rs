@@ -1,8 +1,10 @@
 //! Least-cost plan extraction over the AND-OR DAG.
 
-use crate::memo::{GroupId, MExprId, Memo, OpTree};
+use crate::memo::{Child, GroupId, MExprId, Memo, OpTree};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashSet};
 use std::fmt::Debug;
-use std::hash::Hash;
+use std::hash::{Hash, Hasher};
 
 /// Cost model for AND nodes: given an m-expr and the best costs of its
 /// child groups, return the total cost of the expression (§III-A: "Cost of
@@ -279,8 +281,12 @@ fn extract<Op: Clone + Eq + Hash + Debug>(
             child_costs.push(cost[c]);
         }
         let total = model.cost(memo, eid, &child_costs);
+        // Among equal-cost alternatives the lowest m-expr id wins. Group
+        // iteration order follows insertion and merge history, so "first
+        // in the group" is not stable across equivalent memo builds; ids
+        // are assigned at insertion and survive merges unchanged.
         match best {
-            Some((b, _)) if b <= total => {}
+            Some((b, be)) if b < total || (b == total && be < eid) => {}
             _ => best = Some((total, eid)),
         }
     }
@@ -300,6 +306,250 @@ fn extract<Op: Clone + Eq + Hash + Debug>(
         op: e.op.clone(),
         children,
     })
+}
+
+/// Structural fingerprint of an operator tree: FNV-1a over a preorder
+/// walk of operators and arities. Two extractions of the same tree hash
+/// identically regardless of which memo (or insertion order) produced
+/// them, which is what [`top_k_plans`] uses both to deduplicate
+/// structurally equal candidates and to break cost ties deterministically.
+pub fn tree_fingerprint<Op: Clone + Eq + Hash + Debug>(tree: &OpTree<Op>) -> u64 {
+    struct Fnv(u64);
+    impl Hasher for Fnv {
+        fn finish(&self) -> u64 {
+            self.0
+        }
+        fn write(&mut self, bytes: &[u8]) {
+            for &b in bytes {
+                self.0 ^= b as u64;
+                self.0 = self.0.wrapping_mul(0x100_0000_01b3);
+            }
+        }
+    }
+    fn walk<Op: Clone + Eq + Hash + Debug>(tree: &OpTree<Op>, h: &mut Fnv) {
+        tree.op.hash(h);
+        tree.children.len().hash(h);
+        for child in &tree.children {
+            match child {
+                Child::Tree(t) => {
+                    0u8.hash(h);
+                    walk(t, h);
+                }
+                Child::Group(g) => {
+                    1u8.hash(h);
+                    g.hash(h);
+                }
+            }
+        }
+    }
+    let mut h = Fnv(0xcbf2_9ce4_8422_2325);
+    walk(tree, &mut h);
+    h.finish()
+}
+
+/// A candidate produced while enumerating a group's k cheapest plans.
+struct Ranked<Op> {
+    cost: f64,
+    fingerprint: u64,
+    tree: OpTree<Op>,
+    choices: Vec<(GroupId, MExprId)>,
+}
+
+/// A pending child-rank combination in the lazy k-best heap.
+struct Combo {
+    cost: f64,
+    ranks: Vec<usize>,
+}
+impl PartialEq for Combo {
+    fn eq(&self, other: &Self) -> bool {
+        self.cost.to_bits() == other.cost.to_bits() && self.ranks == other.ranks
+    }
+}
+impl Eq for Combo {}
+impl PartialOrd for Combo {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Combo {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.cost
+            .total_cmp(&other.cost)
+            .then_with(|| self.ranks.cmp(&other.ranks))
+    }
+}
+
+/// Extract the `k` cheapest **structurally distinct** plans rooted at
+/// `root` from a precomputed [`CostTable`].
+///
+/// Guarantees:
+/// * the first plan is bit-identical to [`best_plan_from`] — same cost
+///   bits, same tree, same choice list (it *is* that extraction);
+/// * plans are sorted by ascending cost, ties broken by
+///   [`tree_fingerprint`] so the order is independent of memo insertion
+///   order;
+/// * plans are pairwise structurally distinct (distinct fingerprints);
+/// * extraction is cycle-safe: like [`best_plan_from`], no plan re-enters
+///   a group already on its own path, so self-referential alternatives
+///   are enumerated but never chosen.
+///
+/// Runner-up costs are compositional — the model's cost of each chosen
+/// expression over its chosen children's costs — which requires the model
+/// to be monotone in child costs (true of every model here: all are
+/// non-negative weighted sums), so per-group enumeration can stop after
+/// `k` candidates.
+pub fn top_k_plans<Op: Clone + Eq + Hash + Debug>(
+    memo: &Memo<Op>,
+    root: GroupId,
+    model: &dyn CostModel<Op>,
+    table: &CostTable,
+    k: usize,
+) -> Vec<BestPlan<Op>> {
+    if k == 0 {
+        return Vec::new();
+    }
+    let Some(best) = best_plan_from(memo, root, model, table) else {
+        return Vec::new();
+    };
+    if k == 1 {
+        return vec![best];
+    }
+    let root = memo.find(root);
+    let mut on_path = vec![false; memo.num_groups()];
+    let ranked = ranked_plans(memo, root, model, &table.group_costs, k, &mut on_path);
+    let mut seen = vec![tree_fingerprint(&best.tree)];
+    let mut out = vec![best];
+    for cand in ranked {
+        if out.len() == k {
+            break;
+        }
+        if seen.contains(&cand.fingerprint) {
+            continue;
+        }
+        seen.push(cand.fingerprint);
+        out.push(BestPlan {
+            cost: cand.cost,
+            tree: cand.tree,
+            choices: cand.choices,
+        });
+    }
+    out
+}
+
+/// The k cheapest structurally distinct plans of `group`, each with its
+/// compositional cost. Children are enumerated recursively; combinations
+/// of child ranks are explored lazily, cheapest-first, via a heap seeded
+/// with the all-rank-zero combination (Huang & Chiang's k-best scheme).
+fn ranked_plans<Op: Clone + Eq + Hash + Debug>(
+    memo: &Memo<Op>,
+    group: GroupId,
+    model: &dyn CostModel<Op>,
+    cost: &[f64],
+    k: usize,
+    on_path: &mut [bool],
+) -> Vec<Ranked<Op>> {
+    let group = memo.find(group);
+    if on_path[group] {
+        return Vec::new();
+    }
+    on_path[group] = true;
+    let mut cands: Vec<Ranked<Op>> = Vec::new();
+    'exprs: for &eid in memo.group(group) {
+        let e = memo.expr(eid);
+        let mut kids: Vec<GroupId> = Vec::with_capacity(e.children.len());
+        for &c in &e.children {
+            let c = memo.find(c);
+            // Same pre-filter as `extract`: skip expressions that re-enter
+            // the current path or lean on a group with no finite plan.
+            if on_path[c] || !cost[c].is_finite() {
+                continue 'exprs;
+            }
+            kids.push(c);
+        }
+        if kids.is_empty() {
+            let total = model.cost(memo, eid, &[]);
+            let tree = OpTree {
+                op: e.op.clone(),
+                children: Vec::new(),
+            };
+            cands.push(Ranked {
+                cost: total,
+                fingerprint: tree_fingerprint(&tree),
+                tree,
+                choices: vec![(group, eid)],
+            });
+            continue;
+        }
+        let child_lists: Vec<Vec<Ranked<Op>>> = kids
+            .iter()
+            .map(|&c| ranked_plans(memo, c, model, cost, k, on_path))
+            .collect();
+        if child_lists.iter().any(|l| l.is_empty()) {
+            continue;
+        }
+        let combo_cost = |ranks: &[usize]| {
+            let child_costs: Vec<f64> = ranks
+                .iter()
+                .zip(&child_lists)
+                .map(|(&r, list)| list[r].cost)
+                .collect();
+            model.cost(memo, eid, &child_costs)
+        };
+        let zero = vec![0usize; kids.len()];
+        let mut scheduled: HashSet<Vec<usize>> = HashSet::new();
+        let mut heap: BinaryHeap<Reverse<Combo>> = BinaryHeap::new();
+        heap.push(Reverse(Combo {
+            cost: combo_cost(&zero),
+            ranks: zero.clone(),
+        }));
+        scheduled.insert(zero);
+        let mut taken = 0usize;
+        while taken < k {
+            let Some(Reverse(combo)) = heap.pop() else {
+                break;
+            };
+            taken += 1;
+            let mut children = Vec::with_capacity(kids.len());
+            let mut choices = vec![(group, eid)];
+            for (i, &r) in combo.ranks.iter().enumerate() {
+                children.push(Child::Tree(Box::new(child_lists[i][r].tree.clone())));
+                choices.extend(child_lists[i][r].choices.iter().copied());
+            }
+            let tree = OpTree {
+                op: e.op.clone(),
+                children,
+            };
+            cands.push(Ranked {
+                cost: combo.cost,
+                fingerprint: tree_fingerprint(&tree),
+                tree,
+                choices,
+            });
+            for i in 0..combo.ranks.len() {
+                let mut next = combo.ranks.clone();
+                next[i] += 1;
+                if next[i] < child_lists[i].len() && !scheduled.contains(&next) {
+                    let c = combo_cost(&next);
+                    scheduled.insert(next.clone());
+                    heap.push(Reverse(Combo {
+                        cost: c,
+                        ranks: next,
+                    }));
+                }
+            }
+        }
+    }
+    on_path[group] = false;
+    // Ascending cost with fingerprint tie-break; structurally equal trees
+    // have equal compositional costs, so duplicates land adjacent.
+    cands.sort_by(|a, b| {
+        a.cost
+            .total_cmp(&b.cost)
+            .then_with(|| a.fingerprint.cmp(&b.fingerprint))
+    });
+    cands.dedup_by(|a, b| a.fingerprint == b.fingerprint);
+    cands.truncate(k);
+    cands
 }
 
 /// Count the distinct plans representable from `root` (product over AND
@@ -336,7 +586,6 @@ pub fn count_plans<Op: Clone + Eq + Hash + Debug>(memo: &Memo<Op>, root: GroupId
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::memo::Child;
 
     // Costs live in a side table (the model), not in the operator enum.
     #[derive(Debug, Clone, PartialEq, Eq, Hash)]
@@ -498,5 +747,154 @@ mod tests {
         };
         let root = memo3.insert_tree(&t, None);
         assert!(best_plan(&memo3, root, &Table).is_some());
+    }
+
+    /// Two equal-cost alternatives must extract identically however the
+    /// group's expression list came to be ordered. `merge` appends the
+    /// absorbed group's expressions, so merging in opposite orders yields
+    /// the same expressions (same ids) in different list orders — the
+    /// exact perturbation rule application order produces in practice.
+    #[test]
+    fn equal_cost_ties_break_by_lowest_expr_id() {
+        let build = |swap_merges: bool| {
+            let mut memo = Memo::new();
+            // e0: pricey (100), e1: Leaf("a") (10), e2: Leaf("b") (10).
+            let ga = memo.insert_tree(&OpTree::leaf(Op2::Leaf("pricey")), None);
+            let gb = memo.insert_tree(&OpTree::leaf(Op2::Leaf("a")), None);
+            let gc = memo.insert_tree(&OpTree::leaf(Op2::Leaf("b")), None);
+            if swap_merges {
+                memo.merge(ga, gc); // group list: [e0, e2, e1]
+                memo.merge(ga, gb);
+            } else {
+                memo.merge(ga, gb); // group list: [e0, e1, e2]
+                memo.merge(ga, gc);
+            }
+            let best = best_plan(&memo, ga, &Table).unwrap();
+            best.tree.op.clone()
+        };
+        let (a, b) = (build(false), build(true));
+        assert_eq!(a, b, "tie-break must not depend on group list order");
+        assert_eq!(a, Op2::Leaf("a"), "lowest m-expr id wins the tie");
+    }
+
+    /// Equal-cost alternatives registered directly (no merges) in both
+    /// orders: whichever got the smaller id wins, in both builds.
+    #[test]
+    fn equal_cost_ties_are_deterministic_under_insertion_order() {
+        for flip in [false, true] {
+            let mut memo = Memo::new();
+            let (first, second) = if flip { ("b", "a") } else { ("a", "b") };
+            let g = memo.insert_tree(&OpTree::leaf(Op2::Leaf(first)), None);
+            memo.insert_tree(&OpTree::leaf(Op2::Leaf(second)), Some(g));
+            let best = best_plan(&memo, g, &Table).unwrap();
+            assert_eq!(
+                best.choices,
+                vec![(memo.find(g), 0)],
+                "expr id 0 is the lowest id among the tie"
+            );
+            assert_eq!(best.tree.op, Op2::Leaf(first));
+        }
+    }
+
+    fn alternatives_memo() -> (Memo<Op2>, GroupId) {
+        // Two two-alternative groups under a Combine root (distinct ops
+        // per group — identical leaves would hash-cons the groups
+        // together): 2 × 2 = 4 distinct plans.
+        let mut memo = Memo::new();
+        let l = memo.insert_tree(&OpTree::leaf(Op2::Leaf("cheap")), None);
+        memo.insert_tree(&OpTree::leaf(Op2::Leaf("pricey")), Some(l));
+        let b = memo.insert_tree(&OpTree::leaf(Op2::Leaf("b")), None);
+        let r = memo.insert_tree(&OpTree::leaf(Op2::Leaf("a")), None);
+        memo.insert_tree(&OpTree::over_groups(Op2::Combine, vec![b]), Some(r));
+        let root = memo.insert_tree(&OpTree::over_groups(Op2::Combine, vec![l, r]), None);
+        (memo, root)
+    }
+
+    #[test]
+    fn top_k_one_is_bit_identical_to_best_plan_from() {
+        let (memo, root) = alternatives_memo();
+        let table = cost_table(&memo, &Table, None);
+        let best = best_plan_from(&memo, root, &Table, &table).unwrap();
+        let top = top_k_plans(&memo, root, &Table, &table, 1);
+        assert_eq!(top.len(), 1);
+        assert_eq!(top[0].cost.to_bits(), best.cost.to_bits());
+        assert_eq!(top[0].tree, best.tree);
+        assert_eq!(top[0].choices, best.choices);
+        // ...and under a clipped budget (unconverged table) too.
+        let clipped = cost_table(&memo, &Table, Some(1));
+        match (
+            best_plan_from(&memo, root, &Table, &clipped),
+            top_k_plans(&memo, root, &Table, &clipped, 1).first(),
+        ) {
+            (None, None) => {}
+            (Some(b), Some(t)) => assert_eq!(t.cost.to_bits(), b.cost.to_bits()),
+            (b, t) => panic!("diverged: best={:?} top={:?}", b.is_some(), t.is_some()),
+        }
+    }
+
+    #[test]
+    fn top_k_sorted_distinct_and_exhaustive() {
+        let (memo, root) = alternatives_memo();
+        let table = cost_table(&memo, &Table, None);
+        let top = top_k_plans(&memo, root, &Table, &table, 10);
+        assert_eq!(top.len() as u64, count_plans(&memo, root));
+        // Combine(5) over {cheap=1, pricey=100} × {a=10, Combine(b)=15}.
+        let costs: Vec<f64> = top.iter().map(|p| p.cost).collect();
+        assert_eq!(costs, vec![16.0, 21.0, 115.0, 120.0]);
+        let fps: Vec<u64> = top.iter().map(|p| tree_fingerprint(&p.tree)).collect();
+        for (i, f) in fps.iter().enumerate() {
+            assert!(!fps[..i].contains(f), "fingerprints pairwise distinct");
+        }
+    }
+
+    #[test]
+    fn top_k_is_cycle_safe_on_self_referential_groups() {
+        // Group g = {Leaf(a), Combine(g, cheap)}: the recursive
+        // alternative is enumerable but never extractable.
+        let mut memo = Memo::new();
+        let g = memo.insert_tree(&OpTree::leaf(Op2::Leaf("a")), None);
+        let b = memo.insert_tree(&OpTree::leaf(Op2::Leaf("cheap")), None);
+        memo.insert_expr(Op2::Combine, vec![g, b], Some(g));
+        let table = cost_table(&memo, &Table, None);
+        let top = top_k_plans(&memo, g, &Table, &table, 5);
+        assert_eq!(top.len(), 1, "only the acyclic plan exists");
+        assert_eq!(top[0].tree.op, Op2::Leaf("a"));
+    }
+
+    #[test]
+    fn top_k_deterministic_across_insertion_orders() {
+        // Unique cheapest plan, equal-cost runners-up registered in both
+        // orders: the full (cost bits, fingerprint) sequence must match,
+        // because rank 0 is the unique argmin and the tail orders ties by
+        // structural fingerprint rather than by insertion id.
+        let build = |flip: bool| {
+            let mut memo = Memo::new();
+            let l = memo.insert_tree(&OpTree::leaf(Op2::Leaf("cheap")), None);
+            let (x, y) = if flip { ("b", "a") } else { ("a", "b") };
+            let r = memo.insert_tree(&OpTree::leaf(Op2::Leaf(x)), None);
+            memo.insert_tree(&OpTree::leaf(Op2::Leaf(y)), Some(r));
+            // Unique minimum for r: Combine(l) = 5 + 1 = 6 < 10.
+            memo.insert_tree(&OpTree::over_groups(Op2::Combine, vec![l]), Some(r));
+            let root = memo.insert_tree(&OpTree::over_groups(Op2::Combine, vec![l, r]), None);
+            let table = cost_table(&memo, &Table, None);
+            top_k_plans(&memo, root, &Table, &table, 6)
+                .into_iter()
+                .map(|p| (p.cost.to_bits(), tree_fingerprint(&p.tree)))
+                .collect::<Vec<_>>()
+        };
+        let base = build(false);
+        assert_eq!(base.len(), 3, "cheap × {{a, b, Combine(cheap)}} plans");
+        assert_eq!(
+            base,
+            build(true),
+            "(cost bits, fingerprint) sequence independent of insertion order"
+        );
+    }
+
+    #[test]
+    fn top_k_zero_returns_nothing() {
+        let (memo, root) = alternatives_memo();
+        let table = cost_table(&memo, &Table, None);
+        assert!(top_k_plans(&memo, root, &Table, &table, 0).is_empty());
     }
 }

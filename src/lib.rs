@@ -22,7 +22,9 @@
 //! * [`core`] — the COBRA optimizer itself: Region DAG, cost model, search,
 //!   and the typed configuration layer ([`core::CobraBuilder`],
 //!   [`core::OptimizerConfig`], [`core::SearchBudget`],
-//!   [`core::OptimizationReport`]).
+//!   [`core::OptimizationReport`]), plus runtime-validated plan
+//!   selection ([`core::ValidationConfig`]): the top-k candidates are
+//!   micro-executed on a shrunk fixture and the *measured* winner wins.
 //! * [`workloads`] — the paper's workloads: motivating example P0/P1/P2,
 //!   program M0, the Wilos-like fragments of patterns A–F, and the seeded
 //!   random program generator [`workloads::genprog`].
@@ -122,7 +124,8 @@ pub use workloads;
 pub mod prelude {
     pub use cobra_core::{
         ChoicePoint, Cobra, CobraBuilder, CostCatalog, OptimizationReport, Optimized,
-        OptimizerConfig, ReportedAlternative, Rule, RuleSet, SearchBudget,
+        OptimizerConfig, ReportedAlternative, Rule, RuleSet, SearchBudget, SelectionValidation,
+        ValidatedCandidate, ValidationConfig, ValidationSource,
     };
     pub use cobra_server::{
         CobraService, ServerConfig, ServerError, SubmitReply, TenantSpec, WireClient, WireServer,

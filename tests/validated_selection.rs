@@ -1,0 +1,252 @@
+//! Runtime-validated plan selection, end to end through the facade.
+//!
+//! Three contracts:
+//!
+//! 1. **Off means off** — with `OptimizerConfig::validation` left `None`
+//!    (the default), optimizer output is bit-identical to the cost-only
+//!    path; a `top_k = 1` validation config is equally inert (slot 0 of
+//!    `volcano::top_k_plans` is `best_plan_from` by construction).
+//! 2. **The validation record is internally consistent** — candidates
+//!    arrive in predicted-cost order, promotion only ever picks a
+//!    *measured* winner that beats a *measured* baseline by the
+//!    configured speedup, and the chosen program's estimate matches the
+//!    promoted candidate's.
+//! 3. **The server honors it** — `ServerConfig::validate` routes cache
+//!    fills through validated selection and counts measured promotions.
+
+use cobra::prelude::*;
+use cobra::server::CobraService;
+use std::sync::Arc;
+
+/// Strict equality over every `Optimized` field (float fields compared
+/// by bit pattern — "no worse" is not the contract here, *identical* is).
+fn assert_bit_identical(a: &cobra::core::Optimized, b: &cobra::core::Optimized, what: &str) {
+    assert_eq!(a.program, b.program, "{what}: chosen program");
+    assert_eq!(
+        a.est_cost_ns.to_bits(),
+        b.est_cost_ns.to_bits(),
+        "{what}: est_cost_ns"
+    );
+    assert_eq!(
+        a.original_cost_ns.to_bits(),
+        b.original_cost_ns.to_bits(),
+        "{what}: original_cost_ns"
+    );
+    assert_eq!(a.alternatives, b.alternatives, "{what}: alternatives");
+    assert_eq!(a.choice_points, b.choice_points, "{what}: choice_points");
+    assert_eq!(a.groups, b.groups, "{what}: groups");
+    assert_eq!(a.exprs, b.exprs, "{what}: exprs");
+    assert_eq!(a.tags, b.tags, "{what}: tags");
+    assert_eq!(
+        (a.cost_cache_hits, a.cost_cache_misses),
+        (b.cost_cache_hits, b.cost_cache_misses),
+        "{what}: cost-memo counters"
+    );
+    assert_eq!(
+        (a.estimator_cache_hits, a.estimator_cache_misses),
+        (b.estimator_cache_hits, b.estimator_cache_misses),
+        "{what}: estimator counters"
+    );
+    assert_eq!(
+        a.feedback_overrides, b.feedback_overrides,
+        "{what}: feedback_overrides"
+    );
+    assert_eq!(
+        a.budget_exhausted, b.budget_exhausted,
+        "{what}: budget_exhausted"
+    );
+}
+
+/// With validation disabled (the default), and with a `top_k = 1`
+/// validation config (a single candidate — nothing to validate), output
+/// is bit-identical to the plain cost-only optimizer on the same case.
+#[test]
+fn validation_off_and_top_k_one_are_bit_identical_to_cost_only() {
+    let gen = GenConfig::skewed();
+    let mut programs: Vec<(String, GenCase)> = (0..6u64)
+        .map(|s| {
+            (
+                format!("skewed seed {}", 7000 + s),
+                GenCase::from_seed(7000 + s, &gen),
+            )
+        })
+        .collect();
+    programs.push((
+        "default seed 0".to_string(),
+        GenCase::from_seed(0, &GenConfig::default()),
+    ));
+
+    for (what, case) in &programs {
+        // Fresh fixtures per optimizer: shared estimator caches would
+        // otherwise skew the second run's hit/miss counters.
+        let plain = case
+            .fixture()
+            .cobra_builder()
+            .network(NetworkProfile::slow_remote())
+            .build()
+            .optimize_program(&case.program)
+            .expect("cost-only optimizes");
+        assert!(
+            plain.validation.is_none(),
+            "{what}: no validation record without the knob"
+        );
+
+        let inert = case
+            .fixture()
+            .cobra_builder()
+            .network(NetworkProfile::slow_remote())
+            .validate_selection(cobra::core::ValidationConfig::default().with_top_k(1))
+            .build()
+            .optimize_program(&case.program)
+            .expect("top_k=1 optimizes");
+        assert!(
+            inert.validation.is_none(),
+            "{what}: a single candidate leaves nothing to validate"
+        );
+        assert_bit_identical(&plain, &inert, what);
+    }
+}
+
+/// The validation record's internal consistency on the skewed corpus:
+/// predicted order, measured-only promotion, matching estimates, and the
+/// `validated-promotion` tag exactly when a challenger won.
+#[test]
+fn validation_records_are_consistent_and_promotions_are_measured() {
+    let gen = GenConfig::skewed();
+    let vcfg = cobra::core::ValidationConfig::default();
+    let mut validated_cases = 0;
+    for seed in 0..6u64 {
+        let case = GenCase::from_seed(7000 + seed, &gen);
+        let optimized = case
+            .fixture()
+            .cobra_builder()
+            .network(NetworkProfile::slow_remote())
+            .validate_selection(vcfg.clone())
+            .build()
+            .optimize_program(&case.program)
+            .expect("optimizes");
+        let Some(v) = &optimized.validation else {
+            // Single-candidate programs legitimately skip validation.
+            continue;
+        };
+        validated_cases += 1;
+        assert!(
+            v.candidates.len() > 1,
+            "validation only runs with competition"
+        );
+        assert!(v.promoted_rank < v.candidates.len());
+        for (i, c) in v.candidates.iter().enumerate() {
+            assert_eq!(c.predicted_rank, i, "candidates arrive in predicted order");
+            if i > 0 {
+                assert!(
+                    c.predicted_cost_ns >= v.candidates[i - 1].predicted_cost_ns,
+                    "predicted costs ascend"
+                );
+            }
+        }
+        // The summary's estimate is the promoted candidate's estimate.
+        assert_eq!(
+            optimized.est_cost_ns.to_bits(),
+            v.candidates[v.promoted_rank].predicted_cost_ns.to_bits(),
+        );
+        let promoted_tag = optimized.tags.contains(&"validated-promotion");
+        assert_eq!(
+            promoted_tag,
+            v.promoted_rank > 0,
+            "tag tracks actual promotion"
+        );
+        if v.promoted_rank > 0 {
+            let base = v.candidates[0].measured_ns.expect("baseline was measured");
+            let win = v.candidates[v.promoted_rank]
+                .measured_ns
+                .expect("promoted winner was measured");
+            assert!(
+                base / win >= vcfg.min_speedup,
+                "promotion clears the speedup bar: base {base} ns vs win {win} ns"
+            );
+            assert!(!v.agreement, "a promotion is by definition a disagreement");
+        }
+        // No feedback store attached, so freshness can't short-circuit.
+        assert_eq!(v.source, cobra::core::ValidationSource::Execution);
+
+        // Determinism: a second fresh optimizer reproduces the record.
+        let again = case
+            .fixture()
+            .cobra_builder()
+            .network(NetworkProfile::slow_remote())
+            .validate_selection(vcfg.clone())
+            .build()
+            .optimize_program(&case.program)
+            .expect("optimizes again");
+        assert_eq!(
+            again.validation.as_ref(),
+            Some(v),
+            "validation is deterministic"
+        );
+        assert_eq!(again.program, optimized.program);
+    }
+    assert!(
+        validated_cases > 0,
+        "the skewed corpus must exercise validation at least once"
+    );
+}
+
+/// An attached-but-empty feedback store cannot satisfy the freshness
+/// shortcut: validation falls back to measured execution.
+#[test]
+fn empty_feedback_store_falls_back_to_execution() {
+    let case = GenCase::from_seed(7000, &GenConfig::skewed());
+    let optimized = case
+        .fixture()
+        .cobra_builder()
+        .network(NetworkProfile::slow_remote())
+        .feedback(Arc::new(minidb::FeedbackStore::new()))
+        .validate_selection(cobra::core::ValidationConfig::default())
+        .build()
+        .optimize_program(&case.program)
+        .expect("optimizes");
+    if let Some(v) = &optimized.validation {
+        assert_eq!(v.source, cobra::core::ValidationSource::Execution);
+    }
+}
+
+/// `ServerConfig::validate` wires validated selection into the plan
+/// cache's compute path: fresh submissions go through measured selection
+/// and promotions are counted server-wide.
+#[test]
+fn server_routes_cache_fills_through_validated_selection() {
+    let service = CobraService::new(ServerConfig {
+        validate: Some(cobra::core::ValidationConfig::default()),
+        ..ServerConfig::default()
+    });
+    let gen = GenConfig::skewed();
+    let mut promoted_tags = 0;
+    for seed in 0..4u64 {
+        let case = GenCase::from_seed(7000 + seed, &gen);
+        let fx = case.fixture();
+        let tenant = service.register_tenant(
+            TenantSpec::new(
+                format!("t{seed}"),
+                fx.db.clone(),
+                fx.mapping.clone(),
+                fx.funcs.clone(),
+            )
+            .feedback(false),
+        );
+        let session = service.open_session(tenant).expect("open session");
+        let reply = service.submit(session, &case.program).expect("submits");
+        if reply.tags.iter().any(|t| t == "validated-promotion") {
+            promoted_tags += 1;
+        }
+    }
+    let counters = service.counters();
+    assert_eq!(
+        counters.validated_promotions, promoted_tags,
+        "server counter matches the promoted submissions"
+    );
+    assert!(
+        counters.validated_promotions >= 1,
+        "the skewed corpus promotes at least one measured winner"
+    );
+    service.shutdown();
+}

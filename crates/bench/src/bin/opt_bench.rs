@@ -27,6 +27,12 @@
 //!   1/4/8 concurrent sessions, reporting submissions/sec and the
 //!   warm-over-cold per-submission speedup.
 //!
+//! * **soak** — sustained mixed load over the *wire* under fault
+//!   injection: several retrying `WireClient`s drive a cold/warm
+//!   submission mix against a server running `FaultPlan::chaos`,
+//!   reporting p50/p95/p99 submission latency plus ok/error/shed/retry/
+//!   fault/replay counts (the ROADMAP's sustained-load soak item).
+//!
 //! Results land in `BENCH_optimizer.json` (override with `--json <path>`
 //! or `COBRA_BENCH_JSON`) so every perf PR leaves a machine-readable
 //! trajectory. Pass `--baseline <prior.json>` to embed a previous run and
@@ -70,6 +76,10 @@ struct Config {
     serving_cold: usize,
     /// Warm submissions per session per concurrency level.
     serving_submits: usize,
+    /// Concurrent retrying clients in the fault-injected soak.
+    soak_clients: usize,
+    /// Submissions per client in the soak.
+    soak_rounds: usize,
     json: std::path::PathBuf,
     baseline: Option<std::path::PathBuf>,
 }
@@ -87,6 +97,7 @@ fn parse_args() -> Config {
     // thousands of rows) so CI stays fast; timings are report-only there.
     let (d_exec_iters, d_exec_scale) = if smoke { (2, 0.02) } else { (5, 1.0) };
     let (d_serving_cold, d_serving_submits) = if smoke { (3, 10) } else { (8, 50) };
+    let (d_soak_clients, d_soak_rounds) = if smoke { (2, 24) } else { (4, 120) };
     let d_val = if smoke { 4 } else { 12 };
     Config {
         seeds: flag("--seeds")
@@ -117,6 +128,12 @@ fn parse_args() -> Config {
         serving_submits: flag("--serving-submits")
             .and_then(|s| s.parse().ok())
             .unwrap_or(d_serving_submits),
+        soak_clients: flag("--soak-clients")
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(d_soak_clients),
+        soak_rounds: flag("--soak-rounds")
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(d_soak_rounds),
         workers: vec![1, 2, 4, 8],
         json: flag("--json")
             .map(Into::into)
@@ -544,6 +561,179 @@ fn bench_serving(cold_tenants: usize, submissions: usize) -> ServingSection {
     }
 }
 
+/// The sustained-load soak: mixed cold/warm traffic over the wire with
+/// `FaultPlan::chaos` injecting and retrying clients recovering.
+struct SoakSection {
+    clients: usize,
+    rounds: usize,
+    submissions: u64,
+    /// Submissions that landed (possibly after client retries).
+    ok: u64,
+    /// Submissions whose typed error survived the whole retry budget.
+    errors: u64,
+    /// Requests the server shed with `Overloaded`.
+    shed: u64,
+    /// Reconnect-and-retry attempts across every client.
+    client_retries: u64,
+    /// Faults the plan actually injected (all kinds).
+    faults_injected: u64,
+    /// Retried submissions answered from the idempotency reply window.
+    idempotent_replays: u64,
+    /// Worker panics isolated into `ServerError::Internal`.
+    internal_errors: u64,
+    mean_ns: f64,
+    p50_ns: f64,
+    p95_ns: f64,
+    p99_ns: f64,
+}
+
+/// `program` with an unused `let pad_<i>` prepended: same observable
+/// behavior, distinct plan-cache fingerprint — the soak's cold traffic.
+fn soak_variant(program: &Program, i: i64) -> Program {
+    use imperative::ast::{Expr, Stmt, StmtKind};
+    let mut entry = program.entry().clone();
+    entry.body.insert(
+        0,
+        Stmt::new(StmtKind::Let(format!("pad_{i}"), Expr::lit(i))),
+    );
+    program.with_entry(entry)
+}
+
+fn bench_soak(clients: usize, rounds: usize) -> SoakSection {
+    use cobra_server::{FaultPlan, RetryPolicy, WireClient, WireServer};
+    use std::time::Duration;
+
+    // Injected worker panics are part of the schedule; silence only them.
+    let default_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(move |info| {
+        let injected = info
+            .payload()
+            .downcast_ref::<&str>()
+            .is_some_and(|s| s.contains("injected"));
+        if !injected {
+            default_hook(info);
+        }
+    }));
+
+    let case = GenCase::from_seed(0, &GenConfig::default()).with_row_scale(0.2);
+    let fx = case.fixture();
+    let faults = FaultPlan::chaos(0x50AC);
+    let service = CobraService::new(ServerConfig {
+        faults: faults.clone(),
+        ..ServerConfig::default()
+    });
+    service.register_tenant(
+        TenantSpec::new("soak", fx.db.clone(), fx.mapping.clone(), fx.funcs.clone())
+            .feedback(false),
+    );
+    let server = WireServer::spawn(service, "127.0.0.1:0").expect("bind soak server");
+    let addr = server.local_addr();
+
+    // Warm pool of 4 fingerprints shared by every client (warm after the
+    // first pass each) plus a per-client unique variant every 8th round —
+    // the cold fraction that keeps full searches in the mix.
+    let warm_pool: Vec<Program> = (0..4).map(|i| soak_variant(&case.program, i)).collect();
+
+    let mut latencies_ns: Vec<f64> = Vec::with_capacity(clients * rounds);
+    let mut ok = 0u64;
+    let mut errors = 0u64;
+    let mut client_retries = 0u64;
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..clients)
+            .map(|c| {
+                let warm_pool = &warm_pool;
+                let case = &case;
+                scope.spawn(move || {
+                    let mut client = WireClient::connect_with(
+                        addr,
+                        RetryPolicy {
+                            max_attempts: 8,
+                            base_backoff: Duration::from_millis(2),
+                            max_backoff: Duration::from_millis(20),
+                            request_timeout: Duration::from_secs(2),
+                            seed: 0x50AC + c as u64,
+                        },
+                    )
+                    .expect("soak client connects");
+                    let session = client.open_session("soak").expect("soak session");
+                    let mut lat = Vec::with_capacity(rounds);
+                    let (mut ok, mut errors) = (0u64, 0u64);
+                    for round in 0..rounds {
+                        let cold;
+                        let program = if round % 8 == 7 {
+                            cold = soak_variant(&case.program, (c * 100_000 + round) as i64);
+                            &cold
+                        } else {
+                            &warm_pool[round % warm_pool.len()]
+                        };
+                        let t = Instant::now();
+                        match client.submit(session, program) {
+                            Ok(_) => ok += 1,
+                            Err(_) => errors += 1,
+                        }
+                        lat.push(t.elapsed().as_secs_f64() * 1e9);
+                    }
+                    let _ = client.close_session(session);
+                    (lat, ok, errors, client.retries())
+                })
+            })
+            .collect();
+        for h in handles {
+            let (lat, o, e, r) = h.join().expect("soak client thread");
+            latencies_ns.extend(lat);
+            ok += o;
+            errors += e;
+            client_retries += r;
+        }
+    });
+
+    let counters = server.service().counters();
+    server.shutdown();
+
+    latencies_ns.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let pct = |p: f64| -> f64 {
+        let n = latencies_ns.len();
+        let idx = ((p / 100.0 * n as f64).ceil() as usize).clamp(1, n) - 1;
+        latencies_ns[idx]
+    };
+    let out = SoakSection {
+        clients,
+        rounds,
+        submissions: latencies_ns.len() as u64,
+        ok,
+        errors,
+        shed: counters.rejected,
+        client_retries,
+        faults_injected: faults.total_injected(),
+        idempotent_replays: counters.idempotent_replays,
+        internal_errors: counters.internal_errors,
+        mean_ns: latencies_ns.iter().sum::<f64>() / latencies_ns.len().max(1) as f64,
+        p50_ns: pct(50.0),
+        p95_ns: pct(95.0),
+        p99_ns: pct(99.0),
+    };
+    println!(
+        "\nsoak ({} clients x {} rounds, chaos seed 0x50AC): \
+         {} ok / {} errors, p50 {:.2} ms, p95 {:.2} ms, p99 {:.2} ms",
+        out.clients,
+        out.rounds,
+        out.ok,
+        out.errors,
+        out.p50_ns / 1e6,
+        out.p95_ns / 1e6,
+        out.p99_ns / 1e6
+    );
+    println!(
+        "  {} faults injected, {} client retries, {} shed, {} replays, {} isolated panics",
+        out.faults_injected,
+        out.client_retries,
+        out.shed,
+        out.idempotent_replays,
+        out.internal_errors
+    );
+    out
+}
+
 fn main() {
     let cfg = parse_args();
     let gen_cfg = GenConfig::default();
@@ -710,6 +900,14 @@ fn main() {
     // ---- serving: cold vs warm submissions through CobraService ------
     let serving = bench_serving(cfg.serving_cold, cfg.serving_submits);
 
+    // ---- soak: sustained mixed load over the wire under chaos --------
+    let soak = bench_soak(cfg.soak_clients, cfg.soak_rounds);
+    // The resilience contract, gated even in smoke: every submission
+    // either lands after retries or fails typed — nothing hangs or is
+    // silently lost — and the schedule really injected faults.
+    assert_eq!(soak.ok + soak.errors, soak.submissions);
+    assert!(soak.faults_injected > 0, "chaos schedule must inject");
+
     // ---- baseline comparison -----------------------------------------
     let baseline_doc = cfg
         .baseline
@@ -836,6 +1034,26 @@ fn main() {
             .join(",\n"),
     );
     out.push_str("\n]},\n");
+    out.push_str(&format!(
+        "\"soak\":{{\"clients\":{},\"rounds\":{},\"submissions\":{},\"ok\":{},\
+         \"errors\":{},\"shed\":{},\"client_retries\":{},\"faults_injected\":{},\
+         \"idempotent_replays\":{},\"internal_errors\":{},\
+         \"latency_ns\":{{\"mean\":{:.1},\"p50\":{:.1},\"p95\":{:.1},\"p99\":{:.1}}}}},\n",
+        soak.clients,
+        soak.rounds,
+        soak.submissions,
+        soak.ok,
+        soak.errors,
+        soak.shed,
+        soak.client_retries,
+        soak.faults_injected,
+        soak.idempotent_replays,
+        soak.internal_errors,
+        soak.mean_ns,
+        soak.p50_ns,
+        soak.p95_ns,
+        soak.p99_ns
+    ));
     out.push_str("\"singles\":[\n");
     out.push_str(
         &singles

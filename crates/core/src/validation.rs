@@ -9,7 +9,7 @@
 //!
 //! * **Micro-execution.** Each candidate is executed on a `row_scale`-
 //!   shrunk copy of the live database (FK validity preserved — see
-//!   [`shrunk_database`]) under the optimizer's own network profile and
+//!   `shrunk_database`) under the optimizer's own network profile and
 //!   execution engine, and its simulated elapsed time is the measurement.
 //!   All candidates run on the *same* fixture, so measurements are
 //!   mutually comparable (they are never compared against full-scale

@@ -161,29 +161,36 @@ impl FeedbackStore {
                 );
             }
         }
-        // Redirect the semantic index to this fingerprint only when the
-        // recording is at least as fresh as the shape it would shadow: a
-        // stale sibling (recorded at an older data stamp) must not hide a
-        // sibling whose rows-only evidence still describes current data.
-        // Stamps are monotone, so "newer or equal stamp" means fresher;
-        // unstamped recordings (and dangling index entries) always win.
-        let key = semantic_key(plan);
-        let redirect = match inner
-            .semantic
-            .get(&key)
-            .and_then(|prev| inner.entries.get(prev).map(|e| (*prev, e)))
-        {
-            Some((prev, shadowed)) if prev != fp => match (shadowed.data_stamp, data_stamp) {
-                (Some(theirs), Some(ours)) => ours >= theirs,
-                _ => true,
-            },
-            _ => true,
-        };
-        if redirect {
-            inner.semantic.insert(key, fp);
-        }
+        redirect_semantic(&mut inner, plan, fp, data_stamp);
         drop(inner);
         self.generation.fetch_add(1, Ordering::Release);
+    }
+
+    /// Reinstall an entry previously exported by
+    /// [`FeedbackStore::snapshot_stamped`] (crash-safe snapshot restore).
+    /// The whole running mean is installed verbatim — `obs.runs`
+    /// executions' worth of evidence survives the restart. A fingerprint
+    /// that already has a live entry is left alone (anything recorded
+    /// since restart is at least as fresh as the snapshot). Returns
+    /// whether the entry was installed.
+    pub fn restore(&self, plan: &LogicalPlan, obs: Observation, data_stamp: Option<u64>) -> bool {
+        let fp = PlanFingerprint::of(plan);
+        let mut inner = self.inner.write().unwrap();
+        if inner.entries.contains_key(&fp) {
+            return false;
+        }
+        inner.entries.insert(
+            fp,
+            Entry {
+                plan: SharedPlan::new(plan.clone()),
+                obs,
+                data_stamp,
+            },
+        );
+        redirect_semantic(&mut inner, plan, fp, data_stamp);
+        drop(inner);
+        self.generation.fetch_add(1, Ordering::Release);
+        true
     }
 
     /// The observation for `fp`, if any execution has been recorded —
@@ -275,6 +282,35 @@ impl FeedbackStore {
     }
 }
 
+/// Redirect the semantic index to `fp` only when the recording is at
+/// least as fresh as the shape it would shadow: a stale sibling (recorded
+/// at an older data stamp) must not hide a sibling whose rows-only
+/// evidence still describes current data. Stamps are monotone, so "newer
+/// or equal stamp" means fresher; unstamped recordings (and dangling
+/// index entries) always win.
+fn redirect_semantic(
+    inner: &mut Inner,
+    plan: &LogicalPlan,
+    fp: PlanFingerprint,
+    data_stamp: Option<u64>,
+) {
+    let key = semantic_key(plan);
+    let redirect = match inner
+        .semantic
+        .get(&key)
+        .and_then(|prev| inner.entries.get(prev).map(|e| (*prev, e)))
+    {
+        Some((prev, shadowed)) if prev != fp => match (shadowed.data_stamp, data_stamp) {
+            (Some(theirs), Some(ours)) => ours >= theirs,
+            _ => true,
+        },
+        _ => true,
+    };
+    if redirect {
+        inner.semantic.insert(key, fp);
+    }
+}
+
 fn one_run(rows: u64, work: &ExecWork) -> Observation {
     Observation {
         rows: rows as f64,
@@ -349,6 +385,38 @@ mod tests {
         store.clear();
         assert!(store.is_empty());
         assert!(store.generation() > g);
+    }
+
+    #[test]
+    fn restore_round_trips_snapshot_entries_and_defers_to_live_ones() {
+        let store = FeedbackStore::new();
+        store.record_at(&LogicalPlan::scan("a"), 10, &work(1, 10), 3);
+        store.record_at(&LogicalPlan::scan("a"), 30, &work(3, 30), 3);
+        store.record(&LogicalPlan::scan("b"), 7, &work(0, 7));
+        let exported = store.snapshot_stamped();
+
+        let restored = FeedbackStore::new();
+        for (plan, obs, stamp) in &exported {
+            assert!(restored.restore(plan.as_plan(), *obs, *stamp));
+        }
+        assert_eq!(restored.snapshot_stamped(), exported);
+        assert!(restored.generation() > 0, "restores advance the generation");
+        // The running mean survived intact, runs and all.
+        let a = restored
+            .observed_fresh(PlanFingerprint::of(&LogicalPlan::scan("a")), 3)
+            .unwrap();
+        assert_eq!((a.rows, a.runs), (20.0, 2));
+
+        // A live entry recorded after restart wins over the snapshot.
+        let live = FeedbackStore::new();
+        live.record_at(&LogicalPlan::scan("a"), 999, &work(0, 999), 4);
+        for (plan, obs, stamp) in &exported {
+            live.restore(plan.as_plan(), *obs, *stamp);
+        }
+        let a = live
+            .observed(PlanFingerprint::of(&LogicalPlan::scan("a")))
+            .unwrap();
+        assert_eq!(a.rows, 999.0);
     }
 
     #[test]

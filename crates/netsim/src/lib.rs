@@ -14,13 +14,19 @@
 //! All durations are expressed in whole nanoseconds ([`Ns`]). The clock
 //! and counters are atomic so they can be shared across threads; shared
 //! ownership goes through `Arc<Clock>`.
+//!
+//! The crate also hosts the workspace's deterministic PRNG ([`StdRng`],
+//! re-exported from [`rng`]) so simulation, workload generation, and fault
+//! injection all draw from one seeded generator implementation.
 
 mod clock;
 mod profile;
+pub mod rng;
 mod stats;
 
 pub use clock::{Clock, Ns};
 pub use profile::NetworkProfile;
+pub use rng::{SampleRange, StdRng};
 pub use stats::NetStats;
 
 /// Convert virtual nanoseconds into seconds as an `f64` (for reporting).

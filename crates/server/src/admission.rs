@@ -13,8 +13,10 @@
 //! one (trading plan quality for latency exactly when latency is scarce).
 
 use crate::error::ServerError;
+use crate::sync;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Condvar, Mutex};
+use std::time::{Duration, Instant};
 
 #[derive(Debug, Default)]
 struct AdmState {
@@ -53,10 +55,12 @@ impl Permit<'_> {
 
 impl Drop for Permit<'_> {
     fn drop(&mut self) {
-        let mut s = self.admission.state.lock().unwrap();
+        let mut s = sync::lock(&self.admission.state);
         s.running -= 1;
         drop(s);
-        self.admission.freed.notify_one();
+        // notify_all (not _one): queued admissions and `wait_idle` drains
+        // wait on the same condvar with different predicates.
+        self.admission.freed.notify_all();
     }
 }
 
@@ -83,10 +87,19 @@ impl Admission {
     /// are busy. Returns [`ServerError::Overloaded`] without blocking
     /// when the queue is already full.
     pub fn admit(&self) -> Result<Permit<'_>, ServerError> {
-        let mut s = self.state.lock().unwrap();
+        self.admit_bounded(self.max_queue)
+    }
+
+    /// [`Admission::admit`] with an explicit queue bound (clamped to the
+    /// configured maximum). The service passes a halved bound while its
+    /// health machine is `Degraded`, shedding load earlier when workers
+    /// are already faulting.
+    pub fn admit_bounded(&self, max_queue: usize) -> Result<Permit<'_>, ServerError> {
+        let max_queue = max_queue.min(self.max_queue);
+        let mut s = sync::lock(&self.state);
         let mut waited_at_depth = 0usize;
         if s.running >= self.max_concurrent {
-            if s.queued >= self.max_queue {
+            if s.queued >= max_queue {
                 let err = ServerError::Overloaded {
                     running: s.running,
                     queued: s.queued,
@@ -98,7 +111,7 @@ impl Admission {
             s.queued += 1;
             waited_at_depth = s.queued;
             while s.running >= self.max_concurrent {
-                s = self.freed.wait(s).unwrap();
+                s = sync::wait(&self.freed, s);
             }
             s.queued -= 1;
         }
@@ -132,6 +145,24 @@ impl Admission {
     /// budget).
     pub fn degraded(&self) -> u64 {
         self.degraded.load(Ordering::Relaxed)
+    }
+
+    /// Block until no request is running (clean drain-on-shutdown) or
+    /// `timeout` elapses. Returns true when fully drained. New admissions
+    /// are the caller's problem: the service stops admitting before it
+    /// drains.
+    pub fn wait_idle(&self, timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        let mut s = sync::lock(&self.state);
+        while s.running > 0 {
+            let now = Instant::now();
+            if now >= deadline {
+                return false;
+            }
+            let (guard, _) = sync::wait_timeout(&self.freed, s, deadline - now);
+            s = guard;
+        }
+        true
     }
 }
 
@@ -175,6 +206,33 @@ mod tests {
         waiter.join().unwrap();
         assert_eq!(adm.admitted(), 2);
         assert_eq!(adm.rejected(), 0);
+    }
+
+    #[test]
+    fn wait_idle_observes_drain() {
+        let adm = Admission::new(2, 4, 8);
+        std::thread::scope(|scope| {
+            let p1 = adm.admit().unwrap();
+            let p2 = adm.admit().unwrap();
+            assert!(!adm.wait_idle(Duration::from_millis(10)), "still running");
+            scope.spawn(move || {
+                std::thread::sleep(Duration::from_millis(20));
+                drop(p1);
+                drop(p2);
+            });
+            assert!(adm.wait_idle(Duration::from_secs(2)), "drains");
+        });
+    }
+
+    #[test]
+    fn tighter_bound_sheds_earlier() {
+        let adm = Admission::new(1, 8, 8);
+        let _p = adm.admit().unwrap();
+        // With the full queue bound this would enqueue; with a bound of 0
+        // (degraded shedding) it is rejected immediately.
+        let err = adm.admit_bounded(0).unwrap_err();
+        assert!(matches!(err, ServerError::Overloaded { .. }));
+        assert_eq!(adm.rejected(), 1);
     }
 
     #[test]

@@ -41,36 +41,36 @@ impl ByteWriter {
         self.buf
     }
 
-    fn u8(&mut self, v: u8) {
+    pub(crate) fn u8(&mut self, v: u8) {
         self.buf.push(v);
     }
 
-    fn bool(&mut self, v: bool) {
+    pub(crate) fn bool(&mut self, v: bool) {
         self.buf.push(v as u8);
     }
 
-    fn u32(&mut self, v: u32) {
+    pub(crate) fn u32(&mut self, v: u32) {
         self.buf.extend_from_slice(&v.to_be_bytes());
     }
 
-    fn u64(&mut self, v: u64) {
+    pub(crate) fn u64(&mut self, v: u64) {
         self.buf.extend_from_slice(&v.to_be_bytes());
     }
 
-    fn i64(&mut self, v: i64) {
+    pub(crate) fn i64(&mut self, v: i64) {
         self.buf.extend_from_slice(&v.to_be_bytes());
     }
 
-    fn f64(&mut self, v: f64) {
+    pub(crate) fn f64(&mut self, v: f64) {
         self.buf.extend_from_slice(&v.to_bits().to_be_bytes());
     }
 
-    fn str(&mut self, s: &str) {
+    pub(crate) fn str(&mut self, s: &str) {
         self.u32(s.len() as u32);
         self.buf.extend_from_slice(s.as_bytes());
     }
 
-    fn len(&mut self, n: usize) {
+    pub(crate) fn len(&mut self, n: usize) {
         self.u32(n as u32);
     }
 }
@@ -103,11 +103,11 @@ impl<'a> ByteReader<'a> {
         Ok(s)
     }
 
-    fn u8(&mut self) -> Result<u8> {
+    pub(crate) fn u8(&mut self) -> Result<u8> {
         Ok(self.take(1)?[0])
     }
 
-    fn bool(&mut self) -> Result<bool> {
+    pub(crate) fn bool(&mut self) -> Result<bool> {
         match self.u8()? {
             0 => Ok(false),
             1 => Ok(true),
@@ -115,29 +115,29 @@ impl<'a> ByteReader<'a> {
         }
     }
 
-    fn u32(&mut self) -> Result<u32> {
+    pub(crate) fn u32(&mut self) -> Result<u32> {
         Ok(u32::from_be_bytes(self.take(4)?.try_into().unwrap()))
     }
 
-    fn u64(&mut self) -> Result<u64> {
+    pub(crate) fn u64(&mut self) -> Result<u64> {
         Ok(u64::from_be_bytes(self.take(8)?.try_into().unwrap()))
     }
 
-    fn i64(&mut self) -> Result<i64> {
+    pub(crate) fn i64(&mut self) -> Result<i64> {
         Ok(i64::from_be_bytes(self.take(8)?.try_into().unwrap()))
     }
 
-    fn f64(&mut self) -> Result<f64> {
+    pub(crate) fn f64(&mut self) -> Result<f64> {
         Ok(f64::from_bits(self.u64()?))
     }
 
-    fn str(&mut self) -> Result<String> {
+    pub(crate) fn str(&mut self) -> Result<String> {
         let n = self.u32()? as usize;
         let bytes = self.take(n)?;
         String::from_utf8(bytes.to_vec()).map_err(|_| bad("utf-8"))
     }
 
-    fn len(&mut self) -> Result<usize> {
+    pub(crate) fn len(&mut self) -> Result<usize> {
         let n = self.u32()? as usize;
         // A length prefix can never exceed the bytes that remain; checking
         // here keeps a corrupt frame from provoking a huge allocation.
@@ -557,7 +557,7 @@ fn get_stmt(r: &mut ByteReader) -> Result<Stmt> {
     Ok(Stmt { kind, line })
 }
 
-fn put_function(w: &mut ByteWriter, f: &Function) {
+pub(crate) fn put_function(w: &mut ByteWriter, f: &Function) {
     w.str(&f.name);
     w.len(f.params.len());
     for p in &f.params {
@@ -566,7 +566,7 @@ fn put_function(w: &mut ByteWriter, f: &Function) {
     put_stmts(w, &f.body);
 }
 
-fn get_function(r: &mut ByteReader) -> Result<Function> {
+pub(crate) fn get_function(r: &mut ByteReader) -> Result<Function> {
     let name = r.str()?;
     let n = r.len()?;
     let mut params = Vec::with_capacity(n);
@@ -697,14 +697,14 @@ fn get_outcome(r: &mut ByteReader) -> Result<NormalizedOutcome> {
     Ok(NormalizedOutcome { vars, ret, prints })
 }
 
-fn put_stamp(w: &mut ByteWriter, s: &CacheStamp) {
+pub(crate) fn put_stamp(w: &mut ByteWriter, s: &CacheStamp) {
     w.u64(s.instance_id);
     w.u64(s.stats_epoch);
     w.u64(s.feedback_generation);
     w.u8(s.mode);
 }
 
-fn get_stamp(r: &mut ByteReader) -> Result<CacheStamp> {
+pub(crate) fn get_stamp(r: &mut ByteReader) -> Result<CacheStamp> {
     Ok(CacheStamp {
         instance_id: r.u64()?,
         stats_epoch: r.u64()?,
@@ -781,6 +781,9 @@ fn put_counters(w: &mut ByteWriter, c: &ServerCounters) {
         c.executions,
         c.drift_swaps,
         c.validated_promotions,
+        c.internal_errors,
+        c.idempotent_replays,
+        c.restored_plans,
     ] {
         w.u64(v);
     }
@@ -801,6 +804,9 @@ fn get_counters(r: &mut ByteReader) -> Result<ServerCounters> {
         executions: r.u64()?,
         drift_swaps: r.u64()?,
         validated_promotions: r.u64()?,
+        internal_errors: r.u64()?,
+        idempotent_replays: r.u64()?,
+        restored_plans: r.u64()?,
     })
 }
 
@@ -818,6 +824,10 @@ pub enum Request {
     Submit {
         /// The session id.
         session: u64,
+        /// Idempotency key (0 = none). A retried submission reusing the
+        /// key replays the original reply if the first attempt actually
+        /// completed server-side — the work is never done twice.
+        idempotency: u64,
         /// The program to optimize and execute.
         program: Program,
     },
@@ -846,9 +856,14 @@ impl Request {
                 w.u8(1);
                 w.str(tenant);
             }
-            Request::Submit { session, program } => {
+            Request::Submit {
+                session,
+                idempotency,
+                program,
+            } => {
                 w.u8(2);
                 w.u64(*session);
+                w.u64(*idempotency);
                 put_program(&mut w, program);
             }
             Request::Report { session } => {
@@ -872,8 +887,10 @@ impl Request {
             1 => Request::OpenSession { tenant: r.str()? },
             2 => {
                 let session = r.u64()?;
+                let idempotency = r.u64()?;
                 Request::Submit {
                     session,
+                    idempotency,
                     program: get_program(&mut r)?,
                 }
             }
@@ -1023,6 +1040,7 @@ mod tests {
             },
             Request::Submit {
                 session: 42,
+                idempotency: 0xFEED,
                 program: case.program.clone(),
             },
             Request::Report { session: 42 },
@@ -1070,5 +1088,35 @@ mod tests {
         let mut ok = Request::Counters.encode();
         ok.push(0);
         assert!(Request::decode(&ok).is_err());
+    }
+
+    #[test]
+    fn garbage_bytes_never_panic_the_decoder() {
+        // Regression fuzz: deterministic pseudo-random byte soup must
+        // produce `Err(Protocol)` or a valid frame — never a panic or a
+        // runaway allocation. (Catching a decoder panic would abort the
+        // whole server's reader thread; this is the codec-hardening
+        // contract the chaos harness leans on.)
+        let mut rng = netsim::StdRng::seed_from_u64(0xBAD_F00D);
+        for _ in 0..2000 {
+            let len = rng.gen_range(0..96usize);
+            let mut buf = vec![0u8; len];
+            for b in &mut buf {
+                *b = rng.gen_range(0..256u64) as u8;
+            }
+            let _ = Request::decode(&buf);
+            let _ = Response::decode(&buf);
+        }
+        // Truncations of a real frame are equally harmless.
+        let case = GenCase::from_seed(11, &GenConfig::default());
+        let full = Request::Submit {
+            session: 1,
+            idempotency: 7,
+            program: case.program,
+        }
+        .encode();
+        for cut in 0..full.len() {
+            assert!(Request::decode(&full[..cut]).is_err(), "cut at {cut}");
+        }
     }
 }

@@ -32,6 +32,14 @@ pub enum ServerError {
     Io(String),
     /// The server is shutting down and no longer accepts work.
     ShuttingDown,
+    /// A worker panicked while serving this request. The panic was caught
+    /// at the job boundary — locks stay usable, the admission slot is
+    /// released, and only this request fails. Carries the panic message.
+    Internal(String),
+    /// A plan-cache snapshot failed to load: bad magic, unsupported
+    /// version, checksum mismatch, or truncated/garbled payload. The
+    /// server starts cold instead of wedging on bad persisted state.
+    Snapshot(String),
 }
 
 impl ServerError {
@@ -45,7 +53,22 @@ impl ServerError {
             ServerError::Protocol(_) => 5,
             ServerError::Io(_) => 6,
             ServerError::ShuttingDown => 7,
+            ServerError::Internal(_) => 8,
+            ServerError::Snapshot(_) => 9,
         }
+    }
+
+    /// Build an [`ServerError::Internal`] from a caught panic payload
+    /// (the `Box<dyn Any>` `std::panic::catch_unwind` hands back).
+    pub fn from_panic(payload: Box<dyn std::any::Any + Send>) -> ServerError {
+        let msg = if let Some(s) = payload.downcast_ref::<&str>() {
+            (*s).to_string()
+        } else if let Some(s) = payload.downcast_ref::<String>() {
+            s.clone()
+        } else {
+            "panic of unknown type".to_string()
+        };
+        ServerError::Internal(msg)
     }
 
     /// Rebuild a variant from its wire code and message (the lossy
@@ -62,6 +85,8 @@ impl ServerError {
             4 => ServerError::Db(message),
             6 => ServerError::Io(message),
             7 => ServerError::ShuttingDown,
+            8 => ServerError::Internal(message),
+            9 => ServerError::Snapshot(message),
             _ => ServerError::Protocol(message),
         }
     }
@@ -80,6 +105,8 @@ impl std::fmt::Display for ServerError {
             ServerError::Protocol(msg) => write!(f, "protocol error: {msg}"),
             ServerError::Io(msg) => write!(f, "i/o error: {msg}"),
             ServerError::ShuttingDown => write!(f, "server shutting down"),
+            ServerError::Internal(msg) => write!(f, "internal error: worker panicked: {msg}"),
+            ServerError::Snapshot(msg) => write!(f, "snapshot error: {msg}"),
         }
     }
 }

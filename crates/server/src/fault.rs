@@ -1,0 +1,359 @@
+//! Seeded fault injection for the serving stack.
+//!
+//! A [`FaultPlan`] is threaded through the wire server and the service's
+//! worker paths and decides, at each injection site, whether to misbehave:
+//! drop the connection before replying, write a short frame, stall or slow
+//! a response, corrupt a frame on the way out, or panic inside a worker.
+//! Every decision draws from the workspace PRNG ([`netsim::StdRng`]) keyed
+//! by `(seed, site, per-site sequence number)`, so a given `u64` seed
+//! replays the same fault schedule for the same request order — chaos runs
+//! are reproducible, and a failing seed is a repro, not an anecdote.
+//!
+//! The default plan ([`FaultPlan::off`]) is inert: `decide` short-circuits
+//! to `None` without touching an atomic, so a server with faults disabled
+//! behaves exactly like one built before this module existed.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use netsim::StdRng;
+
+/// The kinds of fault the plan can inject.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Close the connection without sending a response.
+    ConnReset,
+    /// Write the length prefix and part of the body, then close.
+    PartialWrite,
+    /// Sleep longer than any reasonable client deadline before replying
+    /// (the client sees a read timeout).
+    StallRead,
+    /// Sleep briefly before replying (latency, but the request succeeds).
+    SlowRead,
+    /// Flip the response frame's tag byte to garbage so it fails to decode.
+    CorruptFrame,
+    /// Panic inside the worker serving the request.
+    WorkerPanic,
+}
+
+impl FaultKind {
+    /// All kinds, in counter order.
+    pub const ALL: [FaultKind; 6] = [
+        FaultKind::ConnReset,
+        FaultKind::PartialWrite,
+        FaultKind::StallRead,
+        FaultKind::SlowRead,
+        FaultKind::CorruptFrame,
+        FaultKind::WorkerPanic,
+    ];
+
+    fn index(self) -> usize {
+        match self {
+            FaultKind::ConnReset => 0,
+            FaultKind::PartialWrite => 1,
+            FaultKind::StallRead => 2,
+            FaultKind::SlowRead => 3,
+            FaultKind::CorruptFrame => 4,
+            FaultKind::WorkerPanic => 5,
+        }
+    }
+
+    /// Short stable name (used in reports and bench output).
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultKind::ConnReset => "conn-reset",
+            FaultKind::PartialWrite => "partial-write",
+            FaultKind::StallRead => "stall-read",
+            FaultKind::SlowRead => "slow-read",
+            FaultKind::CorruptFrame => "corrupt-frame",
+            FaultKind::WorkerPanic => "worker-panic",
+        }
+    }
+}
+
+/// Where a fault decision is being made. Each site has its own decision
+/// sequence so schedules at one site don't perturb another.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultSite {
+    /// The wire server is about to write a response frame.
+    Response,
+    /// A worker is about to run the optimizer search for a cache miss.
+    Search,
+    /// A worker is about to execute an optimized program.
+    Execute,
+}
+
+impl FaultSite {
+    fn index(self) -> usize {
+        match self {
+            FaultSite::Response => 0,
+            FaultSite::Search => 1,
+            FaultSite::Execute => 2,
+        }
+    }
+}
+
+/// Fault probabilities (per mille, i.e. ‰ per decision) and timing knobs.
+#[derive(Debug, Clone)]
+pub struct FaultConfig {
+    /// Seed for the deterministic decision stream.
+    pub seed: u64,
+    /// ‰ chance per response of closing the connection without replying.
+    pub reset_permille: u32,
+    /// ‰ chance per response of a short write (prefix + partial body).
+    pub partial_write_permille: u32,
+    /// ‰ chance per response of stalling past the client deadline.
+    pub stall_permille: u32,
+    /// ‰ chance per response of a slow (but successful) reply.
+    pub slow_permille: u32,
+    /// ‰ chance per response of corrupting the frame tag byte.
+    pub corrupt_permille: u32,
+    /// ‰ chance per search/execute job of a worker panic.
+    pub panic_permille: u32,
+    /// How long a stalled response sleeps (should exceed client deadlines).
+    pub stall: Duration,
+    /// How long a slow response sleeps (should stay under client deadlines).
+    pub slow: Duration,
+}
+
+impl FaultConfig {
+    /// All fault rates zero: injection fully disabled.
+    pub fn off() -> FaultConfig {
+        FaultConfig {
+            seed: 0,
+            reset_permille: 0,
+            partial_write_permille: 0,
+            stall_permille: 0,
+            slow_permille: 0,
+            corrupt_permille: 0,
+            panic_permille: 0,
+            stall: Duration::from_millis(0),
+            slow: Duration::from_millis(0),
+        }
+    }
+
+    /// A moderately hostile mix: every fault kind enabled at rates where a
+    /// handful of faults land per hundred requests.
+    pub fn chaos(seed: u64) -> FaultConfig {
+        FaultConfig {
+            seed,
+            reset_permille: 60,
+            partial_write_permille: 50,
+            stall_permille: 40,
+            slow_permille: 60,
+            corrupt_permille: 50,
+            panic_permille: 60,
+            stall: Duration::from_millis(150),
+            slow: Duration::from_millis(5),
+        }
+    }
+
+    fn enabled(&self) -> bool {
+        self.reset_permille
+            + self.partial_write_permille
+            + self.stall_permille
+            + self.slow_permille
+            + self.corrupt_permille
+            + self.panic_permille
+            > 0
+    }
+}
+
+/// A seeded, shareable fault schedule with per-kind injection counters.
+#[derive(Debug)]
+pub struct FaultPlan {
+    cfg: FaultConfig,
+    enabled: bool,
+    seq: [AtomicU64; 3],
+    injected: [AtomicU64; 6],
+}
+
+impl FaultPlan {
+    /// An inert plan: never injects, adds no overhead on the serving path.
+    pub fn off() -> Arc<FaultPlan> {
+        FaultPlan::from_config(FaultConfig::off())
+    }
+
+    /// The default hostile mix for `seed` (see [`FaultConfig::chaos`]).
+    pub fn chaos(seed: u64) -> Arc<FaultPlan> {
+        FaultPlan::from_config(FaultConfig::chaos(seed))
+    }
+
+    /// Build a plan from explicit rates.
+    pub fn from_config(cfg: FaultConfig) -> Arc<FaultPlan> {
+        let enabled = cfg.enabled();
+        Arc::new(FaultPlan {
+            cfg,
+            enabled,
+            seq: Default::default(),
+            injected: Default::default(),
+        })
+    }
+
+    /// Whether any fault rate is non-zero.
+    pub fn enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Timing for [`FaultKind::StallRead`].
+    pub fn stall_duration(&self) -> Duration {
+        self.cfg.stall
+    }
+
+    /// Timing for [`FaultKind::SlowRead`].
+    pub fn slow_duration(&self) -> Duration {
+        self.cfg.slow
+    }
+
+    /// Decide whether to inject a fault at `site`. Deterministic per
+    /// `(seed, site, decision index)`; decision indexes advance one per
+    /// call, independently per site.
+    pub fn decide(&self, site: FaultSite) -> Option<FaultKind> {
+        if !self.enabled {
+            return None;
+        }
+        let n = self.seq[site.index()].fetch_add(1, Ordering::Relaxed);
+        // Mix site and sequence into the seed; StdRng's splitmix64 seeding
+        // then decorrelates neighbouring (site, n) pairs.
+        let mixed = self
+            .cfg
+            .seed
+            .wrapping_add((site.index() as u64 + 1).wrapping_mul(0xA24BAED4963EE407))
+            .wrapping_add(n.wrapping_mul(0x9E3779B97F4A7C15));
+        let mut rng = StdRng::seed_from_u64(mixed);
+        let roll = rng.gen_range(0..1000u32);
+        let kind = match site {
+            FaultSite::Response => {
+                let c = &self.cfg;
+                let mut bound = c.reset_permille;
+                if roll < bound {
+                    Some(FaultKind::ConnReset)
+                } else if roll < {
+                    bound += c.partial_write_permille;
+                    bound
+                } {
+                    Some(FaultKind::PartialWrite)
+                } else if roll < {
+                    bound += c.stall_permille;
+                    bound
+                } {
+                    Some(FaultKind::StallRead)
+                } else if roll < {
+                    bound += c.slow_permille;
+                    bound
+                } {
+                    Some(FaultKind::SlowRead)
+                } else if roll < {
+                    bound += c.corrupt_permille;
+                    bound
+                } {
+                    Some(FaultKind::CorruptFrame)
+                } else {
+                    None
+                }
+            }
+            FaultSite::Search | FaultSite::Execute => {
+                if roll < self.cfg.panic_permille {
+                    Some(FaultKind::WorkerPanic)
+                } else {
+                    None
+                }
+            }
+        };
+        if let Some(k) = kind {
+            self.injected[k.index()].fetch_add(1, Ordering::Relaxed);
+        }
+        kind
+    }
+
+    /// How many faults of `kind` have been injected so far.
+    pub fn injected(&self, kind: FaultKind) -> u64 {
+        self.injected[kind.index()].load(Ordering::Relaxed)
+    }
+
+    /// Total faults injected across all kinds.
+    pub fn total_injected(&self) -> u64 {
+        self.injected
+            .iter()
+            .map(|c| c.load(Ordering::Relaxed))
+            .sum()
+    }
+
+    /// Per-kind injection counts, in [`FaultKind::ALL`] order.
+    pub fn counts(&self) -> [(FaultKind, u64); 6] {
+        FaultKind::ALL.map(|k| (k, self.injected(k)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn off_plan_never_injects() {
+        let plan = FaultPlan::off();
+        assert!(!plan.enabled());
+        for _ in 0..1000 {
+            assert_eq!(plan.decide(FaultSite::Response), None);
+            assert_eq!(plan.decide(FaultSite::Search), None);
+        }
+        assert_eq!(plan.total_injected(), 0);
+    }
+
+    #[test]
+    fn same_seed_same_schedule() {
+        let a = FaultPlan::chaos(1234);
+        let b = FaultPlan::chaos(1234);
+        for _ in 0..500 {
+            assert_eq!(a.decide(FaultSite::Response), b.decide(FaultSite::Response));
+            assert_eq!(a.decide(FaultSite::Search), b.decide(FaultSite::Search));
+            assert_eq!(a.decide(FaultSite::Execute), b.decide(FaultSite::Execute));
+        }
+        assert_eq!(a.total_injected(), b.total_injected());
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let a = FaultPlan::chaos(1);
+        let b = FaultPlan::chaos(2);
+        let sa: Vec<_> = (0..500).map(|_| a.decide(FaultSite::Response)).collect();
+        let sb: Vec<_> = (0..500).map(|_| b.decide(FaultSite::Response)).collect();
+        assert_ne!(sa, sb);
+    }
+
+    #[test]
+    fn chaos_hits_every_kind_eventually() {
+        let plan = FaultPlan::chaos(42);
+        for _ in 0..4000 {
+            plan.decide(FaultSite::Response);
+            plan.decide(FaultSite::Search);
+            plan.decide(FaultSite::Execute);
+        }
+        for (kind, count) in plan.counts() {
+            assert!(
+                count > 0,
+                "{} never injected in 4000 decisions",
+                kind.name()
+            );
+        }
+        // Rates are per-mille; sanity-check we're in the right order of
+        // magnitude rather than injecting on every call.
+        assert!(plan.total_injected() < 4000);
+    }
+
+    #[test]
+    fn sites_have_independent_sequences() {
+        // Consuming decisions at one site must not shift another site's
+        // schedule (request ordering on the wire shouldn't perturb worker
+        // fault timing).
+        let a = FaultPlan::chaos(7);
+        let b = FaultPlan::chaos(7);
+        for _ in 0..100 {
+            a.decide(FaultSite::Response);
+        }
+        let sa: Vec<_> = (0..100).map(|_| a.decide(FaultSite::Search)).collect();
+        let sb: Vec<_> = (0..100).map(|_| b.decide(FaultSite::Search)).collect();
+        assert_eq!(sa, sb);
+    }
+}

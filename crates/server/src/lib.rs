@@ -27,6 +27,16 @@
 //! * **Wire protocol** ([`WireServer`]/[`WireClient`]): a dependency-free
 //!   length-prefixed binary protocol over `std::net::TcpStream`, so the
 //!   service also runs out of process.
+//! * **Fault injection and resilience** ([`FaultPlan`], [`RetryPolicy`],
+//!   [`Health`]): a seeded chaos harness injects connection resets,
+//!   partial writes, stalls, corrupt frames, and worker panics at the
+//!   server's seams; the client retries with bounded exponential backoff
+//!   and idempotency keys; the service isolates panics, degrades under
+//!   sustained faults, and drains cleanly on shutdown.
+//! * **Crash-safe persistence** ([`Snapshot`]): the plan cache and
+//!   feedback stores snapshot to a versioned, checksummed file (written
+//!   atomically) and restore on restart, so a rebooted server serves
+//!   cache hits instead of re-searching.
 //!
 //! ```
 //! use cobra_server::{CobraService, ServerConfig, TenantSpec};
@@ -52,14 +62,20 @@
 pub mod admission;
 pub mod codec;
 pub mod error;
+pub mod fault;
 pub mod net;
 pub mod plan_cache;
 pub mod service;
+pub mod snapshot;
+pub mod sync;
 
 pub use codec::{Request, Response};
 pub use error::ServerError;
-pub use net::{WireClient, WireServer};
+pub use fault::{FaultConfig, FaultKind, FaultPlan, FaultSite};
+pub use net::{RetryPolicy, WireClient, WireServer};
 pub use plan_cache::{program_fingerprint, CacheKey, CacheOutcome, CachedPlan, PlanCache};
 pub use service::{
-    CobraService, ServerConfig, ServerCounters, SessionId, SubmitReply, TenantId, TenantSpec,
+    CobraService, Health, ServerConfig, ServerCounters, SessionId, SubmitReply, TenantId,
+    TenantSpec,
 };
+pub use snapshot::{RestoreReport, Snapshot};

@@ -10,11 +10,24 @@
 //! its own thread. Shutdown is cooperative: connection threads use a
 //! read timeout to poll the shutdown flag, and [`WireServer::shutdown`]
 //! unblocks the accept loop by connecting to itself.
+//!
+//! **Fault injection.** When the service's [`crate::FaultPlan`] is enabled, the
+//! response write path consults it per reply and injects transport
+//! faults — connection resets, partial writes, stalls, slow trickles,
+//! corrupted frames — deterministically from the plan's seed. The
+//! matching client story is [`RetryPolicy`]: [`WireClient::connect_with`]
+//! retries transient failures on a fresh connection with bounded
+//! exponential backoff, deterministic jitter, and per-submission
+//! idempotency keys so a retried submission whose original completed is
+//! replayed, not re-executed.
 
 use crate::codec::{Request, Response};
 use crate::error::ServerError;
+use crate::fault::{FaultKind, FaultSite};
 use crate::service::ServerCounters;
 use crate::service::{CobraService, SessionId, SubmitReply};
+use crate::sync;
+use netsim::StdRng;
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -25,10 +38,31 @@ use std::time::Duration;
 /// far beyond any real program, small enough to bound a bad frame).
 const MAX_FRAME: u32 = 64 << 20;
 
+/// Largest up-front body allocation. A length prefix is attacker/chaos
+/// controlled; bodies grow in bounded steps as bytes actually arrive, so
+/// a hostile 64 MiB prefix costs bandwidth, never memory.
+const ALLOC_CAP: usize = 1 << 20;
+
 fn write_frame(stream: &mut TcpStream, body: &[u8]) -> std::io::Result<()> {
     stream.write_all(&(body.len() as u32).to_be_bytes())?;
     stream.write_all(body)?;
     stream.flush()
+}
+
+/// Read exactly `len` body bytes without trusting `len` for the
+/// allocation (see [`ALLOC_CAP`]).
+fn read_body(stream: &mut TcpStream, len: usize) -> std::io::Result<Vec<u8>> {
+    let mut body = Vec::with_capacity(len.min(ALLOC_CAP));
+    let mut chunk = [0u8; 64 * 1024];
+    while body.len() < len {
+        let want = (len - body.len()).min(chunk.len());
+        let n = stream.read(&mut chunk[..want])?;
+        if n == 0 {
+            return Err(std::io::ErrorKind::UnexpectedEof.into());
+        }
+        body.extend_from_slice(&chunk[..n]);
+    }
+    Ok(body)
 }
 
 /// Read one frame. `Ok(None)` means the peer closed cleanly between
@@ -48,9 +82,7 @@ fn read_frame(stream: &mut TcpStream) -> std::io::Result<Option<Vec<u8>>> {
             format!("frame of {len} bytes exceeds the {MAX_FRAME}-byte cap"),
         ));
     }
-    let mut body = vec![0u8; len as usize];
-    stream.read_exact(&mut body)?;
-    Ok(Some(body))
+    Ok(Some(read_body(stream, len as usize)?))
 }
 
 /// The wire front end: a TCP listener serving a [`CobraService`].
@@ -100,7 +132,7 @@ impl WireServer {
         self.service.shutdown();
         // Unblock the accept() call with a throwaway connection.
         let _ = TcpStream::connect(self.addr);
-        if let Some(handle) = self.accept_thread.lock().unwrap().take() {
+        if let Some(handle) = sync::lock(&self.accept_thread).take() {
             let _ = handle.join();
         }
     }
@@ -181,7 +213,7 @@ fn read_frame_polling(
                 }
                 in_header = false;
                 need = len as usize;
-                have = Vec::with_capacity(need);
+                have = Vec::with_capacity(need.min(ALLOC_CAP));
                 if need == 0 {
                     return Ok(Some(have));
                 }
@@ -195,6 +227,7 @@ fn read_frame_polling(
 fn serve_connection(mut stream: TcpStream, service: CobraService, stop: Arc<AtomicBool>) {
     let _ = stream.set_read_timeout(Some(Duration::from_millis(100)));
     let _ = stream.set_nodelay(true);
+    let faults = service.config().faults.clone();
     loop {
         let body = match read_frame_polling(&mut stream, &stop) {
             Ok(Some(body)) => body,
@@ -209,7 +242,32 @@ fn serve_connection(mut stream: TcpStream, service: CobraService, stop: Arc<Atom
             stop.store(true, Ordering::Release);
             service.shutdown();
         }
-        if write_frame(&mut stream, &response.encode()).is_err() {
+        let mut frame = response.encode();
+        // Chaos harness: the response write is the transport's seam, so
+        // every transport fault is injected here. The shutdown ack is
+        // exempt — a clean shutdown must stay observable.
+        if !shutdown_after {
+            match faults.decide(FaultSite::Response) {
+                Some(FaultKind::ConnReset) => return, // reply swallowed, peer sees EOF
+                Some(FaultKind::PartialWrite) => {
+                    // Length prefix plus half the body, then sever: the
+                    // peer is left mid-frame and must reconnect.
+                    let _ = stream.write_all(&(frame.len() as u32).to_be_bytes());
+                    let _ = stream.write_all(&frame[..frame.len() / 2]);
+                    let _ = stream.flush();
+                    return;
+                }
+                Some(FaultKind::StallRead) => std::thread::sleep(faults.stall_duration()),
+                Some(FaultKind::SlowRead) => std::thread::sleep(faults.slow_duration()),
+                Some(FaultKind::CorruptFrame) => {
+                    // Clobber the response tag: corruption the decoder is
+                    // guaranteed to detect, never silently-wrong fields.
+                    frame[0] = 0xEE;
+                }
+                Some(FaultKind::WorkerPanic) | None => {} // panics inject in the service
+            }
+        }
+        if write_frame(&mut stream, &frame).is_err() {
             return;
         }
         if shutdown_after {
@@ -235,12 +293,14 @@ fn handle_request(service: &CobraService, body: &[u8]) -> (Response, bool) {
                 Err(e) => (error_response(&e), false),
             }
         }
-        Request::Submit { session, program } => {
-            match service.submit(SessionId(session), &program) {
-                Ok(reply) => (Response::SubmitOk(Box::new(reply)), false),
-                Err(e) => (error_response(&e), false),
-            }
-        }
+        Request::Submit {
+            session,
+            idempotency,
+            program,
+        } => match service.submit_idempotent(SessionId(session), &program, idempotency) {
+            Ok(reply) => (Response::SubmitOk(Box::new(reply)), false),
+            Err(e) => (error_response(&e), false),
+        },
         Request::Report { session } => match service.session_report(SessionId(session)) {
             Ok(report) => (Response::ReportText(report.to_string()), false),
             Err(e) => (error_response(&e), false),
@@ -261,30 +321,188 @@ fn error_response(e: &ServerError) -> Response {
     }
 }
 
+/// How a [`WireClient`] handles transient failures: per-request
+/// deadlines, bounded retry, exponential backoff with deterministic
+/// jitter.
+///
+/// Retries happen on a *fresh connection* (transport state after a
+/// partial frame is unknowable) and only for failures that are safe or
+/// idempotent to repeat: transport errors, corrupt response frames,
+/// [`ServerError::Overloaded`] shedding, and [`ServerError::Internal`]
+/// worker panics. Submissions carry an idempotency key, so a retry whose
+/// original attempt actually completed replays the recorded reply
+/// instead of executing twice.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total attempts per request (1 = no retry). Clamped to ≥ 1.
+    pub max_attempts: u32,
+    /// Backoff before the first retry; doubles per attempt.
+    pub base_backoff: Duration,
+    /// Backoff ceiling.
+    pub max_backoff: Duration,
+    /// Socket read deadline per attempt (`Duration::ZERO` = wait
+    /// forever). A stalled server turns into a timed-out attempt instead
+    /// of a hung client.
+    pub request_timeout: Duration,
+    /// Seed for the deterministic backoff jitter (same seed, same
+    /// schedule — chaos runs replay exactly).
+    pub seed: u64,
+}
+
+impl RetryPolicy {
+    /// No retries, no deadline: the pre-resilience client behavior.
+    pub fn none() -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: 1,
+            base_backoff: Duration::ZERO,
+            max_backoff: Duration::ZERO,
+            request_timeout: Duration::ZERO,
+            seed: 0,
+        }
+    }
+
+    /// A sensible resilient default: 6 attempts, 5 ms base backoff capped
+    /// at 200 ms, 2 s per-attempt deadline.
+    pub fn standard(seed: u64) -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: 6,
+            base_backoff: Duration::from_millis(5),
+            max_backoff: Duration::from_millis(200),
+            request_timeout: Duration::from_secs(2),
+            seed,
+        }
+    }
+}
+
+impl Default for RetryPolicy {
+    fn default() -> RetryPolicy {
+        RetryPolicy::standard(0x5EED)
+    }
+}
+
 /// A blocking client for the wire protocol. One connection, one request
 /// in flight at a time (clone-free by design — open more clients for
-/// concurrency; the server multiplexes).
+/// concurrency; the server multiplexes). Reconnects and retries per its
+/// [`RetryPolicy`]; [`WireClient::connect`] uses [`RetryPolicy::none`].
 pub struct WireClient {
-    stream: TcpStream,
+    addr: SocketAddr,
+    stream: Option<TcpStream>,
+    policy: RetryPolicy,
+    rng: StdRng,
+    retries: u64,
 }
 
 impl WireClient {
-    /// Connect to a server.
+    /// Connect with no retries and no deadline (the original client
+    /// behavior); use [`WireClient::connect_with`] for resilience.
     pub fn connect(addr: impl ToSocketAddrs) -> Result<WireClient, ServerError> {
-        let stream = TcpStream::connect(addr)?;
-        stream.set_nodelay(true)?;
-        Ok(WireClient { stream })
+        WireClient::connect_with(addr, RetryPolicy::none())
+    }
+
+    /// Connect with an explicit [`RetryPolicy`].
+    pub fn connect_with(
+        addr: impl ToSocketAddrs,
+        policy: RetryPolicy,
+    ) -> Result<WireClient, ServerError> {
+        let addr = addr
+            .to_socket_addrs()?
+            .next()
+            .ok_or_else(|| ServerError::Io("address resolved to nothing".into()))?;
+        let mut client = WireClient {
+            addr,
+            stream: None,
+            policy,
+            rng: StdRng::seed_from_u64(policy.seed),
+            retries: 0,
+        };
+        client.ensure_connected()?;
+        Ok(client)
+    }
+
+    /// Reconnect-and-retry cycles performed so far (0 on a fault-free
+    /// connection).
+    pub fn retries(&self) -> u64 {
+        self.retries
+    }
+
+    fn ensure_connected(&mut self) -> Result<(), ServerError> {
+        if self.stream.is_none() {
+            let stream = TcpStream::connect(self.addr)?;
+            stream.set_nodelay(true)?;
+            if self.policy.request_timeout > Duration::ZERO {
+                stream.set_read_timeout(Some(self.policy.request_timeout))?;
+            }
+            self.stream = Some(stream);
+        }
+        Ok(())
+    }
+
+    /// One attempt. The boolean is "safe to retry": transport and
+    /// corrupt-frame failures always are (state is discarded with the
+    /// connection); decoded server errors only when they are transient
+    /// by contract (`Overloaded` shedding, `Internal` panic isolation).
+    fn call_once(&mut self, request: &Request) -> Result<Response, (ServerError, bool)> {
+        if let Err(e) = self.ensure_connected() {
+            return Err((e, true));
+        }
+        let stream = self.stream.as_mut().expect("connected above");
+        if let Err(e) = write_frame(stream, &request.encode()) {
+            return Err((e.into(), true));
+        }
+        let body = match read_frame(stream) {
+            Ok(Some(body)) => body,
+            Ok(None) => return Err((ServerError::Io("server closed the connection".into()), true)),
+            Err(e) => return Err((e.into(), true)),
+        };
+        let response = match Response::decode(&body) {
+            Ok(r) => r,
+            Err(e) => return Err((e, true)), // corrupt frame: retry on a fresh connection
+        };
+        if let Response::Error { code, message } = response {
+            let err = ServerError::from_code(code, message);
+            let transient = matches!(
+                err,
+                ServerError::Overloaded { .. } | ServerError::Internal(_)
+            );
+            return Err((err, transient));
+        }
+        Ok(response)
     }
 
     fn call(&mut self, request: &Request) -> Result<Response, ServerError> {
-        write_frame(&mut self.stream, &request.encode())?;
-        let body = read_frame(&mut self.stream)?
-            .ok_or_else(|| ServerError::Io("server closed the connection".into()))?;
-        let response = Response::decode(&body)?;
-        if let Response::Error { code, message } = response {
-            return Err(ServerError::from_code(code, message));
+        let max_attempts = self.policy.max_attempts.max(1);
+        let mut attempt = 0u32;
+        loop {
+            attempt += 1;
+            match self.call_once(request) {
+                Ok(response) => return Ok(response),
+                Err((err, retryable)) => {
+                    if !retryable || attempt >= max_attempts {
+                        return Err(err);
+                    }
+                    // Drop the connection unconditionally: after a partial
+                    // or corrupt frame the stream's framing state is
+                    // unknowable, and a fresh connect is always safe.
+                    self.stream = None;
+                    self.retries += 1;
+                    std::thread::sleep(self.backoff(attempt));
+                }
+            }
         }
-        Ok(response)
+    }
+
+    /// Exponential backoff with deterministic jitter: `base · 2^(n-1)`
+    /// capped at `max_backoff`, plus up to 50% jitter from the seeded
+    /// stream (decorrelates retry storms, replays exactly per seed).
+    fn backoff(&mut self, attempt: u32) -> Duration {
+        let base = self.policy.base_backoff.min(self.policy.max_backoff);
+        if base.is_zero() {
+            return Duration::ZERO;
+        }
+        let exp = base.saturating_mul(1u32 << (attempt - 1).min(16));
+        let capped = exp.min(self.policy.max_backoff);
+        let jitter_span = (capped.as_nanos() as u64 / 2).max(1);
+        capped + Duration::from_nanos(self.rng.gen_range(0..jitter_span))
     }
 
     /// Open a session against the named tenant.
@@ -298,13 +516,24 @@ impl WireClient {
     }
 
     /// Submit a program on a session and wait for its results.
+    ///
+    /// Under a retrying policy every submission carries a fresh nonzero
+    /// idempotency key; all retry attempts reuse it, so a reply lost in
+    /// transit is replayed from the server's per-session window rather
+    /// than optimized and executed a second time.
     pub fn submit(
         &mut self,
         session: SessionId,
         program: &imperative::ast::Program,
     ) -> Result<SubmitReply, ServerError> {
+        let idempotency = if self.policy.max_attempts > 1 {
+            self.rng.gen_range(1..u64::MAX)
+        } else {
+            0
+        };
         match self.call(&Request::Submit {
             session: session.0,
+            idempotency,
             program: program.clone(),
         })? {
             Response::SubmitOk(reply) => Ok(*reply),
@@ -329,19 +558,29 @@ impl WireClient {
         }
     }
 
-    /// Close a session.
+    /// Close a session. A retry that finds the session already gone
+    /// treats that as success — the first attempt's close landed, only
+    /// its ack was lost.
     pub fn close_session(&mut self, session: SessionId) -> Result<(), ServerError> {
-        match self.call(&Request::CloseSession { session: session.0 })? {
-            Response::Closed => Ok(()),
-            other => Err(unexpected(&other)),
+        let before = self.retries;
+        match self.call(&Request::CloseSession { session: session.0 }) {
+            Ok(Response::Closed) => Ok(()),
+            Ok(other) => Err(unexpected(&other)),
+            Err(ServerError::UnknownSession(_)) if self.retries > before => Ok(()),
+            Err(e) => Err(e),
         }
     }
 
-    /// Ask the server to shut down (acknowledged before it stops).
+    /// Ask the server to shut down (acknowledged before it stops). A
+    /// retry that cannot reconnect treats that as success — an
+    /// unreachable server is what shutdown asked for.
     pub fn shutdown_server(&mut self) -> Result<(), ServerError> {
-        match self.call(&Request::Shutdown)? {
-            Response::ShuttingDown => Ok(()),
-            other => Err(unexpected(&other)),
+        let before = self.retries;
+        match self.call(&Request::Shutdown) {
+            Ok(Response::ShuttingDown) => Ok(()),
+            Ok(other) => Err(unexpected(&other)),
+            Err(ServerError::Io(_)) if self.retries > before => Ok(()),
+            Err(e) => Err(e),
         }
     }
 }

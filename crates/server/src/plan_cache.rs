@@ -22,11 +22,13 @@
 //! path: a hit takes one shard mutex for a `HashMap` probe.
 
 use crate::error::ServerError;
+use crate::sync;
 use cobra_core::Optimized;
 use imperative::ast::Program;
 use minidb::{CacheStamp, PlanFingerprint, StableHasher};
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 
@@ -110,6 +112,7 @@ pub struct PlanCache {
     coalesced: AtomicU64,
     swapped: AtomicU64,
     evicted: AtomicU64,
+    restored: AtomicU64,
 }
 
 impl PlanCache {
@@ -125,6 +128,7 @@ impl PlanCache {
             coalesced: AtomicU64::new(0),
             swapped: AtomicU64::new(0),
             evicted: AtomicU64::new(0),
+            restored: AtomicU64::new(0),
         }
     }
 
@@ -151,7 +155,7 @@ impl PlanCache {
         compute: impl FnOnce() -> Result<Arc<Optimized>, ServerError>,
     ) -> (Result<CachedPlan, ServerError>, CacheOutcome) {
         let flight = {
-            let mut shard = self.shard(&key).lock().unwrap();
+            let mut shard = sync::lock(self.shard(&key));
             match shard.get(&key) {
                 Some(Slot::Ready(cached)) => {
                     self.hits.fetch_add(1, Ordering::Relaxed);
@@ -161,9 +165,9 @@ impl PlanCache {
                     // Wait outside the shard lock.
                     let flight = flight.clone();
                     drop(shard);
-                    let mut slot = flight.result.lock().unwrap();
+                    let mut slot = sync::lock(&flight.result);
                     while slot.is_none() {
-                        slot = flight.done.wait(slot).unwrap();
+                        slot = sync::wait(&flight.done, slot);
                     }
                     self.coalesced.fetch_add(1, Ordering::Relaxed);
                     return (slot.clone().unwrap(), CacheOutcome::Coalesced);
@@ -176,14 +180,20 @@ impl PlanCache {
             }
         };
 
-        // This request leads the flight: optimize, publish, settle the slot.
-        let result = compute().map(|optimized| CachedPlan {
-            program: program.clone(),
-            optimized,
-        });
+        // This request leads the flight: optimize, publish, settle the
+        // slot. The optimizer runs inside `catch_unwind` so a panicking
+        // search settles the flight with a typed error — waiters must
+        // never be left blocking on a flight whose leader unwound away.
+        let result = match catch_unwind(AssertUnwindSafe(compute)) {
+            Ok(computed) => computed.map(|optimized| CachedPlan {
+                program: program.clone(),
+                optimized,
+            }),
+            Err(payload) => Err(ServerError::from_panic(payload)),
+        };
         self.misses.fetch_add(1, Ordering::Relaxed);
         {
-            let mut shard = self.shard(&key).lock().unwrap();
+            let mut shard = sync::lock(self.shard(&key));
             match &result {
                 Ok(cached) if retain => {
                     shard.insert(key, Slot::Ready(cached.clone()));
@@ -195,7 +205,7 @@ impl PlanCache {
                 }
             }
         }
-        let mut slot = flight.result.lock().unwrap();
+        let mut slot = sync::lock(&flight.result);
         *slot = Some(result.clone());
         drop(slot);
         flight.done.notify_all();
@@ -205,10 +215,25 @@ impl PlanCache {
     /// Insert a re-optimized plan (the drift sweeper's hot swap). Counts
     /// toward [`PlanCache::swapped`]; overwrites anything at `key`.
     pub fn swap_in(&self, key: CacheKey, plan: CachedPlan) {
-        let mut shard = self.shard(&key).lock().unwrap();
+        let mut shard = sync::lock(self.shard(&key));
         shard.insert(key, Slot::Ready(plan));
         drop(shard);
         self.swapped.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Insert a plan recovered from a snapshot (see [`crate::snapshot`]).
+    /// Counts toward [`PlanCache::restored`]; does not overwrite a live
+    /// entry (a plan computed since restart is at least as fresh).
+    /// Returns whether the plan was inserted.
+    pub fn restore(&self, key: CacheKey, plan: CachedPlan) -> bool {
+        let mut shard = sync::lock(self.shard(&key));
+        if shard.contains_key(&key) {
+            return false;
+        }
+        shard.insert(key, Slot::Ready(plan));
+        drop(shard);
+        self.restored.fetch_add(1, Ordering::Relaxed);
+        true
     }
 
     /// Completed entries cached for database instance `instance_id`
@@ -216,7 +241,7 @@ impl PlanCache {
     pub fn entries_for_instance(&self, instance_id: u64) -> Vec<(CacheKey, CachedPlan)> {
         let mut out = Vec::new();
         for shard in &self.shards {
-            let shard = shard.lock().unwrap();
+            let shard = sync::lock(shard);
             for (key, slot) in shard.iter() {
                 if key.stamp.instance_id == instance_id {
                     if let Slot::Ready(cached) = slot {
@@ -235,7 +260,7 @@ impl PlanCache {
     pub fn purge_instance_except(&self, instance_id: u64, keep: CacheStamp) -> usize {
         let mut evicted = 0;
         for shard in &self.shards {
-            let mut shard = shard.lock().unwrap();
+            let mut shard = sync::lock(shard);
             shard.retain(|key, slot| {
                 let stale = key.stamp.instance_id == instance_id
                     && key.stamp != keep
@@ -252,7 +277,7 @@ impl PlanCache {
 
     /// Completed + in-flight entries currently held.
     pub fn len(&self) -> usize {
-        self.shards.iter().map(|s| s.lock().unwrap().len()).sum()
+        self.shards.iter().map(|s| sync::lock(s).len()).sum()
     }
 
     /// True when nothing is cached.
@@ -283,6 +308,11 @@ impl PlanCache {
     /// Stale entries evicted after swaps.
     pub fn evicted(&self) -> u64 {
         self.evicted.load(Ordering::Relaxed)
+    }
+
+    /// Plans recovered from a snapshot at restore time.
+    pub fn restored(&self) -> u64 {
+        self.restored.load(Ordering::Relaxed)
     }
 }
 
@@ -413,6 +443,62 @@ mod tests {
         assert_eq!(cache.misses(), 1);
         assert_eq!(cache.hits() + cache.coalesced(), 7);
         assert!(cache.coalesced() >= 1, "waiters joined the flight");
+    }
+
+    #[test]
+    fn panicking_compute_settles_the_flight_for_waiters() {
+        use std::sync::Barrier;
+
+        let cache = Arc::new(PlanCache::new(2));
+        let p = tiny_program(6);
+        let k = key(program_fingerprint(&p), 1, 0);
+        let barrier = Arc::new(Barrier::new(2));
+
+        let leader = {
+            let cache = cache.clone();
+            let p = p.clone();
+            let barrier = barrier.clone();
+            std::thread::spawn(move || {
+                let (r, how) = cache.get_or_compute(k, &p, true, || {
+                    barrier.wait(); // waiter is about to join the flight
+                    std::thread::sleep(std::time::Duration::from_millis(30));
+                    panic!("injected worker panic");
+                });
+                assert_eq!(how, CacheOutcome::Miss);
+                r
+            })
+        };
+        barrier.wait();
+        // Give the waiter path time to observe the in-flight slot.
+        std::thread::sleep(std::time::Duration::from_millis(5));
+        let (waited, _) = cache.get_or_compute(k, &p, true, || Ok(dummy_optimized(&p)));
+
+        let led = leader.join().expect("leader thread must not propagate");
+        assert!(matches!(led, Err(ServerError::Internal(_))));
+        // The waiter either coalesced onto the failed flight (Internal) or
+        // arrived after it settled and recomputed successfully; both are
+        // fine — what is not fine is a hang or a poisoned shard.
+        if let Err(e) = waited {
+            assert!(matches!(e, ServerError::Internal(_)));
+        }
+        let (r, _) = cache.get_or_compute(k, &p, true, || Ok(dummy_optimized(&p)));
+        assert!(r.is_ok(), "cache stays usable after a panicked flight");
+    }
+
+    #[test]
+    fn restore_inserts_but_never_overwrites() {
+        let cache = PlanCache::new(2);
+        let p = tiny_program(7);
+        let k = key(program_fingerprint(&p), 1, 0);
+        let plan = CachedPlan {
+            program: p.clone(),
+            optimized: dummy_optimized(&p),
+        };
+        assert!(cache.restore(k, plan.clone()));
+        assert!(!cache.restore(k, plan), "live entries win over snapshots");
+        assert_eq!(cache.restored(), 1);
+        let (_, how) = cache.get_or_compute(k, &p, true, || panic!("restored entry must hit"));
+        assert_eq!(how, CacheOutcome::Hit);
     }
 
     #[test]

@@ -20,7 +20,12 @@
 
 use crate::admission::Admission;
 use crate::error::ServerError;
+use crate::fault::{FaultKind, FaultPlan, FaultSite};
 use crate::plan_cache::{program_fingerprint, CacheKey, CacheOutcome, CachedPlan, PlanCache};
+use crate::snapshot::{
+    FeedbackSnapshot, OptimizedSnapshot, PlanSnapshot, RestoreReport, Snapshot, TenantSnapshot,
+};
+use crate::sync;
 use cobra_core::{
     Cobra, CobraBuilder, OptimizationReport, Optimized, SearchBudget, ValidationConfig,
 };
@@ -29,8 +34,9 @@ use interp::{Interp, InterpConfig, NormalizedOutcome};
 use minidb::{CacheStamp, ExecEngine, FeedbackStore, FuncRegistry, PlanFingerprint, SharedDb};
 use netsim::{Clock, NetworkProfile};
 use orm::{MappingRegistry, RemoteDb, Session};
-use std::collections::HashMap;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::collections::{HashMap, VecDeque};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
 use std::sync::{Arc, Condvar, Mutex, RwLock};
 use std::time::{Duration, Instant};
 
@@ -67,6 +73,22 @@ pub struct ServerConfig {
     /// skip validation. `None` (default) keeps selection cost-only and
     /// bit-identical to previous behavior.
     pub validate: Option<ValidationConfig>,
+    /// The fault-injection schedule threaded through the wire server's
+    /// response path and the service's worker paths. Default: inert
+    /// ([`FaultPlan::off`]) — zero overhead, behavior identical to a
+    /// build without fault injection. Chaos tests pass
+    /// [`FaultPlan::chaos`] with a seed.
+    pub faults: Arc<FaultPlan>,
+    /// Consecutive worker panics ([`ServerError::Internal`]) after which
+    /// the health machine drops from `Healthy` to `Degraded`. Default 3.
+    pub degrade_after_faults: u64,
+    /// Consecutive clean submissions after which a `Degraded` server
+    /// recovers to `Healthy`. Default 8.
+    pub recover_after_ok: u64,
+    /// Completed submissions remembered per session for idempotent
+    /// replay (a retried `Submit` with the same idempotency key returns
+    /// the stored reply instead of re-executing). Default 64.
+    pub idempotency_window: usize,
 }
 
 impl Default for ServerConfig {
@@ -85,7 +107,47 @@ impl Default for ServerConfig {
             cache_shards: 16,
             engine: ExecEngine::default(),
             validate: None,
+            faults: FaultPlan::off(),
+            degrade_after_faults: 3,
+            recover_after_ok: 8,
+            idempotency_window: 64,
         }
+    }
+}
+
+/// The server's health state machine. Worker panics push it toward
+/// `Degraded`; sustained clean service recovers it; shutdown drains it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Health {
+    /// Normal operation.
+    Healthy = 0,
+    /// Sustained worker faults: the queue bound is halved (shed earlier),
+    /// every submission runs under the degraded budget with validation
+    /// and plan retention off, and the drift sweeper holds still — the
+    /// server trades plan quality for staying responsive while whatever
+    /// is panicking the workers is hot.
+    Degraded = 1,
+    /// Shutdown has begun: no new work; in-flight requests complete.
+    Draining = 2,
+}
+
+impl Health {
+    fn from_u8(v: u8) -> Health {
+        match v {
+            1 => Health::Degraded,
+            2 => Health::Draining,
+            _ => Health::Healthy,
+        }
+    }
+}
+
+impl std::fmt::Display for Health {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            Health::Healthy => "healthy",
+            Health::Degraded => "degraded",
+            Health::Draining => "draining",
+        })
     }
 }
 
@@ -176,7 +238,7 @@ impl Tenant {
     /// pinned (see the module docs): plans invalidate on stats-epoch
     /// bumps, not on every observation.
     fn plan_stamp(&self) -> CacheStamp {
-        let db = self.db.read().unwrap();
+        let db = self.db.read().unwrap_or_else(|e| e.into_inner());
         CacheStamp {
             instance_id: db.instance_id(),
             stats_epoch: db.stats_epoch(),
@@ -193,6 +255,11 @@ struct SessionState {
     last_program: Mutex<Option<Arc<Program>>>,
     submissions: AtomicU64,
     simulated_ns: AtomicU64,
+    /// Completed replies keyed by idempotency key (bounded FIFO window):
+    /// a retried submission whose original actually completed — the
+    /// client just never saw the response — replays the stored reply
+    /// instead of executing (and recording feedback) twice.
+    replies: Mutex<VecDeque<(u64, SubmitReply)>>,
 }
 
 /// A snapshot of every server-wide counter.
@@ -226,6 +293,13 @@ pub struct ServerCounters {
     /// validation promoted a *measured* winner over the cost model's
     /// argmin. Always 0 unless [`ServerConfig::validate`] is set.
     pub validated_promotions: u64,
+    /// Worker panics caught and returned as [`ServerError::Internal`].
+    pub internal_errors: u64,
+    /// Retried submissions answered from the per-session reply window
+    /// instead of re-executing.
+    pub idempotent_replays: u64,
+    /// Plans recovered from a snapshot at restore time.
+    pub restored_plans: u64,
 }
 
 impl std::fmt::Display for ServerCounters {
@@ -240,7 +314,7 @@ impl std::fmt::Display for ServerCounters {
             "admission: {} admitted / {} rejected / {} degraded",
             self.admitted, self.rejected, self.degraded
         )?;
-        write!(
+        writeln!(
             f,
             "sessions: {} opened across {} tenants; {} executions; {} drift sweeps acted; \
              {} validated promotions",
@@ -249,6 +323,11 @@ impl std::fmt::Display for ServerCounters {
             self.executions,
             self.drift_swaps,
             self.validated_promotions
+        )?;
+        write!(
+            f,
+            "resilience: {} internal errors / {} idempotent replays / {} restored plans",
+            self.internal_errors, self.idempotent_replays, self.restored_plans
         )
     }
 }
@@ -295,6 +374,15 @@ struct Inner {
     executions: AtomicU64,
     drift_swaps: AtomicU64,
     validated_promotions: AtomicU64,
+    internal_errors: AtomicU64,
+    idempotent_replays: AtomicU64,
+    restored_feedback: AtomicU64,
+    /// [`Health`] as a `u8` (see `Health::from_u8`).
+    health: AtomicU8,
+    /// Consecutive worker panics; resets on any clean submission.
+    fault_streak: AtomicU64,
+    /// Consecutive clean submissions; resets on any worker panic.
+    ok_streak: AtomicU64,
     shutdown: AtomicBool,
     /// Sweeper wake-up: (pending-signal flag, condvar).
     sweep_signal: Mutex<bool>,
@@ -334,6 +422,12 @@ impl CobraService {
             executions: AtomicU64::new(0),
             drift_swaps: AtomicU64::new(0),
             validated_promotions: AtomicU64::new(0),
+            internal_errors: AtomicU64::new(0),
+            idempotent_replays: AtomicU64::new(0),
+            restored_feedback: AtomicU64::new(0),
+            health: AtomicU8::new(Health::Healthy as u8),
+            fault_streak: AtomicU64::new(0),
+            ok_streak: AtomicU64::new(0),
             shutdown: AtomicBool::new(false),
             sweep_signal: Mutex::new(false),
             sweep_cv: Condvar::new(),
@@ -344,8 +438,43 @@ impl CobraService {
             .name("cobra-drift-sweeper".into())
             .spawn(move || sweeper_loop(weak))
             .expect("spawn drift sweeper");
-        *inner.sweeper.lock().unwrap() = Some(handle);
+        *sync::lock(&inner.sweeper) = Some(handle);
         CobraService { inner }
+    }
+
+    /// The server's current health state.
+    pub fn health(&self) -> Health {
+        Health::from_u8(self.inner.health.load(Ordering::Acquire))
+    }
+
+    /// Record a caught worker panic against the health machine.
+    fn note_fault(&self) {
+        self.inner.internal_errors.fetch_add(1, Ordering::Relaxed);
+        self.inner.ok_streak.store(0, Ordering::Relaxed);
+        let streak = self.inner.fault_streak.fetch_add(1, Ordering::Relaxed) + 1;
+        if streak >= self.inner.config.degrade_after_faults {
+            // Only Healthy → Degraded; never resurrect a Draining server.
+            let _ = self.inner.health.compare_exchange(
+                Health::Healthy as u8,
+                Health::Degraded as u8,
+                Ordering::AcqRel,
+                Ordering::Relaxed,
+            );
+        }
+    }
+
+    /// Record a clean submission against the health machine.
+    fn note_ok(&self) {
+        self.inner.fault_streak.store(0, Ordering::Relaxed);
+        let streak = self.inner.ok_streak.fetch_add(1, Ordering::Relaxed) + 1;
+        if streak >= self.inner.config.recover_after_ok {
+            let _ = self.inner.health.compare_exchange(
+                Health::Degraded as u8,
+                Health::Healthy as u8,
+                Ordering::AcqRel,
+                Ordering::Relaxed,
+            );
+        }
     }
 
     /// The service configuration.
@@ -359,7 +488,11 @@ impl CobraService {
     /// cache entries.
     pub fn register_tenant(&self, spec: TenantSpec) -> TenantId {
         let feedback = spec.feedback.then(|| Arc::new(FeedbackStore::new()));
-        let instance_id = spec.db.read().unwrap().instance_id();
+        let instance_id = spec
+            .db
+            .read()
+            .unwrap_or_else(|e| e.into_inner())
+            .instance_id();
         let builder = || -> CobraBuilder {
             let mut b = Cobra::builder(spec.db.clone())
                 .mappings(spec.mappings.clone())
@@ -397,16 +530,13 @@ impl CobraService {
             swept_generation: AtomicU64::new(0),
         });
         let id = self.inner.next_tenant.fetch_add(1, Ordering::Relaxed);
-        self.inner.tenants.write().unwrap().insert(id, tenant);
+        sync::write(&self.inner.tenants).insert(id, tenant);
         TenantId(id)
     }
 
     /// Look a tenant up by name (wire clients attach by name).
     pub fn tenant_id(&self, name: &str) -> Option<TenantId> {
-        self.inner
-            .tenants
-            .read()
-            .unwrap()
+        sync::read(&self.inner.tenants)
             .iter()
             .find(|(_, t)| t.name == name)
             .map(|(&id, _)| TenantId(id))
@@ -414,7 +544,7 @@ impl CobraService {
 
     /// The tenant's per-tenant feedback store, if feedback is enabled.
     pub fn tenant_feedback(&self, tenant: TenantId) -> Option<Arc<FeedbackStore>> {
-        let tenants = self.inner.tenants.read().unwrap();
+        let tenants = sync::read(&self.inner.tenants);
         tenants.get(&tenant.0).and_then(|t| t.feedback.clone())
     }
 
@@ -423,7 +553,7 @@ impl CobraService {
         if self.inner.shutdown.load(Ordering::Acquire) {
             return Err(ServerError::ShuttingDown);
         }
-        if !self.inner.tenants.read().unwrap().contains_key(&tenant.0) {
+        if !sync::read(&self.inner.tenants).contains_key(&tenant.0) {
             return Err(ServerError::UnknownTenant(format!("id {}", tenant.0)));
         }
         let id = self.inner.next_session.fetch_add(1, Ordering::Relaxed);
@@ -432,38 +562,30 @@ impl CobraService {
             last_program: Mutex::new(None),
             submissions: AtomicU64::new(0),
             simulated_ns: AtomicU64::new(0),
+            replies: Mutex::new(VecDeque::new()),
         });
-        self.inner.sessions.write().unwrap().insert(id, state);
+        sync::write(&self.inner.sessions).insert(id, state);
         self.inner.sessions_opened.fetch_add(1, Ordering::Relaxed);
         Ok(SessionId(id))
     }
 
     /// Close a session (idempotent; unknown ids error).
     pub fn close_session(&self, session: SessionId) -> Result<(), ServerError> {
-        self.inner
-            .sessions
-            .write()
-            .unwrap()
+        sync::write(&self.inner.sessions)
             .remove(&session.0)
             .map(|_| ())
             .ok_or(ServerError::UnknownSession(session.0))
     }
 
     fn session(&self, id: SessionId) -> Result<Arc<SessionState>, ServerError> {
-        self.inner
-            .sessions
-            .read()
-            .unwrap()
+        sync::read(&self.inner.sessions)
             .get(&id.0)
             .cloned()
             .ok_or(ServerError::UnknownSession(id.0))
     }
 
     fn tenant(&self, id: TenantId) -> Result<Arc<Tenant>, ServerError> {
-        self.inner
-            .tenants
-            .read()
-            .unwrap()
+        sync::read(&self.inner.tenants)
             .get(&id.0)
             .cloned()
             .ok_or_else(|| ServerError::UnknownTenant(format!("id {}", id.0)))
@@ -477,6 +599,20 @@ impl CobraService {
         session: SessionId,
         program: &Program,
     ) -> Result<SubmitReply, ServerError> {
+        self.submit_idempotent(session, program, 0)
+    }
+
+    /// [`CobraService::submit`] with an idempotency key (0 = none). A
+    /// retried submission whose original completed — only the response
+    /// was lost — replays the stored reply instead of executing twice;
+    /// a retry that arrives while the original is still optimizing
+    /// coalesces with it through the single-flight plan cache.
+    pub fn submit_idempotent(
+        &self,
+        session: SessionId,
+        program: &Program,
+        idempotency: u64,
+    ) -> Result<SubmitReply, ServerError> {
         if self.inner.shutdown.load(Ordering::Acquire) {
             return Err(ServerError::ShuttingDown);
         }
@@ -484,9 +620,32 @@ impl CobraService {
         let state = self.session(session)?;
         let tenant = self.tenant(state.tenant)?;
 
-        // Admission: bounded pool + bounded queue, shed beyond that.
-        let permit = self.inner.admission.admit()?;
-        let degraded = permit.degraded();
+        // Replay before admission: a replay costs a window scan, not a
+        // worker slot.
+        if idempotency != 0 {
+            let replies = sync::lock(&state.replies);
+            if let Some((_, reply)) = replies.iter().find(|(k, _)| *k == idempotency) {
+                let reply = reply.clone();
+                drop(replies);
+                self.inner
+                    .idempotent_replays
+                    .fetch_add(1, Ordering::Relaxed);
+                return Ok(reply);
+            }
+        }
+
+        // Admission: bounded pool + bounded queue, shed beyond that. A
+        // Degraded server halves the queue bound — shed earlier while
+        // workers are faulting.
+        let health_degraded = self.health() == Health::Degraded;
+        let permit = if health_degraded {
+            self.inner
+                .admission
+                .admit_bounded(self.inner.config.max_queue / 2)?
+        } else {
+            self.inner.admission.admit()?
+        };
+        let degraded = permit.degraded() || health_degraded;
 
         let program = Arc::new(program.clone());
         let fingerprint = program_fingerprint(&program);
@@ -499,16 +658,30 @@ impl CobraService {
         } else {
             &tenant.cobra
         };
+        let faults = &self.inner.config.faults;
         let (cached, cache_outcome) =
             self.inner
                 .cache
                 .get_or_compute(key, &program, !degraded, || {
+                    if let Some(FaultKind::WorkerPanic) = faults.decide(FaultSite::Search) {
+                        panic!("injected worker panic (search)");
+                    }
                     optimizer
                         .optimize_program(&program)
                         .map(Arc::new)
                         .map_err(ServerError::from)
                 });
-        let cached = cached?;
+        let cached = match cached {
+            Ok(cached) => cached,
+            Err(e) => {
+                // Only the flight leader charges the health machine:
+                // coalesced waiters observed the same single panic.
+                if matches!(e, ServerError::Internal(_)) && cache_outcome == CacheOutcome::Miss {
+                    self.note_fault();
+                }
+                return Err(e);
+            }
+        };
         let optimized: Arc<Optimized> = cached.optimized;
         // A fresh optimization whose validated selection overrode the
         // cost model's argmin (hits/coalesced replays would double-count).
@@ -525,9 +698,25 @@ impl CobraService {
 
         // Execute the optimized program on a fresh ORM session/clock (one
         // submission = one transaction, as in the paper's measurements).
+        // Execution runs inside `catch_unwind` for the same reason the
+        // search does: a panicking worker fails this request with a typed
+        // error instead of tearing the serving thread down.
         let runnable = program.with_entry(optimized.program.clone());
-        let outcome = self.execute(&tenant, &runnable)?;
+        let outcome = match catch_unwind(AssertUnwindSafe(|| {
+            if let Some(FaultKind::WorkerPanic) = faults.decide(FaultSite::Execute) {
+                panic!("injected worker panic (execute)");
+            }
+            self.execute(&tenant, &runnable)
+        })) {
+            Ok(Ok(outcome)) => outcome,
+            Ok(Err(e)) => return Err(e),
+            Err(payload) => {
+                self.note_fault();
+                return Err(ServerError::from_panic(payload));
+            }
+        };
         drop(permit);
+        self.note_ok();
 
         let observed: Vec<&str> = runnable.entry().params.iter().map(|s| s.as_str()).collect();
         let results = outcome.normalized_with_vars(&observed);
@@ -536,7 +725,7 @@ impl CobraService {
         state
             .simulated_ns
             .fetch_add(outcome.elapsed_ns, Ordering::Relaxed);
-        *state.last_program.lock().unwrap() = Some(program.clone());
+        *sync::lock(&state.last_program) = Some(program.clone());
         self.inner.executions.fetch_add(1, Ordering::Relaxed);
 
         // Drift check every N executions per tenant: wake the sweeper.
@@ -545,7 +734,7 @@ impl CobraService {
             self.signal_sweeper();
         }
 
-        Ok(SubmitReply {
+        let reply = SubmitReply {
             fingerprint,
             stamp: key.stamp,
             cache: cache_outcome,
@@ -557,7 +746,16 @@ impl CobraService {
             round_trips: outcome.round_trips,
             results,
             wall_ns: start.elapsed().as_nanos() as u64,
-        })
+        };
+        if idempotency != 0 {
+            let mut replies = sync::lock(&state.replies);
+            replies.push_back((idempotency, reply.clone()));
+            let window = self.inner.config.idempotency_window.max(1);
+            while replies.len() > window {
+                replies.pop_front();
+            }
+        }
+        Ok(reply)
     }
 
     fn execute(&self, tenant: &Tenant, program: &Program) -> Result<interp::Outcome, ServerError> {
@@ -585,10 +783,7 @@ impl CobraService {
     pub fn session_report(&self, session: SessionId) -> Result<OptimizationReport, ServerError> {
         let state = self.session(session)?;
         let tenant = self.tenant(state.tenant)?;
-        let program = state
-            .last_program
-            .lock()
-            .unwrap()
+        let program = sync::lock(&state.last_program)
             .clone()
             .ok_or_else(|| ServerError::Db("no program submitted on this session".into()))?;
         tenant.cobra.explain(&program).map_err(ServerError::from)
@@ -598,14 +793,14 @@ impl CobraService {
     /// background sweeper does on its own schedule). Returns the number
     /// of plans hot-swapped. Deterministic hook for tests and demos.
     pub fn sweep_now(&self) -> usize {
-        let tenants: Vec<Arc<Tenant>> = self
-            .inner
-            .tenants
-            .read()
-            .unwrap()
-            .values()
-            .cloned()
-            .collect();
+        // A Degraded server holds the sweeper still: re-optimizing under
+        // the same conditions that are panicking submission workers just
+        // multiplies the blast radius, and the swap would install plans
+        // no healthier than the ones already cached.
+        if self.health() != Health::Healthy {
+            return 0;
+        }
+        let tenants: Vec<Arc<Tenant>> = sync::read(&self.inner.tenants).values().cloned().collect();
         let mut swapped = 0;
         for tenant in tenants {
             swapped += self.sweep_tenant(&tenant);
@@ -643,13 +838,22 @@ impl CobraService {
         let mut work = self.inner.cache.entries_for_instance(tenant.instance_id);
         let mut seen = std::collections::HashSet::new();
         work.retain(|(key, _)| seen.insert(key.fingerprint));
-        tenant.db.write().unwrap().bump_stats_epoch();
+        tenant
+            .db
+            .write()
+            .unwrap_or_else(|e| e.into_inner())
+            .bump_stats_epoch();
         let new_stamp = tenant.plan_stamp();
         let mut swapped = 0;
         for (key, cached) in work {
             // A program that no longer optimizes (e.g. schema edits
-            // under it) is simply dropped from the cache.
-            if let Ok(re) = tenant.cobra.optimize_program(&cached.program) {
+            // under it) is simply dropped from the cache — and so is one
+            // whose re-optimization *panics*: the sweeper thread must
+            // outlive any single bad plan.
+            let re = catch_unwind(AssertUnwindSafe(|| {
+                tenant.cobra.optimize_program(&cached.program)
+            }));
+            if let Ok(Ok(re)) = re {
                 // Hot swaps are *measured*, not just re-costed: when the
                 // tenant's optimizer validates, record how often the
                 // measurement overrode the refreshed cost model.
@@ -681,7 +885,7 @@ impl CobraService {
     }
 
     fn signal_sweeper(&self) {
-        *self.inner.sweep_signal.lock().unwrap() = true;
+        *sync::lock(&self.inner.sweep_signal) = true;
         self.inner.sweep_cv.notify_one();
     }
 
@@ -698,10 +902,14 @@ impl CobraService {
             rejected: inner.admission.rejected(),
             degraded: inner.admission.degraded(),
             sessions_opened: inner.sessions_opened.load(Ordering::Relaxed),
-            tenants: inner.tenants.read().unwrap().len() as u64,
+            tenants: sync::read(&inner.tenants).len() as u64,
             executions: inner.executions.load(Ordering::Relaxed),
             drift_swaps: inner.drift_swaps.load(Ordering::Relaxed),
             validated_promotions: inner.validated_promotions.load(Ordering::Relaxed),
+            internal_errors: inner.internal_errors.load(Ordering::Relaxed),
+            idempotent_replays: inner.idempotent_replays.load(Ordering::Relaxed),
+            restored_plans: inner.cache.restored()
+                + inner.restored_feedback.load(Ordering::Relaxed),
         }
     }
 
@@ -710,17 +918,144 @@ impl CobraService {
         self.inner.cache.len()
     }
 
-    /// Stop accepting work and join the background sweeper. Idempotent;
-    /// open sessions are dropped.
+    /// Capture the server's warm state — every tenant's current-stamp
+    /// plan-cache entries and feedback observations — as a [`Snapshot`].
+    /// Entries whose stamp already lags the tenant (mid-sweep strays)
+    /// are excluded at capture time rather than rejected on restore.
+    pub fn snapshot(&self) -> Snapshot {
+        let tenants = sync::read(&self.inner.tenants);
+        let mut sections = Vec::with_capacity(tenants.len());
+        for tenant in tenants.values() {
+            let stamp = tenant.plan_stamp();
+            let plans = self
+                .inner
+                .cache
+                .entries_for_instance(tenant.instance_id)
+                .into_iter()
+                .filter(|(key, _)| key.stamp == stamp)
+                .map(|(_, cached)| PlanSnapshot {
+                    program: (*cached.program).clone(),
+                    optimized: OptimizedSnapshot::capture(&cached.optimized),
+                })
+                .collect();
+            let feedback = tenant
+                .feedback
+                .as_ref()
+                .map(|fb| {
+                    fb.snapshot_stamped()
+                        .into_iter()
+                        .map(|(plan, observation, data_stamp)| FeedbackSnapshot {
+                            sql: minidb::sql::print(plan.as_plan()),
+                            observation,
+                            data_stamp,
+                        })
+                        .collect()
+                })
+                .unwrap_or_default();
+            sections.push(TenantSnapshot {
+                name: tenant.name.clone(),
+                stamp,
+                plans,
+                feedback,
+            });
+        }
+        Snapshot { tenants: sections }
+    }
+
+    /// [`CobraService::snapshot`] written atomically to `path` (temp file
+    /// + rename; see [`Snapshot::write_to`]).
+    pub fn snapshot_to(&self, path: &std::path::Path) -> Result<(), ServerError> {
+        self.snapshot().write_to(path)
+    }
+
+    /// Re-seed the plan cache and feedback stores from a snapshot.
+    /// Tenants match by name; sections whose stamp no longer matches the
+    /// live tenant are skipped as stale; entries the running server
+    /// already holds are never overwritten (live state wins). Returns a
+    /// full accounting — restore can only warm the server, never corrupt
+    /// or wedge it.
+    pub fn restore(&self, snap: &Snapshot) -> RestoreReport {
+        let tenants = sync::read(&self.inner.tenants);
+        let mut report = RestoreReport::default();
+        for section in &snap.tenants {
+            let Some(tenant) = tenants.values().find(|t| t.name == section.name) else {
+                report.tenants_skipped += 1;
+                continue;
+            };
+            report.tenants_matched += 1;
+            let live_stamp = tenant.plan_stamp();
+            if section.stamp != live_stamp {
+                report.plans_skipped_stale += section.plans.len() as u64;
+                report.feedback_skipped += section.feedback.len() as u64;
+                continue;
+            }
+            for plan in &section.plans {
+                let key = CacheKey {
+                    fingerprint: program_fingerprint(&plan.program),
+                    stamp: live_stamp,
+                };
+                let cached = CachedPlan {
+                    program: Arc::new(plan.program.clone()),
+                    optimized: Arc::new(plan.optimized.to_optimized()),
+                };
+                if self.inner.cache.restore(key, cached) {
+                    report.plans_restored += 1;
+                } else {
+                    report.plans_skipped_live += 1;
+                }
+            }
+            let Some(fb) = &tenant.feedback else {
+                report.feedback_skipped += section.feedback.len() as u64;
+                continue;
+            };
+            for obs in &section.feedback {
+                let restored = minidb::sql::parse(&obs.sql)
+                    .ok()
+                    .is_some_and(|plan| fb.restore(&plan, obs.observation, obs.data_stamp));
+                if restored {
+                    report.feedback_restored += 1;
+                } else {
+                    report.feedback_skipped += 1;
+                }
+            }
+        }
+        self.inner
+            .restored_feedback
+            .fetch_add(report.feedback_restored, Ordering::Relaxed);
+        report
+    }
+
+    /// Read a snapshot file and [`CobraService::restore`] it. A missing,
+    /// corrupt, or stale-version file returns the typed error and leaves
+    /// the server cold but fully functional.
+    pub fn restore_from(&self, path: &std::path::Path) -> Result<RestoreReport, ServerError> {
+        let snap = Snapshot::read_from(path)?;
+        Ok(self.restore(&snap))
+    }
+
+    /// Stop accepting work, drain in-flight requests, and join the
+    /// background sweeper. Idempotent; open sessions are dropped.
+    ///
+    /// The health machine moves to [`Health::Draining`] first so new
+    /// submissions are refused with [`ServerError::ShuttingDown`], then
+    /// the admission controller is given a bounded window to let
+    /// already-admitted work finish — a clean drain, not an abandonment.
     pub fn shutdown(&self) {
         if self.inner.shutdown.swap(true, Ordering::AcqRel) {
             return;
         }
+        self.inner
+            .health
+            .store(Health::Draining as u8, Ordering::Release);
         self.signal_sweeper();
-        if let Some(handle) = self.inner.sweeper.lock().unwrap().take() {
+        if let Some(handle) = sync::lock(&self.inner.sweeper).take() {
             let _ = handle.join();
         }
-        self.inner.sessions.write().unwrap().clear();
+        // Bounded drain: in-flight permits are short-lived (one optimize +
+        // execute), so two seconds is generous; a wedged worker must not
+        // wedge shutdown too.
+        let _ = self.inner.admission.wait_idle(Duration::from_secs(2));
+        sync::write(&self.inner.sessions).clear();
     }
 
     /// True once [`CobraService::shutdown`] has run.
@@ -743,11 +1078,11 @@ fn sweeper_loop(weak: std::sync::Weak<Inner>) {
         // Wait for a signal (or the fallback poll interval). Drop the
         // strong reference while parked so shutdown-by-drop still works.
         {
-            let guard = inner.sweep_signal.lock().unwrap();
-            let (mut guard, _) = inner
-                .sweep_cv
-                .wait_timeout_while(guard, Duration::from_millis(200), |signaled| !*signaled)
-                .unwrap();
+            let mut guard = sync::lock(&inner.sweep_signal);
+            if !*guard {
+                let (g, _) = sync::wait_timeout(&inner.sweep_cv, guard, Duration::from_millis(200));
+                guard = g;
+            }
             *guard = false;
         }
         if inner.shutdown.load(Ordering::Acquire) {

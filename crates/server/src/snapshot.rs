@@ -1,0 +1,526 @@
+//! Crash-safe persistence of the server's warm state: the plan cache and
+//! per-tenant feedback stores.
+//!
+//! A [`Snapshot`] is a versioned, checksummed binary image of every
+//! tenant's completed plan-cache entries (program + optimized result)
+//! and runtime-feedback observations, written atomically (temp file +
+//! rename) so a crash mid-write leaves either the old snapshot or the
+//! new one — never a torn file. On restart,
+//! [`CobraService::restore`](crate::CobraService::restore) re-seeds the
+//! cache so the first submission of a previously-optimized program is a
+//! [`CacheOutcome::Hit`](crate::CacheOutcome::Hit) instead of a fresh
+//! search.
+//!
+//! Safety properties, in order of importance:
+//!
+//! 1. **Corruption is detected, not trusted.** Bad magic, an unsupported
+//!    version, a checksum mismatch, or a truncated/garbled payload all
+//!    surface as [`ServerError::Snapshot`]; the server starts cold and
+//!    keeps serving. A snapshot can make a restart faster — it can never
+//!    make it wrong or wedge it.
+//! 2. **Stale state is skipped, not resurrected.** Every tenant section
+//!    carries the [`CacheStamp`] it was captured under; entries whose
+//!    stamp no longer matches the live tenant (different database
+//!    instance, newer stats epoch) are counted in
+//!    [`RestoreReport::plans_skipped_stale`] and dropped.
+//! 3. **Live state wins.** Restore never overwrites an entry the running
+//!    server already produced — anything computed since restart is at
+//!    least as fresh as the snapshot.
+//!
+//! The payload reuses the wire codec's byte layer, so programs and
+//! functions round-trip with the same fingerprint-preserving encoding
+//! the protocol itself relies on.
+
+use crate::codec::{self, ByteReader, ByteWriter};
+use crate::error::ServerError;
+use imperative::ast::{Function, Program};
+use minidb::{CacheStamp, Observation};
+use std::path::Path;
+
+/// File magic: "CBSN" (Cobra snapshot).
+const MAGIC: [u8; 4] = *b"CBSN";
+/// Current format version; older/newer files are rejected, never guessed.
+const VERSION: u32 = 1;
+
+/// Tags the optimizer can emit, interned back to `&'static str` on
+/// restore (see [`cobra_core::Optimized::tags`]); a tag this build does
+/// not know is dropped rather than invented.
+const KNOWN_TAGS: [&str; 8] = [
+    "prefetch",
+    "sql-join",
+    "sql-agg",
+    "orm-navigation",
+    "iterative-query",
+    "plain",
+    "budget-exhausted",
+    "validated-promotion",
+];
+
+fn intern_tag(tag: &str) -> Option<&'static str> {
+    KNOWN_TAGS.iter().copied().find(|t| *t == tag)
+}
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf29ce484222325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+fn corrupt(what: &str) -> ServerError {
+    ServerError::Snapshot(format!("corrupt snapshot: {what}"))
+}
+
+/// A serializable image of one cached optimization result — the subset
+/// of [`cobra_core::Optimized`] worth persisting. Search-internal
+/// counters (memo cache hits, feedback overrides) and the validation
+/// record describe the *search that ran*, not the plan, so they reset to
+/// zero/`None` on restore.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OptimizedSnapshot {
+    /// The optimized entry function.
+    pub function: Function,
+    /// Estimated cost of the chosen program, ns.
+    pub est_cost_ns: f64,
+    /// Estimated cost of the original program, ns.
+    pub original_cost_ns: f64,
+    /// Complete programs representable in the search DAG.
+    pub alternatives: u64,
+    /// Cost-based choice points in the DAG.
+    pub choice_points: u64,
+    /// Live groups in the DAG.
+    pub groups: u64,
+    /// M-exprs in the DAG.
+    pub exprs: u64,
+    /// Feature tags of the chosen program.
+    pub tags: Vec<String>,
+    /// Whether a search-budget bound clipped the original search.
+    pub budget_exhausted: bool,
+}
+
+impl OptimizedSnapshot {
+    /// Capture the persistable subset of an optimization result.
+    pub fn capture(opt: &cobra_core::Optimized) -> OptimizedSnapshot {
+        OptimizedSnapshot {
+            function: opt.program.clone(),
+            est_cost_ns: opt.est_cost_ns,
+            original_cost_ns: opt.original_cost_ns,
+            alternatives: opt.alternatives,
+            choice_points: opt.choice_points as u64,
+            groups: opt.groups as u64,
+            exprs: opt.exprs as u64,
+            tags: opt.tags.iter().map(|t| t.to_string()).collect(),
+            budget_exhausted: opt.budget_exhausted,
+        }
+    }
+
+    /// Rebuild an [`cobra_core::Optimized`] (search-internal counters
+    /// zeroed, unknown tags dropped, validation cleared).
+    pub fn to_optimized(&self) -> cobra_core::Optimized {
+        cobra_core::Optimized {
+            program: self.function.clone(),
+            est_cost_ns: self.est_cost_ns,
+            original_cost_ns: self.original_cost_ns,
+            alternatives: self.alternatives,
+            choice_points: self.choice_points as usize,
+            groups: self.groups as usize,
+            exprs: self.exprs as usize,
+            tags: self.tags.iter().filter_map(|t| intern_tag(t)).collect(),
+            cost_cache_hits: 0,
+            cost_cache_misses: 0,
+            estimator_cache_hits: 0,
+            estimator_cache_misses: 0,
+            feedback_overrides: 0,
+            budget_exhausted: self.budget_exhausted,
+            validation: None,
+        }
+    }
+}
+
+/// One persisted plan-cache entry: the submitted program plus its
+/// optimization result.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlanSnapshot {
+    /// The program as originally submitted (the cache key is its
+    /// structural fingerprint, recomputed on restore).
+    pub program: Program,
+    /// The cached optimization result.
+    pub optimized: OptimizedSnapshot,
+}
+
+/// One persisted runtime-feedback observation, keyed by the plan's SQL
+/// text (the printer is parse-idempotent, so the fingerprint survives).
+#[derive(Debug, Clone, PartialEq)]
+pub struct FeedbackSnapshot {
+    /// The observed plan, printed as SQL.
+    pub sql: String,
+    /// The running-mean observation.
+    pub observation: Observation,
+    /// Table-stats stamp the observation was recorded under, if any.
+    pub data_stamp: Option<u64>,
+}
+
+/// Everything persisted for one tenant.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TenantSnapshot {
+    /// Tenant name (restore matches by name, not id — ids are assigned
+    /// per-process).
+    pub name: String,
+    /// The plan-cache stamp the entries were captured under; restore
+    /// skips the whole section when the live tenant's stamp differs.
+    pub stamp: CacheStamp,
+    /// Completed plan-cache entries.
+    pub plans: Vec<PlanSnapshot>,
+    /// Feedback-store observations.
+    pub feedback: Vec<FeedbackSnapshot>,
+}
+
+/// A complete, self-describing server snapshot.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Snapshot {
+    /// One section per tenant captured.
+    pub tenants: Vec<TenantSnapshot>,
+}
+
+/// What a restore actually did — every entry is accounted for, nothing
+/// fails silently.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RestoreReport {
+    /// Plan-cache entries re-seeded.
+    pub plans_restored: u64,
+    /// Entries skipped because the tenant's stamp moved on (different
+    /// database instance or newer stats epoch).
+    pub plans_skipped_stale: u64,
+    /// Entries skipped because the running server already holds that key
+    /// (live state wins).
+    pub plans_skipped_live: u64,
+    /// Feedback observations re-seeded.
+    pub feedback_restored: u64,
+    /// Feedback observations skipped (fresher live entry, unparsable
+    /// SQL, or the tenant has feedback disabled).
+    pub feedback_skipped: u64,
+    /// Snapshot tenants matched to a registered tenant by name.
+    pub tenants_matched: u64,
+    /// Snapshot tenants with no registered counterpart.
+    pub tenants_skipped: u64,
+}
+
+impl std::fmt::Display for RestoreReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "restored {} plans ({} stale, {} live-skipped) and {} observations \
+             ({} skipped) across {} tenants ({} unmatched)",
+            self.plans_restored,
+            self.plans_skipped_stale,
+            self.plans_skipped_live,
+            self.feedback_restored,
+            self.feedback_skipped,
+            self.tenants_matched,
+            self.tenants_skipped
+        )
+    }
+}
+
+impl Snapshot {
+    /// Serialize: magic, version, checksum, payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = ByteWriter::new();
+        w.len(self.tenants.len());
+        for t in &self.tenants {
+            w.str(&t.name);
+            codec::put_stamp(&mut w, &t.stamp);
+            w.len(t.plans.len());
+            for p in &t.plans {
+                codec::put_program(&mut w, &p.program);
+                codec::put_function(&mut w, &p.optimized.function);
+                w.f64(p.optimized.est_cost_ns);
+                w.f64(p.optimized.original_cost_ns);
+                w.u64(p.optimized.alternatives);
+                w.u64(p.optimized.choice_points);
+                w.u64(p.optimized.groups);
+                w.u64(p.optimized.exprs);
+                w.len(p.optimized.tags.len());
+                for tag in &p.optimized.tags {
+                    w.str(tag);
+                }
+                w.bool(p.optimized.budget_exhausted);
+            }
+            w.len(t.feedback.len());
+            for fb in &t.feedback {
+                w.str(&fb.sql);
+                w.f64(fb.observation.rows);
+                w.f64(fb.observation.startup_work);
+                w.f64(fb.observation.total_work);
+                w.u64(fb.observation.runs);
+                match fb.data_stamp {
+                    Some(s) => {
+                        w.bool(true);
+                        w.u64(s);
+                    }
+                    None => w.bool(false),
+                }
+            }
+        }
+        let payload = w.finish();
+        let mut out = Vec::with_capacity(payload.len() + 16);
+        out.extend_from_slice(&MAGIC);
+        out.extend_from_slice(&VERSION.to_be_bytes());
+        out.extend_from_slice(&fnv1a(&payload).to_be_bytes());
+        out.extend_from_slice(&payload);
+        out
+    }
+
+    /// Deserialize, rejecting anything that is not a well-formed
+    /// current-version snapshot with a matching checksum.
+    pub fn decode(bytes: &[u8]) -> Result<Snapshot, ServerError> {
+        if bytes.len() < 16 {
+            return Err(corrupt("file shorter than the header"));
+        }
+        if bytes[0..4] != MAGIC {
+            return Err(corrupt("bad magic"));
+        }
+        let version = u32::from_be_bytes(bytes[4..8].try_into().unwrap());
+        if version != VERSION {
+            return Err(ServerError::Snapshot(format!(
+                "unsupported snapshot version {version} (this build reads {VERSION})"
+            )));
+        }
+        let checksum = u64::from_be_bytes(bytes[8..16].try_into().unwrap());
+        let payload = &bytes[16..];
+        if fnv1a(payload) != checksum {
+            return Err(corrupt("checksum mismatch"));
+        }
+        // The payload layer reuses the wire codec, whose errors are
+        // `Protocol`; remap so callers see one error kind for bad files.
+        Snapshot::decode_payload(payload).map_err(|e| match e {
+            ServerError::Snapshot(_) => e,
+            other => corrupt(&other.to_string()),
+        })
+    }
+
+    fn decode_payload(payload: &[u8]) -> Result<Snapshot, ServerError> {
+        let mut r = ByteReader::new(payload);
+        let n_tenants = r.len()?;
+        let mut tenants = Vec::with_capacity(n_tenants);
+        for _ in 0..n_tenants {
+            let name = r.str()?;
+            let stamp = codec::get_stamp(&mut r)?;
+            let n_plans = r.len()?;
+            let mut plans = Vec::with_capacity(n_plans);
+            for _ in 0..n_plans {
+                let program = codec::get_program(&mut r)?;
+                let function = codec::get_function(&mut r)?;
+                let est_cost_ns = r.f64()?;
+                let original_cost_ns = r.f64()?;
+                let alternatives = r.u64()?;
+                let choice_points = r.u64()?;
+                let groups = r.u64()?;
+                let exprs = r.u64()?;
+                let n_tags = r.len()?;
+                let mut tags = Vec::with_capacity(n_tags);
+                for _ in 0..n_tags {
+                    tags.push(r.str()?);
+                }
+                let budget_exhausted = r.bool()?;
+                plans.push(PlanSnapshot {
+                    program,
+                    optimized: OptimizedSnapshot {
+                        function,
+                        est_cost_ns,
+                        original_cost_ns,
+                        alternatives,
+                        choice_points,
+                        groups,
+                        exprs,
+                        tags,
+                        budget_exhausted,
+                    },
+                });
+            }
+            let n_fb = r.len()?;
+            let mut feedback = Vec::with_capacity(n_fb);
+            for _ in 0..n_fb {
+                let sql = r.str()?;
+                let observation = Observation {
+                    rows: r.f64()?,
+                    startup_work: r.f64()?,
+                    total_work: r.f64()?,
+                    runs: r.u64()?,
+                };
+                let data_stamp = if r.bool()? { Some(r.u64()?) } else { None };
+                feedback.push(FeedbackSnapshot {
+                    sql,
+                    observation,
+                    data_stamp,
+                });
+            }
+            tenants.push(TenantSnapshot {
+                name,
+                stamp,
+                plans,
+                feedback,
+            });
+        }
+        if !r.at_end() {
+            return Err(corrupt("trailing bytes"));
+        }
+        Ok(Snapshot { tenants })
+    }
+
+    /// Write atomically: encode to `<path>.tmp`, then rename over `path`.
+    /// A crash at any point leaves the previous snapshot (or nothing)
+    /// intact — never a torn file.
+    pub fn write_to(&self, path: &Path) -> Result<(), ServerError> {
+        let tmp = match path.file_name() {
+            Some(name) => {
+                let mut n = name.to_os_string();
+                n.push(".tmp");
+                path.with_file_name(n)
+            }
+            None => {
+                return Err(ServerError::Snapshot(format!(
+                    "snapshot path has no file name: {}",
+                    path.display()
+                )))
+            }
+        };
+        std::fs::write(&tmp, self.encode())?;
+        std::fs::rename(&tmp, path)?;
+        Ok(())
+    }
+
+    /// Read and decode a snapshot file.
+    pub fn read_from(path: &Path) -> Result<Snapshot, ServerError> {
+        let bytes = std::fs::read(path)?;
+        Snapshot::decode(&bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use workloads::genprog::{GenCase, GenConfig};
+
+    fn sample_snapshot() -> Snapshot {
+        let case = GenCase::from_seed(13, &GenConfig::default());
+        let function = case.program.functions[0].clone();
+        Snapshot {
+            tenants: vec![TenantSnapshot {
+                name: "acme".into(),
+                stamp: CacheStamp {
+                    instance_id: 7,
+                    stats_epoch: 3,
+                    feedback_generation: 0,
+                    mode: 1,
+                },
+                plans: vec![PlanSnapshot {
+                    program: case.program.clone(),
+                    optimized: OptimizedSnapshot {
+                        function,
+                        est_cost_ns: 1234.5,
+                        original_cost_ns: 9876.5,
+                        alternatives: 12,
+                        choice_points: 3,
+                        groups: 9,
+                        exprs: 21,
+                        tags: vec!["prefetch".into(), "not-a-real-tag".into()],
+                        budget_exhausted: false,
+                    },
+                }],
+                feedback: vec![FeedbackSnapshot {
+                    sql: "SELECT * FROM orders".into(),
+                    observation: Observation {
+                        rows: 42.0,
+                        startup_work: 1.0,
+                        total_work: 84.0,
+                        runs: 3,
+                    },
+                    data_stamp: Some(11),
+                }],
+            }],
+        }
+    }
+
+    #[test]
+    fn roundtrips_through_bytes() {
+        let snap = sample_snapshot();
+        let back = Snapshot::decode(&snap.encode()).expect("decode");
+        assert_eq!(back, snap);
+    }
+
+    #[test]
+    fn detects_every_kind_of_corruption() {
+        let snap = sample_snapshot();
+        let good = snap.encode();
+
+        // Too short.
+        assert!(matches!(
+            Snapshot::decode(&good[..8]),
+            Err(ServerError::Snapshot(_))
+        ));
+        // Bad magic.
+        let mut bad = good.clone();
+        bad[0] = b'X';
+        assert!(matches!(
+            Snapshot::decode(&bad),
+            Err(ServerError::Snapshot(_))
+        ));
+        // Unsupported version.
+        let mut bad = good.clone();
+        bad[7] = 99;
+        assert!(matches!(
+            Snapshot::decode(&bad),
+            Err(ServerError::Snapshot(_))
+        ));
+        // A single flipped payload byte fails the checksum.
+        let mut bad = good.clone();
+        let last = bad.len() - 1;
+        bad[last] ^= 0xFF;
+        assert!(matches!(
+            Snapshot::decode(&bad),
+            Err(ServerError::Snapshot(_))
+        ));
+        // Truncated payload (checksum recomputed so the payload layer
+        // itself must catch it).
+        let mut bad = good[..good.len() - 4].to_vec();
+        let sum = fnv1a(&bad[16..]);
+        bad[8..16].copy_from_slice(&sum.to_be_bytes());
+        assert!(matches!(
+            Snapshot::decode(&bad),
+            Err(ServerError::Snapshot(_))
+        ));
+    }
+
+    #[test]
+    fn unknown_tags_are_dropped_on_restore() {
+        let snap = sample_snapshot();
+        let opt = snap.tenants[0].plans[0].optimized.to_optimized();
+        assert_eq!(opt.tags, vec!["prefetch"]);
+        assert!(opt.validation.is_none());
+        assert_eq!(opt.cost_cache_hits, 0);
+    }
+
+    #[test]
+    fn atomic_write_replaces_never_tears() {
+        let dir = std::env::temp_dir().join(format!(
+            "cobra-snap-test-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("state.cbsn");
+        let snap = sample_snapshot();
+        snap.write_to(&path).expect("first write");
+        snap.write_to(&path).expect("overwrite");
+        let back = Snapshot::read_from(&path).expect("read");
+        assert_eq!(back, snap);
+        assert!(
+            !path.with_file_name("state.cbsn.tmp").exists(),
+            "temp file renamed away"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

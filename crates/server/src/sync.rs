@@ -1,0 +1,86 @@
+//! Poison-recovering lock access.
+//!
+//! `std` mutexes and rwlocks poison themselves when a holder panics. In a
+//! server that isolates worker panics (see [`crate::fault`] and the
+//! `catch_unwind` boundaries in the service and plan cache), poisoning is
+//! exactly wrong: one injected or real panic would turn every later
+//! `lock().unwrap()` into a cascading panic, wedging sessions that never
+//! touched the faulty job. All shared state in this crate is kept
+//! consistent *before* fallible work runs (guards are held only for short
+//! read/insert sections, never across optimizer or executor calls), so
+//! recovering the guard from a `PoisonError` is always safe here.
+//!
+//! These helpers are the only sanctioned way to take a lock in
+//! `cobra-server`; plain `.lock().unwrap()` is a bug.
+
+use std::sync::{Condvar, Mutex, MutexGuard, RwLock, RwLockReadGuard, RwLockWriteGuard};
+use std::time::Duration;
+
+/// Lock a mutex, recovering the guard if a previous holder panicked.
+pub fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Take a read lock, recovering the guard if a previous holder panicked.
+pub fn read<T>(l: &RwLock<T>) -> RwLockReadGuard<'_, T> {
+    l.read().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Take a write lock, recovering the guard if a previous holder panicked.
+pub fn write<T>(l: &RwLock<T>) -> RwLockWriteGuard<'_, T> {
+    l.write().unwrap_or_else(|e| e.into_inner())
+}
+
+/// `Condvar::wait` that recovers the guard instead of propagating poison.
+pub fn wait<'a, T>(cv: &Condvar, guard: MutexGuard<'a, T>) -> MutexGuard<'a, T> {
+    cv.wait(guard).unwrap_or_else(|e| e.into_inner())
+}
+
+/// `Condvar::wait_timeout` that recovers the guard instead of propagating
+/// poison. Returns the guard and whether the wait timed out.
+pub fn wait_timeout<'a, T>(
+    cv: &Condvar,
+    guard: MutexGuard<'a, T>,
+    dur: Duration,
+) -> (MutexGuard<'a, T>, bool) {
+    match cv.wait_timeout(guard, dur) {
+        Ok((g, t)) => (g, t.timed_out()),
+        Err(e) => {
+            let (g, t) = e.into_inner();
+            (g, t.timed_out())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+    use std::sync::{Mutex, RwLock};
+
+    #[test]
+    fn lock_recovers_from_poison() {
+        let m = Mutex::new(7u32);
+        let _ = catch_unwind(AssertUnwindSafe(|| {
+            let _g = m.lock().unwrap();
+            panic!("poison it");
+        }));
+        assert!(m.is_poisoned());
+        assert_eq!(*lock(&m), 7);
+        *lock(&m) += 1;
+        assert_eq!(*lock(&m), 8);
+    }
+
+    #[test]
+    fn rwlock_recovers_from_poison() {
+        let l = RwLock::new(vec![1, 2, 3]);
+        let _ = catch_unwind(AssertUnwindSafe(|| {
+            let _g = l.write().unwrap();
+            panic!("poison it");
+        }));
+        assert!(l.is_poisoned());
+        assert_eq!(read(&l).len(), 3);
+        write(&l).push(4);
+        assert_eq!(read(&l).len(), 4);
+    }
+}

@@ -1,0 +1,267 @@
+//! Resilience end to end: crash-safe snapshot/restore and fault-injected
+//! serving.
+//!
+//! Act I — **survive a restart**: warm the plan cache over the wire,
+//! snapshot it (atomic temp-file + rename), kill the server, boot a
+//! fresh one over the same database, restore, and show the first
+//! submission is already a cache *hit* with bit-identical results.
+//!
+//! Act II — **survive chaos**: boot a server with a seeded
+//! [`FaultPlan`] injecting connection resets, partial writes, stalls,
+//! corrupt frames, and worker panics; drive it with a retrying
+//! [`WireClient`] and show every submission still lands with the right
+//! answer while the client's retry counter and the plan's injection
+//! counters tick.
+//!
+//! Act III — **degrade under sustained faults**: panic every optimizer
+//! search and watch the health machine drop to `Degraded` after the
+//! configured streak — typed errors throughout, no poisoned locks, and
+//! the server still answers its control surface.
+//!
+//! Every step asserts; run with `cargo run --example server_resilience`.
+
+use cobra::minidb::{self, Column, DataType, Schema, Value};
+use cobra::prelude::*;
+use cobra::server::{CacheOutcome, FaultConfig, FaultKind, FaultPlan, Health, RetryPolicy};
+use imperative::ast::QuerySpec;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn fixture() -> Fixture {
+    let mut db = Database::new();
+    let orders = Schema::new(vec![
+        Column::new("o_id", DataType::Int),
+        Column::new("o_customer_sk", DataType::Int),
+        Column::new("o_priority", DataType::Int),
+    ]);
+    let t = db.create_table("orders", orders).unwrap();
+    t.set_primary_key("o_id").unwrap();
+    for i in 0..200i64 {
+        t.insert(vec![Value::Int(i), Value::Int(i % 20), Value::Int(i % 10)])
+            .unwrap();
+    }
+    let customer = Schema::new(vec![
+        Column::new("c_customer_sk", DataType::Int),
+        Column::new("c_birth_year", DataType::Int),
+    ]);
+    let t = db.create_table("customer", customer).unwrap();
+    t.set_primary_key("c_customer_sk").unwrap();
+    for i in 0..20i64 {
+        t.insert(vec![Value::Int(i), Value::Int(1950 + i)]).unwrap();
+    }
+    db.analyze_all();
+    let mut mapping = MappingRegistry::new();
+    mapping.register(EntityMapping::new("Order", "orders", "o_id").many_to_one(
+        "customer",
+        "Customer",
+        "o_customer_sk",
+    ));
+    mapping.register(EntityMapping::new("Customer", "customer", "c_customer_sk"));
+    Fixture {
+        db: minidb::shared(db),
+        mapping,
+        funcs: Arc::new(FuncRegistry::with_builtins()),
+    }
+}
+
+fn open_orders_program() -> Program {
+    use imperative::ast::{Expr, Function, Stmt, StmtKind};
+    Program::single(Function::new(
+        "openOrders",
+        vec!["result".to_string()],
+        vec![
+            Stmt::new(StmtKind::NewCollection("result".into())),
+            Stmt::new(StmtKind::ForEach {
+                var: "o".into(),
+                iter: Expr::Query(QuerySpec::sql("select * from orders where o_priority = 3")),
+                body: vec![
+                    Stmt::new(StmtKind::Let(
+                        "c".into(),
+                        Expr::nav(Expr::var("o"), "customer"),
+                    )),
+                    Stmt::new(StmtKind::Add(
+                        "result".into(),
+                        Expr::field(Expr::var("c"), "c_birth_year"),
+                    )),
+                ],
+            }),
+        ],
+    ))
+}
+
+fn tenant_spec(fx: &Fixture) -> TenantSpec {
+    TenantSpec::new(
+        "orders",
+        fx.db.clone(),
+        fx.mapping.clone(),
+        fx.funcs.clone(),
+    )
+}
+
+fn main() {
+    // Injected worker panics are part of Act III's script; keep the
+    // default hook for anything else.
+    let default_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(move |info| {
+        let injected = info
+            .payload()
+            .downcast_ref::<&str>()
+            .is_some_and(|s| s.contains("injected"));
+        if !injected {
+            default_hook(info);
+        }
+    }));
+
+    let fx = fixture();
+    let program = open_orders_program();
+    let snap_path =
+        std::env::temp_dir().join(format!("cobra-resilience-{}.cbsn", std::process::id()));
+
+    // ---- Act I: warm, snapshot, kill, restart, restore -----------------
+    println!("=== Act I: snapshot / restart / restore ===");
+    let service = CobraService::new(ServerConfig::default());
+    service.register_tenant(tenant_spec(&fx));
+    let server = WireServer::spawn(service, "127.0.0.1:0").expect("bind");
+    let mut client = WireClient::connect(server.local_addr()).expect("connect");
+    let session = client.open_session("orders").expect("open");
+
+    let cold = client.submit(session, &program).expect("cold submit");
+    assert_eq!(cold.cache, CacheOutcome::Miss);
+    let warm = client.submit(session, &program).expect("warm submit");
+    assert_eq!(warm.cache, CacheOutcome::Hit);
+    println!("warmed: cold={} then warm={}", cold.cache, warm.cache);
+
+    server
+        .service()
+        .snapshot_to(&snap_path)
+        .expect("persist snapshot");
+    println!("snapshot written to {}", snap_path.display());
+    server.shutdown(); // the whole server dies, cache and all
+    drop(server);
+    println!("server killed");
+
+    let service = CobraService::new(ServerConfig::default());
+    service.register_tenant(tenant_spec(&fx));
+    let report = service.restore_from(&snap_path).expect("restore");
+    println!("restored: {report}");
+    assert_eq!(report.tenants_matched, 1);
+    assert!(report.plans_restored >= 1, "the warm plan survived");
+
+    let server = WireServer::spawn(service, "127.0.0.1:0").expect("rebind");
+    let mut client = WireClient::connect(server.local_addr()).expect("reconnect");
+    let session = client.open_session("orders").expect("reopen");
+    let revived = client
+        .submit(session, &program)
+        .expect("post-restart submit");
+    assert_eq!(
+        revived.cache,
+        CacheOutcome::Hit,
+        "first post-restart submission rides the restored plan"
+    );
+    assert_eq!(
+        revived.results, cold.results,
+        "bit-identical across restart"
+    );
+    println!(
+        "post-restart: {} (no re-search), results identical",
+        revived.cache
+    );
+    server.shutdown();
+
+    // ---- Act II: chaos with a retrying client --------------------------
+    println!("\n=== Act II: fault injection + retrying client ===");
+    let faults = FaultPlan::chaos(0xC0BA);
+    let service = CobraService::new(ServerConfig {
+        faults: faults.clone(),
+        ..ServerConfig::default()
+    });
+    service.register_tenant(tenant_spec(&fx));
+    let server = WireServer::spawn(service, "127.0.0.1:0").expect("bind");
+    let mut client = WireClient::connect_with(
+        server.local_addr(),
+        RetryPolicy {
+            max_attempts: 8,
+            base_backoff: Duration::from_millis(2),
+            max_backoff: Duration::from_millis(20),
+            request_timeout: Duration::from_secs(2),
+            seed: 0xC0BA,
+        },
+    )
+    .expect("connect");
+    let session = client.open_session("orders").expect("open under chaos");
+    let mut successes = 0;
+    for round in 0..30 {
+        let mut landed = false;
+        for _ in 0..5 {
+            match client.submit(session, &program) {
+                Ok(reply) => {
+                    assert_eq!(reply.results, cold.results, "chaos never changes answers");
+                    successes += 1;
+                    landed = true;
+                    break;
+                }
+                Err(e) => println!("  round {round}: transient {e}; re-driving"),
+            }
+        }
+        assert!(landed, "round {round} never landed");
+    }
+    println!("{successes}/30 submissions landed with correct results");
+    println!("client retries: {}", client.retries());
+    for (kind, count) in faults.counts() {
+        if count > 0 {
+            println!("  injected {:>2}× {}", count, kind.name());
+        }
+    }
+    assert_eq!(successes, 30);
+    assert!(faults.total_injected() > 0, "chaos actually injected");
+    assert!(
+        client.retries() > 0,
+        "the client visibly worked for those successes"
+    );
+    assert!(faults.injected(FaultKind::ConnReset) > 0);
+    server.shutdown();
+
+    // ---- Act III: sustained panics degrade, typed errors throughout ----
+    println!("\n=== Act III: graceful degradation under sustained faults ===");
+    let service = CobraService::new(ServerConfig {
+        faults: FaultPlan::from_config(FaultConfig {
+            seed: 7,
+            panic_permille: 1000, // every search panics
+            ..FaultConfig::off()
+        }),
+        degrade_after_faults: 2,
+        ..ServerConfig::default()
+    });
+    let tenant = service.register_tenant(tenant_spec(&fx));
+    let session = service.open_session(tenant).expect("open");
+    assert_eq!(service.health(), Health::Healthy);
+    for i in 0..3 {
+        let err = service
+            .submit(session, &program)
+            .expect_err("search panics");
+        assert!(
+            matches!(err, cobra::server::ServerError::Internal(_)),
+            "typed internal error, got {err}"
+        );
+        println!("  submission {i}: {err}");
+    }
+    assert_eq!(
+        service.health(),
+        Health::Degraded,
+        "2 consecutive panics degrade the server"
+    );
+    println!("health: {} (queue halved, sweeper held)", service.health());
+    // The control surface survives panic storms untouched.
+    let counters = service.counters();
+    assert!(counters.internal_errors >= 2);
+    println!(
+        "counters still served: {} internal errors recorded",
+        counters.internal_errors
+    );
+    service.shutdown();
+    assert_eq!(service.health(), Health::Draining);
+    println!("drained and shut down cleanly");
+
+    std::fs::remove_file(&snap_path).ok();
+    println!("\nall resilience properties held");
+}

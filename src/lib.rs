@@ -36,7 +36,11 @@
 //!   server with tenants, sessions, a sharded single-flight plan cache,
 //!   admission control with load shedding and budget degradation,
 //!   drift-driven plan hot swapping, and a dependency-free TCP wire
-//!   protocol ([`server::WireServer`] / [`server::WireClient`]).
+//!   protocol ([`server::WireServer`] / [`server::WireClient`]) —
+//!   hardened with a seeded fault-injection harness
+//!   ([`server::FaultPlan`]), a retrying client ([`server::RetryPolicy`]),
+//!   a health machine ([`server::Health`]), and crash-safe plan-cache
+//!   snapshot/restore ([`server::Snapshot`]).
 //!
 //! The [`prelude`] re-exports the common surface in one `use`.
 //!
@@ -128,7 +132,9 @@ pub mod prelude {
         ValidatedCandidate, ValidationConfig, ValidationSource,
     };
     pub use cobra_server::{
-        CobraService, ServerConfig, ServerError, SubmitReply, TenantSpec, WireClient, WireServer,
+        CobraService, FaultConfig, FaultKind, FaultPlan, FaultSite, Health, RestoreReport,
+        RetryPolicy, ServerConfig, ServerError, Snapshot, SubmitReply, TenantSpec, WireClient,
+        WireServer,
     };
     pub use imperative::ast::{Expr, Function, Program, Stmt, StmtKind};
     pub use imperative::pretty;

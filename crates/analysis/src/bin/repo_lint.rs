@@ -1,0 +1,108 @@
+//! Dependency-free source-level repo lints, run in CI (`static-analysis`
+//! job) as `cargo run -p analysis --bin repo_lint`.
+//!
+//! Two invariants, both established by earlier PRs and cheap to regress:
+//!
+//! * **Server locks must recover from poison.** PR 9 routed every lock
+//!   acquisition in `crates/server` through the poison-recovering helpers
+//!   in `crates/server/src/sync.rs`; a bare `.lock().unwrap()` /
+//!   `.read().unwrap()` / `.write().unwrap()` anywhere else in the server
+//!   crate would reintroduce poison-propagation on worker panic. (Other
+//!   crates are exempt: they do not share locks with panicking workers,
+//!   and their unwraps predate the invariant.)
+//! * **The network simulator's clock stays virtual.** `crates/netsim`
+//!   must never consult `Instant::now()` — determinism of every seeded
+//!   test depends on it.
+//!
+//! Exit status 0 when clean; 1 with `file:line` diagnostics otherwise.
+
+use std::path::{Path, PathBuf};
+
+/// A lint: substring patterns searched in `.rs` files under `dir`,
+/// skipping files named in `exempt`.
+struct Lint {
+    dir: &'static str,
+    exempt: &'static [&'static str],
+    patterns: &'static [&'static str],
+    why: &'static str,
+}
+
+const LINTS: &[Lint] = &[
+    Lint {
+        dir: "crates/server/src",
+        exempt: &["sync.rs"],
+        patterns: &[".lock().unwrap()", ".read().unwrap()", ".write().unwrap()"],
+        why: "server locks must use the poison-recovering helpers in \
+              crates/server/src/sync.rs (PR 9 invariant)",
+    },
+    Lint {
+        dir: "crates/netsim",
+        exempt: &[],
+        patterns: &["Instant::now()"],
+        why: "netsim's clock is virtual; wall-clock reads break seeded determinism",
+    },
+];
+
+fn main() {
+    // crates/analysis/../.. is the workspace root.
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("workspace root")
+        .to_path_buf();
+
+    let mut violations = 0usize;
+    for lint in LINTS {
+        let base = root.join(lint.dir);
+        let mut files = Vec::new();
+        collect_rs_files(&base, &mut files);
+        files.sort();
+        for file in files {
+            let name = file.file_name().and_then(|n| n.to_str()).unwrap_or("");
+            if lint.exempt.contains(&name) {
+                continue;
+            }
+            let Ok(text) = std::fs::read_to_string(&file) else {
+                continue;
+            };
+            for (lineno, line) in text.lines().enumerate() {
+                if line.trim_start().starts_with("//") {
+                    continue;
+                }
+                for pat in lint.patterns {
+                    if line.contains(pat) {
+                        violations += 1;
+                        let rel = file.strip_prefix(&root).unwrap_or(&file);
+                        println!(
+                            "{}:{}: found `{}` — {}",
+                            rel.display(),
+                            lineno + 1,
+                            pat,
+                            lint.why
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    if violations > 0 {
+        println!("repo_lint: {violations} violation(s)");
+        std::process::exit(1);
+    }
+    println!("repo_lint: clean");
+}
+
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return;
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        if path.is_dir() {
+            collect_rs_files(&path, out);
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+}

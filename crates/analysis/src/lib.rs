@@ -1,0 +1,291 @@
+//! Static verification of F-IR programs and rewrite-rule outputs.
+//!
+//! Cobra's correctness story used to be entirely dynamic: unsound rewrites
+//! were caught by the differential oracle *executing* hundreds of seeded
+//! programs. This crate makes the same bug classes statically checkable,
+//! so a broken rule is rejected in microseconds — before anything runs —
+//! with a diagnostic naming the pass and the offending arena node.
+//!
+//! Three passes, in the order they run:
+//!
+//! 1. **Well-formedness** ([`check_wellformed`]): arena references are
+//!    acyclic and defined before use (the hash-consing invariant that
+//!    every child id precedes its parent), fold `func`/`init` tuples are
+//!    balanced against the accumulator list, query plans carry a bind for
+//!    every parameter they use, and `requires_empty_init` names a real
+//!    assignment.
+//! 2. **Effect analysis** ([`effects`]): read/write/call sets per
+//!    alternative ([`EffectSet`]) and per imperative region
+//!    ([`RegionEffects`], generalizing `imperative::deps::LoopAnalysis`).
+//!    The rewrite-soundness check ([`effects::check_rewrite`]) demands
+//!    that a derived alternative preserve the base's effects modulo the
+//!    rule's declared [`fir::EffectDelta`]: N1 may add prefetch reads, T5
+//!    may introduce `coalesce`, and nothing may silently drop a write,
+//!    change the tables read, or truncate a read with a `LIMIT` the base
+//!    did not have (the `broken_limit_rule` bug class).
+//! 3. **Binding-leak detection** ([`check_scopes`]): a scoped-environment
+//!    walk asserting no row binding (`TupleVar`/`TupleAttr`) or fold
+//!    accumulator marker (`AccParam`) escapes the fold body that defines
+//!    it — the bug class behind PR 3's codegen binding leaks.
+//!
+//! The optimizer wires these in behind `OptimizerConfig::verify_rewrites`
+//! (`VerifyLevel::{Off,Panic,Reject}`); see `cobra_core`.
+
+pub mod effects;
+pub mod scope;
+pub mod wellformed;
+
+pub use effects::{alternative_effects, region_effects, EffectSet, RegionEffects};
+pub use scope::check_scopes;
+pub use wellformed::check_wellformed;
+
+use fir::{EffectDelta, FirAlternative, FirId};
+
+/// Which verifier pass produced a diagnostic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Pass {
+    /// Pass 1 — structural well-formedness of the arena and alternative.
+    WellFormed,
+    /// Pass 2 — effect (read/write/call set) soundness of a rewrite.
+    Effects,
+    /// Pass 3 — binding/scope discipline (no leaks out of fold bodies).
+    Scope,
+}
+
+impl std::fmt::Display for Pass {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Pass::WellFormed => write!(f, "pass 1 (well-formedness)"),
+            Pass::Effects => write!(f, "pass 2 (effect analysis)"),
+            Pass::Scope => write!(f, "pass 3 (binding-leak)"),
+        }
+    }
+}
+
+/// A verification failure: the pass that found it, the offending arena
+/// node (when one exists — a *dropped* write has no node to point at),
+/// the rule whose application produced the alternative, and the message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// The pass that rejected the alternative.
+    pub pass: Pass,
+    /// Offending node in the alternative's arena, if the defect is a node.
+    pub node: Option<FirId>,
+    /// The most recently applied rule (from `rules_applied`), if known.
+    pub rule: Option<&'static str>,
+    /// Human-readable description of the defect.
+    pub message: String,
+}
+
+impl Diagnostic {
+    fn new(pass: Pass, node: Option<FirId>, message: impl Into<String>) -> Diagnostic {
+        Diagnostic {
+            pass,
+            node,
+            rule: None,
+            message: message.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.pass)?;
+        if let Some(node) = self.node {
+            write!(f, " at node {node}")?;
+        }
+        if let Some(rule) = self.rule {
+            write!(f, " [rule {rule}]")?;
+        }
+        write!(f, ": {}", self.message)
+    }
+}
+
+impl std::error::Error for Diagnostic {}
+
+/// Run passes 1 and 3 on a single alternative (no rewrite to compare
+/// against): well-formedness, then binding-leak detection.
+///
+/// # Errors
+///
+/// The first [`Diagnostic`] any pass produces.
+pub fn verify_alternative(alt: &FirAlternative) -> Result<(), Diagnostic> {
+    check_wellformed(alt)?;
+    check_scopes(alt)
+}
+
+/// Full static verification of a rewrite: passes 1 and 3 on the derived
+/// alternative, then pass 2 comparing its effect set against the base's,
+/// modulo the applied rules' declared `delta`.
+///
+/// The returned diagnostic is attributed to the most recently applied
+/// rule (the last entry of `derived.rules_applied` past the `"toFIR"`
+/// base tag).
+///
+/// # Errors
+///
+/// The first [`Diagnostic`] any pass produces.
+pub fn verify_rewrite(
+    base: &FirAlternative,
+    derived: &FirAlternative,
+    delta: &EffectDelta,
+) -> Result<(), Diagnostic> {
+    let attribute = |mut d: Diagnostic| {
+        d.rule = derived
+            .rules_applied
+            .iter()
+            .rev()
+            .find(|t| **t != "toFIR")
+            .copied();
+        d
+    };
+    verify_alternative(derived).map_err(attribute)?;
+    effects::check_rewrite(base, derived, delta).map_err(attribute)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fir::{FirArena, FirNode};
+    use imperative::ast::{Expr, Stmt, StmtKind};
+    use minidb::Value;
+    use orm::{EntityMapping, MappingRegistry};
+
+    fn single(arena: FirArena, root: FirId) -> FirAlternative {
+        FirAlternative {
+            arena,
+            prefetches: Vec::new(),
+            assigns: vec![("out".to_string(), root)],
+            rules_applied: vec!["toFIR"],
+            requires_empty_init: None,
+        }
+    }
+
+    #[test]
+    fn diagnostic_display_names_pass_node_and_rule() {
+        let mut d = Diagnostic::new(Pass::Effects, Some(17), "boom");
+        d.rule = Some("Xbug");
+        assert_eq!(
+            d.to_string(),
+            "pass 2 (effect analysis) at node 17 [rule Xbug]: boom"
+        );
+    }
+
+    #[test]
+    fn wellformed_rejects_out_of_range_project() {
+        let mut arena = FirArena::new();
+        let c = arena.add(FirNode::Const(Value::Int(1)));
+        let tuple = arena.add(FirNode::Tuple(vec![c]));
+        let bad = arena.add(FirNode::Project(tuple, 3));
+        let diag = check_wellformed(&single(arena, bad)).unwrap_err();
+        assert_eq!(diag.pass, Pass::WellFormed);
+        assert_eq!(diag.node, Some(bad));
+        assert!(diag.message.contains("out of range"), "{diag}");
+    }
+
+    #[test]
+    fn wellformed_rejects_empty_assignment_list() {
+        let mut alt = single(FirArena::new(), 0);
+        alt.assigns.clear();
+        let diag = check_wellformed(&alt).unwrap_err();
+        assert!(diag.message.contains("no assignments"), "{diag}");
+    }
+
+    #[test]
+    fn scope_rejects_a_top_level_row_binding() {
+        let mut arena = FirArena::new();
+        let leak = arena.add(FirNode::TupleVar("o".to_string()));
+        let diag = check_scopes(&single(arena, leak)).unwrap_err();
+        assert_eq!(diag.pass, Pass::Scope);
+        assert_eq!(diag.node, Some(leak));
+        assert!(diag.message.contains("escapes the fold body"), "{diag}");
+    }
+
+    #[test]
+    fn check_rewrite_flags_dropped_write_and_honors_delta() {
+        let mut arena = FirArena::new();
+        let c = arena.add(FirNode::Const(Value::Int(1)));
+        let base = FirAlternative {
+            arena,
+            prefetches: Vec::new(),
+            assigns: vec![("a".to_string(), c), ("b".to_string(), c)],
+            rules_applied: vec!["toFIR"],
+            requires_empty_init: None,
+        };
+        let mut derived = base.clone();
+        derived.assigns.pop();
+        derived.rules_applied.push("Xdrop");
+        let delta = EffectDelta::default();
+        let diag = verify_rewrite(&base, &derived, &delta).unwrap_err();
+        assert_eq!(diag.pass, Pass::Effects);
+        assert_eq!(diag.rule, Some("Xdrop"));
+        assert!(diag.message.contains("drops the write to `b`"), "{diag}");
+        // The same pair with the write intact verifies clean.
+        assert!(verify_rewrite(&base, &base, &delta).is_ok());
+    }
+
+    #[test]
+    fn check_rewrite_allows_new_calls_only_when_declared() {
+        let mut arena = FirArena::new();
+        let c = arena.add(FirNode::Const(Value::Int(1)));
+        let base = single(arena, c);
+        let mut derived = base.clone();
+        let call = derived
+            .arena
+            .add(FirNode::Call("coalesce".to_string(), vec![c]));
+        derived.assigns[0].1 = call;
+        let undeclared = EffectDelta::default();
+        let diag = effects::check_rewrite(&base, &derived, &undeclared).unwrap_err();
+        assert!(diag.message.contains("coalesce"), "{diag}");
+        let declared = EffectDelta::introduces_calls(&["coalesce"]);
+        assert!(effects::check_rewrite(&base, &derived, &declared).is_ok());
+    }
+
+    #[test]
+    fn region_effects_tracks_vars_tables_and_updates() {
+        let mut mappings = MappingRegistry::new();
+        mappings.register(EntityMapping::new("Order", "orders", "o_id").many_to_one(
+            "customer",
+            "Customer",
+            "o_customer_sk",
+        ));
+        mappings.register(EntityMapping::new("Customer", "customer", "c_customer_sk"));
+        let region = vec![
+            Stmt::new(StmtKind::ForEach {
+                var: "o".to_string(),
+                iter: Expr::LoadAll("Order".to_string()),
+                body: vec![
+                    Stmt::new(StmtKind::Let(
+                        "cust".to_string(),
+                        Expr::nav(Expr::var("o"), "customer"),
+                    )),
+                    Stmt::new(StmtKind::Add(
+                        "total".to_string(),
+                        Expr::field(Expr::var("cust"), "c_birth_year"),
+                    )),
+                ],
+            }),
+            Stmt::new(StmtKind::UpdateQuery {
+                table: "orders".to_string(),
+                set_col: "o_qty".to_string(),
+                value: Expr::var("total"),
+                key_col: "o_id".to_string(),
+                key: Expr::lit(Value::Int(1)),
+            }),
+        ];
+        let fx = region_effects(&region, &mappings);
+        assert!(fx.table_reads.contains("orders"), "{fx:?}");
+        assert!(fx.table_reads.contains("customer"), "{fx:?}");
+        assert_eq!(
+            fx.table_writes.iter().collect::<Vec<_>>(),
+            vec!["orders"],
+            "only the UPDATE writes"
+        );
+        // `total` is accumulated before any local definition: an external
+        // read and a write. Loop-local `o`/`cust` never escape.
+        assert!(fx.var_reads.contains("total"), "{fx:?}");
+        assert!(fx.var_writes.contains("total"), "{fx:?}");
+        assert!(!fx.var_reads.contains("o"), "{fx:?}");
+        assert!(!fx.var_reads.contains("cust"), "{fx:?}");
+    }
+}

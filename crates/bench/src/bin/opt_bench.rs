@@ -44,7 +44,7 @@
 //! `--smoke` shrinks everything (3 seeds, 1 iter, batch 4) for CI.
 
 use bench_support::{json_str, BenchRecord};
-use cobra_core::{Cobra, ValidationConfig};
+use cobra_core::{Cobra, ValidationConfig, VerifyLevel};
 use cobra_server::{CobraService, ServerConfig, TenantSpec};
 use imperative::ast::Program;
 use minidb::{ExecEngine, Executor, FeedbackStore};
@@ -790,6 +790,38 @@ fn main() {
         println!("  {name:<12} {:.3} ms", g / 1e6);
     }
 
+    // ---- static verifier overhead ------------------------------------
+    // The same (seed x profile) singles corpus with the three-pass rewrite
+    // verifier at VerifyLevel::Panic: every candidate alternative is
+    // checked during expansion. The geomean ratio against the Off default
+    // is the verifier's whole-search overhead (acceptance: <= 10%).
+    let mut verified_singles: Vec<f64> = Vec::new();
+    for seed in 0..cfg.seeds {
+        let case = GenCase::from_seed(seed, &gen_cfg);
+        let fixture = case.fixture();
+        for net in &prof {
+            let cobra = fixture
+                .cobra_builder()
+                .network(net.clone())
+                .verify_rewrites(VerifyLevel::Panic)
+                .build();
+            let rec = bench_support::bench_record(
+                &format!("optimize_program_verified/seed={seed}/{}", net.name()),
+                &format!("seed={seed} profile={} verify=panic", net.name()),
+                cfg.iters,
+                || cobra.optimize_program(&case.program).expect("optimizes"),
+            );
+            verified_singles.push(rec.mean_ns);
+        }
+    }
+    let verified_geomean = geomean(&verified_singles);
+    let verifier_overhead_pct = (verified_geomean / overall - 1.0) * 100.0;
+    println!(
+        "verifier at Panic: geomean {:.3} ms ({:+.2}% vs Off)",
+        verified_geomean / 1e6,
+        verifier_overhead_pct
+    );
+
     // ---- batch throughput scaling ------------------------------------
     // One representative case per profile, replicated: isolates worker
     // scaling from per-seed variance (every search is identical work).
@@ -938,6 +970,10 @@ fn main() {
         std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
     ));
     out.push_str(&format!("\"geomean_mean_ns\":{overall:.1},\n"));
+    out.push_str(&format!(
+        "\"verifier\":{{\"level\":\"panic\",\"geomean_mean_ns\":{verified_geomean:.1},\
+         \"overhead_pct\":{verifier_overhead_pct:.2}}},\n"
+    ));
     out.push_str("\"geomean_per_profile\":{");
     out.push_str(
         &per_profile

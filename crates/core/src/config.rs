@@ -148,6 +148,31 @@ pub struct OptimizerConfig {
     /// measured winner. `None` (the default) keeps selection cost-only
     /// and bit-identical to historical output.
     pub validation: Option<crate::validation::ValidationConfig>,
+    /// Static verification of every rule-produced alternative
+    /// (`crates/analysis`: well-formedness, effect soundness, binding
+    /// leaks). [`VerifyLevel::Off`] (the default) skips verification
+    /// entirely and is bit-identical to historical output.
+    pub verify_rewrites: VerifyLevel,
+}
+
+/// How the optimizer reacts to a statically unsound rewrite (see
+/// `crates/analysis`): not at all, by aborting, or by dropping the
+/// offending alternative.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum VerifyLevel {
+    /// No verification (default); output bit-identical to pre-verifier
+    /// releases.
+    #[default]
+    Off,
+    /// Verify and panic on the first unsound alternative — for tests,
+    /// fuzzing and debug builds, where an unsound rule is a bug to
+    /// surface loudly.
+    Panic,
+    /// Verify, drop unsound alternatives from the search space, record
+    /// their diagnostics, and tag the result `verifier-rejected` in the
+    /// [`crate::OptimizationReport`] — for serving, where one bad rule
+    /// must not take the process down.
+    Reject,
 }
 
 impl Default for OptimizerConfig {
@@ -162,6 +187,7 @@ impl Default for OptimizerConfig {
             use_histograms: true,
             exec_engine: ExecEngine::default(),
             validation: None,
+            verify_rewrites: VerifyLevel::Off,
         }
     }
 }
@@ -274,6 +300,15 @@ impl CobraBuilder {
     /// (default: on). Off reproduces the uniform-NDV baseline estimator.
     pub fn histograms(mut self, on: bool) -> CobraBuilder {
         self.config.use_histograms = on;
+        self
+    }
+
+    /// Statically verify every rule-produced alternative (default:
+    /// [`VerifyLevel::Off`]). [`VerifyLevel::Panic`] aborts on the first
+    /// unsound rewrite; [`VerifyLevel::Reject`] drops it from the search
+    /// space and tags the report `verifier-rejected`.
+    pub fn verify_rewrites(mut self, level: VerifyLevel) -> CobraBuilder {
+        self.config.verify_rewrites = level;
         self
     }
 

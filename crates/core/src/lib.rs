@@ -41,7 +41,7 @@ pub mod transforms;
 pub mod validation;
 
 pub use catalog::CostCatalog;
-pub use config::{CobraBuilder, OptimizerConfig, SearchBudget};
+pub use config::{CobraBuilder, OptimizerConfig, SearchBudget, VerifyLevel};
 pub use cost::RegionCostModel;
 pub use optimizer::{Cobra, Optimized};
 pub use region_ops::RegionOp;

@@ -65,6 +65,11 @@ pub struct Optimized {
     /// candidate; `None` when validation is disabled or the program had a
     /// single candidate. See [`crate::SelectionValidation`].
     pub validation: Option<crate::validation::SelectionValidation>,
+    /// Diagnostics of alternatives the static rewrite verifier rejected
+    /// (`VerifyLevel::Reject` only; `Panic` aborts instead and `Off`
+    /// never verifies). Non-empty also surfaces as the
+    /// `"verifier-rejected"` tag.
+    pub verifier_rejections: Vec<String>,
 }
 
 /// The COBRA optimizer (Figure 1: program + transformations + cost model
@@ -193,6 +198,8 @@ impl Cobra {
             updated_tables,
             provenance: HashMap::new(),
             exhausted: false,
+            verify: self.config.verify_rewrites,
+            rejections: Vec::new(),
         };
         let region = Region::from_function(entry);
         let root = builder.insert_region(&region, &live0, None, None);
@@ -217,6 +224,7 @@ impl Cobra {
         let DagBuilder {
             provenance,
             exhausted,
+            rejections,
             ..
         } = builder;
         let mut model = self.cost_model();
@@ -228,6 +236,7 @@ impl Cobra {
             provenance,
             exhausted,
             model,
+            rejections,
         }
     }
 
@@ -329,6 +338,7 @@ impl Cobra {
             provenance,
             exhausted: mut budget_exhausted,
             model,
+            rejections: verifier_rejections,
         } = self.build_dag(program);
 
         // Cost-based extraction.
@@ -407,6 +417,9 @@ impl Cobra {
             tags.push("budget-exhausted");
             log_budget_exhausted(&entry.name);
         }
+        if !verifier_rejections.is_empty() {
+            tags.push("verifier-rejected");
+        }
         let original_cost_ns = self.cost_of_with(&model, entry);
 
         let choice_points = (0..memo.num_groups())
@@ -428,6 +441,7 @@ impl Cobra {
             feedback_overrides: model.feedback_overrides(),
             budget_exhausted,
             validation,
+            verifier_rejections,
         };
         Ok(SearchRun {
             memo,
@@ -632,6 +646,9 @@ struct BuiltDag {
     provenance: HashMap<MExprId, Vec<&'static str>>,
     exhausted: bool,
     model: RegionCostModel,
+    /// Diagnostics of alternatives the static verifier dropped
+    /// (`VerifyLevel::Reject`).
+    rejections: Vec<String>,
 }
 
 /// Everything one search produced: the summary plus the introspection
@@ -754,6 +771,10 @@ struct DagBuilder<'a> {
     provenance: HashMap<MExprId, Vec<&'static str>>,
     /// Set when any budget bound clipped alternative registration.
     exhausted: bool,
+    /// Static verification of rule outputs (`crates/analysis`).
+    verify: crate::config::VerifyLevel,
+    /// Diagnostics of alternatives dropped under `VerifyLevel::Reject`.
+    rejections: Vec<String>,
 }
 
 impl<'a> DagBuilder<'a> {
@@ -884,10 +905,28 @@ impl<'a> DagBuilder<'a> {
         else {
             return;
         };
-        let expansion = fir::expand_with(base, self.rules, self.budget.max_alternatives_per_region);
+        let max = self.budget.max_alternatives_per_region;
+        let expansion = match self.verify {
+            crate::config::VerifyLevel::Off => fir::expand_with(base, self.rules, max),
+            level => {
+                let rules = self.rules;
+                let check = move |b: &FirAlternative, alt: &FirAlternative| {
+                    let delta = rules.delta_for_applied(&alt.rules_applied);
+                    match analysis::verify_rewrite(b, alt, &delta) {
+                        Ok(()) => Ok(()),
+                        Err(diag) if level == crate::config::VerifyLevel::Panic => {
+                            panic!("verify_rewrites=Panic: statically unsound rewrite: {diag}")
+                        }
+                        Err(diag) => Err(diag.to_string()),
+                    }
+                };
+                fir::expand_with_verifier(base, self.rules, max, Some(&check))
+            }
+        };
         if expansion.truncated {
             self.exhausted = true;
         }
+        self.rejections.extend(expansion.rejected);
         for alt in expansion.alternatives {
             if !self.t1_gate_ok(&alt, prev_sibling) {
                 continue;

@@ -105,6 +105,16 @@ impl std::fmt::Display for OptimizationReport {
             s.exprs,
         )?;
         writeln!(f, "rules fired: {}", self.rules_fired.join(", "))?;
+        if !s.verifier_rejections.is_empty() {
+            writeln!(
+                f,
+                "verifier rejected {} unsound alternative(s):",
+                s.verifier_rejections.len()
+            )?;
+            for d in &s.verifier_rejections {
+                writeln!(f, "  - {d}")?;
+            }
+        }
         writeln!(
             f,
             "execution: {} engine, batch size {}",

@@ -36,4 +36,7 @@ pub use arena::{FirArena, FirId, FirNode};
 pub use build::{loop_to_fold, FirAlternative, Prefetch};
 pub use codegen::generate;
 pub use rules::expand_alternatives;
-pub use ruleset::{expand_with, Expansion, Rule, RuleAction, RuleSet};
+pub use ruleset::{
+    expand_with, expand_with_verifier, EffectDelta, Expansion, RewriteVerifier, Rule, RuleAction,
+    RuleSet,
+};

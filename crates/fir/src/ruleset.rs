@@ -44,6 +44,56 @@ pub enum RuleAction {
     External,
 }
 
+/// The side effects a rule is *allowed* to add to an alternative, checked
+/// by the static rewrite verifier (`crates/analysis`).
+///
+/// A sound rewrite preserves the base alternative's observable effects:
+/// same tables read, same variables written, same scalar functions
+/// invoked. Some rules legitimately deviate — N1 adds prefetch reads, T5
+/// wraps aggregates in `coalesce` — and declare that here. Everything not
+/// declared is a verification error, so an undeclared deviation (a rule
+/// that drops a write, steals rows with a `LIMIT`, or reads a new table)
+/// is rejected statically before the oracle ever executes it.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct EffectDelta {
+    /// The rewrite may read tables the base did not (N1's prefetches).
+    pub may_add_reads: bool,
+    /// The rewrite may stop reading tables the base read.
+    pub may_drop_reads: bool,
+    /// Scalar functions the rewrite may introduce (T5's `coalesce` guard
+    /// around empty aggregates).
+    pub may_introduce_calls: Vec<&'static str>,
+}
+
+impl EffectDelta {
+    /// Delta for rules that add reads (prefetching).
+    pub fn adds_reads() -> EffectDelta {
+        EffectDelta {
+            may_add_reads: true,
+            ..EffectDelta::default()
+        }
+    }
+
+    /// Delta for rules that introduce the named scalar calls.
+    pub fn introduces_calls(calls: &[&'static str]) -> EffectDelta {
+        EffectDelta {
+            may_introduce_calls: calls.to_vec(),
+            ..EffectDelta::default()
+        }
+    }
+
+    /// Fold `other`'s allowances into `self` (union of permissions).
+    pub fn union_with(&mut self, other: &EffectDelta) {
+        self.may_add_reads |= other.may_add_reads;
+        self.may_drop_reads |= other.may_drop_reads;
+        for call in &other.may_introduce_calls {
+            if !self.may_introduce_calls.contains(call) {
+                self.may_introduce_calls.push(call);
+            }
+        }
+    }
+}
+
 /// A named transformation rule: one of the paper's T/N rules or a
 /// user-registered extension.
 ///
@@ -55,6 +105,7 @@ pub struct Rule {
     name: &'static str,
     description: &'static str,
     actions: Vec<RuleAction>,
+    effects: EffectDelta,
 }
 
 impl Rule {
@@ -68,6 +119,7 @@ impl Rule {
             name,
             description,
             actions: vec![RuleAction::Alternative(Arc::new(f))],
+            effects: EffectDelta::default(),
         }
     }
 
@@ -81,6 +133,7 @@ impl Rule {
             name,
             description,
             actions: vec![RuleAction::FoldLocal(Arc::new(f))],
+            effects: EffectDelta::default(),
         }
     }
 
@@ -90,6 +143,7 @@ impl Rule {
             name,
             description,
             actions: vec![RuleAction::External],
+            effects: EffectDelta::default(),
         }
     }
 
@@ -97,6 +151,19 @@ impl Rule {
     pub fn with_action(mut self, action: RuleAction) -> Rule {
         self.actions.push(action);
         self
+    }
+
+    /// Declare the effect deviations this rule is allowed to introduce
+    /// (builder style). Undeclared deviations are rejected by the static
+    /// verifier when `OptimizerConfig::verify_rewrites` is on.
+    pub fn with_effects(mut self, effects: EffectDelta) -> Rule {
+        self.effects = effects;
+        self
+    }
+
+    /// The rule's declared effect allowances.
+    pub fn effects(&self) -> &EffectDelta {
+        &self.effects
     }
 
     /// The rule's name (`"T1"` … `"N2"`, or a user-chosen name).
@@ -157,16 +224,22 @@ impl RuleSet {
     /// then the fold-local rules T2, N2, T4.
     pub fn standard() -> RuleSet {
         let mut set = RuleSet::empty();
-        set.register(Rule::alternative(
-            "T5",
-            "extract aggregations into SQL (full and partial)",
-            rules::t5_aggregation,
-        ));
-        set.register(Rule::alternative(
-            "N1",
-            "prefetch relations client-side; lookups probe the cache",
-            |alt| rules::n1_prefetch(alt).into_iter().collect(),
-        ));
+        set.register(
+            Rule::alternative(
+                "T5",
+                "extract aggregations into SQL (full and partial)",
+                rules::t5_aggregation,
+            )
+            .with_effects(EffectDelta::introduces_calls(&["coalesce"])),
+        );
+        set.register(
+            Rule::alternative(
+                "N1",
+                "prefetch relations client-side; lookups probe the cache",
+                |alt| rules::n1_prefetch(alt).into_iter().collect(),
+            )
+            .with_effects(EffectDelta::adds_reads()),
+        );
         set.register(Rule::alternative(
             "T1",
             "fold(insert, {}, Q) = Q: a loop materializing a query is the query",
@@ -263,6 +336,32 @@ impl RuleSet {
         self.rules.iter().filter(|(_, e)| *e).map(|(r, _)| r)
     }
 
+    /// The combined [`EffectDelta`] of every rule named in an
+    /// alternative's [`FirAlternative::rules_applied`] tag list.
+    ///
+    /// Tags are either a rule name verbatim (`"T5"`, `"N1"`) or a rule
+    /// name followed by a non-alphanumeric qualifier (`"T5-partial"`,
+    /// `"T4/T5var(lookup-to-join)"`); the synthetic `"toFIR"` base tag and
+    /// tags of unregistered rules contribute nothing, so an unknown rule
+    /// gets the strictest (empty) allowance.
+    pub fn delta_for_applied(&self, tags: &[&str]) -> EffectDelta {
+        let mut delta = EffectDelta::default();
+        for tag in tags {
+            for (rule, _) in &self.rules {
+                let matches = *tag == rule.name
+                    || (tag.starts_with(rule.name)
+                        && tag[rule.name.len()..]
+                            .chars()
+                            .next()
+                            .is_some_and(|c| !c.is_ascii_alphanumeric()));
+                if matches {
+                    delta.union_with(&rule.effects);
+                }
+            }
+        }
+        delta
+    }
+
     /// Number of registered rules (enabled or not).
     pub fn len(&self) -> usize {
         self.rules.len()
@@ -293,13 +392,37 @@ pub struct Expansion {
     /// it reached a fixpoint — alternatives were dropped, and the caller
     /// should surface that instead of truncating silently.
     pub truncated: bool,
+    /// Diagnostics for alternatives a [`RewriteVerifier`] rejected. Empty
+    /// unless the closure ran through [`expand_with_verifier`] and the
+    /// verifier returned `Err` for some derivation.
+    pub rejected: Vec<String>,
 }
+
+/// A soundness check run on every structurally new alternative the closure
+/// driver derives, *before* it is emitted or expanded further. Called as
+/// `verifier(base, candidate)`; an `Err` diagnostic drops the candidate
+/// (and everything only derivable from it) and is collected in
+/// [`Expansion::rejected`].
+pub type RewriteVerifier<'a> =
+    &'a (dyn Fn(&FirAlternative, &FirAlternative) -> Result<(), String> + Sync);
 
 /// Close `base` under the enabled rules of `rules`, deduplicating
 /// structurally and stopping after `max_alternatives` (the T2 ⇄ N2 cycle
 /// terminates through deduplication exactly the way cyclic rules
 /// terminate in the Volcano memo).
 pub fn expand_with(base: FirAlternative, rules: &RuleSet, max_alternatives: usize) -> Expansion {
+    expand_with_verifier(base, rules, max_alternatives, None)
+}
+
+/// [`expand_with`] with an optional per-alternative soundness check. With
+/// `verifier == None` this is byte-for-byte `expand_with`: the closure
+/// order, dedup keys and truncation behavior are identical.
+pub fn expand_with_verifier(
+    base: FirAlternative,
+    rules: &RuleSet,
+    max_alternatives: usize,
+    verifier: Option<RewriteVerifier<'_>>,
+) -> Expansion {
     // Flatten enabled actions once; fold-local actions keep the
     // fold-outer/rule-inner iteration of the legacy driver.
     let mut alt_actions: Vec<&Arc<AlternativeFn>> = Vec::new();
@@ -316,8 +439,13 @@ pub fn expand_with(base: FirAlternative, rules: &RuleSet, max_alternatives: usiz
 
     let mut out: Vec<FirAlternative> = Vec::new();
     let mut seen: std::collections::HashSet<u64> = std::collections::HashSet::new();
+    // The base is the semantic reference every derivation is checked
+    // against; it is also checked against itself (the comparison is then
+    // trivial, but well-formedness and scoping still run on it).
+    let reference = base.clone();
     let mut queue: Vec<FirAlternative> = vec![base];
     let mut truncated = false;
+    let mut rejected: Vec<String> = Vec::new();
     while let Some(alt) = queue.pop() {
         let key = alt.dedup_key();
         if seen.contains(&key) {
@@ -332,6 +460,13 @@ pub fn expand_with(base: FirAlternative, rules: &RuleSet, max_alternatives: usiz
             break;
         }
         seen.insert(key);
+        if let Some(check) = verifier {
+            if let Err(why) = check(&reference, &alt) {
+                // Unsound: drop the alternative without expanding it.
+                rejected.push(why);
+                continue;
+            }
+        }
         out.push(alt.clone());
 
         for f in &alt_actions {
@@ -359,6 +494,7 @@ pub fn expand_with(base: FirAlternative, rules: &RuleSet, max_alternatives: usiz
     Expansion {
         alternatives: out,
         truncated,
+        rejected,
     }
 }
 

@@ -4,7 +4,7 @@
 //! simulated cost along the way.
 
 use crate::equivalence::{check_equivalent, Divergence};
-use cobra_core::SearchBudget;
+use cobra_core::{SearchBudget, VerifyLevel};
 use fir::RuleSet;
 use imperative::pretty;
 use netsim::NetworkProfile;
@@ -45,6 +45,13 @@ pub struct OracleCell {
     pub ruleset_name: String,
     /// The transformation rules explored.
     pub ruleset: RuleSet,
+    /// Static rewrite verification level the optimizer runs under. The
+    /// default matrix uses [`VerifyLevel::Panic`]: verification never
+    /// alters which alternatives a sound rule set produces, so the fuzz
+    /// corpus stays bit-identical while doubling as a verifier soak — any
+    /// statically unsound rewrite aborts the run instead of relying on
+    /// the differential check to notice.
+    pub verify: VerifyLevel,
 }
 
 /// The sweep the oracle drives every case through.
@@ -56,6 +63,9 @@ pub struct OracleMatrix {
     pub budgets: Vec<(String, SearchBudget)>,
     /// Labelled rule sets (default: the standard set).
     pub rulesets: Vec<(String, RuleSet)>,
+    /// Verification level for every cell (default:
+    /// [`VerifyLevel::Panic`] — see [`OracleCell::verify`]).
+    pub verify: VerifyLevel,
 }
 
 impl Default for OracleMatrix {
@@ -71,6 +81,7 @@ impl Default for OracleMatrix {
                 ("tight".to_string(), tight_budget()),
             ],
             rulesets: vec![("standard".to_string(), RuleSet::standard())],
+            verify: VerifyLevel::Panic,
         }
     }
 }
@@ -92,6 +103,7 @@ impl OracleMatrix {
             profiles: vec![NetworkProfile::slow_remote()],
             budgets: vec![("default".to_string(), SearchBudget::default())],
             rulesets,
+            verify: VerifyLevel::Panic,
         }
     }
 
@@ -101,6 +113,7 @@ impl OracleMatrix {
             profiles: vec![cell.profile],
             budgets: vec![(cell.budget_name, cell.budget)],
             rulesets: vec![(cell.ruleset_name, cell.ruleset)],
+            verify: cell.verify,
         }
     }
 
@@ -116,6 +129,7 @@ impl OracleMatrix {
                         budget: budget.clone(),
                         ruleset_name: rn.clone(),
                         ruleset: ruleset.clone(),
+                        verify: self.verify,
                     });
                 }
             }
@@ -245,6 +259,7 @@ pub fn run_cell(
         .network(cell.profile.clone())
         .budget(cell.budget.clone())
         .rules(cell.ruleset.clone())
+        .verify_rewrites(cell.verify)
         .build();
     let opt = cobra
         .optimize_program(&case.program)
@@ -309,6 +324,7 @@ pub fn run_case(case: &GenCase, matrix: &OracleMatrix) -> CaseReport {
                         budget: SearchBudget::default(),
                         ruleset_name: "-".to_string(),
                         ruleset: RuleSet::standard(),
+                        verify: matrix.verify,
                     },
                     kind: FailureKind::OriginalRun(e.to_string()),
                     program: case.pretty(),
@@ -325,6 +341,7 @@ pub fn run_case(case: &GenCase, matrix: &OracleMatrix) -> CaseReport {
                     budget: budget.clone(),
                     ruleset_name: rn.clone(),
                     ruleset: ruleset.clone(),
+                    verify: matrix.verify,
                 };
                 match run_cell(case, &cell, Some(&original)) {
                     Ok(rec) => report.records.push(rec),

@@ -12,7 +12,18 @@ use fir::{FirNode, Rule};
 /// (`… limit 1`). The derived alternative does strictly less work than
 /// any correct alternative — less transfer, fewer iterations — so
 /// whenever a loop is foldable and its source yields more than one row,
-/// the optimizer prefers it and the oracle must catch the divergence.
+/// the optimizer prefers it.
+///
+/// Two independent nets must catch it:
+///
+/// * **statically** — the `analysis` crate's pass 2 (effect analysis)
+///   rejects every alternative it derives during expansion, because the
+///   rewrite truncates a table read with a LIMIT the base does not have
+///   and declares no effect delta
+///   (`tests/verifier_properties.rs::broken_limit_rule_is_rejected_statically_on_seed_0`);
+/// * **dynamically** — with verification off, the differential oracle
+///   flags the result mismatch and minimizes it to a seed-keyed repro
+///   (`tests/oracle_mutation.rs`, the fallback path).
 ///
 /// **Never** register this outside a test.
 pub fn broken_limit_rule() -> Rule {

@@ -349,6 +349,7 @@ mod tests {
             feedback_overrides: 0,
             budget_exhausted: false,
             validation: None,
+            verifier_rejections: Vec::new(),
         })
     }
 

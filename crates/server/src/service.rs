@@ -494,11 +494,20 @@ impl CobraService {
             .unwrap_or_else(|e| e.into_inner())
             .instance_id();
         let builder = || -> CobraBuilder {
+            // Debug builds run the static rewrite verifier at Panic so any
+            // unsound rule surfaces immediately in development and tests;
+            // release builds keep the zero-overhead Off default.
+            let verify = if cfg!(debug_assertions) {
+                cobra_core::VerifyLevel::Panic
+            } else {
+                cobra_core::VerifyLevel::Off
+            };
             let mut b = Cobra::builder(spec.db.clone())
                 .mappings(spec.mappings.clone())
                 .funcs(spec.funcs.clone())
                 .network(spec.network.clone())
-                .engine(self.inner.config.engine);
+                .engine(self.inner.config.engine)
+                .verify_rewrites(verify);
             if let Some(fb) = &feedback {
                 b = b.feedback(fb.clone());
             }

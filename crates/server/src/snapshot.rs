@@ -45,7 +45,7 @@ const VERSION: u32 = 1;
 /// Tags the optimizer can emit, interned back to `&'static str` on
 /// restore (see [`cobra_core::Optimized::tags`]); a tag this build does
 /// not know is dropped rather than invented.
-const KNOWN_TAGS: [&str; 8] = [
+const KNOWN_TAGS: [&str; 9] = [
     "prefetch",
     "sql-join",
     "sql-agg",
@@ -54,6 +54,7 @@ const KNOWN_TAGS: [&str; 8] = [
     "plain",
     "budget-exhausted",
     "validated-promotion",
+    "verifier-rejected",
 ];
 
 fn intern_tag(tag: &str) -> Option<&'static str> {
@@ -135,6 +136,7 @@ impl OptimizedSnapshot {
             feedback_overrides: 0,
             budget_exhausted: self.budget_exhausted,
             validation: None,
+            verifier_rejections: Vec::new(),
         }
     }
 }

@@ -32,6 +32,10 @@
 //!   equivalence fuzzing over generated programs across network profiles,
 //!   budgets and rule sets, with failure minimization down to seed-keyed
 //!   repros.
+//! * [`analysis`] — static verification: the three-pass F-IR rewrite
+//!   verifier (well-formedness, effect soundness, binding-leak detection)
+//!   behind [`core::OptimizerConfig::verify_rewrites`], plus the
+//!   `repo_lint` source linter.
 //! * [`server`] — Cobra-as-a-service: a concurrent optimizer/execution
 //!   server with tenants, sessions, a sharded single-flight plan cache,
 //!   admission control with load shedding and budget degradation,
@@ -110,6 +114,7 @@
 //! assert!(results.iter().all(|r| r.is_ok()));
 //! ```
 
+pub use analysis;
 pub use cobra_core as core;
 pub use cobra_server as server;
 pub use fir;
@@ -129,7 +134,7 @@ pub mod prelude {
     pub use cobra_core::{
         ChoicePoint, Cobra, CobraBuilder, CostCatalog, OptimizationReport, Optimized,
         OptimizerConfig, ReportedAlternative, Rule, RuleSet, SearchBudget, SelectionValidation,
-        ValidatedCandidate, ValidationConfig, ValidationSource,
+        ValidatedCandidate, ValidationConfig, ValidationSource, VerifyLevel,
     };
     pub use cobra_server::{
         CobraService, FaultConfig, FaultKind, FaultPlan, FaultSite, Health, RestoreReport,

@@ -3,6 +3,7 @@
 //! *correctness* — and the clipping is always reported via
 //! `budget_exhausted`, not silently.
 
+use cobra::core::VerifyLevel;
 use cobra::netsim::NetworkProfile;
 use cobra::oracle::{fuzz, tight_budget, OracleMatrix};
 use cobra::prelude::*;
@@ -16,6 +17,7 @@ fn tight_budget_preserves_semantics_on_generated_corpus() {
         profiles: vec![NetworkProfile::slow_remote()],
         budgets: vec![("tight".to_string(), tight_budget())],
         rulesets: vec![("standard".to_string(), RuleSet::standard())],
+        verify: VerifyLevel::Panic,
     };
     let report = fuzz(2000..2120, &GenConfig::default(), &matrix);
     assert!(report.failures.is_empty(), "{}", report.render_failures());

@@ -1,11 +1,19 @@
-//! Mutation smoke test: the oracle is only trustworthy if it *would*
-//! catch a semantics-breaking rewrite. Register an intentionally broken
-//! rule ([`cobra::oracle::broken_limit_rule`]) alongside the standard
-//! set; the cost-based search prefers its too-cheap alternatives, and the
-//! differential suite must flag the divergence and minimize it to a tiny
-//! seed-keyed repro.
+//! Mutation smoke test, *dynamic fallback path*: the oracle is only
+//! trustworthy if it *would* catch a semantics-breaking rewrite. Register
+//! an intentionally broken rule ([`cobra::oracle::broken_limit_rule`])
+//! alongside the standard set; the cost-based search prefers its
+//! too-cheap alternatives, and the differential suite must flag the
+//! divergence and minimize it to a tiny seed-keyed repro.
+//!
+//! Since the static verifier (`crates/analysis`) landed, the *first* line
+//! of defense is `tests/verifier_properties.rs`:
+//! `broken_limit_rule_is_rejected_statically_on_seed_0` proves the same
+//! rule is rejected during expansion with no execution at all. The tests
+//! here therefore run with `VerifyLevel::Off` — they exercise the
+//! execution-level oracle as the independent fallback that would catch a
+//! bug class the static passes cannot model.
 
-use cobra::core::SearchBudget;
+use cobra::core::{SearchBudget, VerifyLevel};
 use cobra::netsim::NetworkProfile;
 use cobra::oracle::{broken_limit_rule, fuzz, minimize, run_cell, FailureKind, OracleMatrix};
 use cobra::prelude::*;
@@ -19,11 +27,18 @@ fn broken_matrix() -> OracleMatrix {
             "standard+Xbug".to_string(),
             RuleSet::standard().with_rule(broken_limit_rule()),
         )],
+        // Deliberately Off: this file tests the *dynamic* oracle as the
+        // fallback detector. (With the default Panic the verifier would
+        // abort before the broken alternative ever executed.)
+        verify: VerifyLevel::Off,
     }
 }
 
-/// The broken rule is caught on a large fraction of the corpus, and the
-/// failures are genuine result mismatches (both programs still run).
+/// With the static verifier disabled, the differential oracle alone still
+/// catches the broken rule on at least 10 of the first 40 seeds (the
+/// exact count depends on how many generated programs contain a foldable
+/// loop whose source yields more than one row), and the failures are
+/// genuine result mismatches — both programs still run.
 #[test]
 fn broken_rule_is_caught() {
     let report = fuzz(0..40, &GenConfig::default(), &broken_matrix());
